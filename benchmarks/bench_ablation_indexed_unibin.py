@@ -1,0 +1,28 @@
+"""Ablation: index-accelerated UniBin across content thresholds.
+
+Quantifies the regime boundary behind §3's design decision from the
+diversifier's point of view: at small λc the pigeonhole index slashes
+UniBin's verified candidates; at the paper's λc = 18 it buys little (and
+pays index maintenance), which is why the paper's algorithms use
+author/time pruning instead.
+"""
+
+from conftest import show
+
+from repro.eval import ablation_indexed_unibin
+
+
+def test_ablation_indexed_unibin(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: ablation_indexed_unibin(dataset), rounds=1, iterations=1
+    )
+    show(result)
+
+    by_lc = {r["lambda_c"]: r for r in result.rows}
+    # Small radius: the index removes almost all candidate verifications.
+    assert by_lc[3]["candidate_reduction"] > 0.95
+    # The advantage shrinks monotonically toward the paper's lambda_c=18.
+    reductions = [by_lc[lc]["candidate_reduction"] for lc in sorted(by_lc)]
+    assert reductions == sorted(reductions, reverse=True)
+    # And at small lambda_c the indexed variant also wins on wall time.
+    assert by_lc[3]["indexed_time_s"] < by_lc[3]["unibin_time_s"]

@@ -1,0 +1,30 @@
+"""Ablation: the pigeonhole SimHash index across Hamming radii.
+
+The paper (§3, end) rejects the Manku-style index for λc = 18 because the
+table count/candidate volume explodes with the radius. This benchmark
+measures exactly that collapse: candidate fraction per query vs radius.
+"""
+
+from conftest import show
+
+from repro.eval.ablations import ablation_permuted_index
+
+
+def test_ablation_permuted_index(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_permuted_index(
+            radii=(2, 4, 6, 10, 14, 18), n_fingerprints=3000, n_queries=300
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    by_radius = {r["radius"]: r for r in result.rows}
+    # Small radius: the index prunes candidates by an order of magnitude.
+    assert by_radius[2]["candidate_fraction"] < 0.15
+    # The paper's regime: at radius 18 the index is no better than a scan.
+    assert by_radius[18]["candidate_fraction"] > 0.5
+    # Monotone collapse.
+    fractions = [by_radius[r]["candidate_fraction"] for r in (2, 4, 6, 10, 14, 18)]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,25 @@
+"""Ablation: §3's extra preprocessing trials.
+
+Paper: "expanding shortened URLs, varying the weights of user mentions and
+hashtags …, and expanding abbreviations … had no significant impact to the
+precision and recall." The benchmark re-measures every variant's crossover
+F1 against plain normalisation.
+"""
+
+from conftest import show
+
+from repro.eval import ablation_preprocessing
+
+
+def test_ablation_preprocessing(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_preprocessing(pairs_per_distance=25),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    for row in result.rows:
+        assert abs(row["delta_f1_vs_default"]) < 0.08, (
+            f"{row['variant']} moved F1 by {row['delta_f1_vs_default']}"
+        )

@@ -1,0 +1,28 @@
+"""Ablation: newest-first vs oldest-first bin scan order.
+
+The paper scans "from the most recent post to the older ones". Duplicates
+cluster in time near their source, so the newest-first scan short-circuits
+sooner; the output Z is identical either way (the greedy rule only asks
+whether *any* covering post exists).
+"""
+
+from conftest import show
+
+from repro.core import Thresholds, make_diversifier
+from repro.eval.ablations import ablation_scan_order
+
+
+def test_ablation_scan_order(benchmark, dataset, thresholds):
+    graph = dataset.graph(thresholds.lambda_a)
+
+    def run_newest_first():
+        algo = make_diversifier("unibin", thresholds, graph, newest_first=True)
+        return len(algo.diversify(dataset.posts))
+
+    benchmark.pedantic(run_newest_first, rounds=1, iterations=1)
+    result = ablation_scan_order(dataset, thresholds=thresholds)
+    show(result)
+
+    newest, oldest = result.rows
+    assert newest["admitted"] == oldest["admitted"]
+    assert newest["comparisons"] <= oldest["comparisons"]

@@ -1,0 +1,53 @@
+"""Ablation: SimHash Hamming vs TF cosine per-comparison cost.
+
+This is the quantitative backing of §3's design decision — SimHash is
+chosen over cosine because it matches cosine's near-duplicate quality
+(bench_sec3_cosine_baseline) at a fraction of the comparison cost.
+"""
+
+import random
+
+from conftest import show
+
+from repro.eval.ablations import ablation_simhash_speed
+from repro.simhash import TfVector, hamming, simhash
+from repro.social import TextGenerator, Vocabulary
+
+
+def _make_texts(n, seed=13):
+    rng = random.Random(seed)
+    vocabulary = Vocabulary(seed=seed)
+    generator = TextGenerator(vocabulary, seed=seed + 1)
+    return [
+        generator.fresh(rng.randrange(vocabulary.topic_count), rng=rng).text
+        for _ in range(n)
+    ]
+
+
+def test_ablation_simhash_comparison_speed(benchmark):
+    texts = _make_texts(500)
+    fingerprints = [simhash(t) for t in texts]
+    pairs = [(i, (i * 37 + 11) % len(texts)) for i in range(len(texts))]
+
+    def compare_all():
+        total = 0
+        for i, j in pairs:
+            total += hamming(fingerprints[i], fingerprints[j])
+        return total
+
+    benchmark(compare_all)
+    show(ablation_simhash_speed(n_texts=500, n_comparisons=50_000))
+
+
+def test_ablation_cosine_comparison_speed(benchmark):
+    texts = _make_texts(500)
+    vectors = [TfVector.from_text(t) for t in texts]
+    pairs = [(i, (i * 37 + 11) % len(texts)) for i in range(len(texts))]
+
+    def compare_all():
+        total = 0.0
+        for i, j in pairs:
+            total += vectors[i].cosine(vectors[j])
+        return total
+
+    benchmark(compare_all)

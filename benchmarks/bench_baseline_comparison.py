@@ -1,0 +1,32 @@
+"""§7 comparison: SPSD vs MaxMin top-k vs leader stream clustering.
+
+The paper argues in prose that the prior models cannot provide its
+guarantees; this benchmark runs all three on the same stream and asserts
+the measurable form of that argument.
+"""
+
+from conftest import show
+
+from repro.core import Thresholds
+from repro.eval.ablations import baseline_comparison
+
+
+def test_baseline_comparison(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: baseline_comparison(dataset, thresholds=Thresholds()),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    rows = {r["method"]: r for r in result.rows}
+    # SPSD's defining property: not one uncovered post.
+    assert rows["spsd_unibin"]["coverage_violations"] == 0
+    # Budgeted top-k abandons coverage wholesale.
+    assert rows["maxmin_top_k"]["coverage_violations"] > 0
+    # Content-only clustering over-prunes across author/time.
+    assert rows["leader_clustering"]["coverage_violations"] > 0
+    assert (
+        rows["leader_clustering"]["collateral_prunes"]
+        > rows["spsd_unibin"]["collateral_prunes"]
+    )

@@ -1,0 +1,24 @@
+"""Figure 2: Hamming distance distribution of random tweet pairs.
+
+Paper: a normal-shaped distribution with mean 32, bulk within 24–40.
+The benchmark times the full distribution study (fingerprint 5k synthetic
+posts, 50k random pairs) and prints the histogram series.
+"""
+
+from conftest import show
+
+from repro.eval import hamming_distribution
+from repro.eval.experiments import figure2_hamming_distribution
+
+
+def test_fig02_hamming_distribution(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure2_hamming_distribution(n_posts=5000, n_pairs=50_000, seed=31),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    # Reproduction gate: the distribution the paper shows.
+    dist = hamming_distribution(n_posts=2000, n_pairs=20_000, seed=31)
+    assert 28.0 <= dist.mean <= 34.0
+    assert dist.fraction_between(24, 40) > 0.8

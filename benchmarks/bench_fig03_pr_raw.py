@@ -1,0 +1,24 @@
+"""Figure 3: precision/recall vs SimHash Hamming threshold on RAW text.
+
+Paper: curves over 2000 labelled pairs (100 per distance 3–22); raw-text
+fingerprints give a lower curve than the normalised ones of Figure 4.
+"""
+
+from conftest import show
+
+from repro.eval import crossover, generate_labeled_pairs, precision_recall_curve
+from repro.eval.experiments import figure3_pr_raw
+
+PAIRS_PER_DISTANCE = 40  # 800 pairs; paper uses 2000
+
+
+def test_fig03_pr_raw(benchmark):
+    pairs = generate_labeled_pairs(
+        pairs_per_distance=PAIRS_PER_DISTANCE, seed=101
+    )
+    curve = benchmark(lambda: precision_recall_curve(pairs, normalized=False))
+    show(figure3_pr_raw(pairs=pairs))
+    cross = crossover(curve)
+    assert 10 <= cross.threshold <= 24
+    recalls = [p.recall for p in curve]
+    assert all(b >= a for a, b in zip(recalls, recalls[1:]))

@@ -1,0 +1,30 @@
+"""Figure 4: precision/recall vs Hamming threshold on NORMALISED text.
+
+Paper: the normalised curves dominate the raw ones, crossing at h = 18
+with precision 0.96 / recall 0.95 — the source of the λc = 18 default.
+"""
+
+from conftest import show
+
+from repro.eval import crossover, generate_labeled_pairs, precision_recall_curve
+from repro.eval.experiments import figure4_pr_normalized
+
+PAIRS_PER_DISTANCE = 40
+
+
+def test_fig04_pr_normalized(benchmark):
+    pairs = generate_labeled_pairs(
+        pairs_per_distance=PAIRS_PER_DISTANCE, seed=101
+    )
+    curve = benchmark(lambda: precision_recall_curve(pairs, normalized=True))
+    show(figure4_pr_normalized(pairs=pairs))
+
+    cross = crossover(curve)
+    assert 12 <= cross.threshold <= 20, "crossover should sit near the paper's 18"
+    assert cross.precision > 0.85
+    assert cross.recall > 0.85
+    # Normalisation must dominate the raw curves (Figure 4 vs Figure 3).
+    raw = precision_recall_curve(pairs, normalized=False)
+    raw_area = sum(p.precision + p.recall for p in raw[3:23])
+    norm_area = sum(p.precision + p.recall for p in curve[3:23])
+    assert norm_area > raw_area

@@ -1,0 +1,34 @@
+"""Figure 10: posts left after diversification, by dimension subset.
+
+Paper: all three dimensions at the default thresholds prune ~10% of the
+stream; removing any dimension changes the retained count substantially
+(each dimension has bite).
+"""
+
+from conftest import show
+
+from repro.eval.experiments import figure10_dimension_effect
+
+MAX_POSTS = 3000  # the time-disabled variant scans quadratically
+
+
+def test_fig10_dimension_effect(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure10_dimension_effect(dataset, max_posts=MAX_POSTS),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    by_label = {r["dimensions"]: r for r in result.rows}
+    full = by_label["content+time+author"]
+    # Paper's headline: roughly 10% pruned with all three dimensions.
+    assert 2.0 <= full["pruned_pct"] <= 25.0
+    # Every relaxed variant prunes at least as much.
+    for label, row in by_label.items():
+        if "off" in label or "only" in label:
+            assert row["posts_left"] <= full["posts_left"]
+    # And each dimension individually matters (visible change when removed).
+    assert by_label["time+author (content off)"]["posts_left"] < full["posts_left"]
+    assert by_label["content+author (time off)"]["posts_left"] < full["posts_left"]
+    assert by_label["content+time (author off)"]["posts_left"] < full["posts_left"]

@@ -1,0 +1,37 @@
+"""Figure 11: performance vs the time diversity threshold λt.
+
+Paper: all algorithms get faster as λt shrinks; NeighborBin and CliqueBin
+outperform UniBin on running time; NeighborBin uses the most RAM; smaller
+λt also means less RAM for everyone.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import figure11_vary_time_threshold
+
+
+def test_fig11_vary_lambda_t(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure11_vary_time_threshold(dataset),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    def series(algorithm, metric):
+        return [r[metric] for r in result.rows if r["algorithm"] == algorithm]
+
+    # Comparisons and RAM grow with lambda_t for every algorithm.
+    for algo in ("unibin", "neighborbin", "cliquebin"):
+        cmp = series(algo, "comparisons")
+        assert cmp == sorted(cmp), f"{algo} comparisons not monotone in lambda_t"
+
+    # At every lambda_t: UniBin most comparisons / least RAM; NeighborBin
+    # fewest comparisons / most RAM (the paper's Figure 11b/11c ordering).
+    lambda_ts = sorted({r["lambda_t_s"] for r in result.rows})
+    for lt in lambda_ts:
+        rows = {r["algorithm"]: r for r in result.rows if r["lambda_t_s"] == lt}
+        assert rows["unibin"]["comparisons"] >= rows["cliquebin"]["comparisons"]
+        assert rows["cliquebin"]["comparisons"] >= rows["neighborbin"]["comparisons"]
+        assert rows["unibin"]["ram_copies"] <= rows["cliquebin"]["ram_copies"]
+        assert rows["cliquebin"]["ram_copies"] <= rows["neighborbin"]["ram_copies"]

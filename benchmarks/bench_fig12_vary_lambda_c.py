@@ -1,0 +1,26 @@
+"""Figure 12: performance vs the content diversity threshold λc.
+
+Paper: varying λc from 9 to 18 only slightly affects every metric —
+SimHash catches the true near-duplicates well below 18 bits, so the
+retained-post count (and hence all costs) barely moves.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import figure12_vary_content_threshold
+
+
+def test_fig12_vary_lambda_c(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure12_vary_content_threshold(dataset),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    for algo in ("unibin", "neighborbin", "cliquebin"):
+        retentions = [
+            r["retention"] for r in result.rows if r["algorithm"] == algo
+        ]
+        spread = max(retentions) - min(retentions)
+        assert spread < 0.08, f"{algo} retention moved {spread:.3f} across lambda_c"

@@ -1,0 +1,32 @@
+"""Figure 13: performance vs the author diversity threshold λa.
+
+Paper: larger λa densifies the author graph (d, c, s all grow), which
+sharply inflates NeighborBin's and CliqueBin's RAM and insertions while
+UniBin stays stable; at large λa UniBin becomes the best choice.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import figure13_vary_author_threshold
+
+
+def test_fig13_vary_lambda_a(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure13_vary_author_threshold(dataset),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    def series(algorithm, metric):
+        return [r[metric] for r in result.rows if r["algorithm"] == algorithm]
+
+    # The binned algorithms' replication explodes with lambda_a…
+    for algo in ("neighborbin", "cliquebin"):
+        ram = series(algo, "ram_copies")
+        assert ram == sorted(ram)
+        assert ram[-1] > 3 * ram[0], f"{algo} RAM should grow sharply"
+    # …while UniBin stays flat (its only driver is retention, which is
+    # nearly constant).
+    uni_ram = series("unibin", "ram_copies")
+    assert max(uni_ram) < 1.5 * max(1, min(uni_ram))

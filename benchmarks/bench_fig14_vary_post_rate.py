@@ -1,0 +1,33 @@
+"""Figure 14: performance vs post generation rate (stream subsampling).
+
+Paper: at low throughput (1%–5% sample) UniBin beats the binned
+algorithms — with few posts per window the comparison savings cannot pay
+for the extra insertions; at full rate the binned algorithms win.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import figure14_vary_post_rate
+
+
+def test_fig14_vary_post_rate(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure14_vary_post_rate(dataset),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    def rows_at(ratio):
+        return {r["algorithm"]: r for r in result.rows if r["sample_ratio"] == ratio}
+
+    low = rows_at(0.01)
+    full = rows_at(1.0)
+    # Low throughput: UniBin does no more total bin operations (comparisons
+    # + insertions) than the binned algorithms — the regime where it wins.
+    uni_ops = low["unibin"]["comparisons"] + low["unibin"]["insertions"]
+    for algo in ("neighborbin", "cliquebin"):
+        binned_ops = low[algo]["comparisons"] + low[algo]["insertions"]
+        assert uni_ops <= binned_ops
+    # Full throughput: UniBin's comparisons dominate everything.
+    assert full["unibin"]["comparisons"] > 10 * full["neighborbin"]["comparisons"]

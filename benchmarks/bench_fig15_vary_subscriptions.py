@@ -1,0 +1,40 @@
+"""Figure 15: performance vs number of subscribed authors.
+
+Paper: UniBin slightly outperforms the binned algorithms when the
+subscription set is small (low resulting throughput); costs grow with the
+subscription count for every algorithm.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import figure15_vary_subscriptions
+
+
+def test_fig15_vary_subscriptions(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: figure15_vary_subscriptions(dataset),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    counts = sorted({r["subscriptions"] for r in result.rows})
+
+    def series(algorithm, metric):
+        out = []
+        for count in counts:
+            row = next(
+                r
+                for r in result.rows
+                if r["algorithm"] == algorithm and r["subscriptions"] == count
+            )
+            out.append(row[metric])
+        return out
+
+    # Post volume (and so processed posts) grows with subscriptions.
+    posts = series("unibin", "posts")
+    assert posts == sorted(posts)
+    # Comparisons grow super-linearly for UniBin (r·n² effect).
+    cmp = series("unibin", "comparisons")
+    assert cmp == sorted(cmp)
+    assert cmp[-1] > (posts[-1] / max(1, posts[0])) * max(1, cmp[0])

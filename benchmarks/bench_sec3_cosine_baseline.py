@@ -1,0 +1,41 @@
+"""§3 cosine baseline: crossover ≈ 0.7 similarity, quality matching SimHash.
+
+Paper: "the precision and recall lines cross at cosine similarity 0.7 …
+precision and recall of 0.96 and 0.95 respectively, which is the same as
+what we achieved using SimHash" — i.e. SimHash sacrifices no quality.
+"""
+
+from conftest import show
+
+from repro.eval import (
+    cosine_crossover,
+    cosine_curve,
+    crossover,
+    generate_labeled_pairs,
+    precision_recall_curve,
+)
+from repro.eval.experiments import sec3_cosine_baseline
+
+PAIRS_PER_DISTANCE = 40
+
+
+def test_sec3_cosine_baseline(benchmark):
+    pairs = generate_labeled_pairs(
+        pairs_per_distance=PAIRS_PER_DISTANCE, seed=101
+    )
+    curve = benchmark.pedantic(
+        lambda: cosine_curve(pairs), rounds=1, iterations=1
+    )
+    show(sec3_cosine_baseline(pairs=pairs))
+
+    cos_cross = cosine_crossover(curve)
+    sim_cross = crossover(precision_recall_curve(pairs, normalized=True))
+    assert 0.4 <= cos_cross.threshold <= 0.9
+    # Equal effectiveness: the two measures' crossover F1 within a few points.
+    cos_f1 = 2 * cos_cross.precision * cos_cross.recall / (
+        cos_cross.precision + cos_cross.recall
+    )
+    sim_f1 = 2 * sim_cross.precision * sim_cross.recall / (
+        sim_cross.precision + sim_cross.recall
+    )
+    assert abs(cos_f1 - sim_f1) < 0.1

@@ -1,0 +1,28 @@
+"""§6.2 topology statistics: d, c, s vs λa.
+
+Paper (on its 20,150-author sample): λa = 0.7 → d = 113.7, c = 29,
+s = 20; λa = 0.8 → d = 437.3, c = 106, s = 38. The absolute values are
+graph-specific; the reproduced property is the sharp densification —
+every parameter grows substantially from 0.7 to 0.8.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import topology_statistics
+
+
+def test_sec62_topology(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: topology_statistics(dataset, lambda_as=(0.7, 0.8)),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+
+    at07, at08 = result.rows
+    # Densification factors: the paper sees ~3.8x on d; require clear growth.
+    assert at08["d_neighbors_per_author"] > 1.5 * at07["d_neighbors_per_author"]
+    assert at08["c_cliques_per_author"] >= at07["c_cliques_per_author"]
+    assert at08["s_avg_clique_size"] >= at07["s_avg_clique_size"]
+    # c <= d (an author is in at most as many cliques as it has edges).
+    assert at07["c_cliques_per_author"] <= at07["d_neighbors_per_author"] + 1

@@ -1,0 +1,26 @@
+"""Real-time capacity: decision latency and sustainable speedup.
+
+The paper's engineering requirement is an instant decision per arriving
+post at firehose rates. This benchmark measures each algorithm's
+per-decision latency distribution and the largest real-time compression
+of the stream a single-threaded engine can absorb.
+"""
+
+from conftest import show
+
+from repro.eval import service_capacity
+
+
+def test_service_capacity(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: service_capacity(dataset), rounds=1, iterations=1
+    )
+    show(result)
+
+    rows = {r["algorithm"]: r for r in result.rows}
+    for algorithm, row in rows.items():
+        # Real-time requirement with massive headroom at this scale.
+        assert row["sustainable_speedup"] > 10, algorithm
+        assert row["p99_us"] < 100_000, algorithm  # every decision < 100 ms
+    # The binned algorithms' latency advantage mirrors Figure 11.
+    assert rows["neighborbin"]["mean_us"] < rows["unibin"]["mean_us"]

@@ -1,0 +1,21 @@
+"""Table 1: example near-duplicate tweet pairs with Hamming distances.
+
+Paper: three example pairs at distances 3, 8 and 13 (re-shortened URL,
+hashtag-decorated quote, wire-service long form). The benchmark times the
+pair search and prints generated counterparts.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import table1_example_pairs
+
+
+def test_table1_example_pairs(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_example_pairs(seed=77), rounds=1, iterations=1
+    )
+    show(result)
+    distances = [row["hamming"] for row in result.rows]
+    assert len(distances) == 3
+    for measured, target in zip(distances, (3, 8, 13)):
+        assert abs(measured - target) <= 3

@@ -1,0 +1,33 @@
+"""Table 2: the §4.4 analytical cost model vs measured counts.
+
+Paper: per-λt-window estimates — UniBin r·n RAM / r·n² comparisons,
+NeighborBin (d+1)·r·n / ((d+1)/m)·r·n², CliqueBin c·r·n / (s·c/m)·r·n².
+The benchmark measures all six parameters from the synthetic workload and
+checks the model predicts the measured *ordering* on every metric.
+"""
+
+from conftest import show
+
+from repro.eval.experiments import table2_cost_model
+
+
+def test_table2_cost_model(benchmark, dataset):
+    result = benchmark.pedantic(
+        lambda: table2_cost_model(dataset), rounds=1, iterations=1
+    )
+    show(result)
+
+    rows = {r["algorithm"]: r for r in result.rows}
+    for metric in ("ram", "cmp_per_window", "ins_per_window"):
+        predicted_order = sorted(rows, key=lambda a: rows[a][f"{metric}_predicted"])
+        measured_order = sorted(rows, key=lambda a: rows[a][f"{metric}_measured"])
+        assert predicted_order == measured_order, metric
+
+    # Predictions should be right to within a small constant factor.
+    for algo, row in rows.items():
+        for metric in ("ram", "cmp_per_window", "ins_per_window"):
+            predicted = row[f"{metric}_predicted"]
+            measured = row[f"{metric}_measured"]
+            if measured > 0 and predicted > 0:
+                ratio = predicted / measured
+                assert 0.2 <= ratio <= 5.0, f"{algo} {metric}: ratio {ratio:.2f}"

@@ -1,0 +1,35 @@
+"""Table 3: qualitative algorithm comparison — validated against a run.
+
+Paper: UniBin Low RAM / High comparisons / Low insertions; NeighborBin
+High/Low/High; CliqueBin Moderate/Moderate/Moderate. The benchmark runs
+the three algorithms at the defaults and checks the measured quantities
+realise the claimed Low < Moderate < High orderings.
+"""
+
+from conftest import show
+
+from repro.eval import compare_algorithms
+from repro.eval.experiments import table3_properties
+
+
+def test_table3_properties(benchmark, dataset, thresholds):
+    graph = dataset.graph(thresholds.lambda_a)
+    runs = benchmark.pedantic(
+        lambda: compare_algorithms(thresholds, graph, dataset.posts),
+        rounds=1,
+        iterations=1,
+    )
+    show(table3_properties())
+
+    by_name = {r.algorithm: r for r in runs}
+    uni, neigh, clique = (
+        by_name["unibin"],
+        by_name["neighborbin"],
+        by_name["cliquebin"],
+    )
+    # RAM: Low (uni) < Moderate (clique) < High (neighbor).
+    assert uni.peak_stored_copies < clique.peak_stored_copies < neigh.peak_stored_copies
+    # Comparisons: Low (neighbor) < Moderate (clique) < High (uni).
+    assert neigh.comparisons < clique.comparisons < uni.comparisons
+    # Insertions: Low (uni) < Moderate (clique) < High (neighbor).
+    assert uni.insertions < clique.insertions < neigh.insertions

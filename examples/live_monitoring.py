@@ -1,0 +1,56 @@
+"""Operational monitoring of a diversified stream.
+
+Shows the deployment-facing API: a :class:`DiversifiedStream` iterator in
+the consume loop (with a prune hook), and the windowed time-series a
+service would export to its metrics system — per-hour arrivals, prune
+rate, work done and resident memory.
+
+Run:  python examples/live_monitoring.py
+"""
+
+from repro.core import DiversifiedStream, Thresholds, UniBin
+from repro.eval import render_table, windowed_timeseries
+from repro.social import small_dataset
+
+
+def main() -> None:
+    dataset = small_dataset()
+    thresholds = Thresholds()
+    graph = dataset.graph(thresholds.lambda_a)
+
+    # --- consume loop, as an app would run it ---------------------------
+    pruned_log = []
+    stream = DiversifiedStream(
+        UniBin(thresholds, graph),
+        dataset.posts,
+        on_prune=pruned_log.append,
+        purge_every=500,
+    )
+    shown = sum(1 for _ in stream)  # a real app would render each post
+    print(
+        f"timeline rendered {shown} posts; {stream.pruned} redundant posts "
+        f"hidden ({stream.pruned / stream.processed:.1%} of the stream)"
+    )
+    if pruned_log:
+        print(f"  last hidden post: {pruned_log[-1].text[:60]}")
+    print()
+
+    # --- metrics export: one row per hour --------------------------------
+    rows = [
+        row.as_dict()
+        for row in windowed_timeseries(
+            UniBin(thresholds, graph), dataset.posts, window=3600.0
+        )
+    ]
+    print(render_table(rows, title="Per-hour operational metrics"))
+    print()
+    busiest = max(rows, key=lambda r: r["arrivals"])
+    print(
+        f"busiest hour: {busiest['arrivals']} arrivals, "
+        f"prune rate {busiest['prune_rate']:.1%}, "
+        f"{busiest['stored_copies']} posts resident at hour end"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Central diversification service for many users (M-SPSD, paper §5).
+
+Every author in the sampled network is also a user following their
+followees. The example runs the per-user baseline (M_UniBin) and the
+shared-connected-component engine (S_UniBin) over the same stream, shows
+that every user's timeline is identical, and reports the computation the
+sharing optimisation saved — the paper's Figure 16 in miniature.
+
+Run:  python examples/multi_user_service.py
+"""
+
+from repro import Thresholds, make_multiuser
+from repro.eval import render_table, run_multiuser
+from repro.social import small_dataset
+
+
+def main() -> None:
+    print("building synthetic network + stream...")
+    dataset = small_dataset()
+    thresholds = Thresholds()
+    graph = dataset.graph(thresholds.lambda_a)
+    subscriptions = dataset.subscriptions()
+    print(
+        f"  {len(subscriptions)} users, average "
+        f"{subscriptions.average_subscriptions():.1f} subscriptions "
+        f"(median {subscriptions.median_subscriptions():.0f})"
+    )
+
+    m_engine = make_multiuser("m_unibin", thresholds, graph, subscriptions)
+    s_engine = make_multiuser("s_unibin", thresholds, graph, subscriptions)
+    print(
+        f"  M_UniBin maintains {m_engine.instance_count()} per-user instances; "
+        f"S_UniBin {s_engine.instance_count()} distinct components "
+        f"(sharing ratio {s_engine.sharing_ratio():.0%})"
+    )
+    print()
+
+    rows = []
+    timelines = {}
+    for engine in (m_engine, s_engine):
+        run = run_multiuser(engine, dataset.posts)
+        rows.append(run.as_row())
+        timelines[engine.name] = run
+
+    print(render_table(rows, title="M-SPSD: per-user vs shared-component"))
+    print()
+
+    m_run, s_run = timelines["m_unibin"], timelines["s_unibin"]
+    assert m_run.posts_admitted == s_run.posts_admitted, "outputs must match"
+    time_saved = 1 - s_run.wall_time / m_run.wall_time if m_run.wall_time else 0.0
+    cmp_saved = 1 - s_run.comparisons / m_run.comparisons
+    print(
+        f"S_UniBin produced identical timelines with {time_saved:.0%} less "
+        f"running time and {cmp_saved:.0%} fewer post comparisons "
+        "(paper: 43% less time, 27% less RAM on its crawl)"
+    )
+
+    # Show one user's diversified timeline head.
+    fresh_engine = make_multiuser("s_unibin", thresholds, graph, subscriptions)
+    user_timelines = fresh_engine.run(dataset.posts)
+    user, timeline = max(user_timelines.items(), key=lambda kv: len(kv[1]))
+    print()
+    print(f"sample: user {user} timeline has {len(timeline)} posts; first 3:")
+    for post in timeline[:3]:
+        print(f"  [{post.timestamp:8.0f}s] @author{post.author}: {post.text[:58]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: diversify a small post stream across all three dimensions.
+
+Builds the paper's running example by hand — four authors whose similarity
+graph is a triangle plus a tail (Figure 5a) — and streams five posts
+through UniBin, printing each admit/prune decision and why.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Post, Thresholds, UniBin
+from repro.authors import AuthorGraph
+from repro.simhash import hamming
+
+
+def main() -> None:
+    # Author similarity graph G (paper Figure 5a): a1–a2, a1–a3, a2–a3, a3–a4.
+    graph = AuthorGraph(
+        nodes=[1, 2, 3, 4],
+        edges=[(1, 2), (1, 3), (2, 3), (3, 4)],
+    )
+
+    # Thresholds: content within 18 SimHash bits, time within 10 minutes,
+    # author distance within 0.7 (the default).
+    thresholds = Thresholds(lambda_c=18, lambda_t=600.0, lambda_a=0.7)
+    diversifier = UniBin(thresholds, graph)
+
+    stream = [
+        Post.create(1, 1, "Over 300 people missing after ferry sinks (Reuters) "
+                          "http://t.co/9w2JrurhKm", timestamp=0.0),
+        Post.create(2, 2, "Local team wins the season final in overtime thriller",
+                    timestamp=60.0),
+        Post.create(3, 3, "over 300 people MISSING after ferry sinks (reuters) "
+                          "http://t.co/E1vKp9JJfe", timestamp=120.0),
+        Post.create(4, 4, "Quarterly results beat expectations on cloud growth",
+                    timestamp=180.0),
+        Post.create(5, 3, "Quarterly results beat expectations on cloud growth "
+                          "#earnings", timestamp=240.0),
+    ]
+
+    print(f"thresholds: lambda_c={thresholds.lambda_c} bits, "
+          f"lambda_t={thresholds.lambda_t:.0f}s, lambda_a={thresholds.lambda_a}")
+    print()
+    for post in stream:
+        admitted = diversifier.offer(post)
+        verdict = "ADMIT" if admitted else "prune"
+        print(f"[{verdict}] P{post.post_id} (author a{post.author}, "
+              f"t={post.timestamp:.0f}s): {post.text[:60]}")
+
+    stats = diversifier.stats
+    print()
+    print(f"admitted {stats.posts_admitted}/{stats.posts_processed} posts "
+          f"({stats.comparisons} pairwise comparisons)")
+
+    # Why was P3 pruned? Show the three dimensions against P1.
+    p1, p3 = stream[0], stream[2]
+    print()
+    print("P3 vs P1 across the three dimensions:")
+    print(f"  content: Hamming = {hamming(p1.fingerprint, p3.fingerprint)} "
+          f"<= {thresholds.lambda_c}  (re-shortened URL + case noise)")
+    print(f"  time:    |t3 - t1| = {abs(p3.timestamp - p1.timestamp):.0f}s "
+          f"<= {thresholds.lambda_t:.0f}s")
+    print(f"  author:  a1 ~ a3 in G = {graph.are_similar(1, 3)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Slowing the Firehose: Multi-Dimensional
+Diversity on Social Post Streams" (Cheng, Chrobak, Hristidis; EDBT 2016).
+
+The library diversifies social post streams in real time: every arriving
+post is admitted to the output sub-stream unless an already-admitted post
+covers it across all three diversity dimensions — content (SimHash),
+time (timestamp gap) and author (friend-vector cosine).
+
+Quickstart::
+
+    from repro import Post, Thresholds, UniBin
+    from repro.authors import AuthorGraph
+
+    graph = AuthorGraph(nodes=[1, 2], edges=[(1, 2)])
+    diversifier = UniBin(Thresholds(lambda_t=600.0), graph)
+    for post in stream:            # posts in timestamp order
+        if diversifier.offer(post):
+            show_to_user(post)
+
+Packages:
+
+* :mod:`repro.core` — the model, the three SPSD algorithms, cost model,
+  use-case advisor.
+* :mod:`repro.multiuser` — M-SPSD engines (per-user and shared-component).
+* :mod:`repro.simhash` — content distance substrate.
+* :mod:`repro.authors` — author distance substrate.
+* :mod:`repro.social` — synthetic Twitter-like data substrate.
+* :mod:`repro.eval` — experiment harness reproducing every figure/table.
+"""
+
+from .core import (
+    CliqueBin,
+    NeighborBin,
+    Post,
+    StreamDiversifier,
+    Thresholds,
+    UniBin,
+    make_diversifier,
+    recommend,
+)
+from .errors import (
+    ConfigurationError,
+    DatasetError,
+    GraphError,
+    ReproError,
+    StreamOrderError,
+    UnknownAlgorithmError,
+    UnknownAuthorError,
+)
+from .multiuser import (
+    IndependentMultiUser,
+    SharedComponentMultiUser,
+    SubscriptionTable,
+    make_multiuser,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CliqueBin",
+    "ConfigurationError",
+    "DatasetError",
+    "GraphError",
+    "IndependentMultiUser",
+    "NeighborBin",
+    "Post",
+    "ReproError",
+    "SharedComponentMultiUser",
+    "StreamDiversifier",
+    "StreamOrderError",
+    "SubscriptionTable",
+    "Thresholds",
+    "UniBin",
+    "UnknownAlgorithmError",
+    "UnknownAuthorError",
+    "make_diversifier",
+    "make_multiuser",
+    "recommend",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Author-distance substrate: friend vectors, similarity graph, cliques.
+
+Public surface:
+
+* :class:`FriendVectors` — followee sets with cosine similarity/distance.
+* :func:`pairwise_similarities` — all-pairs similarity via inverted index.
+* :class:`AuthorGraph` — the thresholded similarity graph G.
+* :func:`greedy_clique_cover` / :class:`CliqueCover` — §4.3 edge cover.
+* :func:`connected_components` / :class:`ComponentCatalog` — §5 sharing.
+* :class:`SimilarityMaintainer` — incremental edge maintenance under
+  follow/unfollow mutations (production companion to the offline batch).
+"""
+
+from .cliques import CliqueCover, greedy_clique_cover, per_edge_cover, verify_cover
+from .components import ComponentCatalog, connected_components, user_components
+from .graph import AuthorGraph
+from .incremental import SimilarityMaintainer
+from .similarity import candidate_pairs, pairwise_similarities, similarity_values
+from .vectors import FriendVectors
+
+__all__ = [
+    "AuthorGraph",
+    "CliqueCover",
+    "ComponentCatalog",
+    "FriendVectors",
+    "SimilarityMaintainer",
+    "candidate_pairs",
+    "connected_components",
+    "greedy_clique_cover",
+    "pairwise_similarities",
+    "per_edge_cover",
+    "similarity_values",
+    "user_components",
+    "verify_cover",
+]

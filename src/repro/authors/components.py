@@ -1,0 +1,96 @@
+"""Connected components of author graphs (paper §5).
+
+The M-SPSD sharing optimisation rests on one observation: if a set of
+authors forms a connected component of a user's subscription subgraph Gi,
+then the diversified sub-stream of that component's posts is the same for
+*every* user whose Gi contains that exact component — no outside author can
+cover (or be covered by) its posts. So components are the sharable unit of
+computation, and we canonicalise them as frozensets to deduplicate across
+users.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from .graph import AuthorGraph
+
+
+def connected_components(graph: AuthorGraph) -> list[frozenset[int]]:
+    """All connected components, as frozensets, in first-seen order.
+
+    Isolated nodes form singleton components.
+    """
+    seen: set[int] = set()
+    components: list[frozenset[int]] = []
+    for start in graph.nodes:
+        if start in seen:
+            continue
+        queue = deque((start,))
+        seen.add(start)
+        component = {start}
+        while queue:
+            node = queue.popleft()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(frozenset(component))
+    return components
+
+
+def user_components(
+    graph: AuthorGraph, subscriptions: Iterable[int]
+) -> list[frozenset[int]]:
+    """Connected components of the induced subgraph Gi for one user's
+    subscription set."""
+    return connected_components(graph.subgraph(subscriptions))
+
+
+class ComponentCatalog:
+    """Deduplicated components across many users (the S_* substrate).
+
+    Building the catalog computes each user's components once, keys them by
+    node set, and records which users own which distinct component. The
+    sharing win of S_UniBin et al. is exactly ``total_user_components -
+    distinct_count``: every duplicate component is a diversification run the
+    M_* algorithms repeat and the S_* algorithms skip.
+    """
+
+    __slots__ = ("components", "users_of", "components_of_user", "_index_of")
+
+    def __init__(self, graph: AuthorGraph, subscriptions: dict[int, Iterable[int]]):
+        self.components: list[frozenset[int]] = []
+        self._index_of: dict[frozenset[int], int] = {}
+        self.users_of: list[list[int]] = []
+        self.components_of_user: dict[int, list[int]] = {}
+        for user, subs in subscriptions.items():
+            indices: list[int] = []
+            for component in user_components(graph, subs):
+                idx = self._index_of.get(component)
+                if idx is None:
+                    idx = len(self.components)
+                    self._index_of[component] = idx
+                    self.components.append(component)
+                    self.users_of.append([])
+                self.users_of[idx].append(user)
+                indices.append(idx)
+            self.components_of_user[user] = indices
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self.components)
+
+    @property
+    def total_user_components(self) -> int:
+        """Component instances summed over users (what M_* would process)."""
+        return sum(len(v) for v in self.components_of_user.values())
+
+    def sharing_ratio(self) -> float:
+        """Fraction of per-user component work eliminated by deduplication."""
+        total = self.total_user_components
+        if total == 0:
+            return 0.0
+        return 1.0 - self.distinct_count / total

@@ -1,0 +1,160 @@
+"""Thresholded author similarity graph G (paper §4).
+
+Nodes are author ids; an undirected edge joins two authors whose distance
+(1 − followee cosine) is at most λa. The graph is the shared substrate of
+all three SPSD algorithms: UniBin and NeighborBin query neighbourhoods,
+CliqueBin's edge cover is computed from it, and the M-SPSD sharing
+optimisation partitions its per-user subgraphs into connected components.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..errors import GraphError, UnknownAuthorError
+from .vectors import FriendVectors
+
+#: Tolerance for the similarity cut: ``1.0 - lambda_a`` is not exactly
+#: representable (e.g. 1.0 - 0.7 = 0.30000000000000004), and a pair at
+#: exactly the threshold similarity must be an edge.
+_SIM_EPSILON = 1e-9
+
+
+class AuthorGraph:
+    """Undirected graph over author ids with O(1) adjacency tests."""
+
+    __slots__ = ("_adjacency",)
+
+    def __init__(self, nodes: Iterable[int], edges: Iterable[tuple[int, int]]):
+        self._adjacency: dict[int, set[int]] = {node: set() for node in nodes}
+        for a, b in edges:
+            self.add_edge(a, b)
+
+    @classmethod
+    def from_vectors(cls, vectors: FriendVectors, lambda_a: float) -> "AuthorGraph":
+        """Build G for author-distance threshold ``lambda_a``.
+
+        Two authors are adjacent iff ``distance(a, b) <= lambda_a``, i.e.
+        ``similarity(a, b) >= 1 - lambda_a``. ``lambda_a >= 1`` would connect
+        *every* pair (distance is at most 1); we honour that degenerate case
+        literally since the paper sweeps λa only within (0, 1).
+        """
+        if lambda_a < 0:
+            raise GraphError(f"lambda_a must be non-negative, got {lambda_a}")
+        min_sim = 1.0 - lambda_a - _SIM_EPSILON
+        graph = cls(vectors.authors, ())
+        if min_sim <= 0.0:
+            authors = vectors.authors
+            for i, a in enumerate(authors):
+                for b in authors[i + 1 :]:
+                    graph.add_edge(a, b)
+            return graph
+        from .similarity import pairwise_similarities  # local import: avoids cycle
+
+        for a, b in pairwise_similarities(vectors, min_similarity=min_sim):
+            graph.add_edge(a, b)
+        return graph
+
+    @classmethod
+    def from_similarities(
+        cls,
+        nodes: Iterable[int],
+        similarities: Mapping[tuple[int, int], float],
+        lambda_a: float,
+    ) -> "AuthorGraph":
+        """Build G from a precomputed similarity table (reuses one all-pairs
+        computation across a λa sweep, as the evaluation harness does)."""
+        graph = cls(nodes, ())
+        min_sim = 1.0 - lambda_a - _SIM_EPSILON
+        for (a, b), sim in similarities.items():
+            if sim >= min_sim:
+                graph.add_edge(a, b)
+        return graph
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_node(self, node: int) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._adjacency.setdefault(node, set())
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Add the undirected edge (a, b); both endpoints must be distinct.
+
+        Unknown endpoints are added as nodes first, so edge lists can be
+        loaded without a separate node pass.
+        """
+        if a == b:
+            raise GraphError(f"self-loop on author {a} is not allowed")
+        self._adjacency.setdefault(a, set()).add(b)
+        self._adjacency.setdefault(b, set()).add(a)
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    @property
+    def nodes(self) -> list[int]:
+        return list(self._adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(n) for n in self._adjacency.values()) // 2
+
+    def edges(self) -> Iterable[tuple[int, int]]:
+        """Yield each undirected edge once, as (small, large)."""
+        for a, neighbors in self._adjacency.items():
+            for b in neighbors:
+                if a < b:
+                    yield (a, b)
+
+    def neighbors(self, node: int) -> set[int]:
+        """Neighbour set of ``node`` (a live view — do not mutate)."""
+        try:
+            return self._adjacency[node]
+        except KeyError:
+            raise UnknownAuthorError(f"author {node!r} not in graph") from None
+
+    def degree(self, node: int) -> int:
+        return len(self.neighbors(node))
+
+    def are_similar(self, a: int, b: int) -> bool:
+        """The author-coverage test: same author, or adjacent in G."""
+        if a == b:
+            return True
+        return b in self.neighbors(a)
+
+    def subgraph(self, nodes: Iterable[int]) -> "AuthorGraph":
+        """Induced subgraph Gi on a user's subscription set (paper §4).
+
+        Nodes absent from this graph are rejected — a subscription to an
+        unknown author indicates upstream data inconsistency.
+        """
+        node_set = set(nodes)
+        missing = node_set - self._adjacency.keys()
+        if missing:
+            raise UnknownAuthorError(f"authors not in graph: {sorted(missing)[:5]}")
+        sub = AuthorGraph(node_set, ())
+        for a in node_set:
+            for b in self._adjacency[a]:
+                if b in node_set and a < b:
+                    sub.add_edge(a, b)
+        return sub
+
+    # -- statistics (paper §4.4 topology parameters) -----------------------
+
+    def average_degree(self) -> float:
+        """Mean neighbours per author — the paper's parameter *d*."""
+        if not self._adjacency:
+            return 0.0
+        return sum(len(n) for n in self._adjacency.values()) / len(self._adjacency)
+
+    def density(self) -> float:
+        """Edges over possible edges, in [0, 1]."""
+        m = len(self._adjacency)
+        if m < 2:
+            return 0.0
+        return self.edge_count / (m * (m - 1) / 2)

@@ -1,0 +1,164 @@
+"""Incremental author-similarity maintenance.
+
+The paper precomputes the author similarity graph offline ("once every
+week"), arguing it changes slowly. A deployed service still has to *apply*
+those slow changes: when a follow edge (a → f) appears or disappears, only
+the similarities between ``a`` and the other followers of the touched
+followees can change. :class:`SimilarityMaintainer` tracks followee sets
+plus the follower inverted index and recomputes exactly that affected set,
+reporting which author-graph edges crossed the λa threshold so bins/covers
+can be refreshed selectively.
+
+Cost per update: O(followers(f) + |friends(a)|) similarity evaluations
+instead of the O(m²) full recomputation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from ..errors import GraphError, UnknownAuthorError
+
+
+class SimilarityMaintainer:
+    """Mutable followee sets with incremental pairwise-similarity updates.
+
+    The maintained state mirrors :class:`~repro.authors.FriendVectors`
+    (binary followee vectors, cosine similarity) but supports ``follow`` /
+    ``unfollow`` mutations. ``threshold`` is the *similarity* cut
+    (``1 - lambda_a``); :meth:`edges` is always exactly the λa author-graph
+    edge set for the current state, and each mutation returns the edge
+    delta it caused.
+    """
+
+    def __init__(
+        self,
+        friends: Mapping[int, Iterable[int]],
+        *,
+        threshold: float,
+    ):
+        if not 0.0 < threshold <= 1.0:
+            raise GraphError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self._friends: dict[int, set[int]] = {
+            author: set(f) for author, f in friends.items()
+        }
+        # followee -> authors following it (within the maintained universe).
+        self._followers: dict[int, set[int]] = {}
+        for author, followees in self._friends.items():
+            for followee in followees:
+                self._followers.setdefault(followee, set()).add(author)
+        self._edges: set[tuple[int, int]] = set()
+        for author in self._friends:
+            self._refresh_author(author)
+
+    # -- similarity ---------------------------------------------------------
+
+    def similarity(self, a: int, b: int) -> float:
+        """Current cosine similarity of the two authors' followee sets."""
+        fa, fb = self._friends_of(a), self._friends_of(b)
+        if not fa or not fb:
+            return 0.0
+        shared = len(fa & fb)
+        if shared == 0:
+            return 0.0
+        return shared / math.sqrt(len(fa) * len(fb))
+
+    def _friends_of(self, author: int) -> set[int]:
+        try:
+            return self._friends[author]
+        except KeyError:
+            raise UnknownAuthorError(f"author {author!r} not maintained") from None
+
+    @property
+    def authors(self) -> list[int]:
+        return list(self._friends)
+
+    def edges(self) -> set[tuple[int, int]]:
+        """The thresholded similarity edges, as (small, large) pairs."""
+        return set(self._edges)
+
+    # -- mutation -----------------------------------------------------------
+
+    def follow(self, author: int, followee: int) -> dict[str, set[tuple[int, int]]]:
+        """Record ``author`` following ``followee``; return the edge delta
+        as ``{"added": {...}, "removed": {...}}``."""
+        friends = self._friends_of(author)
+        if followee in friends:
+            return {"added": set(), "removed": set()}
+        friends.add(followee)
+        self._followers.setdefault(followee, set()).add(author)
+        return self._recheck_affected(author, followee)
+
+    def unfollow(self, author: int, followee: int) -> dict[str, set[tuple[int, int]]]:
+        """Record ``author`` unfollowing ``followee``; return the edge delta."""
+        friends = self._friends_of(author)
+        if followee not in friends:
+            return {"added": set(), "removed": set()}
+        friends.discard(followee)
+        followers = self._followers.get(followee)
+        if followers is not None:
+            followers.discard(author)
+            if not followers:
+                del self._followers[followee]
+        return self._recheck_affected(author, followee)
+
+    # -- internals ------------------------------------------------------------
+
+    def _affected_partners(self, author: int, followee: int) -> set[int]:
+        """Authors whose similarity to ``author`` may have changed.
+
+        A followee-set change of ``author`` alters its norm, so *every*
+        partner with non-zero overlap is affected; that is exactly the
+        co-followers of any of ``author``'s followees, plus the followers
+        of the touched followee (overlap may have gone to/from zero).
+        """
+        partners: set[int] = set()
+        for f in self._friends_of(author):
+            partners |= self._followers.get(f, set())
+        partners |= {
+            p for p in self._followers.get(followee, set()) if p in self._friends
+        }
+        partners.discard(author)
+        # Edges can also *disappear* for partners that no longer share
+        # anything; those still hold an edge entry — recheck them.
+        for x, y in self._edges:
+            if x == author:
+                partners.add(y)
+            elif y == author:
+                partners.add(x)
+        return partners
+
+    def _recheck_pair(self, a: int, b: int, delta_added, delta_removed) -> None:
+        key = (a, b) if a < b else (b, a)
+        now_edge = self.similarity(a, b) >= self.threshold - 1e-12
+        was_edge = key in self._edges
+        if now_edge and not was_edge:
+            self._edges.add(key)
+            delta_added.add(key)
+        elif was_edge and not now_edge:
+            self._edges.discard(key)
+            delta_removed.add(key)
+
+    def _recheck_affected(
+        self, author: int, followee: int
+    ) -> dict[str, set[tuple[int, int]]]:
+        added: set[tuple[int, int]] = set()
+        removed: set[tuple[int, int]] = set()
+        for partner in self._affected_partners(author, followee):
+            self._recheck_pair(author, partner, added, removed)
+        return {"added": added, "removed": removed}
+
+    def _refresh_author(self, author: int) -> None:
+        """Full recheck of one author's edges (used at construction)."""
+        partners: set[int] = set()
+        for f in self._friends_of(author):
+            partners |= {
+                p for p in self._followers.get(f, set()) if p in self._friends
+            }
+        partners.discard(author)
+        added: set[tuple[int, int]] = set()
+        removed: set[tuple[int, int]] = set()
+        for partner in partners:
+            self._recheck_pair(author, partner, added, removed)

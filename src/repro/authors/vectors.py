@@ -1,0 +1,75 @@
+"""Friend/followee vectors for author similarity (paper §2).
+
+The paper measures author similarity as the cosine similarity of the two
+authors' *friend vectors* — on Twitter, the binary vector over who they
+follow (their followees). This module holds that representation: a
+:class:`FriendVectors` table mapping each author id to a frozen set of
+followee ids, with the norms precomputed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from ..errors import UnknownAuthorError
+
+
+class FriendVectors:
+    """Binary followee vectors for a universe of authors.
+
+    ``friends[a]`` is the set of accounts author ``a`` follows. Vectors are
+    binary, so the L2 norm of author ``a`` is ``sqrt(len(friends[a]))`` and
+    the dot product of two authors is the size of their followee
+    intersection.
+    """
+
+    __slots__ = ("_friends", "_norms")
+
+    def __init__(self, friends: Mapping[int, Iterable[int]]):
+        self._friends: dict[int, frozenset[int]] = {
+            author: frozenset(f) for author, f in friends.items()
+        }
+        self._norms: dict[int, float] = {
+            author: math.sqrt(len(f)) for author, f in self._friends.items()
+        }
+
+    def __len__(self) -> int:
+        return len(self._friends)
+
+    def __contains__(self, author: int) -> bool:
+        return author in self._friends
+
+    @property
+    def authors(self) -> list[int]:
+        """All author ids, in insertion order."""
+        return list(self._friends)
+
+    def friends_of(self, author: int) -> frozenset[int]:
+        """Followee set of ``author``; raises for unknown authors."""
+        try:
+            return self._friends[author]
+        except KeyError:
+            raise UnknownAuthorError(f"author {author!r} has no friend vector") from None
+
+    def similarity(self, a: int, b: int) -> float:
+        """Cosine similarity of the two authors' followee vectors in [0, 1].
+
+        An author with an empty followee set has similarity 0 with everyone
+        (including themselves under this formula, though self-similarity is
+        never queried by the diversifiers — same-author posts are always
+        author-similar by definition).
+        """
+        fa, fb = self.friends_of(a), self.friends_of(b)
+        if not fa or not fb:
+            return 0.0
+        if len(fa) > len(fb):
+            fa, fb = fb, fa
+        shared = sum(1 for f in fa if f in fb)
+        if shared == 0:
+            return 0.0
+        return shared / (self._norms[a] * self._norms[b])
+
+    def distance(self, a: int, b: int) -> float:
+        """Author distance = 1 − cosine similarity (paper §2)."""
+        return 1.0 - self.similarity(a, b)

@@ -1,0 +1,26 @@
+"""Related-work baseline models (paper §7), implemented for comparison.
+
+The paper argues in prose that prior diversity/summarisation models cannot
+express SPSD's guarantees; this package makes those arguments measurable:
+
+* :class:`MaxMinKDiversity` — sliding-window top-k diversity (Drosou &
+  Pitoura style): budgeted selection, single metric, revocable picks.
+* :class:`LeaderClusterSummarizer` — single-pass stream clustering
+  (Sumblr style): content-only collapsing, no author/time semantics.
+* :func:`compare_baselines` — runs SPSD and both baselines on the same
+  stream and reports good prunes, collateral prunes and Definition-1
+  coverage violations for each.
+"""
+
+from .compare import BaselineOutcome, compare_baselines
+from .leader import Cluster, LeaderClusterSummarizer
+from .maxmin import MaxMinKDiversity, content_distance
+
+__all__ = [
+    "BaselineOutcome",
+    "Cluster",
+    "LeaderClusterSummarizer",
+    "MaxMinKDiversity",
+    "compare_baselines",
+    "content_distance",
+]

@@ -1,0 +1,106 @@
+"""Quantitative comparison of SPSD against the §7 baseline models.
+
+For each method the harness measures, against the stream generator's
+ground truth and Definition-1 coverage:
+
+* **shown** — posts the user sees (pushed / representatives / ever
+  selected).
+* **good prunes** — hidden posts that the generator created as true
+  near-duplicates of an earlier post.
+* **collateral prunes** — hidden posts that were *not* ground-truth
+  redundant (diverse content the user lost).
+* **coverage violations** — hidden posts with no shown post covering them
+  under the full three-dimensional Definition 1 (the guarantee SPSD makes
+  and the baselines cannot).
+
+The expected outcome (and what the benchmark asserts) is the paper's §7
+argument made concrete: SPSD has zero violations; MaxMin-k violates
+coverage wholesale (it keeps only k posts); leader clustering over-prunes
+across the author and time dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..authors import AuthorGraph
+from ..core import CoverageChecker, Post, Thresholds, UniBin
+from ..eval.metrics import find_uncovered
+from ..social import PostStream
+from .leader import LeaderClusterSummarizer
+from .maxmin import MaxMinKDiversity
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineOutcome:
+    """One method's measured behaviour on a stream."""
+
+    method: str
+    shown: int
+    hidden: int
+    good_prunes: int
+    collateral_prunes: int
+    coverage_violations: int
+
+    def as_row(self) -> dict[str, int | str]:
+        return {
+            "method": self.method,
+            "shown": self.shown,
+            "hidden": self.hidden,
+            "good_prunes": self.good_prunes,
+            "collateral_prunes": self.collateral_prunes,
+            "coverage_violations": self.coverage_violations,
+        }
+
+
+def _outcome(
+    method: str,
+    stream: PostStream,
+    shown_ids: set[int],
+    checker: CoverageChecker,
+) -> BaselineOutcome:
+    redundant_ids = {
+        pid for pid, prov in stream.provenance.items() if prov.redundant
+    }
+    hidden = [p for p in stream.posts if p.post_id not in shown_ids]
+    good = sum(1 for p in hidden if p.post_id in redundant_ids)
+    violations = find_uncovered(stream.posts, frozenset(shown_ids), checker)
+    return BaselineOutcome(
+        method=method,
+        shown=len(shown_ids),
+        hidden=len(hidden),
+        good_prunes=good,
+        collateral_prunes=len(hidden) - good,
+        coverage_violations=len(violations),
+    )
+
+
+def compare_baselines(
+    stream: PostStream,
+    graph: AuthorGraph,
+    thresholds: Thresholds,
+    *,
+    maxmin_k: int = 50,
+) -> list[BaselineOutcome]:
+    """Run SPSD (UniBin) and both baselines over ``stream``; measure all
+    four quantities for each under the same Definition-1 checker."""
+    checker = CoverageChecker(thresholds, graph)
+    posts = stream.posts
+
+    spsd = UniBin(thresholds, graph)
+    spsd_ids = {p.post_id for p in posts if spsd.offer(p)}
+
+    maxmin = MaxMinKDiversity(k=maxmin_k, lambda_t=thresholds.lambda_t)
+    for post in posts:
+        maxmin.offer(post)
+
+    leader = LeaderClusterSummarizer(
+        lambda_c=thresholds.lambda_c, expiry=thresholds.lambda_t
+    )
+    leader_ids = {p.post_id for p in posts if leader.offer(p)}
+
+    return [
+        _outcome("spsd_unibin", stream, spsd_ids, checker),
+        _outcome("maxmin_top_k", stream, set(maxmin.ever_selected), checker),
+        _outcome("leader_clustering", stream, leader_ids, checker),
+    ]

@@ -1,0 +1,79 @@
+"""Leader-based online stream clustering (the [18]/Sumblr-style baseline).
+
+The summarisation line of work (§7) clusters arriving tweets by content
+similarity and emits one representative per cluster. We implement the
+classic single-pass *leader* algorithm: an arriving post joins the first
+live cluster whose leader is within the content threshold, otherwise it
+founds a new cluster and is emitted as that cluster's representative.
+
+This looks superficially like UniBin but differs in exactly the ways the
+paper cares about: there is **no author dimension and no time dimension**
+beyond cluster expiry — two posts with similar text are collapsed even when
+they come from unrelated authors or far apart in time, so diverse content
+the user wanted is over-pruned. ``repro.baselines.compare`` measures that
+collateral damage against the generator's ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core import Post
+from ..errors import ConfigurationError
+
+
+@dataclass(slots=True)
+class Cluster:
+    """A live cluster: its leader (representative) and member count."""
+
+    leader: Post
+    members: int = 1
+    last_update: float = field(default=0.0)
+
+
+class LeaderClusterSummarizer:
+    """Single-pass leader clustering with cluster expiry.
+
+    ``offer`` returns True iff the post founded a new cluster (i.e. it is
+    emitted as a representative — the summary the user sees).
+    """
+
+    def __init__(self, lambda_c: int, expiry: float):
+        if not 0 <= lambda_c <= 64:
+            raise ConfigurationError(f"lambda_c must be in [0, 64], got {lambda_c}")
+        if expiry <= 0:
+            raise ConfigurationError(f"expiry must be positive, got {expiry}")
+        self.lambda_c = lambda_c
+        self.expiry = expiry
+        self._clusters: deque[Cluster] = deque()
+        self.comparisons = 0
+
+    def __len__(self) -> int:
+        return len(self._clusters)
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.expiry
+        # Clusters go stale when unrefreshed; drop from the front lazily.
+        self._clusters = deque(
+            c for c in self._clusters if c.last_update >= cutoff
+        )
+
+    def offer(self, post: Post) -> bool:
+        """Ingest ``post``; True iff it becomes a cluster representative."""
+        self._expire(post.timestamp)
+        for cluster in self._clusters:
+            self.comparisons += 1
+            distance = (cluster.leader.fingerprint ^ post.fingerprint).bit_count()
+            if distance <= self.lambda_c:
+                cluster.members += 1
+                cluster.last_update = post.timestamp
+                return False
+        self._clusters.append(
+            Cluster(leader=post, members=1, last_update=post.timestamp)
+        )
+        return True
+
+    def cluster_sizes(self) -> list[int]:
+        """Member counts of the live clusters (largest first)."""
+        return sorted((c.members for c in self._clusters), reverse=True)

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Three modes:
+
+* **experiments** — regenerate any paper figure/table::
+
+      python -m repro list
+      python -m repro figure11 --scale medium
+      python -m repro all
+
+* **diversify** — run an algorithm over a JSONL post trace::
+
+      python -m repro diversify --posts posts.jsonl --graph graph.json \
+          --algorithm cliquebin --lambda-t 1800 --output shown.jsonl
+
+* **generate** — emit a synthetic trace (posts + graph + subscriptions)
+  for trying the tool without your own data::
+
+      python -m repro generate --out-dir ./trace --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .eval import ABLATIONS, EXPERIMENTS, SCALES
+
+
+def _experiment_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="firehose",
+        description=(
+            "Reproduce experiments from 'Slowing the Firehose: "
+            "Multi-Dimensional Diversity on Social Post Streams' (EDBT 2016)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="medium",
+        help="synthetic dataset scale (default: medium)",
+    )
+    return parser
+
+
+def _diversify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="firehose diversify",
+        description="Diversify a JSONL post trace with an SPSD algorithm",
+    )
+    parser.add_argument("--posts", required=True, help="input posts.jsonl")
+    parser.add_argument(
+        "--graph",
+        help="author graph.json; omit only with --lambda-a 1 (author dim off)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="unibin",
+        help="unibin | neighborbin | cliquebin | indexed_unibin",
+    )
+    parser.add_argument("--lambda-c", type=int, default=18, help="content bits")
+    parser.add_argument("--lambda-t", type=float, default=1800.0, help="seconds")
+    parser.add_argument("--lambda-a", type=float, default=0.7, help="author distance")
+    parser.add_argument("--output", help="write the diversified trace here (JSONL)")
+    return parser
+
+
+def _generate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="firehose generate",
+        description="Generate a synthetic trace (posts/graph/subscriptions)",
+    )
+    parser.add_argument("--out-dir", required=True, help="output directory")
+    parser.add_argument("--scale", choices=SCALES, default="small")
+    parser.add_argument(
+        "--lambda-a",
+        type=float,
+        default=0.7,
+        help="author-distance threshold the exported graph is cut at",
+    )
+    return parser
+
+
+def _run_diversify(argv: list[str]) -> int:
+    from .core import Thresholds, make_diversifier
+    from .io import post_to_dict, read_graph_json, read_posts_jsonl
+
+    args = _diversify_parser().parse_args(argv)
+    thresholds = Thresholds(
+        lambda_c=args.lambda_c, lambda_t=args.lambda_t, lambda_a=args.lambda_a
+    )
+    graph = read_graph_json(args.graph) if args.graph else None
+    diversifier = make_diversifier(args.algorithm, thresholds, graph)
+
+    out_handle = open(args.output, "w", encoding="utf-8") if args.output else None
+    try:
+        import json
+
+        for post in read_posts_jsonl(args.posts):
+            if diversifier.offer(post) and out_handle is not None:
+                out_handle.write(json.dumps(post_to_dict(post), sort_keys=True))
+                out_handle.write("\n")
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+
+    stats = diversifier.stats
+    print(
+        f"{args.algorithm}: {stats.posts_admitted}/{stats.posts_processed} "
+        f"posts kept ({100 * (1 - stats.retention_ratio):.1f}% pruned); "
+        f"{stats.comparisons:,} comparisons, {stats.insertions:,} insertions"
+    )
+    if args.output:
+        print(f"diversified trace written to {args.output}")
+    return 0
+
+
+def _run_generate(argv: list[str]) -> int:
+    from .eval import default_dataset
+    from .io import (
+        write_graph_json,
+        write_posts_jsonl,
+        write_subscriptions_json,
+    )
+
+    args = _generate_parser().parse_args(argv)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    dataset = default_dataset(args.scale)
+    count = write_posts_jsonl(dataset.posts, out_dir / "posts.jsonl")
+    write_graph_json(dataset.graph(args.lambda_a), out_dir / "graph.json")
+    write_subscriptions_json(dataset.subscriptions(), out_dir / "subscriptions.json")
+    print(
+        f"wrote {count} posts, the lambda_a={args.lambda_a} author graph and "
+        f"the subscription table to {out_dir}/"
+    )
+    return 0
+
+
+def _report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="firehose report",
+        description="Regenerate the full evaluation as one markdown report",
+    )
+    parser.add_argument("--output", help="write markdown here (default: stdout)")
+    parser.add_argument("--scale", choices=SCALES, default="medium")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        help="experiment ids to include (default: everything)",
+    )
+    return parser
+
+
+def _run_report(argv: list[str]) -> int:
+    from .eval import generate_report
+
+    args = _report_parser().parse_args(argv)
+    markdown = generate_report(scale=args.scale, experiment_ids=args.only)
+    if args.output:
+        Path(args.output).write_text(markdown, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+def _all_runners() -> dict[str, object]:
+    runners: dict[str, object] = dict(EXPERIMENTS)
+    runners.update(ABLATIONS)
+    return runners
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "diversify":
+        return _run_diversify(argv[1:])
+    if argv and argv[0] == "generate":
+        return _run_generate(argv[1:])
+    if argv and argv[0] == "report":
+        return _run_report(argv[1:])
+
+    args = _experiment_parser().parse_args(argv)
+    runners = _all_runners()
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in runners:
+            print(f"  {name}")
+        print("other commands: diversify, generate, report (see --help on each)")
+        return 0
+
+    if args.experiment == "all":
+        for name, runner in runners.items():
+            print(runner(args.scale).render())  # type: ignore[operator]
+            print()
+        return 0
+
+    runner = runners.get(args.experiment)
+    if runner is None:
+        print(
+            f"unknown experiment {args.experiment!r}; run 'list' to see "
+            "available ids",
+            file=sys.stderr,
+        )
+        return 2
+    print(runner(args.scale).render())  # type: ignore[operator]
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Core SPSD model and algorithms (paper §2 and §4).
+
+Public surface:
+
+* :class:`Post`, :class:`Thresholds` — the data model.
+* :class:`CoverageChecker` — the three-dimensional coverage predicate.
+* :class:`UniBin`, :class:`NeighborBin`, :class:`CliqueBin` — the three
+  streaming algorithms, behind :class:`StreamDiversifier`.
+* :func:`make_diversifier` / :data:`ALGORITHM_NAMES` — the registry.
+* :mod:`~repro.core.costmodel` — the §4.4 analytical model (Table 2).
+* :func:`recommend` — the Table-4 use-case advisor.
+"""
+
+from .advisor import Recommendation, WorkloadProfile, recommend, table4_rows
+from .base import StreamDiversifier
+from .bins import PostBin
+from .cliquebin import CliqueBin
+from .costmodel import (
+    CostEstimate,
+    WorkloadParameters,
+    estimate,
+    estimate_all,
+    parameters_from_run,
+)
+from .coverage import CoverageChecker
+from .indexedbin import IndexedUniBin
+from .neighborbin import NeighborBin
+from .pipeline import DiversifiedStream
+from .post import Post
+from .registry import (
+    ALGORITHM_NAMES,
+    ALGORITHMS,
+    AlgorithmProfile,
+    describe_algorithms,
+    make_diversifier,
+)
+from .stats import RunStats
+from .thresholds import (
+    DEFAULT_LAMBDA_A,
+    DEFAULT_LAMBDA_C,
+    DEFAULT_LAMBDA_T,
+    Thresholds,
+)
+from .unibin import UniBin
+
+__all__ = [
+    "ALGORITHMS",
+    "ALGORITHM_NAMES",
+    "AlgorithmProfile",
+    "CliqueBin",
+    "CostEstimate",
+    "CoverageChecker",
+    "DiversifiedStream",
+    "IndexedUniBin",
+    "DEFAULT_LAMBDA_A",
+    "DEFAULT_LAMBDA_C",
+    "DEFAULT_LAMBDA_T",
+    "NeighborBin",
+    "Post",
+    "PostBin",
+    "Recommendation",
+    "RunStats",
+    "StreamDiversifier",
+    "Thresholds",
+    "UniBin",
+    "WorkloadParameters",
+    "WorkloadProfile",
+    "describe_algorithms",
+    "estimate",
+    "estimate_all",
+    "make_diversifier",
+    "parameters_from_run",
+    "recommend",
+    "table4_rows",
+]

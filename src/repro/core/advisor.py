@@ -1,0 +1,151 @@
+"""Algorithm advisor implementing the paper's Table 4 use-case guidance.
+
+The paper's discussion (§6.2.2) distils its analysis and experiments into
+operating-regime rules:
+
+* **UniBin** — very small λt, *or* low stream throughput, *or* large λa
+  (dense author graph), *or* RAM-constrained deployments.
+  Example use cases: news RSS feeds, Google Scholar.
+* **NeighborBin** — large λt *and* small λa (sparse graph) *and* high
+  throughput. Example: Twitch.
+* **CliqueBin** — moderate λt *and* small λa *and* high throughput.
+  Example: Twitter.
+
+The advisor encodes those rules over a :class:`WorkloadProfile`, with the
+regime boundaries as explicit, overridable constants (the paper gives
+qualitative regimes, not hard numbers; the defaults below mark where its
+experiments place the crossovers on the evaluation workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: λt at or below which insertion overhead dominates and UniBin wins
+#: (the paper excludes λt = 1 min from Figure 11 because UniBin wins there).
+VERY_SMALL_LAMBDA_T = 120.0
+#: λt boundary between "moderate" (CliqueBin) and "large" (NeighborBin);
+#: Figure 11 shows CliqueBin ahead for λt ≤ ~10 min.
+MODERATE_LAMBDA_T = 600.0
+#: λa at or above which the author graph is dense enough that the binned
+#: algorithms' replication overwhelms their comparison savings (Figure 13).
+LARGE_LAMBDA_A = 0.75
+#: Posts per λt window below which UniBin's low insertion cost wins
+#: (Figures 14–15: low sample rates / few subscriptions favour UniBin —
+#: in those experiments the crossover sits under ~100 posts per window).
+LOW_THROUGHPUT_POSTS_PER_WINDOW = 100.0
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """What the operator knows about a deployment.
+
+    Attributes:
+        lambda_t: intended time threshold, seconds.
+        lambda_a: intended author-distance threshold.
+        posts_per_window: expected posts arriving per λt window (throughput
+            × λt). Use the subscription count × per-author rate × λt.
+        ram_constrained: True when memory is the binding resource.
+    """
+
+    lambda_t: float
+    lambda_a: float
+    posts_per_window: float
+    ram_constrained: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lambda_t < 0:
+            raise ConfigurationError(f"lambda_t must be >= 0, got {self.lambda_t}")
+        if not 0.0 <= self.lambda_a <= 1.0:
+            raise ConfigurationError(f"lambda_a must be in [0, 1], got {self.lambda_a}")
+        if self.posts_per_window < 0:
+            raise ConfigurationError(
+                f"posts_per_window must be >= 0, got {self.posts_per_window}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """Advisor output: the chosen algorithm and the Table-4 reasons."""
+
+    algorithm: str
+    reasons: tuple[str, ...]
+    example_use_case: str
+
+
+def recommend(profile: WorkloadProfile) -> Recommendation:
+    """Pick an algorithm for ``profile`` per the paper's Table 4.
+
+    >>> recommend(WorkloadProfile(
+    ...     lambda_t=1800, lambda_a=0.7, posts_per_window=60,
+    ... )).algorithm
+    'unibin'
+    """
+    unibin_reasons = []
+    if profile.lambda_t <= VERY_SMALL_LAMBDA_T:
+        unibin_reasons.append(f"very small lambda_t ({profile.lambda_t:.0f}s)")
+    if profile.posts_per_window <= LOW_THROUGHPUT_POSTS_PER_WINDOW:
+        unibin_reasons.append(
+            f"low stream throughput ({profile.posts_per_window:.0f} posts/window)"
+        )
+    if profile.lambda_a >= LARGE_LAMBDA_A:
+        unibin_reasons.append(f"large lambda_a ({profile.lambda_a:.2f}; dense graph)")
+    if profile.ram_constrained:
+        unibin_reasons.append("RAM is a critical limitation")
+    if unibin_reasons:
+        return Recommendation(
+            algorithm="unibin",
+            reasons=tuple(unibin_reasons),
+            example_use_case="News RSS Feed, Google Scholar",
+        )
+    if profile.lambda_t > MODERATE_LAMBDA_T:
+        return Recommendation(
+            algorithm="neighborbin",
+            reasons=(
+                f"large lambda_t ({profile.lambda_t:.0f}s)",
+                f"small lambda_a ({profile.lambda_a:.2f}; sparse graph)",
+                "high stream throughput",
+            ),
+            example_use_case="Twitch",
+        )
+    return Recommendation(
+        algorithm="cliquebin",
+        reasons=(
+            f"moderate lambda_t ({profile.lambda_t:.0f}s)",
+            f"small lambda_a ({profile.lambda_a:.2f}; sparse graph)",
+            "high stream throughput",
+        ),
+        example_use_case="Twitter",
+    )
+
+
+def table4_rows() -> list[dict[str, str]]:
+    """The paper's Table 4 as printable rows."""
+    return [
+        {
+            "conditions": (
+                "very small lambda_t OR low stream throughput OR large "
+                "lambda_a (dense G) OR RAM is a critical limitation"
+            ),
+            "algorithm": "unibin",
+            "example_use_case": "News RSS Feed, Google Scholar",
+        },
+        {
+            "conditions": (
+                "large lambda_t AND small lambda_a (sparse G) AND high "
+                "stream throughput"
+            ),
+            "algorithm": "neighborbin",
+            "example_use_case": "Twitch",
+        },
+        {
+            "conditions": (
+                "moderate lambda_t AND small lambda_a (sparse G) AND high "
+                "stream throughput"
+            ),
+            "algorithm": "cliquebin",
+            "example_use_case": "Twitter",
+        },
+    ]

@@ -1,0 +1,93 @@
+"""Common interface of the SPSD streaming algorithms (paper §4).
+
+Every algorithm makes the same greedy decision — admit a post iff no
+already-admitted post inside the λt window covers it — and differs only in
+the index used to find candidate coverers. The base class owns the pieces
+they share: the coverage checker, run statistics, timestamp-order
+enforcement and the eviction bookkeeping hooks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..authors import AuthorGraph
+from ..errors import StreamOrderError
+from .coverage import CoverageChecker
+from .post import Post
+from .stats import RunStats
+from .thresholds import Thresholds
+
+
+class StreamDiversifier(ABC):
+    """Online SPSD solver: feed posts in timestamp order via :meth:`offer`.
+
+    Subclasses implement :meth:`_is_covered` (scan their index for a
+    covering admitted post) and :meth:`_admit` (insert the new post into
+    their index), plus :meth:`purge`/:meth:`stored_copies` bookkeeping.
+    """
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(
+        self,
+        thresholds: Thresholds,
+        graph: AuthorGraph | None,
+        *,
+        newest_first: bool = True,
+    ):
+        self.thresholds = thresholds
+        self.checker = CoverageChecker(thresholds, graph)
+        self.stats = RunStats()
+        self.newest_first = newest_first
+        self._last_timestamp = float("-inf")
+
+    @property
+    def graph(self) -> AuthorGraph | None:
+        return self.checker.graph
+
+    def offer(self, post: Post) -> bool:
+        """Process one arriving post; return True iff it enters Z.
+
+        Posts must arrive in non-decreasing timestamp order (the streaming
+        model: an instant decision at arrival).
+        """
+        if post.timestamp < self._last_timestamp:
+            raise StreamOrderError(
+                f"post {post.post_id} at t={post.timestamp} arrived after "
+                f"t={self._last_timestamp}"
+            )
+        self._last_timestamp = post.timestamp
+        self.stats.posts_processed += 1
+        if self._is_covered(post):
+            return False
+        self._admit(post)
+        self.stats.posts_admitted += 1
+        return True
+
+    def diversify(self, posts) -> list[Post]:
+        """Convenience wrapper: run the whole iterable, return Z as a list."""
+        return [post for post in posts if self.offer(post)]
+
+    @abstractmethod
+    def _is_covered(self, post: Post) -> bool:
+        """True iff some admitted post within λt covers ``post``."""
+
+    @abstractmethod
+    def _admit(self, post: Post) -> None:
+        """Insert ``post`` into the algorithm's bin structure."""
+
+    @abstractmethod
+    def purge(self, now: float | None = None) -> None:
+        """Evict every stored copy outside the λt window ending at ``now``
+        (default: the latest seen timestamp). Scans already skip expired
+        posts; purging exists to reclaim memory and make
+        :meth:`stored_copies` exact."""
+
+    @abstractmethod
+    def stored_copies(self) -> int:
+        """Post copies currently held across all bins (RAM proxy)."""
+
+    def _now(self, now: float | None) -> float:
+        return self._last_timestamp if now is None else now

@@ -1,0 +1,72 @@
+"""Time-windowed post bins (paper §4, "Handling Time Diversity").
+
+The paper stores the recent diversified posts in a circular array with two
+cursors: the oldest post still inside the λt window and the most recent
+post. A Python deque gives the same two-ended behaviour — append new posts
+on the right, expire old posts from the left — while scans run newest-first
+(right to left) and stop at the first expired candidate, so a scan never
+touches posts outside the window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from .post import Post
+
+
+class PostBin:
+    """A deque of posts ordered by arrival (and therefore by timestamp)."""
+
+    __slots__ = ("_posts",)
+
+    def __init__(self) -> None:
+        self._posts: deque[Post] = deque()
+
+    def __len__(self) -> int:
+        return len(self._posts)
+
+    def __iter__(self) -> Iterator[Post]:
+        return iter(self._posts)
+
+    def append(self, post: Post) -> None:
+        """Store ``post`` as the newest entry."""
+        self._posts.append(post)
+
+    def scan(self, now: float, lambda_t: float, *, newest_first: bool = True) -> Iterator[Post]:
+        """Yield candidates inside the window ``[now - lambda_t, now]``.
+
+        ``newest_first=True`` (default, and what the paper describes — "from
+        the most recent post to the older ones") allows early termination at
+        the first expired post; on duplicate-heavy streams it also finds a
+        covering post sooner, since duplicates cluster in time. The
+        oldest-first order is kept for the scan-order ablation and must skip
+        over expired entries instead of stopping.
+        """
+        cutoff = now - lambda_t
+        if newest_first:
+            for post in reversed(self._posts):
+                if post.timestamp < cutoff:
+                    return
+                yield post
+        else:
+            for post in self._posts:
+                if post.timestamp >= cutoff:
+                    yield post
+
+    def expire(self, now: float, lambda_t: float) -> int:
+        """Drop posts older than ``now - lambda_t``; return how many."""
+        cutoff = now - lambda_t
+        dropped = 0
+        posts = self._posts
+        while posts and posts[0].timestamp < cutoff:
+            posts.popleft()
+            dropped += 1
+        return dropped
+
+    def clear(self) -> int:
+        """Remove everything; return the number of posts dropped."""
+        dropped = len(self._posts)
+        self._posts.clear()
+        return dropped

@@ -1,0 +1,97 @@
+"""CliqueBin (paper §4.3): one post bin per clique of a clique edge cover.
+
+NeighborBin's replication is cut down by grouping mutually-similar authors:
+compute a clique edge cover of the author graph, keep one bin per clique,
+and store each admitted post once per clique containing its author (the
+§4.4 ``c·r·n`` RAM estimate, with ``c`` ≤ ``d``). An arriving post scans
+the bins of its author's cliques; clique membership implies pairwise author
+similarity, so — like NeighborBin — only time and content checks run per
+candidate. A candidate stored in two scanned cliques is compared twice,
+matching the paper's comparison accounting (§4.3's P7 example).
+
+Coverage stays exact: if authors ``a`` and ``q`` are similar, the edge
+(a, q) lies inside some clique of the cover, so q's admitted posts are in a
+bin that a's posts scan.
+"""
+
+from __future__ import annotations
+
+from ..authors import AuthorGraph, CliqueCover, greedy_clique_cover
+from ..errors import ConfigurationError, UnknownAuthorError
+from .base import StreamDiversifier
+from .bins import PostBin
+from .post import Post
+from .thresholds import Thresholds
+
+
+class CliqueBin(StreamDiversifier):
+    """The per-clique-bin SPSD algorithm."""
+
+    name = "cliquebin"
+
+    def __init__(
+        self,
+        thresholds: Thresholds,
+        graph: AuthorGraph,
+        *,
+        cover: CliqueCover | None = None,
+        newest_first: bool = True,
+    ):
+        if graph is None:
+            raise ConfigurationError("CliqueBin requires an author graph")
+        if thresholds.lambda_a >= 1.0:
+            raise ConfigurationError(
+                "CliqueBin cannot run with the author dimension disabled "
+                "(lambda_a >= 1); use UniBin instead"
+            )
+        super().__init__(thresholds, graph, newest_first=newest_first)
+        # The cover is precomputed offline in the paper's deployment (like
+        # the author graph itself); accept an injected one so a single cover
+        # can be shared across experiment runs.
+        self.cover = cover if cover is not None else greedy_clique_cover(graph)
+        self._bins: dict[int, PostBin] = {
+            idx: PostBin() for idx in range(len(self.cover))
+        }
+
+    def _cliques_of(self, author: int) -> list[int]:
+        cliques = self.cover.cliques_of(author)
+        if not cliques:
+            raise UnknownAuthorError(
+                f"post author {author!r} is not in any clique of the cover"
+            )
+        return cliques
+
+    def _is_covered(self, post: Post) -> bool:
+        covers = self.checker.covers_known_author_similar
+        stats = self.stats
+        lambda_t = self.thresholds.lambda_t
+        for clique_idx in self._cliques_of(post.author):
+            bin_ = self._bins[clique_idx]
+            stats.record_evictions(bin_.expire(post.timestamp, lambda_t))
+            for candidate in bin_.scan(
+                post.timestamp, lambda_t, newest_first=self.newest_first
+            ):
+                stats.comparisons += 1
+                if covers(post, candidate):
+                    return True
+        return False
+
+    def _admit(self, post: Post) -> None:
+        lambda_t = self.thresholds.lambda_t
+        cliques = self._cliques_of(post.author)
+        evicted = 0
+        for clique_idx in cliques:
+            bin_ = self._bins[clique_idx]
+            evicted += bin_.expire(post.timestamp, lambda_t)
+            bin_.append(post)
+        self.stats.record_evictions(evicted)
+        self.stats.record_insertions(len(cliques))
+
+    def purge(self, now: float | None = None) -> None:
+        timestamp = self._now(now)
+        lambda_t = self.thresholds.lambda_t
+        evicted = sum(bin_.expire(timestamp, lambda_t) for bin_ in self._bins.values())
+        self.stats.record_evictions(evicted)
+
+    def stored_copies(self) -> int:
+        return sum(len(bin_) for bin_ in self._bins.values())

@@ -1,0 +1,150 @@
+"""Analytical cost model of §4.4 (the paper's Table 2).
+
+With ``m`` subscribed authors producing ``n`` posts per λt window, retention
+ratio ``r``, average degree ``d``, average cliques-per-author ``c`` and
+average clique size ``s``, the paper estimates:
+
+=============  =========  ==================  =================
+quantity       UniBin     NeighborBin         CliqueBin
+=============  =========  ==================  =================
+RAM (copies)   r·n        (d+1)·r·n           c·r·n
+comparisons    r·n²       ((d+1)/m)·r·n²      (s·c/m)·r·n²
+insertions     r·n        (d+1)·r·n           c·r·n
+=============  =========  ==================  =================
+
+(All per λt window.) The module computes these predictions from measured
+workload parameters so the Table-2 benchmark can put predicted next to
+observed counts, and exposes the ``c·(s−1)·q = d`` identity the paper
+derives for the clique/degree relationship.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..authors import AuthorGraph, CliqueCover
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadParameters:
+    """The §4.4 symbols describing a workload and graph topology.
+
+    Attributes:
+        m: number of subscribed authors.
+        n: posts arriving per λt window.
+        r: retention ratio after diversification, in (0, 1].
+        d: average number of neighbours per author.
+        c: average number of cliques containing an author.
+        s: average clique size.
+    """
+
+    m: int
+    n: float
+    r: float
+    d: float
+    c: float
+    s: float
+
+    def __post_init__(self) -> None:
+        if self.m <= 0:
+            raise ConfigurationError(f"m must be positive, got {self.m}")
+        if self.n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {self.n}")
+        if not 0.0 <= self.r <= 1.0:
+            raise ConfigurationError(f"r must be in [0, 1], got {self.r}")
+        for label, value in (("d", self.d), ("c", self.c), ("s", self.s)):
+            if value < 0:
+                raise ConfigurationError(f"{label} must be >= 0, got {value}")
+
+    def clique_overlap_q(self) -> float:
+        """The paper's overlap factor ``q`` from ``c·(s−1)·q = d``.
+
+        ``q`` is the number of graph edges over the total edges inside the
+        cover's cliques; 1 means no overlap between cliques. Returns 0 when
+        the graph has no edges (d = 0).
+        """
+        denom = self.c * (self.s - 1.0)
+        if denom <= 0.0:
+            return 0.0
+        return self.d / denom
+
+
+@dataclass(frozen=True, slots=True)
+class CostEstimate:
+    """Per-λt-window predictions for one algorithm."""
+
+    algorithm: str
+    ram_copies: float
+    comparisons: float
+    insertions: float
+
+
+def estimate_unibin(p: WorkloadParameters) -> CostEstimate:
+    """Table-2 column 1: single-bin costs."""
+    return CostEstimate(
+        algorithm="unibin",
+        ram_copies=p.r * p.n,
+        comparisons=p.r * p.n * p.n,
+        insertions=p.r * p.n,
+    )
+
+
+def estimate_neighborbin(p: WorkloadParameters) -> CostEstimate:
+    """Table-2 column 2: per-author-bin costs."""
+    replication = p.d + 1.0
+    return CostEstimate(
+        algorithm="neighborbin",
+        ram_copies=replication * p.r * p.n,
+        comparisons=(replication / p.m) * p.r * p.n * p.n,
+        insertions=replication * p.r * p.n,
+    )
+
+
+def estimate_cliquebin(p: WorkloadParameters) -> CostEstimate:
+    """Table-2 column 3: per-clique-bin costs."""
+    return CostEstimate(
+        algorithm="cliquebin",
+        ram_copies=p.c * p.r * p.n,
+        comparisons=(p.s * p.c / p.m) * p.r * p.n * p.n,
+        insertions=p.c * p.r * p.n,
+    )
+
+
+_ESTIMATORS = {
+    "unibin": estimate_unibin,
+    "neighborbin": estimate_neighborbin,
+    "cliquebin": estimate_cliquebin,
+}
+
+
+def estimate(algorithm: str, p: WorkloadParameters) -> CostEstimate:
+    """Prediction for any registry algorithm name."""
+    try:
+        return _ESTIMATORS[algorithm](p)
+    except KeyError:
+        raise ConfigurationError(f"no cost model for algorithm {algorithm!r}") from None
+
+
+def estimate_all(p: WorkloadParameters) -> list[CostEstimate]:
+    """Table 2 in full: one estimate per algorithm."""
+    return [estimator(p) for estimator in _ESTIMATORS.values()]
+
+
+def parameters_from_run(
+    graph: AuthorGraph,
+    cover: CliqueCover,
+    *,
+    posts_in_window: float,
+    retention_ratio: float,
+) -> WorkloadParameters:
+    """Measure m/d/c/s from a graph+cover and combine with observed stream
+    figures into the §4.4 parameter set."""
+    return WorkloadParameters(
+        m=len(graph),
+        n=posts_in_window,
+        r=retention_ratio,
+        d=graph.average_degree(),
+        c=cover.average_cliques_per_author(),
+        s=cover.average_clique_size(),
+    )

@@ -1,0 +1,62 @@
+"""The three-dimensional coverage predicate (paper Definition 1).
+
+Two posts cover each other iff they are within threshold in *all three*
+dimensions — content (SimHash Hamming), time (timestamp gap) and author
+(graph adjacency or same author). The checks are ordered cheapest-first and
+short-circuit; NeighborBin and CliqueBin scan bins whose membership already
+implies author similarity, so they use the author-free variant.
+"""
+
+from __future__ import annotations
+
+from ..authors import AuthorGraph
+from .post import Post
+from .thresholds import Thresholds
+
+
+class CoverageChecker:
+    """Coverage tests bound to a threshold setting and an author graph.
+
+    ``graph`` may be ``None`` only when the author dimension is disabled
+    (``lambda_a >= 1``), in which case every author pair is similar.
+    """
+
+    __slots__ = ("thresholds", "graph", "_author_free")
+
+    def __init__(self, thresholds: Thresholds, graph: AuthorGraph | None):
+        if graph is None and thresholds.lambda_a < 1.0:
+            raise ValueError(
+                "an author graph is required unless the author dimension "
+                "is disabled (lambda_a >= 1)"
+            )
+        self.thresholds = thresholds
+        self.graph = graph
+        self._author_free = thresholds.lambda_a >= 1.0 or graph is None
+
+    def authors_similar(self, a: int, b: int) -> bool:
+        """Author-dimension test: same author or adjacent in G."""
+        if a == b or self._author_free:
+            return True
+        assert self.graph is not None
+        return self.graph.are_similar(a, b)
+
+    def content_similar(self, p: Post, q: Post) -> bool:
+        """Content-dimension test: Hamming(Sp, Sq) ≤ λc."""
+        return (p.fingerprint ^ q.fingerprint).bit_count() <= self.thresholds.lambda_c
+
+    def time_similar(self, p: Post, q: Post) -> bool:
+        """Time-dimension test: |tp − tq| ≤ λt."""
+        return abs(p.timestamp - q.timestamp) <= self.thresholds.lambda_t
+
+    def covers(self, p: Post, q: Post) -> bool:
+        """Full symmetric coverage test across all three dimensions."""
+        return (
+            self.time_similar(p, q)
+            and self.content_similar(p, q)
+            and self.authors_similar(p.author, q.author)
+        )
+
+    def covers_known_author_similar(self, p: Post, q: Post) -> bool:
+        """Coverage test when author similarity is implied by bin membership
+        (NeighborBin / CliqueBin inner loop): time and content only."""
+        return self.time_similar(p, q) and self.content_similar(p, q)

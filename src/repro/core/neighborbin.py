@@ -1,0 +1,92 @@
+"""NeighborBin (paper §4.2): one post bin per author.
+
+Author ``a``'s bin holds the admitted posts of ``a`` *and of every
+neighbour of ``a``* in the author similarity graph — exactly the posts that
+could cover a new post by ``a``. An arriving post therefore scans a single
+bin, and bin membership already implies author similarity, so only the time
+and content checks run per candidate. The price is replication: an admitted
+post is copied into ``d + 1`` bins (its author's and each neighbour's),
+giving the §4.4 RAM estimate ``(d+1)·r·n``.
+
+NeighborBin requires the author dimension to be active: it prunes candidate
+posts *by author*, which is only sound when author-dissimilar posts cannot
+cover each other.
+"""
+
+from __future__ import annotations
+
+from ..authors import AuthorGraph
+from ..errors import ConfigurationError, UnknownAuthorError
+from .base import StreamDiversifier
+from .bins import PostBin
+from .post import Post
+from .thresholds import Thresholds
+
+
+class NeighborBin(StreamDiversifier):
+    """The per-author-bin SPSD algorithm."""
+
+    name = "neighborbin"
+
+    def __init__(
+        self,
+        thresholds: Thresholds,
+        graph: AuthorGraph,
+        *,
+        newest_first: bool = True,
+    ):
+        if graph is None:
+            raise ConfigurationError("NeighborBin requires an author graph")
+        if thresholds.lambda_a >= 1.0:
+            raise ConfigurationError(
+                "NeighborBin cannot run with the author dimension disabled "
+                "(lambda_a >= 1): per-author bins would have to replicate "
+                "every post into every bin; use UniBin instead"
+            )
+        super().__init__(thresholds, graph, newest_first=newest_first)
+        self._bins: dict[int, PostBin] = {author: PostBin() for author in graph.nodes}
+
+    def _bin_of(self, author: int) -> PostBin:
+        try:
+            return self._bins[author]
+        except KeyError:
+            raise UnknownAuthorError(
+                f"post author {author!r} is not in the author graph"
+            ) from None
+
+    def _is_covered(self, post: Post) -> bool:
+        own_bin = self._bin_of(post.author)
+        covers = self.checker.covers_known_author_similar
+        stats = self.stats
+        stats.record_evictions(
+            own_bin.expire(post.timestamp, self.thresholds.lambda_t)
+        )
+        for candidate in own_bin.scan(
+            post.timestamp, self.thresholds.lambda_t, newest_first=self.newest_first
+        ):
+            stats.comparisons += 1
+            if covers(post, candidate):
+                return True
+        return False
+
+    def _admit(self, post: Post) -> None:
+        lambda_t = self.thresholds.lambda_t
+        targets = [post.author]
+        assert self.graph is not None
+        targets.extend(self.graph.neighbors(post.author))
+        evicted = 0
+        for author in targets:
+            bin_ = self._bins[author]
+            evicted += bin_.expire(post.timestamp, lambda_t)
+            bin_.append(post)
+        self.stats.record_evictions(evicted)
+        self.stats.record_insertions(len(targets))
+
+    def purge(self, now: float | None = None) -> None:
+        timestamp = self._now(now)
+        lambda_t = self.thresholds.lambda_t
+        evicted = sum(bin_.expire(timestamp, lambda_t) for bin_ in self._bins.values())
+        self.stats.record_evictions(evicted)
+
+    def stored_copies(self) -> int:
+        return sum(len(bin_) for bin_ in self._bins.values())

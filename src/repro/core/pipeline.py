@@ -1,0 +1,84 @@
+"""Consumer-facing streaming pipeline around a diversifier.
+
+The algorithms expose a low-level ``offer(post) -> bool``; a deployment
+(the paper's "part of the Twitter app of a user") wants an iterator it can
+put in a ``for`` loop, hooks for the pruned posts, and periodic memory
+reclamation — that's :class:`DiversifiedStream`. It is a thin, allocation-
+free adapter: posts flow through unchanged, in order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+from ..errors import ConfigurationError
+from .base import StreamDiversifier
+from .post import Post
+
+
+class DiversifiedStream:
+    """Iterate a post stream, yielding only the diversified sub-stream Z.
+
+    Args:
+        diversifier: any :class:`~repro.core.StreamDiversifier`.
+        posts: timestamp-ordered post iterable (may be unbounded).
+        on_prune: called with each pruned post (e.g. to count or log).
+        on_admit: called with each admitted post before it is yielded.
+        purge_every: run the diversifier's window GC every N posts
+            (0 disables; scans stay correct either way, purging only
+            bounds memory).
+
+    Example::
+
+        stream = DiversifiedStream(UniBin(thresholds, graph), firehose)
+        for post in stream:
+            render(post)
+        print(stream.pruned, "posts hidden")
+    """
+
+    def __init__(
+        self,
+        diversifier: StreamDiversifier,
+        posts: Iterable[Post],
+        *,
+        on_prune: Callable[[Post], None] | None = None,
+        on_admit: Callable[[Post], None] | None = None,
+        purge_every: int = 1000,
+    ):
+        if purge_every < 0:
+            raise ConfigurationError(f"purge_every must be >= 0, got {purge_every}")
+        self.diversifier = diversifier
+        self._posts = posts
+        self._on_prune = on_prune
+        self._on_admit = on_admit
+        self._purge_every = purge_every
+
+    def __iter__(self) -> Iterator[Post]:
+        offer = self.diversifier.offer
+        purge_every = self._purge_every
+        for i, post in enumerate(self._posts):
+            if offer(post):
+                if self._on_admit is not None:
+                    self._on_admit(post)
+                yield post
+            elif self._on_prune is not None:
+                self._on_prune(post)
+            if purge_every and i % purge_every == purge_every - 1:
+                self.diversifier.purge(post.timestamp)
+
+    # -- live statistics ----------------------------------------------------
+
+    @property
+    def processed(self) -> int:
+        """Posts consumed so far."""
+        return self.diversifier.stats.posts_processed
+
+    @property
+    def admitted(self) -> int:
+        """Posts yielded so far."""
+        return self.diversifier.stats.posts_admitted
+
+    @property
+    def pruned(self) -> int:
+        """Posts hidden so far."""
+        return self.diversifier.stats.posts_rejected

@@ -1,0 +1,56 @@
+"""The social post model (paper §2).
+
+A post is the unit flowing through every algorithm: an author id, text, a
+timestamp, and a SimHash fingerprint. Fingerprints are computed once at
+construction (via :meth:`Post.create`) because every algorithm compares the
+same fingerprint against many candidates; storing it on the post keeps the
+hot loop free of hashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simhash import simhash
+
+
+@dataclass(frozen=True, slots=True)
+class Post:
+    """An immutable social post.
+
+    Attributes:
+        post_id: unique, monotonically increasing identifier within a stream.
+        author: author id (an int from the author universe).
+        text: raw textual content.
+        timestamp: seconds since stream epoch (float).
+        fingerprint: 64-bit SimHash of the (normalised) text.
+    """
+
+    post_id: int
+    author: int
+    text: str
+    timestamp: float
+    fingerprint: int = field(repr=False)
+
+    @classmethod
+    def create(
+        cls,
+        post_id: int,
+        author: int,
+        text: str,
+        timestamp: float,
+        *,
+        normalized: bool = True,
+    ) -> "Post":
+        """Build a post, computing its SimHash fingerprint.
+
+        ``normalized`` selects the paper's Figure-4 (default) vs Figure-3
+        fingerprinting mode and should match the λc calibration in use.
+        """
+        return cls(
+            post_id=post_id,
+            author=author,
+            text=text,
+            timestamp=timestamp,
+            fingerprint=simhash(text, normalized=normalized),
+        )

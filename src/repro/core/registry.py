@@ -1,0 +1,104 @@
+"""Algorithm registry and Table-3 descriptions.
+
+Experiments and the CLI address algorithms by name; the registry maps names
+to constructors and carries the qualitative comparison the paper tabulates
+(its Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..authors import AuthorGraph
+from ..errors import UnknownAlgorithmError
+from .base import StreamDiversifier
+from .cliquebin import CliqueBin
+from .indexedbin import IndexedUniBin
+from .neighborbin import NeighborBin
+from .thresholds import Thresholds
+from .unibin import UniBin
+
+ALGORITHMS: dict[str, type[StreamDiversifier]] = {
+    UniBin.name: UniBin,
+    NeighborBin.name: NeighborBin,
+    CliqueBin.name: CliqueBin,
+    # Extension beyond the paper: index-accelerated UniBin for the
+    # small-lambda_c regime (see indexedbin.py). Not part of the paper's
+    # three-way comparison, so excluded from ALGORITHM_NAMES.
+    IndexedUniBin.name: IndexedUniBin,
+}
+
+#: The paper's three algorithms (what experiments sweep over).
+ALGORITHM_NAMES: tuple[str, ...] = (UniBin.name, NeighborBin.name, CliqueBin.name)
+
+
+def make_diversifier(
+    name: str,
+    thresholds: Thresholds,
+    graph: AuthorGraph | None,
+    **kwargs,
+) -> StreamDiversifier:
+    """Instantiate an algorithm by registry name.
+
+    >>> from repro.authors import AuthorGraph
+    >>> d = make_diversifier("unibin", Thresholds(), AuthorGraph([1], []))
+    >>> d.name
+    'unibin'
+    """
+    try:
+        cls = ALGORITHMS[name]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(thresholds, graph, **kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class AlgorithmProfile:
+    """Table-3 row: data structures and qualitative cost levels."""
+
+    name: str
+    data_structures: tuple[str, ...]
+    ram: str
+    comparisons: str
+    insertions: str
+
+
+TABLE3_PROFILES: tuple[AlgorithmProfile, ...] = (
+    AlgorithmProfile(
+        name="unibin",
+        data_structures=(
+            "author similarity graph",
+            "a single post bin storing posts from all authors",
+        ),
+        ram="Low",
+        comparisons="High",
+        insertions="Low",
+    ),
+    AlgorithmProfile(
+        name="neighborbin",
+        data_structures=(
+            "author similarity graph",
+            "a post bin per author storing posts from the author and her neighbors",
+        ),
+        ram="High",
+        comparisons="Low",
+        insertions="High",
+    ),
+    AlgorithmProfile(
+        name="cliquebin",
+        data_structures=(
+            "author clique mapping",
+            "a post bin per clique storing posts from all the authors in the clique",
+        ),
+        ram="Moderate",
+        comparisons="Moderate",
+        insertions="Moderate",
+    ),
+)
+
+
+def describe_algorithms() -> tuple[AlgorithmProfile, ...]:
+    """The paper's Table 3 as structured data."""
+    return TABLE3_PROFILES

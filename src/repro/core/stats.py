@@ -1,0 +1,90 @@
+"""Run statistics collected by every diversifier.
+
+The paper's evaluation (Figures 11–16) reports four per-run quantities:
+running time, RAM, pairwise post comparisons and post insertions. Time is
+measured by the harness; the other three are counted here. "RAM" is proxied
+by the number of post *copies* stored across bins — exactly the quantity the
+§4.4 analysis models (r·n for UniBin, (d+1)·r·n for NeighborBin, c·r·n for
+CliqueBin) and the dominant memory consumer in any implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class RunStats:
+    """Mutable counters updated by a diversifier as it ingests a stream.
+
+    Attributes:
+        posts_processed: posts offered to the algorithm.
+        posts_admitted: posts added to the diversified sub-stream Z.
+        comparisons: candidate posts examined across all coverage checks
+            (the paper's "post comparisons"; a candidate reached through two
+            different bins counts twice, matching the paper's accounting).
+        insertions: post copies written into bins (an admitted post copied
+            into k bins counts k).
+        evictions: post copies removed by time-window expiry.
+        stored_copies: post copies currently resident across all bins.
+        peak_stored_copies: maximum of ``stored_copies`` over the run — the
+            RAM proxy reported by the benchmarks.
+    """
+
+    posts_processed: int = 0
+    posts_admitted: int = 0
+    comparisons: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    stored_copies: int = 0
+    peak_stored_copies: int = 0
+
+    def record_insertions(self, count: int) -> None:
+        """Account for ``count`` new post copies entering bins."""
+        self.insertions += count
+        self.stored_copies += count
+        if self.stored_copies > self.peak_stored_copies:
+            self.peak_stored_copies = self.stored_copies
+
+    def record_evictions(self, count: int) -> None:
+        """Account for ``count`` post copies leaving bins."""
+        self.evictions += count
+        self.stored_copies -= count
+
+    @property
+    def posts_rejected(self) -> int:
+        return self.posts_processed - self.posts_admitted
+
+    @property
+    def retention_ratio(self) -> float:
+        """Fraction of the stream kept after diversification (paper's *r*)."""
+        if self.posts_processed == 0:
+            return 0.0
+        return self.posts_admitted / self.posts_processed
+
+    def merge(self, other: "RunStats") -> None:
+        """Fold another stats object into this one (used by the multi-user
+        wrappers to aggregate per-component/per-user counters). Peaks add:
+        component bins coexist in memory, so their peaks are concurrent to
+        first order."""
+        self.posts_processed += other.posts_processed
+        self.posts_admitted += other.posts_admitted
+        self.comparisons += other.comparisons
+        self.insertions += other.insertions
+        self.evictions += other.evictions
+        self.stored_copies += other.stored_copies
+        self.peak_stored_copies += other.peak_stored_copies
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Plain-dict view for reporting."""
+        return {
+            "posts_processed": self.posts_processed,
+            "posts_admitted": self.posts_admitted,
+            "posts_rejected": self.posts_rejected,
+            "retention_ratio": self.retention_ratio,
+            "comparisons": self.comparisons,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "stored_copies": self.stored_copies,
+            "peak_stored_copies": self.peak_stored_copies,
+        }

@@ -1,0 +1,75 @@
+"""Diversity thresholds (λc, λt, λa) and their validation (paper §2).
+
+The paper's defaults, established by its user study and used throughout its
+evaluation, are λc = 18 SimHash bits, λt = 30 minutes and λa = 0.7
+(author cosine similarity ≥ 0.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..simhash import FINGERPRINT_BITS
+
+#: Paper defaults (§3 and §6.1).
+DEFAULT_LAMBDA_C = 18
+DEFAULT_LAMBDA_T = 30 * 60.0
+DEFAULT_LAMBDA_A = 0.7
+
+
+@dataclass(frozen=True, slots=True)
+class Thresholds:
+    """The three diversity thresholds.
+
+    Attributes:
+        lambda_c: content threshold — max Hamming distance (bits) for two
+            posts to be content-similar. 0 means exact-fingerprint only.
+        lambda_t: time threshold in seconds — max timestamp gap.
+        lambda_a: author threshold — max author distance (1 − cosine).
+
+    Setting a dimension "off" (paper Figure 10) means making it never
+    constrain: ``lambda_c = 64``, ``lambda_t = inf`` or ``lambda_a = 1.0``.
+    The :meth:`without` helper builds those variants.
+    """
+
+    lambda_c: int = DEFAULT_LAMBDA_C
+    lambda_t: float = DEFAULT_LAMBDA_T
+    lambda_a: float = DEFAULT_LAMBDA_A
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lambda_c, int):
+            raise ConfigurationError(f"lambda_c must be an int, got {self.lambda_c!r}")
+        if not 0 <= self.lambda_c <= FINGERPRINT_BITS:
+            raise ConfigurationError(
+                f"lambda_c must be in [0, {FINGERPRINT_BITS}], got {self.lambda_c}"
+            )
+        if self.lambda_t < 0:
+            raise ConfigurationError(f"lambda_t must be >= 0, got {self.lambda_t}")
+        if not 0.0 <= self.lambda_a <= 1.0:
+            raise ConfigurationError(f"lambda_a must be in [0, 1], got {self.lambda_a}")
+
+    def without(self, *dimensions: str) -> "Thresholds":
+        """Copy with the named dimensions disabled (made non-constraining).
+
+        Dimension names are ``"content"``, ``"time"`` and ``"author"``.
+        Used to reproduce Figure 10's dimension-subset study.
+
+        >>> Thresholds().without("author").lambda_a
+        1.0
+        """
+        valid = {"content", "time", "author"}
+        unknown = set(dimensions) - valid
+        if unknown:
+            raise ConfigurationError(f"unknown dimensions: {sorted(unknown)}")
+        return Thresholds(
+            lambda_c=FINGERPRINT_BITS if "content" in dimensions else self.lambda_c,
+            lambda_t=float("inf") if "time" in dimensions else self.lambda_t,
+            lambda_a=1.0 if "author" in dimensions else self.lambda_a,
+        )
+
+    @property
+    def author_min_similarity(self) -> float:
+        """The similarity form of λa: authors are similar iff their cosine
+        similarity is at least ``1 - lambda_a``."""
+        return 1.0 - self.lambda_a

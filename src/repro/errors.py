@@ -1,0 +1,36 @@
+"""Exception hierarchy for the firehose reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or threshold was supplied."""
+
+
+class UnknownAlgorithmError(ConfigurationError):
+    """A diversifier name not present in the registry was requested."""
+
+
+class GraphError(ReproError):
+    """An author graph operation received inconsistent input."""
+
+
+class UnknownAuthorError(GraphError):
+    """A post referenced an author that is not part of the graph/universe."""
+
+
+class StreamOrderError(ReproError):
+    """Posts were offered to a streaming algorithm out of timestamp order."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset could not be built from the given parameters."""

@@ -1,0 +1,110 @@
+"""Evaluation harness: measurement, verification and per-figure drivers.
+
+Public surface:
+
+* :func:`run_algorithm` / :func:`compare_algorithms` /
+  :func:`run_multiuser_by_name` — timed runs.
+* :func:`verify_coverage` / :func:`find_uncovered` — the exact offline
+  checker of the SPSD guarantee.
+* :mod:`~repro.eval.experiments` — one driver per paper figure/table
+  (``run_experiment("figure11")`` etc.).
+* :mod:`~repro.eval.ablations` — design-choice ablations.
+"""
+
+from .ablations import (
+    ABLATIONS,
+    ablation_clique_cover,
+    ablation_indexed_unibin,
+    ablation_permuted_index,
+    ablation_preprocessing,
+    ablation_scan_order,
+    ablation_simhash_speed,
+    baseline_comparison,
+    burst_behaviour,
+    service_capacity,
+)
+from .distributions import (
+    HammingDistribution,
+    SimilarityCcdf,
+    author_similarity_ccdf,
+    hamming_distribution,
+)
+from .experiments import (
+    EXPERIMENTS,
+    SCALES,
+    ExperimentResult,
+    default_dataset,
+    run_experiment,
+)
+from .harness import (
+    compare_algorithms,
+    run_algorithm,
+    run_diversifier,
+    run_multiuser,
+    run_multiuser_by_name,
+)
+from .report import generate_report
+from .metrics import (
+    MeasuredRun,
+    find_uncovered,
+    pruning_audit,
+    verify_coverage,
+)
+from .tables import render_series, render_table
+from .timeseries import WindowRow, windowed_timeseries
+from .userstudy import (
+    CosinePoint,
+    LabeledPair,
+    PRPoint,
+    cosine_crossover,
+    cosine_curve,
+    crossover,
+    example_pairs,
+    generate_labeled_pairs,
+    precision_recall_curve,
+)
+
+__all__ = [
+    "ABLATIONS",
+    "EXPERIMENTS",
+    "SCALES",
+    "CosinePoint",
+    "ExperimentResult",
+    "HammingDistribution",
+    "LabeledPair",
+    "MeasuredRun",
+    "PRPoint",
+    "SimilarityCcdf",
+    "ablation_clique_cover",
+    "ablation_indexed_unibin",
+    "ablation_permuted_index",
+    "ablation_preprocessing",
+    "ablation_scan_order",
+    "ablation_simhash_speed",
+    "author_similarity_ccdf",
+    "baseline_comparison",
+    "burst_behaviour",
+    "compare_algorithms",
+    "cosine_crossover",
+    "cosine_curve",
+    "crossover",
+    "default_dataset",
+    "example_pairs",
+    "find_uncovered",
+    "generate_report",
+    "generate_labeled_pairs",
+    "hamming_distribution",
+    "precision_recall_curve",
+    "pruning_audit",
+    "render_series",
+    "render_table",
+    "WindowRow",
+    "windowed_timeseries",
+    "run_algorithm",
+    "run_diversifier",
+    "run_experiment",
+    "run_multiuser",
+    "run_multiuser_by_name",
+    "service_capacity",
+    "verify_coverage",
+]

@@ -1,0 +1,490 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These are not paper figures; they substantiate decisions the paper makes in
+prose — SimHash over cosine for speed (§3), linear scan over the permuted
+index at large λc (§3, end), the greedy clique cover (§4.3), newest-first
+bin scans (§4).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..authors import greedy_clique_cover, per_edge_cover
+from ..core import Thresholds, make_diversifier
+from ..simhash import SimHashIndex, TfVector, hamming, simhash
+from ..social import Dataset, TextGenerator, Vocabulary
+from .experiments import ExperimentResult, default_dataset
+from .harness import run_diversifier
+
+
+def ablation_simhash_speed(
+    *, n_texts: int = 2000, n_comparisons: int = 200_000, seed: int = 13
+) -> ExperimentResult:
+    """SimHash vs cosine: cost of one pairwise comparison.
+
+    Fingerprints/TF vectors are precomputed for both (matching how the
+    diversifiers amortise per-post preparation); the measured loop is pure
+    comparison work, which is what scales with r·n² in UniBin.
+    """
+    rng = random.Random(seed)
+    vocabulary = Vocabulary(seed=seed)
+    generator = TextGenerator(vocabulary, seed=seed + 1)
+    texts = [
+        generator.fresh(rng.randrange(vocabulary.topic_count), rng=rng).text
+        for _ in range(n_texts)
+    ]
+    fingerprints = [simhash(t) for t in texts]
+    vectors = [TfVector.from_text(t) for t in texts]
+    pair_indices = [
+        (rng.randrange(n_texts), rng.randrange(n_texts)) for _ in range(n_comparisons)
+    ]
+
+    start = time.perf_counter()
+    checksum = 0
+    for i, j in pair_indices:
+        checksum += hamming(fingerprints[i], fingerprints[j])
+    simhash_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    acc = 0.0
+    for i, j in pair_indices:
+        acc += vectors[i].cosine(vectors[j])
+    cosine_time = time.perf_counter() - start
+
+    rows = [
+        {
+            "measure": "simhash_hamming",
+            "comparisons": n_comparisons,
+            "total_s": round(simhash_time, 4),
+            "ns_per_comparison": round(1e9 * simhash_time / n_comparisons, 1),
+        },
+        {
+            "measure": "cosine_tf",
+            "comparisons": n_comparisons,
+            "total_s": round(cosine_time, 4),
+            "ns_per_comparison": round(1e9 * cosine_time / n_comparisons, 1),
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_simhash_speed",
+        title="Per-comparison cost: SimHash Hamming vs TF cosine",
+        parameters={"n_texts": n_texts, "checksum": checksum, "acc": round(acc, 1)},
+        rows=rows,
+        notes=[
+            f"speedup: {cosine_time / simhash_time:.1f}x — the paper picks "
+            "SimHash because it matches cosine's quality at a fraction of "
+            "the comparison cost"
+        ],
+    )
+
+
+def ablation_permuted_index(
+    *,
+    radii: tuple[int, ...] = (2, 4, 6, 10, 14, 18),
+    n_fingerprints: int = 5000,
+    n_queries: int = 500,
+    seed: int = 19,
+) -> ExperimentResult:
+    """Pigeonhole index vs linear scan across Hamming radii.
+
+    The paper rules the index out at λc = 18; this measures why — the
+    candidate set the index must verify approaches the whole table as the
+    radius grows (blocks shrink to ~3 bits, so block collisions are common).
+    """
+    rng = random.Random(seed)
+    vocabulary = Vocabulary(seed=seed)
+    generator = TextGenerator(vocabulary, seed=seed + 1)
+    fingerprints = [
+        simhash(generator.fresh(rng.randrange(vocabulary.topic_count), rng=rng).text)
+        for _ in range(n_fingerprints)
+    ]
+    queries = [
+        simhash(generator.fresh(rng.randrange(vocabulary.topic_count), rng=rng).text)
+        for _ in range(n_queries)
+    ]
+    rows = []
+    for radius in radii:
+        index = SimHashIndex(radius)
+        for key, fp in enumerate(fingerprints):
+            index.add(fp, key)
+        candidates = sum(index.candidate_count(q) for q in queries)
+        avg_candidates = candidates / n_queries
+        rows.append(
+            {
+                "radius": radius,
+                "tables": index.table_count,
+                "avg_candidates_per_query": round(avg_candidates, 1),
+                "linear_scan_candidates": n_fingerprints,
+                "candidate_fraction": round(avg_candidates / n_fingerprints, 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_permuted_index",
+        title="Pigeonhole SimHash index: candidate blow-up with radius",
+        parameters={"fingerprints": n_fingerprints, "queries": n_queries},
+        rows=rows,
+        notes=[
+            "small radii prune candidates by orders of magnitude; at the "
+            "paper's lambda_c=18 the candidate fraction nears 1, i.e. the "
+            "index degenerates to a (more expensive) linear scan"
+        ],
+    )
+
+
+def ablation_clique_cover(
+    dataset: Dataset | None = None, *, lambda_a: float = 0.7
+) -> ExperimentResult:
+    """Greedy clique edge cover vs the trivial per-edge cover."""
+    dataset = dataset or default_dataset()
+    graph = dataset.graph(lambda_a)
+    greedy = greedy_clique_cover(graph)
+    trivial = per_edge_cover(graph)
+    rows = [
+        {
+            "cover": "greedy (paper 4.3)",
+            "cliques": len(greedy),
+            "total_membership": greedy.total_membership,
+            "c_cliques_per_author": round(greedy.average_cliques_per_author(), 2),
+            "s_avg_clique_size": round(greedy.average_clique_size(), 2),
+        },
+        {
+            "cover": "per-edge (trivial)",
+            "cliques": len(trivial),
+            "total_membership": trivial.total_membership,
+            "c_cliques_per_author": round(trivial.average_cliques_per_author(), 2),
+            "s_avg_clique_size": round(trivial.average_clique_size(), 2),
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="ablation_clique_cover",
+        title="Clique edge cover quality: greedy vs per-edge",
+        parameters={"lambda_a": lambda_a, "edges": graph.edge_count},
+        rows=rows,
+        notes=[
+            "CliqueBin stores one post copy per clique membership of the "
+            "author, so total_membership/authors = c is the replication "
+            "factor the greedy heuristic minimises"
+        ],
+    )
+
+
+def ablation_scan_order(
+    dataset: Dataset | None = None, *, thresholds: Thresholds = Thresholds()
+) -> ExperimentResult:
+    """Newest-first vs oldest-first bin scans (UniBin).
+
+    Duplicates cluster in time near their source, so scanning from the
+    newest post finds a covering post sooner; both orders admit the same Z.
+    """
+    dataset = dataset or default_dataset()
+    graph = dataset.graph(thresholds.lambda_a)
+    rows = []
+    admitted: dict[bool, frozenset[int]] = {}
+    for newest_first in (True, False):
+        diversifier = make_diversifier(
+            "unibin", thresholds, graph, newest_first=newest_first
+        )
+        run = run_diversifier(diversifier, dataset.posts)
+        admitted[newest_first] = run.admitted_ids
+        rows.append(
+            {
+                "scan_order": "newest_first" if newest_first else "oldest_first",
+                "comparisons": run.comparisons,
+                "time_s": round(run.wall_time, 4),
+                "admitted": run.posts_admitted,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_scan_order",
+        title="Bin scan order: newest-first vs oldest-first",
+        parameters={"posts": len(dataset.posts)},
+        rows=rows,
+        notes=[
+            "identical output either way: "
+            f"{'yes' if admitted[True] == admitted[False] else 'NO (bug!)'}"
+        ],
+    )
+
+
+def ablation_preprocessing(
+    *, pairs_per_distance: int = 40, seed: int = 101
+) -> ExperimentResult:
+    """§3's preprocessing trials: URL canonicalisation, mention/hashtag
+    re-weighting, abbreviation expansion.
+
+    The paper tried each and found "no significant impact to the precision
+    and recall" over plain normalisation; this ablation re-measures the
+    crossover P/R (and its F1) for every variant on the simulated study
+    pairs.
+    """
+    from ..simhash import PreprocessOptions, hamming, simhash_preprocessed
+    from .userstudy import PRPoint, generate_labeled_pairs
+
+    pairs = generate_labeled_pairs(pairs_per_distance=pairs_per_distance, seed=seed)
+    variants: list[tuple[str, PreprocessOptions]] = [
+        ("normalized (default)", PreprocessOptions()),
+        ("+ canonicalize URLs", PreprocessOptions(canonicalize_urls=True)),
+        ("+ hashtag weight x3", PreprocessOptions(hashtag_weight=3.0)),
+        ("+ strip mentions", PreprocessOptions(mention_weight=0.0)),
+        ("+ expand abbreviations", PreprocessOptions(expand_abbreviations=True)),
+        (
+            "+ all of the above",
+            PreprocessOptions(
+                canonicalize_urls=True,
+                hashtag_weight=3.0,
+                mention_weight=0.0,
+                expand_abbreviations=True,
+            ),
+        ),
+    ]
+
+    total_redundant = sum(1 for p in pairs if p.redundant)
+    rows = []
+    base_f1 = None
+    for label, options in variants:
+        distances = [
+            (
+                hamming(
+                    simhash_preprocessed(p.text_a, options),
+                    simhash_preprocessed(p.text_b, options),
+                ),
+                p.redundant,
+            )
+            for p in pairs
+        ]
+        cross: PRPoint | None = None
+        for threshold in range(0, 33):
+            predicted = [(d, r) for d, r in distances if d <= threshold]
+            tp = sum(1 for _, r in predicted if r)
+            precision = tp / len(predicted) if predicted else 1.0
+            recall = tp / total_redundant if total_redundant else 0.0
+            if recall >= precision:
+                cross = PRPoint(threshold, precision, recall, len(predicted))
+                break
+        assert cross is not None
+        f1 = (
+            2 * cross.precision * cross.recall / (cross.precision + cross.recall)
+            if cross.precision + cross.recall
+            else 0.0
+        )
+        if base_f1 is None:
+            base_f1 = f1
+        rows.append(
+            {
+                "variant": label,
+                "crossover_h": cross.threshold,
+                "precision": round(cross.precision, 4),
+                "recall": round(cross.recall, 4),
+                "f1": round(f1, 4),
+                "delta_f1_vs_default": round(f1 - base_f1, 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_preprocessing",
+        title="Text preprocessing variants (sec 3 trials)",
+        parameters={"pairs": len(pairs)},
+        rows=rows,
+        notes=[
+            "paper: these methods had no significant impact to precision "
+            "and recall — expect every delta_f1 within a few points of 0"
+        ],
+    )
+
+
+def ablation_indexed_unibin(
+    dataset: Dataset | None = None,
+    *,
+    lambda_cs: tuple[int, ...] = (3, 6, 12, 18),
+) -> ExperimentResult:
+    """Index-accelerated UniBin vs the linear scan, across λc.
+
+    Quantifies §3's regime boundary from the diversifier's seat: at small
+    λc the pigeonhole index eliminates nearly all candidate verifications;
+    at the paper's λc = 18 it verifies almost as much as the scan while
+    paying index maintenance — the reason the paper's algorithms prune via
+    the time and author dimensions instead.
+    """
+    from ..core import IndexedUniBin, UniBin
+
+    dataset = dataset or default_dataset()
+    rows = []
+    for lambda_c in lambda_cs:
+        thresholds = Thresholds(lambda_c=lambda_c)
+        graph = dataset.graph(thresholds.lambda_a)
+        plain = run_diversifier(UniBin(thresholds, graph), dataset.posts)
+        indexed = run_diversifier(IndexedUniBin(thresholds, graph), dataset.posts)
+        if plain.admitted_ids != indexed.admitted_ids:
+            raise AssertionError("indexed and plain UniBin outputs diverged")
+        rows.append(
+            {
+                "lambda_c": lambda_c,
+                "unibin_comparisons": plain.comparisons,
+                "indexed_verified_candidates": indexed.comparisons,
+                "candidate_reduction": round(
+                    1 - indexed.comparisons / max(1, plain.comparisons), 4
+                ),
+                "unibin_time_s": round(plain.wall_time, 4),
+                "indexed_time_s": round(indexed.wall_time, 4),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ablation_indexed_unibin",
+        title="Pigeonhole-indexed UniBin vs linear-scan UniBin",
+        parameters={"posts": len(dataset.posts)},
+        rows=rows,
+        notes=[
+            "identical outputs at every lambda_c; the index wins outright "
+            "at small radii and loses to maintenance cost near lambda_c=18"
+        ],
+    )
+
+
+def baseline_comparison(
+    dataset: Dataset | None = None,
+    *,
+    thresholds: Thresholds = Thresholds(),
+    maxmin_k: int = 50,
+) -> ExperimentResult:
+    """§7 made measurable: SPSD vs sliding-window MaxMin top-k vs leader
+    stream clustering, on the same stream and ground truth."""
+    from ..baselines import compare_baselines
+
+    dataset = dataset or default_dataset()
+    outcomes = compare_baselines(
+        dataset.stream,
+        dataset.graph(thresholds.lambda_a),
+        thresholds,
+        maxmin_k=maxmin_k,
+    )
+    return ExperimentResult(
+        experiment_id="baseline_comparison",
+        title="SPSD vs related-work baseline models (sec 7)",
+        parameters={"posts": len(dataset.posts), "maxmin_k": maxmin_k},
+        rows=[o.as_row() for o in outcomes],
+        notes=[
+            "SPSD must show zero Definition-1 coverage violations; the "
+            "top-k and clustering models hide uncovered posts (budgeted "
+            "selection) or collapse across the author/time dimensions "
+            "(collateral prunes) — the paper's argument for a new model"
+        ],
+    )
+
+
+def service_capacity(
+    dataset: Dataset | None = None, *, thresholds: Thresholds = Thresholds()
+) -> ExperimentResult:
+    """The paper's real-time claim, quantified: per-decision latency and
+    the sustainable real-time speedup of each algorithm.
+
+    "Sustainable speedup" is the largest stream-clock compression at which
+    a single-threaded engine still keeps up (utilisation < 1); e.g. 1,000
+    means the engine could absorb a day of this stream in ~86 seconds.
+    """
+    from ..core import make_diversifier
+    from ..service import capacity_sweep
+
+    dataset = dataset or default_dataset()
+    graph = dataset.graph(thresholds.lambda_a)
+    rows = capacity_sweep(
+        lambda name: make_diversifier(name, thresholds, graph),
+        dataset.posts,
+        algorithms=("unibin", "neighborbin", "cliquebin"),
+    )
+    return ExperimentResult(
+        experiment_id="service_capacity",
+        title="Real-time capacity: decision latency and sustainable speedup",
+        parameters={"posts": len(dataset.posts), "authors": len(dataset.authors)},
+        rows=rows,
+        notes=[
+            "every algorithm must sustain speedup >> 1 (the paper's "
+            "real-time requirement); the binned algorithms' headroom over "
+            "UniBin mirrors their Figure-11 running-time advantage"
+        ],
+    )
+
+
+def burst_behaviour(
+    *, thresholds: Thresholds = Thresholds(lambda_t=900.0), seed: int = 42
+) -> ExperimentResult:
+    """Flash-crowd behaviour: a breaking-news burst mid-stream.
+
+    The firehose motivation of the paper is exactly this pattern — a story
+    breaks, echoes flood in. The experiment generates a stream whose
+    arrival rate jumps 9× for half an hour, runs UniBin, and reports the
+    per-window arrivals / prune rate / resident copies. Expected shape:
+    pruning and memory spike *during* the burst (echoes are redundant and
+    the window fills), and both relax immediately after — the coverage
+    guarantee holds throughout.
+    """
+    from ..core import make_diversifier
+    from ..social import (
+        DatasetConfig,
+        NetworkConfig,
+        StreamConfig,
+        build_dataset,
+    )
+    from .metrics import find_uncovered
+    from .timeseries import windowed_timeseries
+
+    duration = 6 * 3600.0
+    burst = (3 * 3600.0, 1800.0, 8.0)
+    dataset = build_dataset(
+        DatasetConfig(
+            network=NetworkConfig(
+                n_authors=400, n_communities=20, mean_followees=25, seed=seed
+            ),
+            stream=StreamConfig(
+                duration=duration,
+                posts_per_author_per_day=40.0,
+                bursts=(burst,),
+                seed=seed + 1,
+            ),
+            sample_size=250,
+        )
+    )
+    graph = dataset.graph(thresholds.lambda_a)
+    diversifier = make_diversifier("unibin", thresholds, graph)
+    rows = [
+        row.as_dict()
+        for row in windowed_timeseries(diversifier, dataset.posts, window=1800.0)
+    ]
+    from ..core import CoverageChecker
+
+    # Independent verification pass over the same stream.
+    verifier = make_diversifier("unibin", thresholds, graph)
+    admitted = frozenset(p.post_id for p in verifier.diversify(dataset.posts))
+    violations = find_uncovered(
+        dataset.posts, admitted, CoverageChecker(thresholds, graph)
+    )
+    center, width, intensity = burst
+    return ExperimentResult(
+        experiment_id="burst_behaviour",
+        title="Flash-crowd burst: per-window arrivals, pruning and memory",
+        parameters={
+            "posts": len(dataset.posts),
+            "burst_center_s": center,
+            "burst_width_s": width,
+            "burst_intensity": intensity,
+            "coverage_violations": len(violations),
+        },
+        rows=rows,
+        notes=[
+            "arrivals, prune rate and resident copies must peak in the "
+            "burst windows and relax after; coverage_violations must be 0"
+        ],
+    )
+
+
+ABLATIONS = {
+    "ablation_simhash_speed": lambda scale: ablation_simhash_speed(),
+    "ablation_permuted_index": lambda scale: ablation_permuted_index(),
+    "ablation_clique_cover": lambda scale: ablation_clique_cover(default_dataset(scale)),
+    "ablation_scan_order": lambda scale: ablation_scan_order(default_dataset(scale)),
+    "ablation_preprocessing": lambda scale: ablation_preprocessing(),
+    "ablation_indexed_unibin": lambda scale: ablation_indexed_unibin(default_dataset(scale)),
+    "baseline_comparison": lambda scale: baseline_comparison(default_dataset(scale)),
+    "service_capacity": lambda scale: service_capacity(default_dataset(scale)),
+    "burst_behaviour": lambda scale: burst_behaviour(),
+}

@@ -1,0 +1,108 @@
+"""Distribution studies: Figure 2 (Hamming) and Figure 9 (author similarity).
+
+Figure 2: SimHash distances between random, unrelated tweets are binomially
+distributed around 32 bits (each bit agrees with probability ~1/2) — the
+paper's "perfect normal distribution with mean value 32, … most of the
+distances between 24 to 40".
+
+Figure 9: the complementary CDF of pairwise author similarity — the paper
+reports 2.3% of pairs ≥ 0.2 and 0.6% ≥ 0.3 on its Twitter sample.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..authors import FriendVectors, similarity_values
+from ..simhash import hamming_bulk, simhash
+from ..social import TextGenerator, Vocabulary
+
+
+@dataclass(frozen=True, slots=True)
+class HammingDistribution:
+    """Histogram of pairwise SimHash distances between random posts."""
+
+    counts: dict[int, int]
+    mean: float
+    std: float
+    total_pairs: int
+
+    def fraction_between(self, lo: int, hi: int) -> float:
+        """Fraction of distances in [lo, hi] (paper checks 24–40)."""
+        if self.total_pairs == 0:
+            return 0.0
+        inside = sum(c for d, c in self.counts.items() if lo <= d <= hi)
+        return inside / self.total_pairs
+
+
+def hamming_distribution(
+    *, n_posts: int = 20_000, n_pairs: int = 200_000, seed: int = 31
+) -> HammingDistribution:
+    """Figure 2: distance histogram over random pairs of random posts."""
+    rng = random.Random(seed)
+    vocabulary = Vocabulary(seed=seed)
+    generator = TextGenerator(vocabulary, seed=seed + 1)
+    fingerprints = np.array(
+        [
+            simhash(generator.fresh(rng.randrange(vocabulary.topic_count), rng=rng).text)
+            for _ in range(n_posts)
+        ],
+        dtype=np.uint64,
+    )
+    idx_a = np.array([rng.randrange(n_posts) for _ in range(n_pairs)])
+    idx_b = np.array([rng.randrange(n_posts) for _ in range(n_pairs)])
+    distinct = idx_a != idx_b
+    distances = hamming_bulk(fingerprints[idx_a[distinct]], fingerprints[idx_b[distinct]])
+    values, counts = np.unique(distances, return_counts=True)
+    return HammingDistribution(
+        counts={int(v): int(c) for v, c in zip(values, counts)},
+        mean=float(distances.mean()),
+        std=float(distances.std()),
+        total_pairs=int(distances.size),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SimilarityCcdf:
+    """CCDF of pairwise author similarity over *all* author pairs."""
+
+    thresholds: tuple[float, ...]
+    fractions: tuple[float, ...]
+    total_pairs: int
+    positive_pairs: int
+
+    def fraction_at_least(self, threshold: float) -> float:
+        """Fraction of pairs with similarity ≥ threshold (interpolating the
+        precomputed grid exactly at grid points)."""
+        for t, f in zip(self.thresholds, self.fractions):
+            if abs(t - threshold) < 1e-12:
+                return f
+        raise KeyError(f"threshold {threshold} not on the computed grid")
+
+
+def author_similarity_ccdf(
+    vectors: FriendVectors,
+    *,
+    thresholds: tuple[float, ...] = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8),
+) -> SimilarityCcdf:
+    """Figure 9: fraction of author pairs with similarity ≥ x.
+
+    Zero-similarity pairs (the overwhelming majority — no shared followee)
+    are counted in the denominator without being enumerated.
+    """
+    m = len(vectors)
+    total_pairs = m * (m - 1) // 2
+    values = similarity_values(vectors)
+    fractions = tuple(
+        (sum(1 for v in values if v >= t) / total_pairs) if total_pairs else 0.0
+        for t in thresholds
+    )
+    return SimilarityCcdf(
+        thresholds=thresholds,
+        fractions=fractions,
+        total_pairs=total_pairs,
+        positive_pairs=len(values),
+    )

@@ -1,0 +1,134 @@
+"""Measurement containers and the exact coverage verifier.
+
+The verifier is the ground truth behind the library's central invariant:
+after any run, every input post must be covered (Definition 1) by some
+admitted post. It re-checks the guarantee offline with a time-indexed scan,
+independent of any algorithm's data structures.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from ..core import CoverageChecker, Post
+
+
+@dataclass(frozen=True, slots=True)
+class MeasuredRun:
+    """One algorithm's measured ingestion of one stream.
+
+    ``wall_time``/``cpu_time`` are seconds for the full ingest loop;
+    counter semantics match :class:`repro.core.RunStats`.
+    """
+
+    algorithm: str
+    posts_processed: int
+    posts_admitted: int
+    comparisons: int
+    insertions: int
+    peak_stored_copies: int
+    wall_time: float
+    cpu_time: float
+    admitted_ids: frozenset[int] = field(repr=False)
+
+    @property
+    def retention_ratio(self) -> float:
+        """Admitted over processed. For multi-user runs ``posts_admitted``
+        counts deliveries across users, so this can exceed 1 (deliveries
+        per stream post)."""
+        if self.posts_processed == 0:
+            return 0.0
+        return self.posts_admitted / self.posts_processed
+
+    @property
+    def posts_rejected(self) -> int:
+        """Pruned posts (single-user runs)."""
+        return self.posts_processed - self.posts_admitted
+
+    @property
+    def throughput(self) -> float:
+        """Posts ingested per wall-clock second."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.posts_processed / self.wall_time
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Reporting row (drops the admitted-id set)."""
+        return {
+            "algorithm": self.algorithm,
+            "posts": self.posts_processed,
+            "admitted": self.posts_admitted,
+            "retention": round(self.retention_ratio, 4),
+            "time_s": round(self.wall_time, 4),
+            "cpu_s": round(self.cpu_time, 4),
+            "ram_copies": self.peak_stored_copies,
+            "comparisons": self.comparisons,
+            "insertions": self.insertions,
+        }
+
+
+def find_uncovered(
+    posts: list[Post], admitted_ids: frozenset[int], checker: CoverageChecker
+) -> list[Post]:
+    """Posts violating the SPSD guarantee (should always be empty).
+
+    A post satisfies the guarantee if it was admitted, or some *earlier*
+    admitted post within λt covers it — the streaming algorithms only look
+    backward, so we verify that stricter condition. Returns the violators.
+    """
+    admitted = [p for p in posts if p.post_id in admitted_ids]
+    admitted.sort(key=lambda p: p.timestamp)
+    admitted_times = [p.timestamp for p in admitted]
+    lambda_t = checker.thresholds.lambda_t
+
+    uncovered: list[Post] = []
+    for post in posts:
+        if post.post_id in admitted_ids:
+            continue
+        lo = bisect_left(admitted_times, post.timestamp - lambda_t)
+        hi = bisect_right(admitted_times, post.timestamp)
+        # Newest-first mirrors the algorithms' scan and exits early on
+        # duplicate-heavy streams.
+        if not any(
+            checker.covers(post, admitted[i]) for i in range(hi - 1, lo - 1, -1)
+        ):
+            uncovered.append(post)
+    return uncovered
+
+
+def verify_coverage(
+    posts: list[Post], admitted_ids: frozenset[int], checker: CoverageChecker
+) -> None:
+    """Raise ``AssertionError`` with the first violators if coverage fails."""
+    violations = find_uncovered(posts, admitted_ids, checker)
+    if violations:
+        sample = [p.post_id for p in violations[:5]]
+        raise AssertionError(
+            f"{len(violations)} posts violate the coverage guarantee; "
+            f"first ids: {sample}"
+        )
+
+
+def pruning_audit(
+    posts: list[Post],
+    admitted_ids: frozenset[int],
+    redundant_ids: set[int],
+) -> dict[str, float | int]:
+    """Compare pruning decisions against generator ground truth.
+
+    ``redundant_ids`` are post ids the generator created as true
+    near-duplicates. Pruned truly-redundant posts are correct prunes; pruned
+    non-redundant posts are collateral (the algorithm is still *correct* —
+    coverage held — but the post's content differed more). Returns counts
+    and the fraction of pruned posts that were ground-truth redundant.
+    """
+    pruned = {p.post_id for p in posts} - admitted_ids
+    true_prunes = len(pruned & redundant_ids)
+    result: dict[str, float | int] = {
+        "pruned": len(pruned),
+        "pruned_ground_truth_redundant": true_prunes,
+        "pruned_other": len(pruned) - true_prunes,
+    }
+    result["prune_precision"] = true_prunes / len(pruned) if pruned else 1.0
+    return result

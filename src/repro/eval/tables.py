@@ -1,0 +1,71 @@
+"""ASCII rendering of experiment results.
+
+Every experiment driver returns rows of plain dicts; this module turns them
+into aligned monospace tables so benchmarks and the CLI print the same
+series the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` as an aligned ASCII table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_format_value(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row_cells in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row_cells)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+) -> str:
+    """Render a figure-style multi-series table: one row per x value, one
+    column per series (e.g. per algorithm)."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i]
+        rows.append(row)
+    return render_table(rows, title=title)

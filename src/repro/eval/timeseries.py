@@ -1,0 +1,96 @@
+"""Windowed time-series of a diversification run.
+
+Operational visibility for deployments: chop the stream into fixed wall-
+clock windows and report, per window, what arrived, what was shown, the
+prune rate, and the work done (comparisons / insertions / resident
+copies). The benchmarks use it to sanity-check steady-state behaviour; a
+service would feed the rows into its metrics system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import Post, StreamDiversifier
+
+
+@dataclass(frozen=True, slots=True)
+class WindowRow:
+    """Aggregates for one wall-clock window of the stream."""
+
+    window_start: float
+    window_end: float
+    arrivals: int
+    admitted: int
+    comparisons: int
+    insertions: int
+    stored_copies: int
+
+    @property
+    def prune_rate(self) -> float:
+        if self.arrivals == 0:
+            return 0.0
+        return 1.0 - self.admitted / self.arrivals
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "arrivals": self.arrivals,
+            "admitted": self.admitted,
+            "prune_rate": round(self.prune_rate, 4),
+            "comparisons": self.comparisons,
+            "insertions": self.insertions,
+            "stored_copies": self.stored_copies,
+        }
+
+
+def windowed_timeseries(
+    diversifier: StreamDiversifier,
+    posts: list[Post],
+    *,
+    window: float = 3600.0,
+) -> list[WindowRow]:
+    """Run ``diversifier`` over ``posts`` collecting one row per window.
+
+    Windows are aligned to the first post's timestamp. The diversifier is
+    purged at each window boundary, so ``stored_copies`` is the live
+    footprint at window end.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if not posts:
+        return []
+
+    rows: list[WindowRow] = []
+    stats = diversifier.stats
+    window_start = posts[0].timestamp
+    arrivals = admitted = 0
+    cmp_base, ins_base = stats.comparisons, stats.insertions
+
+    def close_window(end: float) -> None:
+        nonlocal arrivals, admitted, cmp_base, ins_base, window_start
+        diversifier.purge(end)
+        rows.append(
+            WindowRow(
+                window_start=window_start,
+                window_end=end,
+                arrivals=arrivals,
+                admitted=admitted,
+                comparisons=stats.comparisons - cmp_base,
+                insertions=stats.insertions - ins_base,
+                stored_copies=diversifier.stored_copies(),
+            )
+        )
+        window_start = end
+        arrivals = admitted = 0
+        cmp_base, ins_base = stats.comparisons, stats.insertions
+
+    for post in posts:
+        while post.timestamp >= window_start + window:
+            close_window(window_start + window)
+        arrivals += 1
+        if diversifier.offer(post):
+            admitted += 1
+    close_window(posts[-1].timestamp if arrivals else window_start + window)
+    return rows

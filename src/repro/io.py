@@ -1,0 +1,136 @@
+"""File formats: JSONL post traces, author graphs, subscription tables.
+
+A deployment has its own posts and its own social graph; these helpers
+define the interchange formats the CLI's ``diversify`` command consumes:
+
+* **posts.jsonl** — one JSON object per line:
+  ``{"post_id": 1, "author": 42, "text": "...", "timestamp": 12.5}``
+  (an optional ``"fingerprint"`` carries a precomputed SimHash; otherwise
+  it is computed from ``text`` on load).
+* **graph.json** — ``{"nodes": [...], "edges": [[a, b], ...]}``.
+* **subscriptions.json** — ``{"<user_id>": [author, ...], ...}``.
+
+All writers are deterministic (sorted keys) so traces diff cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from .authors import AuthorGraph
+from .core import Post
+from .errors import DatasetError
+from .multiuser import SubscriptionTable
+
+_POST_FIELDS = ("post_id", "author", "text", "timestamp")
+
+
+def post_to_dict(post: Post) -> dict[str, object]:
+    """JSON-safe dict form of a post (fingerprint included)."""
+    return {
+        "post_id": post.post_id,
+        "author": post.author,
+        "text": post.text,
+        "timestamp": post.timestamp,
+        "fingerprint": post.fingerprint,
+    }
+
+
+def post_from_dict(record: dict[str, object]) -> Post:
+    """Parse one JSONL record into a :class:`Post`.
+
+    A missing fingerprint is computed from the text (normalised mode); a
+    present one is trusted, enabling lossless round-trips and precomputed
+    pipelines.
+    """
+    missing = [f for f in _POST_FIELDS if f not in record]
+    if missing:
+        raise DatasetError(f"post record missing fields {missing}: {record!r}")
+    fingerprint = record.get("fingerprint")
+    if fingerprint is None:
+        return Post.create(
+            int(record["post_id"]),  # type: ignore[arg-type]
+            int(record["author"]),  # type: ignore[arg-type]
+            str(record["text"]),
+            float(record["timestamp"]),  # type: ignore[arg-type]
+        )
+    return Post(
+        post_id=int(record["post_id"]),  # type: ignore[arg-type]
+        author=int(record["author"]),  # type: ignore[arg-type]
+        text=str(record["text"]),
+        timestamp=float(record["timestamp"]),  # type: ignore[arg-type]
+        fingerprint=int(fingerprint),  # type: ignore[arg-type]
+    )
+
+
+def write_posts_jsonl(posts: Iterable[Post], path: str | Path) -> int:
+    """Write posts to a JSONL trace; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for post in posts:
+            handle.write(json.dumps(post_to_dict(post), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_posts_jsonl(path: str | Path) -> Iterator[Post]:
+    """Stream posts from a JSONL trace (lazily — traces can be large)."""
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            yield post_from_dict(record)
+
+
+def write_graph_json(graph: AuthorGraph, path: str | Path) -> None:
+    """Write an author graph as ``{"nodes": [...], "edges": [[a,b], ...]}``."""
+    payload = {
+        "nodes": sorted(graph.nodes),
+        "edges": sorted([a, b] for a, b in graph.edges()),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def read_graph_json(path: str | Path) -> AuthorGraph:
+    """Load an author graph written by :func:`write_graph_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "nodes" not in payload:
+        raise DatasetError(f"{path}: expected an object with 'nodes'/'edges'")
+    return AuthorGraph(
+        (int(n) for n in payload["nodes"]),
+        ((int(a), int(b)) for a, b in payload.get("edges", [])),
+    )
+
+
+def write_subscriptions_json(table: SubscriptionTable, path: str | Path) -> None:
+    """Write a subscription table as ``{"user": [authors...]}``."""
+    payload = {
+        str(user): sorted(table.subscriptions_of(user)) for user in table.users
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def read_subscriptions_json(path: str | Path) -> SubscriptionTable:
+    """Load a subscription table written by :func:`write_subscriptions_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise DatasetError(f"{path}: expected a user -> authors object")
+    return SubscriptionTable(
+        {int(user): [int(a) for a in authors] for user, authors in payload.items()}
+    )

@@ -1,0 +1,48 @@
+"""Multi-user SPSD (M-SPSD) engines (paper §5).
+
+Public surface:
+
+* :class:`SubscriptionTable` — user ⇄ author routing.
+* :class:`IndependentMultiUser` — the M_* per-user baseline.
+* :class:`SharedComponentMultiUser` — the S_* shared-component optimisation.
+* :func:`make_multiuser` — construct either by name (``"m_unibin"`` …).
+"""
+
+from ..authors import AuthorGraph
+from ..core import ALGORITHM_NAMES, Thresholds
+from ..errors import UnknownAlgorithmError
+from .base import MultiUserDiversifier
+from .independent import IndependentMultiUser
+from .routing import SubscriptionTable
+from .shared import SharedComponentMultiUser
+
+MULTIUSER_NAMES: tuple[str, ...] = tuple(
+    f"{prefix}_{algo}" for prefix in ("m", "s") for algo in ALGORITHM_NAMES
+)
+
+
+def make_multiuser(
+    name: str,
+    thresholds: Thresholds,
+    graph: AuthorGraph,
+    subscriptions: SubscriptionTable,
+) -> MultiUserDiversifier:
+    """Instantiate an M-SPSD engine by name, e.g. ``"s_cliquebin"``."""
+    prefix, _, algorithm = name.partition("_")
+    if name not in MULTIUSER_NAMES:
+        raise UnknownAlgorithmError(
+            f"unknown multi-user algorithm {name!r}; choose from {MULTIUSER_NAMES}"
+        )
+    if prefix == "m":
+        return IndependentMultiUser(algorithm, thresholds, graph, subscriptions)
+    return SharedComponentMultiUser(algorithm, thresholds, graph, subscriptions)
+
+
+__all__ = [
+    "MULTIUSER_NAMES",
+    "IndependentMultiUser",
+    "MultiUserDiversifier",
+    "SharedComponentMultiUser",
+    "SubscriptionTable",
+    "make_multiuser",
+]

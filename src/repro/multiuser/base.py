@@ -1,0 +1,50 @@
+"""Common interface of the M-SPSD engines (paper §5).
+
+An M-SPSD engine consumes the global post stream once; for each post it
+returns the set of users on whose diversified timeline the post appears.
+The two implementations — per-user independent runs (M_*) and
+shared-connected-component runs (S_*) — expose identical semantics, which
+the test suite exploits to check they produce byte-identical timelines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+
+from ..core import Post, RunStats
+
+
+class MultiUserDiversifier(ABC):
+    """Online M-SPSD solver."""
+
+    #: e.g. "m_unibin" / "s_unibin"; subclasses override.
+    name = "abstract"
+
+    @abstractmethod
+    def offer(self, post: Post) -> frozenset[int]:
+        """Process one arriving post; return the users who receive it."""
+
+    @abstractmethod
+    def aggregate_stats(self) -> RunStats:
+        """Counters summed across all internal diversifier instances."""
+
+    @abstractmethod
+    def instance_count(self) -> int:
+        """Number of independent SPSD instances the engine maintains."""
+
+    @abstractmethod
+    def stored_copies(self) -> int:
+        """Post copies currently resident across all instances."""
+
+    @abstractmethod
+    def purge(self, now: float) -> None:
+        """Evict expired copies from every instance (periodic GC)."""
+
+    def run(self, posts: Iterable[Post]) -> dict[int, list[Post]]:
+        """Consume a whole stream; return each user's diversified timeline."""
+        timelines: dict[int, list[Post]] = {}
+        for post in posts:
+            for user in self.offer(post):
+                timelines.setdefault(user, []).append(post)
+        return timelines

@@ -1,0 +1,78 @@
+"""Subscription routing for M-SPSD (paper §2, Figure 1b).
+
+A central diversification engine serves many users, each subscribed to a
+set of authors. The :class:`SubscriptionTable` stores both directions of
+that relation: user → subscribed authors (to build per-user graphs Gi) and
+author → subscribing users (to route each arriving post to the users whose
+timelines it may enter).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..errors import ConfigurationError
+
+
+class SubscriptionTable:
+    """Bidirectional user ⇄ author subscription mapping."""
+
+    __slots__ = ("_subscriptions", "_subscribers")
+
+    def __init__(self, subscriptions: Mapping[int, Iterable[int]]):
+        self._subscriptions: dict[int, frozenset[int]] = {}
+        self._subscribers: dict[int, set[int]] = {}
+        for user, authors in subscriptions.items():
+            author_set = frozenset(authors)
+            if not author_set:
+                raise ConfigurationError(f"user {user} has no subscriptions")
+            self._subscriptions[user] = author_set
+            for author in author_set:
+                self._subscribers.setdefault(author, set()).add(user)
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._subscriptions
+
+    @property
+    def users(self) -> list[int]:
+        return list(self._subscriptions)
+
+    @property
+    def authors(self) -> list[int]:
+        """Every author with at least one subscriber."""
+        return list(self._subscribers)
+
+    def subscriptions_of(self, user: int) -> frozenset[int]:
+        """Authors ``user`` subscribes to; raises for unknown users."""
+        try:
+            return self._subscriptions[user]
+        except KeyError:
+            raise ConfigurationError(f"unknown user {user!r}") from None
+
+    def subscribers_of(self, author: int) -> frozenset[int]:
+        """Users subscribed to ``author``; empty for unsubscribed authors."""
+        return frozenset(self._subscribers.get(author, ()))
+
+    def as_dict(self) -> dict[int, frozenset[int]]:
+        """Copy of the user → authors mapping."""
+        return dict(self._subscriptions)
+
+    def average_subscriptions(self) -> float:
+        """Mean subscriptions per user (the paper reports 130 after
+        restricting to crawled authors)."""
+        if not self._subscriptions:
+            return 0.0
+        return sum(len(s) for s in self._subscriptions.values()) / len(self._subscriptions)
+
+    def median_subscriptions(self) -> float:
+        """Median subscriptions per user (the paper reports 20)."""
+        sizes = sorted(len(s) for s in self._subscriptions.values())
+        if not sizes:
+            return 0.0
+        mid = len(sizes) // 2
+        if len(sizes) % 2:
+            return float(sizes[mid])
+        return (sizes[mid - 1] + sizes[mid]) / 2.0

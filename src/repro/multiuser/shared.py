@@ -1,0 +1,80 @@
+"""S_UniBin / S_NeighborBin / S_CliqueBin: shared-component runs (§5).
+
+The sharing insight: a connected component of a user's subscription graph
+Gi is diversified identically for *every* user whose Gi contains that exact
+component — posts outside the component can never cover posts inside it
+(they are author-dissimilar by construction). So the engine:
+
+1. computes each user's components, deduplicating identical node sets
+   across users (:class:`~repro.authors.ComponentCatalog`);
+2. runs one single-user diversifier per *distinct* component, over the
+   component's induced subgraph;
+3. routes an arriving post to the distinct components containing its
+   author; each admitting component delivers the post to all of its users.
+
+A user's resulting timeline equals the union of their components' outputs —
+provably identical to the M_* timeline, which the integration tests check.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..authors import AuthorGraph, ComponentCatalog
+from ..core import Post, RunStats, StreamDiversifier, Thresholds, make_diversifier
+from .base import MultiUserDiversifier
+from .routing import SubscriptionTable
+
+
+class SharedComponentMultiUser(MultiUserDiversifier):
+    """One single-user diversifier per distinct connected component."""
+
+    def __init__(
+        self,
+        algorithm: str,
+        thresholds: Thresholds,
+        graph: AuthorGraph,
+        subscriptions: SubscriptionTable,
+    ):
+        self.name = f"s_{algorithm}"
+        self.algorithm = algorithm
+        self.thresholds = thresholds
+        self.subscriptions = subscriptions
+        self.catalog = ComponentCatalog(graph, subscriptions.as_dict())
+        self._instances: list[StreamDiversifier] = []
+        self._users_of: list[frozenset[int]] = []
+        # author -> indices of distinct components containing it
+        self._components_of_author: dict[int, list[int]] = defaultdict(list)
+        for idx, component in enumerate(self.catalog.components):
+            sub = graph.subgraph(component)
+            self._instances.append(make_diversifier(algorithm, thresholds, sub))
+            self._users_of.append(frozenset(self.catalog.users_of[idx]))
+            for author in component:
+                self._components_of_author[author].append(idx)
+
+    def offer(self, post: Post) -> frozenset[int]:
+        receivers: set[int] = set()
+        for idx in self._components_of_author.get(post.author, ()):
+            if self._instances[idx].offer(post):
+                receivers.update(self._users_of[idx])
+        return frozenset(receivers)
+
+    def aggregate_stats(self) -> RunStats:
+        total = RunStats()
+        for instance in self._instances:
+            total.merge(instance.stats)
+        return total
+
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    def stored_copies(self) -> int:
+        return sum(inst.stored_copies() for inst in self._instances)
+
+    def purge(self, now: float) -> None:
+        for instance in self._instances:
+            instance.purge(now)
+
+    def sharing_ratio(self) -> float:
+        """Fraction of per-user component work removed by deduplication."""
+        return self.catalog.sharing_ratio()

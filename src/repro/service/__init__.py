@@ -1,0 +1,24 @@
+"""Service layer: latency instrumentation and real-time capacity.
+
+The paper's engineering claim is *real-time* diversification — an instant
+decision per arriving post, at firehose rates. This package measures it:
+
+* :class:`DiversificationService` — wraps any engine, timing every
+  decision (reservoir-sampled percentiles) with periodic window GC.
+* :func:`simulate_queueing` / :class:`QueueingReport` — single-server
+  FIFO replay of a recorded stream against measured service times, at a
+  configurable real-time speedup.
+* :func:`capacity_sweep` — per-algorithm latency/throughput/sustainable-
+  speedup comparison.
+"""
+
+from .latency import LatencyRecorder, QueueingReport, simulate_queueing
+from .server import DiversificationService, capacity_sweep
+
+__all__ = [
+    "DiversificationService",
+    "LatencyRecorder",
+    "QueueingReport",
+    "capacity_sweep",
+    "simulate_queueing",
+]

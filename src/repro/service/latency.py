@@ -1,0 +1,157 @@
+"""Latency accounting for the diversification service.
+
+Per-post decision times are collected into a bounded reservoir so
+percentile reporting stays O(1) in memory on unbounded streams, with exact
+mean/max tracked separately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class LatencyRecorder:
+    """Reservoir-sampled latency distribution (seconds).
+
+    Exact count/mean/max over everything observed; percentiles estimated
+    from a uniform reservoir of ``capacity`` samples.
+    """
+
+    def __init__(self, capacity: int = 4096, *, seed: int = 0):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._samples: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if len(self._samples) < self.capacity:
+            self._samples.append(seconds)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.capacity:
+                self._samples[slot] = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-th percentile (q in [0, 100])."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def snapshot(self) -> dict[str, float]:
+        """Reporting dict with the usual percentiles (microseconds)."""
+        scale = 1e6
+        return {
+            "decisions": self.count,
+            "mean_us": round(self.mean * scale, 2),
+            "p50_us": round(self.percentile(50) * scale, 2),
+            "p95_us": round(self.percentile(95) * scale, 2),
+            "p99_us": round(self.percentile(99) * scale, 2),
+            "max_us": round(self.max * scale, 2),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class QueueingReport:
+    """Single-server queueing outcome of a replay (seconds).
+
+    ``sustainable`` means the server kept up: the backlog at the end of
+    the stream is zero and delays stayed bounded by the service bursts,
+    not by systematic overload.
+    """
+
+    speedup: float
+    posts: int
+    busy_time: float
+    stream_span: float
+    max_delay: float
+    mean_delay: float
+    final_backlog_delay: float
+
+    @property
+    def utilisation(self) -> float:
+        """Busy time over (compressed) stream span; >1 ⇒ overloaded."""
+        if self.stream_span <= 0:
+            return 0.0
+        return self.busy_time / self.stream_span
+
+    @property
+    def sustainable(self) -> bool:
+        return self.utilisation < 1.0
+
+    def as_row(self) -> dict[str, float | int | bool]:
+        return {
+            "speedup": self.speedup,
+            "posts": self.posts,
+            "utilisation": round(self.utilisation, 4),
+            "sustainable": self.sustainable,
+            "mean_delay_ms": round(self.mean_delay * 1e3, 3),
+            "max_delay_ms": round(self.max_delay * 1e3, 3),
+            "final_backlog_ms": round(self.final_backlog_delay * 1e3, 3),
+        }
+
+
+def simulate_queueing(
+    arrivals: list[float], service_times: list[float], *, speedup: float = 1.0
+) -> QueueingReport:
+    """Single-server FIFO queue: post i arrives at ``arrivals[i]/speedup``
+    and needs ``service_times[i]`` seconds of processing.
+
+    ``speedup`` compresses the stream's wall clock — replaying a day of
+    posts at speedup 86400 asks whether the engine could absorb the whole
+    day in one second. Returns delay statistics; a ``sustainable`` report
+    means the engine keeps up at that rate.
+    """
+    if len(arrivals) != len(service_times):
+        raise ValueError("arrivals and service_times must align")
+    if speedup <= 0:
+        raise ValueError(f"speedup must be positive, got {speedup}")
+    if not arrivals:
+        return QueueingReport(
+            speedup=speedup,
+            posts=0,
+            busy_time=0.0,
+            stream_span=0.0,
+            max_delay=0.0,
+            mean_delay=0.0,
+            final_backlog_delay=0.0,
+        )
+    start = arrivals[0] / speedup
+    server_free = start
+    total_delay = 0.0
+    max_delay = 0.0
+    for arrival_raw, service in zip(arrivals, service_times):
+        arrival = arrival_raw / speedup
+        begin = max(arrival, server_free)
+        server_free = begin + service
+        delay = server_free - arrival
+        total_delay += delay
+        if delay > max_delay:
+            max_delay = delay
+    stream_span = arrivals[-1] / speedup - start
+    return QueueingReport(
+        speedup=speedup,
+        posts=len(arrivals),
+        busy_time=sum(service_times),
+        stream_span=stream_span,
+        max_delay=max_delay,
+        mean_delay=total_delay / len(arrivals),
+        final_backlog_delay=max(0.0, server_free - arrivals[-1] / speedup),
+    )

@@ -1,0 +1,118 @@
+"""The diversification service: per-post latency and capacity measurement.
+
+The paper claims "scalable real-time stream processing" — the decision for
+each arriving post must be instant, and the engine must keep up with the
+firehose. This module measures both for any single-user algorithm or
+M-SPSD engine:
+
+* :class:`DiversificationService` wraps an engine, times every ``offer``
+  and records the latency distribution;
+* :meth:`DiversificationService.replay` feeds a recorded stream through
+  the engine and runs a single-server queueing simulation over the
+  measured service times at a chosen real-time ``speedup``, answering
+  "could this engine absorb this stream K× faster than real time?";
+* :func:`capacity_sweep` finds each algorithm's sustainable speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from ..core import Post, StreamDiversifier
+from ..errors import ConfigurationError
+from ..multiuser import MultiUserDiversifier
+from .latency import LatencyRecorder, QueueingReport, simulate_queueing
+
+
+class DiversificationService:
+    """Latency-instrumented wrapper around a diversification engine."""
+
+    def __init__(
+        self,
+        engine: StreamDiversifier | MultiUserDiversifier,
+        *,
+        purge_every: int = 2000,
+    ):
+        if purge_every < 1:
+            raise ConfigurationError(f"purge_every must be >= 1, got {purge_every}")
+        self.engine = engine
+        self.latency = LatencyRecorder()
+        self._purge_every = purge_every
+        self._since_purge = 0
+        self._service_times: list[float] = []
+        self._arrivals: list[float] = []
+
+    @property
+    def is_multiuser(self) -> bool:
+        return isinstance(self.engine, MultiUserDiversifier)
+
+    def ingest(self, post: Post):
+        """Process one post, timing the decision. Returns the engine's
+        verdict (bool for single-user, receiver set for multi-user)."""
+        start = time.perf_counter()
+        verdict = self.engine.offer(post)
+        elapsed = time.perf_counter() - start
+        self.latency.record(elapsed)
+        self._arrivals.append(post.timestamp)
+        self._service_times.append(elapsed)
+        self._since_purge += 1
+        if self._since_purge >= self._purge_every:
+            self.engine.purge(post.timestamp)
+            self._since_purge = 0
+        return verdict
+
+    def replay(
+        self, posts: Iterable[Post], *, speedups: tuple[float, ...] = (1.0,)
+    ) -> list[QueueingReport]:
+        """Feed ``posts`` through the engine, then evaluate the measured
+        service times against the stream's arrival process at each
+        ``speedup`` (1.0 = real time)."""
+        for post in posts:
+            self.ingest(post)
+        return [
+            simulate_queueing(self._arrivals, self._service_times, speedup=s)
+            for s in speedups
+        ]
+
+    def sustainable_speedup(self) -> float:
+        """Largest stream compression the engine keeps up with, estimated
+        from total busy time vs stream span (utilisation = 1 boundary)."""
+        if not self._arrivals or len(self._arrivals) < 2:
+            return float("inf")
+        span = self._arrivals[-1] - self._arrivals[0]
+        busy = sum(self._service_times)
+        if busy <= 0:
+            return float("inf")
+        return span / busy
+
+    def throughput_posts_per_second(self) -> float:
+        """Pure processing throughput (ignoring arrival pacing)."""
+        if self.latency.mean <= 0:
+            return float("inf")
+        return 1.0 / self.latency.mean
+
+
+def capacity_sweep(
+    make_engine,
+    posts: list[Post],
+    *,
+    algorithms: tuple[str, ...],
+) -> list[dict[str, object]]:
+    """Measure latency and sustainable speedup for several algorithms.
+
+    ``make_engine(name)`` constructs a fresh engine per algorithm name;
+    one row per algorithm is returned with the latency snapshot, raw
+    throughput, and the sustainable real-time speedup.
+    """
+    rows: list[dict[str, object]] = []
+    for name in algorithms:
+        service = DiversificationService(make_engine(name))
+        for post in posts:
+            service.ingest(post)
+        row: dict[str, object] = {"algorithm": name}
+        row.update(service.latency.snapshot())
+        row["throughput_posts_s"] = round(service.throughput_posts_per_second(), 0)
+        row["sustainable_speedup"] = round(service.sustainable_speedup(), 0)
+        rows.append(row)
+    return rows

@@ -1,0 +1,149 @@
+"""Optional text-preprocessing variants for SimHash (paper §3).
+
+Beyond the plain normalisation that became the default, the paper "also
+tried other methods of text preprocessing such as expanding shortened URLs
+…, varying the weights of user mentions and hashtags (by creating
+artificial copies), and expanding abbreviations. However, these methods had
+no significant impact to the precision and recall."
+
+This module implements those variants so the claim can be re-measured
+(``repro.eval.ablations.ablation_preprocessing``):
+
+* URL canonicalisation — drop the per-tweet short-URL slug (equivalently,
+  map every re-shortening of the same link to one token).
+* Mention/hashtag re-weighting — multiply the SimHash weight of ``@user``
+  and ``#tag`` tokens (weight 0 strips them).
+* Abbreviation expansion — rewrite common microblog shorthand
+  (``u`` → ``you`` etc.) before fingerprinting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fingerprint import simhash_from_features
+from .normalize import normalize, strip_short_urls
+from .tokenize import feature_counts, words
+
+#: Common microblog shorthand, as the paper's abbreviation-expansion trial.
+ABBREVIATIONS: dict[str, str] = {
+    "u": "you",
+    "ur": "your",
+    "r": "are",
+    "b4": "before",
+    "gr8": "great",
+    "l8r": "later",
+    "thx": "thanks",
+    "pls": "please",
+    "plz": "please",
+    "ppl": "people",
+    "msg": "message",
+    "btw": "by the way",
+    "idk": "i do not know",
+    "imo": "in my opinion",
+    "omw": "on my way",
+    "tmrw": "tomorrow",
+    "2day": "today",
+    "2nite": "tonight",
+    "w/": "with",
+    "b/c": "because",
+    "govt": "government",
+    "intl": "international",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class PreprocessOptions:
+    """Configuration of one preprocessing variant.
+
+    Attributes:
+        normalized: apply the §3 normalisation (the Figure-4 default).
+        canonicalize_urls: strip short-URL slugs before fingerprinting
+            (the "expand shortened URLs" trial — two re-shortenings of the
+            same link stop disagreeing).
+        hashtag_weight: multiplier for ``#tag`` token weights (1 = default,
+            0 strips hashtags, >1 emphasises them).
+        mention_weight: multiplier for ``@user`` token weights.
+        expand_abbreviations: rewrite :data:`ABBREVIATIONS` before
+            fingerprinting.
+        shingle_width: word-shingle width for the feature set.
+    """
+
+    normalized: bool = True
+    canonicalize_urls: bool = False
+    hashtag_weight: float = 1.0
+    mention_weight: float = 1.0
+    expand_abbreviations: bool = False
+    shingle_width: int = 2
+
+    def __post_init__(self) -> None:
+        if self.hashtag_weight < 0 or self.mention_weight < 0:
+            raise ValueError("token weights must be non-negative")
+
+
+def expand_abbreviations(text: str) -> str:
+    """Replace known shorthand tokens with their expansions.
+
+    Matching is done on lowercase tokens stripped of trailing punctuation,
+    so ``Thx!`` expands like ``thx``.
+
+    >>> expand_abbreviations("thx 4 the update pls")
+    'thanks 4 the update please'
+    """
+    out = []
+    for token in words(text):
+        stripped = token.lower().rstrip(".,!?;:")
+        expansion = ABBREVIATIONS.get(stripped)
+        if expansion is None:
+            out.append(token)
+        else:
+            out.append(expansion + token[len(stripped):])
+    return " ".join(out)
+
+
+def preprocess_text(text: str, options: PreprocessOptions) -> str:
+    """Apply the text-level stages of ``options`` (weights come later)."""
+    if options.canonicalize_urls:
+        text = strip_short_urls(text)
+    if options.expand_abbreviations:
+        text = expand_abbreviations(text)
+    if options.normalized:
+        text = normalize(text)
+    return text
+
+
+def weighted_features(text: str, options: PreprocessOptions) -> dict[str, float]:
+    """Feature → weight map with mention/hashtag re-weighting applied.
+
+    Re-weighting runs on the *raw* token stream (normalisation strips the
+    ``#``/``@`` sigils), mirroring the paper's "artificial copies" trick,
+    then the preprocessed text contributes the base features.
+    """
+    features: dict[str, float] = dict(
+        feature_counts(preprocess_text(text, options), options.shingle_width)
+    )
+    if options.hashtag_weight != 1.0 or options.mention_weight != 1.0:
+        for token in words(text):
+            if token.startswith("#"):
+                multiplier = options.hashtag_weight
+            elif token.startswith("@"):
+                multiplier = options.mention_weight
+            else:
+                continue
+            bare = token[1:].lower() if options.normalized else token[1:]
+            if not bare:
+                continue
+            base = features.pop(bare, 1.0)
+            weighted = base * multiplier
+            if weighted > 0:
+                features[bare] = weighted
+    return features
+
+
+def simhash_preprocessed(text: str, options: PreprocessOptions) -> int:
+    """64-bit SimHash under a preprocessing variant.
+
+    ``PreprocessOptions()`` reproduces the library default
+    (:func:`repro.simhash.simhash` with ``normalized=True``).
+    """
+    return simhash_from_features(weighted_features(text, options))

@@ -1,0 +1,51 @@
+"""Synthetic social-data substrate (replaces the paper's Twitter crawl).
+
+Public surface:
+
+* :class:`Vocabulary`, :class:`TextGenerator` — tweet-like text.
+* :class:`DuplicateFactory`, :class:`DuplicatePair` — labelled
+  near-duplicates (the user-study ground truth).
+* :func:`generate_network` / :class:`FollowerNetwork` — follower graphs.
+* :func:`bfs_sample` — the §6.1 BFS author sampler.
+* :func:`generate_stream` / :class:`PostStream` — Poisson post streams.
+* :func:`build_dataset` / :class:`Dataset` — the full pipeline.
+"""
+
+from .dataset import Dataset, DatasetConfig, build_dataset, small_dataset
+from .duplication import (
+    REDUNDANT_DAMAGE_LIMIT,
+    DuplicateFactory,
+    DuplicatePair,
+    Perturbation,
+)
+from .network import FollowerNetwork, NetworkConfig, generate_network
+from .sampling import bfs_sample
+from .stream import PostStream, Provenance, StreamConfig, generate_stream
+from .textgen import GeneratedText, TextGenerator, random_handle, random_short_url
+from .vocabulary import Vocabulary, ZipfSampler, build_word_list
+
+__all__ = [
+    "REDUNDANT_DAMAGE_LIMIT",
+    "Dataset",
+    "DatasetConfig",
+    "DuplicateFactory",
+    "DuplicatePair",
+    "FollowerNetwork",
+    "GeneratedText",
+    "NetworkConfig",
+    "Perturbation",
+    "PostStream",
+    "Provenance",
+    "StreamConfig",
+    "TextGenerator",
+    "Vocabulary",
+    "ZipfSampler",
+    "bfs_sample",
+    "build_dataset",
+    "build_word_list",
+    "generate_network",
+    "generate_stream",
+    "random_handle",
+    "random_short_url",
+    "small_dataset",
+]

@@ -1,0 +1,156 @@
+"""End-to-end dataset assembly (paper §6.1 pipeline).
+
+Reproduces the paper's data pipeline on the synthetic substrate:
+
+1. generate a follower network (stand-in for the 660k-author graph of [22]);
+2. BFS-sample the evaluation author set (paper: 20,150 authors);
+3. build followee vectors and precompute all-pairs similarities;
+4. generate a one-day post stream for the sampled authors (paper: 213,175
+   tweets, ~10 per author per day).
+
+A :class:`Dataset` caches the similarity table so the λa sweeps of the
+evaluation build each thresholded author graph without recomputing cosines,
+and derives the M-SPSD subscription table from the follower relation (every
+author is a user following their followees, as in §6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..authors import AuthorGraph, FriendVectors, pairwise_similarities
+from ..errors import DatasetError
+from ..multiuser import SubscriptionTable
+from .duplication import DuplicateFactory
+from .network import FollowerNetwork, NetworkConfig, generate_network
+from .sampling import bfs_sample
+from .stream import PostStream, StreamConfig, generate_stream
+from .textgen import TextGenerator
+from .vocabulary import Vocabulary
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetConfig:
+    """Scale and seed knobs for a full dataset build.
+
+    The defaults are a laptop-scale rendition of the paper's setup — the
+    ratios (posts per author, communities, duplicate rates) match, the
+    absolute counts are smaller so pure-Python runs stay interactive. Use
+    ``paper_scale()`` in :mod:`repro.eval.experiments` presets for larger
+    runs.
+    """
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    stream: StreamConfig = field(default_factory=StreamConfig)
+    sample_size: int = 1000
+    vocabulary_seed: int = 7
+    sampling_seed: int = 5
+
+    def __post_init__(self) -> None:
+        if self.sample_size > self.network.n_authors:
+            raise DatasetError(
+                f"sample_size {self.sample_size} exceeds network size "
+                f"{self.network.n_authors}"
+            )
+
+
+@dataclass(slots=True)
+class Dataset:
+    """A fully built evaluation dataset."""
+
+    config: DatasetConfig
+    network: FollowerNetwork
+    authors: list[int]
+    vectors: FriendVectors
+    similarities: dict[tuple[int, int], float]
+    stream: PostStream
+    _graph_cache: dict[float, AuthorGraph] = field(default_factory=dict)
+
+    @property
+    def posts(self):
+        return self.stream.posts
+
+    def graph(self, lambda_a: float) -> AuthorGraph:
+        """The author similarity graph at threshold ``lambda_a`` (cached)."""
+        cached = self._graph_cache.get(lambda_a)
+        if cached is None:
+            cached = AuthorGraph.from_similarities(
+                self.authors, self.similarities, lambda_a
+            )
+            self._graph_cache[lambda_a] = cached
+        return cached
+
+    def subscriptions(self) -> SubscriptionTable:
+        """M-SPSD subscriptions: each sampled author is a user following
+        their followees, restricted to the sampled set (§6.3 does exactly
+        this restriction: "we ignored the subscriptions that are not in this
+        set"). Users with no in-sample followees are dropped, as a user with
+        an empty stream is undefined."""
+        sampled = set(self.authors)
+        table: dict[int, frozenset[int]] = {}
+        for user in self.authors:
+            follows = frozenset(self.network.followees[user] & sampled)
+            if follows:
+                table[user] = follows
+        return SubscriptionTable(table)
+
+
+def build_dataset(config: DatasetConfig = DatasetConfig()) -> Dataset:
+    """Run the full §6.1 pipeline and return the assembled dataset."""
+    network = generate_network(config.network)
+    authors = bfs_sample(network, config.sample_size, seed=config.sampling_seed)
+    # Friend vectors use the *full* followee sets (the paper computes author
+    # similarity from complete friend vectors; only the author set is
+    # sampled, not their friendships).
+    vectors = FriendVectors({a: network.followees[a] for a in authors})
+    similarities = pairwise_similarities(vectors)
+    vocabulary = Vocabulary(
+        topics=config.network.n_communities, seed=config.vocabulary_seed
+    )
+    generator = TextGenerator(vocabulary, seed=config.vocabulary_seed + 1)
+    factory = DuplicateFactory(generator, seed=config.vocabulary_seed + 2)
+    # Who echoes whom: authors with followee cosine >= 0.25 — slightly wider
+    # than the default author-graph cut (similarity 0.3 at lambda_a = 0.7),
+    # so a minority of duplicates comes from borderline-similar authors and
+    # the author dimension has real work to do in the lambda_a sweeps.
+    similar_authors: dict[int, list[int]] = {}
+    for (a, b), sim in similarities.items():
+        if sim >= 0.25:
+            similar_authors.setdefault(a, []).append(b)
+            similar_authors.setdefault(b, []).append(a)
+    stream = generate_stream(
+        authors,
+        {a: network.community[a] for a in authors},
+        generator,
+        factory,
+        config.stream,
+        similar_authors=similar_authors,
+    )
+    return Dataset(
+        config=config,
+        network=network,
+        authors=authors,
+        vectors=vectors,
+        similarities=similarities,
+        stream=stream,
+    )
+
+
+def small_dataset(seed: int = 42) -> Dataset:
+    """A deliberately tiny dataset for tests and examples (fast to build).
+
+    Sized so the author graph sits in the paper's *sparse* regime
+    (average degree a few units, cliques smaller than neighbourhoods) —
+    the regime the relative-performance claims are about.
+    """
+    return build_dataset(
+        DatasetConfig(
+            network=NetworkConfig(
+                n_authors=400, n_communities=20, mean_followees=25, seed=seed
+            ),
+            stream=StreamConfig(
+                duration=6 * 3600.0, posts_per_author_per_day=16.0, seed=seed + 1
+            ),
+            sample_size=250,
+        )
+    )

@@ -1,0 +1,160 @@
+"""Synthetic follower–followee network generator.
+
+Stand-in for the Twitter social graph of Wang et al. [22] that the paper
+samples. The generator produces a directed "who follows whom" relation with
+the two structural features the author-similarity machinery depends on:
+
+* **Community structure** — authors cluster into communities and mostly
+  follow accounts popular *within their community*, so in-community author
+  pairs share followees and get high cosine similarity (the author-graph
+  edges), while cross-community pairs share little (near-zero similarity).
+  This yields the heavy-tailed similarity CCDF of the paper's Figure 9.
+* **Popularity skew** — within a community, follow targets are chosen with
+  a Zipf preference for low-rank (popular) members, and a small set of
+  global celebrities is followed from everywhere, creating hubs and the
+  connectedness BFS sampling (§6.1) relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass
+from itertools import accumulate
+
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Knobs of the follower-network generator.
+
+    Attributes:
+        n_authors: accounts in the universe.
+        n_communities: number of communities (authors assigned uniformly).
+        mean_followees: average out-degree (accounts followed per author).
+        in_community_prob: *maximum* probability a follow edge targets the
+            author's own community. Each author draws a personal affinity in
+            [min_community_affinity, in_community_prob]; heterogeneous
+            affinity is what gives the similarity distribution its heavy
+            tail (only focused-author pairs become similar) — the paper's
+            Figure 9 shape.
+        min_community_affinity: lower bound of the per-author affinity draw.
+        celebrity_fraction: fraction of accounts that are global celebrities.
+        zipf_exponent: popularity skew of in-community follow targets.
+        seed: RNG seed; the network is fully deterministic given the config.
+    """
+
+    n_authors: int = 2000
+    n_communities: int = 16
+    mean_followees: int = 60
+    in_community_prob: float = 0.95
+    min_community_affinity: float = 0.2
+    celebrity_fraction: float = 0.01
+    zipf_exponent: float = 0.9
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.n_authors < 2:
+            raise DatasetError(f"need at least 2 authors, got {self.n_authors}")
+        if self.n_communities < 1 or self.n_communities > self.n_authors:
+            raise DatasetError(
+                f"n_communities must be in [1, n_authors], got {self.n_communities}"
+            )
+        if not 0.0 <= self.in_community_prob <= 1.0:
+            raise DatasetError("in_community_prob must be in [0, 1]")
+        if not 0.0 <= self.min_community_affinity <= self.in_community_prob:
+            raise DatasetError(
+                "min_community_affinity must be in [0, in_community_prob]"
+            )
+        if self.mean_followees < 1:
+            raise DatasetError("mean_followees must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class FollowerNetwork:
+    """The generated relation plus the community assignment.
+
+    ``followees[a]`` is the set of accounts ``a`` follows (out-edges);
+    ``community[a]`` the community id of ``a``.
+    """
+
+    followees: dict[int, frozenset[int]]
+    community: dict[int, int]
+    celebrities: frozenset[int]
+
+    @property
+    def n_authors(self) -> int:
+        return len(self.followees)
+
+    def followers_of(self, author: int) -> set[int]:
+        """Inverse relation (computed on demand; used by BFS sampling)."""
+        return {a for a, f in self.followees.items() if author in f}
+
+    def members_of(self, community_id: int) -> list[int]:
+        return [a for a, c in self.community.items() if c == community_id]
+
+
+class _ZipfPicker:
+    """Zipf-weighted random member of a fixed list."""
+
+    __slots__ = ("members", "_cumulative", "_total")
+
+    def __init__(self, members: list[int], exponent: float):
+        self.members = members
+        weights = [1.0 / (rank**exponent) for rank in range(1, len(members) + 1)]
+        self._cumulative = list(accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def pick(self, rng: random.Random) -> int:
+        return self.members[bisect_right(self._cumulative, rng.random() * self._total)]
+
+
+def generate_network(config: NetworkConfig) -> FollowerNetwork:
+    """Generate a follower network per ``config`` (deterministic)."""
+    rng = random.Random(config.seed)
+    authors = list(range(config.n_authors))
+    community = {a: rng.randrange(config.n_communities) for a in authors}
+
+    n_celebrities = max(1, int(config.n_authors * config.celebrity_fraction))
+    celebrities = frozenset(rng.sample(authors, n_celebrities))
+    celebrity_list = sorted(celebrities)
+
+    members: dict[int, list[int]] = {c: [] for c in range(config.n_communities)}
+    for a in authors:
+        members[community[a]].append(a)
+    # Popularity rank within a community is just member order, shuffled once
+    # so rank is independent of the id.
+    pickers: dict[int, _ZipfPicker] = {}
+    for cid, group in members.items():
+        rng.shuffle(group)
+        pickers[cid] = _ZipfPicker(group, config.zipf_exponent)
+
+    followees: dict[int, frozenset[int]] = {}
+    span = config.in_community_prob - config.min_community_affinity
+    for a in authors:
+        # Out-degree ~ geometric-ish spread around the mean.
+        target_count = max(3, int(rng.expovariate(1.0 / config.mean_followees)) + 3)
+        # Per-author community affinity: squaring the uniform draw skews
+        # mass toward eclectic authors, leaving a focused minority whose
+        # pairs carry the similarity tail.
+        affinity = config.min_community_affinity + span * rng.random() ** 2
+        picked: set[int] = set()
+        picker = pickers[community[a]]
+        attempts = 0
+        while len(picked) < target_count and attempts < target_count * 8:
+            attempts += 1
+            roll = rng.random()
+            if roll < affinity:
+                candidate = picker.pick(rng)
+            elif roll < affinity + 0.1 and celebrity_list:
+                candidate = rng.choice(celebrity_list)
+            else:
+                candidate = rng.randrange(config.n_authors)
+            if candidate != a:
+                picked.add(candidate)
+        followees[a] = frozenset(picked)
+
+    return FollowerNetwork(
+        followees=followees, community=community, celebrities=celebrities
+    )

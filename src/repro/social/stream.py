@@ -1,0 +1,364 @@
+"""Post stream generation: Poisson arrivals with correlated duplicates.
+
+Stand-in for the paper's one-day crawl of 213,175 tweets. The generator
+produces a timestamp-ordered stream where:
+
+* arrivals form a Poisson process (uniform order statistics over the day);
+* per-author rates are heterogeneous (lognormal weights around the paper's
+  ~10 posts/author/day average);
+* a tunable fraction of posts are *duplicates* of a recent post, mostly by
+  an author from the same community (hence usually author-similar) and
+  mostly within a short lag (hence usually inside the λt window), with
+  heavy-tailed exceptions — late echoes and cross-community virality — so
+  that *every* diversity dimension has bite (removing any one changes the
+  retained count, reproducing Figure 10's behaviour);
+* duplicates carry ground-truth provenance (source post, semantic damage,
+  redundancy label) so evaluation code can audit what got pruned.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from itertools import accumulate
+
+from ..core import Post
+from ..errors import DatasetError
+from .duplication import DuplicateFactory, DuplicatePair
+from .textgen import GeneratedText, TextGenerator
+
+
+@dataclass(frozen=True, slots=True)
+class StreamConfig:
+    """Knobs of the stream generator.
+
+    Attributes:
+        duration: stream length in seconds (default one day).
+        posts_per_author_per_day: average post rate (paper: ~10).
+        duplicate_prob: probability an arriving post duplicates a recent one.
+        near_lag_mean: mean lag (s) of a "near" duplicate (exponential).
+        near_prob: probability a duplicate is near (vs a late echo).
+        far_lag_max: late echoes arrive uniformly within this many seconds.
+        similar_author_prob: probability the duplicating author is drawn
+            from the source author's similar set (otherwise any author —
+            virality across dissimilar accounts).
+        redundant_plan_prob: probability the duplicate is a true
+            near-duplicate (surface-level perturbation) rather than a
+            related-but-different rewrite.
+        bursts: flash-crowd windows as (center_s, width_s, intensity)
+            triples — within ``center ± width/2`` the arrival rate is
+            multiplied by ``1 + intensity`` (breaking-news echo storms;
+            total post count is unchanged, arrivals are redistributed).
+        seed: RNG seed.
+    """
+
+    duration: float = 86_400.0
+    posts_per_author_per_day: float = 10.0
+    duplicate_prob: float = 0.28
+    near_lag_mean: float = 600.0
+    near_prob: float = 0.78
+    far_lag_max: float = 6 * 3600.0
+    similar_author_prob: float = 0.8
+    redundant_plan_prob: float = 0.85
+    bursts: tuple[tuple[float, float, float], ...] = ()
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise DatasetError("duration must be positive")
+        if self.posts_per_author_per_day <= 0:
+            raise DatasetError("posts_per_author_per_day must be positive")
+        for label, p in (
+            ("duplicate_prob", self.duplicate_prob),
+            ("near_prob", self.near_prob),
+            ("similar_author_prob", self.similar_author_prob),
+            ("redundant_plan_prob", self.redundant_plan_prob),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise DatasetError(f"{label} must be in [0, 1], got {p}")
+        for center, width, intensity in self.bursts:
+            if not 0.0 <= center <= self.duration:
+                raise DatasetError(f"burst center {center} outside the stream")
+            if width <= 0 or intensity < 0:
+                raise DatasetError(
+                    f"burst width must be positive and intensity >= 0, "
+                    f"got ({width}, {intensity})"
+                )
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """Ground truth for one duplicated post."""
+
+    source_post_id: int
+    damage: float
+    redundant: bool
+    operators: tuple[str, ...]
+
+
+@dataclass(slots=True)
+class PostStream:
+    """A generated stream plus its ground truth."""
+
+    posts: list[Post]
+    #: post_id -> Provenance, only for posts generated as duplicates.
+    provenance: dict[int, Provenance]
+    #: author -> community id (copied from the network).
+    community: dict[int, int]
+
+    @property
+    def duplicate_count(self) -> int:
+        return len(self.provenance)
+
+    @property
+    def redundant_count(self) -> int:
+        return sum(1 for p in self.provenance.values() if p.redundant)
+
+    def subsample_posts(self, ratio: float, *, seed: int = 3) -> "PostStream":
+        """Random post subsample (Figure 14's varying post rate); keeps
+        order and ground truth of the surviving posts."""
+        if not 0.0 < ratio <= 1.0:
+            raise DatasetError(f"ratio must be in (0, 1], got {ratio}")
+        rng = random.Random(seed)
+        kept = [p for p in self.posts if rng.random() < ratio]
+        kept_ids = {p.post_id for p in kept}
+        return PostStream(
+            posts=kept,
+            provenance={
+                pid: prov for pid, prov in self.provenance.items() if pid in kept_ids
+            },
+            community=self.community,
+        )
+
+    def restrict_to_authors(self, authors: set[int]) -> "PostStream":
+        """Posts by a subset of authors (Figure 15's varying subscriptions)."""
+        kept = [p for p in self.posts if p.author in authors]
+        kept_ids = {p.post_id for p in kept}
+        return PostStream(
+            posts=kept,
+            provenance={
+                pid: prov for pid, prov in self.provenance.items() if pid in kept_ids
+            },
+            community={a: c for a, c in self.community.items() if a in authors},
+        )
+
+
+@dataclass(slots=True)
+class _HistoryEntry:
+    post_id: int
+    timestamp: float
+    author: int
+    generated: GeneratedText
+
+
+class _CommunityHistory:
+    """Recent posts per community, for duplicate-source sampling."""
+
+    def __init__(self, retention: float):
+        self.retention = retention
+        self._entries: dict[int, list[_HistoryEntry]] = {}
+        self._all: list[_HistoryEntry] = []
+
+    def add(self, community: int, entry: _HistoryEntry) -> None:
+        self._entries.setdefault(community, []).append(entry)
+        self._all.append(entry)
+
+    def _trim(self, entries: list[_HistoryEntry], now: float) -> None:
+        cutoff = now - self.retention
+        drop = 0
+        while drop < len(entries) and entries[drop].timestamp < cutoff:
+            drop += 1
+        if drop:
+            del entries[:drop]
+
+    def pick(
+        self,
+        rng: random.Random,
+        now: float,
+        *,
+        community: int | None,
+        max_lag: float,
+    ) -> _HistoryEntry | None:
+        """A random entry no older than ``max_lag``; community-scoped when
+        ``community`` is given, global otherwise."""
+        entries = self._all if community is None else self._entries.get(community, [])
+        self._trim(entries, now)
+        cutoff = now - max_lag
+        eligible_start = 0
+        for i in range(len(entries) - 1, -1, -1):
+            if entries[i].timestamp < cutoff:
+                eligible_start = i + 1
+                break
+        if eligible_start >= len(entries):
+            return None
+        return entries[rng.randrange(eligible_start, len(entries))]
+
+
+def _arrival_times(
+    rng: random.Random, total_posts: int, config: StreamConfig
+) -> list[float]:
+    """Sorted arrival times: homogeneous Poisson (uniform order statistics)
+    unless bursts are configured, in which case an inhomogeneous process is
+    sampled by inverse-CDF over a piecewise-constant rate — rate is
+    multiplied by ``1 + intensity`` inside each burst window."""
+    if not config.bursts:
+        return sorted(rng.uniform(0.0, config.duration) for _ in range(total_posts))
+
+    # Build piecewise-constant rate segments from burst boundaries.
+    boundaries = {0.0, config.duration}
+    for center, width, _intensity in config.bursts:
+        boundaries.add(max(0.0, center - width / 2))
+        boundaries.add(min(config.duration, center + width / 2))
+    edges = sorted(boundaries)
+
+    def rate_at(t: float) -> float:
+        rate = 1.0
+        for center, width, intensity in config.bursts:
+            if center - width / 2 <= t < center + width / 2:
+                rate += intensity
+        return rate
+
+    segments = []  # (start, end, cumulative_mass_end)
+    mass = 0.0
+    for start, end in zip(edges, edges[1:]):
+        if end <= start:
+            continue
+        mass += rate_at((start + end) / 2) * (end - start)
+        segments.append((start, end, mass))
+    total_mass = mass
+
+    times = []
+    for _ in range(total_posts):
+        point = rng.random() * total_mass
+        previous_mass = 0.0
+        for start, end, mass_end in segments:
+            if point <= mass_end:
+                fraction = (point - previous_mass) / (mass_end - previous_mass)
+                times.append(start + fraction * (end - start))
+                break
+            previous_mass = mass_end
+        else:  # numeric edge: place at the very end
+            times.append(config.duration)
+    times.sort()
+    return times
+
+
+def generate_stream(
+    authors: list[int],
+    community: dict[int, int],
+    generator: TextGenerator,
+    factory: DuplicateFactory,
+    config: StreamConfig = StreamConfig(),
+    *,
+    similar_authors: dict[int, list[int]] | None = None,
+) -> PostStream:
+    """Generate a :class:`PostStream` for ``authors``.
+
+    ``community`` must cover every author; topics are community ids, so
+    in-community posts share vocabulary.
+
+    ``similar_authors`` maps each author to the authors likely to echo
+    their content (in the real world: accounts following the same things
+    post the same stories). When a duplicate is generated, its author is
+    drawn from the source author's similar set with probability
+    ``config.similar_author_prob`` — this is what ties the content and
+    author dimensions together the way real redundancy does. Without the
+    map, duplicates fall back to same-community authors.
+    """
+    if not authors:
+        raise DatasetError("need at least one author")
+    missing = [a for a in authors if a not in community]
+    if missing:
+        raise DatasetError(f"authors without a community: {missing[:5]}")
+
+    rng = random.Random(config.seed)
+    total_posts = max(
+        1,
+        round(
+            len(authors)
+            * config.posts_per_author_per_day
+            * (config.duration / 86_400.0)
+        ),
+    )
+
+    times = _arrival_times(rng, total_posts, config)
+
+    # Heterogeneous per-author rates: lognormal weights.
+    weights = [rng.lognormvariate(0.0, 0.6) for _ in authors]
+    cumulative = list(accumulate(weights))
+    total_weight = cumulative[-1]
+
+    def pick_author() -> int:
+        return authors[bisect_right(cumulative, rng.random() * total_weight)]
+
+    history = _CommunityHistory(retention=config.far_lag_max)
+    posts: list[Post] = []
+    provenance: dict[int, Provenance] = {}
+    author_set = set(authors)
+    members_by_community: dict[int, list[int]] = {}
+    for a in authors:
+        members_by_community.setdefault(community[a], []).append(a)
+
+    def pick_echoing_author(source_author: int) -> int:
+        """Author of a duplicate: usually someone similar to the source."""
+        if rng.random() < config.similar_author_prob:
+            if similar_authors is not None:
+                candidates = similar_authors.get(source_author)
+                if candidates:
+                    # Include the source author: self-reposts are common.
+                    idx = rng.randrange(len(candidates) + 1)
+                    return source_author if idx == len(candidates) else candidates[idx]
+                return source_author
+            # Fallback without a similarity map: same community.
+            return rng.choice(members_by_community[community[source_author]])
+        return pick_author()
+
+    for post_id, timestamp in enumerate(times):
+        author = pick_author()
+        author_community = community[author]
+
+        source: _HistoryEntry | None = None
+        if rng.random() < config.duplicate_prob:
+            if rng.random() < config.near_prob:
+                max_lag = min(
+                    rng.expovariate(1.0 / config.near_lag_mean) + 30.0,
+                    config.far_lag_max,
+                )
+            else:
+                max_lag = config.far_lag_max
+            source = history.pick(rng, timestamp, community=None, max_lag=max_lag)
+
+        if source is not None:
+            author = pick_echoing_author(source.author)
+            if author not in author_set:
+                author = source.author
+            author_community = community[author]
+            if rng.random() < config.redundant_plan_prob:
+                pair: DuplicatePair = factory.redundant_variant(
+                    source.generated, rng=rng
+                )
+            else:
+                pair = factory.variant_of(
+                    source.generated, intensity=0.55 + rng.random() * 0.45, rng=rng
+                )
+            generated = GeneratedText(
+                text=pair.variant,
+                topic=source.generated.topic,
+                url_target=source.generated.url_target,
+            )
+            provenance[post_id] = Provenance(
+                source_post_id=source.post_id,
+                damage=pair.damage,
+                redundant=pair.redundant,
+                operators=pair.operators,
+            )
+        else:
+            generated = generator.fresh(author_community, rng=rng)
+
+        posts.append(Post.create(post_id, author, generated.text, timestamp))
+        history.add(
+            author_community, _HistoryEntry(post_id, timestamp, author, generated)
+        )
+
+    return PostStream(posts=posts, provenance=provenance, community=dict(community))

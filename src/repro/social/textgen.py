@@ -1,0 +1,99 @@
+"""Synthetic microblog text generation.
+
+Generates tweet-like texts: 6–18 words drawn from topic + global
+vocabularies, decorated the way real tweets are — capitalisation, source
+tags like "(Reuters)", shortened URLs, hashtags and mentions. SimHash does
+not care about grammar, only token overlap, so word-salad with realistic
+decoration reproduces the paper's content-distance behaviour faithfully.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+from .vocabulary import Vocabulary
+
+_URL_CHARS = string.ascii_letters + string.digits
+_AGENCIES = ("Reuters", "AP", "AFP", "Bloomberg", "UPI")
+_CITIES = ("NEW YORK", "LONDON", "SAN FRANCISCO", "TOKYO", "BERLIN", "PARIS")
+
+
+def random_short_url(rng: random.Random) -> str:
+    """A Twitter-style shortened URL, e.g. ``http://t.co/9w2JrurhKm``."""
+    slug = "".join(rng.choice(_URL_CHARS) for _ in range(10))
+    return f"http://t.co/{slug}"
+
+
+def random_handle(rng: random.Random) -> str:
+    """A plausible @-handle."""
+    length = rng.randint(5, 10)
+    return "@" + "".join(rng.choice(string.ascii_lowercase) for _ in range(length))
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedText:
+    """A generated tweet plus the metadata perturbation operators rely on."""
+
+    text: str
+    topic: int
+    #: Expanded target of any embedded short URL; re-shortening a URL keeps
+    #: this identity, which is what makes two variants "the same link".
+    url_target: str | None
+
+
+class TextGenerator:
+    """Produces fresh tweet texts for a topic."""
+
+    def __init__(self, vocabulary: Vocabulary, *, seed: int = 11):
+        self.vocabulary = vocabulary
+        self._rng = random.Random(seed)
+
+    def fresh(self, topic: int, rng: random.Random | None = None) -> GeneratedText:
+        """One new post on ``topic``.
+
+        Roughly: a capitalised clause of 6–16 words, then optionally a
+        source tag, a short URL and/or trailing hashtags — mirroring the
+        headline-style tweets in the paper's Table 1.
+        """
+        rng = rng or self._rng
+        word_count = rng.randint(6, 16)
+        words = self.vocabulary.words(rng, word_count, topic)
+        words[0] = words[0].capitalize()
+        parts = [" ".join(words)]
+
+        if rng.random() < 0.25:
+            parts.append(f"({rng.choice(_AGENCIES)})")
+
+        url_target = None
+        if rng.random() < 0.45:
+            url_target = (
+                f"http://news.example.com/{topic}/"
+                + "".join(rng.choice(string.digits) for _ in range(8))
+            )
+            parts.append(random_short_url(rng))
+
+        if rng.random() < 0.35:
+            tags = rng.randint(1, 2)
+            for _ in range(tags):
+                parts.append("#" + self.vocabulary.word(rng, topic, topical_prob=0.8))
+
+        if rng.random() < 0.12:
+            parts.insert(0, random_handle(rng))
+
+        return GeneratedText(text=" ".join(parts), topic=topic, url_target=url_target)
+
+    def agency_longform(
+        self, base: GeneratedText, rng: random.Random | None = None
+    ) -> str:
+        """The wire-service long form of a headline (paper Table 1, row 3):
+        ``<headline>: CITY (Agency) - <headline prefix>... <new short url>``.
+        """
+        rng = rng or self._rng
+        headline = base.text.split(" http://t.co/")[0]
+        prefix_words = headline.split()[: rng.randint(4, 7)]
+        return (
+            f"{headline}: {rng.choice(_CITIES)} ({rng.choice(_AGENCIES)}) - "
+            f"{' '.join(prefix_words)}... {random_short_url(rng)}"
+        )

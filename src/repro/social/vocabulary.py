@@ -1,0 +1,140 @@
+"""Synthetic vocabularies with Zipfian frequencies.
+
+The text generator needs a realistic-looking word supply: a shared global
+vocabulary sampled with a Zipf law (so random unrelated posts behave like
+real tweets under SimHash — their distance distribution centres at 32 bits,
+paper Figure 2), plus per-topic sub-vocabularies (so posts about the same
+story share terms and communities have recognisable content).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from itertools import accumulate
+
+# A seed lexicon of common words; the generator extends it with syllabic
+# coinages so vocabularies of any size are available offline.
+_SEED_WORDS = (
+    "the of to and in for on with at by from new says after over amid report "
+    "breaking update live world market stocks shares deal talks vote court "
+    "police fire storm rain heat game team win loss final season player coach "
+    "film music album star show launch phone app data cloud chip startup "
+    "funding round growth sales profit loss bank rate tax plan bill law city "
+    "mayor state governor president minister leader party election poll "
+    "campaign border trade summit crisis strike protest rally crowd people "
+    "children school students health study drug trial vaccine doctor hospital "
+    "science space rocket moon mars probe energy oil gas solar wind climate "
+    "flood quake virus outbreak food prices supply chain port ship flight "
+    "airline crash rescue missing found dead injured arrested charged guilty "
+    "verdict appeal ruling judge jury case investigation probe leak hack "
+    "breach security attack defense army navy troops war peace truce aid "
+    "refugees border wall bridge road traffic train metro bus fare strike "
+    "union workers jobs wages hiring layoffs factory plant output exports "
+    "imports tariff currency dollar euro yen gold silver copper wheat corn "
+    "coffee big small major minor early late record high low sharp steady "
+    "strong weak likely unlikely official source local global national "
+    "regional annual monthly weekly daily"
+).split()
+
+_ONSETS = ("b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j",
+           "k", "l", "m", "n", "p", "pl", "pr", "qu", "r", "s", "sh", "sl",
+           "st", "t", "th", "tr", "v", "w", "z")
+_NUCLEI = ("a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou")
+_CODAS = ("", "b", "ck", "d", "g", "l", "m", "n", "nd", "ng", "nt", "p",
+          "r", "rk", "s", "sh", "st", "t", "th", "x")
+
+
+def _coin_word(rng: random.Random, syllables: int) -> str:
+    parts = []
+    for _ in range(syllables):
+        parts.append(rng.choice(_ONSETS) + rng.choice(_NUCLEI) + rng.choice(_CODAS))
+    return "".join(parts)
+
+
+def build_word_list(size: int, rng: random.Random) -> list[str]:
+    """``size`` distinct words: the seed lexicon first, coinages after.
+
+    Deterministic given the rng state.
+    """
+    words = list(dict.fromkeys(_SEED_WORDS))[:size]
+    seen = set(words)
+    while len(words) < size:
+        word = _coin_word(rng, rng.choice((1, 2, 2, 3)))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+    return words
+
+
+class ZipfSampler:
+    """Draws items with probability ∝ 1 / rank^exponent.
+
+    Cumulative weights are precomputed once; each draw is a binary search.
+    """
+
+    __slots__ = ("items", "_cumulative", "_total")
+
+    def __init__(self, items: list[str], exponent: float = 1.05):
+        if not items:
+            raise ValueError("ZipfSampler needs at least one item")
+        self.items = items
+        weights = [1.0 / (rank**exponent) for rank in range(1, len(items) + 1)]
+        self._cumulative = list(accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> str:
+        """One Zipf-distributed draw."""
+        point = rng.random() * self._total
+        return self.items[bisect_right(self._cumulative, point)]
+
+    def sample_many(self, rng: random.Random, count: int) -> list[str]:
+        """``count`` i.i.d. draws."""
+        return [self.sample(rng) for _ in range(count)]
+
+
+class Vocabulary:
+    """Global Zipf vocabulary plus per-topic sub-vocabularies.
+
+    Each topic owns ``topic_words`` exclusive terms (entities, hashtag roots)
+    ranked Zipf-style, and mixes them with the global vocabulary when a
+    topical post is generated.
+    """
+
+    def __init__(
+        self,
+        *,
+        global_size: int = 4000,
+        topics: int = 20,
+        topic_words: int = 120,
+        seed: int = 7,
+    ):
+        rng = random.Random(seed)
+        total = global_size + topics * topic_words
+        words = build_word_list(total, rng)
+        self.global_sampler = ZipfSampler(words[:global_size])
+        self.topic_samplers: list[ZipfSampler] = []
+        offset = global_size
+        for _ in range(topics):
+            self.topic_samplers.append(ZipfSampler(words[offset : offset + topic_words]))
+            offset += topic_words
+
+    @property
+    def topic_count(self) -> int:
+        return len(self.topic_samplers)
+
+    def word(self, rng: random.Random, topic: int | None = None, topical_prob: float = 0.45) -> str:
+        """One word; with probability ``topical_prob`` from the topic pool."""
+        if topic is not None and rng.random() < topical_prob:
+            return self.topic_samplers[topic % len(self.topic_samplers)].sample(rng)
+        return self.global_sampler.sample(rng)
+
+    def words(
+        self,
+        rng: random.Random,
+        count: int,
+        topic: int | None = None,
+        topical_prob: float = 0.45,
+    ) -> list[str]:
+        """``count`` words mixing topic and global pools."""
+        return [self.word(rng, topic, topical_prob) for _ in range(count)]

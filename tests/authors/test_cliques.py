@@ -1,0 +1,127 @@
+"""Tests for repro.authors.cliques — the greedy clique edge cover."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.authors import (
+    AuthorGraph,
+    CliqueCover,
+    greedy_clique_cover,
+    per_edge_cover,
+    verify_cover,
+)
+from repro.errors import GraphError
+
+
+def random_graph(n: int, p: float, seed: int) -> AuthorGraph:
+    rng = random.Random(seed)
+    edges = [
+        (a, b) for a in range(n) for b in range(a + 1, n) if rng.random() < p
+    ]
+    return AuthorGraph(range(n), edges)
+
+
+class TestGreedyCover:
+    def test_triangle_single_clique(self):
+        graph = AuthorGraph([1, 2, 3], [(1, 2), (1, 3), (2, 3)])
+        cover = greedy_clique_cover(graph)
+        assert len(cover) == 1
+        assert cover.cliques[0] == frozenset({1, 2, 3})
+
+    def test_paper_example_cover(self, paper_graph):
+        """Figure 6c: cliques {a1,a2,a3} and {a3,a4} cover all edges."""
+        cover = greedy_clique_cover(paper_graph)
+        assert frozenset({1, 2, 3}) in cover.cliques
+        assert frozenset({3, 4}) in cover.cliques
+        assert len(cover) == 2
+
+    def test_isolated_nodes_get_singletons(self):
+        graph = AuthorGraph([1, 2, 3], [(1, 2)])
+        cover = greedy_clique_cover(graph)
+        assert frozenset({3}) in cover.cliques
+
+    def test_empty_graph(self):
+        graph = AuthorGraph([1, 2], [])
+        cover = greedy_clique_cover(graph)
+        assert sorted(cover.cliques) == [frozenset({1}), frozenset({2})]
+
+    def test_deterministic(self):
+        graph = random_graph(25, 0.3, seed=1)
+        assert greedy_clique_cover(graph).cliques == greedy_clique_cover(graph).cliques
+
+    def test_node_order_changes_cover_not_validity(self):
+        graph = random_graph(15, 0.4, seed=2)
+        cover = greedy_clique_cover(graph, node_order=reversed(sorted(graph.nodes)))
+        verify_cover(graph, cover)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31), st.floats(0.05, 0.6))
+    def test_valid_on_random_graphs(self, seed, p):
+        graph = random_graph(18, p, seed)
+        verify_cover(graph, greedy_clique_cover(graph))
+
+    def test_greedy_no_worse_than_per_edge(self):
+        for seed in range(5):
+            graph = random_graph(20, 0.35, seed)
+            greedy = greedy_clique_cover(graph)
+            trivial = per_edge_cover(graph)
+            assert greedy.total_membership <= trivial.total_membership
+
+
+class TestPerEdgeCover:
+    def test_one_clique_per_edge(self):
+        graph = AuthorGraph([1, 2, 3], [(1, 2), (2, 3)])
+        cover = per_edge_cover(graph)
+        assert frozenset({1, 2}) in cover.cliques
+        assert frozenset({2, 3}) in cover.cliques
+        verify_cover(graph, cover)
+
+    def test_isolated_nodes_covered(self):
+        graph = AuthorGraph([1, 2, 3], [(1, 2)])
+        verify_cover(graph, per_edge_cover(graph))
+
+
+class TestCliqueCoverLookup:
+    def test_cliques_of(self, paper_graph):
+        cover = greedy_clique_cover(paper_graph)
+        a3_cliques = cover.cliques_of(3)
+        assert len(a3_cliques) == 2  # a3 is in both cliques
+        assert len(cover.cliques_of(1)) == 1
+        assert cover.cliques_of(99) == []
+
+    def test_metrics(self, paper_graph):
+        cover = greedy_clique_cover(paper_graph)
+        # memberships: {1,2,3} + {3,4} → total 5 over 4 authors, 2 cliques
+        assert cover.total_membership == 5
+        assert cover.average_cliques_per_author() == pytest.approx(5 / 4)
+        assert cover.average_clique_size() == pytest.approx(5 / 2)
+
+    def test_empty_clique_rejected(self):
+        with pytest.raises(GraphError):
+            CliqueCover([frozenset()])
+
+
+class TestVerifyCover:
+    def test_detects_uncovered_edge(self, paper_graph):
+        bad = CliqueCover([frozenset({1, 2, 3})])  # edge (3, 4) uncovered
+        with pytest.raises(GraphError, match="not covered"):
+            verify_cover(paper_graph, bad)
+
+    def test_detects_non_clique(self, paper_graph):
+        bad = CliqueCover([frozenset({1, 2, 3, 4})])  # (1,4),(2,4) not edges
+        with pytest.raises(GraphError, match="non-edge"):
+            verify_cover(paper_graph, bad)
+
+    def test_detects_missing_node(self, paper_graph):
+        bad = CliqueCover([frozenset({1, 2, 3}), frozenset({3, 4})])
+        graph = AuthorGraph(list(paper_graph.nodes) + [99], list(paper_graph.edges()))
+        with pytest.raises(GraphError, match="no clique"):
+            verify_cover(graph, bad)
+
+    def test_detects_foreign_member(self, paper_graph):
+        bad = CliqueCover([frozenset({1, 77})])
+        with pytest.raises(GraphError):
+            verify_cover(paper_graph, bad)

@@ -1,0 +1,96 @@
+"""Tests for repro.authors.components — the M-SPSD sharing substrate."""
+
+import pytest
+
+from repro.authors import (
+    AuthorGraph,
+    ComponentCatalog,
+    connected_components,
+    user_components,
+)
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        graph = AuthorGraph([1, 2, 3], [(1, 2), (2, 3)])
+        assert connected_components(graph) == [frozenset({1, 2, 3})]
+
+    def test_multiple_components(self):
+        graph = AuthorGraph([1, 2, 3, 4], [(1, 2), (3, 4)])
+        assert set(connected_components(graph)) == {
+            frozenset({1, 2}),
+            frozenset({3, 4}),
+        }
+
+    def test_isolated_nodes_are_singletons(self):
+        graph = AuthorGraph([1, 2, 3], [(1, 2)])
+        assert frozenset({3}) in connected_components(graph)
+
+    def test_empty_graph(self):
+        assert connected_components(AuthorGraph([], [])) == []
+
+    def test_components_partition_nodes(self):
+        graph = AuthorGraph(range(10), [(0, 1), (1, 2), (4, 5), (7, 8)])
+        components = connected_components(graph)
+        seen = [node for comp in components for node in comp]
+        assert sorted(seen) == list(range(10))
+
+
+class TestUserComponents:
+    def test_paper_section5_example(self):
+        """The §5 example: u1 and u2 share {a1, a2, a6} as a component of
+        both subscription graphs, so that component is reusable; a4 is not,
+        because u2 also subscribes to the similar a5."""
+        graph = AuthorGraph(
+            [1, 2, 3, 4, 5, 6],
+            [(1, 2), (2, 6), (3, 4), (4, 5)],
+        )
+        u1 = user_components(graph, [1, 2, 6, 4, 3])
+        u2 = user_components(graph, [1, 2, 6, 4, 5])
+        shared = frozenset({1, 2, 6})
+        assert shared in u1 and shared in u2
+        # u1 sees a3–a4 together, u2 sees a4–a5 together: different units.
+        assert frozenset({3, 4}) in u1
+        assert frozenset({4, 5}) in u2
+
+
+class TestComponentCatalog:
+    @pytest.fixture()
+    def graph(self):
+        return AuthorGraph(
+            [1, 2, 3, 4, 5, 6],
+            [(1, 2), (2, 6), (3, 4), (4, 5)],
+        )
+
+    def test_dedup_across_users(self, graph):
+        catalog = ComponentCatalog(
+            graph,
+            {
+                100: [1, 2, 6, 3, 4],
+                200: [1, 2, 6, 4, 5],
+            },
+        )
+        # Distinct: {1,2,6} (shared), {3,4}, {4,5} → 3; total instances 4.
+        assert catalog.distinct_count == 3
+        assert catalog.total_user_components == 4
+        assert catalog.sharing_ratio() == pytest.approx(0.25)
+
+    def test_users_of_component(self, graph):
+        catalog = ComponentCatalog(graph, {100: [1, 2, 6], 200: [1, 2, 6]})
+        assert catalog.distinct_count == 1
+        assert sorted(catalog.users_of[0]) == [100, 200]
+
+    def test_no_sharing(self, graph):
+        catalog = ComponentCatalog(graph, {100: [1], 200: [2]})
+        assert catalog.sharing_ratio() == 0.0
+
+    def test_empty(self):
+        catalog = ComponentCatalog(AuthorGraph([], []), {})
+        assert catalog.distinct_count == 0
+        assert catalog.sharing_ratio() == 0.0
+
+    def test_components_of_user(self, graph):
+        catalog = ComponentCatalog(graph, {100: [1, 2, 3]})
+        indices = catalog.components_of_user[100]
+        node_sets = {catalog.components[i] for i in indices}
+        assert node_sets == {frozenset({1, 2}), frozenset({3})}

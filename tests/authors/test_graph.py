@@ -1,0 +1,128 @@
+"""Tests for repro.authors.graph — the thresholded author graph."""
+
+import pytest
+
+from repro.authors import AuthorGraph, FriendVectors
+from repro.errors import GraphError, UnknownAuthorError
+
+
+@pytest.fixture()
+def triangle_plus_tail() -> AuthorGraph:
+    return AuthorGraph(nodes=[1, 2, 3, 4, 5], edges=[(1, 2), (1, 3), (2, 3), (3, 4)])
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self, triangle_plus_tail):
+        assert len(triangle_plus_tail) == 5
+        assert triangle_plus_tail.edge_count == 4
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            AuthorGraph([1], [(1, 1)])
+
+    def test_edge_adds_missing_nodes(self):
+        graph = AuthorGraph([], [(1, 2)])
+        assert 1 in graph and 2 in graph
+
+    def test_duplicate_edges_idempotent(self):
+        graph = AuthorGraph([1, 2], [(1, 2), (2, 1), (1, 2)])
+        assert graph.edge_count == 1
+
+    def test_add_node_idempotent(self, triangle_plus_tail):
+        triangle_plus_tail.add_node(1)
+        assert len(triangle_plus_tail) == 5
+
+
+class TestQueries:
+    def test_neighbors(self, triangle_plus_tail):
+        assert triangle_plus_tail.neighbors(3) == {1, 2, 4}
+        assert triangle_plus_tail.neighbors(5) == set()
+
+    def test_neighbors_unknown(self, triangle_plus_tail):
+        with pytest.raises(UnknownAuthorError):
+            triangle_plus_tail.neighbors(99)
+
+    def test_degree(self, triangle_plus_tail):
+        assert triangle_plus_tail.degree(3) == 3
+        assert triangle_plus_tail.degree(5) == 0
+
+    def test_are_similar_same_author(self, triangle_plus_tail):
+        assert triangle_plus_tail.are_similar(5, 5)
+
+    def test_are_similar_adjacent(self, triangle_plus_tail):
+        assert triangle_plus_tail.are_similar(1, 2)
+        assert triangle_plus_tail.are_similar(4, 3)
+
+    def test_are_similar_non_adjacent(self, triangle_plus_tail):
+        assert not triangle_plus_tail.are_similar(1, 4)
+        assert not triangle_plus_tail.are_similar(5, 1)
+
+    def test_edges_yields_each_once(self, triangle_plus_tail):
+        edges = list(triangle_plus_tail.edges())
+        assert len(edges) == 4
+        assert all(a < b for a, b in edges)
+
+
+class TestSubgraph:
+    def test_induced_edges(self, triangle_plus_tail):
+        sub = triangle_plus_tail.subgraph([1, 2, 4])
+        assert len(sub) == 3
+        assert sub.edge_count == 1  # only (1, 2); 4's edge to 3 is cut
+        assert sub.are_similar(1, 2)
+        assert not sub.are_similar(1, 4)
+
+    def test_unknown_node_rejected(self, triangle_plus_tail):
+        with pytest.raises(UnknownAuthorError):
+            triangle_plus_tail.subgraph([1, 99])
+
+    def test_empty_subgraph(self, triangle_plus_tail):
+        assert len(triangle_plus_tail.subgraph([])) == 0
+
+
+class TestFromVectors:
+    def test_threshold_respected(self):
+        vectors = FriendVectors(
+            {1: {10, 11}, 2: {10, 11}, 3: {10, 99}, 4: {50}}
+        )
+        # sim(1,2) = 1.0; sim(1,3) = sim(2,3) = 0.5; others 0.
+        graph = AuthorGraph.from_vectors(vectors, lambda_a=0.3)  # sim >= 0.7
+        assert graph.are_similar(1, 2)
+        assert not graph.are_similar(1, 3)
+        graph = AuthorGraph.from_vectors(vectors, lambda_a=0.6)  # sim >= 0.4
+        assert graph.are_similar(1, 3)
+        assert not graph.are_similar(1, 4)
+
+    def test_lambda_a_one_is_complete(self):
+        vectors = FriendVectors({1: {10}, 2: {20}, 3: {30}})
+        graph = AuthorGraph.from_vectors(vectors, lambda_a=1.0)
+        assert graph.edge_count == 3
+
+    def test_negative_lambda_a_rejected(self):
+        vectors = FriendVectors({1: {10}})
+        with pytest.raises(GraphError):
+            AuthorGraph.from_vectors(vectors, lambda_a=-0.1)
+
+    def test_from_similarities_matches_from_vectors(self):
+        from repro.authors import pairwise_similarities
+
+        vectors = FriendVectors(
+            {1: {10, 11}, 2: {10, 11}, 3: {10, 99}, 4: {50}}
+        )
+        sims = pairwise_similarities(vectors)
+        a = AuthorGraph.from_vectors(vectors, 0.6)
+        b = AuthorGraph.from_similarities(vectors.authors, sims, 0.6)
+        assert set(a.edges()) == set(b.edges())
+
+
+class TestStatistics:
+    def test_average_degree(self, triangle_plus_tail):
+        # degrees: 2, 2, 3, 1, 0 → mean 1.6
+        assert triangle_plus_tail.average_degree() == pytest.approx(1.6)
+
+    def test_density(self, triangle_plus_tail):
+        assert triangle_plus_tail.density() == pytest.approx(4 / 10)
+
+    def test_empty_graph_statistics(self):
+        graph = AuthorGraph([], [])
+        assert graph.average_degree() == 0.0
+        assert graph.density() == 0.0

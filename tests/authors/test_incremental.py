@@ -1,0 +1,126 @@
+"""Tests for repro.authors.incremental — similarity maintenance."""
+
+import random
+
+import pytest
+
+from repro.authors import FriendVectors, pairwise_similarities
+from repro.authors.incremental import SimilarityMaintainer
+from repro.errors import GraphError, UnknownAuthorError
+
+
+def expected_edges(friends: dict[int, set[int]], threshold: float) -> set[tuple[int, int]]:
+    """Ground truth via full recomputation."""
+    vectors = FriendVectors(friends)
+    return {
+        pair
+        for pair, sim in pairwise_similarities(vectors).items()
+        if sim >= threshold - 1e-12
+    }
+
+
+class TestConstruction:
+    def test_initial_edges_match_full_computation(self):
+        friends = {1: {10, 11}, 2: {10, 11}, 3: {10, 99}, 4: {50}}
+        maintainer = SimilarityMaintainer(friends, threshold=0.4)
+        assert maintainer.edges() == expected_edges(
+            {a: set(f) for a, f in friends.items()}, 0.4
+        )
+
+    def test_threshold_validation(self):
+        with pytest.raises(GraphError):
+            SimilarityMaintainer({}, threshold=0.0)
+        with pytest.raises(GraphError):
+            SimilarityMaintainer({}, threshold=1.5)
+
+    def test_unknown_author(self):
+        maintainer = SimilarityMaintainer({1: {10}}, threshold=0.5)
+        with pytest.raises(UnknownAuthorError):
+            maintainer.follow(99, 10)
+
+
+class TestFollow:
+    def test_follow_creates_edge(self):
+        maintainer = SimilarityMaintainer({1: {10}, 2: {11}}, threshold=0.5)
+        assert maintainer.edges() == set()
+        delta = maintainer.follow(1, 11)
+        assert delta["added"] == {(1, 2)}
+        assert maintainer.edges() == {(1, 2)}
+
+    def test_follow_can_remove_edge_by_dilution(self):
+        # 1 and 2 identical; 1 follows many extras → similarity drops.
+        maintainer = SimilarityMaintainer({1: {10}, 2: {10}}, threshold=0.9)
+        assert maintainer.edges() == {(1, 2)}
+        removed = set()
+        for extra in range(100, 104):
+            delta = maintainer.follow(1, extra)
+            removed |= delta["removed"]
+        assert (1, 2) in removed
+        assert maintainer.edges() == set()
+
+    def test_duplicate_follow_is_noop(self):
+        maintainer = SimilarityMaintainer({1: {10}, 2: {10}}, threshold=0.5)
+        delta = maintainer.follow(1, 10)
+        assert delta == {"added": set(), "removed": set()}
+
+
+class TestUnfollow:
+    def test_unfollow_removes_edge(self):
+        maintainer = SimilarityMaintainer({1: {10}, 2: {10}}, threshold=0.9)
+        delta = maintainer.unfollow(1, 10)
+        assert delta["removed"] == {(1, 2)}
+        assert maintainer.edges() == set()
+
+    def test_unfollow_can_create_edge_by_concentration(self):
+        # 1 = {10, 99}, 2 = {10}: sim = 1/sqrt(2) ≈ 0.707 < 0.9.
+        maintainer = SimilarityMaintainer({1: {10, 99}, 2: {10}}, threshold=0.9)
+        assert maintainer.edges() == set()
+        delta = maintainer.unfollow(1, 99)
+        assert delta["added"] == {(1, 2)}
+
+    def test_unfollow_absent_is_noop(self):
+        maintainer = SimilarityMaintainer({1: {10}, 2: {10}}, threshold=0.5)
+        assert maintainer.unfollow(1, 77) == {"added": set(), "removed": set()}
+
+
+class TestAgainstFullRecomputation:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_update_sequences(self, seed):
+        """After any mutation sequence, the incremental edge set must equal
+        a from-scratch recomputation."""
+        rng = random.Random(seed)
+        authors = list(range(12))
+        friends = {
+            a: {rng.randrange(30) for _ in range(rng.randrange(1, 6))}
+            for a in authors
+        }
+        threshold = 0.4
+        maintainer = SimilarityMaintainer(friends, threshold=threshold)
+        shadow = {a: set(f) for a, f in friends.items()}
+        for _ in range(120):
+            author = rng.choice(authors)
+            followee = rng.randrange(30)
+            if rng.random() < 0.5:
+                maintainer.follow(author, followee)
+                shadow[author].add(followee)
+            else:
+                maintainer.unfollow(author, followee)
+                shadow[author].discard(followee)
+            assert maintainer.edges() == expected_edges(shadow, threshold)
+
+    def test_deltas_compose(self):
+        """Applying the reported deltas to a copy reconstructs the edges."""
+        rng = random.Random(7)
+        friends = {a: {rng.randrange(15) for _ in range(3)} for a in range(8)}
+        maintainer = SimilarityMaintainer(friends, threshold=0.4)
+        edges = maintainer.edges()
+        for _ in range(60):
+            author = rng.randrange(8)
+            followee = rng.randrange(15)
+            if rng.random() < 0.5:
+                delta = maintainer.follow(author, followee)
+            else:
+                delta = maintainer.unfollow(author, followee)
+            edges |= delta["added"]
+            edges -= delta["removed"]
+            assert edges == maintainer.edges()

@@ -1,0 +1,86 @@
+"""Tests for repro.authors.similarity — inverted-index all-pairs cosine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.authors import (
+    FriendVectors,
+    candidate_pairs,
+    pairwise_similarities,
+    similarity_values,
+)
+
+friend_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=30),
+    values=st.frozensets(st.integers(min_value=100, max_value=130), max_size=8),
+    min_size=2,
+    max_size=15,
+)
+
+
+class TestCandidatePairs:
+    def test_only_sharing_pairs(self):
+        vectors = FriendVectors({1: {10}, 2: {10}, 3: {20}})
+        assert set(candidate_pairs(vectors)) == {(1, 2)}
+
+    def test_pairs_unique_and_ordered(self):
+        vectors = FriendVectors({1: {10, 11}, 2: {10, 11}, 3: {10, 11}})
+        pairs = list(candidate_pairs(vectors))
+        assert len(pairs) == len(set(pairs)) == 3
+        assert all(a < b for a, b in pairs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(friend_maps)
+    def test_support_is_exact(self, friends):
+        """Every pair NOT yielded must have similarity exactly zero, and
+        every yielded pair must share a followee."""
+        vectors = FriendVectors(friends)
+        yielded = set(candidate_pairs(vectors))
+        authors = vectors.authors
+        for i, a in enumerate(authors):
+            for b in authors[i + 1 :]:
+                key = (min(a, b), max(a, b))
+                shares = bool(vectors.friends_of(a) & vectors.friends_of(b))
+                assert (key in yielded) == shares
+
+
+class TestPairwiseSimilarities:
+    def test_matches_brute_force(self):
+        rng = random.Random(5)
+        friends = {
+            a: {rng.randrange(40) for _ in range(rng.randrange(1, 10))}
+            for a in range(20)
+        }
+        vectors = FriendVectors(friends)
+        table = pairwise_similarities(vectors)
+        for a in range(20):
+            for b in range(a + 1, 20):
+                expected = vectors.similarity(a, b)
+                if expected > 0:
+                    assert abs(table[(a, b)] - expected) < 1e-12
+                else:
+                    assert (a, b) not in table
+
+    def test_min_similarity_filter(self):
+        vectors = FriendVectors({1: {10, 11}, 2: {10, 11}, 3: {10, 99}})
+        table = pairwise_similarities(vectors, min_similarity=0.9)
+        assert (1, 2) in table
+        assert (1, 3) not in table
+
+    def test_zero_pairs_excluded(self):
+        vectors = FriendVectors({1: {10}, 2: {20}})
+        assert pairwise_similarities(vectors) == {}
+
+
+class TestSimilarityValues:
+    def test_values_positive(self):
+        vectors = FriendVectors({1: {10}, 2: {10}, 3: {10, 20}})
+        values = similarity_values(vectors)
+        assert values
+        assert all(v > 0 for v in values)
+
+    def test_count_matches_candidates(self):
+        vectors = FriendVectors({1: {10, 11}, 2: {10}, 3: {11}})
+        assert len(similarity_values(vectors)) == len(list(candidate_pairs(vectors)))

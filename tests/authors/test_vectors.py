@@ -1,0 +1,72 @@
+"""Tests for repro.authors.vectors — friend vectors and cosine."""
+
+import math
+
+import pytest
+
+from repro.authors import FriendVectors
+from repro.errors import UnknownAuthorError
+
+
+@pytest.fixture()
+def vectors() -> FriendVectors:
+    return FriendVectors(
+        {
+            1: {10, 11, 12, 13},
+            2: {10, 11, 12, 13},   # identical to 1
+            3: {10, 11, 20, 21},   # half overlap with 1
+            4: {30, 31},           # disjoint from all
+            5: set(),              # follows nobody
+        }
+    )
+
+
+class TestFriendVectors:
+    def test_len_and_contains(self, vectors):
+        assert len(vectors) == 5
+        assert 1 in vectors
+        assert 99 not in vectors
+
+    def test_friends_of(self, vectors):
+        assert vectors.friends_of(4) == frozenset({30, 31})
+
+    def test_friends_of_unknown(self, vectors):
+        with pytest.raises(UnknownAuthorError):
+            vectors.friends_of(99)
+
+    def test_authors_order(self):
+        vectors = FriendVectors({3: {1}, 1: {2}, 2: {3}})
+        assert vectors.authors == [3, 1, 2]
+
+
+class TestSimilarity:
+    def test_identical_sets(self, vectors):
+        assert math.isclose(vectors.similarity(1, 2), 1.0)
+
+    def test_half_overlap(self, vectors):
+        # |{10,11}| / sqrt(4*4) = 0.5
+        assert math.isclose(vectors.similarity(1, 3), 0.5)
+
+    def test_disjoint(self, vectors):
+        assert vectors.similarity(1, 4) == 0.0
+
+    def test_empty_vector(self, vectors):
+        assert vectors.similarity(1, 5) == 0.0
+        assert vectors.similarity(5, 5) == 0.0
+
+    def test_symmetry(self, vectors):
+        assert vectors.similarity(1, 3) == vectors.similarity(3, 1)
+
+    def test_different_sizes(self):
+        vectors = FriendVectors({1: {10}, 2: {10, 11, 12, 13}})
+        # 1 / sqrt(1*4) = 0.5
+        assert math.isclose(vectors.similarity(1, 2), 0.5)
+
+    def test_distance_complements_similarity(self, vectors):
+        assert math.isclose(
+            vectors.distance(1, 3), 1.0 - vectors.similarity(1, 3)
+        )
+
+    def test_unknown_author(self, vectors):
+        with pytest.raises(UnknownAuthorError):
+            vectors.similarity(1, 99)

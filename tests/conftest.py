@@ -1,0 +1,61 @@
+"""Shared fixtures: a paper-example world and a session-scoped dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds
+from repro.social import small_dataset
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """A small but realistic dataset, built once per session."""
+    return small_dataset()
+
+
+@pytest.fixture()
+def paper_graph() -> AuthorGraph:
+    """The author graph of the paper's running example (Figure 5a):
+    a1–a2, a1–a3, a2–a3 form a triangle; a3–a4 hangs off it."""
+    return AuthorGraph(
+        nodes=[1, 2, 3, 4],
+        edges=[(1, 2), (1, 3), (2, 3), (3, 4)],
+    )
+
+
+def fp(bits: int) -> int:
+    """Fingerprint with ``bits`` low bits set (Hamming distance from zero
+    equals ``bits``)."""
+    return (1 << bits) - 1
+
+
+@pytest.fixture()
+def paper_posts() -> list[Post]:
+    """Posts enacting the paper's Figure 5b/6 walk-through with λc = 3,
+    λt = 100:
+
+    * P1 (a1, t=0): baseline fingerprint.
+    * P2 (a2, t=1): far from P1 in content → admitted.
+    * P3 (a3, t=2): content-close to P1, far from P2; a1~a3 → covered by P1.
+    * P4 (a4, t=3): far from P1 and P2 → admitted.
+    * P5 (a3, t=4): content-close to P4; a3~a4 → covered by P4.
+    """
+    base = 0
+    far = fp(10)  # 10 bits away from base
+    very_far = fp(20) << 30  # far from both base and far
+    near_p4 = very_far ^ 0b11  # 2 bits from P4
+    return [
+        Post(post_id=1, author=1, text="p1", timestamp=0.0, fingerprint=base),
+        Post(post_id=2, author=2, text="p2", timestamp=1.0, fingerprint=far),
+        Post(post_id=3, author=3, text="p3", timestamp=2.0, fingerprint=base ^ 0b1),
+        Post(post_id=4, author=4, text="p4", timestamp=3.0, fingerprint=very_far),
+        Post(post_id=5, author=3, text="p5", timestamp=4.0, fingerprint=near_p4),
+    ]
+
+
+@pytest.fixture()
+def paper_thresholds() -> Thresholds:
+    """λc = 3, λt = 100 s; λa is embodied by the example graph's edges."""
+    return Thresholds(lambda_c=3, lambda_t=100.0, lambda_a=0.7)

@@ -1,0 +1,84 @@
+"""Tests for repro.core.advisor — the Table-4 use-case rules."""
+
+import pytest
+
+from repro.core import WorkloadProfile, recommend, table4_rows
+from repro.errors import ConfigurationError
+
+
+def profile(**kwargs) -> WorkloadProfile:
+    defaults = {
+        "lambda_t": 1800.0,
+        "lambda_a": 0.7,
+        "posts_per_window": 5000.0,
+        "ram_constrained": False,
+    }
+    defaults.update(kwargs)
+    return WorkloadProfile(**defaults)
+
+
+class TestUniBinRules:
+    def test_very_small_lambda_t(self):
+        rec = recommend(profile(lambda_t=60.0))
+        assert rec.algorithm == "unibin"
+        assert any("lambda_t" in r for r in rec.reasons)
+
+    def test_low_throughput(self):
+        rec = recommend(profile(posts_per_window=50.0))
+        assert rec.algorithm == "unibin"
+        assert any("throughput" in r for r in rec.reasons)
+
+    def test_large_lambda_a(self):
+        rec = recommend(profile(lambda_a=0.85))
+        assert rec.algorithm == "unibin"
+        assert any("lambda_a" in r for r in rec.reasons)
+
+    def test_ram_constrained(self):
+        rec = recommend(profile(ram_constrained=True))
+        assert rec.algorithm == "unibin"
+        assert any("RAM" in r for r in rec.reasons)
+
+    def test_multiple_reasons_accumulate(self):
+        rec = recommend(profile(lambda_t=30.0, posts_per_window=10.0))
+        assert rec.algorithm == "unibin"
+        assert len(rec.reasons) == 2
+
+    def test_example_use_case(self):
+        assert "RSS" in recommend(profile(ram_constrained=True)).example_use_case
+
+
+class TestNeighborBinRule:
+    def test_large_lambda_t_high_throughput(self):
+        rec = recommend(profile(lambda_t=6 * 3600.0))
+        assert rec.algorithm == "neighborbin"
+        assert rec.example_use_case == "Twitch"
+
+
+class TestCliqueBinRule:
+    def test_moderate_lambda_t_high_throughput(self):
+        rec = recommend(profile(lambda_t=480.0))
+        assert rec.algorithm == "cliquebin"
+        assert rec.example_use_case == "Twitter"
+
+
+class TestValidation:
+    def test_bad_lambda_t(self):
+        with pytest.raises(ConfigurationError):
+            profile(lambda_t=-1.0)
+
+    def test_bad_lambda_a(self):
+        with pytest.raises(ConfigurationError):
+            profile(lambda_a=1.5)
+
+    def test_bad_throughput(self):
+        with pytest.raises(ConfigurationError):
+            profile(posts_per_window=-5.0)
+
+
+class TestTable4Rows:
+    def test_three_rows_matching_paper(self):
+        rows = table4_rows()
+        assert [r["algorithm"] for r in rows] == ["unibin", "neighborbin", "cliquebin"]
+        assert rows[0]["example_use_case"] == "News RSS Feed, Google Scholar"
+        assert rows[1]["example_use_case"] == "Twitch"
+        assert rows[2]["example_use_case"] == "Twitter"

@@ -1,0 +1,54 @@
+"""Tests for the shared StreamDiversifier base behaviour."""
+
+import pytest
+
+from repro.core import Post, Thresholds, UniBin
+from repro.errors import StreamOrderError
+
+
+class TestDiversify:
+    def test_returns_admitted_posts(self, paper_posts, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        admitted = algo.diversify(paper_posts)
+        assert [p.post_id for p in admitted] == [1, 2, 4]
+        assert all(isinstance(p, Post) for p in admitted)
+
+    def test_accepts_any_iterable(self, paper_posts, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        admitted = algo.diversify(iter(paper_posts))
+        assert len(admitted) == 3
+
+    def test_empty_stream(self, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        assert algo.diversify([]) == []
+        assert algo.stats.posts_processed == 0
+
+
+class TestOrderEnforcement:
+    def test_order_enforced_across_calls(self, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        algo.diversify(
+            [Post(post_id=1, author=1, text="", timestamp=100.0, fingerprint=0)]
+        )
+        with pytest.raises(StreamOrderError):
+            algo.offer(Post(post_id=2, author=1, text="", timestamp=50.0, fingerprint=1))
+
+    def test_error_message_names_post(self, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        algo.offer(Post(post_id=7, author=1, text="", timestamp=10.0, fingerprint=0))
+        with pytest.raises(StreamOrderError, match="post 8"):
+            algo.offer(Post(post_id=8, author=1, text="", timestamp=1.0, fingerprint=0))
+
+
+class TestPurgeDefaults:
+    def test_purge_without_now_uses_last_timestamp(self, paper_graph):
+        thresholds = Thresholds(lambda_c=3, lambda_t=5.0, lambda_a=0.7)
+        algo = UniBin(thresholds, paper_graph)
+        algo.offer(Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0))
+        algo.offer(Post(post_id=2, author=1, text="", timestamp=100.0, fingerprint=1 << 20))
+        algo.purge()  # now = 100.0 → post 1 is long expired
+        assert algo.stored_copies() == 1
+
+    def test_graph_property_exposed(self, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        assert algo.graph is paper_graph

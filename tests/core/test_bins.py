@@ -1,0 +1,92 @@
+"""Tests for repro.core.bins — the time-windowed post bin."""
+
+from repro.core import Post, PostBin
+
+
+def make_post(post_id, t):
+    return Post(post_id=post_id, author=1, text="", timestamp=t, fingerprint=0)
+
+
+class TestAppendAndLen:
+    def test_empty(self):
+        assert len(PostBin()) == 0
+
+    def test_append(self):
+        bin_ = PostBin()
+        bin_.append(make_post(1, 0.0))
+        bin_.append(make_post(2, 1.0))
+        assert len(bin_) == 2
+        assert [p.post_id for p in bin_] == [1, 2]
+
+
+class TestScan:
+    def test_newest_first_order(self):
+        bin_ = PostBin()
+        for i in range(5):
+            bin_.append(make_post(i, float(i)))
+        ids = [p.post_id for p in bin_.scan(now=4.0, lambda_t=10.0)]
+        assert ids == [4, 3, 2, 1, 0]
+
+    def test_newest_first_stops_at_window(self):
+        bin_ = PostBin()
+        for i in range(5):
+            bin_.append(make_post(i, float(i)))
+        ids = [p.post_id for p in bin_.scan(now=4.0, lambda_t=2.0)]
+        assert ids == [4, 3, 2]
+
+    def test_oldest_first_skips_expired(self):
+        bin_ = PostBin()
+        for i in range(5):
+            bin_.append(make_post(i, float(i)))
+        ids = [p.post_id for p in bin_.scan(now=4.0, lambda_t=2.0, newest_first=False)]
+        assert ids == [2, 3, 4]
+
+    def test_window_boundary_inclusive(self):
+        bin_ = PostBin()
+        bin_.append(make_post(1, 0.0))
+        assert [p.post_id for p in bin_.scan(now=10.0, lambda_t=10.0)] == [1]
+
+    def test_empty_scan(self):
+        assert list(PostBin().scan(now=0.0, lambda_t=1.0)) == []
+
+    def test_orders_agree_on_membership(self):
+        bin_ = PostBin()
+        for i in range(10):
+            bin_.append(make_post(i, float(i)))
+        newest = {p.post_id for p in bin_.scan(9.0, 4.0)}
+        oldest = {p.post_id for p in bin_.scan(9.0, 4.0, newest_first=False)}
+        assert newest == oldest
+
+
+class TestExpire:
+    def test_drops_old(self):
+        bin_ = PostBin()
+        for i in range(5):
+            bin_.append(make_post(i, float(i)))
+        dropped = bin_.expire(now=4.0, lambda_t=2.0)
+        assert dropped == 2
+        assert [p.post_id for p in bin_] == [2, 3, 4]
+
+    def test_boundary_kept(self):
+        bin_ = PostBin()
+        bin_.append(make_post(1, 2.0))
+        assert bin_.expire(now=4.0, lambda_t=2.0) == 0
+        assert len(bin_) == 1
+
+    def test_expire_all(self):
+        bin_ = PostBin()
+        bin_.append(make_post(1, 0.0))
+        assert bin_.expire(now=100.0, lambda_t=1.0) == 1
+        assert len(bin_) == 0
+
+    def test_expire_empty(self):
+        assert PostBin().expire(0.0, 1.0) == 0
+
+
+class TestClear:
+    def test_clear_returns_count(self):
+        bin_ = PostBin()
+        bin_.append(make_post(1, 0.0))
+        bin_.append(make_post(2, 1.0))
+        assert bin_.clear() == 2
+        assert len(bin_) == 0

@@ -1,0 +1,123 @@
+"""Tests for repro.core.cliquebin — including the Figure 6c walk."""
+
+import pytest
+
+from repro.authors import CliqueCover, greedy_clique_cover
+from repro.core import CliqueBin, Post, Thresholds, UniBin
+from repro.errors import ConfigurationError, UnknownAuthorError
+
+
+class TestPaperWalkthrough:
+    """Figure 6c: cover {a1,a2,a3} + {a3,a4}; P1 stored once (vs 3 copies in
+    NeighborBin); same output Z."""
+
+    def test_admissions(self, paper_posts, paper_graph, paper_thresholds):
+        algo = CliqueBin(paper_thresholds, paper_graph)
+        decisions = [algo.offer(p) for p in paper_posts]
+        assert decisions == [True, True, False, True, False]
+
+    def test_insertion_count(self, paper_posts, paper_graph, paper_thresholds):
+        # P1 → C0 only (1); P2 → C0 (1); P4 → C1 (1) = 3 copies total —
+        # the memory saving over NeighborBin's 8 the paper highlights.
+        algo = CliqueBin(paper_thresholds, paper_graph)
+        algo.diversify(paper_posts)
+        assert algo.stats.insertions == 3
+        assert algo.stored_copies() == 3
+
+    def test_comparison_count(self, paper_posts, paper_graph, paper_thresholds):
+        # P1: 0; P2: 1 (P1 in C0); P3: 2 (scans C0: P2 then P1 covers);
+        # P4: 0 (C1 empty); P5: 3 (C0: P2, P1 miss; C1: P4 covers).
+        algo = CliqueBin(paper_thresholds, paper_graph)
+        algo.diversify(paper_posts)
+        assert algo.stats.comparisons == 6
+
+    def test_paper_p6_p7_extension(self, paper_posts, paper_graph, paper_thresholds):
+        """§4.3's P6/P7: P6 (a3) is stored in both clique bins. For P7 (a4,
+        only in clique {a3,a4}) our implementation performs 2 comparisons
+        (P4 and P6 in that clique's bin). The paper's prose claims 5
+        comparisons including P1 and P2, which is inconsistent with its own
+        Author2Cliques mapping — a4 is in no clique with a1 or a2, so those
+        bins are never scanned."""
+        algo = CliqueBin(paper_thresholds, paper_graph)
+        algo.diversify(paper_posts)
+        p6 = Post(post_id=6, author=3, text="", timestamp=5.0, fingerprint=0b11111 << 55)
+        p7 = Post(post_id=7, author=4, text="", timestamp=6.0, fingerprint=0b1111 << 45)
+        before_ins = algo.stats.insertions
+        assert algo.offer(p6)
+        assert algo.stats.insertions - before_ins == 2  # both cliques of a3
+        before_cmp = algo.stats.comparisons
+        assert algo.offer(p7)
+        assert algo.stats.comparisons - before_cmp == 2
+
+    def test_agrees_with_unibin(self, paper_posts, paper_graph, paper_thresholds):
+        uni = UniBin(paper_thresholds, paper_graph)
+        clique = CliqueBin(paper_thresholds, paper_graph)
+        assert [uni.offer(p) for p in paper_posts] == [
+            clique.offer(p) for p in paper_posts
+        ]
+
+
+class TestConfiguration:
+    def test_requires_graph(self, paper_thresholds):
+        with pytest.raises(ConfigurationError):
+            CliqueBin(paper_thresholds, None)
+
+    def test_rejects_disabled_author_dimension(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            CliqueBin(Thresholds(lambda_a=1.0), paper_graph)
+
+    def test_injected_cover_used(self, paper_graph, paper_thresholds):
+        cover = greedy_clique_cover(paper_graph)
+        algo = CliqueBin(paper_thresholds, paper_graph, cover=cover)
+        assert algo.cover is cover
+
+    def test_unknown_author_rejected(self, paper_graph, paper_thresholds):
+        algo = CliqueBin(paper_thresholds, paper_graph)
+        with pytest.raises(UnknownAuthorError):
+            algo.offer(Post(post_id=1, author=99, text="", timestamp=0.0, fingerprint=0))
+
+    def test_isolated_author_self_coverage(self, paper_thresholds):
+        """An author with no similar authors must still deduplicate their
+        own posts (singleton clique)."""
+        from repro.authors import AuthorGraph
+
+        graph = AuthorGraph([1], [])
+        algo = CliqueBin(paper_thresholds, graph)
+        assert algo.offer(Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0))
+        assert not algo.offer(Post(post_id=2, author=1, text="", timestamp=1.0, fingerprint=0))
+
+
+class TestDoubleCounting:
+    def test_candidate_in_two_scanned_cliques_compared_twice(self, paper_thresholds):
+        """A post stored in two cliques that both contain the new post's
+        author is compared once per bin — the paper's accounting."""
+        from repro.authors import AuthorGraph
+
+        # A 4-cycle: 1-2, 2-3, 3-4, 4-1 → greedy cover is four 2-cliques;
+        # author 1 is in cliques {1,2} and {1,4}.
+        graph = AuthorGraph([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4), (1, 4)])
+        cover = CliqueCover(
+            [frozenset({1, 2}), frozenset({2, 3}), frozenset({3, 4}), frozenset({1, 4})]
+        )
+        algo = CliqueBin(paper_thresholds, graph, cover=cover)
+        # Post by author 1 lands in both of 1's cliques.
+        algo.offer(
+            Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0b1111 << 40)
+        )
+        before = algo.stats.comparisons
+        # Next post by author 1 (content-distant: 8 bits apart) scans both
+        # bins → the stored post is compared twice.
+        assert algo.offer(
+            Post(post_id=2, author=1, text="", timestamp=1.0, fingerprint=0b1111 << 50)
+        )
+        assert algo.stats.comparisons - before == 2
+
+
+class TestEviction:
+    def test_purge(self, paper_graph):
+        th = Thresholds(lambda_c=3, lambda_t=10.0, lambda_a=0.7)
+        algo = CliqueBin(th, paper_graph)
+        algo.offer(Post(post_id=1, author=3, text="", timestamp=0.0, fingerprint=0))
+        assert algo.stored_copies() == 2  # a3 is in both cliques
+        algo.purge(now=100.0)
+        assert algo.stored_copies() == 0

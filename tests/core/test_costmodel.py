@@ -1,0 +1,109 @@
+"""Tests for repro.core.costmodel — the §4.4 analytical model."""
+
+import pytest
+
+from repro.authors import greedy_clique_cover
+from repro.core import (
+    WorkloadParameters,
+    estimate,
+    estimate_all,
+    parameters_from_run,
+)
+from repro.core.costmodel import (
+    estimate_cliquebin,
+    estimate_neighborbin,
+    estimate_unibin,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def params() -> WorkloadParameters:
+    return WorkloadParameters(m=100, n=1000.0, r=0.9, d=10.0, c=4.0, s=5.0)
+
+
+class TestFormulas:
+    def test_unibin(self, params):
+        est = estimate_unibin(params)
+        assert est.ram_copies == pytest.approx(900.0)
+        assert est.comparisons == pytest.approx(0.9 * 1000 * 1000)
+        assert est.insertions == pytest.approx(900.0)
+
+    def test_neighborbin(self, params):
+        est = estimate_neighborbin(params)
+        assert est.ram_copies == pytest.approx(11 * 900.0)
+        assert est.comparisons == pytest.approx((11 / 100) * 0.9 * 1000 * 1000)
+        assert est.insertions == pytest.approx(11 * 900.0)
+
+    def test_cliquebin(self, params):
+        est = estimate_cliquebin(params)
+        assert est.ram_copies == pytest.approx(4 * 900.0)
+        assert est.comparisons == pytest.approx((20 / 100) * 0.9 * 1000 * 1000)
+        assert est.insertions == pytest.approx(4 * 900.0)
+
+    def test_table_ordering_holds(self, params):
+        """For d > c (as on real graphs) the paper's ordering must emerge:
+        UniBin least RAM, NeighborBin most; NeighborBin fewest comparisons."""
+        uni, neigh, clique = (
+            estimate_unibin(params),
+            estimate_neighborbin(params),
+            estimate_cliquebin(params),
+        )
+        assert uni.ram_copies < clique.ram_copies < neigh.ram_copies
+        assert neigh.comparisons < clique.comparisons < uni.comparisons
+        assert uni.insertions < clique.insertions < neigh.insertions
+
+
+class TestEstimateDispatch:
+    def test_by_name(self, params):
+        assert estimate("unibin", params).algorithm == "unibin"
+
+    def test_unknown(self, params):
+        with pytest.raises(ConfigurationError):
+            estimate("fastbin", params)
+
+    def test_estimate_all(self, params):
+        assert [e.algorithm for e in estimate_all(params)] == [
+            "unibin",
+            "neighborbin",
+            "cliquebin",
+        ]
+
+
+class TestValidation:
+    def test_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadParameters(m=0, n=1, r=0.5, d=1, c=1, s=2)
+
+    def test_bad_r(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadParameters(m=1, n=1, r=1.5, d=1, c=1, s=2)
+
+    def test_negative_topology(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadParameters(m=1, n=1, r=0.5, d=-1, c=1, s=2)
+
+
+class TestOverlapFactor:
+    def test_q_identity(self):
+        # c·(s−1)·q = d → q = d / (c(s−1))
+        p = WorkloadParameters(m=10, n=1, r=1.0, d=12.0, c=4.0, s=4.0)
+        assert p.clique_overlap_q() == pytest.approx(1.0)
+
+    def test_q_zero_for_edgeless(self):
+        p = WorkloadParameters(m=10, n=1, r=1.0, d=0.0, c=1.0, s=1.0)
+        assert p.clique_overlap_q() == 0.0
+
+
+class TestParametersFromRun:
+    def test_measured_topology(self, paper_graph):
+        cover = greedy_clique_cover(paper_graph)
+        p = parameters_from_run(
+            paper_graph, cover, posts_in_window=50.0, retention_ratio=0.8
+        )
+        assert p.m == 4
+        assert p.n == 50.0
+        assert p.r == 0.8
+        assert p.d == pytest.approx(2.0)  # degrees 2,2,3,1
+        assert p.c == pytest.approx(5 / 4)
+        assert p.s == pytest.approx(5 / 2)

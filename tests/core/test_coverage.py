@@ -1,0 +1,90 @@
+"""Tests for repro.core.coverage — Definition 1."""
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import CoverageChecker, Post, Thresholds
+
+
+def make_post(post_id, author, t, fingerprint):
+    return Post(post_id=post_id, author=author, text="", timestamp=t, fingerprint=fingerprint)
+
+
+@pytest.fixture()
+def checker(paper_graph):
+    return CoverageChecker(Thresholds(lambda_c=3, lambda_t=100.0, lambda_a=0.7), paper_graph)
+
+
+class TestDimensions:
+    def test_all_three_within(self, checker):
+        p = make_post(1, 1, 0.0, 0b000)
+        q = make_post(2, 2, 50.0, 0b001)
+        assert checker.covers(p, q)
+
+    def test_content_blocks(self, checker):
+        p = make_post(1, 1, 0.0, 0)
+        q = make_post(2, 2, 50.0, 0b11111)  # 5 bits > lambda_c = 3
+        assert not checker.covers(p, q)
+
+    def test_time_blocks(self, checker):
+        p = make_post(1, 1, 0.0, 0)
+        q = make_post(2, 2, 101.0, 0)
+        assert not checker.covers(p, q)
+
+    def test_author_blocks(self, checker):
+        p = make_post(1, 1, 0.0, 0)
+        q = make_post(2, 4, 50.0, 0)  # a1 and a4 not adjacent
+        assert not checker.covers(p, q)
+
+    def test_same_author_always_author_similar(self, checker):
+        p = make_post(1, 4, 0.0, 0)
+        q = make_post(2, 4, 50.0, 0b1)
+        assert checker.covers(p, q)
+
+    def test_boundary_values_inclusive(self, checker):
+        p = make_post(1, 1, 0.0, 0)
+        q = make_post(2, 2, 100.0, 0b111)  # exactly lambda_t and lambda_c
+        assert checker.covers(p, q)
+
+
+class TestSymmetry:
+    def test_covers_symmetric(self, checker):
+        p = make_post(1, 1, 0.0, 0b01)
+        q = make_post(2, 3, 99.0, 0b10)
+        assert checker.covers(p, q) == checker.covers(q, p)
+
+    def test_authors_similar_symmetric(self, checker):
+        assert checker.authors_similar(1, 3) == checker.authors_similar(3, 1)
+
+
+class TestAuthorFreeMode:
+    def test_graph_none_requires_disabled_author(self):
+        with pytest.raises(ValueError):
+            CoverageChecker(Thresholds(lambda_a=0.5), None)
+
+    def test_disabled_author_dimension(self):
+        checker = CoverageChecker(
+            Thresholds(lambda_c=3, lambda_t=100.0, lambda_a=1.0), None
+        )
+        p = make_post(1, 1, 0.0, 0)
+        q = make_post(2, 999, 50.0, 0b1)
+        assert checker.covers(p, q)
+
+    def test_lambda_a_one_with_graph_still_author_free(self, paper_graph):
+        checker = CoverageChecker(
+            Thresholds(lambda_c=3, lambda_t=100.0, lambda_a=1.0), paper_graph
+        )
+        assert checker.authors_similar(1, 4)  # not adjacent, but dimension off
+
+
+class TestKnownAuthorSimilar:
+    def test_skips_author_check(self, checker):
+        p = make_post(1, 1, 0.0, 0)
+        q = make_post(2, 4, 50.0, 0)  # author-dissimilar
+        assert not checker.covers(p, q)
+        assert checker.covers_known_author_similar(p, q)
+
+    def test_still_checks_time_and_content(self, checker):
+        p = make_post(1, 1, 0.0, 0)
+        assert not checker.covers_known_author_similar(p, make_post(2, 1, 200.0, 0))
+        assert not checker.covers_known_author_similar(p, make_post(3, 1, 1.0, 0b1111))

@@ -1,0 +1,97 @@
+"""Tests for repro.core.indexedbin — index-accelerated UniBin."""
+
+import random
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import IndexedUniBin, Post, Thresholds, UniBin
+
+
+def random_stream(n, n_authors, seed, *, dup_rate=0.5, flip_bits=4):
+    """Random posts where ~dup_rate echo an earlier fingerprint closely."""
+    rng = random.Random(seed)
+    posts = []
+    t = 0.0
+    for i in range(n):
+        t += rng.expovariate(0.2)
+        fp = rng.getrandbits(64)
+        if posts and rng.random() < dup_rate:
+            fp = posts[rng.randrange(len(posts))].fingerprint
+            for _ in range(rng.randrange(flip_bits + 1)):
+                fp ^= 1 << rng.randrange(64)
+        posts.append(
+            Post(post_id=i, author=rng.randrange(n_authors), text="", timestamp=t, fingerprint=fp)
+        )
+    return posts
+
+
+@pytest.fixture()
+def small_lambda_c() -> Thresholds:
+    return Thresholds(lambda_c=4, lambda_t=60.0, lambda_a=0.7)
+
+
+class TestAgreementWithUniBin:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_identical_output(self, paper_graph, small_lambda_c, seed):
+        posts = random_stream(200, 4, seed)
+        posts = [
+            Post(p.post_id, (p.author % 4) + 1, p.text, p.timestamp, p.fingerprint)
+            for p in posts
+        ]
+        uni = UniBin(small_lambda_c, paper_graph)
+        indexed = IndexedUniBin(small_lambda_c, paper_graph)
+        assert [uni.offer(p) for p in posts] == [indexed.offer(p) for p in posts]
+
+    def test_paper_walkthrough(self, paper_posts, paper_graph, paper_thresholds):
+        indexed = IndexedUniBin(paper_thresholds, paper_graph)
+        assert [indexed.offer(p) for p in paper_posts] == [
+            True,
+            True,
+            False,
+            True,
+            False,
+        ]
+
+
+class TestIndexAcceleration:
+    def test_fewer_candidates_than_linear_scan(self, paper_graph):
+        """At a small radius the index must verify far fewer candidates
+        than UniBin's full-window scan."""
+        thresholds = Thresholds(lambda_c=3, lambda_t=1e6, lambda_a=0.7)
+        posts = random_stream(400, 4, seed=9, dup_rate=0.2, flip_bits=2)
+        posts = [
+            Post(p.post_id, (p.author % 4) + 1, p.text, p.timestamp, p.fingerprint)
+            for p in posts
+        ]
+        uni = UniBin(thresholds, paper_graph)
+        indexed = IndexedUniBin(thresholds, paper_graph)
+        for p in posts:
+            uni.offer(p)
+            indexed.offer(p)
+        assert indexed.stats.comparisons < uni.stats.comparisons / 5
+
+    def test_window_expiry_removes_from_index(self, paper_graph):
+        thresholds = Thresholds(lambda_c=4, lambda_t=10.0, lambda_a=0.7)
+        indexed = IndexedUniBin(thresholds, paper_graph)
+        indexed.offer(Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0))
+        # Outside the window: identical content must be re-admitted.
+        assert indexed.offer(
+            Post(post_id=2, author=1, text="", timestamp=100.0, fingerprint=0)
+        )
+        assert indexed.stored_copies() == 1
+        assert indexed.stats.evictions == 1
+
+    def test_purge(self, paper_graph, small_lambda_c):
+        indexed = IndexedUniBin(small_lambda_c, paper_graph)
+        indexed.offer(Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0))
+        indexed.purge(now=1e9)
+        assert indexed.stored_copies() == 0
+
+    def test_author_dimension_still_enforced(self, paper_graph, small_lambda_c):
+        indexed = IndexedUniBin(small_lambda_c, paper_graph)
+        indexed.offer(Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0))
+        # Same content, dissimilar author (a4 not adjacent to a1) → admitted.
+        assert indexed.offer(
+            Post(post_id=2, author=4, text="", timestamp=1.0, fingerprint=0)
+        )

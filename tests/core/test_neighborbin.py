@@ -1,0 +1,89 @@
+"""Tests for repro.core.neighborbin — including the Figure 6b walk."""
+
+import pytest
+
+from repro.core import NeighborBin, Post, Thresholds, UniBin
+from repro.errors import ConfigurationError, UnknownAuthorError
+
+
+class TestPaperWalkthrough:
+    """Figure 6b: same Z as UniBin, fewer comparisons, more insertions."""
+
+    def test_admissions(self, paper_posts, paper_graph, paper_thresholds):
+        algo = NeighborBin(paper_thresholds, paper_graph)
+        decisions = [algo.offer(p) for p in paper_posts]
+        assert decisions == [True, True, False, True, False]
+
+    def test_comparison_count(self, paper_posts, paper_graph, paper_thresholds):
+        # P1: 0 (bin of a1 empty); P2: 1 (P1 in a2's bin); P3: 2 (P2, P1 in
+        # a3's bin); P4: 0 (a4's bin blank, per the paper); P5: 1 (P4 covers)
+        algo = NeighborBin(paper_thresholds, paper_graph)
+        algo.diversify(paper_posts)
+        assert algo.stats.comparisons == 4
+
+    def test_insertion_count(self, paper_posts, paper_graph, paper_thresholds):
+        # P1 → bins a1,a2,a3 (3); P2 → a2,a1,a3 (3); P4 → a4,a3 (2) = 8.
+        algo = NeighborBin(paper_thresholds, paper_graph)
+        algo.diversify(paper_posts)
+        assert algo.stats.insertions == 8
+        assert algo.stored_copies() == 8
+
+    def test_paper_p6_p7_extension(self, paper_posts, paper_graph, paper_thresholds):
+        """§4.3's P6/P7 example: P6 (a3) lands in all four bins; P7 (a4)
+        needs exactly two comparisons (against P4 and P6)."""
+        algo = NeighborBin(paper_thresholds, paper_graph)
+        algo.diversify(paper_posts)
+        p6 = Post(post_id=6, author=3, text="", timestamp=5.0, fingerprint=0b11111 << 55)
+        p7 = Post(post_id=7, author=4, text="", timestamp=6.0, fingerprint=0b1111 << 45)
+        before_ins = algo.stats.insertions
+        assert algo.offer(p6)
+        assert algo.stats.insertions - before_ins == 4  # a3 + neighbours 1,2,4
+        before_cmp = algo.stats.comparisons
+        assert algo.offer(p7)
+        assert algo.stats.comparisons - before_cmp == 2  # P4 and P6 in a4's bin
+
+    def test_agrees_with_unibin(self, paper_posts, paper_graph, paper_thresholds):
+        uni = UniBin(paper_thresholds, paper_graph)
+        neigh = NeighborBin(paper_thresholds, paper_graph)
+        assert [uni.offer(p) for p in paper_posts] == [
+            neigh.offer(p) for p in paper_posts
+        ]
+
+
+class TestConfiguration:
+    def test_requires_graph(self, paper_thresholds):
+        with pytest.raises(ConfigurationError):
+            NeighborBin(paper_thresholds, None)
+
+    def test_rejects_disabled_author_dimension(self, paper_graph):
+        with pytest.raises(ConfigurationError):
+            NeighborBin(Thresholds(lambda_a=1.0), paper_graph)
+
+    def test_unknown_author_rejected(self, paper_graph, paper_thresholds):
+        algo = NeighborBin(paper_thresholds, paper_graph)
+        with pytest.raises(UnknownAuthorError):
+            algo.offer(Post(post_id=1, author=99, text="", timestamp=0.0, fingerprint=0))
+
+
+class TestEviction:
+    def test_purge_empties_expired(self, paper_graph):
+        th = Thresholds(lambda_c=3, lambda_t=10.0, lambda_a=0.7)
+        algo = NeighborBin(th, paper_graph)
+        algo.offer(Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0))
+        assert algo.stored_copies() == 3
+        algo.purge(now=100.0)
+        assert algo.stored_copies() == 0
+        assert algo.stats.evictions == 3
+
+    def test_cross_author_coverage_respects_window(self, paper_graph):
+        th = Thresholds(lambda_c=3, lambda_t=10.0, lambda_a=0.7)
+        algo = NeighborBin(th, paper_graph)
+        algo.offer(Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0))
+        # Same content from similar author, inside window → covered.
+        assert not algo.offer(
+            Post(post_id=2, author=3, text="", timestamp=5.0, fingerprint=0)
+        )
+        # Outside window → admitted again.
+        assert algo.offer(
+            Post(post_id=3, author=3, text="", timestamp=50.0, fingerprint=0)
+        )

@@ -1,0 +1,77 @@
+"""Tests for repro.core.pipeline — the DiversifiedStream adapter."""
+
+import pytest
+
+from repro.core import DiversifiedStream, Post, Thresholds, UniBin
+from repro.errors import ConfigurationError
+
+
+class TestDiversifiedStream:
+    def test_yields_only_admitted(self, paper_posts, paper_graph, paper_thresholds):
+        stream = DiversifiedStream(
+            UniBin(paper_thresholds, paper_graph), paper_posts
+        )
+        assert [p.post_id for p in stream] == [1, 2, 4]
+
+    def test_callbacks_fire(self, paper_posts, paper_graph, paper_thresholds):
+        admitted, pruned = [], []
+        stream = DiversifiedStream(
+            UniBin(paper_thresholds, paper_graph),
+            paper_posts,
+            on_admit=lambda p: admitted.append(p.post_id),
+            on_prune=lambda p: pruned.append(p.post_id),
+        )
+        list(stream)
+        assert admitted == [1, 2, 4]
+        assert pruned == [3, 5]
+
+    def test_live_statistics(self, paper_posts, paper_graph, paper_thresholds):
+        stream = DiversifiedStream(
+            UniBin(paper_thresholds, paper_graph), paper_posts
+        )
+        iterator = iter(stream)
+        next(iterator)
+        assert stream.processed == 1
+        assert stream.admitted == 1
+        list(iterator)
+        assert stream.processed == 5
+        assert stream.pruned == 2
+
+    def test_lazy_consumption(self, paper_graph, paper_thresholds):
+        """The adapter must pull posts one at a time (unbounded sources)."""
+
+        def infinite():
+            t = 0.0
+            i = 0
+            while True:
+                yield Post(post_id=i, author=1, text="", timestamp=t, fingerprint=i << 8)
+                i += 1
+                t += 1.0
+
+        stream = DiversifiedStream(
+            UniBin(paper_thresholds, paper_graph), infinite()
+        )
+        iterator = iter(stream)
+        first = [next(iterator) for _ in range(5)]
+        assert len(first) == 5
+
+    def test_purge_every_bounds_memory(self, paper_graph):
+        thresholds = Thresholds(lambda_c=3, lambda_t=5.0, lambda_a=0.7)
+        diversifier = UniBin(thresholds, paper_graph)
+        posts = [
+            Post(post_id=i, author=1, text="", timestamp=i * 10.0, fingerprint=i << 8)
+            for i in range(50)
+        ]
+        list(DiversifiedStream(diversifier, posts, purge_every=1))
+        assert diversifier.stored_copies() == 1
+
+    def test_purge_disabled(self, paper_graph, paper_thresholds):
+        diversifier = UniBin(paper_thresholds, paper_graph)
+        stream = DiversifiedStream(diversifier, [], purge_every=0)
+        assert list(stream) == []
+
+    def test_negative_purge_rejected(self, paper_graph, paper_thresholds):
+        with pytest.raises(ConfigurationError):
+            DiversifiedStream(
+                UniBin(paper_thresholds, paper_graph), [], purge_every=-1
+            )

@@ -1,0 +1,37 @@
+"""Tests for repro.core.post."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import Post
+from repro.simhash import simhash
+
+
+class TestPost:
+    def test_create_computes_fingerprint(self):
+        post = Post.create(1, 7, "breaking news tonight", 12.5)
+        assert post.fingerprint == simhash("breaking news tonight")
+
+    def test_create_raw_mode(self):
+        post = Post.create(1, 7, "Breaking News", 0.0, normalized=False)
+        assert post.fingerprint == simhash("Breaking News", normalized=False)
+        assert post.fingerprint != simhash("breaking news", normalized=False)
+
+    def test_frozen(self):
+        post = Post.create(1, 7, "x", 0.0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            post.timestamp = 99.0
+
+    def test_explicit_fingerprint(self):
+        post = Post(post_id=1, author=2, text="t", timestamp=0.0, fingerprint=0xFF)
+        assert post.fingerprint == 0xFF
+
+    def test_fields(self):
+        post = Post.create(3, 9, "hello", 42.0)
+        assert (post.post_id, post.author, post.text, post.timestamp) == (
+            3,
+            9,
+            "hello",
+            42.0,
+        )

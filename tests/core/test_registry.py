@@ -1,0 +1,50 @@
+"""Tests for repro.core.registry."""
+
+import pytest
+
+from repro.core import (
+    ALGORITHM_NAMES,
+    CliqueBin,
+    NeighborBin,
+    Thresholds,
+    UniBin,
+    describe_algorithms,
+    make_diversifier,
+)
+from repro.errors import UnknownAlgorithmError
+
+
+class TestMakeDiversifier:
+    def test_names(self):
+        assert set(ALGORITHM_NAMES) == {"unibin", "neighborbin", "cliquebin"}
+
+    @pytest.mark.parametrize(
+        "name, cls", [("unibin", UniBin), ("neighborbin", NeighborBin), ("cliquebin", CliqueBin)]
+    )
+    def test_constructs_right_class(self, name, cls, paper_graph):
+        algo = make_diversifier(name, Thresholds(), paper_graph)
+        assert isinstance(algo, cls)
+        assert algo.name == name
+
+    def test_unknown_name(self, paper_graph):
+        with pytest.raises(UnknownAlgorithmError):
+            make_diversifier("turbobin", Thresholds(), paper_graph)
+
+    def test_kwargs_forwarded(self, paper_graph):
+        algo = make_diversifier("unibin", Thresholds(), paper_graph, newest_first=False)
+        assert algo.newest_first is False
+
+
+class TestTable3:
+    def test_three_profiles(self):
+        profiles = describe_algorithms()
+        assert [p.name for p in profiles] == ["unibin", "neighborbin", "cliquebin"]
+
+    def test_qualitative_levels_match_paper(self):
+        by_name = {p.name: p for p in describe_algorithms()}
+        assert by_name["unibin"].ram == "Low"
+        assert by_name["unibin"].comparisons == "High"
+        assert by_name["neighborbin"].ram == "High"
+        assert by_name["neighborbin"].comparisons == "Low"
+        assert by_name["cliquebin"].ram == "Moderate"
+        assert by_name["cliquebin"].insertions == "Moderate"

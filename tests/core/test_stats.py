@@ -1,0 +1,62 @@
+"""Tests for repro.core.stats."""
+
+import pytest
+
+from repro.core import RunStats
+
+
+class TestCounters:
+    def test_initial_state(self):
+        stats = RunStats()
+        assert stats.posts_processed == 0
+        assert stats.peak_stored_copies == 0
+        assert stats.retention_ratio == 0.0
+
+    def test_record_insertions_tracks_peak(self):
+        stats = RunStats()
+        stats.record_insertions(5)
+        stats.record_evictions(3)
+        stats.record_insertions(2)
+        assert stats.stored_copies == 4
+        assert stats.peak_stored_copies == 5
+        stats.record_insertions(10)
+        assert stats.peak_stored_copies == 14
+
+    def test_posts_rejected(self):
+        stats = RunStats(posts_processed=10, posts_admitted=7)
+        assert stats.posts_rejected == 3
+
+    def test_retention_ratio(self):
+        stats = RunStats(posts_processed=10, posts_admitted=9)
+        assert stats.retention_ratio == pytest.approx(0.9)
+
+
+class TestMerge:
+    def test_counters_sum(self):
+        a = RunStats(posts_processed=5, posts_admitted=4, comparisons=10, insertions=6)
+        b = RunStats(posts_processed=3, posts_admitted=3, comparisons=2, insertions=3)
+        a.merge(b)
+        assert a.posts_processed == 8
+        assert a.posts_admitted == 7
+        assert a.comparisons == 12
+        assert a.insertions == 9
+
+    def test_peaks_add(self):
+        a = RunStats()
+        a.record_insertions(4)
+        b = RunStats()
+        b.record_insertions(6)
+        a.merge(b)
+        assert a.peak_stored_copies == 10
+        assert a.stored_copies == 10
+
+
+class TestSnapshot:
+    def test_keys_and_values(self):
+        stats = RunStats(posts_processed=4, posts_admitted=2, comparisons=7)
+        snap = stats.snapshot()
+        assert snap["posts_processed"] == 4
+        assert snap["posts_rejected"] == 2
+        assert snap["retention_ratio"] == pytest.approx(0.5)
+        assert snap["comparisons"] == 7
+        assert "peak_stored_copies" in snap

@@ -1,0 +1,72 @@
+"""Tests for repro.core.thresholds."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    DEFAULT_LAMBDA_A,
+    DEFAULT_LAMBDA_C,
+    DEFAULT_LAMBDA_T,
+    Thresholds,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        th = Thresholds()
+        assert th.lambda_c == DEFAULT_LAMBDA_C == 18
+        assert th.lambda_t == DEFAULT_LAMBDA_T == 1800.0
+        assert th.lambda_a == DEFAULT_LAMBDA_A == 0.7
+
+    def test_author_min_similarity(self):
+        assert Thresholds(lambda_a=0.7).author_min_similarity == pytest.approx(0.3)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("lc", [-1, 65, 18.5, "18"])
+    def test_bad_lambda_c(self, lc):
+        with pytest.raises(ConfigurationError):
+            Thresholds(lambda_c=lc)
+
+    def test_bad_lambda_t(self):
+        with pytest.raises(ConfigurationError):
+            Thresholds(lambda_t=-1.0)
+
+    @pytest.mark.parametrize("la", [-0.1, 1.5])
+    def test_bad_lambda_a(self, la):
+        with pytest.raises(ConfigurationError):
+            Thresholds(lambda_a=la)
+
+    def test_boundary_values_ok(self):
+        Thresholds(lambda_c=0, lambda_t=0.0, lambda_a=0.0)
+        Thresholds(lambda_c=64, lambda_t=math.inf, lambda_a=1.0)
+
+
+class TestWithout:
+    def test_disable_content(self):
+        th = Thresholds().without("content")
+        assert th.lambda_c == 64
+        assert th.lambda_t == DEFAULT_LAMBDA_T
+
+    def test_disable_time(self):
+        assert math.isinf(Thresholds().without("time").lambda_t)
+
+    def test_disable_author(self):
+        assert Thresholds().without("author").lambda_a == 1.0
+
+    def test_disable_multiple(self):
+        th = Thresholds().without("time", "author")
+        assert math.isinf(th.lambda_t)
+        assert th.lambda_a == 1.0
+        assert th.lambda_c == 18
+
+    def test_unknown_dimension(self):
+        with pytest.raises(ConfigurationError):
+            Thresholds().without("flavour")
+
+    def test_original_unchanged(self):
+        th = Thresholds()
+        th.without("author")
+        assert th.lambda_a == 0.7

@@ -1,0 +1,88 @@
+"""Tests for repro.core.unibin — including the paper's Figure 6a walk."""
+
+import pytest
+
+from repro.core import Post, Thresholds, UniBin
+from repro.errors import StreamOrderError
+
+
+class TestPaperWalkthrough:
+    """Figure 6a: Z = {P1, P2, P4}; P3 covered by P1, P5 covered by P4."""
+
+    def test_admissions(self, paper_posts, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        decisions = [algo.offer(p) for p in paper_posts]
+        assert decisions == [True, True, False, True, False]
+
+    def test_comparison_count(self, paper_posts, paper_graph, paper_thresholds):
+        # P1: 0 cmp; P2: 1 (P1); P3: 2 (P2 then P1, newest first);
+        # P4: 2 (P2, P1); P5: 1 (P4 covers immediately) → 6 total.
+        algo = UniBin(paper_thresholds, paper_graph)
+        algo.diversify(paper_posts)
+        assert algo.stats.comparisons == 6
+
+    def test_insertions_one_per_admitted(self, paper_posts, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        algo.diversify(paper_posts)
+        assert algo.stats.insertions == 3
+        assert algo.stored_copies() == 3
+
+
+class TestWindowing:
+    def test_old_posts_cannot_cover(self, paper_graph):
+        th = Thresholds(lambda_c=3, lambda_t=10.0, lambda_a=0.7)
+        algo = UniBin(th, paper_graph)
+        p1 = Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0)
+        p2 = Post(post_id=2, author=1, text="", timestamp=11.0, fingerprint=0)
+        assert algo.offer(p1)
+        assert algo.offer(p2)  # identical, but outside the window
+
+    def test_expired_posts_evicted(self, paper_graph):
+        th = Thresholds(lambda_c=3, lambda_t=10.0, lambda_a=0.7)
+        algo = UniBin(th, paper_graph)
+        for i in range(5):
+            algo.offer(
+                Post(post_id=i, author=1, text="", timestamp=i * 20.0, fingerprint=i << 10)
+            )
+        assert algo.stored_copies() == 1
+        assert algo.stats.evictions == 4
+
+    def test_purge(self, paper_graph):
+        th = Thresholds(lambda_c=3, lambda_t=10.0, lambda_a=0.7)
+        algo = UniBin(th, paper_graph)
+        algo.offer(Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0))
+        algo.purge(now=100.0)
+        assert algo.stored_copies() == 0
+
+
+class TestStreamOrder:
+    def test_out_of_order_rejected(self, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        algo.offer(Post(post_id=1, author=1, text="", timestamp=10.0, fingerprint=0))
+        with pytest.raises(StreamOrderError):
+            algo.offer(Post(post_id=2, author=1, text="", timestamp=5.0, fingerprint=0))
+
+    def test_equal_timestamps_allowed(self, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        algo.offer(Post(post_id=1, author=1, text="", timestamp=10.0, fingerprint=0))
+        algo.offer(Post(post_id=2, author=1, text="", timestamp=10.0, fingerprint=1 << 30))
+
+
+class TestStats:
+    def test_processed_and_admitted(self, paper_posts, paper_graph, paper_thresholds):
+        algo = UniBin(paper_thresholds, paper_graph)
+        admitted = algo.diversify(paper_posts)
+        assert algo.stats.posts_processed == 5
+        assert algo.stats.posts_admitted == 3
+        assert [p.post_id for p in admitted] == [1, 2, 4]
+        assert algo.stats.retention_ratio == pytest.approx(0.6)
+
+
+class TestAuthorFree:
+    def test_runs_without_graph_when_author_disabled(self):
+        th = Thresholds(lambda_c=3, lambda_t=100.0, lambda_a=1.0)
+        algo = UniBin(th, None)
+        p1 = Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0)
+        p2 = Post(post_id=2, author=999, text="", timestamp=1.0, fingerprint=1)
+        assert algo.offer(p1)
+        assert not algo.offer(p2)  # any author covers now

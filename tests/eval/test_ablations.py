@@ -1,0 +1,96 @@
+"""Tests for repro.eval.ablations."""
+
+from repro.eval import (
+    ablation_clique_cover,
+    ablation_permuted_index,
+    ablation_scan_order,
+    ablation_simhash_speed,
+)
+
+
+class TestSimhashSpeed:
+    def test_simhash_faster_than_cosine(self):
+        result = ablation_simhash_speed(n_texts=200, n_comparisons=5000, seed=13)
+        by_measure = {r["measure"]: r for r in result.rows}
+        assert (
+            by_measure["simhash_hamming"]["total_s"]
+            < by_measure["cosine_tf"]["total_s"]
+        )
+
+
+class TestPermutedIndex:
+    def test_candidate_fraction_grows_with_radius(self):
+        result = ablation_permuted_index(
+            radii=(2, 10, 18), n_fingerprints=400, n_queries=40, seed=19
+        )
+        fractions = [r["candidate_fraction"] for r in result.rows]
+        assert fractions[0] < fractions[-1]
+
+    def test_large_radius_degenerates(self):
+        """The paper's argument: at λc=18 the index approaches a full scan."""
+        result = ablation_permuted_index(
+            radii=(18,), n_fingerprints=400, n_queries=40, seed=19
+        )
+        assert result.rows[0]["candidate_fraction"] > 0.5
+
+    def test_small_radius_prunes(self):
+        result = ablation_permuted_index(
+            radii=(2,), n_fingerprints=400, n_queries=40, seed=19
+        )
+        assert result.rows[0]["candidate_fraction"] < 0.2
+
+
+class TestCliqueCoverAblation:
+    def test_greedy_beats_trivial_on_dataset(self, dataset):
+        result = ablation_clique_cover(dataset)
+        greedy, trivial = result.rows
+        assert greedy["total_membership"] <= trivial["total_membership"]
+
+
+class TestIndexedUnibinAblation:
+    def test_outputs_identical_and_candidates_shrink(self, dataset):
+        from repro.eval import ablation_indexed_unibin
+
+        result = ablation_indexed_unibin(dataset, lambda_cs=(3, 18))
+        by_lc = {r["lambda_c"]: r for r in result.rows}
+        assert by_lc[3]["candidate_reduction"] > by_lc[18]["candidate_reduction"]
+        assert by_lc[3]["candidate_reduction"] > 0.9
+
+
+class TestServiceCapacityAblation:
+    def test_rows_and_headroom(self, dataset):
+        from repro.eval import service_capacity
+
+        result = service_capacity(dataset)
+        assert [r["algorithm"] for r in result.rows] == [
+            "unibin",
+            "neighborbin",
+            "cliquebin",
+        ]
+        for row in result.rows:
+            assert row["sustainable_speedup"] > 1
+
+
+class TestBurstBehaviourAblation:
+    def test_zero_violations_and_burst_visible(self):
+        from repro.eval import burst_behaviour
+
+        result = burst_behaviour()
+        assert result.parameters["coverage_violations"] == 0
+        arrivals = [r["arrivals"] for r in result.rows]
+        assert max(arrivals) > 3 * (sum(arrivals) / len(arrivals))
+
+
+class TestScanOrderAblation:
+    def test_same_output_both_orders(self, dataset):
+        result = ablation_scan_order(dataset)
+        assert "yes" in result.notes[0]
+        newest, oldest = result.rows
+        assert newest["admitted"] == oldest["admitted"]
+
+    def test_newest_first_fewer_or_equal_comparisons(self, dataset):
+        """Duplicates cluster near their source in time, so the newest-first
+        scan should find coverage sooner on the synthetic stream."""
+        result = ablation_scan_order(dataset)
+        newest, oldest = result.rows
+        assert newest["comparisons"] <= oldest["comparisons"]

@@ -1,0 +1,201 @@
+"""Tests for repro.baselines — the §7 comparison models."""
+
+import pytest
+
+from repro.baselines import (
+    LeaderClusterSummarizer,
+    MaxMinKDiversity,
+    compare_baselines,
+    content_distance,
+)
+from repro.core import Post, Thresholds
+from repro.errors import ConfigurationError
+
+
+def make_post(post_id, t, fingerprint, author=1):
+    return Post(post_id=post_id, author=author, text="", timestamp=t, fingerprint=fingerprint)
+
+
+class TestContentDistance:
+    def test_range(self):
+        assert content_distance(make_post(1, 0, 0), make_post(2, 0, 2**64 - 1)) == 1.0
+        assert content_distance(make_post(1, 0, 5), make_post(2, 0, 5)) == 0.0
+
+
+class TestMaxMinKDiversity:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MaxMinKDiversity(k=0, lambda_t=10.0)
+        with pytest.raises(ConfigurationError):
+            MaxMinKDiversity(k=3, lambda_t=0.0)
+
+    def test_fills_to_k(self):
+        algo = MaxMinKDiversity(k=3, lambda_t=100.0)
+        for i in range(3):
+            assert algo.offer(make_post(i, float(i), 1 << (i * 10)))
+        assert len(algo.selection) == 3
+
+    def test_swap_improves_maxmin(self):
+        algo = MaxMinKDiversity(k=2, lambda_t=1000.0)
+        algo.offer(make_post(1, 0.0, 0b0))
+        algo.offer(make_post(2, 1.0, 0b1))  # selection score = 1/64
+        # A far-away post should replace one of the two close picks.
+        assert algo.offer(make_post(3, 2.0, (1 << 40) - 1))
+        ids = {p.post_id for p in algo.selection}
+        assert 3 in ids and len(ids) == 2
+
+    def test_rejects_non_improving(self):
+        algo = MaxMinKDiversity(k=2, lambda_t=1000.0)
+        algo.offer(make_post(1, 0.0, 0))
+        algo.offer(make_post(2, 1.0, (1 << 32) - 1))  # score 0.5
+        # A post identical to post 1 cannot improve the selection.
+        assert not algo.offer(make_post(3, 2.0, 0))
+
+    def test_window_expiry(self):
+        algo = MaxMinKDiversity(k=2, lambda_t=10.0)
+        algo.offer(make_post(1, 0.0, 0))
+        algo.offer(make_post(2, 100.0, 1 << 20))
+        ids = {p.post_id for p in algo.selection}
+        assert ids == {2}
+
+    def test_ever_selected_accumulates(self):
+        algo = MaxMinKDiversity(k=2, lambda_t=1000.0)
+        algo.offer(make_post(1, 0.0, 0))
+        algo.offer(make_post(2, 1.0, 0b1))
+        # Post 3 is far from both → swapped in; post 2 drops out of the
+        # current selection but stays in the ever-selected history.
+        algo.offer(make_post(3, 2.0, (1 << 50) - 1))
+        assert algo.ever_selected == {1, 2, 3}
+        assert len(algo.selection) == 2
+
+    def test_k1_selection_is_sticky(self):
+        """With k = 1 the MaxMin score is vacuously 1.0, so the first post
+        is never displaced — a degenerate corner of the budgeted model."""
+        algo = MaxMinKDiversity(k=1, lambda_t=1000.0)
+        assert algo.offer(make_post(1, 0.0, 0))
+        assert not algo.offer(make_post(2, 1.0, (1 << 50) - 1))
+        assert algo.ever_selected == {1}
+
+
+class TestMaxMinMatchesBruteForce:
+    """The O(k)-amortised implementation must reproduce the naive
+    evaluate-every-swap algorithm decision for decision."""
+
+    @staticmethod
+    def brute_force(posts, k, lambda_t):
+        selection: list[Post] = []
+        ever: set[int] = set()
+
+        def dist(a, b):
+            return (a.fingerprint ^ b.fingerprint).bit_count() / 64.0
+
+        def score(s):
+            if len(s) < 2:
+                return 1.0
+            return min(
+                dist(a, b) for i, a in enumerate(s) for b in s[i + 1 :]
+            )
+
+        for post in posts:
+            cutoff = post.timestamp - lambda_t
+            selection = [q for q in selection if q.timestamp >= cutoff]
+            if len(selection) < k:
+                selection.append(post)
+                ever.add(post.post_id)
+                continue
+            best, best_index = score(selection), -1
+            for i in range(len(selection)):
+                candidate = selection[:i] + selection[i + 1 :] + [post]
+                if score(candidate) > best:
+                    best, best_index = score(candidate), i
+            if best_index >= 0:
+                selection[best_index] = post
+                ever.add(post.post_id)
+        return ever, [q.post_id for q in selection]
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 7])
+    def test_equivalence(self, k):
+        import random
+
+        rng = random.Random(41)
+        posts = []
+        t = 0.0
+        for i in range(150):
+            t += rng.expovariate(0.5)
+            fp = rng.getrandbits(64)
+            if posts and rng.random() < 0.4:
+                fp = posts[rng.randrange(len(posts))].fingerprint
+                for _ in range(rng.randrange(5)):
+                    fp ^= 1 << rng.randrange(64)
+            posts.append(make_post(i, t, fp))
+        expected_ever, expected_selection = self.brute_force(posts, k, 50.0)
+        algo = MaxMinKDiversity(k=k, lambda_t=50.0)
+        for post in posts:
+            algo.offer(post)
+        assert algo.ever_selected == expected_ever
+        assert [q.post_id for q in algo.selection] == expected_selection
+
+
+class TestLeaderClustering:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LeaderClusterSummarizer(lambda_c=65, expiry=10.0)
+        with pytest.raises(ConfigurationError):
+            LeaderClusterSummarizer(lambda_c=3, expiry=0.0)
+
+    def test_near_post_joins_cluster(self):
+        algo = LeaderClusterSummarizer(lambda_c=3, expiry=100.0)
+        assert algo.offer(make_post(1, 0.0, 0))
+        assert not algo.offer(make_post(2, 1.0, 0b1))
+        assert len(algo) == 1
+        assert algo.cluster_sizes() == [2]
+
+    def test_far_post_founds_cluster(self):
+        algo = LeaderClusterSummarizer(lambda_c=3, expiry=100.0)
+        algo.offer(make_post(1, 0.0, 0))
+        assert algo.offer(make_post(2, 1.0, (1 << 30) - 1))
+        assert len(algo) == 2
+
+    def test_collapses_across_authors(self):
+        """The semantic gap to SPSD: author identity is ignored."""
+        algo = LeaderClusterSummarizer(lambda_c=3, expiry=100.0)
+        algo.offer(make_post(1, 0.0, 0, author=1))
+        assert not algo.offer(make_post(2, 1.0, 0, author=999))
+
+    def test_cluster_expiry(self):
+        algo = LeaderClusterSummarizer(lambda_c=3, expiry=10.0)
+        algo.offer(make_post(1, 0.0, 0))
+        assert algo.offer(make_post(2, 100.0, 0))  # stale cluster dropped
+        assert len(algo) == 1
+
+
+class TestCompareBaselines:
+    def test_spsd_has_zero_violations(self, dataset):
+        thresholds = Thresholds()
+        outcomes = compare_baselines(
+            dataset.stream, dataset.graph(thresholds.lambda_a), thresholds
+        )
+        by_method = {o.method: o for o in outcomes}
+        assert by_method["spsd_unibin"].coverage_violations == 0
+        # The baselines break the guarantee (the paper's point).
+        assert by_method["maxmin_top_k"].coverage_violations > 0
+        assert by_method["leader_clustering"].coverage_violations > 0
+
+    def test_leader_over_prunes_diverse_content(self, dataset):
+        thresholds = Thresholds()
+        outcomes = compare_baselines(
+            dataset.stream, dataset.graph(thresholds.lambda_a), thresholds
+        )
+        by_method = {o.method: o for o in outcomes}
+        assert (
+            by_method["leader_clustering"].collateral_prunes
+            > by_method["spsd_unibin"].collateral_prunes
+        )
+
+    def test_counts_are_consistent(self, dataset):
+        thresholds = Thresholds()
+        for outcome in compare_baselines(
+            dataset.stream, dataset.graph(thresholds.lambda_a), thresholds
+        ):
+            assert outcome.shown + outcome.hidden == len(dataset.posts)
+            assert outcome.good_prunes + outcome.collateral_prunes == outcome.hidden

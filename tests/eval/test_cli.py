@@ -1,0 +1,36 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure11" in out
+        assert "table4" in out
+        assert "ablation_scan_order" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_static_table_runs(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Twitch" in out
+
+    def test_scale_flag_accepted(self, capsys):
+        assert main(["table3", "--scale", "small"]) == 0
+        assert "unibin" in capsys.readouterr().out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--scale", "galactic"])
+
+    def test_dataset_experiment_small_scale(self, capsys):
+        assert main(["figure9", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "fraction_of_pairs_at_least" in out

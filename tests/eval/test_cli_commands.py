@@ -1,0 +1,95 @@
+"""Tests for the CLI's diversify/generate subcommands."""
+
+import json
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.cli import main
+from repro.core import Post
+from repro.io import write_graph_json, write_posts_jsonl
+
+
+@pytest.fixture()
+def trace(tmp_path):
+    posts = [
+        Post.create(1, 1, "big story breaking now", 0.0),
+        Post.create(2, 2, "big story breaking now", 60.0),   # dup, similar author
+        Post.create(3, 3, "completely different topic here", 120.0),
+    ]
+    graph = AuthorGraph([1, 2, 3], [(1, 2)])
+    posts_path = tmp_path / "posts.jsonl"
+    graph_path = tmp_path / "graph.json"
+    write_posts_jsonl(posts, posts_path)
+    write_graph_json(graph, graph_path)
+    return posts_path, graph_path
+
+
+class TestDiversifyCommand:
+    def test_prunes_duplicate(self, trace, tmp_path, capsys):
+        posts_path, graph_path = trace
+        out_path = tmp_path / "shown.jsonl"
+        code = main(
+            [
+                "diversify",
+                "--posts", str(posts_path),
+                "--graph", str(graph_path),
+                "--lambda-t", "600",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        shown = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert [record["post_id"] for record in shown] == [1, 3]
+        assert "2/3 posts kept" in capsys.readouterr().out
+
+    def test_each_algorithm(self, trace, capsys):
+        posts_path, graph_path = trace
+        for algorithm in ("unibin", "neighborbin", "cliquebin", "indexed_unibin"):
+            code = main(
+                [
+                    "diversify",
+                    "--posts", str(posts_path),
+                    "--graph", str(graph_path),
+                    "--algorithm", algorithm,
+                    "--lambda-t", "600",
+                ]
+            )
+            assert code == 0
+            assert algorithm in capsys.readouterr().out
+
+    def test_author_dimension_off_without_graph(self, trace, capsys):
+        posts_path, _ = trace
+        code = main(
+            [
+                "diversify",
+                "--posts", str(posts_path),
+                "--lambda-a", "1.0",
+                "--lambda-t", "600",
+            ]
+        )
+        assert code == 0
+        assert "2/3 posts kept" in capsys.readouterr().out
+
+
+class TestGenerateCommand:
+    def test_writes_all_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "trace"
+        code = main(["generate", "--out-dir", str(out_dir), "--scale", "small"])
+        assert code == 0
+        assert (out_dir / "posts.jsonl").exists()
+        assert (out_dir / "graph.json").exists()
+        assert (out_dir / "subscriptions.json").exists()
+
+    def test_generated_trace_diversifies(self, tmp_path, capsys):
+        out_dir = tmp_path / "trace"
+        main(["generate", "--out-dir", str(out_dir), "--scale", "small"])
+        code = main(
+            [
+                "diversify",
+                "--posts", str(out_dir / "posts.jsonl"),
+                "--graph", str(out_dir / "graph.json"),
+            ]
+        )
+        assert code == 0
+        assert "pruned" in capsys.readouterr().out

@@ -1,0 +1,69 @@
+"""Tests for repro.eval.distributions — Figures 2 and 9."""
+
+import pytest
+
+from repro.authors import FriendVectors
+from repro.eval import author_similarity_ccdf, hamming_distribution
+
+
+class TestHammingDistribution:
+    @pytest.fixture(scope="class")
+    def dist(self):
+        return hamming_distribution(n_posts=800, n_pairs=4000, seed=31)
+
+    def test_mean_near_32(self, dist):
+        """Figure 2: unrelated posts centre at 32 bits."""
+        assert 28.0 <= dist.mean <= 34.0
+
+    def test_bulk_between_24_and_40(self, dist):
+        assert dist.fraction_between(24, 40) > 0.8
+
+    def test_counts_sum_to_total(self, dist):
+        assert sum(dist.counts.values()) == dist.total_pairs
+
+    def test_distances_in_bit_range(self, dist):
+        assert all(0 <= d <= 64 for d in dist.counts)
+
+    def test_fraction_empty_range(self, dist):
+        assert dist.fraction_between(63, 64) <= 0.01
+
+
+class TestAuthorSimilarityCcdf:
+    @pytest.fixture(scope="class")
+    def vectors(self):
+        return FriendVectors(
+            {
+                1: {10, 11, 12, 13},
+                2: {10, 11, 12, 13},
+                3: {10, 11, 20, 21},
+                4: {50, 51},
+                5: {60},
+            }
+        )
+
+    def test_monotone_nonincreasing(self, vectors):
+        ccdf = author_similarity_ccdf(vectors)
+        fractions = list(ccdf.fractions)
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_total_pairs(self, vectors):
+        ccdf = author_similarity_ccdf(vectors)
+        assert ccdf.total_pairs == 10  # C(5,2)
+
+    def test_known_fractions(self, vectors):
+        ccdf = author_similarity_ccdf(
+            vectors, thresholds=(0.4, 0.6, 0.9)
+        )
+        # sims: (1,2)=1.0, (1,3)=(2,3)=0.5, rest 0.
+        assert ccdf.fraction_at_least(0.4) == pytest.approx(3 / 10)
+        assert ccdf.fraction_at_least(0.6) == pytest.approx(1 / 10)
+        assert ccdf.fraction_at_least(0.9) == pytest.approx(1 / 10)
+
+    def test_unknown_grid_point_rejected(self, vectors):
+        ccdf = author_similarity_ccdf(vectors, thresholds=(0.5,))
+        with pytest.raises(KeyError):
+            ccdf.fraction_at_least(0.123)
+
+    def test_positive_pairs_counted(self, vectors):
+        ccdf = author_similarity_ccdf(vectors)
+        assert ccdf.positive_pairs == 3

@@ -1,0 +1,187 @@
+"""Tests for repro.eval.experiments — smoke and shape checks per driver.
+
+Heavy drivers run on the session-scoped small dataset (or with tiny
+parameters); the goal here is that every figure/table driver produces
+well-formed rows and paper-consistent orderings, not paper-scale numbers.
+"""
+
+import pytest
+
+from repro.core import Thresholds
+from repro.eval import EXPERIMENTS, run_experiment
+from repro.eval.experiments import (
+    figure2_hamming_distribution,
+    figure9_author_similarity,
+    figure10_dimension_effect,
+    figure11_vary_time_threshold,
+    figure12_vary_content_threshold,
+    figure13_vary_author_threshold,
+    figure14_vary_post_rate,
+    figure15_vary_subscriptions,
+    figure16_multiuser,
+    table2_cost_model,
+    table3_properties,
+    table4_use_cases,
+    topology_statistics,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "figure2", "table1", "figure3", "figure4", "sec3_cosine",
+            "figure9", "sec62_topology", "figure10", "figure11", "figure12",
+            "figure13", "figure14", "figure15", "figure16", "table2",
+            "table3", "table4",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_unknown_scale(self):
+        from repro.eval import default_dataset
+
+        with pytest.raises(KeyError):
+            default_dataset("gigantic")
+
+
+class TestStaticTables:
+    def test_table3(self):
+        result = table3_properties()
+        assert len(result.rows) == 3
+        assert result.render()
+
+    def test_table4(self):
+        result = table4_use_cases()
+        assert [r["algorithm"] for r in result.rows] == [
+            "unibin", "neighborbin", "cliquebin",
+        ]
+
+
+class TestContentStudies:
+    def test_figure2_small(self):
+        result = figure2_hamming_distribution(n_posts=400, n_pairs=2000, seed=31)
+        assert result.rows
+        mean_note = result.notes[0]
+        assert "mean=" in mean_note
+
+    def test_figure9(self, dataset):
+        result = figure9_author_similarity(dataset)
+        fractions = [r["fraction_of_pairs_at_least"] for r in result.rows]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+
+    def test_topology(self, dataset):
+        result = topology_statistics(dataset, lambda_as=(0.7, 0.8))
+        assert len(result.rows) == 2
+        # Densification: every topology parameter grows with lambda_a.
+        first, second = result.rows
+        assert second["d_neighbors_per_author"] >= first["d_neighbors_per_author"]
+        assert second["edges"] >= first["edges"]
+
+
+class TestSingleUserExperiments:
+    def test_figure10_dimension_effect(self, dataset):
+        result = figure10_dimension_effect(dataset, max_posts=300)
+        labels = [r["dimensions"] for r in result.rows]
+        assert "content+time+author" in labels
+        by_label = {r["dimensions"]: r for r in result.rows}
+        full = by_label["content+time+author"]
+        # Removing a constraint can only prune MORE posts (fewer left).
+        for relaxed in (
+            "content+time (author off)",
+            "content+author (time off)",
+            "time+author (content off)",
+        ):
+            assert by_label[relaxed]["posts_left"] <= full["posts_left"]
+
+    def test_figure11_lambda_t_monotonicity(self, dataset):
+        result = figure11_vary_time_threshold(dataset, lambda_ts=(300.0, 1800.0))
+        uni = [r for r in result.rows if r["algorithm"] == "unibin"]
+        assert uni[0]["comparisons"] <= uni[1]["comparisons"]
+        assert uni[0]["ram_copies"] <= uni[1]["ram_copies"]
+
+    def test_figure11_cost_ordering(self, dataset):
+        result = figure11_vary_time_threshold(dataset, lambda_ts=(1800.0,))
+        by_algo = {r["algorithm"]: r for r in result.rows}
+        assert by_algo["unibin"]["comparisons"] > by_algo["cliquebin"]["comparisons"]
+        assert by_algo["cliquebin"]["comparisons"] > by_algo["neighborbin"]["comparisons"]
+        assert by_algo["unibin"]["ram_copies"] < by_algo["cliquebin"]["ram_copies"]
+        assert by_algo["cliquebin"]["ram_copies"] < by_algo["neighborbin"]["ram_copies"]
+
+    def test_figure12_retention_stable(self, dataset):
+        result = figure12_vary_content_threshold(dataset, lambda_cs=(9, 18))
+        uni = [r for r in result.rows if r["algorithm"] == "unibin"]
+        # Paper: lambda_c barely affects the outcome.
+        assert abs(uni[0]["retention"] - uni[1]["retention"]) < 0.05
+
+    def test_figure13_densification_hits_binned_algorithms(self, dataset):
+        result = figure13_vary_author_threshold(dataset, lambda_as=(0.6, 0.8))
+        neigh = [r for r in result.rows if r["algorithm"] == "neighborbin"]
+        uni = [r for r in result.rows if r["algorithm"] == "unibin"]
+        assert neigh[1]["insertions"] > neigh[0]["insertions"]
+        # UniBin's insertions stay ~stable (only retention changes).
+        assert abs(uni[1]["insertions"] - uni[0]["insertions"]) < 0.2 * uni[0]["insertions"]
+
+    def test_figure14_rows(self, dataset):
+        result = figure14_vary_post_rate(dataset, ratios=(0.25, 1.0))
+        assert len(result.rows) == 6
+        assert {r["sample_ratio"] for r in result.rows} == {0.25, 1.0}
+
+    def test_figure15_rows(self, dataset):
+        result = figure15_vary_subscriptions(dataset, fractions=(0.5, 1.0))
+        assert len(result.rows) == 6
+        counts = sorted({r["subscriptions"] for r in result.rows})
+        assert counts[0] < counts[1]
+
+
+class TestTinyLambdaT:
+    def test_unibin_competitive_and_smallest_ram(self, dataset):
+        from repro.eval.experiments import sec622_tiny_lambda_t
+
+        result = sec622_tiny_lambda_t(dataset)
+        rows = {r["algorithm"]: r for r in result.rows}
+        assert rows["unibin"]["ram_copies"] <= rows["neighborbin"]["ram_copies"]
+        assert rows["unibin"]["ram_copies"] <= rows["cliquebin"]["ram_copies"]
+        # All three still agree on the output.
+        admitted = {r["admitted"] for r in result.rows}
+        assert len(admitted) == 1
+
+
+class TestMultiUserExperiment:
+    def test_figure16_s_beats_m(self, dataset):
+        result = figure16_multiuser(dataset, engines=("m_unibin", "s_unibin"))
+        by_algo = {r["algorithm"]: r for r in result.rows}
+        assert by_algo["s_unibin"]["comparisons"] <= by_algo["m_unibin"]["comparisons"]
+        assert by_algo["s_unibin"]["insertions"] <= by_algo["m_unibin"]["insertions"]
+        assert by_algo["s_unibin"]["ram_copies"] <= by_algo["m_unibin"]["ram_copies"]
+        # Same deliveries — the optimisation must not change outputs.
+        assert by_algo["s_unibin"]["admitted"] == by_algo["m_unibin"]["admitted"]
+
+
+class TestCostModelExperiment:
+    def test_table2_orderings_agree(self, dataset):
+        result = table2_cost_model(dataset, thresholds=Thresholds())
+        rows = {r["algorithm"]: r for r in result.rows}
+        for metric in ("ram", "cmp_per_window", "ins_per_window"):
+            predicted = sorted(
+                rows, key=lambda a: rows[a][f"{metric}_predicted"]
+            )
+            measured = sorted(
+                rows, key=lambda a: rows[a][f"{metric}_measured"]
+            )
+            assert predicted == measured, f"{metric} ordering diverges"
+
+    def test_table2_parameters_present(self, dataset):
+        result = table2_cost_model(dataset)
+        for key in ("m", "n_per_window", "r", "d", "c", "s", "q"):
+            assert key in result.parameters
+
+
+class TestRendering:
+    def test_render_contains_notes(self, dataset):
+        result = figure9_author_similarity(dataset)
+        text = result.render()
+        assert text.startswith("== figure9")
+        assert "note:" in text

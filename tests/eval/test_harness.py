@@ -1,0 +1,75 @@
+"""Tests for repro.eval.harness."""
+
+import pytest
+
+from repro.core import Thresholds, UniBin
+from repro.eval import (
+    compare_algorithms,
+    run_algorithm,
+    run_diversifier,
+    run_multiuser_by_name,
+)
+from repro.multiuser import SubscriptionTable
+
+
+class TestRunDiversifier:
+    def test_measures_counters(self, paper_posts, paper_graph, paper_thresholds):
+        run = run_diversifier(UniBin(paper_thresholds, paper_graph), paper_posts)
+        assert run.algorithm == "unibin"
+        assert run.posts_processed == 5
+        assert run.posts_admitted == 3
+        assert run.admitted_ids == frozenset({1, 2, 4})
+        assert run.wall_time >= 0.0
+        assert run.comparisons == 6
+
+    def test_purge_every_applied(self, paper_graph):
+        th = Thresholds(lambda_c=3, lambda_t=1.0, lambda_a=0.7)
+        from repro.core import Post
+
+        posts = [
+            Post(post_id=i, author=1, text="", timestamp=i * 10.0, fingerprint=i << 6)
+            for i in range(10)
+        ]
+        algo = UniBin(th, paper_graph)
+        run_diversifier(algo, posts, purge_every=1)
+        # With per-post purging everything but the newest post is evicted.
+        assert algo.stored_copies() == 1
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("name", ["unibin", "neighborbin", "cliquebin"])
+    def test_all_algorithms(self, name, paper_posts, paper_graph, paper_thresholds):
+        run = run_algorithm(name, paper_thresholds, paper_graph, paper_posts)
+        assert run.algorithm == name
+        assert run.admitted_ids == frozenset({1, 2, 4})
+
+    def test_cover_injected(self, paper_posts, paper_graph, paper_thresholds):
+        from repro.authors import greedy_clique_cover
+
+        cover = greedy_clique_cover(paper_graph)
+        run = run_algorithm(
+            "cliquebin", paper_thresholds, paper_graph, paper_posts, cover=cover
+        )
+        assert run.posts_admitted == 3
+
+
+class TestCompareAlgorithms:
+    def test_all_three_same_output(self, paper_posts, paper_graph, paper_thresholds):
+        runs = compare_algorithms(paper_thresholds, paper_graph, paper_posts)
+        assert [r.algorithm for r in runs] == ["unibin", "neighborbin", "cliquebin"]
+        assert runs[0].admitted_ids == runs[1].admitted_ids == runs[2].admitted_ids
+
+
+class TestRunMultiuser:
+    def test_deliveries_counted(self, paper_posts, paper_graph, paper_thresholds):
+        subs = SubscriptionTable({100: [1, 2, 3, 4], 200: [1, 2]})
+        run = run_multiuser_by_name(
+            "s_unibin", paper_thresholds, paper_graph, subs, paper_posts
+        )
+        assert run.algorithm == "s_unibin"
+        assert run.posts_processed == 5
+        # user 100 sees Z = {1,2,4}; user 200's stream is posts 1,2 → both
+        # admitted (different graph, no coverage between them? P1/P2 are
+        # content-distant) → 3 + 2 = 5 deliveries.
+        assert run.posts_admitted == 5
+        assert run.peak_stored_copies > 0

@@ -1,0 +1,115 @@
+"""Tests for repro.eval.metrics — verifier and audit."""
+
+import pytest
+
+from repro.core import CoverageChecker, Post, Thresholds
+from repro.eval import MeasuredRun, find_uncovered, pruning_audit, verify_coverage
+
+
+def make_post(post_id, author, t, fingerprint):
+    return Post(post_id=post_id, author=author, text="", timestamp=t, fingerprint=fingerprint)
+
+
+@pytest.fixture()
+def checker(paper_graph):
+    return CoverageChecker(Thresholds(lambda_c=3, lambda_t=100.0, lambda_a=0.7), paper_graph)
+
+
+class TestFindUncovered:
+    def test_all_admitted_is_covered(self, checker):
+        posts = [make_post(i, 1, float(i), i << 10) for i in range(3)]
+        assert find_uncovered(posts, frozenset({0, 1, 2}), checker) == []
+
+    def test_properly_covered_rejection(self, checker):
+        posts = [
+            make_post(1, 1, 0.0, 0),
+            make_post(2, 3, 10.0, 0b1),  # covered by post 1 (a1~a3)
+        ]
+        assert find_uncovered(posts, frozenset({1}), checker) == []
+
+    def test_detects_planted_violation(self, checker):
+        posts = [
+            make_post(1, 1, 0.0, 0),
+            make_post(2, 4, 10.0, 0),  # a4 not similar to a1 → NOT covered
+        ]
+        violations = find_uncovered(posts, frozenset({1}), checker)
+        assert [p.post_id for p in violations] == [2]
+
+    def test_detects_out_of_window_violation(self, checker):
+        posts = [
+            make_post(1, 1, 0.0, 0),
+            make_post(2, 1, 500.0, 0),  # same content, outside λt
+        ]
+        assert [p.post_id for p in find_uncovered(posts, frozenset({1}), checker)] == [2]
+
+    def test_later_post_does_not_cover(self, checker):
+        """The verifier checks the streaming (backward-only) guarantee."""
+        posts = [
+            make_post(1, 1, 0.0, 0),
+            make_post(2, 1, 10.0, 0),
+        ]
+        # Claiming only the LATER post was admitted leaves post 1 uncovered
+        # under backward-only semantics.
+        assert [p.post_id for p in find_uncovered(posts, frozenset({2}), checker)] == [1]
+
+
+class TestVerifyCoverage:
+    def test_passes_silently(self, checker):
+        posts = [make_post(1, 1, 0.0, 0)]
+        verify_coverage(posts, frozenset({1}), checker)
+
+    def test_raises_with_ids(self, checker):
+        posts = [make_post(1, 1, 0.0, 0), make_post(2, 4, 1.0, 0)]
+        with pytest.raises(AssertionError, match=r"\[2\]"):
+            verify_coverage(posts, frozenset({1}), checker)
+
+
+class TestPruningAudit:
+    def test_counts(self):
+        posts = [make_post(i, 1, float(i), 0) for i in range(1, 6)]
+        admitted = frozenset({1, 2})
+        redundant = {3, 4}
+        audit = pruning_audit(posts, admitted, redundant)
+        assert audit["pruned"] == 3
+        assert audit["pruned_ground_truth_redundant"] == 2
+        assert audit["pruned_other"] == 1
+        assert audit["prune_precision"] == pytest.approx(2 / 3)
+
+    def test_nothing_pruned(self):
+        posts = [make_post(1, 1, 0.0, 0)]
+        audit = pruning_audit(posts, frozenset({1}), set())
+        assert audit["pruned"] == 0
+        assert audit["prune_precision"] == 1.0
+
+
+class TestMeasuredRun:
+    def make_run(self, **overrides):
+        fields = {
+            "algorithm": "unibin",
+            "posts_processed": 100,
+            "posts_admitted": 90,
+            "comparisons": 500,
+            "insertions": 90,
+            "peak_stored_copies": 40,
+            "wall_time": 2.0,
+            "cpu_time": 1.9,
+            "admitted_ids": frozenset(range(90)),
+        }
+        fields.update(overrides)
+        return MeasuredRun(**fields)
+
+    def test_derived_metrics(self):
+        run = self.make_run()
+        assert run.retention_ratio == pytest.approx(0.9)
+        assert run.throughput == pytest.approx(50.0)
+
+    def test_zero_guards(self):
+        run = self.make_run(posts_processed=0, posts_admitted=0, wall_time=0.0)
+        assert run.retention_ratio == 0.0
+        assert run.throughput == 0.0
+
+    def test_as_row_excludes_ids(self):
+        row = self.make_run().as_row()
+        assert "admitted_ids" not in row
+        assert row["algorithm"] == "unibin"
+        assert row["ram_copies"] == 40

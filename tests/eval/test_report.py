@@ -1,0 +1,48 @@
+"""Tests for repro.eval.report and the CLI report subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.eval import generate_report
+
+
+class TestGenerateReport:
+    def test_selected_experiments_only(self):
+        markdown = generate_report(scale="small", experiment_ids=["table3", "table4"])
+        assert "# Evaluation report" in markdown
+        assert "## table3" in markdown
+        assert "## table4" in markdown
+        assert "## figure11" not in markdown
+
+    def test_markdown_table_structure(self):
+        markdown = generate_report(scale="small", experiment_ids=["table4"])
+        lines = markdown.splitlines()
+        header = next(l for l in lines if l.startswith("| conditions"))
+        separator = lines[lines.index(header) + 1]
+        assert separator.startswith("|---")
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="figure99"):
+            generate_report(experiment_ids=["figure99"])
+
+    def test_notes_become_blockquotes(self):
+        markdown = generate_report(
+            scale="small", experiment_ids=["ablation_simhash_speed"]
+        )
+        assert "\n> " in markdown
+
+
+class TestReportCommand:
+    def test_stdout(self, capsys):
+        assert main(["report", "--scale", "small", "--only", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "## table3" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "results.md"
+        code = main(
+            ["report", "--scale", "small", "--only", "table4", "--output", str(target)]
+        )
+        assert code == 0
+        assert "## table4" in target.read_text()
+        assert "report written" in capsys.readouterr().out

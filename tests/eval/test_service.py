@@ -1,0 +1,151 @@
+"""Tests for repro.service — latency recording and queueing simulation."""
+
+import pytest
+
+from repro.core import Post, Thresholds, UniBin, make_diversifier
+from repro.errors import ConfigurationError
+from repro.multiuser import SubscriptionTable, make_multiuser
+from repro.service import (
+    DiversificationService,
+    LatencyRecorder,
+    capacity_sweep,
+    simulate_queueing,
+)
+
+
+class TestLatencyRecorder:
+    def test_exact_statistics(self):
+        recorder = LatencyRecorder()
+        for v in (1.0, 2.0, 3.0):
+            recorder.record(v)
+        assert recorder.count == 3
+        assert recorder.mean == pytest.approx(2.0)
+        assert recorder.max == 3.0
+
+    def test_percentiles_on_small_samples(self):
+        recorder = LatencyRecorder()
+        for v in range(1, 101):
+            recorder.record(float(v))
+        assert recorder.percentile(0) == 1.0
+        assert recorder.percentile(100) == 100.0
+        assert 45.0 <= recorder.percentile(50) <= 55.0
+
+    def test_reservoir_bounded(self):
+        recorder = LatencyRecorder(capacity=10)
+        for v in range(1000):
+            recorder.record(float(v))
+        assert recorder.count == 1000
+        assert len(recorder._samples) == 10
+
+    def test_empty(self):
+        recorder = LatencyRecorder()
+        assert recorder.mean == 0.0
+        assert recorder.percentile(50) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(capacity=0)
+        with pytest.raises(ValueError):
+            LatencyRecorder().percentile(101)
+
+    def test_snapshot_keys(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.001)
+        snap = recorder.snapshot()
+        assert snap["decisions"] == 1
+        assert snap["mean_us"] == pytest.approx(1000.0)
+
+
+class TestSimulateQueueing:
+    def test_empty(self):
+        report = simulate_queueing([], [])
+        assert report.posts == 0
+        assert report.sustainable
+
+    def test_underloaded(self):
+        # One post per second, 0.1 s of work each → utilisation 0.1.
+        arrivals = [float(i) for i in range(10)]
+        services = [0.1] * 10
+        report = simulate_queueing(arrivals, services)
+        assert report.utilisation == pytest.approx(0.1, rel=0.2)
+        assert report.sustainable
+        assert report.max_delay == pytest.approx(0.1)
+
+    def test_overloaded_backlog_grows(self):
+        arrivals = [float(i) for i in range(10)]
+        services = [2.0] * 10
+        report = simulate_queueing(arrivals, services)
+        assert not report.sustainable
+        # FIFO backlog: last post waits ~(2-1)*9 + 2 seconds.
+        assert report.max_delay == pytest.approx(11.0)
+
+    def test_speedup_compresses_arrivals(self):
+        arrivals = [float(i) for i in range(10)]
+        services = [0.5] * 10
+        ok = simulate_queueing(arrivals, services, speedup=1.0)
+        overloaded = simulate_queueing(arrivals, services, speedup=10.0)
+        assert ok.sustainable
+        assert not overloaded.sustainable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_queueing([1.0], [])
+        with pytest.raises(ValueError):
+            simulate_queueing([1.0], [0.1], speedup=0.0)
+
+
+class TestDiversificationService:
+    def test_single_user_ingest(self, paper_posts, paper_graph, paper_thresholds):
+        service = DiversificationService(UniBin(paper_thresholds, paper_graph))
+        verdicts = [service.ingest(p) for p in paper_posts]
+        assert verdicts == [True, True, False, True, False]
+        assert service.latency.count == 5
+        assert not service.is_multiuser
+
+    def test_multiuser_ingest(self, paper_posts, paper_graph, paper_thresholds):
+        subscriptions = SubscriptionTable({100: [1, 2, 3, 4]})
+        engine = make_multiuser(
+            "s_unibin", paper_thresholds, paper_graph, subscriptions
+        )
+        service = DiversificationService(engine)
+        receivers = [service.ingest(p) for p in paper_posts]
+        assert receivers[0] == frozenset({100})
+        assert receivers[2] == frozenset()
+        assert service.is_multiuser
+
+    def test_replay_reports(self, paper_posts, paper_graph, paper_thresholds):
+        service = DiversificationService(UniBin(paper_thresholds, paper_graph))
+        reports = service.replay(paper_posts, speedups=(1.0, 100.0))
+        assert [r.speedup for r in reports] == [1.0, 100.0]
+        assert reports[0].posts == 5
+        # A 5-post stream in real time is trivially sustainable.
+        assert reports[0].sustainable
+
+    def test_sustainable_speedup_positive(self, paper_posts, paper_graph, paper_thresholds):
+        service = DiversificationService(UniBin(paper_thresholds, paper_graph))
+        service.replay(paper_posts)
+        assert service.sustainable_speedup() > 1.0
+        assert service.throughput_posts_per_second() > 0
+
+    def test_purge_every_validation(self, paper_graph, paper_thresholds):
+        with pytest.raises(ConfigurationError):
+            DiversificationService(
+                UniBin(paper_thresholds, paper_graph), purge_every=0
+            )
+
+
+class TestCapacitySweep:
+    def test_rows_per_algorithm(self, dataset):
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        posts = dataset.posts[:300]
+        rows = capacity_sweep(
+            lambda name: make_diversifier(name, thresholds, graph),
+            posts,
+            algorithms=("unibin", "cliquebin"),
+        )
+        assert [r["algorithm"] for r in rows] == ["unibin", "cliquebin"]
+        for row in rows:
+            assert row["decisions"] == 300
+            assert row["throughput_posts_s"] > 0
+            assert row["sustainable_speedup"] > 1

@@ -1,0 +1,50 @@
+"""Tests for repro.eval.tables — ASCII rendering."""
+
+from repro.eval import render_series, render_table
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(no rows)" in render_table([])
+        assert render_table([], title="T").startswith("T")
+
+    def test_header_and_rows(self):
+        out = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_title(self):
+        out = render_table([{"a": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_column_order_fixed(self):
+        out = render_table([{"z": 1, "a": 2}], columns=["a", "z"])
+        assert out.splitlines()[0].split() == ["a", "z"]
+
+    def test_missing_column_blank(self):
+        out = render_table([{"a": 1}], columns=["a", "b"])
+        assert "b" in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        out = render_table([{"v": 0.12345}])
+        assert "0.1234" in out or "0.1235" in out
+
+    def test_large_number_grouping(self):
+        out = render_table([{"v": 1234567}])
+        assert "1,234,567" in out
+
+    def test_bool_rendering(self):
+        out = render_table([{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+
+class TestRenderSeries:
+    def test_one_row_per_x(self):
+        out = render_series(
+            "Fig", "x", [1, 2], {"unibin": [10, 20], "cliquebin": [5, 8]}
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig"
+        assert len(lines) == 5  # title + header + rule + 2 rows
+        assert "unibin" in lines[1] and "cliquebin" in lines[1]

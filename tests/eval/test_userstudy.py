@@ -1,0 +1,108 @@
+"""Tests for repro.eval.userstudy — the simulated §3 study."""
+
+import pytest
+
+from repro.eval import (
+    cosine_crossover,
+    cosine_curve,
+    crossover,
+    example_pairs,
+    generate_labeled_pairs,
+    precision_recall_curve,
+)
+
+PAIRS_PER_DISTANCE = 8  # keep the test fast; shape checks only
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    return generate_labeled_pairs(
+        pairs_per_distance=PAIRS_PER_DISTANCE, distance_range=(3, 22), seed=101
+    )
+
+
+class TestPairGeneration:
+    def test_buckets_filled(self, pairs):
+        from collections import Counter
+
+        counts = Counter(p.raw_distance for p in pairs)
+        assert set(counts) <= set(range(3, 23))
+        assert all(c <= PAIRS_PER_DISTANCE for c in counts.values())
+        # The generator should fill the great majority of buckets.
+        assert len(pairs) >= 0.8 * PAIRS_PER_DISTANCE * 20
+
+    def test_both_labels_present(self, pairs):
+        labels = {p.redundant for p in pairs}
+        assert labels == {True, False}
+
+    def test_distances_recorded_consistently(self, pairs):
+        from repro.simhash import hamming, simhash
+
+        sample = pairs[:: max(1, len(pairs) // 10)]
+        for p in sample:
+            assert p.raw_distance == hamming(
+                simhash(p.text_a, normalized=False),
+                simhash(p.text_b, normalized=False),
+            )
+            assert p.normalized_distance == hamming(
+                simhash(p.text_a), simhash(p.text_b)
+            )
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            generate_labeled_pairs(distance_range=(10, 5))
+
+
+class TestPrecisionRecall:
+    def test_recall_monotone_nondecreasing(self, pairs):
+        points = precision_recall_curve(pairs, normalized=True)
+        recalls = [p.recall for p in points]
+        assert all(b >= a for a, b in zip(recalls, recalls[1:]))
+
+    def test_recall_reaches_one(self, pairs):
+        points = precision_recall_curve(pairs, normalized=True, max_threshold=64)
+        assert points[-1].recall == pytest.approx(1.0)
+
+    def test_precision_range(self, pairs):
+        for p in precision_recall_curve(pairs, normalized=False):
+            assert 0.0 <= p.precision <= 1.0
+
+    def test_normalized_dominates_raw(self, pairs):
+        """The Figure 3 → Figure 4 improvement: summed P+R over the studied
+        range must be higher with normalisation."""
+        raw = precision_recall_curve(pairs, normalized=False)
+        norm = precision_recall_curve(pairs, normalized=True)
+        raw_area = sum(p.precision + p.recall for p in raw[3:23])
+        norm_area = sum(p.precision + p.recall for p in norm[3:23])
+        assert norm_area > raw_area
+
+    def test_crossover_in_plausible_band(self, pairs):
+        """The paper's crossover is h=18; the simulated study must land in
+        the same neighbourhood with high precision/recall."""
+        cross = crossover(precision_recall_curve(pairs, normalized=True))
+        assert 10 <= cross.threshold <= 22
+        assert cross.precision > 0.8
+        assert cross.recall > 0.8
+
+
+class TestCosineBaseline:
+    def test_curve_shape(self, pairs):
+        points = cosine_curve(pairs)
+        assert points[0].recall == pytest.approx(1.0)  # threshold 0 → all
+        recalls = [p.recall for p in points]
+        assert all(a >= b for a, b in zip(recalls, recalls[1:]))
+
+    def test_crossover_near_paper(self, pairs):
+        cross = cosine_crossover(cosine_curve(pairs))
+        # Paper: 0.7. Allow a generous band — shape, not absolute value.
+        assert 0.4 <= cross.threshold <= 0.9
+
+
+class TestExamplePairs:
+    def test_three_redundant_examples(self):
+        examples = example_pairs(seed=77)
+        assert len(examples) == 3
+        assert all(e.redundant for e in examples)
+        # Near the paper's distances 3, 8, 13.
+        for example, target in zip(examples, (3, 8, 13)):
+            assert abs(example.raw_distance - target) <= 3

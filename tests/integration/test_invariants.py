@@ -1,0 +1,99 @@
+"""System-level invariants on a realistic dataset (DESIGN.md §6).
+
+1. Coverage: every input post is covered by an admitted post.
+2. Agreement: UniBin, NeighborBin and CliqueBin admit identical Z.
+3. S_*/M_* equivalence: shared-component engines deliver exactly the
+   per-user baselines' timelines.
+"""
+
+import pytest
+
+from repro.core import CoverageChecker, Thresholds
+from repro.eval import compare_algorithms, pruning_audit, verify_coverage
+from repro.multiuser import make_multiuser
+
+THRESHOLD_SETTINGS = [
+    Thresholds(),                                     # paper defaults
+    Thresholds(lambda_c=9, lambda_t=600.0, lambda_a=0.6),
+    Thresholds(lambda_c=22, lambda_t=3600.0, lambda_a=0.8),
+]
+
+
+class TestCoverageInvariant:
+    @pytest.mark.parametrize("thresholds", THRESHOLD_SETTINGS)
+    def test_all_algorithms_cover_stream(self, dataset, thresholds):
+        graph = dataset.graph(thresholds.lambda_a)
+        runs = compare_algorithms(thresholds, graph, dataset.posts)
+        checker = CoverageChecker(thresholds, graph)
+        for run in runs:
+            verify_coverage(dataset.posts, run.admitted_ids, checker)
+
+    def test_unibin_author_dimension_disabled(self, dataset):
+        from repro.eval import run_algorithm
+
+        thresholds = Thresholds().without("author")
+        run = run_algorithm("unibin", thresholds, None, dataset.posts[:400])
+        checker = CoverageChecker(thresholds, None)
+        verify_coverage(dataset.posts[:400], run.admitted_ids, checker)
+
+
+class TestAgreementInvariant:
+    @pytest.mark.parametrize("thresholds", THRESHOLD_SETTINGS)
+    def test_three_algorithms_identical_output(self, dataset, thresholds):
+        graph = dataset.graph(thresholds.lambda_a)
+        runs = compare_algorithms(thresholds, graph, dataset.posts)
+        assert runs[0].admitted_ids == runs[1].admitted_ids == runs[2].admitted_ids
+
+    def test_scan_order_does_not_change_output(self, dataset):
+        from repro.core import make_diversifier
+        from repro.eval import run_diversifier
+
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        newest = run_diversifier(
+            make_diversifier("unibin", thresholds, graph, newest_first=True),
+            dataset.posts,
+        )
+        oldest = run_diversifier(
+            make_diversifier("unibin", thresholds, graph, newest_first=False),
+            dataset.posts,
+        )
+        assert newest.admitted_ids == oldest.admitted_ids
+
+
+class TestMultiUserEquivalence:
+    @pytest.mark.parametrize("algorithm", ["unibin", "neighborbin", "cliquebin"])
+    def test_s_equals_m(self, dataset, algorithm):
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        subscriptions = dataset.subscriptions()
+        posts = dataset.posts[:500]
+        m_timelines = make_multiuser(
+            f"m_{algorithm}", thresholds, graph, subscriptions
+        ).run(posts)
+        s_timelines = make_multiuser(
+            f"s_{algorithm}", thresholds, graph, subscriptions
+        ).run(posts)
+        assert m_timelines == s_timelines
+
+
+class TestPruningQuality:
+    def test_pruned_posts_are_mostly_ground_truth_duplicates(self, dataset):
+        """The diversifier should prune what the generator planted: most
+        pruned posts carry duplicate provenance."""
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        run = compare_algorithms(thresholds, graph, dataset.posts)[0]
+        redundant_ids = {
+            pid for pid, prov in dataset.stream.provenance.items() if prov.redundant
+        }
+        audit = pruning_audit(dataset.posts, run.admitted_ids, redundant_ids)
+        assert audit["pruned"] > 0
+        assert audit["prune_precision"] > 0.7
+
+    def test_retention_near_paper(self, dataset):
+        """Paper: ~10% pruned at default thresholds."""
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        run = compare_algorithms(thresholds, graph, dataset.posts)[0]
+        assert 0.80 <= run.retention_ratio <= 0.97

@@ -1,0 +1,147 @@
+"""Property-based tests over random streams and graphs (hypothesis).
+
+These generate arbitrary worlds — random author graphs, random fingerprints
+and timestamps — and assert the structural invariants hold on every one:
+identical outputs across all three algorithms (and their multi-user
+wrappers), the coverage guarantee, and clique-cover validity.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.authors import AuthorGraph, greedy_clique_cover, verify_cover
+from repro.core import CoverageChecker, Post, Thresholds, make_diversifier
+from repro.eval import find_uncovered
+from repro.multiuser import SubscriptionTable, make_multiuser
+
+
+@st.composite
+def worlds(draw):
+    """A random (graph, posts, thresholds) triple."""
+    n_authors = draw(st.integers(min_value=1, max_value=8))
+    authors = list(range(n_authors))
+    possible_edges = [
+        (a, b) for a in authors for b in authors if a < b
+    ]
+    edges = [e for e in possible_edges if draw(st.booleans())]
+    graph = AuthorGraph(authors, edges)
+
+    lambda_c = draw(st.integers(min_value=0, max_value=24))
+    lambda_t = draw(st.floats(min_value=1.0, max_value=200.0))
+    thresholds = Thresholds(lambda_c=lambda_c, lambda_t=lambda_t, lambda_a=0.7)
+
+    n_posts = draw(st.integers(min_value=0, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = random.Random(seed)
+    posts = []
+    t = 0.0
+    for post_id in range(n_posts):
+        t += rng.expovariate(0.1)
+        base = rng.getrandbits(64)
+        # Half the posts echo an earlier fingerprint with small flips, so
+        # coverage actually happens.
+        if posts and rng.random() < 0.5:
+            base = posts[rng.randrange(len(posts))].fingerprint
+            for _ in range(rng.randrange(0, 6)):
+                base ^= 1 << rng.randrange(64)
+        posts.append(
+            Post(
+                post_id=post_id,
+                author=rng.randrange(n_authors),
+                text="",
+                timestamp=t,
+                fingerprint=base,
+            )
+        )
+    return graph, posts, thresholds
+
+
+@settings(max_examples=120, deadline=None)
+@given(worlds())
+def test_all_algorithms_agree(world):
+    """The paper's three algorithms AND the indexed extension admit the
+    identical sub-stream on any input."""
+    graph, posts, thresholds = world
+    outputs = []
+    for name in ("unibin", "neighborbin", "cliquebin", "indexed_unibin"):
+        algo = make_diversifier(name, thresholds, graph)
+        outputs.append([p.post_id for p in algo.diversify(posts)])
+    assert all(out == outputs[0] for out in outputs[1:])
+
+
+@settings(max_examples=120, deadline=None)
+@given(worlds())
+def test_coverage_guarantee(world):
+    graph, posts, thresholds = world
+    algo = make_diversifier("unibin", thresholds, graph)
+    admitted = frozenset(p.post_id for p in algo.diversify(posts))
+    checker = CoverageChecker(thresholds, graph)
+    assert find_uncovered(posts, admitted, checker) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(worlds())
+def test_admitted_posts_mutually_diverse_within_window(world):
+    """No two admitted posts may cover each other *at admission time* —
+    i.e. for any admitted pair, the earlier one must not cover the later
+    one (otherwise the later was redundant and should have been pruned)."""
+    graph, posts, thresholds = world
+    algo = make_diversifier("unibin", thresholds, graph)
+    admitted = algo.diversify(posts)
+    checker = CoverageChecker(thresholds, graph)
+    for i, later in enumerate(admitted):
+        for earlier in admitted[:i]:
+            assert not checker.covers(later, earlier)
+
+
+@settings(max_examples=60, deadline=None)
+@given(worlds())
+def test_multiuser_engines_agree(world):
+    graph, posts, thresholds = world
+    if len(graph) < 2:
+        return
+    authors = sorted(graph.nodes)
+    subscriptions = SubscriptionTable(
+        {
+            1000: authors,                       # follows everyone
+            2000: authors[: max(1, len(authors) // 2)],
+        }
+    )
+    m_timelines = make_multiuser("m_cliquebin", thresholds, graph, subscriptions).run(posts)
+    s_timelines = make_multiuser("s_cliquebin", thresholds, graph, subscriptions).run(posts)
+    assert m_timelines == s_timelines
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31), st.floats(0.0, 0.8))
+def test_clique_cover_valid_on_random_graphs(seed, p):
+    rng = random.Random(seed)
+    n = rng.randrange(1, 25)
+    edges = [(a, b) for a in range(n) for b in range(a + 1, n) if rng.random() < p]
+    graph = AuthorGraph(range(n), edges)
+    verify_cover(graph, greedy_clique_cover(graph))
+
+
+@settings(max_examples=60, deadline=None)
+@given(worlds())
+def test_full_stream_single_user_matches_component_union(world):
+    """Decomposing one user's stream by connected components and merging
+    the outputs must equal diversifying the whole stream at once — the §5
+    correctness argument, tested directly."""
+    graph, posts, thresholds = world
+    whole = make_diversifier("unibin", thresholds, graph)
+    expected = {p.post_id for p in whole.diversify(posts)}
+
+    from repro.authors import connected_components
+
+    got: set[int] = set()
+    for component in connected_components(graph):
+        sub = graph.subgraph(component)
+        algo = make_diversifier("unibin", thresholds, sub)
+        component_posts = [p for p in posts if p.author in component]
+        got.update(p.post_id for p in algo.diversify(component_posts))
+    assert got == expected

@@ -1,0 +1,117 @@
+"""Model-based (stateful) property tests.
+
+Hypothesis drives random operation sequences against the two mutable
+structures with the subtlest invariants — the pigeonhole SimHash index and
+the incremental similarity maintainer — checking them after every step
+against trivially-correct reference models.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.authors.incremental import SimilarityMaintainer
+from repro.simhash import SimHashIndex, hamming
+
+FINGERPRINTS = st.integers(min_value=0, max_value=2**64 - 1)
+KEYS = st.integers(min_value=0, max_value=30)
+
+
+class SimHashIndexMachine(RuleBasedStateMachine):
+    """The index must always agree with a brute-force dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = SimHashIndex(radius=6)
+        self.model: dict[int, int] = {}  # key -> fingerprint
+
+    @rule(fingerprint=FINGERPRINTS, key=KEYS)
+    def add(self, fingerprint, key):
+        # Same-key re-add replaces, mirroring the index contract.
+        if key in self.model:
+            self.index.remove(self.model[key], key)
+            del self.model[key]
+        self.index.add(fingerprint, key)
+        self.model[key] = fingerprint
+
+    @rule(key=KEYS)
+    def remove(self, key):
+        if key in self.model:
+            self.index.remove(self.model[key], key)
+            del self.model[key]
+        else:
+            self.index.remove(12345, key)  # no-op on absent key
+
+    @rule(query=FINGERPRINTS)
+    def query_matches_model(self, query):
+        expected = {
+            (key, hamming(query, fp))
+            for key, fp in self.model.items()
+            if hamming(query, fp) <= 6
+        }
+        assert set(self.index.query(query)) == expected
+
+    @invariant()
+    def size_matches(self):
+        assert len(self.index) == len(self.model)
+
+
+class SimilarityMaintainerMachine(RuleBasedStateMachine):
+    """The incremental edge set must always equal full recomputation."""
+
+    AUTHORS = list(range(6))
+    THRESHOLD = 0.45
+
+    def __init__(self):
+        super().__init__()
+        self.model: dict[int, set[int]] = {a: set() for a in self.AUTHORS}
+        self.maintainer = SimilarityMaintainer(
+            {a: set() for a in self.AUTHORS}, threshold=self.THRESHOLD
+        )
+
+    def _expected_edges(self):
+        edges = set()
+        for i, a in enumerate(self.AUTHORS):
+            for b in self.AUTHORS[i + 1 :]:
+                fa, fb = self.model[a], self.model[b]
+                if not fa or not fb:
+                    continue
+                shared = len(fa & fb)
+                if shared and shared / math.sqrt(len(fa) * len(fb)) >= (
+                    self.THRESHOLD - 1e-12
+                ):
+                    edges.add((a, b))
+        return edges
+
+    @rule(
+        author=st.sampled_from(AUTHORS),
+        followee=st.integers(min_value=100, max_value=112),
+    )
+    def follow(self, author, followee):
+        self.maintainer.follow(author, followee)
+        self.model[author].add(followee)
+
+    @rule(
+        author=st.sampled_from(AUTHORS),
+        followee=st.integers(min_value=100, max_value=112),
+    )
+    def unfollow(self, author, followee):
+        self.maintainer.unfollow(author, followee)
+        self.model[author].discard(followee)
+
+    @invariant()
+    def edges_match_recomputation(self):
+        assert self.maintainer.edges() == self._expected_edges()
+
+
+TestSimHashIndexStateful = SimHashIndexMachine.TestCase
+TestSimHashIndexStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+
+TestSimilarityMaintainerStateful = SimilarityMaintainerMachine.TestCase
+TestSimilarityMaintainerStateful.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

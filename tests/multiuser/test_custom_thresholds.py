@@ -1,0 +1,77 @@
+"""Per-user customised thresholds (paper §2) on the M_* engines."""
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds
+from repro.multiuser import IndependentMultiUser, SubscriptionTable
+
+
+@pytest.fixture()
+def world():
+    graph = AuthorGraph([1, 2], [(1, 2)])
+    subscriptions = SubscriptionTable({100: [1, 2], 200: [1, 2]})
+    # Two near-identical posts 60 s apart from similar authors.
+    posts = [
+        Post(post_id=1, author=1, text="", timestamp=0.0, fingerprint=0),
+        Post(post_id=2, author=2, text="", timestamp=60.0, fingerprint=0b1),
+    ]
+    return graph, subscriptions, posts
+
+
+class TestPerUserThresholds:
+    def test_custom_lambda_t_changes_one_users_timeline(self, world):
+        graph, subscriptions, posts = world
+        # Default λt = 30 s: the second post falls outside the window and
+        # is shown. User 200 customises λt to 10 minutes → it is pruned.
+        engine = IndependentMultiUser(
+            "unibin",
+            Thresholds(lambda_c=3, lambda_t=30.0, lambda_a=0.7),
+            graph,
+            subscriptions,
+            per_user_thresholds={
+                200: Thresholds(lambda_c=3, lambda_t=600.0, lambda_a=0.7)
+            },
+        )
+        timelines = engine.run(posts)
+        assert [p.post_id for p in timelines[100]] == [1, 2]
+        assert [p.post_id for p in timelines[200]] == [1]
+
+    def test_without_overrides_users_agree(self, world):
+        graph, subscriptions, posts = world
+        engine = IndependentMultiUser(
+            "unibin",
+            Thresholds(lambda_c=3, lambda_t=30.0, lambda_a=0.7),
+            graph,
+            subscriptions,
+        )
+        timelines = engine.run(posts)
+        assert timelines[100] == timelines[200]
+
+    def test_override_for_unknown_user_ignored(self, world):
+        graph, subscriptions, posts = world
+        engine = IndependentMultiUser(
+            "unibin",
+            Thresholds(lambda_c=3, lambda_t=30.0, lambda_a=0.7),
+            graph,
+            subscriptions,
+            per_user_thresholds={999: Thresholds()},
+        )
+        timelines = engine.run(posts)
+        assert set(timelines) == {100, 200}
+
+    @pytest.mark.parametrize("algorithm", ["neighborbin", "cliquebin"])
+    def test_binned_algorithms_support_overrides_too(self, world, algorithm):
+        graph, subscriptions, posts = world
+        engine = IndependentMultiUser(
+            algorithm,
+            Thresholds(lambda_c=3, lambda_t=30.0, lambda_a=0.7),
+            graph,
+            subscriptions,
+            per_user_thresholds={
+                200: Thresholds(lambda_c=3, lambda_t=600.0, lambda_a=0.7)
+            },
+        )
+        timelines = engine.run(posts)
+        assert [p.post_id for p in timelines[100]] == [1, 2]
+        assert [p.post_id for p in timelines[200]] == [1]

@@ -1,0 +1,165 @@
+"""Tests for the M-SPSD engines: M_* baselines and S_* shared-component.
+
+The central correctness property (paper §5): for every user, the shared-
+component engine delivers exactly the same timeline as running the
+single-user algorithm on that user's own stream.
+"""
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds, make_diversifier
+from repro.errors import UnknownAlgorithmError
+from repro.multiuser import (
+    MULTIUSER_NAMES,
+    IndependentMultiUser,
+    SharedComponentMultiUser,
+    SubscriptionTable,
+    make_multiuser,
+)
+
+
+@pytest.fixture()
+def graph() -> AuthorGraph:
+    # The §5 example graph: {1,2,6} component, 3-4-5 chain.
+    return AuthorGraph([1, 2, 3, 4, 5, 6], [(1, 2), (2, 6), (3, 4), (4, 5)])
+
+
+@pytest.fixture()
+def subscriptions() -> SubscriptionTable:
+    return SubscriptionTable(
+        {
+            100: [1, 2, 6, 3, 4],   # u1 of the paper's example
+            200: [1, 2, 6, 4, 5],   # u2
+            300: [4],
+        }
+    )
+
+
+def make_stream() -> list[Post]:
+    """Posts by the example authors with a duplicate pattern: author 5's
+    post covers author 4's near-duplicate for u2 (who subscribes to 5) but
+    not for u1 (who does not) — the paper's non-shareable case."""
+    return [
+        Post(post_id=1, author=5, text="", timestamp=0.0, fingerprint=0),
+        Post(post_id=2, author=4, text="", timestamp=10.0, fingerprint=0b1),
+        Post(post_id=3, author=1, text="", timestamp=20.0, fingerprint=0b111111),
+        Post(post_id=4, author=2, text="", timestamp=30.0, fingerprint=0b111110),
+        Post(post_id=5, author=3, text="", timestamp=40.0, fingerprint=1 << 20),
+        Post(post_id=6, author=6, text="", timestamp=50.0, fingerprint=0b111100),
+    ]
+
+
+@pytest.fixture()
+def thresholds() -> Thresholds:
+    return Thresholds(lambda_c=3, lambda_t=100.0, lambda_a=0.7)
+
+
+class TestNames:
+    def test_six_engines(self):
+        assert len(MULTIUSER_NAMES) == 6
+
+    def test_make_by_name(self, graph, subscriptions, thresholds):
+        assert isinstance(
+            make_multiuser("m_unibin", thresholds, graph, subscriptions),
+            IndependentMultiUser,
+        )
+        assert isinstance(
+            make_multiuser("s_cliquebin", thresholds, graph, subscriptions),
+            SharedComponentMultiUser,
+        )
+
+    def test_unknown_rejected(self, graph, subscriptions, thresholds):
+        with pytest.raises(UnknownAlgorithmError):
+            make_multiuser("x_unibin", thresholds, graph, subscriptions)
+        with pytest.raises(UnknownAlgorithmError):
+            make_multiuser("m_turbobin", thresholds, graph, subscriptions)
+
+
+class TestPaperSection5Semantics:
+    def test_author4_differs_between_users(self, graph, subscriptions, thresholds):
+        """u2 (subscribed to the similar author 5) must NOT see post 2 —
+        it is covered by author 5's post 1; u1 (not subscribed to 5) must
+        see it."""
+        engine = make_multiuser("s_unibin", thresholds, graph, subscriptions)
+        timelines = engine.run(make_stream())
+        u1_ids = [p.post_id for p in timelines[100]]
+        u2_ids = [p.post_id for p in timelines[200]]
+        assert 2 in u1_ids
+        assert 2 not in u2_ids
+
+    def test_shared_component_same_output(self, graph, subscriptions, thresholds):
+        """Posts from the shared {1,2,6} component appear identically for
+        u1 and u2."""
+        engine = make_multiuser("s_unibin", thresholds, graph, subscriptions)
+        timelines = engine.run(make_stream())
+        shared_authors = {1, 2, 6}
+        u1_shared = [p.post_id for p in timelines[100] if p.author in shared_authors]
+        u2_shared = [p.post_id for p in timelines[200] if p.author in shared_authors]
+        assert u1_shared == u2_shared
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("algorithm", ["unibin", "neighborbin", "cliquebin"])
+    def test_m_equals_s_timelines(self, graph, subscriptions, thresholds, algorithm):
+        posts = make_stream()
+        m_engine = make_multiuser(f"m_{algorithm}", thresholds, graph, subscriptions)
+        s_engine = make_multiuser(f"s_{algorithm}", thresholds, graph, subscriptions)
+        m_timelines = m_engine.run(posts)
+        s_timelines = s_engine.run(posts)
+        assert m_timelines == s_timelines
+
+    @pytest.mark.parametrize("algorithm", ["unibin", "neighborbin", "cliquebin"])
+    def test_m_matches_per_user_single_runs(
+        self, graph, subscriptions, thresholds, algorithm
+    ):
+        posts = make_stream()
+        engine = make_multiuser(f"m_{algorithm}", thresholds, graph, subscriptions)
+        timelines = engine.run(posts)
+        for user in subscriptions.users:
+            subs = subscriptions.subscriptions_of(user)
+            solo = make_diversifier(algorithm, thresholds, graph.subgraph(subs))
+            expected = [p.post_id for p in posts if p.author in subs and solo.offer(p)]
+            got = [p.post_id for p in timelines.get(user, [])]
+            assert got == expected, f"user {user} timeline diverges"
+
+
+class TestEngineAccounting:
+    def test_instance_counts(self, graph, subscriptions, thresholds):
+        m_engine = make_multiuser("m_unibin", thresholds, graph, subscriptions)
+        s_engine = make_multiuser("s_unibin", thresholds, graph, subscriptions)
+        assert m_engine.instance_count() == 3  # one per user
+        # distinct components: {1,2,6} (shared), {3,4}, {4,5}, {4} → 4
+        assert s_engine.instance_count() == 4
+
+    def test_sharing_ratio(self, graph, subscriptions, thresholds):
+        engine = make_multiuser("s_unibin", thresholds, graph, subscriptions)
+        # instances: u1 has 2 components, u2 has 2, u3 has 1 → 5 total, 4 distinct
+        assert engine.sharing_ratio() == pytest.approx(1 - 4 / 5)
+
+    def test_aggregate_stats_counts_all(self, graph, subscriptions, thresholds):
+        engine = make_multiuser("m_unibin", thresholds, graph, subscriptions)
+        engine.run(make_stream())
+        stats = engine.aggregate_stats()
+        # Each post processed once per subscribing user.
+        assert stats.posts_processed == sum(
+            len(subscriptions.subscribers_of(p.author)) for p in make_stream()
+        )
+
+    def test_purge_and_stored_copies(self, graph, subscriptions, thresholds):
+        engine = make_multiuser("m_unibin", thresholds, graph, subscriptions)
+        engine.run(make_stream())
+        assert engine.stored_copies() > 0
+        engine.purge(now=10_000.0)
+        assert engine.stored_copies() == 0
+
+    def test_unsubscribed_author_ignored(self, graph, subscriptions, thresholds):
+        engine = make_multiuser("s_unibin", thresholds, graph, subscriptions)
+        ghost = Post(post_id=99, author=6, text="", timestamp=0.0, fingerprint=0)
+        # Author 6 is subscribed (by 100 and 200) — use a graph node nobody
+        # subscribes to instead: there is none here, so check a post from an
+        # author outside every catalog component routes nowhere.
+        engine2 = make_multiuser(
+            "s_unibin", thresholds, graph, SubscriptionTable({100: [3]})
+        )
+        assert engine2.offer(ghost) == frozenset()

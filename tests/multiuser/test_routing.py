@@ -1,0 +1,70 @@
+"""Tests for repro.multiuser.routing — the subscription table."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multiuser import SubscriptionTable
+
+
+@pytest.fixture()
+def table() -> SubscriptionTable:
+    return SubscriptionTable(
+        {
+            100: [1, 2, 3],
+            200: [2, 3],
+            300: [4],
+        }
+    )
+
+
+class TestConstruction:
+    def test_len(self, table):
+        assert len(table) == 3
+
+    def test_contains(self, table):
+        assert 100 in table
+        assert 999 not in table
+
+    def test_empty_subscription_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SubscriptionTable({100: []})
+
+    def test_duplicate_authors_collapsed(self):
+        table = SubscriptionTable({100: [1, 1, 2]})
+        assert table.subscriptions_of(100) == frozenset({1, 2})
+
+
+class TestLookups:
+    def test_subscriptions_of(self, table):
+        assert table.subscriptions_of(200) == frozenset({2, 3})
+
+    def test_subscriptions_of_unknown(self, table):
+        with pytest.raises(ConfigurationError):
+            table.subscriptions_of(999)
+
+    def test_subscribers_of(self, table):
+        assert table.subscribers_of(2) == frozenset({100, 200})
+        assert table.subscribers_of(4) == frozenset({300})
+
+    def test_subscribers_of_unsubscribed_author(self, table):
+        assert table.subscribers_of(99) == frozenset()
+
+    def test_authors(self, table):
+        assert set(table.authors) == {1, 2, 3, 4}
+
+    def test_as_dict_is_copy(self, table):
+        d = table.as_dict()
+        d[999] = frozenset({1})
+        assert 999 not in table
+
+
+class TestStatistics:
+    def test_average(self, table):
+        assert table.average_subscriptions() == pytest.approx(2.0)
+
+    def test_median_odd(self, table):
+        assert table.median_subscriptions() == 2.0
+
+    def test_median_even(self):
+        table = SubscriptionTable({1: [1], 2: [1, 2], 3: [1, 2, 3], 4: [1, 2, 3, 4]})
+        assert table.median_subscriptions() == 2.5

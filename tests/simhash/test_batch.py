@@ -1,0 +1,61 @@
+"""Tests for repro.simhash.batch — vectorised fingerprinting."""
+
+import random
+
+import numpy as np
+
+from repro.simhash import simhash
+from repro.simhash.batch import clear_row_cache, simhash_batch, simhash_one
+from repro.social import TextGenerator, Vocabulary
+
+
+def sample_texts(n=60, seed=3):
+    rng = random.Random(seed)
+    vocabulary = Vocabulary(seed=seed)
+    generator = TextGenerator(vocabulary, seed=seed + 1)
+    return [
+        generator.fresh(rng.randrange(vocabulary.topic_count), rng=rng).text
+        for _ in range(n)
+    ]
+
+
+class TestBitExactness:
+    def test_matches_scalar_on_generated_texts(self):
+        for text in sample_texts():
+            assert simhash_one(text) == simhash(text)
+
+    def test_matches_scalar_raw_mode(self):
+        for text in sample_texts(20, seed=9):
+            assert simhash_one(text, normalized=False) == simhash(
+                text, normalized=False
+            )
+
+    def test_matches_scalar_other_shingle_width(self):
+        for text in sample_texts(20, seed=11):
+            assert simhash_one(text, shingle_width=3) == simhash(
+                text, shingle_width=3
+            )
+
+    def test_empty_text(self):
+        assert simhash_one("") == simhash("")
+
+    def test_single_token(self):
+        assert simhash_one("solo") == simhash("solo")
+
+
+class TestBatch:
+    def test_batch_matches_scalar(self):
+        texts = sample_texts(30, seed=5)
+        batch = simhash_batch(texts)
+        assert batch.dtype == np.uint64
+        assert batch.tolist() == [simhash(t) for t in texts]
+
+    def test_empty_batch(self):
+        assert simhash_batch([]).size == 0
+
+    def test_cache_survives_clear(self):
+        texts = sample_texts(5, seed=7)
+        first = simhash_batch(texts)
+        clear_row_cache()
+        second = simhash_batch(texts)
+        assert first.tolist() == second.tolist()

@@ -1,0 +1,77 @@
+"""Tests for repro.simhash.cosine — the TF cosine baseline."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simhash import TfVector, cosine_distance, cosine_similarity
+
+texts = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=127),
+    max_size=60,
+)
+
+
+class TestCosineSimilarity:
+    def test_identical(self):
+        assert math.isclose(
+            cosine_similarity("big news today", "big news today"), 1.0
+        )
+
+    def test_disjoint(self):
+        assert cosine_similarity("aaa bbb", "ccc ddd") == 0.0
+
+    def test_empty(self):
+        assert cosine_similarity("", "anything") == 0.0
+        assert cosine_similarity("", "") == 0.0
+
+    def test_known_value(self):
+        # "a b" vs "a c": dot = 1, norms = sqrt(2) each → 0.5.
+        assert math.isclose(cosine_similarity("a b", "a c"), 0.5)
+
+    def test_repeat_weighting(self):
+        # "a a b" vs "a": dot = 2, norms sqrt(5) and 1 → 2/sqrt(5).
+        assert math.isclose(
+            cosine_similarity("a a b", "a"), 2 / math.sqrt(5)
+        )
+
+    def test_normalization_mode(self):
+        assert math.isclose(cosine_similarity("Big News!", "big news"), 1.0)
+        assert cosine_similarity("Big News!", "big news", normalized=False) < 0.99
+
+    @given(texts, texts)
+    def test_range_and_symmetry(self, a, b):
+        sim = cosine_similarity(a, b)
+        assert 0.0 <= sim <= 1.0 + 1e-12
+        assert math.isclose(sim, cosine_similarity(b, a), abs_tol=1e-12)
+
+
+class TestCosineDistance:
+    def test_complement(self):
+        assert math.isclose(
+            cosine_distance("a b", "a c"), 1.0 - cosine_similarity("a b", "a c")
+        )
+
+    def test_identical_distance_zero(self):
+        assert cosine_distance("same", "same") == 0.0
+
+
+class TestTfVector:
+    def test_norm(self):
+        vec = TfVector.from_text("a a b")
+        assert math.isclose(vec.norm, math.sqrt(5))
+
+    def test_empty_norm(self):
+        assert TfVector.from_text("").norm == 0.0
+
+    def test_shingle_width(self):
+        uni = TfVector.from_text("a b c", shingle_width=1)
+        bi = TfVector.from_text("a b c", shingle_width=2)
+        assert set(uni.counts) < set(bi.counts)
+
+    def test_cosine_swaps_smaller_side(self):
+        # Regression: the small/large swap must not change the result.
+        small = TfVector.from_text("a")
+        large = TfVector.from_text("a b c d e f")
+        assert math.isclose(small.cosine(large), large.cosine(small))

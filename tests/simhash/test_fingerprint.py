@@ -1,0 +1,86 @@
+"""Tests for repro.simhash.fingerprint — SimHash behaviour."""
+
+from repro.simhash import (
+    EMPTY_FINGERPRINT,
+    hamming,
+    simhash,
+    simhash_from_features,
+)
+
+
+class TestSimhashBasics:
+    def test_deterministic(self):
+        assert simhash("breaking news tonight") == simhash("breaking news tonight")
+
+    def test_64_bit_range(self):
+        assert 0 <= simhash("some text here") < 2**64
+
+    def test_empty_text(self):
+        assert simhash("") == EMPTY_FINGERPRINT
+
+    def test_whitespace_only(self):
+        assert simhash("   \t\n") == EMPTY_FINGERPRINT
+
+    def test_from_features_empty(self):
+        assert simhash_from_features({}) == EMPTY_FINGERPRINT
+
+    def test_from_features_matches_manual(self):
+        # A single feature's simhash is just the bits of its token hash
+        # thresholded by sign: +w where bit is 1, -w where 0 → the hash.
+        from repro.simhash import hash_token
+
+        assert simhash_from_features({"solo": 1}) == hash_token("solo")
+
+    def test_float_weights_accepted(self):
+        assert isinstance(simhash_from_features({"a": 0.5, "b": 1.5}), int)
+
+
+class TestNormalizationMode:
+    def test_case_invariant_when_normalized(self):
+        assert simhash("Big News Today") == simhash("big news today")
+
+    def test_case_sensitive_when_raw(self):
+        assert simhash("Big News Today", normalized=False) != simhash(
+            "big news today", normalized=False
+        )
+
+    def test_punctuation_invariant_when_normalized(self):
+        assert simhash("big news, today!") == simhash("big news today")
+
+
+class TestDistanceBehaviour:
+    def test_identical_distance_zero(self):
+        assert hamming(simhash("same text"), simhash("same text")) == 0
+
+    def test_similar_texts_closer_than_random(self):
+        base = "stocks fall sharply after central bank raises rates again"
+        near = "stocks fall sharply after central bank raises rates #markets"
+        far = "local team wins final game of the season in overtime thriller"
+        assert hamming(simhash(base), simhash(near)) < hamming(
+            simhash(base), simhash(far)
+        )
+
+    def test_shared_prefix_reduces_distance(self):
+        a = "alpha beta gamma delta epsilon zeta"
+        b = "alpha beta gamma delta epsilon omega"
+        c = "one two three four five six"
+        assert hamming(simhash(a), simhash(b)) < hamming(simhash(a), simhash(c))
+
+    def test_random_texts_near_32(self):
+        """Unrelated texts should land near the 32-bit midpoint (Figure 2)."""
+        a = "quarterly results beat expectations on strong cloud growth"
+        b = "storm brings heavy rain and flooding to coastal towns overnight"
+        assert 16 <= hamming(simhash(a), simhash(b)) <= 48
+
+
+class TestShingleWidth:
+    def test_width_changes_fingerprint(self):
+        text = "a b c d e f"
+        assert simhash(text, shingle_width=1) != simhash(text, shingle_width=3)
+
+    def test_word_order_matters_with_shingles(self):
+        # Bag-of-words is order-blind; shingles are not.
+        a = "alpha beta gamma delta"
+        b = "delta gamma beta alpha"
+        assert simhash(a, shingle_width=1) == simhash(b, shingle_width=1)
+        assert simhash(a, shingle_width=2) != simhash(b, shingle_width=2)

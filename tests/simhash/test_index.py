@@ -1,0 +1,136 @@
+"""Tests for repro.simhash.index — the pigeonhole SimHash index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simhash import SimHashIndex, block_bounds, hamming
+
+fingerprints = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestBlockBounds:
+    def test_even_split(self):
+        assert block_bounds(64, 4) == [(0, 16), (16, 16), (32, 16), (48, 16)]
+
+    def test_uneven_split(self):
+        bounds = block_bounds(64, 3)
+        assert sum(width for _, width in bounds) == 64
+        assert [w for _, w in bounds] == [22, 21, 21]
+
+    def test_contiguous(self):
+        bounds = block_bounds(64, 7)
+        offset = 0
+        for start, width in bounds:
+            assert start == offset
+            offset += width
+        assert offset == 64
+
+    def test_single_block(self):
+        assert block_bounds(64, 1) == [(0, 64)]
+
+    def test_max_blocks(self):
+        bounds = block_bounds(64, 64)
+        assert all(width == 1 for _, width in bounds)
+
+    @pytest.mark.parametrize("blocks", [0, 65, -1])
+    def test_invalid(self, blocks):
+        with pytest.raises(ValueError):
+            block_bounds(64, blocks)
+
+
+class TestIndexBasics:
+    def test_radius_validation(self):
+        with pytest.raises(ValueError):
+            SimHashIndex(-1)
+        with pytest.raises(ValueError):
+            SimHashIndex(64)
+
+    def test_table_count_is_radius_plus_one(self):
+        assert SimHashIndex(3).table_count == 4
+        assert SimHashIndex(18).table_count == 19
+
+    def test_add_and_len(self):
+        index = SimHashIndex(3)
+        index.add(0b1010, "a")
+        index.add(0b1011, "b")
+        assert len(index) == 2
+
+    def test_exact_match_found(self):
+        index = SimHashIndex(0)
+        index.add(42, "x")
+        assert index.query(42) == [("x", 0)]
+
+    def test_outside_radius_not_returned(self):
+        index = SimHashIndex(2)
+        index.add(0, "far")
+        assert index.query(0b1111111) == []
+
+    def test_remove(self):
+        index = SimHashIndex(3)
+        index.add(42, "x")
+        index.remove(42, "x")
+        assert len(index) == 0
+        assert index.query(42) == []
+
+    def test_remove_absent_is_noop(self):
+        index = SimHashIndex(3)
+        index.add(42, "x")
+        index.remove(99, "y")
+        assert len(index) == 1
+
+    def test_any_within(self):
+        index = SimHashIndex(2)
+        index.add(0b1100, "x")
+        assert index.any_within(0b1101)
+        assert not index.any_within(0b0011 << 10)
+
+    def test_duplicate_fingerprints_distinct_keys(self):
+        index = SimHashIndex(1)
+        index.add(7, "a")
+        index.add(7, "b")
+        found = {key for key, _ in index.query(7)}
+        assert found == {"a", "b"}
+
+
+class TestIndexCompleteness:
+    """The pigeonhole guarantee: every stored fingerprint within the radius
+    must be found — validated against brute force."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(fingerprints, min_size=1, max_size=60),
+        fingerprints,
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_matches_brute_force(self, stored, query, radius):
+        index = SimHashIndex(radius)
+        for key, fp in enumerate(stored):
+            index.add(fp, key)
+        expected = {
+            (key, hamming(query, fp))
+            for key, fp in enumerate(stored)
+            if hamming(query, fp) <= radius
+        }
+        assert set(index.query(query)) == expected
+
+    def test_neighbour_at_exact_radius(self):
+        rng = random.Random(7)
+        for radius in (1, 3, 6, 12):
+            index = SimHashIndex(radius)
+            base = rng.getrandbits(64)
+            # Flip exactly `radius` distinct bits.
+            flipped = base
+            for bit in rng.sample(range(64), radius):
+                flipped ^= 1 << bit
+            index.add(flipped, "edge")
+            assert ("edge", radius) in index.query(base)
+
+    def test_candidate_count_bounds(self):
+        index = SimHashIndex(4)
+        for key in range(100):
+            index.add(random.Random(key).getrandbits(64), key)
+        probe = random.Random(999).getrandbits(64)
+        assert 0 <= index.candidate_count(probe) <= 100

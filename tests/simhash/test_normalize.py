@@ -1,0 +1,67 @@
+"""Tests for repro.simhash.normalize — the paper's §3 text normalisation."""
+
+from repro.simhash import expand_short_urls, normalize, strip_short_urls
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("Hello WORLD") == "hello world"
+
+    def test_strips_punctuation(self):
+        assert normalize("wait -- what?!") == "wait what"
+
+    def test_collapses_whitespace(self):
+        assert normalize("a   b\t c\n d") == "a b c d"
+
+    def test_keeps_digits(self):
+        assert normalize("Over 300 people") == "over 300 people"
+
+    def test_strips_leading_trailing_space(self):
+        assert normalize("  hi  ") == "hi"
+
+    def test_idempotent(self):
+        once = normalize('Breaking: "markets" FALL, again!')
+        assert normalize(once) == once
+
+    def test_empty(self):
+        assert normalize("") == ""
+
+    def test_only_punctuation(self):
+        assert normalize("?!*--//") == ""
+
+    def test_paper_example(self):
+        # The paper's Table 1 quote pair differs only in punctuation/casing
+        # decoration; normalisation should bring the shared core together.
+        a = normalize(
+            '"In order to succeed, your desire for success should be '
+            'greater than your fear of failure" Bill Cosby'
+        )
+        b = normalize(
+            "In order to succeed, your desire for success should be "
+            "greater than your fear of failure. Bill Cosby"
+        )
+        assert a == b
+
+
+class TestShortUrls:
+    def test_expand_known(self):
+        table = {"http://t.co/abc123XYZ0": "http://news.example.com/story"}
+        text = "big story http://t.co/abc123XYZ0 tonight"
+        assert expand_short_urls(text, table) == (
+            "big story http://news.example.com/story tonight"
+        )
+
+    def test_expand_unknown_kept(self):
+        text = "see http://t.co/unknownUrl now"
+        assert expand_short_urls(text, {}) == text
+
+    def test_strip(self):
+        assert strip_short_urls("a http://t.co/abcde12345 b") == "a b"
+
+    def test_strip_multiple(self):
+        text = "x http://t.co/aaaaaaaaaa y http://t.co/bbbbbbbbbb"
+        assert strip_short_urls(text) == "x y"
+
+    def test_non_tco_urls_untouched(self):
+        text = "see http://example.com/page"
+        assert strip_short_urls(text) == text

@@ -1,0 +1,116 @@
+"""Tests for repro.simhash.preprocess — §3 preprocessing variants."""
+
+import pytest
+
+from repro.simhash import (
+    ABBREVIATIONS,
+    PreprocessOptions,
+    expand_abbreviations,
+    hamming,
+    preprocess_text,
+    simhash,
+    simhash_preprocessed,
+    weighted_features,
+)
+
+
+class TestExpandAbbreviations:
+    def test_known_tokens(self):
+        assert expand_abbreviations("thx 4 the update pls") == (
+            "thanks 4 the update please"
+        )
+
+    def test_case_insensitive_match(self):
+        assert expand_abbreviations("Thx everyone") == "thanks everyone"
+
+    def test_trailing_punctuation(self):
+        assert expand_abbreviations("gr8, rly") == "great, rly"
+
+    def test_unknown_tokens_untouched(self):
+        assert expand_abbreviations("nothing to expand here") == (
+            "nothing to expand here"
+        )
+
+    def test_multiword_expansion(self):
+        assert expand_abbreviations("btw it works") == "by the way it works"
+
+
+class TestPreprocessText:
+    def test_default_matches_normalize(self):
+        from repro.simhash import normalize
+
+        text = "Breaking NEWS: markets!!"
+        assert preprocess_text(text, PreprocessOptions()) == normalize(text)
+
+    def test_url_canonicalisation(self):
+        text = "story http://t.co/abcdefghij tonight"
+        out = preprocess_text(text, PreprocessOptions(canonicalize_urls=True))
+        assert "t.co" not in out
+        assert "story" in out and "tonight" in out
+
+    def test_raw_mode(self):
+        options = PreprocessOptions(normalized=False)
+        assert preprocess_text("Keep Case!", options) == "Keep Case!"
+
+
+class TestWeightedFeatures:
+    def test_default_weights_match_feature_counts(self):
+        from repro.simhash import feature_counts, normalize
+
+        text = "alpha beta #tag"
+        features = weighted_features(text, PreprocessOptions())
+        assert features == dict(feature_counts(normalize(text), 2))
+
+    def test_hashtag_reweighting(self):
+        base = weighted_features("word #topic", PreprocessOptions())
+        boosted = weighted_features(
+            "word #topic", PreprocessOptions(hashtag_weight=3.0)
+        )
+        assert boosted["topic"] == pytest.approx(3.0 * base["topic"])
+        assert boosted["word"] == base["word"]
+
+    def test_mention_stripping(self):
+        features = weighted_features(
+            "@someone says things", PreprocessOptions(mention_weight=0.0)
+        )
+        assert "someone" not in features
+        assert "says" in features
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            PreprocessOptions(hashtag_weight=-1.0)
+
+
+class TestSimhashPreprocessed:
+    def test_default_options_match_plain_simhash(self):
+        text = "Over 300 people missing after ferry sinks (Reuters)"
+        assert simhash_preprocessed(text, PreprocessOptions()) == simhash(text)
+
+    def test_url_canonicalisation_collapses_reshortened_pairs(self):
+        """The point of the paper's URL-expansion trial: two re-shortenings
+        of the same link should stop disagreeing."""
+        a = "big story tonight http://t.co/aaaaaaaaaa"
+        b = "big story tonight http://t.co/bbbbbbbbbb"
+        options = PreprocessOptions(canonicalize_urls=True)
+        plain = hamming(simhash(a), simhash(b))
+        canonical = hamming(
+            simhash_preprocessed(a, options), simhash_preprocessed(b, options)
+        )
+        assert canonical == 0
+        assert plain > 0
+
+    def test_abbreviation_expansion_collapses_shorthand_pairs(self):
+        a = "thanks for the update people"
+        b = "thx for the update ppl"
+        options = PreprocessOptions(expand_abbreviations=True)
+        plain = hamming(simhash(a), simhash(b))
+        expanded = hamming(
+            simhash_preprocessed(a, options), simhash_preprocessed(b, options)
+        )
+        assert expanded < plain
+
+    def test_abbreviation_dictionary_is_consistent(self):
+        # No expansion maps onto another abbreviation (would need fixpoint).
+        for expansion in ABBREVIATIONS.values():
+            for word in expansion.split():
+                assert word not in ABBREVIATIONS

@@ -1,0 +1,61 @@
+"""Tests for repro.simhash.tokenize — words, shingles, feature counts."""
+
+import pytest
+
+from repro.simhash import feature_counts, shingles, words
+
+
+class TestWords:
+    def test_basic_split(self):
+        assert words("a b  c") == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert words("") == []
+
+    def test_punctuation_stays_attached(self):
+        assert words("hi, there!") == ["hi,", "there!"]
+
+
+class TestShingles:
+    def test_width_two(self):
+        assert list(shingles(["a", "b", "c"], 2)) == ["a b", "b c"]
+
+    def test_width_three(self):
+        assert list(shingles(["a", "b", "c", "d"], 3)) == ["a b c", "b c d"]
+
+    def test_short_input_yields_whole_text(self):
+        assert list(shingles(["a"], 2)) == ["a"]
+        assert list(shingles(["a", "b"], 3)) == ["a b"]
+
+    def test_exact_width_input(self):
+        assert list(shingles(["a", "b"], 2)) == ["a b"]
+
+    def test_empty_input(self):
+        assert list(shingles([], 2)) == []
+
+    def test_width_one_is_words(self):
+        assert list(shingles(["a", "b"], 1)) == ["a", "b"]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            list(shingles(["a"], 0))
+
+
+class TestFeatureCounts:
+    def test_words_and_shingles(self):
+        counts = feature_counts("a b a")
+        assert counts["a"] == 2
+        assert counts["b"] == 1
+        assert counts["a b"] == 1
+        assert counts["b a"] == 1
+
+    def test_width_one_plain_bag(self):
+        counts = feature_counts("a b a", shingle_width=1)
+        assert dict(counts) == {"a": 2, "b": 1}
+
+    def test_empty_text(self):
+        assert not feature_counts("")
+
+    def test_repeated_shingles_counted(self):
+        counts = feature_counts("x y x y")
+        assert counts["x y"] == 2

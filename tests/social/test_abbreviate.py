@@ -1,0 +1,48 @@
+"""Tests for the abbreviate perturbation operator."""
+
+import random
+
+from repro.simhash import ABBREVIATIONS
+from repro.social.duplication import abbreviate
+
+
+def rng():
+    return random.Random(5)
+
+
+class TestAbbreviate:
+    def test_compresses_known_words(self):
+        result = abbreviate("thanks for the update people", rng())
+        assert result.damage == 0.0
+        tokens = result.text.split()
+        assert "thx" in tokens or "thanks" in tokens  # 0.8 per-word chance
+        assert result.operator in ("abbreviate", "noop")
+
+    def test_no_expandable_words_is_noop(self):
+        result = abbreviate("zygote quark flux", rng())
+        assert result.operator == "noop"
+        assert result.text == "zygote quark flux"
+
+    def test_only_single_word_expansions_inverted(self):
+        """Multi-word expansions ("by the way") cannot be inverted from a
+        single token and must never be produced."""
+        text = " ".join(
+            long for long in ABBREVIATIONS.values() if " " not in long
+        )
+        result = abbreviate(text, rng())
+        inverse = {v: k for k, v in ABBREVIATIONS.items() if " " not in v}
+        for token in result.text.split():
+            # Every output token is either an original word or its shorthand.
+            assert token in inverse or token in inverse.values() or token in text
+
+    def test_case_insensitive_match(self):
+        result = abbreviate("Thanks Thanks Thanks Thanks Thanks", random.Random(1))
+        assert "thx" in result.text.split()
+
+    def test_round_trips_with_expansion(self):
+        """abbreviate ∘ expand_abbreviations restores single-word forms."""
+        from repro.simhash import expand_abbreviations
+
+        text = "thanks for the great update please people"
+        compressed = abbreviate(text, random.Random(3)).text
+        assert expand_abbreviations(compressed) == text

@@ -1,0 +1,85 @@
+"""Tests for bursty arrival generation (flash crowds)."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.social import (
+    DuplicateFactory,
+    StreamConfig,
+    TextGenerator,
+    Vocabulary,
+    generate_stream,
+)
+
+
+def build(config):
+    vocab = Vocabulary(topics=2, seed=81)
+    generator = TextGenerator(vocab, seed=82)
+    factory = DuplicateFactory(generator, seed=83)
+    authors = list(range(20))
+    community = {a: a % 2 for a in authors}
+    return generate_stream(authors, community, generator, factory, config)
+
+
+class TestBurstValidation:
+    def test_center_outside_duration(self):
+        with pytest.raises(DatasetError):
+            StreamConfig(duration=100.0, bursts=((200.0, 10.0, 5.0),))
+
+    def test_bad_width(self):
+        with pytest.raises(DatasetError):
+            StreamConfig(duration=100.0, bursts=((50.0, 0.0, 5.0),))
+
+    def test_bad_intensity(self):
+        with pytest.raises(DatasetError):
+            StreamConfig(duration=100.0, bursts=((50.0, 10.0, -1.0),))
+
+
+class TestBurstyArrivals:
+    def test_total_count_unchanged(self):
+        base = StreamConfig(
+            duration=4 * 3600.0, posts_per_author_per_day=60.0, seed=84
+        )
+        bursty = StreamConfig(
+            duration=4 * 3600.0,
+            posts_per_author_per_day=60.0,
+            bursts=((7200.0, 1800.0, 8.0),),
+            seed=84,
+        )
+        assert len(build(base).posts) == len(build(bursty).posts)
+
+    def test_burst_window_is_denser(self):
+        config = StreamConfig(
+            duration=4 * 3600.0,
+            posts_per_author_per_day=120.0,
+            bursts=((7200.0, 1800.0, 8.0),),
+            seed=85,
+        )
+        stream = build(config)
+        in_burst = sum(
+            1 for p in stream.posts if 6300.0 <= p.timestamp < 8100.0
+        )
+        window_fraction = 1800.0 / (4 * 3600.0)
+        # Without the burst ~12.5% of posts fall in the window; with
+        # intensity 8 the window rate is 9x the baseline.
+        assert in_burst / len(stream.posts) > 3 * window_fraction
+
+    def test_still_ordered(self):
+        config = StreamConfig(
+            duration=2 * 3600.0,
+            posts_per_author_per_day=60.0,
+            bursts=((1800.0, 600.0, 5.0), (5400.0, 600.0, 3.0)),
+            seed=86,
+        )
+        times = [p.timestamp for p in build(config).posts]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 2 * 3600.0 for t in times)
+
+    def test_no_bursts_unaffected(self):
+        a = StreamConfig(duration=3600.0, posts_per_author_per_day=30.0, seed=87)
+        b = StreamConfig(
+            duration=3600.0, posts_per_author_per_day=30.0, bursts=(), seed=87
+        )
+        assert [p.timestamp for p in build(a).posts] == [
+            p.timestamp for p in build(b).posts
+        ]

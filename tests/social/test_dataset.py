@@ -1,0 +1,70 @@
+"""Tests for repro.social.dataset — the full §6.1 pipeline."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.social import DatasetConfig, NetworkConfig, StreamConfig, build_dataset
+
+
+@pytest.fixture(scope="module")
+def built():
+    return build_dataset(
+        DatasetConfig(
+            network=NetworkConfig(n_authors=150, n_communities=5, seed=71),
+            stream=StreamConfig(
+                duration=2 * 3600.0, posts_per_author_per_day=24.0, seed=72
+            ),
+            sample_size=100,
+        )
+    )
+
+
+class TestBuild:
+    def test_sampled_author_count(self, built):
+        assert len(built.authors) == 100
+        assert len(built.vectors) == 100
+
+    def test_posts_only_from_sampled_authors(self, built):
+        sampled = set(built.authors)
+        assert all(p.author in sampled for p in built.posts)
+
+    def test_similarities_cover_positive_pairs(self, built):
+        for (a, b), sim in built.similarities.items():
+            assert a < b
+            assert 0 < sim <= 1.0 + 1e-9
+
+    def test_sample_size_validation(self):
+        with pytest.raises(DatasetError):
+            DatasetConfig(
+                network=NetworkConfig(n_authors=50, n_communities=2),
+                sample_size=60,
+            )
+
+
+class TestGraphCache:
+    def test_graph_cached_per_lambda(self, built):
+        assert built.graph(0.7) is built.graph(0.7)
+        assert built.graph(0.7) is not built.graph(0.8)
+
+    def test_graph_matches_similarities(self, built):
+        graph = built.graph(0.7)
+        for (a, b), sim in built.similarities.items():
+            assert graph.are_similar(a, b) == (sim >= 0.3 - 1e-12)
+
+    def test_denser_at_larger_lambda(self, built):
+        assert built.graph(0.8).edge_count >= built.graph(0.6).edge_count
+
+
+class TestSubscriptions:
+    def test_users_subscribe_to_sampled_followees(self, built):
+        table = built.subscriptions()
+        sampled = set(built.authors)
+        for user in table.users:
+            subs = table.subscriptions_of(user)
+            assert subs
+            assert subs <= sampled
+            assert subs <= built.network.followees[user]
+
+    def test_users_are_sampled_authors(self, built):
+        table = built.subscriptions()
+        assert set(table.users) <= set(built.authors)

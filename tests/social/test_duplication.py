@@ -1,0 +1,145 @@
+"""Tests for repro.social.duplication — operators and labelled pairs."""
+
+import random
+
+from repro.simhash import hamming, simhash
+from repro.social import DuplicateFactory, TextGenerator, Vocabulary
+from repro.social.duplication import (
+    REDUNDANT_DAMAGE_LIMIT,
+    add_hashtags,
+    casing_noise,
+    punctuation_noise,
+    reshorten_urls,
+    retweet,
+    rewrite_tail,
+    substitute_words,
+    truncate,
+    word_dropout,
+)
+
+
+def rng():
+    return random.Random(11)
+
+
+class TestSurfaceOperators:
+    """Damage-0 operators: same information, different surface."""
+
+    def test_reshorten_urls_changes_slug_only(self):
+        text = "big story http://t.co/aaaaaaaaaa tonight"
+        result = reshorten_urls(text, rng())
+        assert result.damage == 0.0
+        assert result.text != text
+        assert result.text.split()[0] == "big"
+        assert "http://t.co/" in result.text
+
+    def test_reshorten_no_url_is_noop(self):
+        result = reshorten_urls("no links here", rng())
+        assert result.operator == "noop"
+        assert result.text == "no links here"
+
+    def test_retweet_prefixes(self):
+        result = retweet("original text", rng())
+        assert result.text.startswith("RT @")
+        assert result.text.endswith("original text")
+        assert result.damage == 0.0
+
+    def test_add_hashtags_appends(self):
+        result = add_hashtags("market rally continues strongly", rng())
+        assert result.damage == 0.0
+        assert "#" in result.text
+        assert result.text.startswith("market rally continues strongly")
+
+    def test_casing_noise_same_words(self):
+        text = "alpha beta gamma delta epsilon"
+        result = casing_noise(text, rng())
+        assert result.damage == 0.0
+        assert [w.lower() for w in result.text.split()] == text.split()
+
+    def test_punctuation_noise_zero_damage(self):
+        assert punctuation_noise("some words here now", rng()).damage == 0.0
+
+    def test_surface_ops_small_normalized_distance(self):
+        """The Figure 3→4 mechanism: surface edits barely move the
+        normalised fingerprint."""
+        text = "markets rally after strong earnings reports from tech giants"
+        for op in (casing_noise, punctuation_noise):
+            variant = op(text, rng()).text
+            assert hamming(simhash(text), simhash(variant)) <= 6
+
+
+class TestDamagingOperators:
+    def test_truncate_damage(self):
+        text = "one two three four five six seven eight nine ten"
+        result = truncate(text, rng())
+        assert result.damage == 0.5
+        assert result.text.endswith("...")
+
+    def test_truncate_short_text_noop(self):
+        result = truncate("a b c", rng())
+        assert result.operator == "noop"
+
+    def test_word_dropout_damage_scales(self):
+        text = "one two three four five six seven eight"
+        result = word_dropout(text, rng(), count=2)
+        assert result.damage == 1.0
+        assert len(result.text.split()) == 6
+
+    def test_substitute_words_damage(self):
+        result = substitute_words(
+            "alpha beta gamma delta", rng(), ["sub1", "sub2"], count=2
+        )
+        assert result.damage == 2.0
+
+    def test_rewrite_tail_heavy_damage(self):
+        result = rewrite_tail(
+            "one two three four five six", rng(), ["x", "y", "z"]
+        )
+        assert result.damage == 3.0
+        assert result.text.startswith("one two three")
+
+
+class TestDuplicateFactory:
+    def setup_method(self):
+        vocab = Vocabulary(topics=4, seed=21)
+        self.generator = TextGenerator(vocab, seed=22)
+        self.factory = DuplicateFactory(self.generator, seed=23)
+
+    def test_pair_fields(self):
+        base = self.generator.fresh(0)
+        pair = self.factory.variant_of(base, intensity=0.3)
+        assert pair.original == base.text
+        assert pair.variant
+        assert pair.damage >= 0.0
+        assert pair.redundant == (pair.damage < REDUNDANT_DAMAGE_LIMIT)
+
+    def test_redundant_variant_always_redundant(self):
+        r = random.Random(31)
+        for _ in range(60):
+            base = self.generator.fresh(r.randrange(4), rng=r)
+            assert self.factory.redundant_variant(base, rng=r).redundant
+
+    def test_intensity_raises_damage_statistically(self):
+        r = random.Random(41)
+        low = [
+            self.factory.variant_of(self.generator.fresh(0, rng=r), intensity=0.1, rng=r).damage
+            for _ in range(100)
+        ]
+        high = [
+            self.factory.variant_of(self.generator.fresh(0, rng=r), intensity=0.9, rng=r).damage
+            for _ in range(100)
+        ]
+        assert sum(high) / len(high) > sum(low) / len(low)
+
+    def test_intensity_raises_distance_statistically(self):
+        r = random.Random(51)
+
+        def mean_distance(intensity):
+            total = 0
+            for _ in range(60):
+                base = self.generator.fresh(1, rng=r)
+                pair = self.factory.variant_of(base, intensity=intensity, rng=r)
+                total += hamming(simhash(pair.original), simhash(pair.variant))
+            return total / 60
+
+        assert mean_distance(0.9) > mean_distance(0.1)

@@ -1,0 +1,91 @@
+"""Tests for repro.social.network — the follower-network generator."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.social import NetworkConfig, generate_network
+
+
+class TestConfigValidation:
+    def test_too_few_authors(self):
+        with pytest.raises(DatasetError):
+            NetworkConfig(n_authors=1)
+
+    def test_bad_communities(self):
+        with pytest.raises(DatasetError):
+            NetworkConfig(n_authors=10, n_communities=11)
+        with pytest.raises(DatasetError):
+            NetworkConfig(n_authors=10, n_communities=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(DatasetError):
+            NetworkConfig(in_community_prob=1.2)
+
+    def test_bad_affinity_floor(self):
+        with pytest.raises(DatasetError):
+            NetworkConfig(in_community_prob=0.5, min_community_affinity=0.6)
+
+    def test_bad_followees(self):
+        with pytest.raises(DatasetError):
+            NetworkConfig(mean_followees=0)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return generate_network(NetworkConfig(n_authors=300, n_communities=6, seed=5))
+
+    def test_all_authors_present(self, network):
+        assert network.n_authors == 300
+        assert set(network.followees) == set(range(300))
+
+    def test_no_self_follow(self, network):
+        for author, follows in network.followees.items():
+            assert author not in follows
+
+    def test_followees_in_universe(self, network):
+        for follows in network.followees.values():
+            assert all(0 <= f < 300 for f in follows)
+
+    def test_every_author_follows_someone(self, network):
+        assert all(len(f) >= 1 for f in network.followees.values())
+
+    def test_communities_assigned(self, network):
+        assert set(network.community) == set(range(300))
+        assert set(network.community.values()) <= set(range(6))
+
+    def test_celebrities_exist(self, network):
+        assert len(network.celebrities) == 3  # 1% of 300
+
+    def test_deterministic(self):
+        config = NetworkConfig(n_authors=100, n_communities=4, seed=9)
+        assert generate_network(config).followees == generate_network(config).followees
+
+    def test_seed_changes_network(self):
+        a = generate_network(NetworkConfig(n_authors=100, n_communities=4, seed=1))
+        b = generate_network(NetworkConfig(n_authors=100, n_communities=4, seed=2))
+        assert a.followees != b.followees
+
+    def test_community_bias(self, network):
+        """Follows should skew toward the author's own community."""
+        in_community = 0
+        total = 0
+        for author, follows in network.followees.items():
+            own = network.community[author]
+            for f in follows:
+                total += 1
+                if network.community[f] == own:
+                    in_community += 1
+        # Community share at random would be ~1/6; the bias must beat it
+        # clearly even with heterogeneous affinity.
+        assert in_community / total > 0.3
+
+    def test_followers_of_inverse(self, network):
+        author = 0
+        followers = network.followers_of(author)
+        assert all(author in network.followees[f] for f in followers)
+
+    def test_members_of(self, network):
+        members = network.members_of(0)
+        assert all(network.community[m] == 0 for m in members)
+        assert sum(len(network.members_of(c)) for c in range(6)) == 300

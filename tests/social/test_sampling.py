@@ -1,0 +1,54 @@
+"""Tests for repro.social.sampling — BFS author sampling."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.social import NetworkConfig, bfs_sample, generate_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_network(NetworkConfig(n_authors=200, n_communities=4, seed=3))
+
+
+class TestBfsSample:
+    def test_sample_size(self, network):
+        assert len(bfs_sample(network, 50)) == 50
+
+    def test_no_duplicates(self, network):
+        sample = bfs_sample(network, 120)
+        assert len(set(sample)) == 120
+
+    def test_full_sample(self, network):
+        assert sorted(bfs_sample(network, 200)) == list(range(200))
+
+    def test_deterministic(self, network):
+        assert bfs_sample(network, 60, seed=7) == bfs_sample(network, 60, seed=7)
+
+    def test_seed_changes_sample(self, network):
+        assert bfs_sample(network, 60, seed=1) != bfs_sample(network, 60, seed=2)
+
+    def test_invalid_sizes(self, network):
+        with pytest.raises(DatasetError):
+            bfs_sample(network, 0)
+        with pytest.raises(DatasetError):
+            bfs_sample(network, 201)
+
+    def test_bfs_connectivity(self, network):
+        """Each sampled author after the first must be adjacent (undirected)
+        to some earlier-sampled author, unless a BFS restart occurred —
+        detectable as a node with no earlier neighbour; restarts only happen
+        when the previous frontier was exhausted."""
+        sample = bfs_sample(network, 100, seed=5)
+        adjacency = {a: set(f) for a, f in network.followees.items()}
+        for a, follows in network.followees.items():
+            for b in follows:
+                adjacency[b].add(a)
+        seen = {sample[0]}
+        restarts = 0
+        for node in sample[1:]:
+            if not (adjacency[node] & seen):
+                restarts += 1
+            seen.add(node)
+        # The synthetic network is essentially one weak component.
+        assert restarts <= 2

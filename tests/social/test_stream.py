@@ -1,0 +1,142 @@
+"""Tests for repro.social.stream — the Poisson duplicate-injecting stream."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.social import (
+    DuplicateFactory,
+    StreamConfig,
+    TextGenerator,
+    Vocabulary,
+    generate_stream,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    vocab = Vocabulary(topics=4, seed=61)
+    generator = TextGenerator(vocab, seed=62)
+    factory = DuplicateFactory(generator, seed=63)
+    return generator, factory
+
+
+@pytest.fixture(scope="module")
+def stream(world):
+    generator, factory = world
+    authors = list(range(40))
+    community = {a: a % 4 for a in authors}
+    config = StreamConfig(
+        duration=4 * 3600.0, posts_per_author_per_day=30.0, seed=64
+    )
+    similar = {a: [b for b in authors if b % 4 == a % 4 and b != a] for a in authors}
+    return generate_stream(
+        authors, community, generator, factory, config, similar_authors=similar
+    )
+
+
+class TestConfigValidation:
+    def test_bad_duration(self):
+        with pytest.raises(DatasetError):
+            StreamConfig(duration=0)
+
+    def test_bad_rate(self):
+        with pytest.raises(DatasetError):
+            StreamConfig(posts_per_author_per_day=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(DatasetError):
+            StreamConfig(duplicate_prob=1.5)
+
+
+class TestStreamShape:
+    def test_expected_count(self, stream):
+        # 40 authors × 30/day × (4/24 day) = 200
+        assert len(stream.posts) == 200
+
+    def test_timestamp_ordered(self, stream):
+        times = [p.timestamp for p in stream.posts]
+        assert times == sorted(times)
+
+    def test_post_ids_sequential(self, stream):
+        assert [p.post_id for p in stream.posts] == list(range(200))
+
+    def test_authors_in_universe(self, stream):
+        assert all(0 <= p.author < 40 for p in stream.posts)
+
+    def test_fingerprints_computed(self, stream):
+        assert all(p.fingerprint >= 0 for p in stream.posts)
+        assert any(p.fingerprint > 0 for p in stream.posts)
+
+    def test_duplicates_exist(self, stream):
+        assert stream.duplicate_count > 0
+        assert stream.redundant_count > 0
+        assert stream.redundant_count <= stream.duplicate_count
+
+
+class TestProvenance:
+    def test_sources_are_earlier(self, stream):
+        posts = {p.post_id: p for p in stream.posts}
+        for pid, prov in stream.provenance.items():
+            assert prov.source_post_id < pid
+            assert (
+                posts[pid].timestamp >= posts[prov.source_post_id].timestamp
+            )
+
+    def test_lag_bounded(self, stream):
+        posts = {p.post_id: p for p in stream.posts}
+        for pid, prov in stream.provenance.items():
+            lag = posts[pid].timestamp - posts[prov.source_post_id].timestamp
+            assert lag <= StreamConfig().far_lag_max
+
+    def test_redundant_flag_matches_damage(self, stream):
+        from repro.social import REDUNDANT_DAMAGE_LIMIT
+
+        for prov in stream.provenance.values():
+            assert prov.redundant == (prov.damage < REDUNDANT_DAMAGE_LIMIT)
+
+    def test_duplicate_authors_mostly_similar(self, stream):
+        """With similar_author_prob=0.78+ default, most duplicates should be
+        authored by someone in the source's similar set (same community here)."""
+        posts = {p.post_id: p for p in stream.posts}
+        similar = 0
+        for pid, prov in stream.provenance.items():
+            a = posts[pid].author
+            b = posts[prov.source_post_id].author
+            if a % 4 == b % 4:
+                similar += 1
+        assert similar / stream.duplicate_count > 0.5
+
+
+class TestTransforms:
+    def test_subsample_ratio(self, stream):
+        sub = stream.subsample_posts(0.5, seed=1)
+        assert 0 < len(sub.posts) < len(stream.posts)
+        assert set(p.post_id for p in sub.posts) <= {p.post_id for p in stream.posts}
+        assert set(sub.provenance) <= {p.post_id for p in sub.posts}
+
+    def test_subsample_bad_ratio(self, stream):
+        with pytest.raises(DatasetError):
+            stream.subsample_posts(0.0)
+        with pytest.raises(DatasetError):
+            stream.subsample_posts(1.5)
+
+    def test_subsample_full(self, stream):
+        assert len(stream.subsample_posts(1.0).posts) == len(stream.posts)
+
+    def test_restrict_to_authors(self, stream):
+        kept_authors = set(range(10))
+        sub = stream.restrict_to_authors(kept_authors)
+        assert all(p.author in kept_authors for p in sub.posts)
+        assert set(sub.community) == kept_authors & set(stream.community)
+
+
+class TestValidationErrors:
+    def test_no_authors(self, world):
+        generator, factory = world
+        with pytest.raises(DatasetError):
+            generate_stream([], {}, generator, factory)
+
+    def test_missing_community(self, world):
+        generator, factory = world
+        with pytest.raises(DatasetError):
+            generate_stream([1, 2], {1: 0}, generator, factory)

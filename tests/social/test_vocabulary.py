@@ -1,0 +1,80 @@
+"""Tests for repro.social.vocabulary."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.social import Vocabulary, ZipfSampler, build_word_list
+
+
+class TestBuildWordList:
+    def test_size_and_uniqueness(self):
+        words = build_word_list(500, random.Random(1))
+        assert len(words) == 500
+        assert len(set(words)) == 500
+
+    def test_deterministic(self):
+        assert build_word_list(300, random.Random(7)) == build_word_list(
+            300, random.Random(7)
+        )
+
+    def test_small_size_uses_seed_lexicon(self):
+        words = build_word_list(10, random.Random(1))
+        assert words[0] == "the"
+
+
+class TestZipfSampler:
+    def test_requires_items(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+
+    def test_sample_in_items(self):
+        sampler = ZipfSampler(["a", "b", "c"])
+        rng = random.Random(3)
+        assert all(sampler.sample(rng) in {"a", "b", "c"} for _ in range(50))
+
+    def test_skew_toward_low_ranks(self):
+        sampler = ZipfSampler([str(i) for i in range(100)])
+        rng = random.Random(5)
+        counts = Counter(sampler.sample(rng) for _ in range(5000))
+        assert counts["0"] > counts["50"]
+        assert counts["0"] > counts["99"]
+
+    def test_sample_many(self):
+        sampler = ZipfSampler(["x", "y"])
+        assert len(sampler.sample_many(random.Random(1), 7)) == 7
+
+
+class TestVocabulary:
+    def test_topic_count(self):
+        vocab = Vocabulary(topics=5, seed=1)
+        assert vocab.topic_count == 5
+
+    def test_topic_words_disjoint_from_global(self):
+        vocab = Vocabulary(global_size=100, topics=2, topic_words=20, seed=1)
+        global_words = set(vocab.global_sampler.items)
+        for sampler in vocab.topic_samplers:
+            assert not (set(sampler.items) & global_words)
+
+    def test_topics_disjoint_from_each_other(self):
+        vocab = Vocabulary(global_size=50, topics=3, topic_words=10, seed=1)
+        seen: set[str] = set()
+        for sampler in vocab.topic_samplers:
+            words = set(sampler.items)
+            assert not (words & seen)
+            seen |= words
+
+    def test_words_mix_topic_and_global(self):
+        vocab = Vocabulary(global_size=200, topics=2, topic_words=50, seed=2)
+        rng = random.Random(9)
+        drawn = set(vocab.words(rng, 300, topic=0, topical_prob=0.5))
+        topic_words = set(vocab.topic_samplers[0].items)
+        assert drawn & topic_words
+        assert drawn - topic_words
+
+    def test_topic_wraps_modulo(self):
+        vocab = Vocabulary(topics=3, seed=1)
+        rng = random.Random(4)
+        # topic index beyond range must not raise
+        vocab.word(rng, topic=10)

@@ -1,0 +1,36 @@
+"""The module entry point (``python -m repro``) in a real subprocess."""
+
+import subprocess
+import sys
+
+
+class TestModuleEntryPoint:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_list(self):
+        result = self.run_cli("list")
+        assert result.returncode == 0
+        assert "figure11" in result.stdout
+
+    def test_static_table(self):
+        result = self.run_cli("table4")
+        assert result.returncode == 0
+        assert "Twitter" in result.stdout
+
+    def test_unknown_exits_nonzero(self):
+        result = self.run_cli("figure99")
+        assert result.returncode == 2
+        assert "unknown experiment" in result.stderr
+
+    def test_console_script_help(self):
+        result = self.run_cli("--help")
+        # argparse prints help and exits 0 when no experiment id is given
+        # with --help.
+        assert result.returncode == 0
+        assert "Reproduce experiments" in result.stdout

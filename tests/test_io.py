@@ -1,0 +1,117 @@
+"""Tests for repro.io — JSONL traces and JSON graph/subscription files."""
+
+import json
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import Post
+from repro.errors import DatasetError
+from repro.io import (
+    post_from_dict,
+    post_to_dict,
+    read_graph_json,
+    read_posts_jsonl,
+    read_subscriptions_json,
+    write_graph_json,
+    write_posts_jsonl,
+    write_subscriptions_json,
+)
+from repro.multiuser import SubscriptionTable
+
+
+@pytest.fixture()
+def posts():
+    return [
+        Post.create(1, 10, "hello world of streams", 0.5),
+        Post.create(2, 11, "another post entirely", 3.25),
+    ]
+
+
+class TestPostRoundTrip:
+    def test_dict_round_trip(self, posts):
+        for post in posts:
+            assert post_from_dict(post_to_dict(post)) == post
+
+    def test_fingerprint_recomputed_when_absent(self, posts):
+        record = post_to_dict(posts[0])
+        del record["fingerprint"]
+        assert post_from_dict(record) == posts[0]
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(DatasetError, match="missing fields"):
+            post_from_dict({"post_id": 1, "author": 2, "text": "x"})
+
+    def test_jsonl_round_trip(self, posts, tmp_path):
+        path = tmp_path / "posts.jsonl"
+        assert write_posts_jsonl(posts, path) == 2
+        assert list(read_posts_jsonl(path)) == posts
+
+    def test_blank_lines_skipped(self, posts, tmp_path):
+        path = tmp_path / "posts.jsonl"
+        write_posts_jsonl(posts, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(list(read_posts_jsonl(path))) == 2
+
+    def test_invalid_json_line_reported_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"post_id": 1}\nnot json\n')
+        with pytest.raises(DatasetError, match="bad.jsonl:1|missing fields"):
+            list(read_posts_jsonl(path))
+
+    def test_lazy_reading(self, posts, tmp_path):
+        path = tmp_path / "posts.jsonl"
+        write_posts_jsonl(posts, path)
+        iterator = read_posts_jsonl(path)
+        assert next(iterator).post_id == 1
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self, tmp_path):
+        graph = AuthorGraph([1, 2, 3, 9], [(1, 2), (2, 3)])
+        path = tmp_path / "graph.json"
+        write_graph_json(graph, path)
+        loaded = read_graph_json(path)
+        assert sorted(loaded.nodes) == [1, 2, 3, 9]
+        assert set(loaded.edges()) == {(1, 2), (2, 3)}
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        graph = AuthorGraph([5], [])
+        path = tmp_path / "graph.json"
+        write_graph_json(graph, path)
+        assert 5 in read_graph_json(path)
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "graph.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(DatasetError):
+            read_graph_json(path)
+
+    def test_deterministic_output(self, tmp_path):
+        graph = AuthorGraph([3, 1, 2], [(2, 1), (3, 1)])
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_graph_json(graph, a)
+        write_graph_json(graph, b)
+        assert a.read_text() == b.read_text()
+
+
+class TestSubscriptionsRoundTrip:
+    def test_round_trip(self, tmp_path):
+        table = SubscriptionTable({100: [1, 2], 200: [2, 3]})
+        path = tmp_path / "subs.json"
+        write_subscriptions_json(table, path)
+        loaded = read_subscriptions_json(path)
+        assert loaded.subscriptions_of(100) == frozenset({1, 2})
+        assert loaded.subscriptions_of(200) == frozenset({2, 3})
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "subs.json"
+        path.write_text("[]")
+        with pytest.raises(DatasetError):
+            read_subscriptions_json(path)
+
+    def test_json_is_valid(self, tmp_path):
+        table = SubscriptionTable({1: [7]})
+        path = tmp_path / "subs.json"
+        write_subscriptions_json(table, path)
+        assert json.loads(path.read_text()) == {"1": [7]}

@@ -1,0 +1,55 @@
+"""Property tests for the interchange formats (repro.io)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Post
+from repro.io import post_from_dict, post_to_dict, read_posts_jsonl, write_posts_jsonl
+
+# Arbitrary unicode except control characters pytest's JSONL lines dislike.
+texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), max_size=120
+)
+post_records = st.builds(
+    Post,
+    post_id=st.integers(min_value=0, max_value=2**40),
+    author=st.integers(min_value=0, max_value=2**32),
+    text=texts,
+    timestamp=st.floats(
+        min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+    fingerprint=st.integers(min_value=0, max_value=2**64 - 1),
+)
+
+
+@given(post_records)
+def test_dict_round_trip_exact(post):
+    assert post_from_dict(post_to_dict(post)) == post
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(post_records, max_size=20))
+def test_jsonl_round_trip_exact(tmp_path_factory_posts):
+    # hypothesis can't use pytest fixtures directly; use an in-module tmp dir.
+    import tempfile
+    from pathlib import Path
+
+    posts = tmp_path_factory_posts
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "posts.jsonl"
+        write_posts_jsonl(posts, path)
+        assert list(read_posts_jsonl(path)) == posts
+
+
+@given(texts)
+def test_text_fidelity_through_jsonl(text):
+    """Arbitrary unicode content survives the trace format byte-exactly."""
+    import tempfile
+    from pathlib import Path
+
+    post = Post(post_id=1, author=2, text=text, timestamp=0.0, fingerprint=7)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "one.jsonl"
+        write_posts_jsonl([post], path)
+        (loaded,) = list(read_posts_jsonl(path))
+    assert loaded.text == text

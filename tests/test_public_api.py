@@ -1,0 +1,75 @@
+"""The public API surface: everything in __all__ importable and coherent."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.multiuser",
+    "repro.simhash",
+    "repro.authors",
+    "repro.social",
+    "repro.eval",
+    "repro.baselines",
+    "repro.service",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_entries_exist(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), f"{package} has no __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name} missing"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_all_sorted_and_unique(self, package):
+        module = importlib.import_module(package)
+        entries = [n for n in module.__all__ if n != "__version__"]
+        assert len(entries) == len(set(entries)), f"duplicates in {package}.__all__"
+
+    def test_top_level_version(self):
+        import repro
+
+        assert repro.__version__
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_module_docstrings(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and len(module.__doc__) > 40
+
+    def test_public_classes_documented(self):
+        """Every public class/function in core packages has a docstring."""
+        for package in PACKAGES:
+            module = importlib.import_module(package)
+            for name in module.__all__:
+                obj = getattr(module, name)
+                if callable(obj):
+                    assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        from repro import errors
+
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+                and obj.__module__ == "repro.errors"
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_catchable_as_base(self):
+        from repro import ReproError, Thresholds
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ReproError):
+            Thresholds(lambda_c=-5)
+        with pytest.raises(ConfigurationError):
+            Thresholds(lambda_c=-5)
