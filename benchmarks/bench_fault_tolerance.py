@@ -1,0 +1,165 @@
+"""Fault tolerance: the resilient pipeline under a seeded adversary.
+
+The resilience subsystem claims exact degradation: a bounded arrival
+shuffle is absorbed to a bit-identical output, transport damage is
+quarantined with counts equal to what the injector reports, duplicates
+never double the output, and the coverage guarantee holds over every post
+the pipeline did not refuse. This benchmark drives all of it per seed on
+the standard synthetic stream and asserts each claim, plus an
+overload-controlled replay whose shed accounting must conserve posts.
+"""
+
+import json
+
+from conftest import show
+
+from repro.core import CoverageChecker, UniBin, make_diversifier
+from repro.eval import verify_coverage
+from repro.eval.experiments import ExperimentResult
+from repro.io import post_to_dict
+from repro.resilience import (
+    FaultSchedule,
+    LatencySpikes,
+    LineFaultInjector,
+    OverloadController,
+    ResilientIngest,
+    ingest_jsonl,
+)
+from repro.service import DiversificationService
+
+SEEDS = (3, 17, 4242)
+MAX_SKEW = 30.0
+
+
+def _damaged_trace(posts, seed, tmp_path):
+    lines = (json.dumps(post_to_dict(p), sort_keys=True) for p in posts)
+    injector = LineFaultInjector(
+        seed=seed,
+        malformed_prob=0.02,
+        torn_prob=0.02,
+        missing_field_prob=0.02,
+        bad_timestamp_prob=0.02,
+    )
+    path = tmp_path / f"damaged-{seed}.jsonl"
+    path.write_text("\n".join(injector.apply(lines)) + "\n")
+    return path, injector.counts
+
+
+def test_fault_injection_exact_accounting(benchmark, dataset, thresholds, tmp_path):
+    graph = dataset.graph(thresholds.lambda_a)
+    posts = dataset.posts
+    baseline = make_diversifier("unibin", thresholds, graph)
+    clean_ids = [p.post_id for p in posts if baseline.offer(p)]
+
+    def sweep():
+        rows = []
+        for seed in SEEDS:
+            # Post-level adversary: bounded shuffle + duplicates, fully
+            # absorbed by a matching skew window.
+            schedule = FaultSchedule(
+                seed=seed, max_displacement=MAX_SKEW, duplicate_prob=0.1
+            )
+            pipeline = ResilientIngest(
+                UniBin(thresholds, graph), max_skew=MAX_SKEW, late_policy="raise"
+            )
+            admitted = [
+                p.post_id for p in pipeline.diversify(schedule.apply(posts))
+            ]
+            reorder = pipeline.reorder.counters
+
+            # Transport adversary: damaged JSONL through the quarantine.
+            path, injected = _damaged_trace(posts, seed, tmp_path)
+            q_pipeline = ResilientIngest(UniBin(thresholds, graph))
+            events = ingest_jsonl(q_pipeline, path, on_error="quarantine")
+            survivors = [
+                e.post for e in events if e.status in ("admitted", "rejected")
+            ]
+            q_admitted = frozenset(
+                e.post.post_id for e in events if e.admitted
+            )
+            verify_coverage(
+                survivors, q_admitted, CoverageChecker(thresholds, graph)
+            )
+
+            rows.append(
+                {
+                    "seed": seed,
+                    "posts": len(posts),
+                    "shuffled": schedule.shuffler.counts.shuffled,
+                    "duplicated": schedule.post_faults.counts.duplicated,
+                    "late_events": reorder.late_dropped + reorder.late_clamped,
+                    "output_identical": admitted == clean_ids,
+                    "injected_bad": injected.malformed
+                    + injected.torn
+                    + injected.missing_field
+                    + injected.bad_timestamp,
+                    "quarantined": q_pipeline.quarantine.total,
+                    "coverage_violations": 0,  # verify_coverage raised otherwise
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        ExperimentResult(
+            experiment_id="fault_tolerance",
+            title="Resilient pipeline vs seeded fault injection",
+            parameters={"seeds": SEEDS, "max_skew": MAX_SKEW},
+            rows=rows,
+        )
+    )
+    for row in rows:
+        seed = row["seed"]
+        assert row["shuffled"] > 0 and row["duplicated"] > 0, f"seed {seed}: adversary idle"
+        assert row["late_events"] == 0, f"seed {seed}: skew window not absorbed"
+        assert row["output_identical"], f"seed {seed}: output diverged under faults"
+        assert row["quarantined"] == row["injected_bad"], (
+            f"seed {seed}: quarantine count {row['quarantined']} != "
+            f"injected {row['injected_bad']}"
+        )
+
+
+def test_overload_shedding_conserves_posts(benchmark, dataset, thresholds):
+    graph = dataset.graph(thresholds.lambda_a)
+    posts = dataset.posts
+
+    def replay():
+        rows = []
+        for seed in SEEDS:
+            engine = LatencySpikes(
+                UniBin(thresholds, graph),
+                seed=seed,
+                spike_prob=0.2,
+                spike_seconds=0.002,
+            )
+            controller = OverloadController(
+                max_delay=0.01, resume_delay=0.005, policy="drop"
+            )
+            service = DiversificationService(engine, overload=controller)
+            (report,) = service.replay(posts, speedups=(1e8,))
+            rows.append(
+                {
+                    "seed": seed,
+                    "posts": report.posts,
+                    "processed": report.processed,
+                    "shed": report.shed_total,
+                    "episodes": report.shed_episodes,
+                    "conserved": report.processed + report.shed_total
+                    == report.posts,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(replay, rounds=1, iterations=1)
+    show(
+        ExperimentResult(
+            experiment_id="overload_shedding",
+            title="Overload-controlled replay: exact shed accounting",
+            parameters={"seeds": SEEDS, "max_delay_s": 0.01},
+            rows=rows,
+        )
+    )
+    for row in rows:
+        assert row["conserved"], f"seed {row['seed']}: posts not conserved"
+        assert row["shed"] > 0, f"seed {row['seed']}: overload never triggered"
+        assert row["episodes"] >= 1, f"seed {row['seed']}: no shedding episode"

@@ -26,6 +26,9 @@ Packages:
 * :mod:`repro.authors` — author distance substrate.
 * :mod:`repro.social` — synthetic Twitter-like data substrate.
 * :mod:`repro.eval` — experiment harness reproducing every figure/table.
+* :mod:`repro.service` — latency/capacity measurement with overload control.
+* :mod:`repro.resilience` — fault-tolerant ingestion: reorder buffering,
+  quarantine, overload shedding, checkpoint/restore, fault injection.
 """
 
 from .core import (
@@ -47,24 +50,38 @@ from .errors import (
     UnknownAlgorithmError,
     UnknownAuthorError,
 )
+from .errors import CheckpointError
 from .multiuser import (
     IndependentMultiUser,
     SharedComponentMultiUser,
     SubscriptionTable,
     make_multiuser,
 )
+from .resilience import (
+    OverloadController,
+    Quarantine,
+    ReorderBuffer,
+    ResilientIngest,
+    restore_engine,
+    snapshot_engine,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckpointError",
     "CliqueBin",
     "ConfigurationError",
     "DatasetError",
     "GraphError",
     "IndependentMultiUser",
     "NeighborBin",
+    "OverloadController",
     "Post",
+    "Quarantine",
+    "ReorderBuffer",
     "ReproError",
+    "ResilientIngest",
     "SharedComponentMultiUser",
     "StreamDiversifier",
     "StreamOrderError",
@@ -76,5 +93,7 @@ __all__ = [
     "make_diversifier",
     "make_multiuser",
     "recommend",
+    "restore_engine",
+    "snapshot_engine",
     "__version__",
 ]

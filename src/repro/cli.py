@@ -68,6 +68,42 @@ def _diversify_parser() -> argparse.ArgumentParser:
     parser.add_argument("--lambda-t", type=float, default=1800.0, help="seconds")
     parser.add_argument("--lambda-a", type=float, default=0.7, help="author distance")
     parser.add_argument("--output", help="write the diversified trace here (JSONL)")
+    parser.add_argument(
+        "--on-error",
+        choices=("strict", "skip", "quarantine"),
+        default="strict",
+        help="bad JSONL records: abort (strict), drop with counts (skip), "
+        "or retain in a dead-letter sink (quarantine)",
+    )
+    parser.add_argument(
+        "--quarantine-out",
+        help="write quarantined records (with line numbers and reasons) "
+        "to this JSONL dead-letter file",
+    )
+    parser.add_argument(
+        "--max-skew",
+        type=float,
+        default=0.0,
+        help="reorder-buffer window in seconds: absorb out-of-order posts "
+        "displaced up to this much (default 0 = no buffering)",
+    )
+    parser.add_argument(
+        "--order-policy",
+        choices=("drop", "clamp", "raise"),
+        default="raise",
+        help="posts arriving beyond --max-skew: drop (counted), clamp "
+        "timestamps forward, or raise (default, the strict stream model)",
+    )
+    parser.add_argument(
+        "--checkpoint-out",
+        help="write a JSON snapshot of the pipeline state after the run "
+        "(resume with --resume-from)",
+    )
+    parser.add_argument(
+        "--resume-from",
+        help="restore pipeline state from a --checkpoint-out snapshot "
+        "before processing (its skew/policy settings take precedence)",
+    )
     return parser
 
 
@@ -90,32 +126,89 @@ def _generate_parser() -> argparse.ArgumentParser:
 def _run_diversify(argv: list[str]) -> int:
     from .core import Thresholds, make_diversifier
     from .io import post_to_dict, read_graph_json, read_posts_jsonl
+    from .resilience import (
+        Quarantine,
+        ResilientIngest,
+        load_checkpoint,
+        save_checkpoint,
+    )
 
     args = _diversify_parser().parse_args(argv)
     thresholds = Thresholds(
         lambda_c=args.lambda_c, lambda_t=args.lambda_t, lambda_a=args.lambda_a
     )
     graph = read_graph_json(args.graph) if args.graph else None
-    diversifier = make_diversifier(args.algorithm, thresholds, graph)
+    sink = Quarantine()
+    if args.resume_from:
+        pipeline = ResilientIngest.restore(
+            load_checkpoint(args.resume_from), graph=graph, quarantine=sink
+        )
+        resumed_name = getattr(pipeline.engine, "name", None)
+        if resumed_name is not None and resumed_name != args.algorithm:
+            print(
+                f"note: resuming {resumed_name!r} from {args.resume_from}; "
+                f"--algorithm {args.algorithm!r} ignored",
+                file=sys.stderr,
+            )
+    else:
+        diversifier = make_diversifier(args.algorithm, thresholds, graph)
+        pipeline = ResilientIngest(
+            diversifier,
+            max_skew=args.max_skew,
+            late_policy=args.order_policy,
+            quarantine=sink,
+        )
 
     out_handle = open(args.output, "w", encoding="utf-8") if args.output else None
     try:
         import json
 
-        for post in read_posts_jsonl(args.posts):
-            if diversifier.offer(post) and out_handle is not None:
-                out_handle.write(json.dumps(post_to_dict(post), sort_keys=True))
-                out_handle.write("\n")
+        def emit(events):
+            for event in events:
+                if event.admitted and out_handle is not None:
+                    out_handle.write(
+                        json.dumps(post_to_dict(event.post), sort_keys=True)
+                    )
+                    out_handle.write("\n")
+
+        for post in read_posts_jsonl(
+            args.posts, on_error=args.on_error, quarantine=sink
+        ):
+            emit(pipeline.ingest(post))
+        emit(pipeline.flush())
     finally:
         if out_handle is not None:
             out_handle.close()
 
-    stats = diversifier.stats
+    stats = (
+        pipeline.engine.stats
+        if not pipeline.is_multiuser
+        else pipeline.engine.aggregate_stats()
+    )
     print(
-        f"{args.algorithm}: {stats.posts_admitted}/{stats.posts_processed} "
+        f"{pipeline.engine.name}: {stats.posts_admitted}/{stats.posts_processed} "
         f"posts kept ({100 * (1 - stats.retention_ratio):.1f}% pruned); "
         f"{stats.comparisons:,} comparisons, {stats.insertions:,} insertions"
     )
+    reorder = pipeline.reorder.counters
+    if reorder.reordered or reorder.late_dropped or reorder.late_clamped:
+        print(
+            f"reorder: {reorder.reordered} out-of-order absorbed, "
+            f"{reorder.late_dropped} dropped late, "
+            f"{reorder.late_clamped} clamped late "
+            f"(peak buffer {reorder.peak_buffered})"
+        )
+    if len(sink):
+        print(
+            f"quarantined {len(sink)} records: "
+            + ", ".join(f"{r}={c}" for r, c in sorted(sink.by_reason.items()))
+        )
+    if args.quarantine_out:
+        written = sink.write_jsonl(args.quarantine_out)
+        print(f"dead-letter file written to {args.quarantine_out} ({written} records)")
+    if args.checkpoint_out:
+        save_checkpoint(pipeline.checkpoint(), args.checkpoint_out)
+        print(f"checkpoint written to {args.checkpoint_out}")
     if args.output:
         print(f"diversified trace written to {args.output}")
     return 0

@@ -12,7 +12,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from ..authors import AuthorGraph
-from ..errors import StreamOrderError
+from ..errors import CheckpointError, StreamOrderError
 from .coverage import CoverageChecker
 from .post import Post
 from .stats import RunStats
@@ -91,3 +91,53 @@ class StreamDiversifier(ABC):
 
     def _now(self, now: float | None) -> float:
         return self._last_timestamp if now is None else now
+
+    @property
+    def last_timestamp(self) -> float:
+        """Timestamp of the most recent offered post (-inf before any)."""
+        return self._last_timestamp
+
+    # -- checkpointing -----------------------------------------------------
+    #
+    # ``state_dict``/``load_state`` capture everything the greedy decision
+    # depends on: the admitted posts still inside the window, the order
+    # cursor and the counters. Restoring into a freshly-constructed engine
+    # (same thresholds, same graph) and replaying the remaining stream
+    # yields the identical retained set as an uninterrupted run.
+
+    def state_dict(self) -> dict[str, object]:
+        """Engine state as plain Python objects (posts stay :class:`Post`;
+        JSON encoding lives in :mod:`repro.resilience.checkpoint`)."""
+        return {
+            "algorithm": self.name,
+            "newest_first": self.newest_first,
+            "last_timestamp": self._last_timestamp,
+            "stats": self.stats.state_dict(),
+            "index": self._index_state(),
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore state saved by :meth:`state_dict` into this engine.
+
+        The engine must have been constructed with the same thresholds and
+        author graph as the checkpointed one; only the mutable run state is
+        loaded here.
+        """
+        if state.get("algorithm") != self.name:
+            raise CheckpointError(
+                f"checkpoint is for algorithm {state.get('algorithm')!r}, "
+                f"cannot load into {self.name!r}"
+            )
+        self.newest_first = bool(state["newest_first"])
+        self._last_timestamp = float(state["last_timestamp"])  # type: ignore[arg-type]
+        self.stats.load_state(state["stats"])  # type: ignore[arg-type]
+        self._load_index_state(state["index"])  # type: ignore[arg-type]
+
+    @abstractmethod
+    def _index_state(self) -> dict[str, object]:
+        """The subclass's bin/index contents, as plain Python objects."""
+
+    @abstractmethod
+    def _load_index_state(self, state: dict[str, object]) -> None:
+        """Rebuild the bin/index contents from :meth:`_index_state` output,
+        without touching the run counters (they are restored separately)."""

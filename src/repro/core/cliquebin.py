@@ -95,3 +95,29 @@ class CliqueBin(StreamDiversifier):
 
     def stored_copies(self) -> int:
         return sum(len(bin_) for bin_ in self._bins.values())
+
+    def _index_state(self) -> dict[str, object]:
+        posts: dict[int, Post] = {}
+        bins: dict[int, list[int]] = {}
+        for idx, bin_ in self._bins.items():
+            if len(bin_):
+                bins[idx] = [p.post_id for p in bin_]
+                for post in bin_:
+                    posts[post.post_id] = post
+        return {"cliques": len(self.cover), "posts": posts, "bins": bins}
+
+    def _load_index_state(self, state: dict[str, object]) -> None:
+        from ..errors import CheckpointError
+
+        if state["cliques"] != len(self.cover):
+            raise CheckpointError(
+                f"checkpoint was taken with a {state['cliques']}-clique "
+                f"cover; this engine's cover has {len(self.cover)} cliques "
+                "(graph or cover mismatch)"
+            )
+        posts: dict[int, Post] = state["posts"]  # type: ignore[assignment]
+        self._bins = {idx: PostBin() for idx in range(len(self.cover))}
+        for idx, post_ids in state["bins"].items():  # type: ignore[union-attr]
+            bin_ = self._bins[idx]
+            for post_id in post_ids:
+                bin_.append(posts[post_id])

@@ -80,3 +80,15 @@ class IndexedUniBin(StreamDiversifier):
 
     def stored_copies(self) -> int:
         return len(self._queue)
+
+    def _index_state(self) -> dict[str, object]:
+        return {"queue": list(self._queue)}
+
+    def _load_index_state(self, state: dict[str, object]) -> None:
+        self._index = SimHashIndex(self.thresholds.lambda_c)
+        self._queue = deque()
+        self._by_id = {}
+        for post in state["queue"]:  # type: ignore[union-attr]
+            self._queue.append(post)
+            self._by_id[post.post_id] = post
+            self._index.add(post.fingerprint, post.post_id)

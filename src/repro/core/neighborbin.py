@@ -90,3 +90,30 @@ class NeighborBin(StreamDiversifier):
 
     def stored_copies(self) -> int:
         return sum(len(bin_) for bin_ in self._bins.values())
+
+    def _index_state(self) -> dict[str, object]:
+        # Bins replicate posts (author + neighbours); serialise each post
+        # once and reference it by id from the per-author bin listings.
+        posts: dict[int, Post] = {}
+        bins: dict[int, list[int]] = {}
+        for author, bin_ in self._bins.items():
+            if len(bin_):
+                bins[author] = [p.post_id for p in bin_]
+                for post in bin_:
+                    posts[post.post_id] = post
+        return {"posts": posts, "bins": bins}
+
+    def _load_index_state(self, state: dict[str, object]) -> None:
+        from ..errors import CheckpointError
+
+        posts: dict[int, Post] = state["posts"]  # type: ignore[assignment]
+        self._bins = {author: PostBin() for author in self._bins}
+        for author, post_ids in state["bins"].items():  # type: ignore[union-attr]
+            bin_ = self._bins.get(author)
+            if bin_ is None:
+                raise CheckpointError(
+                    f"checkpoint references author {author!r} not present in "
+                    "this engine's graph"
+                )
+            for post_id in post_ids:
+                bin_.append(posts[post_id])

@@ -75,6 +75,31 @@ class RunStats:
         self.stored_copies += other.stored_copies
         self.peak_stored_copies += other.peak_stored_copies
 
+    def state_dict(self) -> dict[str, int]:
+        """Raw counters for checkpointing (exact, no derived fields)."""
+        return {
+            "posts_processed": self.posts_processed,
+            "posts_admitted": self.posts_admitted,
+            "comparisons": self.comparisons,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "stored_copies": self.stored_copies,
+            "peak_stored_copies": self.peak_stored_copies,
+        }
+
+    def load_state(self, state: dict[str, int]) -> None:
+        """Restore counters saved by :meth:`state_dict`."""
+        for name in (
+            "posts_processed",
+            "posts_admitted",
+            "comparisons",
+            "insertions",
+            "evictions",
+            "stored_copies",
+            "peak_stored_copies",
+        ):
+            setattr(self, name, int(state[name]))
+
     def snapshot(self) -> dict[str, int | float]:
         """Plain-dict view for reporting."""
         return {

@@ -63,3 +63,11 @@ class UniBin(StreamDiversifier):
 
     def stored_copies(self) -> int:
         return len(self._bin)
+
+    def _index_state(self) -> dict[str, object]:
+        return {"bin": list(self._bin)}
+
+    def _load_index_state(self, state: dict[str, object]) -> None:
+        self._bin = PostBin()
+        for post in state["bin"]:  # type: ignore[union-attr]
+            self._bin.append(post)

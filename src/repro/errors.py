@@ -34,3 +34,8 @@ class StreamOrderError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset could not be built from the given parameters."""
+
+
+class CheckpointError(ReproError):
+    """An engine snapshot could not be taken or restored (wrong algorithm,
+    mismatched graph/cover, malformed or incompatible checkpoint file)."""

@@ -16,15 +16,53 @@ All writers are deterministic (sorted keys) so traces diff cleanly.
 from __future__ import annotations
 
 import json
+import math
 from collections.abc import Iterable, Iterator
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .authors import AuthorGraph
 from .core import Post
 from .errors import DatasetError
 from .multiuser import SubscriptionTable
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (resilience -> io)
+    from .resilience import Quarantine
+
 _POST_FIELDS = ("post_id", "author", "text", "timestamp")
+
+
+def _int_field(record: dict[str, object], name: str) -> int:
+    """Coerce an integer field, naming the field in the failure."""
+    value = record[name]
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise DatasetError(f"field {name!r} must be an integer, got {value!r}")
+    try:
+        return int(value)
+    except (TypeError, ValueError) as exc:
+        raise DatasetError(
+            f"field {name!r} must be an integer, got {value!r}"
+        ) from exc
+
+
+def _timestamp_field(record: dict[str, object]) -> float:
+    """Coerce ``timestamp`` to a finite float (NaN/inf are poison)."""
+    value = record["timestamp"]
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise DatasetError(
+            f"field 'timestamp' must be a number, got {value!r}"
+        )
+    try:
+        timestamp = float(value)
+    except (TypeError, ValueError) as exc:
+        raise DatasetError(
+            f"field 'timestamp' must be a number, got {value!r}"
+        ) from exc
+    if not math.isfinite(timestamp):
+        raise DatasetError(
+            f"field 'timestamp' must be finite, got {timestamp!r}"
+        )
+    return timestamp
 
 
 def post_to_dict(post: Post) -> dict[str, object]:
@@ -45,23 +83,24 @@ def post_from_dict(record: dict[str, object]) -> Post:
     present one is trusted, enabling lossless round-trips and precomputed
     pipelines.
     """
+    if not isinstance(record, dict):
+        raise DatasetError(f"post record must be a JSON object, got {record!r}")
     missing = [f for f in _POST_FIELDS if f not in record]
     if missing:
         raise DatasetError(f"post record missing fields {missing}: {record!r}")
+    post_id = _int_field(record, "post_id")
+    author = _int_field(record, "author")
+    text = str(record["text"])
+    timestamp = _timestamp_field(record)
     fingerprint = record.get("fingerprint")
     if fingerprint is None:
-        return Post.create(
-            int(record["post_id"]),  # type: ignore[arg-type]
-            int(record["author"]),  # type: ignore[arg-type]
-            str(record["text"]),
-            float(record["timestamp"]),  # type: ignore[arg-type]
-        )
+        return Post.create(post_id, author, text, timestamp)
     return Post(
-        post_id=int(record["post_id"]),  # type: ignore[arg-type]
-        author=int(record["author"]),  # type: ignore[arg-type]
-        text=str(record["text"]),
-        timestamp=float(record["timestamp"]),  # type: ignore[arg-type]
-        fingerprint=int(fingerprint),  # type: ignore[arg-type]
+        post_id=post_id,
+        author=author,
+        text=text,
+        timestamp=timestamp,
+        fingerprint=_int_field(record, "fingerprint"),
     )
 
 
@@ -76,8 +115,24 @@ def write_posts_jsonl(posts: Iterable[Post], path: str | Path) -> int:
     return count
 
 
-def read_posts_jsonl(path: str | Path) -> Iterator[Post]:
-    """Stream posts from a JSONL trace (lazily — traces can be large)."""
+def read_posts_jsonl(
+    path: str | Path,
+    *,
+    on_error: str = "strict",
+    quarantine: "Quarantine | None" = None,
+) -> Iterator[Post]:
+    """Stream posts from a JSONL trace (lazily — traces can be large).
+
+    ``on_error`` selects the decoding policy (``strict`` raises
+    :class:`DatasetError` on the first bad line, with its 1-based line
+    number and the offending field; ``skip`` drops bad lines and counts
+    them in ``quarantine`` when one is given; ``quarantine`` retains them
+    in the required dead-letter sink — see
+    :mod:`repro.resilience.quarantine`).
+    """
+    from .resilience.quarantine import check_policy
+
+    check_policy(on_error, quarantine)
     with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -86,10 +141,22 @@ def read_posts_jsonl(path: str | Path) -> Iterator[Post]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise DatasetError(
-                    f"{path}:{line_number}: invalid JSON: {exc}"
-                ) from exc
-            yield post_from_dict(record)
+                if on_error == "strict":
+                    raise DatasetError(
+                        f"{path}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                if quarantine is not None:
+                    quarantine.add(line_number, "invalid_json", str(exc), line)
+                continue
+            try:
+                yield post_from_dict(record)
+            except DatasetError as exc:
+                if on_error == "strict":
+                    raise DatasetError(
+                        f"{path}:{line_number}: {exc}"
+                    ) from exc
+                if quarantine is not None:
+                    quarantine.add(line_number, "invalid_record", str(exc), line)
 
 
 def write_graph_json(graph: AuthorGraph, path: str | Path) -> None:

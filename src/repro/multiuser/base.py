@@ -41,6 +41,15 @@ class MultiUserDiversifier(ABC):
     def purge(self, now: float) -> None:
         """Evict expired copies from every instance (periodic GC)."""
 
+    @abstractmethod
+    def state_dict(self) -> dict[str, object]:
+        """Checkpointable state of every internal diversifier instance."""
+
+    @abstractmethod
+    def load_state(self, state: dict[str, object]) -> None:
+        """Restore state saved by :meth:`state_dict`; the engine must have
+        been constructed from the same graph and subscription table."""
+
     def run(self, posts: Iterable[Post]) -> dict[int, list[Post]]:
         """Consume a whole stream; return each user's diversified timeline."""
         timelines: dict[int, list[Post]] = {}

@@ -79,3 +79,24 @@ class IndependentMultiUser(MultiUserDiversifier):
     def instance_of(self, user: int) -> StreamDiversifier:
         """The per-user instance (exposed for tests and inspection)."""
         return self._instances[user]
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "engine": self.name,
+            "users": {
+                user: instance.state_dict()
+                for user, instance in self._instances.items()
+            },
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        from ..errors import CheckpointError
+
+        users: dict[int, dict[str, object]] = state["users"]  # type: ignore[assignment]
+        if set(users) != set(self._instances):
+            raise CheckpointError(
+                "checkpoint user set does not match this engine's "
+                "subscription table"
+            )
+        for user, instance_state in users.items():
+            self._instances[user].load_state(instance_state)

@@ -78,3 +78,24 @@ class SharedComponentMultiUser(MultiUserDiversifier):
     def sharing_ratio(self) -> float:
         """Fraction of per-user component work removed by deduplication."""
         return self.catalog.sharing_ratio()
+
+    def state_dict(self) -> dict[str, object]:
+        # Component order is deterministic for a given graph + subscription
+        # table (the catalog enumerates users and components stably), so
+        # instances are checkpointed positionally.
+        return {
+            "engine": self.name,
+            "components": [inst.state_dict() for inst in self._instances],
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        from ..errors import CheckpointError
+
+        components: list[dict[str, object]] = state["components"]  # type: ignore[assignment]
+        if len(components) != len(self._instances):
+            raise CheckpointError(
+                f"checkpoint has {len(components)} components; this engine "
+                f"has {len(self._instances)} (graph/subscriptions mismatch)"
+            )
+        for instance, instance_state in zip(self._instances, components):
+            instance.load_state(instance_state)

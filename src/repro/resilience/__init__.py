@@ -1,0 +1,75 @@
+"""Resilient ingestion: fault tolerance around the SPSD engines.
+
+The paper's engines assume a perfect stream — monotone timestamps, clean
+records, an engine that always keeps up. This package makes the imperfect
+case a first-class, *measured* regime instead of a crash:
+
+* :class:`ReorderBuffer` — bounded watermark buffer absorbing out-of-order
+  arrivals up to a skew window; late posts follow an explicit policy
+  (``drop`` / ``clamp`` / ``raise``) with exact counts.
+* :class:`Quarantine` + error-policy decoding — malformed or semantically
+  invalid records go to a dead-letter sink with line numbers, instead of
+  aborting the run (CLI: ``--on-error {strict,skip,quarantine}``).
+* :class:`OverloadController` — queue-backlog budget with hysteresis;
+  overload sheds (drop or pass-through) with exact accounting (wired into
+  :class:`repro.service.DiversificationService`).
+* :func:`snapshot_engine` / :func:`restore_engine` — JSON checkpoints that
+  resume mid-stream to a bit-identical retained set.
+* :class:`ResilientIngest` — the composed pipeline around any engine.
+* :mod:`repro.resilience.faults` — the seeded fault-injection harness the
+  test suite and benchmarks drive all of the above with.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+    snapshot_engine,
+)
+from .faults import (
+    ArrivalShuffler,
+    FaultCounts,
+    FaultSchedule,
+    LatencySpikes,
+    LineFaultInjector,
+    PostFaultInjector,
+)
+from .overload import SHED_POLICIES, OverloadController, OverloadCounters
+from .pipeline import IngestEvent, ResilientIngest, ingest_jsonl
+from .quarantine import (
+    ERROR_POLICIES,
+    Quarantine,
+    QuarantinedRecord,
+    check_policy,
+    validate_post,
+)
+from .reorder import LATE_POLICIES, ReorderBuffer, ReorderCounters
+
+__all__ = [
+    "ArrivalShuffler",
+    "CHECKPOINT_VERSION",
+    "ERROR_POLICIES",
+    "FaultCounts",
+    "FaultSchedule",
+    "IngestEvent",
+    "LATE_POLICIES",
+    "LatencySpikes",
+    "LineFaultInjector",
+    "OverloadController",
+    "OverloadCounters",
+    "PostFaultInjector",
+    "Quarantine",
+    "QuarantinedRecord",
+    "ReorderBuffer",
+    "ReorderCounters",
+    "ResilientIngest",
+    "SHED_POLICIES",
+    "check_policy",
+    "ingest_jsonl",
+    "load_checkpoint",
+    "restore_engine",
+    "save_checkpoint",
+    "snapshot_engine",
+    "validate_post",
+]

@@ -1,0 +1,316 @@
+"""Fault-injection harness: seeded, composable stream corruption.
+
+The resilience claims are only as good as the adversary they are tested
+against. This module builds that adversary: wrappers that take a clean
+stream and hand back a damaged one, with **exact counters** of every fault
+injected so tests can assert the pipeline's accounting to the post —
+"quarantined == malformed injected", "late_dropped == displacements beyond
+the watermark", and so on.
+
+Three layers of damage:
+
+* :class:`ArrivalShuffler` — permutes *arrival order* within a bounded
+  time displacement, leaving timestamps intact. A ReorderBuffer with
+  ``max_skew`` ≥ the displacement recovers the exact ordered stream.
+* :class:`PostFaultInjector` — duplicates posts and jitters timestamps
+  (producer clock skew), i.e. faults that survive decoding.
+* :class:`LineFaultInjector` — damages the JSONL transport: malformed
+  (non-JSON) lines, torn (truncated mid-record) lines, records with
+  missing fields or non-numeric/NaN timestamps, duplicated lines.
+
+Plus :class:`LatencySpikes`, an engine wrapper injecting service-time
+spikes (seeded busy-wait) to drive the overload controller in benchmarks.
+
+Everything is driven by an explicit ``random.Random(seed)`` — the same
+seed always produces the same fault schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field, replace
+
+from ..core import Post, StreamDiversifier
+
+
+@dataclass(slots=True)
+class FaultCounts:
+    """What an injector actually did (exact, for assertion)."""
+
+    passed: int = 0
+    shuffled: int = 0
+    duplicated: int = 0
+    skewed: int = 0
+    malformed: int = 0
+    torn: int = 0
+    missing_field: int = 0
+    bad_timestamp: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "passed": self.passed,
+            "shuffled": self.shuffled,
+            "duplicated": self.duplicated,
+            "skewed": self.skewed,
+            "malformed": self.malformed,
+            "torn": self.torn,
+            "missing_field": self.missing_field,
+            "bad_timestamp": self.bad_timestamp,
+        }
+
+
+class ArrivalShuffler:
+    """Permute arrival order with bounded timestamp displacement.
+
+    Holds each post for a random number of "slots" drawn from
+    ``[0, max_hold]``; a post is emitted once every post that must precede
+    it by more than ``max_displacement`` seconds has been emitted. The
+    guarantee tests rely on: **no post is displaced past another by more
+    than ``max_displacement`` seconds of timestamp**, so a reorder buffer
+    with ``max_skew >= max_displacement`` restores the exact order.
+    """
+
+    def __init__(self, *, seed: int, max_displacement: float):
+        if max_displacement < 0:
+            raise ValueError("max_displacement must be >= 0")
+        self.rng = random.Random(seed)
+        self.max_displacement = max_displacement
+        self.counts = FaultCounts()
+
+    def apply(self, posts: Iterable[Post]) -> Iterator[Post]:
+        held: list[Post] = []
+        for post in posts:
+            # Release every held post that can no longer wait: once the
+            # incoming post's timestamp is beyond held.timestamp +
+            # max_displacement, holding it longer would break the bound.
+            ready = [
+                h
+                for h in held
+                if post.timestamp > h.timestamp + self.max_displacement
+            ]
+            if ready:
+                self.rng.shuffle(ready)
+                for h in ready:
+                    held.remove(h)
+                    self.counts.passed += 1
+                    yield h
+            held.append(post)
+            # Randomly emit some of the held set early, out of order.
+            emit_now = [h for h in held if self.rng.random() < 0.5]
+            self.rng.shuffle(emit_now)
+            for h in emit_now:
+                held.remove(h)
+                self.counts.passed += 1
+                if h is not post:
+                    self.counts.shuffled += 1
+                yield h
+        self.rng.shuffle(held)
+        self.counts.shuffled += sum(1 for _ in held[1:])
+        for h in held:
+            self.counts.passed += 1
+            yield h
+
+
+class PostFaultInjector:
+    """Duplicate posts and jitter timestamps (clock skew) at the Post level.
+
+    ``skew_range`` jitters a post's timestamp by ``uniform(-skew, +skew)``
+    (clamped at 0); ``duplicate_prob`` re-emits a post immediately after
+    itself (same id, same content — the duplicate is covered by the
+    original and must be pruned, never doubled into the output).
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        skew_prob: float = 0.0,
+        skew_range: float = 0.0,
+        duplicate_prob: float = 0.0,
+    ):
+        self.rng = random.Random(seed)
+        self.skew_prob = skew_prob
+        self.skew_range = skew_range
+        self.duplicate_prob = duplicate_prob
+        self.counts = FaultCounts()
+
+    def apply(self, posts: Iterable[Post]) -> Iterator[Post]:
+        for post in posts:
+            if self.skew_range > 0 and self.rng.random() < self.skew_prob:
+                jitter = self.rng.uniform(-self.skew_range, self.skew_range)
+                post = replace(
+                    post, timestamp=max(0.0, post.timestamp + jitter)
+                )
+                self.counts.skewed += 1
+            self.counts.passed += 1
+            yield post
+            if self.rng.random() < self.duplicate_prob:
+                self.counts.duplicated += 1
+                yield post
+
+
+class LineFaultInjector:
+    """Damage a JSONL trace at the transport layer.
+
+    Every fault produces a line the strict decoder must reject (malformed
+    JSON, torn records, missing required fields, non-numeric or NaN
+    timestamps), so ``counts`` gives the exact expected quarantine volume.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int,
+        malformed_prob: float = 0.0,
+        torn_prob: float = 0.0,
+        missing_field_prob: float = 0.0,
+        bad_timestamp_prob: float = 0.0,
+        duplicate_prob: float = 0.0,
+    ):
+        self.rng = random.Random(seed)
+        self.malformed_prob = malformed_prob
+        self.torn_prob = torn_prob
+        self.missing_field_prob = missing_field_prob
+        self.bad_timestamp_prob = bad_timestamp_prob
+        self.duplicate_prob = duplicate_prob
+        self.counts = FaultCounts()
+
+    def apply(self, lines: Iterable[str]) -> Iterator[str]:
+        for line in lines:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            roll = self.rng.random()
+            if roll < self.malformed_prob:
+                self.counts.malformed += 1
+                yield "%% not json at all %%"
+                continue
+            roll -= self.malformed_prob
+            if roll < self.torn_prob and len(line) > 2:
+                # Truncating a JSON object before its closing brace always
+                # leaves unbalanced braces — guaranteed invalid JSON.
+                cut = self.rng.randrange(1, len(line) - 1)
+                self.counts.torn += 1
+                yield line[:cut]
+                continue
+            roll -= self.torn_prob
+            if roll < self.missing_field_prob:
+                try:
+                    record = json.loads(line)
+                    record.pop("timestamp", None)
+                    self.counts.missing_field += 1
+                    yield json.dumps(record, sort_keys=True)
+                    continue
+                except json.JSONDecodeError:
+                    pass
+            roll -= self.missing_field_prob
+            if roll < self.bad_timestamp_prob:
+                try:
+                    record = json.loads(line)
+                    record["timestamp"] = self.rng.choice(
+                        ["NaN", "not-a-number", None]
+                    )
+                    self.counts.bad_timestamp += 1
+                    yield json.dumps(record, sort_keys=True)
+                    continue
+                except json.JSONDecodeError:
+                    pass
+            self.counts.passed += 1
+            yield line
+            if self.rng.random() < self.duplicate_prob:
+                self.counts.duplicated += 1
+                yield line
+
+
+class LatencySpikes(StreamDiversifier):
+    """Engine wrapper injecting seeded service-time spikes.
+
+    Delegates every decision to the wrapped engine but occasionally
+    busy-waits ``spike_seconds`` first — a deterministic stand-in for GC
+    pauses or page faults, used to exercise the overload controller.
+    """
+
+    name = "latency_spikes"
+
+    def __init__(
+        self,
+        engine: StreamDiversifier,
+        *,
+        seed: int,
+        spike_prob: float = 0.05,
+        spike_seconds: float = 0.001,
+    ):
+        # Deliberately skip StreamDiversifier.__init__: all state/behaviour
+        # is the wrapped engine's; this class only adds the delay.
+        self.engine = engine
+        self.rng = random.Random(seed)
+        self.spike_prob = spike_prob
+        self.spike_seconds = spike_seconds
+        self.spikes_injected = 0
+
+    def __getattr__(self, name: str):
+        return getattr(self.engine, name)
+
+    def offer(self, post: Post) -> bool:
+        if self.rng.random() < self.spike_prob:
+            self.spikes_injected += 1
+            deadline = time.perf_counter() + self.spike_seconds
+            while time.perf_counter() < deadline:
+                pass
+        return self.engine.offer(post)
+
+    def _is_covered(self, post: Post) -> bool:  # pragma: no cover - delegated
+        return self.engine._is_covered(post)
+
+    def _admit(self, post: Post) -> None:  # pragma: no cover - delegated
+        self.engine._admit(post)
+
+    def _index_state(self) -> dict[str, object]:
+        return self.engine._index_state()
+
+    def _load_index_state(self, state: dict[str, object]) -> None:
+        self.engine._load_index_state(state)
+
+    def purge(self, now: float | None = None) -> None:
+        self.engine.purge(now)
+
+    def stored_copies(self) -> int:
+        return self.engine.stored_copies()
+
+
+@dataclass(slots=True)
+class FaultSchedule:
+    """A composed, seeded fault scenario over a clean post list.
+
+    ``build`` wires the layers in transport → post → arrival order, the
+    order a real ingest path would see them, and keeps every injector (and
+    its exact counts) accessible for assertions.
+    """
+
+    seed: int
+    max_displacement: float = 0.0
+    skew_prob: float = 0.0
+    skew_range: float = 0.0
+    duplicate_prob: float = 0.0
+    shuffler: ArrivalShuffler | None = field(default=None, init=False)
+    post_faults: PostFaultInjector | None = field(default=None, init=False)
+
+    def apply(self, posts: Iterable[Post]) -> Iterator[Post]:
+        stream: Iterable[Post] = posts
+        if self.skew_prob > 0 or self.duplicate_prob > 0:
+            self.post_faults = PostFaultInjector(
+                seed=self.seed + 1,
+                skew_prob=self.skew_prob,
+                skew_range=self.skew_range,
+                duplicate_prob=self.duplicate_prob,
+            )
+            stream = self.post_faults.apply(stream)
+        if self.max_displacement > 0:
+            self.shuffler = ArrivalShuffler(
+                seed=self.seed + 2, max_displacement=self.max_displacement
+            )
+            stream = self.shuffler.apply(stream)
+        return iter(stream)

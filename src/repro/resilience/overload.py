@@ -1,0 +1,119 @@
+"""Overload control: graceful degradation when the engine falls behind.
+
+The queueing replay (:mod:`repro.service`) measures whether an engine keeps
+up with a stream at a given speedup — but until now an overloaded replay
+just accumulated unbounded virtual backlog, silently pretending infinite
+capacity. :class:`OverloadController` turns that into an explicit control
+loop: when the backlog delay of the virtual single-server queue exceeds a
+budget, the service *sheds* arriving posts instead of diversifying them,
+and resumes normal processing only once the backlog has drained below a
+lower resume threshold (hysteresis, so the system does not flap at the
+boundary).
+
+Two shedding policies:
+
+* ``drop`` — the post is not delivered at all; an exact ``shed_dropped``
+  count replaces silent unbounded delay.
+* ``passthrough`` — the post is delivered *undiversified* (the cheap
+  degraded mode: users briefly see an unfiltered firehose rather than
+  nothing), counted as ``shed_passthrough``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+#: Accepted shedding policies.
+SHED_POLICIES = ("drop", "passthrough")
+
+
+@dataclass(slots=True)
+class OverloadCounters:
+    """Exact accounting of the controller's decisions."""
+
+    processed: int = 0
+    shed_dropped: int = 0
+    shed_passthrough: int = 0
+    #: distinct contiguous shedding episodes entered
+    episodes: int = 0
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_dropped + self.shed_passthrough
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "processed": self.processed,
+            "shed_dropped": self.shed_dropped,
+            "shed_passthrough": self.shed_passthrough,
+            "shed_total": self.shed_total,
+            "shed_episodes": self.episodes,
+        }
+
+
+class OverloadController:
+    """Hysteresis thermostat over queue backlog delay.
+
+    Args:
+        max_delay: backlog delay (seconds) above which shedding starts.
+        resume_delay: backlog delay below which shedding stops; defaults to
+            ``max_delay / 2``. Must be strictly below ``max_delay``.
+        policy: ``"drop"`` or ``"passthrough"`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_delay: float,
+        resume_delay: float | None = None,
+        policy: str = "drop",
+    ):
+        if max_delay <= 0:
+            raise ConfigurationError(f"max_delay must be > 0, got {max_delay}")
+        if resume_delay is None:
+            resume_delay = max_delay / 2.0
+        if not 0 <= resume_delay < max_delay:
+            raise ConfigurationError(
+                f"resume_delay must be in [0, max_delay), got {resume_delay}"
+            )
+        if policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {SHED_POLICIES}, got {policy!r}"
+            )
+        self.max_delay = max_delay
+        self.resume_delay = resume_delay
+        self.policy = policy
+        self.shedding = False
+        self.counters = OverloadCounters()
+
+    def should_shed(self, backlog_delay: float) -> bool:
+        """Advance the hysteresis state machine with the current backlog
+        delay; returns True iff the arriving post should be shed."""
+        if self.shedding:
+            if backlog_delay <= self.resume_delay:
+                self.shedding = False
+        elif backlog_delay > self.max_delay:
+            self.shedding = True
+            self.counters.episodes += 1
+        return self.shedding
+
+    def record_shed(self) -> None:
+        if self.policy == "drop":
+            self.counters.shed_dropped += 1
+        else:
+            self.counters.shed_passthrough += 1
+
+    def record_processed(self) -> None:
+        self.counters.processed += 1
+
+    def snapshot(self) -> dict[str, object]:
+        result: dict[str, object] = {
+            "policy": self.policy,
+            "max_delay": self.max_delay,
+            "resume_delay": self.resume_delay,
+            "shedding": self.shedding,
+        }
+        result.update(self.counters.snapshot())
+        return result

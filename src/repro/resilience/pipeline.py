@@ -1,0 +1,244 @@
+"""ResilientIngest: the fault-tolerant wrapper around any engine.
+
+Composes the resilience components into one ingestion pipeline::
+
+    arriving post
+       │  semantic validation (finite/non-negative time, known author)
+       │        └── bad → Quarantine (counted, optionally retained)
+       ▼
+    ReorderBuffer (absorbs ≤ max_skew clock skew; late policy drop/clamp/raise)
+       ▼  released in timestamp order
+    engine.offer  (StreamDiversifier or MultiUserDiversifier)
+       │        └── UnknownAuthorError → Quarantine
+       ▼
+    IngestEvent(admitted / rejected / …)
+
+The wrapper never reorders *decisions*: released posts reach the engine in
+timestamp order, so the engine's greedy semantics — and therefore the
+coverage invariant over every non-quarantined post — are untouched. The
+whole pipeline checkpoints as one JSON object (engine state + buffered
+posts + counters) and restores to a bit-identical continuation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Container, Iterable
+from dataclasses import dataclass
+
+from ..core import Post, StreamDiversifier
+from ..errors import UnknownAuthorError
+from ..multiuser import MultiUserDiversifier
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    restore_engine,
+    snapshot_engine,
+)
+from .quarantine import Quarantine, validate_post
+from .reorder import ReorderBuffer
+
+#: Event statuses emitted by :meth:`ResilientIngest.ingest`.
+STATUSES = ("admitted", "rejected", "quarantined", "late_dropped")
+
+
+@dataclass(frozen=True, slots=True)
+class IngestEvent:
+    """One pipeline outcome.
+
+    ``verdict`` carries the engine's answer for processed posts: a bool for
+    single-user engines, the receiver set for multi-user engines, ``None``
+    for posts that never reached the engine.
+    """
+
+    post: Post
+    status: str
+    verdict: object = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.status == "admitted"
+
+
+class ResilientIngest:
+    """Fault-tolerant ingestion around a diversification engine.
+
+    Args:
+        engine: any :class:`StreamDiversifier` or
+            :class:`MultiUserDiversifier`.
+        max_skew: reorder window (seconds); see :class:`ReorderBuffer`.
+        late_policy: ``drop`` / ``clamp`` / ``raise`` for posts beyond the
+            skew window.
+        quarantine: dead-letter sink; created internally when omitted.
+        known_authors: optional author universe — posts by authors outside
+            it are quarantined *before* the engine sees them (engines like
+            NeighborBin raise on unknown authors; quarantining up front
+            keeps their counters clean).
+        require_nonnegative_time: quarantine posts with ``timestamp < 0``
+            (non-finite timestamps are always quarantined).
+    """
+
+    def __init__(
+        self,
+        engine: StreamDiversifier | MultiUserDiversifier,
+        *,
+        max_skew: float = 0.0,
+        late_policy: str = "drop",
+        max_buffered: int | None = None,
+        quarantine: Quarantine | None = None,
+        known_authors: Container[int] | None = None,
+        require_nonnegative_time: bool = True,
+    ):
+        self.engine = engine
+        self.reorder = ReorderBuffer(
+            max_skew=max_skew,
+            late_policy=late_policy,
+            max_buffered=max_buffered,
+        )
+        self.quarantine = quarantine if quarantine is not None else Quarantine()
+        self.known_authors = known_authors
+        self.require_nonnegative_time = require_nonnegative_time
+
+    @property
+    def is_multiuser(self) -> bool:
+        return isinstance(self.engine, MultiUserDiversifier)
+
+    def ingest(self, post: Post) -> list[IngestEvent]:
+        """Feed one arriving post; return the events it produced (its own
+        quarantine/late outcome, plus a decision event for every post the
+        reorder buffer released)."""
+        problem = validate_post(
+            post,
+            known_authors=self.known_authors,
+        )
+        if problem is not None:
+            reason, detail = problem
+            if not self.require_nonnegative_time and reason == "negative_timestamp":
+                problem = None
+            else:
+                self.quarantine.add_post(post, reason, detail)
+                return [IngestEvent(post, "quarantined")]
+        before_dropped = self.reorder.counters.late_dropped
+        released = self.reorder.offer(post)
+        events: list[IngestEvent] = []
+        if self.reorder.counters.late_dropped > before_dropped:
+            events.append(IngestEvent(post, "late_dropped"))
+        events.extend(self._decide(p) for p in released)
+        return events
+
+    def flush(self) -> list[IngestEvent]:
+        """Drain the reorder buffer through the engine (end of stream)."""
+        return [self._decide(p) for p in self.reorder.flush()]
+
+    def _decide(self, post: Post) -> IngestEvent:
+        try:
+            verdict = self.engine.offer(post)
+        except UnknownAuthorError as exc:
+            self.quarantine.add_post(post, "unknown_author", str(exc))
+            return IngestEvent(post, "quarantined")
+        admitted = bool(verdict)  # nonempty receiver set or True
+        return IngestEvent(post, "admitted" if admitted else "rejected", verdict)
+
+    def diversify(self, posts: Iterable[Post]) -> list[Post]:
+        """Run a whole (possibly disordered, possibly dirty) iterable;
+        return the admitted posts in decision order."""
+        admitted: list[Post] = []
+        for post in posts:
+            for event in self.ingest(post):
+                if event.admitted:
+                    admitted.append(event.post)
+        for event in self.flush():
+            if event.admitted:
+                admitted.append(event.post)
+        return admitted
+
+    def counters(self) -> dict[str, object]:
+        """Exact accounting across all pipeline stages."""
+        engine_stats = (
+            self.engine.stats
+            if isinstance(self.engine, StreamDiversifier)
+            else self.engine.aggregate_stats()
+        )
+        return {
+            "reorder": self.reorder.counters.snapshot(),
+            "quarantine": self.quarantine.snapshot(),
+            "engine": engine_stats.snapshot(),
+        }
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> dict[str, object]:
+        """One JSON-able object capturing the whole pipeline."""
+        from ..io import post_to_dict
+
+        reorder_state = self.reorder.state_dict()
+        reorder_state["pending"] = [
+            post_to_dict(p) for p in reorder_state["pending"]  # type: ignore[union-attr]
+        ]
+        return {
+            "version": CHECKPOINT_VERSION,
+            "kind": "pipeline",
+            "engine": snapshot_engine(self.engine),
+            "reorder": reorder_state,
+            "require_nonnegative_time": self.require_nonnegative_time,
+            "quarantine": self.quarantine.snapshot(),
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict[str, object],
+        *,
+        graph=None,
+        subscriptions=None,
+        quarantine: Quarantine | None = None,
+        known_authors: Container[int] | None = None,
+    ) -> "ResilientIngest":
+        """Rebuild a pipeline from :meth:`checkpoint` output. Quarantined
+        *records* are not carried across restarts (the dead-letter file is
+        the durable artifact); counters restart at the counts snapshot."""
+        from ..errors import CheckpointError
+        from ..io import post_from_dict
+
+        if snapshot.get("kind") != "pipeline":
+            raise CheckpointError(
+                f"expected a pipeline checkpoint, got kind={snapshot.get('kind')!r}"
+            )
+        engine = restore_engine(
+            snapshot["engine"],  # type: ignore[arg-type]
+            graph=graph,
+            subscriptions=subscriptions,
+        )
+        reorder_state = dict(snapshot["reorder"])  # type: ignore[arg-type]
+        reorder_state["pending"] = [
+            post_from_dict(p) for p in reorder_state["pending"]
+        ]
+        pipeline = cls(
+            engine,
+            max_skew=float(reorder_state["max_skew"]),
+            late_policy=str(reorder_state["late_policy"]),
+            max_buffered=reorder_state["max_buffered"],
+            quarantine=quarantine,
+            known_authors=known_authors,
+            require_nonnegative_time=bool(snapshot["require_nonnegative_time"]),
+        )
+        pipeline.reorder.load_state(reorder_state)
+        return pipeline
+
+
+def ingest_jsonl(
+    pipeline: ResilientIngest,
+    path,
+    *,
+    on_error: str = "strict",
+) -> list[IngestEvent]:
+    """Convenience: decode a JSONL trace under an error policy and feed it
+    through ``pipeline`` (decode-level refusals land in the pipeline's own
+    quarantine sink), returning all events including the final flush."""
+    from ..io import read_posts_jsonl
+
+    events: list[IngestEvent] = []
+    for post in read_posts_jsonl(
+        path, on_error=on_error, quarantine=pipeline.quarantine
+    ):
+        events.extend(pipeline.ingest(post))
+    events.extend(pipeline.flush())
+    return events

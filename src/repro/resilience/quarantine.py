@@ -1,0 +1,149 @@
+"""Poison-post quarantine: error-policy decoding and a dead-letter sink.
+
+One malformed JSONL line used to abort an entire ``diversify`` run. Under a
+non-strict policy, bad records are instead routed — with their 1-based line
+number and a machine-readable reason — to a :class:`Quarantine` dead-letter
+sink, and the stream continues. The same sink collects posts that decode
+fine but fail semantic validation (non-finite or negative timestamps,
+authors unknown to the graph), so "how many inputs did we refuse, and why"
+is always an exact number, never a guess.
+
+Policies (:data:`ERROR_POLICIES`):
+
+* ``strict`` — first bad record raises :class:`DatasetError` (legacy).
+* ``skip`` — bad records are dropped and counted, nothing retained.
+* ``quarantine`` — bad records are retained in the sink for later
+  inspection / replay (``Quarantine.write_jsonl``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Container
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core import Post
+from ..errors import ConfigurationError
+
+#: Accepted decoding policies.
+ERROR_POLICIES = ("strict", "skip", "quarantine")
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedRecord:
+    """One refused input: where it came from and why it was refused.
+
+    ``line_number`` is 1-based for file sources and 0 for in-memory posts;
+    ``raw`` carries the offending line (or the post's JSON form) so a fixed
+    decoder can re-ingest the dead-letter file.
+    """
+
+    line_number: int
+    reason: str
+    detail: str
+    raw: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "line_number": self.line_number,
+            "reason": self.reason,
+            "detail": self.detail,
+            "raw": self.raw,
+        }
+
+
+class Quarantine:
+    """Dead-letter sink with exact per-reason accounting."""
+
+    def __init__(self, *, max_retained: int | None = None):
+        if max_retained is not None and max_retained < 0:
+            raise ConfigurationError(
+                f"max_retained must be >= 0, got {max_retained}"
+            )
+        self.max_retained = max_retained
+        self.records: list[QuarantinedRecord] = []
+        self.total = 0
+        self.by_reason: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self.total
+
+    def add(
+        self, line_number: int, reason: str, detail: str, raw: str
+    ) -> QuarantinedRecord:
+        """Record one refusal; retains the record unless over capacity."""
+        record = QuarantinedRecord(line_number, reason, detail, raw)
+        self.total += 1
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        if self.max_retained is None or len(self.records) < self.max_retained:
+            self.records.append(record)
+        return record
+
+    def add_post(self, post: Post, reason: str, detail: str) -> QuarantinedRecord:
+        """Quarantine an already-decoded post (semantic validation failure)."""
+        raw = json.dumps(
+            {
+                "post_id": post.post_id,
+                "author": post.author,
+                "text": post.text,
+                "timestamp": repr(post.timestamp),
+            },
+            sort_keys=True,
+        )
+        return self.add(0, reason, detail, raw)
+
+    def snapshot(self) -> dict[str, object]:
+        """Reporting dict: total plus per-reason counts."""
+        return {"quarantined": self.total, "by_reason": dict(self.by_reason)}
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Dump retained records as JSONL; returns how many were written
+        (≤ ``total`` when ``max_retained`` truncated retention)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(self.records)
+
+
+def check_policy(on_error: str, quarantine: Quarantine | None) -> None:
+    """Validate an (on_error, sink) pair; raises :class:`ConfigurationError`."""
+    if on_error not in ERROR_POLICIES:
+        raise ConfigurationError(
+            f"on_error must be one of {ERROR_POLICIES}, got {on_error!r}"
+        )
+    if on_error == "quarantine" and quarantine is None:
+        raise ConfigurationError(
+            "on_error='quarantine' requires a Quarantine sink"
+        )
+
+
+def validate_post(
+    post: Post,
+    *,
+    known_authors: Container[int] | None = None,
+) -> tuple[str, str] | None:
+    """Semantic validation of a decoded post.
+
+    Returns ``None`` when the post is acceptable, else a
+    ``(reason, detail)`` pair: ``non_finite_timestamp``,
+    ``negative_timestamp`` or ``unknown_author``.
+    """
+    if not math.isfinite(post.timestamp):
+        return (
+            "non_finite_timestamp",
+            f"post {post.post_id}: timestamp={post.timestamp!r}",
+        )
+    if post.timestamp < 0:
+        return (
+            "negative_timestamp",
+            f"post {post.post_id}: timestamp={post.timestamp!r}",
+        )
+    if known_authors is not None and post.author not in known_authors:
+        return (
+            "unknown_author",
+            f"post {post.post_id}: author={post.author!r}",
+        )
+    return None

@@ -1,0 +1,209 @@
+"""Watermark reorder buffer: out-of-order tolerance for the stream model.
+
+Every SPSD engine requires non-decreasing timestamps (:class:`StreamOrderError`
+otherwise) because the greedy decision is defined over the arrival order.
+Real firehoses are only *approximately* ordered — producer clock skew and
+fan-in race posts a few seconds out of place. :class:`ReorderBuffer` absorbs
+that skew: posts are held in a small min-heap until the **watermark** (the
+largest timestamp seen, minus the configured ``max_skew``) passes them, then
+released in exact timestamp order. A post arriving *behind* the watermark is
+too late to reorder safely; what happens to it is an explicit, counted
+policy decision (``drop`` / ``clamp`` / ``raise``) instead of a crash.
+
+If the arrival order is a permutation of the timestamp order with no post
+displaced by more than ``max_skew`` seconds, the released stream is exactly
+the timestamp-sorted stream — a diversifier fed through the buffer produces
+the identical retained set as one fed the clean ordered stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+
+from ..core import Post
+from ..errors import ConfigurationError, StreamOrderError
+
+#: Accepted late-post policies.
+LATE_POLICIES = ("drop", "clamp", "raise")
+
+
+@dataclass(slots=True)
+class ReorderCounters:
+    """Exact accounting of what the buffer did to the stream."""
+
+    received: int = 0
+    released: int = 0
+    #: released posts that had been overtaken by a later-timestamped arrival
+    reordered: int = 0
+    late_dropped: int = 0
+    late_clamped: int = 0
+    #: posts force-released early because the buffer hit ``max_buffered``
+    forced_releases: int = 0
+    peak_buffered: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "received": self.received,
+            "released": self.released,
+            "reordered": self.reordered,
+            "late_dropped": self.late_dropped,
+            "late_clamped": self.late_clamped,
+            "forced_releases": self.forced_releases,
+            "peak_buffered": self.peak_buffered,
+        }
+
+
+@dataclass(slots=True)
+class _Pending:
+    """Heap entry: timestamp order, arrival order as tie-break (stable)."""
+
+    timestamp: float
+    seq: int
+    post: Post = field(compare=False)
+
+    def __lt__(self, other: "_Pending") -> bool:
+        return (self.timestamp, self.seq) < (other.timestamp, other.seq)
+
+
+class ReorderBuffer:
+    """Bounded buffer releasing posts in timestamp order up to a watermark.
+
+    Args:
+        max_skew: how far (seconds) a post may arrive out of place and still
+            be reordered. 0 means pass-through with order *checking* only.
+        late_policy: what to do with a post whose timestamp is behind the
+            release floor: ``"drop"`` (discard, counted), ``"clamp"``
+            (rewrite its timestamp to the floor, counted) or ``"raise"``
+            (propagate :class:`StreamOrderError`, the legacy behaviour).
+        max_buffered: hard cap on held posts; exceeding it force-releases
+            the earliest held post (advancing the release floor past the
+            watermark), bounding memory on pathological streams.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_skew: float = 0.0,
+        late_policy: str = "drop",
+        max_buffered: int | None = None,
+    ):
+        if max_skew < 0:
+            raise ConfigurationError(f"max_skew must be >= 0, got {max_skew}")
+        if late_policy not in LATE_POLICIES:
+            raise ConfigurationError(
+                f"late_policy must be one of {LATE_POLICIES}, got {late_policy!r}"
+            )
+        if max_buffered is not None and max_buffered < 1:
+            raise ConfigurationError(
+                f"max_buffered must be >= 1, got {max_buffered}"
+            )
+        self.max_skew = max_skew
+        self.late_policy = late_policy
+        self.max_buffered = max_buffered
+        self.counters = ReorderCounters()
+        self._heap: list[_Pending] = []
+        self._seq = 0
+        self._max_seen = float("-inf")
+        #: no post below this timestamp may be released any more
+        self._release_floor = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def watermark(self) -> float:
+        """Timestamps at or below this are safe to release."""
+        return self._max_seen - self.max_skew
+
+    @property
+    def release_floor(self) -> float:
+        """Largest timestamp already released (or forced); arrivals behind
+        it are late."""
+        return self._release_floor
+
+    def offer(self, post: Post) -> list[Post]:
+        """Accept one arriving post; return the posts released by it, in
+        timestamp order (possibly empty, possibly several)."""
+        self.counters.received += 1
+        if post.timestamp < self._release_floor:
+            post = self._handle_late(post)
+            if post is None:
+                return []
+        if post.timestamp < self._max_seen:
+            self.counters.reordered += 1
+        self._push(post)
+        if post.timestamp > self._max_seen:
+            self._max_seen = post.timestamp
+        released = self._drain(self.watermark)
+        if self.max_buffered is not None:
+            while len(self._heap) > self.max_buffered:
+                released.append(self._pop())
+                self.counters.forced_releases += 1
+        return released
+
+    def flush(self) -> list[Post]:
+        """Release everything still held (end of stream / checkpoint)."""
+        return self._drain(float("inf"))
+
+    def _handle_late(self, post: Post) -> Post | None:
+        if self.late_policy == "drop":
+            self.counters.late_dropped += 1
+            return None
+        if self.late_policy == "clamp":
+            self.counters.late_clamped += 1
+            return replace(post, timestamp=self._release_floor)
+        raise StreamOrderError(
+            f"post {post.post_id} at t={post.timestamp} arrived behind the "
+            f"release floor t={self._release_floor} "
+            f"(skew beyond max_skew={self.max_skew})"
+        )
+
+    def _push(self, post: Post) -> None:
+        heapq.heappush(self._heap, _Pending(post.timestamp, self._seq, post))
+        self._seq += 1
+        if len(self._heap) > self.counters.peak_buffered:
+            self.counters.peak_buffered = len(self._heap)
+
+    def _pop(self) -> Post:
+        entry = heapq.heappop(self._heap)
+        self.counters.released += 1
+        if entry.timestamp > self._release_floor:
+            self._release_floor = entry.timestamp
+        return entry.post
+
+    def _drain(self, up_to: float) -> list[Post]:
+        released: list[Post] = []
+        while self._heap and self._heap[0].timestamp <= up_to:
+            released.append(self._pop())
+        return released
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """Buffer contents and cursors (posts stay :class:`Post` objects)."""
+        ordered = sorted(self._heap)
+        return {
+            "max_skew": self.max_skew,
+            "late_policy": self.late_policy,
+            "max_buffered": self.max_buffered,
+            "max_seen": self._max_seen,
+            "release_floor": self._release_floor,
+            "pending": [entry.post for entry in ordered],
+            "counters": self.counters.snapshot(),
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        self.max_skew = float(state["max_skew"])  # type: ignore[arg-type]
+        self.late_policy = str(state["late_policy"])
+        self.max_buffered = state["max_buffered"]  # type: ignore[assignment]
+        self._max_seen = float(state["max_seen"])  # type: ignore[arg-type]
+        self._release_floor = float(state["release_floor"])  # type: ignore[arg-type]
+        self._heap = []
+        self._seq = 0
+        for post in state["pending"]:  # type: ignore[union-attr]
+            self._push(post)
+        self.counters = ReorderCounters(**state["counters"])  # type: ignore[arg-type]
+        self.counters.peak_buffered = max(
+            self.counters.peak_buffered, len(self._heap)
+        )

@@ -12,13 +12,21 @@ decision per arriving post, at firehose rates. This package measures it:
   speedup comparison.
 """
 
-from .latency import LatencyRecorder, QueueingReport, simulate_queueing
+from ..resilience import OverloadController
+from .latency import (
+    LatencyRecorder,
+    QueueingReport,
+    SheddingReport,
+    simulate_queueing,
+)
 from .server import DiversificationService, capacity_sweep
 
 __all__ = [
     "DiversificationService",
     "LatencyRecorder",
+    "OverloadController",
     "QueueingReport",
+    "SheddingReport",
     "capacity_sweep",
     "simulate_queueing",
 ]

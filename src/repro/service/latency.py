@@ -108,6 +108,59 @@ class QueueingReport:
         }
 
 
+@dataclass(frozen=True, slots=True)
+class SheddingReport:
+    """Outcome of an overload-controlled replay (seconds).
+
+    Unlike :class:`QueueingReport` — which measures what *would* happen to
+    an engine processing everything — this reports what the service
+    actually did under its backlog budget: how many posts it diversified,
+    how many it shed (dropped or passed through undiversified) and how the
+    backlog behaved with the control loop active.
+    """
+
+    speedup: float
+    posts: int
+    processed: int
+    shed_dropped: int
+    shed_passthrough: int
+    shed_episodes: int
+    busy_time: float
+    stream_span: float
+    max_delay: float
+    mean_delay: float
+    final_backlog_delay: float
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_dropped + self.shed_passthrough
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed_total / self.posts if self.posts else 0.0
+
+    @property
+    def utilisation(self) -> float:
+        if self.stream_span <= 0:
+            return 0.0
+        return self.busy_time / self.stream_span
+
+    def as_row(self) -> dict[str, float | int]:
+        return {
+            "speedup": self.speedup,
+            "posts": self.posts,
+            "processed": self.processed,
+            "shed_dropped": self.shed_dropped,
+            "shed_passthrough": self.shed_passthrough,
+            "shed_episodes": self.shed_episodes,
+            "shed_pct": round(100 * self.shed_fraction, 2),
+            "utilisation": round(self.utilisation, 4),
+            "mean_delay_ms": round(self.mean_delay * 1e3, 3),
+            "max_delay_ms": round(self.max_delay * 1e3, 3),
+            "final_backlog_ms": round(self.final_backlog_delay * 1e3, 3),
+        }
+
+
 def simulate_queueing(
     arrivals: list[float], service_times: list[float], *, speedup: float = 1.0
 ) -> QueueingReport:

@@ -22,22 +22,36 @@ from collections.abc import Iterable
 from ..core import Post, StreamDiversifier
 from ..errors import ConfigurationError
 from ..multiuser import MultiUserDiversifier
-from .latency import LatencyRecorder, QueueingReport, simulate_queueing
+from ..resilience import OverloadController
+from .latency import (
+    LatencyRecorder,
+    QueueingReport,
+    SheddingReport,
+    simulate_queueing,
+)
 
 
 class DiversificationService:
-    """Latency-instrumented wrapper around a diversification engine."""
+    """Latency-instrumented wrapper around a diversification engine.
+
+    When an :class:`OverloadController` is attached, :meth:`replay` runs
+    the queueing simulation *online* and sheds posts whenever the virtual
+    backlog exceeds the controller's budget — the replay then reports
+    exact shed counts instead of pretending infinite capacity.
+    """
 
     def __init__(
         self,
         engine: StreamDiversifier | MultiUserDiversifier,
         *,
         purge_every: int = 2000,
+        overload: OverloadController | None = None,
     ):
         if purge_every < 1:
             raise ConfigurationError(f"purge_every must be >= 1, got {purge_every}")
         self.engine = engine
         self.latency = LatencyRecorder()
+        self.overload = overload
         self._purge_every = purge_every
         self._since_purge = 0
         self._service_times: list[float] = []
@@ -64,16 +78,80 @@ class DiversificationService:
 
     def replay(
         self, posts: Iterable[Post], *, speedups: tuple[float, ...] = (1.0,)
-    ) -> list[QueueingReport]:
-        """Feed ``posts`` through the engine, then evaluate the measured
-        service times against the stream's arrival process at each
-        ``speedup`` (1.0 = real time)."""
+    ) -> list[QueueingReport | SheddingReport]:
+        """Feed ``posts`` through the engine and evaluate against the
+        stream's arrival process at each ``speedup`` (1.0 = real time).
+
+        Without an overload controller every post is processed and the
+        queueing simulation runs offline over the measured service times.
+        With one, the simulation runs *online* at a single speedup: the
+        controller watches the virtual backlog and sheds arriving posts
+        past its budget, and the returned :class:`SheddingReport` carries
+        the exact shed accounting.
+        """
+        if self.overload is not None:
+            if len(speedups) != 1:
+                raise ConfigurationError(
+                    "overload-controlled replay processes the stream once "
+                    "and therefore supports exactly one speedup; got "
+                    f"{speedups!r}"
+                )
+            return [self._replay_shedding(posts, speedup=speedups[0])]
         for post in posts:
             self.ingest(post)
         return [
             simulate_queueing(self._arrivals, self._service_times, speedup=s)
             for s in speedups
         ]
+
+    def _replay_shedding(
+        self, posts: Iterable[Post], *, speedup: float
+    ) -> SheddingReport:
+        """Online single-server replay with backlog-triggered shedding."""
+        if speedup <= 0:
+            raise ConfigurationError(f"speedup must be positive, got {speedup}")
+        controller = self.overload
+        assert controller is not None
+        first_arrival: float | None = None
+        arrival = 0.0
+        server_free = 0.0
+        total = 0
+        total_delay = 0.0
+        max_delay = 0.0
+        for post in posts:
+            total += 1
+            arrival = post.timestamp / speedup
+            if first_arrival is None:
+                first_arrival = arrival
+                server_free = arrival
+            backlog = max(0.0, server_free - arrival)
+            if controller.should_shed(backlog):
+                controller.record_shed()
+                continue
+            start = time.perf_counter()
+            self.ingest(post)
+            elapsed = time.perf_counter() - start
+            controller.record_processed()
+            begin = max(arrival, server_free)
+            server_free = begin + elapsed
+            delay = server_free - arrival
+            total_delay += delay
+            if delay > max_delay:
+                max_delay = delay
+        processed = controller.counters.processed
+        return SheddingReport(
+            speedup=speedup,
+            posts=total,
+            processed=processed,
+            shed_dropped=controller.counters.shed_dropped,
+            shed_passthrough=controller.counters.shed_passthrough,
+            shed_episodes=controller.counters.episodes,
+            busy_time=sum(self._service_times),
+            stream_span=(arrival - first_arrival) if first_arrival is not None else 0.0,
+            max_delay=max_delay,
+            mean_delay=total_delay / processed if processed else 0.0,
+            final_backlog_delay=max(0.0, server_free - arrival),
+        )
 
     def sustainable_speedup(self) -> float:
         """Largest stream compression the engine keeps up with, estimated

@@ -1,0 +1,92 @@
+"""Edge cases of ``purge``/``offer`` shared by every engine.
+
+The four algorithms must agree bit-for-bit on the boundary semantics the
+base class documents: equal timestamps are in-order, a time gap of exactly
+λt still covers (``<=``), purging at exactly the window boundary keeps the
+boundary post, and offering after a ``purge(now)`` whose ``now`` ran ahead
+of the stream is legal (the purged coverer is gone, so a duplicate is
+re-admitted — purge is GC, not a decision input, and these tests pin the
+consequence of calling it early).
+"""
+
+import pytest
+
+from repro.core import Post, Thresholds, make_diversifier
+
+ENGINES = ("unibin", "neighborbin", "cliquebin", "indexed_unibin")
+
+FAR = (1 << 10) - 1  # 10 bits from fingerprint 0, beyond lambda_c=3
+
+
+def _post(post_id: int, timestamp: float, *, author: int = 1, fp: int = 0) -> Post:
+    return Post(
+        post_id=post_id, author=author, text="t", timestamp=timestamp, fingerprint=fp
+    )
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request, paper_graph):
+    return make_diversifier(
+        request.param,
+        Thresholds(lambda_c=3, lambda_t=100.0, lambda_a=0.7),
+        paper_graph,
+    )
+
+
+class TestEqualTimestamps:
+    def test_duplicate_at_same_instant_covered(self, engine):
+        assert engine.offer(_post(1, 10.0))
+        assert not engine.offer(_post(2, 10.0))  # same content, zero gap
+
+    def test_distinct_content_at_same_instant_admitted(self, engine):
+        assert engine.offer(_post(1, 10.0))
+        assert engine.offer(_post(2, 10.0, fp=FAR))
+
+    def test_many_equal_timestamps_stay_in_order(self, engine):
+        # A burst at one instant must not trip the order check.
+        verdicts = [engine.offer(_post(i, 5.0, fp=FAR * (i % 2))) for i in range(1, 7)]
+        assert verdicts == [True, True, False, False, False, False]
+
+
+class TestWindowBoundary:
+    def test_gap_of_exactly_lambda_t_covers(self, engine):
+        assert engine.offer(_post(1, 0.0))
+        assert not engine.offer(_post(2, 100.0))  # |gap| == lambda_t, <= holds
+
+    def test_gap_just_beyond_lambda_t_admits(self, engine):
+        assert engine.offer(_post(1, 0.0))
+        assert engine.offer(_post(2, 100.5))
+
+    def test_purge_at_exact_boundary_keeps_post(self, engine):
+        engine.offer(_post(1, 0.0))
+        before = engine.stored_copies()
+        engine.purge(100.0)  # cutoff == post timestamp; `<` must not drop it
+        assert engine.stored_copies() == before
+
+    def test_purge_past_boundary_drops_post(self, engine):
+        engine.offer(_post(1, 0.0))
+        engine.purge(101.0)
+        assert engine.stored_copies() == 0
+        # The eviction must be accounted, keeping the RAM proxy exact.
+        assert engine.stats.stored_copies == 0
+        assert engine.stats.evictions == engine.stats.insertions
+
+
+class TestOfferAfterEarlyPurge:
+    def test_offer_behind_purge_now_is_legal(self, engine):
+        """purge(now) does not advance the order cursor: a post older than
+        ``now`` (but not older than the last *offered* post) still goes
+        through, and — its coverer having been purged — is re-admitted.
+        All four engines must agree on this consequence."""
+        assert engine.offer(_post(1, 0.0))
+        engine.purge(150.0)  # now ahead of the last post; evicts post 1
+        assert engine.stored_copies() == 0
+        assert engine.offer(_post(2, 50.0))  # duplicate content, coverer gone
+
+    def test_purge_default_now_uses_last_timestamp(self, engine):
+        engine.offer(_post(1, 0.0))
+        engine.offer(_post(2, 100.0, fp=FAR))
+        before = engine.stored_copies()  # replication varies per engine
+        engine.purge()  # now = 100.0; cutoff 0.0 keeps the boundary post
+        assert engine.stored_copies() == before
+        assert engine.stats.evictions == 0

@@ -1,0 +1,182 @@
+"""Checkpoint/restore round-trips for every engine.
+
+The acceptance bar: run half a stream, snapshot, push the snapshot through
+actual JSON (save/load), restore into a fresh engine, feed the second half
+— the retained post-id sequence and the run counters must be bit-identical
+to a run that was never interrupted.
+"""
+
+import math
+
+import pytest
+
+from repro.core import Thresholds, make_diversifier
+from repro.errors import CheckpointError
+from repro.multiuser import IndependentMultiUser, make_multiuser
+from repro.resilience import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+    snapshot_engine,
+)
+
+SINGLE_ENGINES = ("unibin", "neighborbin", "cliquebin", "indexed_unibin")
+MULTI_ENGINES = ("m_unibin", "m_cliquebin", "s_unibin", "s_neighborbin")
+
+
+def _roundtrip(snapshot, tmp_path):
+    """Force the snapshot through real JSON on disk."""
+    path = tmp_path / "checkpoint.json"
+    save_checkpoint(snapshot, path)
+    return load_checkpoint(path)
+
+
+@pytest.mark.parametrize("name", SINGLE_ENGINES)
+class TestSingleEngineRoundTrip:
+    def test_resume_matches_uninterrupted(self, name, dataset, tmp_path):
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        posts = dataset.posts[:400]
+        half = len(posts) // 2
+
+        baseline = make_diversifier(name, thresholds, graph)
+        expected = [p.post_id for p in posts if baseline.offer(p)]
+
+        first = make_diversifier(name, thresholds, graph)
+        admitted = [p.post_id for p in posts[:half] if first.offer(p)]
+        snapshot = _roundtrip(snapshot_engine(first), tmp_path)
+
+        resumed = restore_engine(snapshot, graph=graph)
+        admitted += [p.post_id for p in posts[half:] if resumed.offer(p)]
+
+        assert admitted == expected
+        assert resumed.stats.snapshot() == baseline.stats.snapshot()
+        assert resumed.last_timestamp == baseline.last_timestamp
+        assert resumed.stored_copies() == baseline.stored_copies()
+
+    def test_order_cursor_survives(self, name, dataset, tmp_path):
+        """The restored engine still rejects posts older than the cursor."""
+        from repro.errors import StreamOrderError
+
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        engine = make_diversifier(name, thresholds, graph)
+        for post in dataset.posts[:50]:
+            engine.offer(post)
+        resumed = restore_engine(_roundtrip(snapshot_engine(engine), tmp_path), graph=graph)
+        stale = dataset.posts[0]
+        with pytest.raises(StreamOrderError):
+            resumed.offer(stale)
+
+
+@pytest.mark.parametrize("name", MULTI_ENGINES)
+class TestMultiUserRoundTrip:
+    def test_resume_matches_uninterrupted(self, name, dataset, tmp_path):
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        subscriptions = dataset.subscriptions()
+        posts = dataset.posts[:200]
+        half = len(posts) // 2
+
+        baseline = make_multiuser(name, thresholds, graph, subscriptions)
+        expected = [(p.post_id, baseline.offer(p)) for p in posts]
+
+        first = make_multiuser(name, thresholds, graph, subscriptions)
+        deliveries = [(p.post_id, first.offer(p)) for p in posts[:half]]
+        snapshot = _roundtrip(snapshot_engine(first), tmp_path)
+
+        resumed = restore_engine(
+            snapshot, graph=graph, subscriptions=subscriptions
+        )
+        deliveries += [(p.post_id, resumed.offer(p)) for p in posts[half:]]
+
+        assert deliveries == expected
+        assert (
+            resumed.aggregate_stats().snapshot()
+            == baseline.aggregate_stats().snapshot()
+        )
+
+    def test_requires_graph_and_subscriptions(self, name, dataset, tmp_path):
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        engine = make_multiuser(name, thresholds, graph, dataset.subscriptions())
+        snapshot = _roundtrip(snapshot_engine(engine), tmp_path)
+        with pytest.raises(CheckpointError, match="requires the original graph"):
+            restore_engine(snapshot, graph=graph)
+
+
+class TestPerUserThresholds:
+    def test_overrides_survive_restore(self, dataset, tmp_path):
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        subscriptions = dataset.subscriptions()
+        special = sorted(subscriptions.users)[0]
+        override = Thresholds(
+            lambda_c=thresholds.lambda_c + 2,
+            lambda_t=thresholds.lambda_t * 2,
+            lambda_a=thresholds.lambda_a,
+        )
+        engine = IndependentMultiUser(
+            "unibin",
+            thresholds,
+            graph,
+            subscriptions,
+            per_user_thresholds={special: override},
+        )
+        for post in dataset.posts[:100]:
+            engine.offer(post)
+        resumed = restore_engine(
+            _roundtrip(snapshot_engine(engine), tmp_path),
+            graph=graph,
+            subscriptions=subscriptions,
+        )
+        assert resumed.instance_of(special).thresholds == override
+        other = sorted(subscriptions.users)[1]
+        assert resumed.instance_of(other).thresholds == thresholds
+
+
+class TestFormat:
+    def test_non_finite_thresholds_round_trip(self, paper_graph, tmp_path):
+        """λt = ∞ (time dimension off) and the -∞ order cursor of a fresh
+        engine must survive JSON."""
+        engine = make_diversifier(
+            "unibin", Thresholds(lambda_t=math.inf), paper_graph
+        )
+        snapshot = _roundtrip(snapshot_engine(engine), tmp_path)
+        resumed = restore_engine(snapshot, graph=paper_graph)
+        assert resumed.thresholds.lambda_t == math.inf
+        assert resumed.last_timestamp == -math.inf
+
+    def test_version_mismatch_rejected(self, paper_graph, tmp_path):
+        engine = make_diversifier("unibin", Thresholds(), paper_graph)
+        snapshot = snapshot_engine(engine)
+        snapshot["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(CheckpointError, match="version"):
+            restore_engine(snapshot, graph=paper_graph)
+
+    def test_algorithm_mismatch_rejected(self, paper_graph):
+        engine = make_diversifier("unibin", Thresholds(), paper_graph)
+        snapshot = snapshot_engine(engine)
+        snapshot["algorithm"] = "cliquebin"
+        with pytest.raises(CheckpointError):
+            restore_engine(snapshot, graph=paper_graph)
+
+    def test_unknown_kind_rejected(self, paper_graph):
+        engine = make_diversifier("unibin", Thresholds(), paper_graph)
+        snapshot = snapshot_engine(engine)
+        snapshot["kind"] = "mystery"
+        with pytest.raises(CheckpointError, match="kind"):
+            restore_engine(snapshot, graph=paper_graph)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text("{torn")
+        with pytest.raises(CheckpointError, match="not a valid checkpoint"):
+            load_checkpoint(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(CheckpointError, match="JSON object"):
+            load_checkpoint(path)

@@ -1,0 +1,196 @@
+"""Seeded fault injection end-to-end: the acceptance suite.
+
+The contracts asserted here are the PR's headline claims:
+
+* a stream shuffled within ``max_displacement`` seconds, ingested through a
+  buffer with ``max_skew >= max_displacement``, admits the *identical*
+  post-id sequence as the clean ordered stream — with zero late events;
+* transport damage is quarantined with counts exactly equal to the counts
+  the injector reports;
+* the coverage invariant holds over every non-quarantined post, faults or
+  not.
+"""
+
+import json
+
+import pytest
+
+from repro.core import CoverageChecker, Thresholds, UniBin, make_diversifier
+from repro.eval.metrics import verify_coverage
+from repro.io import post_to_dict
+from repro.resilience import (
+    ArrivalShuffler,
+    FaultSchedule,
+    LineFaultInjector,
+    Quarantine,
+    ResilientIngest,
+    ingest_jsonl,
+)
+
+SEEDS = (1, 7, 42)
+
+
+@pytest.fixture()
+def world(dataset):
+    thresholds = Thresholds()
+    graph = dataset.graph(thresholds.lambda_a)
+    return thresholds, graph, dataset.posts[:300]
+
+
+def _clean_admitted(thresholds, graph, posts, algorithm="unibin"):
+    engine = make_diversifier(algorithm, thresholds, graph)
+    return [p.post_id for p in posts if engine.offer(p)]
+
+
+class TestShuffleRecovery:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_bounded_shuffle_recovers_exact_output(self, world, seed):
+        thresholds, graph, posts = world
+        expected = _clean_admitted(thresholds, graph, posts)
+
+        shuffler = ArrivalShuffler(seed=seed, max_displacement=30.0)
+        pipeline = ResilientIngest(
+            UniBin(thresholds, graph), max_skew=30.0, late_policy="raise"
+        )
+        admitted = [p.post_id for p in pipeline.diversify(shuffler.apply(posts))]
+
+        assert admitted == expected
+        counters = pipeline.reorder.counters
+        assert counters.received == counters.released == len(posts)
+        assert counters.late_dropped == counters.late_clamped == 0
+        # The adversary actually did something.
+        assert counters.reordered > 0
+        assert shuffler.counts.shuffled > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_insufficient_skew_drops_late_posts_exactly(self, world, seed):
+        """With max_skew below the displacement bound, some posts arrive
+        behind the release floor; under ``drop`` each one is counted and
+        the survivors still form a coverage-clean stream."""
+        thresholds, graph, posts = world
+        shuffler = ArrivalShuffler(seed=seed, max_displacement=60.0)
+        pipeline = ResilientIngest(
+            UniBin(thresholds, graph), max_skew=1.0, late_policy="drop"
+        )
+        pipeline.diversify(shuffler.apply(posts))
+        counters = pipeline.reorder.counters
+        assert counters.received == len(posts)
+        assert counters.released == len(posts) - counters.late_dropped
+        assert counters.late_dropped > 0
+
+
+class TestDuplicateFaults:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_duplicates_never_double_the_output(self, world, seed):
+        thresholds, graph, posts = world
+        expected = _clean_admitted(thresholds, graph, posts)
+
+        schedule = FaultSchedule(seed=seed, duplicate_prob=0.3)
+        pipeline = ResilientIngest(UniBin(thresholds, graph))
+        admitted = [p.post_id for p in pipeline.diversify(schedule.apply(posts))]
+
+        duplicated = schedule.post_faults.counts.duplicated
+        assert duplicated > 0
+        assert pipeline.reorder.counters.received == len(posts) + duplicated
+        assert admitted == expected
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_composed_shuffle_and_duplicates(self, world, seed):
+        thresholds, graph, posts = world
+        expected = _clean_admitted(thresholds, graph, posts)
+        schedule = FaultSchedule(
+            seed=seed, max_displacement=20.0, duplicate_prob=0.2
+        )
+        pipeline = ResilientIngest(
+            UniBin(thresholds, graph), max_skew=20.0, late_policy="drop"
+        )
+        admitted = [p.post_id for p in pipeline.diversify(schedule.apply(posts))]
+        # Duplicates are coverage-pruned and the shuffle is fully absorbed:
+        # identical retained ids, zero late drops.
+        assert admitted == expected
+        assert pipeline.reorder.counters.late_dropped == 0
+
+
+class TestTransportFaults:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_quarantined_counts_match_injected_exactly(
+        self, world, seed, tmp_path
+    ):
+        thresholds, graph, posts = world
+        clean_lines = [json.dumps(post_to_dict(p), sort_keys=True) for p in posts]
+        injector = LineFaultInjector(
+            seed=seed,
+            malformed_prob=0.05,
+            torn_prob=0.05,
+            missing_field_prob=0.05,
+            bad_timestamp_prob=0.05,
+        )
+        path = tmp_path / "damaged.jsonl"
+        path.write_text("\n".join(injector.apply(clean_lines)) + "\n")
+        counts = injector.counts
+        injected_bad = (
+            counts.malformed + counts.torn + counts.missing_field + counts.bad_timestamp
+        )
+        assert injected_bad > 0
+
+        pipeline = ResilientIngest(UniBin(thresholds, graph))
+        events = ingest_jsonl(pipeline, path, on_error="quarantine")
+
+        snap = pipeline.quarantine.snapshot()
+        assert snap["quarantined"] == injected_bad
+        by_reason = snap["by_reason"]
+        # Malformed and torn lines both fail JSON decoding; missing-field
+        # and bad-timestamp records decode but fail field validation.
+        assert by_reason.get("invalid_json", 0) == counts.malformed + counts.torn
+        assert (
+            by_reason.get("invalid_record", 0)
+            == counts.missing_field + counts.bad_timestamp
+        )
+        # Every surviving line decoded and reached a decision.
+        decided = [e for e in events if e.status in ("admitted", "rejected")]
+        assert len(decided) == counts.passed
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_coverage_invariant_over_survivors(self, world, seed, tmp_path):
+        """The paper's guarantee must hold for every post the pipeline did
+        not refuse, no matter the damage."""
+        thresholds, graph, posts = world
+        clean_lines = [json.dumps(post_to_dict(p), sort_keys=True) for p in posts]
+        injector = LineFaultInjector(
+            seed=seed, malformed_prob=0.1, bad_timestamp_prob=0.1, duplicate_prob=0.1
+        )
+        path = tmp_path / "damaged.jsonl"
+        path.write_text("\n".join(injector.apply(clean_lines)) + "\n")
+
+        pipeline = ResilientIngest(UniBin(thresholds, graph))
+        events = ingest_jsonl(pipeline, path, on_error="quarantine")
+
+        survivors = [e.post for e in events if e.status in ("admitted", "rejected")]
+        admitted = frozenset(e.post.post_id for e in events if e.admitted)
+        verify_coverage(survivors, admitted, CoverageChecker(thresholds, graph))
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self, world):
+        _, _, posts = world
+        first = list(ArrivalShuffler(seed=5, max_displacement=10.0).apply(posts))
+        second = list(ArrivalShuffler(seed=5, max_displacement=10.0).apply(posts))
+        assert first == second
+
+    def test_different_seed_different_order(self, world):
+        _, _, posts = world
+        first = list(ArrivalShuffler(seed=5, max_displacement=10.0).apply(posts))
+        second = list(ArrivalShuffler(seed=6, max_displacement=10.0).apply(posts))
+        assert first != second
+
+    def test_shuffler_respects_displacement_bound(self, world):
+        _, _, posts = world
+        shuffled = list(
+            ArrivalShuffler(seed=11, max_displacement=25.0).apply(posts)
+        )
+        assert sorted(shuffled, key=lambda p: p.timestamp) == posts
+        max_seen = float("-inf")
+        for post in shuffled:
+            # No post is emitted after another more than 25 s ahead of it.
+            assert max_seen - post.timestamp <= 25.0
+            max_seen = max(max_seen, post.timestamp)

@@ -1,0 +1,149 @@
+"""Tests for repro.resilience.overload + the shedding replay in the service."""
+
+import pytest
+
+from repro.core import Thresholds, UniBin
+from repro.errors import ConfigurationError
+from repro.resilience import LatencySpikes, OverloadController
+from repro.service import DiversificationService, SheddingReport
+
+
+class TestHysteresis:
+    def test_starts_not_shedding(self):
+        controller = OverloadController(max_delay=1.0)
+        assert not controller.should_shed(0.0)
+        assert not controller.shedding
+
+    def test_sheds_above_max_delay_only(self):
+        controller = OverloadController(max_delay=1.0, resume_delay=0.4)
+        assert not controller.should_shed(1.0)  # at the budget: still fine
+        assert controller.should_shed(1.01)
+        assert controller.counters.episodes == 1
+
+    def test_keeps_shedding_until_resume_threshold(self):
+        controller = OverloadController(max_delay=1.0, resume_delay=0.4)
+        controller.should_shed(2.0)
+        # Backlog between resume and max: hysteresis holds the shed state.
+        assert controller.should_shed(0.7)
+        assert controller.should_shed(0.41)
+        # At/below resume: recover.
+        assert not controller.should_shed(0.4)
+        assert not controller.shedding
+
+    def test_episodes_count_distinct_entries(self):
+        controller = OverloadController(max_delay=1.0, resume_delay=0.4)
+        for backlog in (2.0, 2.0, 0.1, 3.0, 0.1, 1.5):
+            controller.should_shed(backlog)
+        assert controller.counters.episodes == 3
+
+    def test_default_resume_is_half_max(self):
+        controller = OverloadController(max_delay=2.0)
+        assert controller.resume_delay == pytest.approx(1.0)
+
+    def test_policy_routes_counters(self):
+        dropper = OverloadController(max_delay=1.0, policy="drop")
+        passer = OverloadController(max_delay=1.0, policy="passthrough")
+        dropper.record_shed()
+        passer.record_shed()
+        assert dropper.counters.shed_dropped == 1
+        assert dropper.counters.shed_passthrough == 0
+        assert passer.counters.shed_passthrough == 1
+        assert dropper.counters.shed_total == passer.counters.shed_total == 1
+
+    def test_snapshot_keys(self):
+        controller = OverloadController(max_delay=1.0)
+        controller.should_shed(5.0)
+        controller.record_shed()
+        snap = controller.snapshot()
+        assert snap["shedding"] is True
+        assert snap["shed_total"] == 1
+        assert snap["policy"] == "drop"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverloadController(max_delay=0.0)
+        with pytest.raises(ConfigurationError):
+            OverloadController(max_delay=1.0, resume_delay=1.0)
+        with pytest.raises(ConfigurationError):
+            OverloadController(max_delay=1.0, resume_delay=-0.1)
+        with pytest.raises(ConfigurationError):
+            OverloadController(max_delay=1.0, policy="panic")
+
+
+class TestSheddingReplay:
+    def _slow_service(self, dataset, *, policy: str) -> DiversificationService:
+        """An engine with ~2 ms injected on every offer, so an extreme
+        speedup (arrivals compressed to nothing) overloads it immediately."""
+        thresholds = Thresholds()
+        engine = UniBin(thresholds, dataset.graph(thresholds.lambda_a))
+        slow = LatencySpikes(engine, seed=1, spike_prob=1.0, spike_seconds=0.002)
+        controller = OverloadController(
+            max_delay=0.01, resume_delay=0.005, policy=policy
+        )
+        return DiversificationService(slow, overload=controller)
+
+    def test_overload_sheds_with_exact_accounting(self, dataset):
+        service = self._slow_service(dataset, policy="drop")
+        posts = dataset.posts[:120]
+        (report,) = service.replay(posts, speedups=(1e9,))
+        assert isinstance(report, SheddingReport)
+        assert report.posts == 120
+        # Conservation: every post is either processed or shed, exactly.
+        assert report.processed + report.shed_total == report.posts
+        assert report.shed_dropped > 0
+        assert report.shed_passthrough == 0
+        assert report.shed_episodes >= 1
+        assert report.shed_fraction == pytest.approx(
+            report.shed_total / report.posts
+        )
+        # The budget was honoured: processing stopped once delay passed it,
+        # so the backlog cannot accumulate beyond budget + one service time.
+        assert report.final_backlog_delay < 1.0
+
+    def test_passthrough_policy_counts_separately(self, dataset):
+        service = self._slow_service(dataset, policy="passthrough")
+        (report,) = service.replay(dataset.posts[:120], speedups=(1e9,))
+        assert report.shed_passthrough > 0
+        assert report.shed_dropped == 0
+
+    def test_underloaded_replay_sheds_nothing(self, dataset):
+        thresholds = Thresholds()
+        engine = UniBin(thresholds, dataset.graph(thresholds.lambda_a))
+        controller = OverloadController(max_delay=5.0)
+        service = DiversificationService(engine, overload=controller)
+        # Real-time replay: microsecond decisions vs multi-second gaps.
+        (report,) = service.replay(dataset.posts[:120], speedups=(1.0,))
+        assert report.shed_total == 0
+        assert report.processed == report.posts == 120
+        assert report.shed_episodes == 0
+
+    def test_multiple_speedups_rejected_with_controller(self, dataset):
+        service = self._slow_service(dataset, policy="drop")
+        with pytest.raises(ConfigurationError, match="exactly one speedup"):
+            service.replay(dataset.posts[:10], speedups=(1.0, 2.0))
+
+    def test_as_row_is_flat(self, dataset):
+        service = self._slow_service(dataset, policy="drop")
+        (report,) = service.replay(dataset.posts[:60], speedups=(1e9,))
+        row = report.as_row()
+        assert row["speedup"] == 1e9
+        assert row["shed_dropped"] == report.shed_dropped
+        assert row["processed"] == report.processed
+        assert all(isinstance(v, (int, float)) for v in row.values())
+
+
+class TestLatencySpikes:
+    def test_delegates_decisions(self, paper_posts, paper_graph, paper_thresholds):
+        plain = UniBin(paper_thresholds, paper_graph)
+        spiky = LatencySpikes(
+            UniBin(paper_thresholds, paper_graph),
+            seed=3,
+            spike_prob=1.0,
+            spike_seconds=0.0001,
+        )
+        assert [spiky.offer(p) for p in paper_posts] == [
+            plain.offer(p) for p in paper_posts
+        ]
+        assert spiky.spikes_injected == len(paper_posts)
+        # Stats flow through to the wrapped engine untouched.
+        assert spiky.stats.posts_processed == plain.stats.posts_processed

@@ -1,0 +1,214 @@
+"""Tests for repro.resilience.pipeline — the composed ResilientIngest."""
+
+import math
+
+import pytest
+
+from repro.core import NeighborBin, Post, Thresholds, UniBin
+from repro.errors import CheckpointError
+from repro.multiuser import make_multiuser
+from repro.resilience import Quarantine, ResilientIngest, ingest_jsonl
+
+
+def _post(post_id, timestamp, *, author=1, fp=0):
+    return Post(
+        post_id=post_id, author=author, text="t", timestamp=timestamp, fingerprint=fp
+    )
+
+
+class TestSemanticsPreserved:
+    def test_matches_bare_engine_on_clean_stream(
+        self, paper_posts, paper_graph, paper_thresholds
+    ):
+        bare = UniBin(paper_thresholds, paper_graph)
+        expected = [p for p in paper_posts if bare.offer(p)]
+        pipeline = ResilientIngest(UniBin(paper_thresholds, paper_graph))
+        assert pipeline.diversify(paper_posts) == expected
+
+    def test_skew_absorption_matches_bare_engine(
+        self, paper_posts, paper_graph, paper_thresholds
+    ):
+        bare = UniBin(paper_thresholds, paper_graph)
+        expected = [p for p in paper_posts if bare.offer(p)]
+        disordered = [paper_posts[i] for i in (1, 0, 3, 2, 4)]
+        pipeline = ResilientIngest(
+            UniBin(paper_thresholds, paper_graph),
+            max_skew=5.0,
+            late_policy="raise",
+        )
+        assert pipeline.diversify(disordered) == expected
+
+
+class TestQuarantineRouting:
+    def test_nan_timestamp_quarantined(self, paper_graph, paper_thresholds):
+        pipeline = ResilientIngest(UniBin(paper_thresholds, paper_graph))
+        (event,) = pipeline.ingest(_post(1, math.nan))
+        assert event.status == "quarantined"
+        assert pipeline.quarantine.by_reason == {"non_finite_timestamp": 1}
+
+    def test_negative_timestamp_policy_toggle(self, paper_graph, paper_thresholds):
+        strict = ResilientIngest(UniBin(paper_thresholds, paper_graph))
+        (event,) = strict.ingest(_post(1, -3.0))
+        assert event.status == "quarantined"
+
+        lenient = ResilientIngest(
+            UniBin(paper_thresholds, paper_graph),
+            require_nonnegative_time=False,
+        )
+        (event,) = lenient.ingest(_post(1, -3.0))
+        assert event.admitted
+        assert lenient.quarantine.total == 0
+
+    def test_known_authors_screen_before_engine(
+        self, paper_graph, paper_thresholds
+    ):
+        pipeline = ResilientIngest(
+            NeighborBin(paper_thresholds, paper_graph),
+            known_authors=set(paper_graph.nodes),
+        )
+        (event,) = pipeline.ingest(_post(1, 0.0, author=999))
+        assert event.status == "quarantined"
+        assert pipeline.quarantine.by_reason == {"unknown_author": 1}
+        # The engine never saw it; its counters stay clean.
+        assert pipeline.engine.stats.posts_processed == 0
+
+    def test_engine_raised_unknown_author_quarantined(
+        self, paper_graph, paper_thresholds
+    ):
+        """Without a known_authors screen, NeighborBin raises on the
+        unknown author — the pipeline converts that into quarantine and
+        keeps going."""
+        pipeline = ResilientIngest(NeighborBin(paper_thresholds, paper_graph))
+        events = pipeline.ingest(_post(1, 0.0, author=999))
+        assert [e.status for e in events] == ["quarantined"]
+        follow_up = pipeline.ingest(_post(2, 1.0, author=1))
+        assert [e.status for e in follow_up] == ["admitted"]
+
+    def test_shared_sink_accumulates(self, paper_graph, paper_thresholds):
+        sink = Quarantine()
+        pipeline = ResilientIngest(
+            UniBin(paper_thresholds, paper_graph), quarantine=sink
+        )
+        pipeline.ingest(_post(1, math.inf))
+        pipeline.ingest(_post(2, -1.0))
+        assert sink.snapshot() == {
+            "quarantined": 2,
+            "by_reason": {"non_finite_timestamp": 1, "negative_timestamp": 1},
+        }
+
+
+class TestEvents:
+    def test_late_drop_emits_event(self, paper_graph, paper_thresholds):
+        pipeline = ResilientIngest(
+            UniBin(paper_thresholds, paper_graph), max_skew=1.0, late_policy="drop"
+        )
+        pipeline.ingest(_post(1, 5.0))
+        pipeline.ingest(_post(2, 10.0))  # releases t=5, floor=5
+        events = pipeline.ingest(_post(3, 2.0))
+        assert [e.status for e in events] == ["late_dropped"]
+
+    def test_buffered_post_produces_no_event_until_released(
+        self, paper_graph, paper_thresholds
+    ):
+        pipeline = ResilientIngest(
+            UniBin(paper_thresholds, paper_graph), max_skew=100.0
+        )
+        assert pipeline.ingest(_post(1, 5.0)) == []
+        flushed = pipeline.flush()
+        assert [e.status for e in flushed] == ["admitted"]
+
+    def test_counters_structure(self, paper_posts, paper_graph, paper_thresholds):
+        pipeline = ResilientIngest(UniBin(paper_thresholds, paper_graph))
+        pipeline.diversify(paper_posts)
+        counters = pipeline.counters()
+        assert counters["reorder"]["received"] == len(paper_posts)
+        assert counters["quarantine"]["quarantined"] == 0
+        assert counters["engine"]["posts_processed"] == len(paper_posts)
+
+
+class TestMultiUser:
+    def test_receiver_sets_as_verdicts(
+        self, paper_posts, paper_graph, paper_thresholds
+    ):
+        from repro.multiuser import SubscriptionTable
+
+        subscriptions = SubscriptionTable({100: [1, 2, 3, 4], 200: [1]})
+        engine = make_multiuser(
+            "m_unibin", paper_thresholds, paper_graph, subscriptions
+        )
+        pipeline = ResilientIngest(engine)
+        assert pipeline.is_multiuser
+        events = []
+        for post in paper_posts:
+            events.extend(pipeline.ingest(post))
+        events.extend(pipeline.flush())
+        assert events[0].verdict == frozenset({100, 200})
+        # A post delivered to nobody is a rejection, not an admission.
+        assert events[2].status == "rejected"
+        assert events[2].verdict == frozenset()
+
+
+class TestPipelineCheckpoint:
+    def test_mid_buffer_round_trip(self, dataset, tmp_path):
+        """Checkpoint while the reorder buffer still holds posts; the
+        restored pipeline finishes the stream to the identical admitted
+        sequence."""
+        import json
+
+        thresholds = Thresholds()
+        graph = dataset.graph(thresholds.lambda_a)
+        posts = dataset.posts[:200]
+        half = len(posts) // 2
+
+        baseline = ResilientIngest(
+            UniBin(thresholds, graph), max_skew=120.0, late_policy="raise"
+        )
+        expected = [p.post_id for p in baseline.diversify(posts)]
+
+        first = ResilientIngest(
+            UniBin(thresholds, graph), max_skew=120.0, late_policy="raise"
+        )
+        admitted = []
+        for post in posts[:half]:
+            admitted += [e.post.post_id for e in first.ingest(post) if e.admitted]
+        assert len(first.reorder) > 0  # the interesting case: posts in flight
+
+        snapshot = json.loads(json.dumps(first.checkpoint(), sort_keys=True))
+        resumed = ResilientIngest.restore(snapshot, graph=graph)
+        assert len(resumed.reorder) == len(first.reorder)
+
+        for post in posts[half:]:
+            admitted += [e.post.post_id for e in resumed.ingest(post) if e.admitted]
+        admitted += [e.post.post_id for e in resumed.flush() if e.admitted]
+        assert admitted == expected
+
+    def test_wrong_kind_rejected(self, paper_graph, paper_thresholds):
+        from repro.resilience import snapshot_engine
+
+        engine_snapshot = snapshot_engine(UniBin(paper_thresholds, paper_graph))
+        with pytest.raises(CheckpointError, match="pipeline"):
+            ResilientIngest.restore(engine_snapshot, graph=paper_graph)
+
+
+class TestIngestJsonl:
+    def test_end_to_end(self, paper_posts, paper_graph, paper_thresholds, tmp_path):
+        import json
+
+        from repro.io import post_to_dict
+
+        path = tmp_path / "posts.jsonl"
+        lines = [json.dumps(post_to_dict(p), sort_keys=True) for p in paper_posts]
+        lines.insert(2, "%% torn %%")
+        path.write_text("\n".join(lines) + "\n")
+
+        pipeline = ResilientIngest(UniBin(paper_thresholds, paper_graph))
+        events = ingest_jsonl(pipeline, path, on_error="quarantine")
+        assert [e.status for e in events] == [
+            "admitted",
+            "admitted",
+            "rejected",
+            "admitted",
+            "rejected",
+        ]
+        assert pipeline.quarantine.by_reason == {"invalid_json": 1}
+        assert pipeline.quarantine.records[0].line_number == 3

@@ -1,0 +1,192 @@
+"""Tests for repro.resilience.quarantine — dead-letter decoding."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import Post
+from repro.errors import ConfigurationError, DatasetError
+from repro.io import read_posts_jsonl, write_posts_jsonl
+from repro.resilience import (
+    ERROR_POLICIES,
+    Quarantine,
+    check_policy,
+    validate_post,
+)
+
+
+def _post(post_id: int, timestamp: float, *, author: int = 1) -> Post:
+    return Post(
+        post_id=post_id, author=author, text="t", timestamp=timestamp, fingerprint=0
+    )
+
+
+class TestValidatePost:
+    def test_clean_post_passes(self):
+        assert validate_post(_post(1, 10.0)) is None
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_timestamp(self, bad):
+        reason, detail = validate_post(_post(7, bad))
+        assert reason == "non_finite_timestamp"
+        assert "7" in detail
+
+    def test_negative_timestamp(self):
+        reason, _ = validate_post(_post(1, -0.5))
+        assert reason == "negative_timestamp"
+
+    def test_unknown_author(self):
+        reason, detail = validate_post(_post(1, 1.0, author=99), known_authors={1, 2})
+        assert reason == "unknown_author"
+        assert "99" in detail
+
+    def test_known_author_passes(self):
+        assert validate_post(_post(1, 1.0, author=2), known_authors={1, 2}) is None
+
+
+class TestQuarantineSink:
+    def test_exact_accounting(self):
+        sink = Quarantine()
+        sink.add(3, "invalid_json", "boom", "{oops")
+        sink.add(9, "invalid_json", "boom again", "{worse")
+        sink.add(12, "invalid_record", "missing fields", "{}")
+        assert len(sink) == 3
+        assert sink.snapshot() == {
+            "quarantined": 3,
+            "by_reason": {"invalid_json": 2, "invalid_record": 1},
+        }
+        assert [r.line_number for r in sink.records] == [3, 9, 12]
+
+    def test_max_retained_caps_records_not_counts(self):
+        sink = Quarantine(max_retained=2)
+        for i in range(5):
+            sink.add(i + 1, "invalid_json", "x", "{")
+        assert sink.total == 5
+        assert len(sink.records) == 2
+
+    def test_skip_mode_retains_nothing(self):
+        sink = Quarantine(max_retained=0)
+        sink.add(1, "invalid_json", "x", "{")
+        assert sink.total == 1
+        assert sink.records == []
+
+    def test_add_post_round_trips_reason(self):
+        sink = Quarantine()
+        record = sink.add_post(_post(5, -1.0), "negative_timestamp", "t=-1")
+        assert record.line_number == 0
+        payload = json.loads(record.raw)
+        assert payload["post_id"] == 5
+
+    def test_write_jsonl(self, tmp_path):
+        sink = Quarantine()
+        sink.add(4, "invalid_json", "boom", "%%")
+        out = tmp_path / "dead_letter.jsonl"
+        assert sink.write_jsonl(out) == 1
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[0]) == {
+            "line_number": 4,
+            "reason": "invalid_json",
+            "detail": "boom",
+            "raw": "%%",
+        }
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Quarantine(max_retained=-1)
+
+
+class TestCheckPolicy:
+    def test_all_policies_listed(self):
+        assert ERROR_POLICIES == ("strict", "skip", "quarantine")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_policy("lenient", None)
+
+    def test_quarantine_requires_sink(self):
+        with pytest.raises(ConfigurationError, match="requires a Quarantine"):
+            check_policy("quarantine", None)
+        check_policy("quarantine", Quarantine())
+        check_policy("skip", None)
+
+
+class TestReadPostsJsonlPolicies:
+    @pytest.fixture()
+    def dirty_trace(self, tmp_path):
+        """3 good posts, 1 malformed line (line 2), 1 missing-field record
+        (line 4), 1 NaN timestamp (line 6)."""
+        path = tmp_path / "posts.jsonl"
+        good = [_post(i, float(i)) for i in range(3)]
+        lines = [
+            json.dumps(
+                {
+                    "post_id": p.post_id,
+                    "author": p.author,
+                    "text": p.text,
+                    "timestamp": p.timestamp,
+                    "fingerprint": p.fingerprint,
+                }
+            )
+            for p in good
+        ]
+        lines.insert(1, "{not json")
+        lines.insert(3, json.dumps({"post_id": 9, "author": 1, "text": "x"}))
+        lines.append(
+            json.dumps(
+                {"post_id": 10, "author": 1, "text": "x", "timestamp": "NaN"}
+            )
+        )
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_strict_raises_with_line_number(self, dirty_trace):
+        with pytest.raises(DatasetError, match=r":2: invalid JSON"):
+            list(read_posts_jsonl(dirty_trace))
+
+    def test_strict_names_offending_field(self, tmp_path):
+        path = tmp_path / "posts.jsonl"
+        path.write_text(
+            json.dumps(
+                {"post_id": 1, "author": 2, "text": "x", "timestamp": "soon"}
+            )
+            + "\n"
+        )
+        with pytest.raises(DatasetError, match=r":1: .*'timestamp'"):
+            list(read_posts_jsonl(path))
+
+    def test_skip_drops_and_counts(self, dirty_trace):
+        sink = Quarantine(max_retained=0)
+        posts = list(read_posts_jsonl(dirty_trace, on_error="skip", quarantine=sink))
+        assert [p.post_id for p in posts] == [0, 1, 2]
+        assert sink.snapshot() == {
+            "quarantined": 3,
+            "by_reason": {"invalid_json": 1, "invalid_record": 2},
+        }
+        assert sink.records == []
+
+    def test_skip_without_sink_still_works(self, dirty_trace):
+        posts = list(read_posts_jsonl(dirty_trace, on_error="skip"))
+        assert [p.post_id for p in posts] == [0, 1, 2]
+
+    def test_quarantine_retains_offending_lines(self, dirty_trace):
+        sink = Quarantine()
+        posts = list(
+            read_posts_jsonl(dirty_trace, on_error="quarantine", quarantine=sink)
+        )
+        assert [p.post_id for p in posts] == [0, 1, 2]
+        assert [r.line_number for r in sink.records] == [2, 4, 6]
+        assert sink.records[0].raw == "{not json"
+
+    def test_quarantine_policy_without_sink_rejected(self, dirty_trace):
+        with pytest.raises(ConfigurationError):
+            list(read_posts_jsonl(dirty_trace, on_error="quarantine"))
+
+    def test_clean_round_trip_unaffected(self, tmp_path):
+        path = tmp_path / "posts.jsonl"
+        posts = [_post(i, float(i)) for i in range(5)]
+        assert write_posts_jsonl(posts, path) == 5
+        sink = Quarantine()
+        back = list(read_posts_jsonl(path, on_error="quarantine", quarantine=sink))
+        assert back == posts
+        assert sink.total == 0

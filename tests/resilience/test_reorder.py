@@ -1,0 +1,135 @@
+"""Tests for repro.resilience.reorder — the watermark reorder buffer."""
+
+import pytest
+
+from repro.core import Post
+from repro.errors import ConfigurationError, StreamOrderError
+from repro.resilience import ArrivalShuffler, ReorderBuffer
+
+
+def _post(post_id: int, timestamp: float) -> Post:
+    return Post(post_id=post_id, author=1, text="t", timestamp=timestamp, fingerprint=0)
+
+
+def _drain(buffer: ReorderBuffer, posts) -> list[Post]:
+    released = []
+    for post in posts:
+        released.extend(buffer.offer(post))
+    released.extend(buffer.flush())
+    return released
+
+
+class TestInOrder:
+    def test_zero_skew_is_immediate_passthrough(self):
+        buffer = ReorderBuffer(max_skew=0.0)
+        for i in range(5):
+            assert [p.post_id for p in buffer.offer(_post(i, float(i)))] == [i]
+        assert len(buffer) == 0
+        assert buffer.counters.reordered == 0
+
+    def test_ordered_stream_unchanged_with_skew(self):
+        buffer = ReorderBuffer(max_skew=10.0)
+        posts = [_post(i, float(i)) for i in range(20)]
+        released = _drain(buffer, posts)
+        assert released == posts
+        assert buffer.counters.late_dropped == 0
+
+    def test_equal_timestamps_keep_arrival_order(self):
+        buffer = ReorderBuffer(max_skew=5.0)
+        posts = [_post(i, 3.0) for i in range(6)]
+        assert [p.post_id for p in _drain(buffer, posts)] == [0, 1, 2, 3, 4, 5]
+
+
+class TestReordering:
+    def test_releases_in_timestamp_order(self):
+        buffer = ReorderBuffer(max_skew=2.0)
+        arrival = [0.0, 2.0, 1.0, 3.0, 5.0, 4.0]
+        released = _drain(buffer, [_post(i, t) for i, t in enumerate(arrival)])
+        assert [p.timestamp for p in released] == sorted(arrival)
+        assert buffer.counters.reordered == 2
+        assert buffer.counters.received == buffer.counters.released == 6
+
+    def test_shuffled_stream_recovered_exactly(self):
+        clean = [_post(i, float(i)) for i in range(200)]
+        shuffler = ArrivalShuffler(seed=7, max_displacement=10.0)
+        buffer = ReorderBuffer(max_skew=10.0)
+        released = _drain(buffer, shuffler.apply(clean))
+        assert released == clean
+        assert buffer.counters.late_dropped == 0
+        assert buffer.counters.late_clamped == 0
+
+    def test_watermark_tracks_max_seen(self):
+        buffer = ReorderBuffer(max_skew=3.0)
+        buffer.offer(_post(1, 10.0))
+        assert buffer.watermark == pytest.approx(7.0)
+        buffer.offer(_post(2, 20.0))
+        assert buffer.watermark == pytest.approx(17.0)
+
+
+class TestLatePolicies:
+    def _late_setup(self, policy: str) -> ReorderBuffer:
+        buffer = ReorderBuffer(max_skew=1.0, late_policy=policy)
+        buffer.offer(_post(1, 5.0))
+        buffer.offer(_post(2, 10.0))  # watermark 9: releases t=5, floor=5
+        return buffer
+
+    def test_drop_counts_and_discards(self):
+        buffer = self._late_setup("drop")
+        assert buffer.offer(_post(3, 2.0)) == []
+        assert buffer.counters.late_dropped == 1
+
+    def test_clamp_rewrites_timestamp(self):
+        buffer = self._late_setup("clamp")
+        released = buffer.offer(_post(3, 2.0))
+        # Clamped to the release floor (t=5), which is already below the
+        # watermark, so the clamped post is released immediately.
+        assert [p.post_id for p in released] == [3]
+        assert released[0].timestamp == pytest.approx(5.0)
+        assert buffer.counters.late_clamped == 1
+
+    def test_raise_propagates(self):
+        buffer = self._late_setup("raise")
+        with pytest.raises(StreamOrderError, match="release floor"):
+            buffer.offer(_post(3, 2.0))
+
+    def test_never_late_without_releases(self):
+        buffer = ReorderBuffer(max_skew=1.0, late_policy="raise")
+        # Nothing released yet -> nothing can be late, any order accepted.
+        buffer.offer(_post(1, 5.0))
+        assert len(buffer) == 1
+
+
+class TestBoundedBuffer:
+    def test_max_buffered_forces_release(self):
+        buffer = ReorderBuffer(max_skew=1e9, max_buffered=3)
+        released = []
+        for i in range(6):
+            released.extend(buffer.offer(_post(i, float(i))))
+        assert len(buffer) == 3
+        assert buffer.counters.forced_releases == 3
+        assert [p.timestamp for p in released] == [0.0, 1.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReorderBuffer(max_skew=-1.0)
+        with pytest.raises(ConfigurationError):
+            ReorderBuffer(late_policy="explode")
+        with pytest.raises(ConfigurationError):
+            ReorderBuffer(max_buffered=0)
+
+
+class TestStateRoundTrip:
+    def test_mid_buffer_checkpoint(self):
+        buffer = ReorderBuffer(max_skew=5.0, late_policy="drop")
+        posts = [_post(i, t) for i, t in enumerate([0.0, 4.0, 2.0, 9.0, 7.0])]
+        released = []
+        for post in posts:
+            released.extend(buffer.offer(post))
+        state = buffer.state_dict()
+
+        clone = ReorderBuffer(max_skew=0.0)
+        clone.load_state(state)
+        assert len(clone) == len(buffer)
+        assert clone.watermark == buffer.watermark
+        assert clone.counters.snapshot() == buffer.counters.snapshot()
+        assert clone.flush() == buffer.flush()

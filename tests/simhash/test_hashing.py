@@ -1,8 +1,11 @@
 """Tests for repro.simhash.hashing — stable 64-bit token hashes."""
 
+import os
 import subprocess
 import sys
+from pathlib import Path
 
+import repro
 from repro.simhash import clear_token_cache, hash_token, token_cache_size
 
 
@@ -33,12 +36,20 @@ class TestHashToken:
             "from repro.simhash import hash_token;"
             "print(hash_token('stability-probe'))"
         )
+        # The child env is minimal by design (we control PYTHONHASHSEED),
+        # but it must still find the package: propagate the path the
+        # running interpreter imported ``repro`` from.
+        package_path = str(Path(repro.__file__).resolve().parents[1])
         for seed in ("0", "12345"):
             out = subprocess.run(
                 [sys.executable, "-c", code],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": seed,
+                    "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+                    "PYTHONPATH": package_path,
+                },
                 check=True,
             )
             assert int(out.stdout.strip()) == expected

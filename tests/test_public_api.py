@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.eval",
     "repro.baselines",
     "repro.service",
+    "repro.resilience",
 ]
 
 
