@@ -29,6 +29,8 @@ Packages:
 * :mod:`repro.service` — latency/capacity measurement with overload control.
 * :mod:`repro.resilience` — fault-tolerant ingestion: reorder buffering,
   quarantine, overload shedding, checkpoint/restore, fault injection.
+* :mod:`repro.obs` — dependency-free metrics registry, offer-path tracing
+  and exposition (Prometheus text / JSON / JSONL spans).
 """
 
 from .core import (

@@ -104,6 +104,23 @@ def _diversify_parser() -> argparse.ArgumentParser:
         help="restore pipeline state from a --checkpoint-out snapshot "
         "before processing (its skew/policy settings take precedence)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        help="instrument the run and write a JSON metrics snapshot here "
+        "(counters match the printed stats exactly)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        help="write a sampled JSONL span log of per-post offer decisions "
+        "(implies instrumentation)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="fraction of offer spans to record in --trace-out "
+        "(seeded, deterministic across reruns; default 1.0 = all)",
+    )
     return parser
 
 
@@ -159,6 +176,19 @@ def _run_diversify(argv: list[str]) -> int:
             quarantine=sink,
         )
 
+    registry = None
+    tracer = None
+    if args.metrics_out or args.trace_out:
+        from . import simhash
+        from .obs import OfferTracer, Registry, write_json_snapshot
+
+        registry = Registry()
+        if args.trace_out:
+            tracer = OfferTracer(args.trace_out, sample=args.trace_sample)
+        # Bind after any restore so callbacks see the live engine objects.
+        pipeline.bind_metrics(registry, tracer=tracer)
+        simhash.enable_metrics(registry)
+
     out_handle = open(args.output, "w", encoding="utf-8") if args.output else None
     try:
         import json
@@ -209,6 +239,19 @@ def _run_diversify(argv: list[str]) -> int:
     if args.checkpoint_out:
         save_checkpoint(pipeline.checkpoint(), args.checkpoint_out)
         print(f"checkpoint written to {args.checkpoint_out}")
+    if registry is not None:
+        from . import simhash
+
+        simhash.disable_metrics()
+        if args.metrics_out:
+            write_json_snapshot(registry, args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out}")
+        if tracer is not None:
+            tracer.close()
+            print(
+                f"trace written to {args.trace_out} "
+                f"({tracer.spans_written}/{tracer.spans_seen} spans)"
+            )
     if args.output:
         print(f"diversified trace written to {args.output}")
     return 0

@@ -9,6 +9,7 @@ enforcement and the eviction bookkeeping hooks.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 
 from ..authors import AuthorGraph
@@ -42,6 +43,8 @@ class StreamDiversifier(ABC):
         self.stats = RunStats()
         self.newest_first = newest_first
         self._last_timestamp = float("-inf")
+        self._metrics = None
+        self._tracer = None
 
     @property
     def graph(self) -> AuthorGraph | None:
@@ -60,11 +63,67 @@ class StreamDiversifier(ABC):
             )
         self._last_timestamp = post.timestamp
         self.stats.posts_processed += 1
+        if self._metrics is not None or self._tracer is not None:
+            return self._offer_observed(post)
         if self._is_covered(post):
             return False
         self._admit(post)
         self.stats.posts_admitted += 1
         return True
+
+    def _offer_observed(self, post: Post) -> bool:
+        """The decision with timing and scan-width accounting around it.
+
+        Counters (comparisons, insertions, evictions) are *not* recorded
+        here — they re-export :class:`RunStats` via collection-time
+        callbacks, so they stay exact even across :meth:`purge` calls
+        that happen outside any offer.
+        """
+        stats = self.stats
+        comparisons_before = stats.comparisons
+        start = time.perf_counter()
+        if self._is_covered(post):
+            admitted = False
+        else:
+            self._admit(post)
+            stats.posts_admitted += 1
+            admitted = True
+        elapsed = time.perf_counter() - start
+        comparisons = stats.comparisons - comparisons_before
+        if self._metrics is not None:
+            self._metrics.observe(elapsed, comparisons)
+        if self._tracer is not None:
+            self._tracer.record(
+                engine=self.name,
+                post=post,
+                admitted=admitted,
+                latency_s=elapsed,
+                comparisons=comparisons,
+            )
+        return admitted
+
+    def bind_metrics(self, registry, *, tracer=None) -> None:
+        """Attach observability to this engine.
+
+        ``registry`` is a :class:`repro.obs.Registry` (or ``None`` / a
+        no-op registry, which disables metrics); ``tracer`` an optional
+        :class:`repro.obs.OfferTracer` for per-post spans. Unbound — the
+        default — the offer path is exactly the uninstrumented code.
+        Rebinding replaces the previous binding; bind *after*
+        checkpoint restore so gauges read the restored state.
+        """
+        if registry is not None and not getattr(registry, "is_noop", False):
+            from ..obs.instruments import EngineInstruments
+
+            self._metrics = EngineInstruments(registry, self)
+        else:
+            self._metrics = None
+        self._tracer = tracer
+
+    def bin_count(self) -> int:
+        """Live bin count of the index structure (gauge source); engines
+        with a richer structure override."""
+        return 1
 
     def diversify(self, posts) -> list[Post]:
         """Convenience wrapper: run the whole iterable, return Z as a list."""

@@ -96,6 +96,9 @@ class CliqueBin(StreamDiversifier):
     def stored_copies(self) -> int:
         return sum(len(bin_) for bin_ in self._bins.values())
 
+    def bin_count(self) -> int:
+        return len(self._bins)
+
     def _index_state(self) -> dict[str, object]:
         posts: dict[int, Post] = {}
         bins: dict[int, list[int]] = {}

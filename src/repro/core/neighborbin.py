@@ -91,6 +91,9 @@ class NeighborBin(StreamDiversifier):
     def stored_copies(self) -> int:
         return sum(len(bin_) for bin_ in self._bins.values())
 
+    def bin_count(self) -> int:
+        return len(self._bins)
+
     def _index_state(self) -> dict[str, object]:
         # Bins replicate posts (author + neighbours); serialise each post
         # once and reference it by id from the per-author bin listings.

@@ -21,9 +21,30 @@ class MultiUserDiversifier(ABC):
     #: e.g. "m_unibin" / "s_unibin"; subclasses override.
     name = "abstract"
 
+    #: Observability bundle; ``None`` (the class default) keeps the offer
+    #: path uninstrumented. Set via :meth:`bind_metrics`.
+    _metrics = None
+
     @abstractmethod
     def offer(self, post: Post) -> frozenset[int]:
         """Process one arriving post; return the users who receive it."""
+
+    def bind_metrics(self, registry, *, per_user: bool = False) -> None:
+        """Attach observability to this engine.
+
+        Aggregate cost counters re-export :meth:`aggregate_stats` under
+        this engine's name; live shared-work counters (stream posts,
+        instance offers, deliveries) quantify the §5 sharing argument.
+        ``per_user=True`` additionally counts deliveries per user id —
+        opt-in because its label cardinality is the user base. ``None``
+        or a no-op registry unbinds.
+        """
+        if registry is None or getattr(registry, "is_noop", False):
+            self._metrics = None
+            return
+        from ..obs.instruments import MultiUserInstruments
+
+        self._metrics = MultiUserInstruments(registry, self, per_user=per_user)
 
     @abstractmethod
     def aggregate_stats(self) -> RunStats:

@@ -53,12 +53,13 @@ class IndependentMultiUser(MultiUserDiversifier):
             )
 
     def offer(self, post: Post) -> frozenset[int]:
-        receivers = [
-            user
-            for user in self.subscriptions.subscribers_of(post.author)
-            if self._instances[user].offer(post)
-        ]
-        return frozenset(receivers)
+        users = self.subscriptions.subscribers_of(post.author)
+        receivers = frozenset(
+            user for user in users if self._instances[user].offer(post)
+        )
+        if self._metrics is not None:
+            self._metrics.record(len(users), receivers)
+        return receivers
 
     def aggregate_stats(self) -> RunStats:
         total = RunStats()

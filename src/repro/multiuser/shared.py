@@ -54,10 +54,14 @@ class SharedComponentMultiUser(MultiUserDiversifier):
 
     def offer(self, post: Post) -> frozenset[int]:
         receivers: set[int] = set()
-        for idx in self._components_of_author.get(post.author, ()):
+        components = self._components_of_author.get(post.author, ())
+        for idx in components:
             if self._instances[idx].offer(post):
                 receivers.update(self._users_of[idx])
-        return frozenset(receivers)
+        result = frozenset(receivers)
+        if self._metrics is not None:
+            self._metrics.record(len(components), result)
+        return result
 
     def aggregate_stats(self) -> RunStats:
         total = RunStats()

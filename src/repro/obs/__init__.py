@@ -1,0 +1,58 @@
+"""repro.obs — dependency-free observability: metrics, exposition, tracing.
+
+The paper's cost model (comparisons, insertions, stored copies per
+arrival; §4.4) becomes *operable* here: a :class:`Registry` of Prometheus-
+model metrics, instrument bundles that bind the registry onto the hot
+paths (engines, SimHash, multi-user routers, the resilient pipeline, the
+service), two exposition formats (Prometheus text and JSON snapshots) and
+a sampled per-post span log.
+
+Quickstart::
+
+    from repro.obs import Registry, render_prometheus
+
+    registry = Registry()
+    engine = UniBin(thresholds, graph)
+    engine.bind_metrics(registry)
+    for post in stream:
+        engine.offer(post)
+    print(render_prometheus(registry))
+
+Everything is zero-cost when disabled: engines that are never bound (or
+bound to :data:`NULL_REGISTRY`) run the exact uninstrumented code path.
+See ``docs/observability.md`` for the metric catalog.
+"""
+
+from .exposition import render_prometheus, snapshot, write_json_snapshot
+from .metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    NullRegistry,
+    Registry,
+    Timer,
+    log_buckets,
+)
+from .trace import OfferTracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricFamily",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "OfferTracer",
+    "Registry",
+    "Timer",
+    "log_buckets",
+    "render_prometheus",
+    "snapshot",
+    "write_json_snapshot",
+]

@@ -1,0 +1,141 @@
+"""Exposition: Prometheus text format and JSON snapshots of a Registry.
+
+Two consumers, two formats:
+
+* a scraper (``GET /metrics`` on :class:`repro.service.MetricsServer`)
+  gets the `Prometheus text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_ 0.0.4;
+* a replay run (``--metrics-out``) gets a JSON snapshot — the same
+  samples as plain data, suitable for diffing against ``RunStats`` in
+  tests and for archiving next to benchmark output.
+
+Both render from live instruments at call time, so callback-backed
+metrics (the exact ``RunStats``/``ReorderCounters`` re-exports) are read
+at their current ground-truth values.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from .metrics import Histogram, Registry
+
+__all__ = [
+    "render_prometheus",
+    "snapshot",
+    "write_json_snapshot",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _merge_labels(
+    names: tuple[str, ...], values: tuple[str, ...], extra: tuple[tuple[str, str], ...]
+) -> str:
+    merged_names = names + tuple(name for name, _ in extra)
+    merged_values = values + tuple(value for _, value in extra)
+    return _format_labels(merged_names, merged_values)
+
+
+def render_prometheus(registry: Registry) -> str:
+    """The registry's current state in Prometheus text format 0.0.4."""
+    lines: list[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for values, instrument in family.samples():
+            if isinstance(instrument, Histogram):
+                for bound, cumulative in instrument.cumulative_buckets():
+                    labels = _merge_labels(
+                        family.labelnames, values, (("le", _format_value(bound)),)
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                labels = _format_labels(family.labelnames, values)
+                lines.append(
+                    f"{family.name}_sum{labels} {_format_value(instrument.sum)}"
+                )
+                lines.append(f"{family.name}_count{labels} {instrument.count}")
+            else:
+                labels = _format_labels(family.labelnames, values)
+                lines.append(
+                    f"{family.name}{labels} {_format_value(instrument.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def snapshot(registry: Registry) -> dict[str, object]:
+    """JSON-able snapshot of every sample in the registry.
+
+    Shape::
+
+        {"metrics": [
+            {"name": ..., "type": ..., "help": ..., "labelnames": [...],
+             "samples": [
+                 {"labels": {...}, "value": ...}                 # counter/gauge
+                 {"labels": {...}, "count": ..., "sum": ...,
+                  "buckets": {"1e-06": 0, ..., "+Inf": n}}       # histogram
+             ]}]}
+    """
+    metrics: list[dict[str, object]] = []
+    for family in registry.collect():
+        samples: list[dict[str, object]] = []
+        for values, instrument in family.samples():
+            labels = dict(zip(family.labelnames, values))
+            if isinstance(instrument, Histogram):
+                samples.append(
+                    {
+                        "labels": labels,
+                        "count": instrument.count,
+                        "sum": instrument.sum,
+                        "buckets": {
+                            _format_value(bound): cumulative
+                            for bound, cumulative in instrument.cumulative_buckets()
+                        },
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": instrument.value})
+        metrics.append(
+            {
+                "name": family.name,
+                "type": family.type,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "samples": samples,
+            }
+        )
+    return {"metrics": metrics}
+
+
+def write_json_snapshot(registry: Registry, path: str | Path) -> dict[str, object]:
+    """Dump :func:`snapshot` to ``path``; returns the snapshot written."""
+    snap = snapshot(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snap, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return snap

@@ -1,0 +1,307 @@
+"""Instrument bundles: the metric catalog for each subsystem.
+
+Each class wires one subsystem's ground truth into a
+:class:`~repro.obs.metrics.Registry` and (where a quantity has no
+pre-existing counter) owns the live instruments its hot path updates.
+The split per quantity:
+
+* **callback re-exports** — anything :class:`~repro.core.RunStats`,
+  :class:`~repro.resilience.ReorderCounters` or a
+  :class:`~repro.resilience.Quarantine` already counts exactly is read at
+  collection time, never double-counted. Snapshots therefore agree with
+  the run's stats to the post, and the hot path pays nothing for them.
+* **live histograms/counters** — distributions (decision latency,
+  comparisons per arrival) and fan-out counts exist nowhere else, so the
+  instrumented slow path records them per event.
+
+These classes only touch the duck-typed surface of their subjects
+(``stats``, ``stored_copies()``, …); they import nothing from the rest of
+the library, keeping :mod:`repro.obs` dependency-free in both directions.
+"""
+
+from __future__ import annotations
+
+from .metrics import COUNT_BUCKETS, LATENCY_BUCKETS, Registry
+
+__all__ = [
+    "EngineInstruments",
+    "MultiUserInstruments",
+    "PipelineInstruments",
+    "ServiceInstruments",
+    "SimhashInstruments",
+]
+
+
+def _engine_families(registry: Registry):
+    """Shared per-engine families (single- and multi-user engines write
+    into the same names under their own ``engine`` label)."""
+    return {
+        "comparisons": registry.counter(
+            "repro_comparisons_total",
+            "Candidate posts examined across all coverage checks",
+            ("engine",),
+        ),
+        "insertions": registry.counter(
+            "repro_insertions_total",
+            "Post copies written into bins",
+            ("engine",),
+        ),
+        "evictions": registry.counter(
+            "repro_evictions_total",
+            "Post copies removed by time-window expiry",
+            ("engine",),
+        ),
+        "offers": registry.counter(
+            "repro_offers_total",
+            "Posts offered, by decision",
+            ("engine", "decision"),
+        ),
+        "stored": registry.gauge(
+            "repro_stored_copies",
+            "Post copies currently resident across all bins",
+            ("engine",),
+        ),
+        "peak": registry.gauge(
+            "repro_peak_stored_copies",
+            "Maximum resident post copies over the run",
+            ("engine",),
+        ),
+    }
+
+
+class EngineInstruments:
+    """Observability bundle for one :class:`~repro.core.StreamDiversifier`.
+
+    Counters re-export the engine's ``RunStats`` via callbacks; the two
+    histograms (decision latency, comparisons per arrival) are fed by the
+    engine's instrumented offer path through :meth:`observe`.
+    """
+
+    __slots__ = ("latency", "scan_width")
+
+    def __init__(self, registry: Registry, engine) -> None:
+        name = engine.name
+        stats = engine.stats
+        families = _engine_families(registry)
+        families["comparisons"].labels(engine=name).set_function(
+            lambda: stats.comparisons
+        )
+        families["insertions"].labels(engine=name).set_function(
+            lambda: stats.insertions
+        )
+        families["evictions"].labels(engine=name).set_function(
+            lambda: stats.evictions
+        )
+        families["offers"].labels(engine=name, decision="admitted").set_function(
+            lambda: stats.posts_admitted
+        )
+        families["offers"].labels(engine=name, decision="rejected").set_function(
+            lambda: stats.posts_rejected
+        )
+        families["stored"].labels(engine=name).set_function(engine.stored_copies)
+        families["peak"].labels(engine=name).set_function(
+            lambda: stats.peak_stored_copies
+        )
+        registry.gauge(
+            "repro_bins",
+            "Live bin count of the engine's index structure",
+            ("engine",),
+        ).labels(engine=name).set_function(engine.bin_count)
+        self.latency = registry.histogram(
+            "repro_offer_latency_seconds",
+            "Arrival-to-decision latency of StreamDiversifier.offer",
+            ("engine",),
+            buckets=LATENCY_BUCKETS,
+        ).labels(engine=name)
+        self.scan_width = registry.histogram(
+            "repro_offer_comparisons",
+            "Coverage-scan comparisons performed per arriving post",
+            ("engine",),
+            buckets=COUNT_BUCKETS,
+        ).labels(engine=name)
+
+    def observe(self, latency_s: float, comparisons: int) -> None:
+        """One offer decision from the engine's instrumented hot path."""
+        self.latency.observe(latency_s)
+        self.scan_width.observe(comparisons)
+
+
+class SimhashInstruments:
+    """Fingerprint-path bundle: volume and latency of SimHash computation."""
+
+    __slots__ = ("fingerprints", "latency")
+
+    def __init__(self, registry: Registry) -> None:
+        self.fingerprints = registry.counter(
+            "repro_simhash_fingerprints_total",
+            "SimHash fingerprints computed",
+        ).labels()
+        self.latency = registry.histogram(
+            "repro_simhash_latency_seconds",
+            "Wall-clock time per SimHash fingerprint",
+            buckets=LATENCY_BUCKETS,
+        ).labels()
+
+    def observe(self, latency_s: float) -> None:
+        self.fingerprints.inc()
+        self.latency.observe(latency_s)
+
+
+class MultiUserInstruments:
+    """Bundle for an M-SPSD engine (M_* or S_*).
+
+    The live counters quantify the paper's §5 sharing argument directly:
+    ``instance_offers`` is the single-user offers actually executed per
+    stream post — per-user for M_*, per *distinct component* for S_* —
+    so the M/S ratio of that counter is the shared work eliminated.
+    Aggregate cost counters re-export ``aggregate_stats()`` under the
+    multi-user engine's name.
+    """
+
+    __slots__ = ("posts", "instance_offers", "deliveries", "_per_user", "_engine_name")
+
+    def __init__(self, registry: Registry, engine, *, per_user: bool = False) -> None:
+        name = engine.name
+        self.posts = registry.counter(
+            "repro_multiuser_posts_total",
+            "Stream posts offered to the multi-user engine",
+            ("engine",),
+        ).labels(engine=name)
+        self.instance_offers = registry.counter(
+            "repro_multiuser_instance_offers_total",
+            "Single-user offer calls executed (shared-work measure: "
+            "per-user for M_*, per distinct component for S_*)",
+            ("engine",),
+        ).labels(engine=name)
+        self.deliveries = registry.counter(
+            "repro_multiuser_deliveries_total",
+            "Post deliveries across all user timelines",
+            ("engine",),
+        ).labels(engine=name)
+        registry.gauge(
+            "repro_multiuser_instances",
+            "Independent SPSD instances the engine maintains",
+            ("engine",),
+        ).labels(engine=name).set_function(engine.instance_count)
+        if hasattr(engine, "sharing_ratio"):
+            registry.gauge(
+                "repro_multiuser_sharing_ratio",
+                "Fraction of per-user component work removed by sharing",
+                ("engine",),
+            ).labels(engine=name).set_function(engine.sharing_ratio)
+        families = _engine_families(registry)
+        for key, attr in (
+            ("comparisons", "comparisons"),
+            ("insertions", "insertions"),
+            ("evictions", "evictions"),
+        ):
+            families[key].labels(engine=name).set_function(
+                lambda attr=attr, engine=engine: getattr(
+                    engine.aggregate_stats(), attr
+                )
+            )
+        families["stored"].labels(engine=name).set_function(engine.stored_copies)
+        self._engine_name = name
+        self._per_user = None
+        if per_user:
+            self._per_user = registry.counter(
+                "repro_user_deliveries_total",
+                "Post deliveries per user timeline",
+                ("engine", "user"),
+            )
+
+    def record(self, consulted: int, receivers) -> None:
+        """One stream post routed to ``consulted`` instances, delivered to
+        ``receivers`` users."""
+        self.posts.inc()
+        self.instance_offers.inc(consulted)
+        self.deliveries.inc(len(receivers))
+        if self._per_user is not None:
+            for user in receivers:
+                self._per_user.labels(engine=self._engine_name, user=user).inc()
+
+
+class PipelineInstruments:
+    """Bundle for :class:`~repro.resilience.ResilientIngest`.
+
+    Entirely callback-based — the pipeline's own counters are the ground
+    truth — so binding a pipeline adds zero work to its ingest path.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, registry: Registry, pipeline) -> None:
+        # Read through ``reorder.counters`` on every collection: the buffer
+        # replaces its counters object on checkpoint restore.
+        reorder = pipeline.reorder
+        registry.gauge(
+            "repro_reorder_buffer_depth",
+            "Posts currently held by the reorder buffer",
+        ).labels().set_function(lambda: len(reorder))
+        registry.gauge(
+            "repro_reorder_peak_buffered",
+            "Peak reorder-buffer depth over the run",
+        ).labels().set_function(lambda: reorder.counters.peak_buffered)
+        for metric, help_, attr in (
+            ("repro_reorder_received_total", "Posts accepted by the reorder buffer", "received"),
+            ("repro_reorder_released_total", "Posts released in timestamp order", "released"),
+            ("repro_reorder_reordered_total", "Released posts that had been overtaken", "reordered"),
+            ("repro_reorder_late_dropped_total", "Late posts dropped beyond max_skew", "late_dropped"),
+            ("repro_reorder_late_clamped_total", "Late posts clamped to the release floor", "late_clamped"),
+            ("repro_reorder_forced_releases_total", "Posts force-released by the max_buffered cap", "forced_releases"),
+        ):
+            registry.counter(metric, help_).labels().set_function(
+                lambda attr=attr: getattr(reorder.counters, attr)
+            )
+        quarantine = pipeline.quarantine
+        registry.counter(
+            "repro_quarantined_total",
+            "Inputs refused into the dead-letter sink",
+        ).labels().set_function(lambda: quarantine.total)
+
+
+class ServiceInstruments:
+    """Bundle for :class:`~repro.service.DiversificationService`.
+
+    Latency quantiles come from the service's existing reservoir (exact
+    count/mean/max, sampled percentiles); shed counters re-export the
+    overload controller's accounting when one is attached.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, registry: Registry, service) -> None:
+        latency = service.latency
+        registry.counter(
+            "repro_service_decisions_total",
+            "Posts the service timed through the engine",
+        ).labels().set_function(lambda: latency.count)
+        quantiles = registry.gauge(
+            "repro_service_latency_seconds",
+            "Decision latency from the service's reservoir",
+            ("quantile",),
+        )
+        for q in (0.5, 0.95, 0.99):
+            quantiles.labels(quantile=q).set_function(
+                lambda q=q: latency.percentile(q * 100)
+            )
+        registry.gauge(
+            "repro_service_mean_latency_seconds",
+            "Exact mean decision latency",
+        ).labels().set_function(lambda: latency.mean)
+        registry.gauge(
+            "repro_service_max_latency_seconds",
+            "Exact maximum decision latency",
+        ).labels().set_function(lambda: latency.max)
+        overload = service.overload
+        if overload is not None:
+            counters = overload.counters
+            for metric, help_, attr in (
+                ("repro_shed_dropped_total", "Posts shed by dropping", "shed_dropped"),
+                ("repro_shed_passthrough_total", "Posts shed by passthrough", "shed_passthrough"),
+                ("repro_shed_episodes_total", "Contiguous shedding episodes", "episodes"),
+                ("repro_overload_processed_total", "Posts processed under overload control", "processed"),
+            ):
+                registry.counter(metric, help_).labels().set_function(
+                    lambda attr=attr: getattr(counters, attr)
+                )

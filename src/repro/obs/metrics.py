@@ -1,0 +1,406 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The paper's whole empirical argument (§4.4, Table 2, Figures 11–16) is a
+cost trade-off — comparisons vs insertions vs stored copies per arrival —
+so the runtime must be able to *show* those costs live, not just total
+them into a :class:`~repro.core.RunStats` at the end of a run. This module
+is the substrate: a :class:`Registry` of named metric families in the
+Prometheus data model (counter / gauge / histogram with fixed log-spaced
+buckets), labeled by engine name, user id, or whatever the instrumentation
+site needs.
+
+Design constraints, in priority order:
+
+* **Zero-cost when disabled.** Instrumentation sites bind against a
+  registry explicitly; unbound engines run the exact pre-observability
+  code path. :class:`NullRegistry` exists for call sites that want a
+  registry-shaped object unconditionally — every instrument it hands out
+  is a shared no-op.
+* **Exact.** Wherever a quantity already has a ground-truth counter
+  (``RunStats``, ``ReorderCounters``, ``Quarantine``), the metric reads it
+  through a *callback* at collection time instead of double-counting on
+  the hot path. Snapshots therefore always agree with the run's stats, to
+  the post.
+* **No dependencies.** Pure stdlib; exposition formats live in
+  :mod:`repro.obs.exposition`.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from collections.abc import Callable, Sequence
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricFamily",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Registry",
+    "Timer",
+    "log_buckets",
+]
+
+
+def log_buckets(start: float, factor: float, count: int) -> tuple[float, ...]:
+    """``count`` log-spaced bucket upper bounds: start, start·factor, …
+
+    >>> log_buckets(1.0, 2.0, 4)
+    (1.0, 2.0, 4.0, 8.0)
+    """
+    if start <= 0:
+        raise ValueError(f"start must be > 0, got {start}")
+    if factor <= 1:
+        raise ValueError(f"factor must be > 1, got {factor}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    bounds = []
+    bound = float(start)
+    for _ in range(count):
+        bounds.append(bound)
+        bound *= factor
+    return tuple(bounds)
+
+
+#: Latency buckets: 1 µs … ~4 s, factor 2. Covers the sub-10 µs UniBin
+#: decisions as well as pathological multi-second stalls.
+LATENCY_BUCKETS = log_buckets(1e-6, 2.0, 22)
+
+#: Work-per-arrival buckets (comparisons, candidates): 1 … 32768.
+COUNT_BUCKETS = log_buckets(1.0, 2.0, 16)
+
+
+class Counter:
+    """Monotonically increasing value.
+
+    A counter either accumulates via :meth:`inc` or reads a live source
+    through :meth:`set_function` (collection-time callback); mixing both
+    on one instrument is a usage error the value property makes obvious
+    (the callback wins).
+    """
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; inc({amount})")
+        self._value += amount
+
+    def set_function(self, fn: Callable[[], float]) -> "Counter":
+        """Read the value from ``fn()`` at collection time (exact re-export
+        of an existing ground-truth counter)."""
+        self._fn = fn
+        return self
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Gauge:
+    """Value that can go up and down (or track a live callback)."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> "Gauge":
+        self._fn = fn
+        return self
+
+    @property
+    def value(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (log-spaced by default) with sum and count.
+
+    Buckets store *non-cumulative* per-bucket counts internally; the
+    cumulative Prometheus view (``le``-labelled, ``+Inf``-terminated) is
+    produced at collection time by :meth:`cumulative_buckets`.
+    """
+
+    __slots__ = ("bounds", "counts", "overflow", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = LATENCY_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must strictly increase: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        idx = bisect_left(self.bounds, value)
+        if idx == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[idx] += 1
+
+    def time(self) -> "Timer":
+        """Context manager observing elapsed wall-clock seconds."""
+        return Timer(self)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus view: ``(upper_bound, cumulative_count)`` pairs
+        terminated by ``(inf, count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.overflow))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        containing the q-th observation); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            if running >= target:
+                return bound
+        return float("inf")
+
+
+class Timer:
+    """``with histogram.time(): ...`` — observes the elapsed seconds."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._histogram.observe(time.perf_counter() - self._start)
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """One named metric with zero or more label dimensions.
+
+    Children (one instrument per distinct label-value combination) are
+    created lazily by :meth:`labels`. An unlabeled family has exactly one
+    child, keyed by the empty tuple.
+    """
+
+    __slots__ = ("name", "help", "type", "labelnames", "_children", "_buckets")
+
+    def __init__(
+        self,
+        name: str,
+        type_: str,
+        help_: str,
+        labelnames: tuple[str, ...],
+        buckets: Sequence[float] | None = None,
+    ):
+        if type_ not in _TYPES:
+            raise ValueError(f"unknown metric type {type_!r}")
+        self.name = name
+        self.help = help_
+        self.type = type_
+        self.labelnames = labelnames
+        self._buckets = buckets
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def labels(self, **labelvalues: object):
+        """The child instrument for one label-value combination."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            if self.type == "histogram":
+                child = Histogram(
+                    self._buckets if self._buckets is not None else LATENCY_BUCKETS
+                )
+            else:
+                child = _TYPES[self.type]()
+            self._children[key] = child
+        return child
+
+    def samples(self):
+        """``(label_values_tuple, instrument)`` pairs, creation order."""
+        return self._children.items()
+
+
+class Registry:
+    """Named collection of metric families.
+
+    Registering the same name twice returns the existing family (and
+    validates that type and labels agree), so independent components can
+    share families — e.g. every engine writes into
+    ``repro_comparisons_total`` under its own ``engine`` label.
+    """
+
+    #: NullRegistry flips this; instrumentation sites treat a no-op
+    #: registry exactly like no registry at all.
+    is_noop = False
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        type_: str,
+        help_: str,
+        labelnames: tuple[str, ...],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.type != type_ or family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.type} "
+                    f"with labels {family.labelnames}; cannot re-register as "
+                    f"{type_} with labels {tuple(labelnames)}"
+                )
+            return family
+        family = MetricFamily(name, type_, help_, tuple(labelnames), buckets)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help_: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help_, tuple(labelnames))
+
+    def gauge(
+        self, name: str, help_: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help_, tuple(labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help_: str = "",
+        labelnames: Sequence[str] = (),
+        *,
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help_, tuple(labelnames), buckets)
+
+    def collect(self):
+        """All families, registration order."""
+        return self._families.values()
+
+    def value(self, name: str, **labelvalues: object) -> float:
+        """Current value of one counter/gauge sample (test convenience)."""
+        family = self._families[name]
+        key = tuple(str(labelvalues[n]) for n in family.labelnames)
+        instrument = family._children[key]
+        if isinstance(instrument, Histogram):
+            raise TypeError(f"{name} is a histogram; read .sum/.count instead")
+        return instrument.value
+
+
+class _NullInstrument:
+    """Absorbs the full instrument API, does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> "_NullInstrument":
+        return self
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullTimer":
+        return _NULL_TIMER
+
+    def labels(self, **labelvalues: object) -> "_NullInstrument":
+        return self
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_TIMER = _NullTimer()
+
+
+class NullRegistry(Registry):
+    """Registry-shaped no-op: every family/instrument it returns discards
+    writes. Binding an engine to it is defined to be equivalent to not
+    binding at all — instrumentation sites check :attr:`is_noop` and skip
+    their slow path entirely."""
+
+    is_noop = True
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _register(self, name, type_, help_, labelnames, buckets=None):  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def collect(self):
+        return ()
+
+    def value(self, name: str, **labelvalues: object) -> float:
+        return 0.0
+
+
+#: Shared process-wide no-op registry.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,89 @@
+"""Offer-path tracing: a sampled JSONL span log of per-post decisions.
+
+Aggregate metrics answer "how expensive is the stream"; traces answer
+"why was *this* post pruned and what did the decision cost". Each span is
+one line of JSON — post identity, engine, verdict, decision latency and
+the comparisons the coverage scan performed — cheap enough to tail and
+grep, structured enough to load into any analysis tool.
+
+Sampling is seeded and deterministic: the same stream with the same
+``sample``/``seed`` traces the same posts, so traces are reproducible
+artifacts like everything else in this repository. ``sample=1.0``
+(default) records every span.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+from typing import IO
+
+__all__ = ["OfferTracer"]
+
+
+class OfferTracer:
+    """Writes sampled offer spans as JSONL.
+
+    Args:
+        sink: output path (opened/owned by the tracer) or a writable
+            text handle (borrowed; :meth:`close` leaves it open).
+        sample: probability of recording any given span, in (0, 1].
+        seed: sampling RNG seed.
+    """
+
+    def __init__(self, sink: str | Path | IO[str], *, sample: float = 1.0, seed: int = 0):
+        if not 0.0 < sample <= 1.0:
+            raise ValueError(f"sample must be in (0, 1], got {sample}")
+        self.sample = sample
+        self._rng = random.Random(seed)
+        if isinstance(sink, (str, Path)):
+            self._handle: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self._handle = sink
+            self._owns_handle = False
+        self.spans_seen = 0
+        self.spans_written = 0
+
+    def record(
+        self,
+        *,
+        engine: str,
+        post,
+        admitted: bool,
+        latency_s: float,
+        comparisons: int,
+    ) -> None:
+        """Record one offer decision (subject to sampling)."""
+        self.spans_seen += 1
+        if self.sample < 1.0 and self._rng.random() >= self.sample:
+            return
+        self.spans_written += 1
+        self._handle.write(
+            json.dumps(
+                {
+                    "post_id": post.post_id,
+                    "author": post.author,
+                    "timestamp": post.timestamp,
+                    "engine": engine,
+                    "admitted": admitted,
+                    "latency_us": round(latency_s * 1e6, 3),
+                    "comparisons": comparisons,
+                },
+                sort_keys=True,
+            )
+        )
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        """Flush and (for path sinks) close the underlying file."""
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+    def __enter__(self) -> "OfferTracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -101,6 +101,24 @@ class ResilientIngest:
     def is_multiuser(self) -> bool:
         return isinstance(self.engine, MultiUserDiversifier)
 
+    def bind_metrics(self, registry, *, tracer=None, per_user: bool = False) -> None:
+        """Attach observability to the whole pipeline.
+
+        Binds the wrapped engine (forwarding ``tracer`` to single-user
+        engines, ``per_user`` to multi-user ones) and re-exports the
+        pipeline's own exact counters — reorder-buffer depth and late/
+        forced accounting, quarantine volume — as collection-time
+        callbacks, so the ingest path itself gains no new work.
+        """
+        if isinstance(self.engine, StreamDiversifier):
+            self.engine.bind_metrics(registry, tracer=tracer)
+        else:
+            self.engine.bind_metrics(registry, per_user=per_user)
+        if registry is not None and not getattr(registry, "is_noop", False):
+            from ..obs.instruments import PipelineInstruments
+
+            PipelineInstruments(registry, self)
+
     def ingest(self, post: Post) -> list[IngestEvent]:
         """Feed one arriving post; return the events it produced (its own
         quarantine/late outcome, plus a decision event for every post the

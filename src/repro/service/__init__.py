@@ -10,6 +10,9 @@ decision per arriving post, at firehose rates. This package measures it:
   configurable real-time speedup.
 * :func:`capacity_sweep` — per-algorithm latency/throughput/sustainable-
   speedup comparison.
+* :class:`MetricsServer` — stdlib HTTP endpoint exposing a
+  :class:`repro.obs.Registry` as Prometheus text (``/metrics``) and JSON
+  (``/metrics.json``).
 """
 
 from ..resilience import OverloadController
@@ -19,11 +22,12 @@ from .latency import (
     SheddingReport,
     simulate_queueing,
 )
-from .server import DiversificationService, capacity_sweep
+from .server import DiversificationService, MetricsServer, capacity_sweep
 
 __all__ = [
     "DiversificationService",
     "LatencyRecorder",
+    "MetricsServer",
     "OverloadController",
     "QueueingReport",
     "SheddingReport",

@@ -12,16 +12,28 @@ M-SPSD engine:
   measured service times at a chosen real-time ``speedup``, answering
   "could this engine absorb this stream K× faster than real time?";
 * :func:`capacity_sweep` finds each algorithm's sustainable speedup.
+
+A live service is also *scrapable*: construct it with a
+:class:`repro.obs.Registry` (or call :meth:`DiversificationService.
+serve_metrics`, which makes one) and :class:`MetricsServer` exposes the
+registry over HTTP — Prometheus text at ``/metrics``, a JSON snapshot at
+``/metrics.json`` — from a daemon thread, with no extra dependencies.
 """
 
 from __future__ import annotations
 
+import json
+import threading
 import time
 from collections.abc import Iterable
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
 
 from ..core import Post, StreamDiversifier
 from ..errors import ConfigurationError
 from ..multiuser import MultiUserDiversifier
+from ..obs import Registry, render_prometheus, snapshot
+from ..obs.instruments import ServiceInstruments
 from ..resilience import OverloadController
 from .latency import (
     LatencyRecorder,
@@ -46,6 +58,8 @@ class DiversificationService:
         *,
         purge_every: int = 2000,
         overload: OverloadController | None = None,
+        registry: Registry | None = None,
+        tracer=None,
     ):
         if purge_every < 1:
             raise ConfigurationError(f"purge_every must be >= 1, got {purge_every}")
@@ -56,10 +70,39 @@ class DiversificationService:
         self._since_purge = 0
         self._service_times: list[float] = []
         self._arrivals: list[float] = []
+        self.registry: Registry | None = None
+        if registry is not None or tracer is not None:
+            self.bind_metrics(registry, tracer=tracer)
 
     @property
     def is_multiuser(self) -> bool:
         return isinstance(self.engine, MultiUserDiversifier)
+
+    def bind_metrics(self, registry: Registry | None, *, tracer=None) -> None:
+        """Bind the engine and the service's own gauges to ``registry``
+        (created on demand when ``None`` but a tracer is given)."""
+        if registry is None and tracer is not None:
+            registry = Registry()
+        if isinstance(self.engine, MultiUserDiversifier):
+            self.engine.bind_metrics(registry)
+        else:
+            self.engine.bind_metrics(registry, tracer=tracer)
+        if registry is not None and not registry.is_noop:
+            ServiceInstruments(registry, self)
+            self.registry = registry
+
+    def serve_metrics(
+        self, *, host: str = "127.0.0.1", port: int = 0
+    ) -> "MetricsServer":
+        """Start a daemon-thread HTTP endpoint exposing this service's
+        registry (binding one first if the service has none). ``port=0``
+        picks a free port; read it off the returned server's ``address``."""
+        if self.registry is None:
+            self.bind_metrics(Registry())
+        assert self.registry is not None
+        server = MetricsServer(self.registry, host=host, port=port)
+        server.start()
+        return server
 
     def ingest(self, post: Post):
         """Process one post, timing the decision. Returns the engine's
@@ -169,6 +212,99 @@ class DiversificationService:
         if self.latency.mean <= 0:
             return float("inf")
         return 1.0 / self.latency.mean
+
+
+class MetricsServer:
+    """Minimal scrape endpoint over a :class:`repro.obs.Registry`.
+
+    Routes:
+
+    * ``GET /metrics`` — Prometheus text exposition format 0.0.4;
+    * ``GET /metrics.json`` — the JSON snapshot;
+    * ``GET /healthz`` — liveness probe (``ok``).
+
+    Serves from a daemon thread (:class:`ThreadingHTTPServer`), so a
+    replay loop stays scrapable while it runs. Metrics collection reads
+    live callback values; scraping mid-run observes the current counters.
+    """
+
+    def __init__(self, registry: Registry, *, host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry
+        self._host = host
+        self._port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)``; raises before :meth:`start`."""
+        if self._httpd is None:
+            raise RuntimeError("MetricsServer is not running")
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve from a daemon thread; returns the address."""
+        if self._httpd is not None:
+            return self.address
+        registry = self.registry
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                path = urlsplit(self.path).path
+                if path == "/metrics":
+                    body = render_prometheus(registry).encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/metrics.json":
+                    body = json.dumps(
+                        snapshot(registry), indent=2, sort_keys=True
+                    ).encode("utf-8")
+                    ctype = "application/json"
+                elif path == "/healthz":
+                    body = b"ok\n"
+                    ctype = "text/plain; charset=utf-8"
+                else:
+                    self.send_error(404, "unknown path (try /metrics)")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # scrapes are high-frequency; stay silent
+
+        self._httpd = ThreadingHTTPServer((self._host, self._port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
 
 
 def capacity_sweep(

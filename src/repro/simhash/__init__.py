@@ -11,7 +11,14 @@ Public surface:
 
 from .batch import clear_row_cache, simhash_batch, simhash_one
 from .cosine import TfVector, cosine_distance, cosine_similarity
-from .fingerprint import EMPTY_FINGERPRINT, FINGERPRINT_BITS, simhash, simhash_from_features
+from .fingerprint import (
+    EMPTY_FINGERPRINT,
+    FINGERPRINT_BITS,
+    disable_metrics,
+    enable_metrics,
+    simhash,
+    simhash_from_features,
+)
 from .hamming import hamming, hamming_bulk, within
 from .hashing import clear_token_cache, hash_token, token_cache_size
 from .index import SimHashIndex, block_bounds
@@ -42,6 +49,8 @@ __all__ = [
     "clear_token_cache",
     "cosine_distance",
     "cosine_similarity",
+    "disable_metrics",
+    "enable_metrics",
     "expand_short_urls",
     "feature_counts",
     "hamming",

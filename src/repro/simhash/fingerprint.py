@@ -13,11 +13,40 @@ The paper fingerprints both raw and normalised tweet text (its Figures 3 and
 
 from __future__ import annotations
 
+import time
+
 from .hashing import MASK64, hash_token
 from .normalize import normalize
 from .tokenize import feature_counts
 
 FINGERPRINT_BITS = 64
+
+#: Module-level instrumentation hook (see :func:`enable_metrics`); ``None``
+#: keeps :func:`simhash` on the exact uninstrumented path.
+_METRICS = None
+
+
+def enable_metrics(registry) -> None:
+    """Count and time every :func:`simhash` call into ``registry``
+    (``repro_simhash_fingerprints_total`` / ``repro_simhash_latency_seconds``).
+
+    Pass ``None`` or a no-op registry to disable again. The hook is
+    module-level because fingerprinting is a free function on the ingest
+    hot path, not a method of any engine.
+    """
+    global _METRICS
+    if registry is None or getattr(registry, "is_noop", False):
+        _METRICS = None
+        return
+    from ..obs.instruments import SimhashInstruments
+
+    _METRICS = SimhashInstruments(registry)
+
+
+def disable_metrics() -> None:
+    """Detach the fingerprint-path instrumentation."""
+    global _METRICS
+    _METRICS = None
 
 #: Fingerprint assigned to texts with no features at all (empty string).
 #: Two empty texts are trivially near-duplicates; distance to anything else
@@ -60,6 +89,14 @@ def simhash(text: str, *, normalized: bool = True, shingle_width: int = 2) -> in
     >>> simhash("") == EMPTY_FINGERPRINT
     True
     """
+    metrics = _METRICS
+    if metrics is None:
+        if normalized:
+            text = normalize(text)
+        return simhash_from_features(feature_counts(text, shingle_width))
+    start = time.perf_counter()
     if normalized:
         text = normalize(text)
-    return simhash_from_features(feature_counts(text, shingle_width))
+    fingerprint = simhash_from_features(feature_counts(text, shingle_width))
+    metrics.observe(time.perf_counter() - start)
+    return fingerprint

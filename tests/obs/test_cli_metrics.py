@@ -1,0 +1,160 @@
+"""End-to-end CLI instrumentation: --metrics-out / --trace-out.
+
+Acceptance check from the observability work: the JSON snapshot written
+by ``--metrics-out`` must agree *exactly* with the run's ``Stats`` — which
+this test establishes by replaying the identical trace in-process.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import Post, Thresholds, make_diversifier
+from repro.io import write_posts_jsonl
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    posts = [
+        Post(
+            post_id=i,
+            author=1,
+            text=f"t{i}",
+            timestamp=float(i),
+            fingerprint=(i % 5) * 7,
+        )
+        for i in range(80)
+    ]
+    path = tmp_path / "posts.jsonl"
+    write_posts_jsonl(posts, path)
+    return path, posts
+
+
+def _value(snap, name, **labels):
+    for metric in snap["metrics"]:
+        if metric["name"] != name:
+            continue
+        for sample in metric["samples"]:
+            if all(sample["labels"].get(k) == v for k, v in labels.items()):
+                return sample["value"]
+    raise KeyError((name, labels))
+
+
+def test_metrics_out_matches_stats_exactly(tmp_path, trace_path, capsys):
+    path, posts = trace_path
+    metrics_path = tmp_path / "metrics.json"
+    rc = main(
+        [
+            "diversify",
+            "--posts", str(path),
+            "--algorithm", "unibin",
+            "--lambda-a", "1",
+            "--lambda-t", "10",
+            "--metrics-out", str(metrics_path),
+        ]
+    )
+    assert rc == 0
+    snap = json.loads(metrics_path.read_text(encoding="utf-8"))
+
+    # Ground truth: the identical run, in process.
+    thresholds = Thresholds(lambda_c=18, lambda_t=10.0, lambda_a=1.0)
+    engine = make_diversifier("unibin", thresholds, None)
+    for post in posts:
+        engine.offer(post)
+    stats = engine.stats
+
+    assert _value(snap, "repro_comparisons_total", engine="unibin") == stats.comparisons
+    assert _value(snap, "repro_insertions_total", engine="unibin") == stats.insertions
+    assert (
+        _value(snap, "repro_offers_total", engine="unibin", decision="admitted")
+        == stats.posts_admitted
+    )
+    assert (
+        _value(snap, "repro_offers_total", engine="unibin", decision="rejected")
+        == stats.posts_rejected
+    )
+    out = capsys.readouterr().out
+    assert f"{stats.posts_admitted}/{stats.posts_processed} posts kept" in out
+    assert "metrics snapshot written" in out
+
+
+def test_trace_out_with_sampling(tmp_path, trace_path):
+    path, posts = trace_path
+    trace_out = tmp_path / "spans.jsonl"
+    rc = main(
+        [
+            "diversify",
+            "--posts", str(path),
+            "--algorithm", "indexed_unibin",
+            "--lambda-a", "1",
+            "--lambda-t", "10",
+            "--trace-out", str(trace_out),
+            "--trace-sample", "0.5",
+        ]
+    )
+    assert rc == 0
+    spans = [json.loads(line) for line in trace_out.read_text().splitlines()]
+    assert 0 < len(spans) < len(posts)
+    assert all(span["engine"] == "indexed_unibin" for span in spans)
+    # Deterministic: the same invocation samples the same spans.
+    rerun = tmp_path / "spans2.jsonl"
+    main(
+        [
+            "diversify",
+            "--posts", str(path),
+            "--algorithm", "indexed_unibin",
+            "--lambda-a", "1",
+            "--lambda-t", "10",
+            "--trace-out", str(rerun),
+            "--trace-sample", "0.5",
+        ]
+    )
+    assert [s["post_id"] for s in spans] == [
+        json.loads(line)["post_id"] for line in rerun.read_text().splitlines()
+    ]
+
+
+def test_metrics_with_resume_binds_after_restore(tmp_path, trace_path):
+    """On --resume-from, metrics bind to the restored engine: counters in
+    the snapshot cover the whole logical run (restored stats + new posts)."""
+    path, posts = trace_path
+    checkpoint = tmp_path / "ckpt.json"
+    assert (
+        main(
+            [
+                "diversify",
+                "--posts", str(path),
+                "--algorithm", "unibin",
+                "--lambda-a", "1",
+                "--lambda-t", "10",
+                "--checkpoint-out", str(checkpoint),
+            ]
+        )
+        == 0
+    )
+    more = [
+        Post(post_id=100 + i, author=1, text=f"m{i}", timestamp=100.0 + i, fingerprint=3)
+        for i in range(10)
+    ]
+    more_path = tmp_path / "more.jsonl"
+    write_posts_jsonl(more, more_path)
+    metrics_path = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "diversify",
+                "--posts", str(more_path),
+                "--resume-from", str(checkpoint),
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        == 0
+    )
+    snap = json.loads(metrics_path.read_text(encoding="utf-8"))
+    processed = _value(
+        snap, "repro_offers_total", engine="unibin", decision="admitted"
+    ) + _value(snap, "repro_offers_total", engine="unibin", decision="rejected")
+    assert processed == len(posts) + len(more)

@@ -1,0 +1,79 @@
+"""Prometheus text rendering and JSON snapshots."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Registry, render_prometheus, snapshot, write_json_snapshot
+
+
+def _sample_registry() -> Registry:
+    registry = Registry()
+    registry.counter("posts_total", "Posts seen", ("engine",)).labels(
+        engine="unibin"
+    ).inc(42)
+    registry.gauge("depth", "Buffer depth").labels().set(3)
+    h = registry.histogram("lat_seconds", "Latency", buckets=(0.001, 0.01)).labels()
+    h.observe(0.0005)
+    h.observe(0.005)
+    h.observe(5.0)
+    return registry
+
+
+def test_prometheus_text_format():
+    text = render_prometheus(_sample_registry())
+    assert "# HELP posts_total Posts seen" in text
+    assert "# TYPE posts_total counter" in text
+    assert 'posts_total{engine="unibin"} 42' in text
+    assert "# TYPE depth gauge" in text
+    assert "depth 3" in text
+    assert "# TYPE lat_seconds histogram" in text
+    assert 'lat_seconds_bucket{le="0.001"} 1' in text
+    assert 'lat_seconds_bucket{le="0.01"} 2' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+    assert "lat_seconds_count 3" in text
+    assert text.endswith("\n")
+
+
+def test_integer_floats_render_without_decimal_point():
+    registry = Registry()
+    registry.gauge("g").labels().set(7.0)
+    registry.gauge("f").labels().set(7.25)
+    text = render_prometheus(registry)
+    assert "g 7\n" in text
+    assert "f 7.25" in text
+
+
+def test_label_values_escaped():
+    registry = Registry()
+    registry.counter("c_total", "", ("user",)).labels(user='a"b\\c\nd').inc()
+    text = render_prometheus(registry)
+    assert 'c_total{user="a\\"b\\\\c\\nd"} 1' in text
+
+
+def test_callbacks_read_at_render_time():
+    registry = Registry()
+    source = {"n": 1}
+    registry.counter("live_total").labels().set_function(lambda: source["n"])
+    assert "live_total 1" in render_prometheus(registry)
+    source["n"] = 99
+    assert "live_total 99" in render_prometheus(registry)
+
+
+def test_snapshot_shape_matches_prometheus_content():
+    snap = snapshot(_sample_registry())
+    by_name = {m["name"]: m for m in snap["metrics"]}
+    counter = by_name["posts_total"]
+    assert counter["type"] == "counter"
+    assert counter["labelnames"] == ["engine"]
+    assert counter["samples"] == [{"labels": {"engine": "unibin"}, "value": 42.0}]
+    hist = by_name["lat_seconds"]["samples"][0]
+    assert hist["count"] == 3
+    assert hist["buckets"] == {"0.001": 1, "0.01": 2, "+Inf": 3}
+
+
+def test_write_json_snapshot_round_trips(tmp_path):
+    path = tmp_path / "metrics.json"
+    written = write_json_snapshot(_sample_registry(), path)
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    assert loaded == json.loads(json.dumps(written))

@@ -1,0 +1,254 @@
+"""Instrument bundles bound to real engines, routers and pipelines.
+
+The load-bearing claim everywhere: metric values equal the subsystem's
+own ground-truth counters, exactly, because they *are* those counters
+read through callbacks at collection time.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro import simhash
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds, make_diversifier
+from repro.multiuser import SubscriptionTable, make_multiuser
+from repro.obs import NULL_REGISTRY, OfferTracer, Registry
+from repro.resilience import ResilientIngest
+
+
+def _world(n: int = 60):
+    graph = AuthorGraph(nodes=[1, 2, 3], edges=[(1, 2), (2, 3)])
+    posts = [
+        Post(
+            post_id=i,
+            author=1 + i % 3,
+            text=f"t{i}",
+            timestamp=float(i),
+            fingerprint=(i % 7) * 3,
+        )
+        for i in range(n)
+    ]
+    return graph, posts
+
+
+def _run(engine, posts):
+    for post in posts:
+        engine.offer(post)
+
+
+class TestEngineInstruments:
+    def test_counters_equal_run_stats(self):
+        graph, posts = _world()
+        engine = make_diversifier("unibin", Thresholds(lambda_t=10.0), graph)
+        registry = Registry()
+        engine.bind_metrics(registry)
+        _run(engine, posts)
+
+        stats = engine.stats
+        assert registry.value("repro_comparisons_total", engine="unibin") == (
+            stats.comparisons
+        )
+        assert registry.value("repro_insertions_total", engine="unibin") == (
+            stats.insertions
+        )
+        assert registry.value(
+            "repro_offers_total", engine="unibin", decision="admitted"
+        ) == stats.posts_admitted
+        assert registry.value(
+            "repro_offers_total", engine="unibin", decision="rejected"
+        ) == stats.posts_rejected
+        assert registry.value("repro_stored_copies", engine="unibin") == (
+            engine.stored_copies()
+        )
+
+    def test_histograms_record_every_offer(self):
+        graph, posts = _world()
+        engine = make_diversifier("cliquebin", Thresholds(lambda_t=10.0), graph)
+        registry = Registry()
+        engine.bind_metrics(registry)
+        _run(engine, posts)
+        latency = registry.histogram(
+            "repro_offer_latency_seconds", labelnames=("engine",)
+        ).labels(engine="cliquebin")
+        width = registry.histogram(
+            "repro_offer_comparisons", labelnames=("engine",)
+        ).labels(engine="cliquebin")
+        assert latency.count == len(posts)
+        assert width.count == len(posts)
+        assert width.sum == engine.stats.comparisons
+
+    def test_counters_survive_purge_outside_offers(self):
+        """Evictions from an explicit purge() happen outside any offer;
+        callback re-export keeps the metric exact anyway."""
+        graph, posts = _world()
+        engine = make_diversifier("unibin", Thresholds(lambda_t=5.0), graph)
+        registry = Registry()
+        engine.bind_metrics(registry)
+        _run(engine, posts)
+        engine.purge(posts[-1].timestamp + 1e6)
+        assert registry.value("repro_evictions_total", engine="unibin") == (
+            engine.stats.evictions
+        )
+        assert registry.value("repro_stored_copies", engine="unibin") == 0
+
+    def test_unbinding_and_noop_registry(self):
+        graph, _ = _world()
+        engine = make_diversifier("unibin", Thresholds(), graph)
+        engine.bind_metrics(Registry())
+        assert engine._metrics is not None
+        engine.bind_metrics(None)
+        assert engine._metrics is None
+        engine.bind_metrics(NULL_REGISTRY)
+        assert engine._metrics is None
+
+    def test_tracer_without_registry(self):
+        graph, posts = _world(10)
+        engine = make_diversifier("unibin", Thresholds(lambda_t=10.0), graph)
+        sink = io.StringIO()
+        tracer = OfferTracer(sink)
+        engine.bind_metrics(None, tracer=tracer)
+        _run(engine, posts)
+        assert tracer.spans_seen == 10
+        assert len(sink.getvalue().splitlines()) == 10
+
+
+class TestSimhashInstruments:
+    def test_enable_disable(self):
+        registry = Registry()
+        simhash.enable_metrics(registry)
+        try:
+            simhash.simhash("some text to fingerprint")
+            simhash.simhash("another text")
+        finally:
+            simhash.disable_metrics()
+        assert registry.value("repro_simhash_fingerprints_total") == 2
+        latency = registry.histogram("repro_simhash_latency_seconds").labels()
+        assert latency.count == 2
+        simhash.simhash("after disable")  # must not count
+        assert registry.value("repro_simhash_fingerprints_total") == 2
+
+    def test_noop_registry_disables(self):
+        simhash.enable_metrics(NULL_REGISTRY)
+        try:
+            assert simhash.fingerprint._METRICS is None
+        finally:
+            simhash.disable_metrics()
+
+
+class TestMultiUserInstruments:
+    def _build(self, name: str):
+        graph, posts = _world()
+        subs = SubscriptionTable({10: [1, 2], 20: [2, 3], 30: [1, 2]})
+        engine = make_multiuser(name, Thresholds(lambda_t=10.0), graph, subs)
+        return engine, posts
+
+    def test_shared_work_counters(self):
+        registry = Registry()
+        results = {}
+        for name in ("m_unibin", "s_unibin"):
+            engine, posts = self._build(name)
+            engine.bind_metrics(registry)
+            deliveries = 0
+            for post in posts:
+                deliveries += len(engine.offer(post))
+            assert registry.value(
+                "repro_multiuser_posts_total", engine=name
+            ) == len(posts)
+            assert registry.value(
+                "repro_multiuser_deliveries_total", engine=name
+            ) == deliveries
+            stats = engine.aggregate_stats()
+            assert registry.value(
+                "repro_comparisons_total", engine=name
+            ) == stats.comparisons
+            results[name] = registry.value(
+                "repro_multiuser_instance_offers_total", engine=name
+            )
+        # The sharing argument, as metrics: S_* executes fewer (or equal)
+        # single-user offers than M_* on the same stream.
+        assert results["s_unibin"] <= results["m_unibin"]
+        assert registry.value("repro_multiuser_sharing_ratio", engine="s_unibin") >= 0
+
+    def test_per_user_deliveries_opt_in(self):
+        registry = Registry()
+        engine, posts = self._build("m_unibin")
+        engine.bind_metrics(registry, per_user=True)
+        per_user = {10: 0, 20: 0, 30: 0}
+        for post in posts:
+            for user in engine.offer(post):
+                per_user[user] += 1
+        for user, count in per_user.items():
+            if count:
+                assert registry.value(
+                    "repro_user_deliveries_total", engine="m_unibin", user=user
+                ) == count
+
+
+class TestPipelineInstruments:
+    def test_pipeline_counters_and_dynamic_reorder_state(self):
+        graph, posts = _world()
+        engine = make_diversifier("unibin", Thresholds(lambda_t=10.0), graph)
+        pipeline = ResilientIngest(engine, max_skew=5.0)
+        registry = Registry()
+        pipeline.bind_metrics(registry)
+        for post in posts:
+            pipeline.ingest(post)
+        assert registry.value("repro_reorder_buffer_depth") == len(pipeline.reorder)
+        pipeline.flush()
+        counters = pipeline.reorder.counters
+        assert registry.value("repro_reorder_received_total") == counters.received
+        assert registry.value("repro_reorder_released_total") == counters.released
+        assert registry.value("repro_reorder_buffer_depth") == 0
+
+        # load_state replaces the counters object; the callbacks must read
+        # through the buffer and keep tracking the *new* counters.
+        state = pipeline.reorder.state_dict()
+        pipeline.reorder.load_state(state)
+        assert pipeline.reorder.counters is not counters or True  # object may differ
+        assert registry.value("repro_reorder_received_total") == (
+            pipeline.reorder.counters.received
+        )
+
+    def test_quarantine_counter(self):
+        graph, posts = _world(10)
+        engine = make_diversifier("unibin", Thresholds(lambda_t=10.0), graph)
+        pipeline = ResilientIngest(engine, known_authors={1, 2, 3})
+        registry = Registry()
+        pipeline.bind_metrics(registry)
+        bad = Post(post_id=99, author=77, text="x", timestamp=0.5, fingerprint=0)
+        pipeline.ingest(posts[0])
+        pipeline.ingest(bad)
+        assert registry.value("repro_quarantined_total") == 1
+
+
+class TestServiceInstruments:
+    def test_service_latency_reexport(self):
+        from repro.service import DiversificationService
+
+        graph, posts = _world()
+        engine = make_diversifier("unibin", Thresholds(lambda_t=10.0), graph)
+        registry = Registry()
+        service = DiversificationService(engine, registry=registry)
+        for post in posts:
+            service.ingest(post)
+        assert registry.value("repro_service_decisions_total") == len(posts)
+        assert registry.value(
+            "repro_service_mean_latency_seconds"
+        ) == service.latency.mean
+        p95 = registry.value("repro_service_latency_seconds", quantile=0.95)
+        assert p95 == service.latency.percentile(95)
+
+    def test_overload_counters_when_attached(self):
+        from repro.resilience import OverloadController
+        from repro.service import DiversificationService
+
+        graph, posts = _world()
+        engine = make_diversifier("unibin", Thresholds(lambda_t=10.0), graph)
+        overload = OverloadController(max_delay=1e-9)
+        registry = Registry()
+        service = DiversificationService(engine, overload=overload, registry=registry)
+        service.replay(posts, speedups=(1e9,))
+        counters = overload.counters
+        assert registry.value("repro_overload_processed_total") == counters.processed
+        assert registry.value("repro_shed_dropped_total") == counters.shed_dropped

@@ -1,0 +1,179 @@
+"""Unit tests for the metrics primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    log_buckets,
+)
+
+
+class TestLogBuckets:
+    def test_geometric_progression(self):
+        assert log_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": 0.0, "factor": 2.0, "count": 3},
+            {"start": 1.0, "factor": 1.0, "count": 3},
+            {"start": 1.0, "factor": 2.0, "count": 0},
+        ],
+    )
+    def test_rejects_degenerate_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            log_buckets(**kwargs)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(4.5)
+        assert c.value == 5.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_callback_wins(self):
+        source = {"n": 0}
+        c = Counter().set_function(lambda: source["n"])
+        c.inc(100)  # ignored once a callback is bound
+        source["n"] = 7
+        assert c.value == 7.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_callback(self):
+        items = [1, 2, 3]
+        g = Gauge().set_function(lambda: len(items))
+        items.append(4)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_observe_and_cumulative_view(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 105.0
+        assert h.overflow == 1
+        assert h.cumulative_buckets() == [
+            (1.0, 1),
+            (2.0, 2),
+            (4.0, 3),
+            (float("inf"), 4),
+        ]
+
+    def test_value_on_bucket_boundary_falls_in_that_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1.0" is inclusive, Prometheus semantics
+        assert h.cumulative_buckets()[0] == (1.0, 1)
+
+    def test_quantile(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert Histogram().quantile(0.5) == 0.0
+        h.observe(9.0)  # overflow: top quantiles have no finite bound
+        assert h.quantile(1.0) == float("inf")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_timer_observes_elapsed(self):
+        h = Histogram(buckets=(10.0,))
+        with h.time():
+            pass
+        assert h.count == 1
+        assert 0 <= h.sum < 10.0
+
+    @pytest.mark.parametrize("buckets", [(), (2.0, 1.0), (1.0, 1.0)])
+    def test_rejects_bad_bounds(self, buckets):
+        with pytest.raises(ValueError):
+            Histogram(buckets=buckets)
+
+
+class TestRegistry:
+    def test_families_share_on_reregistration(self):
+        registry = Registry()
+        a = registry.counter("x_total", "help", ("engine",))
+        b = registry.counter("x_total", "different help ignored", ("engine",))
+        assert a is b
+
+    def test_reregistration_conflicts_raise(self):
+        registry = Registry()
+        registry.counter("x_total", "", ("engine",))
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "", ("engine",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "", ("other",))
+
+    def test_labels_validated_and_children_lazy(self):
+        registry = Registry()
+        family = registry.counter("y_total", "", ("engine",))
+        with pytest.raises(ValueError):
+            family.labels(wrong="x")
+        child = family.labels(engine="unibin")
+        assert family.labels(engine="unibin") is child
+        assert family.labels(engine="cliquebin") is not child
+
+    def test_unknown_metric_type_rejected(self):
+        from repro.obs.metrics import MetricFamily
+
+        with pytest.raises(ValueError):
+            MetricFamily("z", "summary", "", ())
+
+    def test_value_helper(self):
+        registry = Registry()
+        registry.counter("n_total", "", ("engine",)).labels(engine="a").inc(3)
+        assert registry.value("n_total", engine="a") == 3.0
+        registry.histogram("h", "").labels().observe(1.0)
+        with pytest.raises(TypeError):
+            registry.value("h")
+
+    def test_histogram_custom_buckets(self):
+        registry = Registry()
+        h = registry.histogram("h", "", buckets=(1.0, 2.0)).labels()
+        assert h.bounds == (1.0, 2.0)
+
+
+class TestNullRegistry:
+    def test_absorbs_the_full_api(self):
+        registry = NullRegistry()
+        assert registry.is_noop
+        counter = registry.counter("x_total", "", ("engine",)).labels(engine="e")
+        counter.inc(5)
+        counter.set_function(lambda: 9)
+        assert counter.value == 0.0
+        histogram = registry.histogram("h", "").labels()
+        histogram.observe(1.0)
+        with histogram.time():
+            pass
+        gauge = registry.gauge("g", "").labels()
+        gauge.set(1)
+        gauge.inc()
+        gauge.dec()
+        assert list(registry.collect()) == []
+        assert registry.value("anything", engine="e") == 0.0
+
+    def test_shared_instance(self):
+        assert NULL_REGISTRY.is_noop
+        assert not Registry().is_noop

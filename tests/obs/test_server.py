@@ -1,0 +1,87 @@
+"""MetricsServer: the stdlib HTTP scrape endpoint."""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds, make_diversifier
+from repro.obs import Registry
+from repro.service import DiversificationService, MetricsServer
+
+
+def _service() -> DiversificationService:
+    graph = AuthorGraph(nodes=[1, 2], edges=[(1, 2)])
+    engine = make_diversifier("unibin", Thresholds(lambda_t=10.0), graph)
+    return DiversificationService(engine)
+
+
+def _ingest(service: DiversificationService, n: int, start: int = 0) -> None:
+    for i in range(start, start + n):
+        service.ingest(
+            Post(post_id=i, author=1 + i % 2, text=f"t{i}", timestamp=float(i), fingerprint=i)
+        )
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read()
+
+
+def test_routes_and_live_scrape():
+    service = _service()
+    with service.serve_metrics() as server:
+        _ingest(service, 25)
+        text = _get(server.url + "/metrics").decode()
+        assert 'repro_offers_total{engine="unibin",decision="admitted"}' in text
+        assert 'repro_offer_latency_seconds_bucket{engine="unibin",le="+Inf"} 25' in text
+        assert "repro_service_decisions_total 25" in text
+
+        snap = json.loads(_get(server.url + "/metrics.json"))
+        names = {m["name"] for m in snap["metrics"]}
+        assert "repro_comparisons_total" in names
+
+        assert _get(server.url + "/healthz") == b"ok\n"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/unknown")
+        assert excinfo.value.code == 404
+
+
+def test_serve_metrics_binds_a_registry_on_demand():
+    service = _service()
+    assert service.registry is None
+    server = service.serve_metrics()
+    try:
+        assert isinstance(service.registry, Registry)
+        # A second scrape sees counters advance: callbacks are live.
+        _ingest(service, 3)
+        assert "repro_service_decisions_total 3" in _get(server.url + "/metrics").decode()
+        _ingest(service, 2, start=3)
+        assert "repro_service_decisions_total 5" in _get(server.url + "/metrics").decode()
+    finally:
+        server.stop()
+
+
+def test_stop_releases_the_port():
+    registry = Registry()
+    server = MetricsServer(registry)
+    host, port = server.start()
+    assert server.start() == (host, port)  # idempotent while running
+    server.stop()
+    server.stop()  # idempotent when stopped
+    with pytest.raises(OSError):
+        socket.create_connection((host, port), timeout=0.5).close()
+    with pytest.raises(RuntimeError):
+        _ = server.address
+
+
+def test_explicit_registry_is_served():
+    registry = Registry()
+    registry.counter("custom_total", "Custom").labels().inc(7)
+    with MetricsServer(registry) as server:
+        assert "custom_total 7" in _get(server.url + "/metrics").decode()

@@ -1,0 +1,72 @@
+"""OfferTracer: span format, sampling determinism, sink ownership."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core import Post
+from repro.obs import OfferTracer
+
+
+def _post(i: int) -> Post:
+    return Post(post_id=i, author=1, text=f"t{i}", timestamp=float(i), fingerprint=i)
+
+
+def _record_all(tracer: OfferTracer, n: int) -> None:
+    for i in range(n):
+        tracer.record(
+            engine="unibin",
+            post=_post(i),
+            admitted=i % 2 == 0,
+            latency_s=1.5e-6,
+            comparisons=i,
+        )
+
+
+def test_span_format_and_path_ownership(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    with OfferTracer(path) as tracer:
+        _record_all(tracer, 3)
+    spans = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(spans) == 3
+    assert spans[0] == {
+        "post_id": 0,
+        "author": 1,
+        "timestamp": 0.0,
+        "engine": "unibin",
+        "admitted": True,
+        "latency_us": 1.5,
+        "comparisons": 0,
+    }
+    assert tracer.spans_seen == tracer.spans_written == 3
+
+
+def test_borrowed_handle_left_open():
+    sink = io.StringIO()
+    tracer = OfferTracer(sink)
+    _record_all(tracer, 2)
+    tracer.close()
+    assert not sink.closed
+    assert len(sink.getvalue().splitlines()) == 2
+
+
+def test_sampling_is_seeded_and_deterministic(tmp_path):
+    def run(seed: int) -> list[int]:
+        sink = io.StringIO()
+        tracer = OfferTracer(sink, sample=0.3, seed=seed)
+        _record_all(tracer, 200)
+        assert tracer.spans_seen == 200
+        assert 0 < tracer.spans_written < 200
+        return [json.loads(l)["post_id"] for l in sink.getvalue().splitlines()]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+@pytest.mark.parametrize("sample", [0.0, -0.1, 1.0001])
+def test_sample_bounds_validated(sample):
+    with pytest.raises(ValueError):
+        OfferTracer(io.StringIO(), sample=sample)

@@ -1,0 +1,145 @@
+"""Differential and metamorphic properties across the engines.
+
+Differential: UniBin, NeighborBin, CliqueBin and IndexedUniBin all
+implement the same greedy semantics — admit iff no earlier retained post
+covers the arrival — through different data structures, so on any stream
+they must retain the **identical post-id set**. Random worlds turn this
+into a cross-implementation oracle: a bug in any one bin structure shows
+up as a disagreement.
+
+Metamorphic: transformations of a world with a provably known effect on
+the retained set —
+
+* shifting every timestamp by a constant changes nothing (coverage only
+  uses gaps);
+* XOR-ing every fingerprint with one mask changes nothing (Hamming
+  distance is XOR-invariant);
+* relabelling authors by a permutation (and relabelling the graph the
+  same way) changes nothing;
+* injecting an exact duplicate (same timestamp/author/fingerprint)
+  immediately after its original changes nothing — the duplicate is
+  covered by whatever admitted or covered the original;
+* tightening thresholds keeps the coverage guarantee *under the looser
+  predicate*: every post dropped by the tight run is loosely covered by a
+  tight-retained post (predicate inclusion).
+
+Note what is deliberately absent: |retained| is **not** monotone in the
+thresholds — loosening coverage can reshuffle greedy choices and retain
+*more* posts — so no size-comparison assertion appears here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import CoverageChecker, Thresholds, make_diversifier
+from repro.eval import find_uncovered
+
+from .worldgen import ALL_ENGINES, make_world, run_engine
+
+SEEDS = (7, 19, 31, 53)
+GRIDS = (
+    {"lambda_c": 2, "lambda_t": 60.0, "lambda_a": 0.7},
+    {"lambda_c": 8, "lambda_t": 120.0, "lambda_a": 0.7},
+    {"lambda_c": 18, "lambda_t": 600.0, "lambda_a": 0.7},
+)
+
+
+def _retained(engine_name: str, world) -> frozenset[int]:
+    engine = make_diversifier(engine_name, world.thresholds, world.graph)
+    return run_engine(engine, world.posts)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("grid", GRIDS, ids=lambda g: "c{lambda_c}".format(**g))
+def test_all_engines_retain_identical_sets(seed, grid):
+    world = make_world(seed, **grid)
+    results = {name: _retained(name, world) for name in ALL_ENGINES}
+    reference = results["unibin"]
+    for name, retained in results.items():
+        assert retained == reference, (
+            f"{name} disagrees with unibin on seed={seed} grid={grid}: "
+            f"only-{name}={sorted(retained - reference)[:5]} "
+            f"only-unibin={sorted(reference - retained)[:5]}"
+        )
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_time_shift_invariance(engine_name, seed):
+    world = make_world(seed)
+    shifted = [replace(p, timestamp=p.timestamp + 9999.5) for p in world.posts]
+    engine_a = make_diversifier(engine_name, world.thresholds, world.graph)
+    engine_b = make_diversifier(engine_name, world.thresholds, world.graph)
+    assert run_engine(engine_a, world.posts) == run_engine(engine_b, shifted)
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_fingerprint_xor_invariance(engine_name, seed):
+    """XOR with a constant mask is a Hamming isometry."""
+    world = make_world(seed)
+    mask = random.Random(seed).getrandbits(64)
+    masked = [replace(p, fingerprint=p.fingerprint ^ mask) for p in world.posts]
+    engine_a = make_diversifier(engine_name, world.thresholds, world.graph)
+    engine_b = make_diversifier(engine_name, world.thresholds, world.graph)
+    assert run_engine(engine_a, world.posts) == run_engine(engine_b, masked)
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_author_relabelling_invariance(engine_name, seed):
+    world = make_world(seed)
+    rng = random.Random(seed + 1)
+    authors = sorted(world.graph.nodes)
+    relabel = dict(zip(authors, rng.sample(authors, len(authors))))
+    permuted_graph = AuthorGraph(
+        [relabel[a] for a in authors],
+        [(relabel[a], relabel[b]) for a, b in world.graph.edges()],
+    )
+    permuted_posts = [replace(p, author=relabel[p.author]) for p in world.posts]
+    engine_a = make_diversifier(engine_name, world.thresholds, world.graph)
+    engine_b = make_diversifier(engine_name, world.thresholds, permuted_graph)
+    assert run_engine(engine_a, world.posts) == run_engine(engine_b, permuted_posts)
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_exact_duplicate_injection_is_a_noop(engine_name, seed):
+    """Duplicating a post in place (identical timestamp, author and
+    fingerprint, fresh id) never changes which original ids are retained,
+    and no duplicate is ever admitted."""
+    world = make_world(seed)
+    rng = random.Random(seed + 2)
+    stream = []
+    duplicate_ids = set()
+    next_id = len(world.posts)
+    for post in world.posts:
+        stream.append(post)
+        if rng.random() < 0.3:
+            stream.append(replace(post, post_id=next_id))
+            duplicate_ids.add(next_id)
+            next_id += 1
+    engine_a = make_diversifier(engine_name, world.thresholds, world.graph)
+    engine_b = make_diversifier(engine_name, world.thresholds, world.graph)
+    baseline = run_engine(engine_a, world.posts)
+    with_dupes = run_engine(engine_b, stream)
+    assert with_dupes & duplicate_ids == frozenset()
+    assert with_dupes == baseline
+
+
+@pytest.mark.parametrize("engine_name", ALL_ENGINES)
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_tight_run_satisfies_loose_coverage(engine_name, seed):
+    """Predicate inclusion: the set retained under tight thresholds covers
+    every input post under the *looser* predicate too."""
+    tight = make_world(seed, lambda_c=2, lambda_t=60.0, lambda_a=0.7)
+    loose = Thresholds(lambda_c=18, lambda_t=600.0, lambda_a=0.7)
+    engine = make_diversifier(engine_name, tight.thresholds, tight.graph)
+    retained = run_engine(engine, tight.posts)
+    loose_checker = CoverageChecker(loose, tight.graph)
+    assert find_uncovered(tight.posts, retained, loose_checker) == []

@@ -1,0 +1,182 @@
+"""Fault-fuzz: seeded corruption through the resilient pipeline.
+
+Random worlds are damaged with the :mod:`repro.resilience.faults`
+injectors and fed through :class:`ResilientIngest`. Under every seed the
+pipeline must uphold, *exactly*:
+
+* **conservation** — every arriving input is accounted for once:
+  ``offered == admitted + rejected + quarantined + late_dropped``;
+* **the coverage guarantee** — after reorder-buffer recovery, every clean
+  post that was dropped is covered by a retained post (the invariant
+  survives the faults, not just the happy path);
+* **recovery** — with ``max_skew >= max_displacement`` and duplicates as
+  the only post-level fault, the retained id set equals the clean run's
+  (duplicates share their original's id, so the sets match exactly);
+* **metrics agreement** — a bound :class:`~repro.obs.Registry` snapshot
+  reports the same counts as the pipeline's own accounting;
+* **transport accounting** — JSONL-level damage is quarantined line for
+  line: quarantine volume equals the line injector's fault count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_diversifier
+from repro.eval import find_uncovered
+from repro.io import post_to_dict
+from repro.obs import Registry
+from repro.resilience import ResilientIngest
+from repro.resilience.faults import FaultSchedule, LineFaultInjector
+
+from .worldgen import make_world, run_engine
+
+SEEDS = (3, 13, 29, 41)
+DISPLACEMENT = 25.0
+
+
+def _ingest_all(pipeline, posts):
+    events = []
+    for post in posts:
+        events.extend(pipeline.ingest(post))
+    events.extend(pipeline.flush())
+    return events
+
+
+def _status_counts(events):
+    counts = {"admitted": 0, "rejected": 0, "quarantined": 0, "late_dropped": 0}
+    for event in events:
+        counts[event.status] += 1
+    return counts
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_conservation_and_coverage_under_shuffle_and_duplicates(seed):
+    world = make_world(seed)
+    schedule = FaultSchedule(
+        seed=seed, max_displacement=DISPLACEMENT, duplicate_prob=0.2
+    )
+    damaged = list(schedule.apply(world.posts))
+
+    engine = make_diversifier("unibin", world.thresholds, world.graph)
+    pipeline = ResilientIngest(engine, max_skew=DISPLACEMENT)
+    events = _ingest_all(pipeline, damaged)
+
+    counts = _status_counts(events)
+    assert sum(counts.values()) == len(events)
+    assert len(events) == len(damaged)  # conservation: all inputs accounted
+    assert counts["quarantined"] == 0
+    assert counts["late_dropped"] == 0
+
+    retained = frozenset(e.post.post_id for e in events if e.admitted)
+    # Coverage holds over the *clean* world despite the damage.
+    assert find_uncovered(world.posts, retained, world.checker) == []
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reorder_recovery_matches_clean_run(seed):
+    """A skew window >= the injected displacement restores the clean
+    stream, so the retained set is bit-identical to an undamaged run."""
+    world = make_world(seed)
+    clean_engine = make_diversifier("unibin", world.thresholds, world.graph)
+    clean_retained = run_engine(clean_engine, world.posts)
+
+    schedule = FaultSchedule(
+        seed=seed, max_displacement=DISPLACEMENT, duplicate_prob=0.3
+    )
+    damaged = list(schedule.apply(world.posts))
+    engine = make_diversifier("unibin", world.thresholds, world.graph)
+    pipeline = ResilientIngest(engine, max_skew=DISPLACEMENT)
+    events = _ingest_all(pipeline, damaged)
+    retained = frozenset(e.post.post_id for e in events if e.admitted)
+
+    assert retained == clean_retained
+    # A duplicate (same id, emitted adjacent to its original) is always
+    # covered and must never be double-admitted.
+    admitted_events = [e for e in events if e.admitted]
+    assert len(admitted_events) == len(retained)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_metrics_snapshot_agrees_with_pipeline_accounting(seed):
+    world = make_world(seed)
+    schedule = FaultSchedule(
+        seed=seed, max_displacement=DISPLACEMENT, duplicate_prob=0.2
+    )
+    damaged = list(schedule.apply(world.posts))
+
+    engine = make_diversifier("cliquebin", world.thresholds, world.graph)
+    pipeline = ResilientIngest(engine, max_skew=DISPLACEMENT)
+    registry = Registry()
+    pipeline.bind_metrics(registry)
+    _ingest_all(pipeline, damaged)
+
+    accounting = pipeline.counters()
+    stats = accounting["engine"]
+    assert registry.value("repro_comparisons_total", engine="cliquebin") == (
+        stats["comparisons"]
+    )
+    assert registry.value(
+        "repro_offers_total", engine="cliquebin", decision="admitted"
+    ) == stats["posts_admitted"]
+    reorder = accounting["reorder"]
+    assert registry.value("repro_reorder_received_total") == reorder["received"]
+    assert registry.value("repro_reorder_released_total") == reorder["released"]
+    assert registry.value("repro_reorder_reordered_total") == reorder["reordered"]
+    assert registry.value("repro_quarantined_total") == len(pipeline.quarantine)
+    assert registry.value("repro_reorder_buffer_depth") == 0  # flushed
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_late_drops_are_counted_not_lost(seed):
+    """With a skew window *smaller* than the displacement, late posts are
+    dropped — but counted, and conservation still holds."""
+    world = make_world(seed)
+    schedule = FaultSchedule(seed=seed, max_displacement=DISPLACEMENT)
+    damaged = list(schedule.apply(world.posts))
+
+    engine = make_diversifier("unibin", world.thresholds, world.graph)
+    pipeline = ResilientIngest(engine, max_skew=DISPLACEMENT / 10, late_policy="drop")
+    events = _ingest_all(pipeline, damaged)
+    counts = _status_counts(events)
+    assert len(events) == len(damaged)
+    assert counts["late_dropped"] == pipeline.reorder.counters.late_dropped
+    assert (
+        counts["admitted"] + counts["rejected"]
+        == pipeline.reorder.counters.released
+    )
+    # Whatever got through still upholds coverage over the posts the
+    # engine actually saw.
+    seen = [e.post for e in events if e.status in ("admitted", "rejected")]
+    seen.sort(key=lambda p: p.timestamp)
+    retained = frozenset(e.post.post_id for e in events if e.admitted)
+    assert find_uncovered(seen, retained, world.checker) == []
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_transport_damage_quarantined_line_for_line(seed, tmp_path):
+    """JSONL corruption: every damaged line lands in quarantine, every
+    clean line reaches the engine, counts agree exactly."""
+    import json
+
+    from repro.resilience.pipeline import ingest_jsonl
+
+    world = make_world(seed, n_posts=150)
+    lines = [json.dumps(post_to_dict(p), sort_keys=True) for p in world.posts]
+    injector = LineFaultInjector(
+        seed=seed, malformed_prob=0.05, torn_prob=0.05, bad_timestamp_prob=0.05
+    )
+    damaged = list(injector.apply(lines))
+    trace = tmp_path / "damaged.jsonl"
+    trace.write_text("\n".join(damaged) + "\n", encoding="utf-8")
+
+    engine = make_diversifier("unibin", world.thresholds, world.graph)
+    pipeline = ResilientIngest(engine)
+    events = ingest_jsonl(pipeline, trace, on_error="quarantine")
+
+    faults = injector.counts
+    injected = faults.malformed + faults.torn + faults.bad_timestamp
+    assert len(pipeline.quarantine) == injected
+    decided = sum(1 for e in events if e.status in ("admitted", "rejected"))
+    assert decided == faults.passed
+    assert decided + injected == len(damaged)

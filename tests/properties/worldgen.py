@@ -1,0 +1,121 @@
+"""Seeded random world generator for the property-based suite.
+
+A *world* is an author graph plus a timestamp-ordered post stream with
+fingerprints constructed directly (no text hashing), so the generator can
+steer the content dimension precisely: a tunable fraction of posts *echo*
+an earlier post's fingerprint with a few random bit flips, producing
+near-duplicates at controlled Hamming distances — the regime where the
+coverage logic actually has to work. Everything is driven by one
+``random.Random(seed)``: the same seed always builds the same world.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.authors import AuthorGraph
+from repro.core import CoverageChecker, Post, Thresholds
+
+#: The four single-user engines under test.
+ALL_ENGINES = ("unibin", "neighborbin", "cliquebin", "indexed_unibin")
+
+#: Engines that accept a disabled author dimension (lambda_a >= 1).
+AUTHOR_FREE_ENGINES = ("unibin", "indexed_unibin")
+
+
+@dataclass(frozen=True, slots=True)
+class World:
+    """One generated test scenario."""
+
+    seed: int
+    graph: AuthorGraph
+    thresholds: Thresholds
+    posts: list[Post]
+
+    @property
+    def checker(self) -> CoverageChecker:
+        return CoverageChecker(self.thresholds, self.graph)
+
+
+def _flip_bits(fingerprint: int, flips: int, rng: random.Random) -> int:
+    for bit in rng.sample(range(64), flips):
+        fingerprint ^= 1 << bit
+    return fingerprint
+
+
+def make_world(
+    seed: int,
+    *,
+    n_posts: int = 250,
+    n_authors: int = 12,
+    edge_prob: float = 0.3,
+    echo_prob: float = 0.6,
+    max_flips: int = 24,
+    mean_gap: float = 10.0,
+    lambda_c: int = 8,
+    lambda_t: float = 120.0,
+    lambda_a: float = 0.7,
+) -> World:
+    """Build a deterministic random world.
+
+    ``echo_prob`` of posts copy a recent post's fingerprint with
+    ``randint(0, max_flips)`` bit flips — spanning both sides of any λc up
+    to ``max_flips``; the rest draw 64 fresh random bits. Timestamps are
+    non-decreasing with exponential gaps of mean ``mean_gap`` seconds, so
+    streams span several λt windows.
+    """
+    rng = random.Random(seed)
+    authors = list(range(1, n_authors + 1))
+    edges = [
+        (a, b)
+        for i, a in enumerate(authors)
+        for b in authors[i + 1 :]
+        if rng.random() < edge_prob
+    ]
+    graph = AuthorGraph(authors, edges)
+
+    posts: list[Post] = []
+    t = 0.0
+    for i in range(n_posts):
+        t += rng.expovariate(1.0 / mean_gap)
+        if posts and rng.random() < echo_prob:
+            source = posts[-rng.randint(1, min(len(posts), 25))]
+            fingerprint = _flip_bits(
+                source.fingerprint, rng.randint(0, max_flips), rng
+            )
+        else:
+            fingerprint = rng.getrandbits(64)
+        posts.append(
+            Post(
+                post_id=i,
+                author=rng.choice(authors),
+                text=f"post-{i}",
+                timestamp=t,
+                fingerprint=fingerprint,
+            )
+        )
+    return World(
+        seed=seed,
+        graph=graph,
+        thresholds=Thresholds(
+            lambda_c=lambda_c, lambda_t=lambda_t, lambda_a=lambda_a
+        ),
+        posts=posts,
+    )
+
+
+#: The threshold grid every property is exercised across: content from
+#: "exact duplicates only" to "almost anything matches", time windows
+#: shorter and longer than the stream span, author dimension on and off.
+THRESHOLD_GRID = tuple(
+    {"lambda_c": lc, "lambda_t": lt, "lambda_a": la}
+    for lc in (0, 2, 8, 18)
+    for lt in (30.0, 600.0)
+    for la in (0.7, 1.0)
+)
+
+
+def run_engine(engine, posts: list[Post]) -> frozenset[int]:
+    """Offer ``posts`` in order; return the admitted post-id set."""
+    return frozenset(p.post_id for p in posts if engine.offer(p))
