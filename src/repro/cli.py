@@ -62,7 +62,27 @@ def _diversify_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--algorithm",
         default="unibin",
-        help="unibin | neighborbin | cliquebin | indexed_unibin",
+        help="unibin | neighborbin | cliquebin | indexed_unibin; with "
+        "--subscriptions also multi-user names (m_*, s_*, p_*)",
+    )
+    parser.add_argument(
+        "--subscriptions",
+        help="subscriptions.json: run in multi-user mode, emitting per-post "
+        "receiver sets instead of a single diversified trace",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sharded parallel engine "
+        "(multi-user mode; 1 = in-process fast path)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=512,
+        help="posts shipped per shard round-trip in multi-user mode "
+        "(amortizes IPC; 1 = per-post offers)",
     )
     parser.add_argument("--lambda-c", type=int, default=18, help="content bits")
     parser.add_argument("--lambda-t", type=float, default=1800.0, help="seconds")
@@ -151,6 +171,15 @@ def _run_diversify(argv: list[str]) -> int:
     )
 
     args = _diversify_parser().parse_args(argv)
+    if args.subscriptions:
+        return _run_diversify_multiuser(args)
+    if args.workers != 1:
+        print(
+            "--workers applies to the multi-user sharded engine; "
+            "pass --subscriptions to enable it",
+            file=sys.stderr,
+        )
+        return 2
     thresholds = Thresholds(
         lambda_c=args.lambda_c, lambda_t=args.lambda_t, lambda_a=args.lambda_a
     )
@@ -254,6 +283,161 @@ def _run_diversify(argv: list[str]) -> int:
             )
     if args.output:
         print(f"diversified trace written to {args.output}")
+    return 0
+
+
+def _run_diversify_multiuser(args) -> int:
+    """Multi-user mode of ``diversify``: route every post to the users who
+    receive it, through a serial (m_*/s_*) or sharded parallel (p_*)
+    engine, batching posts to amortize per-offer — and, with workers > 1,
+    IPC — overhead."""
+    import json
+
+    from .core import ALGORITHMS, Thresholds
+    from .io import (
+        post_to_dict,
+        read_graph_json,
+        read_posts_jsonl,
+        read_subscriptions_json,
+    )
+    from .multiuser import MULTIUSER_NAMES, PARALLEL_NAMES, make_multiuser
+    from .resilience import (
+        Quarantine,
+        load_checkpoint,
+        restore_engine,
+        save_checkpoint,
+        snapshot_engine,
+    )
+
+    if not args.graph:
+        print("multi-user mode requires --graph", file=sys.stderr)
+        return 2
+    if args.max_skew or args.trace_out:
+        print(
+            "--max-skew and --trace-out are single-user pipeline features; "
+            "multi-user mode streams strictly ordered posts",
+            file=sys.stderr,
+        )
+        return 2
+    thresholds = Thresholds(
+        lambda_c=args.lambda_c, lambda_t=args.lambda_t, lambda_a=args.lambda_a
+    )
+    graph = read_graph_json(args.graph)
+    subscriptions = read_subscriptions_json(args.subscriptions)
+    sink = Quarantine()
+
+    if args.resume_from:
+        snap = load_checkpoint(args.resume_from)
+        if snap.get("kind") == "pipeline":
+            snap = snap["engine"]
+        engine = restore_engine(snap, graph=graph, subscriptions=subscriptions)
+        print(
+            f"note: resuming {engine.name!r} from {args.resume_from}; "
+            "--algorithm/--workers come from the checkpoint",
+            file=sys.stderr,
+        )
+    else:
+        name = args.algorithm
+        if name in ALGORITHMS:
+            name = f"p_{name}"  # bare algorithm → sharded engine
+        if name not in MULTIUSER_NAMES + PARALLEL_NAMES:
+            print(
+                f"unknown multi-user algorithm {args.algorithm!r}; choose a "
+                f"bare algorithm ({', '.join(ALGORITHMS)}) or one of "
+                f"{MULTIUSER_NAMES + PARALLEL_NAMES}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers > 1 and not name.startswith("p_"):
+            print(
+                f"--workers {args.workers} needs the sharded engine; use a "
+                f"bare algorithm name or p_* (got {name!r})",
+                file=sys.stderr,
+            )
+            return 2
+        engine = make_multiuser(
+            name,
+            thresholds,
+            graph,
+            subscriptions,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
+
+    registry = None
+    if args.metrics_out:
+        from . import simhash
+        from .obs import Registry
+
+        registry = Registry()
+        engine.bind_metrics(registry)
+        simhash.enable_metrics(registry)
+
+    deliveries = 0
+    out_handle = open(args.output, "w", encoding="utf-8") if args.output else None
+    try:
+        chunk: list = []
+
+        def drain() -> None:
+            nonlocal deliveries
+            for post, receivers in zip(chunk, engine.offer_batch(chunk)):
+                deliveries += len(receivers)
+                if receivers and out_handle is not None:
+                    record = post_to_dict(post)
+                    record["receivers"] = sorted(receivers)
+                    out_handle.write(json.dumps(record, sort_keys=True))
+                    out_handle.write("\n")
+            chunk.clear()
+
+        for post in read_posts_jsonl(
+            args.posts, on_error=args.on_error, quarantine=sink
+        ):
+            chunk.append(post)
+            if len(chunk) >= args.batch_size:
+                drain()
+        drain()
+
+        stats = engine.aggregate_stats()
+        print(
+            f"{engine.name}: {stats.posts_admitted}/{stats.posts_processed} "
+            f"instance offers admitted; {deliveries:,} deliveries to "
+            f"{len(subscriptions)} users; {stats.comparisons:,} comparisons, "
+            f"{stats.insertions:,} insertions"
+        )
+        if hasattr(engine, "shard_count"):
+            print(
+                f"shards: {engine.shard_count()} "
+                f"(imbalance {engine.shard_imbalance():.3f}, "
+                f"sharing ratio {engine.sharing_ratio():.3f})"
+            )
+        if len(sink):
+            print(
+                f"quarantined {len(sink)} records: "
+                + ", ".join(f"{r}={c}" for r, c in sorted(sink.by_reason.items()))
+            )
+        if args.quarantine_out:
+            written = sink.write_jsonl(args.quarantine_out)
+            print(
+                f"dead-letter file written to {args.quarantine_out} "
+                f"({written} records)"
+            )
+        if args.checkpoint_out:
+            save_checkpoint(snapshot_engine(engine), args.checkpoint_out)
+            print(f"checkpoint written to {args.checkpoint_out}")
+        if registry is not None:
+            from . import simhash
+            from .obs import write_json_snapshot
+
+            simhash.disable_metrics()
+            write_json_snapshot(registry, args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out}")
+        if args.output:
+            print(f"receiver trace written to {args.output}")
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+        if hasattr(engine, "close"):
+            engine.close()
     return 0
 
 

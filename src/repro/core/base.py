@@ -125,6 +125,18 @@ class StreamDiversifier(ABC):
         with a richer structure override."""
         return 1
 
+    def offer_batch(self, posts) -> list[bool]:
+        """Offer a timestamp-ordered chunk of posts; one verdict per post.
+
+        Semantically identical to ``[self.offer(p) for p in posts]`` — the
+        greedy decision is per post either way — but resolves the offer
+        method once per chunk instead of once per post, and gives callers
+        (the parallel execution layer, the CLI batch path) a single entry
+        point that amortizes per-call overhead.
+        """
+        offer = self.offer
+        return [offer(post) for post in posts]
+
     def diversify(self, posts) -> list[Post]:
         """Convenience wrapper: run the whole iterable, return Z as a list."""
         return [post for post in posts if self.offer(post)]

@@ -30,6 +30,18 @@ class PostBin:
     def __iter__(self) -> Iterator[Post]:
         return iter(self._posts)
 
+    @property
+    def data(self) -> deque[Post]:
+        """The underlying arrival-ordered deque.
+
+        Exposed for the engines' hot loops: after :meth:`expire` has run at
+        the current timestamp, every remaining post is inside the window,
+        so a coverage scan can iterate ``reversed(bin.data)`` directly —
+        no per-candidate cutoff check and no generator frame per candidate.
+        Callers must not mutate it.
+        """
+        return self._posts
+
     def append(self, post: Post) -> None:
         """Store ``post`` as the newest entry."""
         self._posts.append(post)

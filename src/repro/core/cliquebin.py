@@ -65,26 +65,36 @@ class CliqueBin(StreamDiversifier):
         covers = self.checker.covers_known_author_similar
         stats = self.stats
         lambda_t = self.thresholds.lambda_t
+        timestamp = post.timestamp
+        bins = self._bins
+        newest_first = self.newest_first
         for clique_idx in self._cliques_of(post.author):
-            bin_ = self._bins[clique_idx]
-            stats.record_evictions(bin_.expire(post.timestamp, lambda_t))
-            for candidate in bin_.scan(
-                post.timestamp, lambda_t, newest_first=self.newest_first
-            ):
-                stats.comparisons += 1
-                if covers(post, candidate):
-                    return True
+            bin_ = bins[clique_idx]
+            stats.record_evictions(bin_.expire(timestamp, lambda_t))
+            if newest_first:
+                # Post-expiry the deque holds only in-window posts: scan it
+                # directly without per-candidate cutoff checks.
+                checked = 0
+                for candidate in reversed(bin_.data):
+                    checked += 1
+                    if covers(post, candidate):
+                        stats.comparisons += checked
+                        return True
+                stats.comparisons += checked
+            else:
+                for candidate in bin_.scan(timestamp, lambda_t, newest_first=False):
+                    stats.comparisons += 1
+                    if covers(post, candidate):
+                        return True
         return False
 
     def _admit(self, post: Post) -> None:
-        lambda_t = self.thresholds.lambda_t
+        # _admit only runs after _is_covered scanned — and therefore
+        # expired — every one of the author's clique bins at this exact
+        # timestamp, so a second expiry pass here could never evict.
         cliques = self._cliques_of(post.author)
-        evicted = 0
         for clique_idx in cliques:
-            bin_ = self._bins[clique_idx]
-            evicted += bin_.expire(post.timestamp, lambda_t)
-            bin_.append(post)
-        self.stats.record_evictions(evicted)
+            self._bins[clique_idx].append(post)
         self.stats.record_insertions(len(cliques))
 
     def purge(self, now: float | None = None) -> None:

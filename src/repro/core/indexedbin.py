@@ -47,16 +47,21 @@ class IndexedUniBin(StreamDiversifier):
         self._expire(post.timestamp)
         checker = self.checker
         stats = self.stats
-        for key, _distance in self._index.query(post.fingerprint):
-            stats.comparisons += 1
-            candidate = self._by_id[key]
+        by_id = self._by_id
+        author = post.author
+
+        def verify(key) -> bool:
             # Content similarity is established by the index radius; only
-            # time and author remain.
-            if checker.time_similar(post, candidate) and checker.authors_similar(
-                post.author, candidate.author
-            ):
-                return True
-        return False
+            # time and author remain. Comparisons count candidates
+            # *verified*, identical to the old full-query loop: the scan
+            # stops at the first accepted candidate either way.
+            stats.comparisons += 1
+            candidate = by_id[key]
+            return checker.time_similar(post, candidate) and checker.authors_similar(
+                author, candidate.author
+            )
+
+        return self._index.first_match(post.fingerprint, verify) is not None
 
     def _admit(self, post: Post) -> None:
         self._queue.append(post)

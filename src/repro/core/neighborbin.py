@@ -61,8 +61,19 @@ class NeighborBin(StreamDiversifier):
         stats.record_evictions(
             own_bin.expire(post.timestamp, self.thresholds.lambda_t)
         )
+        if self.newest_first:
+            # The expiry above left only in-window posts: scan the deque
+            # directly, no cutoff check or generator frame per candidate.
+            checked = 0
+            for candidate in reversed(own_bin.data):
+                checked += 1
+                if covers(post, candidate):
+                    stats.comparisons += checked
+                    return True
+            stats.comparisons += checked
+            return False
         for candidate in own_bin.scan(
-            post.timestamp, self.thresholds.lambda_t, newest_first=self.newest_first
+            post.timestamp, self.thresholds.lambda_t, newest_first=False
         ):
             stats.comparisons += 1
             if covers(post, candidate):

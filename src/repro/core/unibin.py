@@ -35,12 +35,25 @@ class UniBin(StreamDiversifier):
         covers = self.checker.covers
         stats = self.stats
         # Expired posts sit at the left end of the deque; dropping them now
-        # keeps the stored-copy accounting tight (they could never match).
+        # keeps the stored-copy accounting tight (they could never match)
+        # and leaves only in-window posts, so the scan below needs no
+        # per-candidate cutoff check. This is the single expiry of the
+        # offer: _admit relies on it instead of expiring again.
         stats.record_evictions(
             self._bin.expire(post.timestamp, self.thresholds.lambda_t)
         )
+        if self.newest_first:
+            checked = 0
+            for candidate in reversed(self._bin.data):
+                checked += 1
+                if covers(post, candidate):
+                    stats.comparisons += checked
+                    return True
+            stats.comparisons += checked
+            return False
+        # Oldest-first ablation order keeps the generator path.
         for candidate in self._bin.scan(
-            post.timestamp, self.thresholds.lambda_t, newest_first=self.newest_first
+            post.timestamp, self.thresholds.lambda_t, newest_first=False
         ):
             stats.comparisons += 1
             if covers(post, candidate):
@@ -48,11 +61,8 @@ class UniBin(StreamDiversifier):
         return False
 
     def _admit(self, post: Post) -> None:
-        # Evict eagerly on insertion — the paper advances the oldest-post
-        # cursor while scanning; expiring here keeps the deque equivalent.
-        self.stats.record_evictions(
-            self._bin.expire(post.timestamp, self.thresholds.lambda_t)
-        )
+        # _is_covered already expired the bin at this exact timestamp, so
+        # the deque holds only in-window posts; appending keeps it ordered.
         self._bin.append(post)
         self.stats.record_insertions(1)
 

@@ -39,3 +39,8 @@ class DatasetError(ReproError):
 class CheckpointError(ReproError):
     """An engine snapshot could not be taken or restored (wrong algorithm,
     mismatched graph/cover, malformed or incompatible checkpoint file)."""
+
+
+class ParallelError(ReproError):
+    """The sharded execution layer failed: a worker process died, reported
+    an exception, or the pool was used after :meth:`close`."""

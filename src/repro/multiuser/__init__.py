@@ -5,11 +5,17 @@ Public surface:
 * :class:`SubscriptionTable` — user ⇄ author routing.
 * :class:`IndependentMultiUser` — the M_* per-user baseline.
 * :class:`SharedComponentMultiUser` — the S_* shared-component optimisation.
-* :func:`make_multiuser` — construct either by name (``"m_unibin"`` …).
+* :func:`make_multiuser` — construct any engine by name (``"m_unibin"``,
+  ``"s_cliquebin"``, ``"p_unibin"`` …).
+
+The ``p_*`` names are the sharded :class:`~repro.parallel.
+ParallelSharedMultiUser` engines (S_* semantics spread over worker
+processes); they accept every registry algorithm, including
+``indexed_unibin``.
 """
 
 from ..authors import AuthorGraph
-from ..core import ALGORITHM_NAMES, Thresholds
+from ..core import ALGORITHM_NAMES, ALGORITHMS, Thresholds
 from ..errors import UnknownAlgorithmError
 from .base import MultiUserDiversifier
 from .independent import IndependentMultiUser
@@ -20,18 +26,40 @@ MULTIUSER_NAMES: tuple[str, ...] = tuple(
     f"{prefix}_{algo}" for prefix in ("m", "s") for algo in ALGORITHM_NAMES
 )
 
+#: The parallel sharded engines (one per registry algorithm).
+PARALLEL_NAMES: tuple[str, ...] = tuple(f"p_{algo}" for algo in ALGORITHMS)
+
 
 def make_multiuser(
     name: str,
     thresholds: Thresholds,
     graph: AuthorGraph,
     subscriptions: SubscriptionTable,
+    *,
+    workers: int = 1,
+    batch_size: int = 512,
 ) -> MultiUserDiversifier:
-    """Instantiate an M-SPSD engine by name, e.g. ``"s_cliquebin"``."""
+    """Instantiate an M-SPSD engine by name, e.g. ``"s_cliquebin"``.
+
+    ``workers``/``batch_size`` configure the ``p_*`` sharded engines and
+    are ignored by the serial ``m_*``/``s_*`` ones.
+    """
     prefix, _, algorithm = name.partition("_")
+    if name in PARALLEL_NAMES:
+        from ..parallel import ParallelSharedMultiUser
+
+        return ParallelSharedMultiUser(
+            algorithm,
+            thresholds,
+            graph,
+            subscriptions,
+            workers=workers,
+            batch_size=batch_size,
+        )
     if name not in MULTIUSER_NAMES:
         raise UnknownAlgorithmError(
-            f"unknown multi-user algorithm {name!r}; choose from {MULTIUSER_NAMES}"
+            f"unknown multi-user algorithm {name!r}; choose from "
+            f"{MULTIUSER_NAMES + PARALLEL_NAMES}"
         )
     if prefix == "m":
         return IndependentMultiUser(algorithm, thresholds, graph, subscriptions)
@@ -40,6 +68,7 @@ def make_multiuser(
 
 __all__ = [
     "MULTIUSER_NAMES",
+    "PARALLEL_NAMES",
     "IndependentMultiUser",
     "MultiUserDiversifier",
     "SharedComponentMultiUser",

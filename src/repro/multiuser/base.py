@@ -29,6 +29,17 @@ class MultiUserDiversifier(ABC):
     def offer(self, post: Post) -> frozenset[int]:
         """Process one arriving post; return the users who receive it."""
 
+    def offer_batch(self, posts) -> list[frozenset[int]]:
+        """Offer a timestamp-ordered chunk; one receiver set per post.
+
+        Semantically identical to ``[self.offer(p) for p in posts]``.
+        Engines with per-chunk economies (the parallel sharded engine ships
+        one IPC round-trip per chunk) override this; the default just
+        amortizes the method lookup.
+        """
+        offer = self.offer
+        return [offer(post) for post in posts]
+
     def bind_metrics(self, registry, *, per_user: bool = False) -> None:
         """Attach observability to this engine.
 

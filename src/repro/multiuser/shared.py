@@ -63,6 +63,25 @@ class SharedComponentMultiUser(MultiUserDiversifier):
             self._metrics.record(len(components), result)
         return result
 
+    def offer_batch(self, posts) -> list[frozenset[int]]:
+        """Chunked offers with the routing lookups hoisted out of the loop."""
+        components_of_author = self._components_of_author
+        instances = self._instances
+        users_of = self._users_of
+        metrics = self._metrics
+        out: list[frozenset[int]] = []
+        for post in posts:
+            components = components_of_author.get(post.author, ())
+            receivers: set[int] = set()
+            for idx in components:
+                if instances[idx].offer(post):
+                    receivers.update(users_of[idx])
+            result = frozenset(receivers)
+            if metrics is not None:
+                metrics.record(len(components), result)
+            out.append(result)
+        return out
+
     def aggregate_stats(self) -> RunStats:
         total = RunStats()
         for instance in self._instances:

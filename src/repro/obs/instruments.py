@@ -26,6 +26,7 @@ from .metrics import COUNT_BUCKETS, LATENCY_BUCKETS, Registry
 __all__ = [
     "EngineInstruments",
     "MultiUserInstruments",
+    "ParallelInstruments",
     "PipelineInstruments",
     "ServiceInstruments",
     "SimhashInstruments",
@@ -219,6 +220,63 @@ class MultiUserInstruments:
         if self._per_user is not None:
             for user in receivers:
                 self._per_user.labels(engine=self._engine_name, user=user).inc()
+
+
+class ParallelInstruments(MultiUserInstruments):
+    """Bundle for the sharded :class:`~repro.parallel.ParallelSharedMultiUser`.
+
+    Everything the serial multi-user bundle exports (the aggregate view is
+    shard-transparent — its counters agree with the serial engine's to the
+    post), plus the execution-layer picture: shard count, the planned
+    cost imbalance ``(max − mean)/mean``, and per-shard labelled counters
+    so a dashboard can see which shard runs hot. Per-shard callbacks read
+    :meth:`shard_stats` at collection time — one IPC round-trip per shard
+    per collected family, nothing on the offer path.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, registry: Registry, engine, *, per_user: bool = False) -> None:
+        super().__init__(registry, engine, per_user=per_user)
+        name = engine.name
+        registry.gauge(
+            "repro_parallel_shards",
+            "Worker shards the parallel engine runs",
+            ("engine",),
+        ).labels(engine=name).set_function(engine.shard_count)
+        registry.gauge(
+            "repro_parallel_shard_imbalance",
+            "Planned shard cost imbalance, (max - mean) / mean over shards",
+            ("engine",),
+        ).labels(engine=name).set_function(engine.shard_imbalance)
+        shard_families = {
+            "posts": registry.counter(
+                "repro_shard_posts_total",
+                "Posts processed by one shard's component engines",
+                ("engine", "shard"),
+            ),
+            "comparisons": registry.counter(
+                "repro_shard_comparisons_total",
+                "Candidate posts examined by one shard",
+                ("engine", "shard"),
+            ),
+            "stored": registry.gauge(
+                "repro_shard_stored_copies",
+                "Post copies resident in one shard's bins",
+                ("engine", "shard"),
+            ),
+        }
+        for shard in range(engine.shard_count()):
+            for key, attr in (
+                ("posts", "posts_processed"),
+                ("comparisons", "comparisons"),
+                ("stored", "stored_copies"),
+            ):
+                shard_families[key].labels(engine=name, shard=shard).set_function(
+                    lambda shard=shard, attr=attr: getattr(
+                        engine.shard_stats()[shard], attr
+                    )
+                )
 
 
 class PipelineInstruments:

@@ -1,0 +1,25 @@
+"""Parallel sharded execution for M-SPSD (builds on paper §5).
+
+The sharing theorem makes connected components of the author similarity
+graph independent units of work; this package partitions the distinct
+components of a :class:`~repro.authors.ComponentCatalog` across worker
+processes and recombines per-shard admissions into the exact serial
+answer.
+
+Public surface:
+
+* :class:`ParallelSharedMultiUser` — the drop-in sharded engine
+  (``workers=1`` is the zero-IPC in-process fast path).
+* :func:`plan_shards` / :func:`component_cost` / :class:`ShardPlan` — the
+  cost-model-driven bin-packing behind shard assignment.
+"""
+
+from .engine import ParallelSharedMultiUser
+from .sharding import ShardPlan, component_cost, plan_shards
+
+__all__ = [
+    "ParallelSharedMultiUser",
+    "ShardPlan",
+    "component_cost",
+    "plan_shards",
+]

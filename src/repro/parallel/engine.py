@@ -1,0 +1,406 @@
+"""ParallelSharedMultiUser: the sharded M-SPSD execution engine.
+
+Drop-in :class:`~repro.multiuser.MultiUserDiversifier` that runs the
+shared-component decomposition of :class:`SharedComponentMultiUser` across
+``workers`` processes. Distinct components are bin-packed onto shards by
+estimated cost (:mod:`.sharding`), each worker process owns its shard's
+single-user engines (:mod:`.worker`), and the coordinator routes arriving
+posts to the shards owning their author's components, merging per-shard
+admissions back into the exact serial receiver set.
+
+Exactness: components are provably independent (§5), each component's
+engine sees precisely the same post subsequence in the same order as in
+the serial engine, and the receiver set of a post is the union over its
+author's components of that component's users — a union that commutes
+across shards. Verdicts, per-user timelines and every RunStats counter are
+therefore byte-identical to ``SharedComponentMultiUser``, which the
+differential suite asserts.
+
+Throughput: IPC is amortized with :meth:`offer_batch` — one round-trip per
+shard per chunk instead of one per post — and ``workers=1`` (or a
+single-component world) short-circuits to an in-process engine with zero
+IPC, so the batched 1-worker path is never slower than the serial engine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from collections import defaultdict
+
+from ..authors import AuthorGraph, ComponentCatalog
+from ..core import Post, RunStats, Thresholds, make_diversifier
+from ..errors import ConfigurationError, ParallelError
+from ..multiuser.base import MultiUserDiversifier
+from ..multiuser.routing import SubscriptionTable
+from .sharding import ShardPlan, component_cost, plan_shards
+from .worker import ShardSpec, shard_worker_main
+
+
+def _preferred_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    # fork is cheapest by far (no pickling of graph/spec, instant startup);
+    # spawn is the portable fallback (Windows, macOS default).
+    return "fork" if "fork" in methods else methods[0]
+
+
+def _shutdown_workers(processes, connections) -> None:
+    """Best-effort teardown, safe to run twice (weakref.finalize target)."""
+    for conn in connections:
+        try:
+            conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+    for conn in connections:
+        try:
+            # Drain the stop acknowledgement so the worker's send never blocks.
+            if conn.poll(1.0):
+                conn.recv()
+        except (OSError, EOFError, ValueError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1.0)
+
+
+class ParallelSharedMultiUser(MultiUserDiversifier):
+    """Sharded S_* engine: shared components spread over worker processes.
+
+    Args:
+        algorithm: any single-user registry name (``unibin`` …
+            ``indexed_unibin``).
+        thresholds: shared diversity thresholds (sharing requires them to
+            be uniform across users, exactly as for the serial S_*).
+        graph: the author similarity graph.
+        subscriptions: the user ⇄ author table.
+        workers: shard/process count. Clamped to the number of distinct
+            components; ``1`` runs fully in-process (no IPC, no worker
+            processes) and is the fast serial path.
+        batch_size: default chunk length for :meth:`run`'s internal
+            batching; :meth:`offer_batch` always uses the chunk it is given.
+        posts_per_author / retention: priors for the §4.4 cost estimates
+            that drive shard bin-packing.
+        start_method: multiprocessing start method; default prefers
+            ``fork`` and falls back to the platform default.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        thresholds: Thresholds,
+        graph: AuthorGraph,
+        subscriptions: SubscriptionTable,
+        *,
+        workers: int = 1,
+        batch_size: int = 512,
+        posts_per_author: float = 1.0,
+        retention: float = 0.5,
+        start_method: str | None = None,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.name = f"p_{algorithm}"
+        self.algorithm = algorithm
+        self.thresholds = thresholds
+        self.subscriptions = subscriptions
+        self.batch_size = batch_size
+        self.catalog = ComponentCatalog(graph, subscriptions.as_dict())
+        self._users_of: list[frozenset[int]] = [
+            frozenset(users) for users in self.catalog.users_of
+        ]
+        self._components_of_author: dict[int, list[int]] = defaultdict(list)
+        for idx, component in enumerate(self.catalog.components):
+            for author in component:
+                self._components_of_author[author].append(idx)
+
+        distinct = self.catalog.distinct_count
+        self.workers = max(1, min(workers, distinct)) if distinct else 1
+        costs = [
+            component_cost(
+                algorithm,
+                graph,
+                component,
+                posts_per_author=posts_per_author,
+                retention=retention,
+            )
+            for component in self.catalog.components
+        ]
+        self.plan: ShardPlan = plan_shards(costs, self.workers)
+        self._shard_of = self.plan.shard_of_component()
+        self._closed = False
+        self._finalizer = None
+
+        if self.workers == 1:
+            # In-process fast path: the exact serial engines, no IPC.
+            self._engines: dict[int, object] | None = {
+                idx: make_diversifier(algorithm, thresholds, graph.subgraph(component))
+                for idx, component in enumerate(self.catalog.components)
+            }
+            self._connections: list = []
+            self._processes: list = []
+            return
+
+        self._engines = None
+        context = multiprocessing.get_context(
+            start_method if start_method is not None else _preferred_start_method()
+        )
+        self._connections = []
+        self._processes = []
+        for shard_indices in self.plan.assignments:
+            spec = ShardSpec(
+                algorithm=algorithm,
+                thresholds=thresholds,
+                graph=graph,
+                components=tuple(
+                    (idx, self.catalog.components[idx]) for idx in shard_indices
+                ),
+            )
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=shard_worker_main,
+                args=(child_conn, spec),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, list(self._processes), list(self._connections)
+        )
+        for shard, conn in enumerate(self._connections):
+            self._receive(shard, conn)  # startup handshake ("ready")
+
+    # -- worker protocol ---------------------------------------------------
+
+    def _receive(self, shard: int, conn):
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ParallelError(
+                f"shard {shard} worker died (pipe closed): {exc}"
+            ) from exc
+        if reply[0] == "error":
+            raise ParallelError(f"shard {shard} worker {reply[1]}: {reply[2]}")
+        return reply[1]
+
+    def _request_all(self, message):
+        """Send ``message`` to every shard, then collect replies — sends
+        complete before the first receive so shards work concurrently."""
+        if self._closed:
+            raise ParallelError(f"{self.name} engine already closed")
+        targets = range(len(self._connections))
+        for shard in targets:
+            self._connections[shard].send(message)
+        return {shard: self._receive(shard, self._connections[shard]) for shard in targets}
+
+    # -- offers ------------------------------------------------------------
+
+    def offer(self, post: Post) -> frozenset[int]:
+        return self.offer_batch((post,))[0]
+
+    def offer_batch(self, posts) -> list[frozenset[int]]:
+        """One IPC round-trip per shard for a whole timestamp-ordered chunk."""
+        posts = list(posts)
+        components_of_author = self._components_of_author
+        users_of = self._users_of
+        if self._engines is not None:
+            # In-process path — identical to the serial shared engine.
+            engines = self._engines
+            metrics = self._metrics
+            out: list[frozenset[int]] = []
+            for post in posts:
+                components = components_of_author.get(post.author, ())
+                receivers: set[int] = set()
+                for idx in components:
+                    if engines[idx].offer(post):
+                        receivers.update(users_of[idx])
+                result = frozenset(receivers)
+                if metrics is not None:
+                    metrics.record(len(components), result)
+                out.append(result)
+            return out
+
+        shard_of = self._shard_of
+        consulted: list[int] = []
+        per_shard: dict[int, list[tuple[int, Post, list[int]]]] = defaultdict(list)
+        for seq, post in enumerate(posts):
+            components = components_of_author.get(post.author, ())
+            consulted.append(len(components))
+            by_shard: dict[int, list[int]] = {}
+            for idx in components:
+                by_shard.setdefault(shard_of[idx], []).append(idx)
+            for shard, indices in by_shard.items():
+                per_shard[shard].append((seq, post, indices))
+
+        merged: list[set[int]] = [set() for _ in posts]
+        if per_shard:
+            replies = self._request_batches(per_shard)
+            for reply in replies.values():
+                for seq, admitted in reply:
+                    receivers = merged[seq]
+                    for idx in admitted:
+                        receivers.update(users_of[idx])
+        results = [frozenset(r) for r in merged]
+        if self._metrics is not None:
+            record = self._metrics.record
+            for count, result in zip(consulted, results):
+                record(count, result)
+        return results
+
+    def _request_batches(self, per_shard):
+        """Ship each shard its slice of the chunk; sends before receives."""
+        if self._closed:
+            raise ParallelError(f"{self.name} engine already closed")
+        for shard, items in per_shard.items():
+            self._connections[shard].send(("batch", items))
+        return {
+            shard: self._receive(shard, self._connections[shard])
+            for shard in per_shard
+        }
+
+    def run(self, posts) -> dict[int, list[Post]]:
+        """Consume a whole stream in ``batch_size`` chunks; return each
+        user's diversified timeline (same shape as the serial engines)."""
+        timelines: dict[int, list[Post]] = {}
+        chunk: list[Post] = []
+        batch_size = self.batch_size
+
+        def drain(buffer: list[Post]) -> None:
+            for post, receivers in zip(buffer, self.offer_batch(buffer)):
+                for user in receivers:
+                    timelines.setdefault(user, []).append(post)
+
+        for post in posts:
+            chunk.append(post)
+            if len(chunk) >= batch_size:
+                drain(chunk)
+                chunk = []
+        if chunk:
+            drain(chunk)
+        return timelines
+
+    # -- accounting --------------------------------------------------------
+
+    def shard_stats(self) -> list[RunStats]:
+        """Merged RunStats per shard (the substrate of the per-shard
+        metric labels and the live imbalance diagnostics)."""
+        if self._engines is not None:
+            total = RunStats()
+            for engine in self._engines.values():
+                total.merge(engine.stats)
+            return [total]
+        replies = self._request_all(("stats",))
+        out: list[RunStats] = []
+        for shard in range(len(self._connections)):
+            stats = RunStats()
+            stats.load_state(replies[shard])
+            out.append(stats)
+        return out
+
+    def aggregate_stats(self) -> RunStats:
+        total = RunStats()
+        for stats in self.shard_stats():
+            total.merge(stats)
+        return total
+
+    def instance_count(self) -> int:
+        return self.catalog.distinct_count
+
+    def shard_count(self) -> int:
+        return self.plan.shard_count
+
+    def shard_imbalance(self) -> float:
+        """Planned cost imbalance ``(max − mean)/mean`` across shards."""
+        return self.plan.imbalance()
+
+    def sharing_ratio(self) -> float:
+        """Fraction of per-user component work removed by deduplication."""
+        return self.catalog.sharing_ratio()
+
+    def stored_copies(self) -> int:
+        if self._engines is not None:
+            return sum(engine.stored_copies() for engine in self._engines.values())
+        return sum(self._request_all(("stored",)).values())
+
+    def purge(self, now: float) -> None:
+        if self._engines is not None:
+            for engine in self._engines.values():
+                engine.purge(now)
+            return
+        self._request_all(("purge", now))
+
+    def bind_metrics(self, registry, *, per_user: bool = False) -> None:
+        """Attach observability: everything the serial multi-user bundle
+        exports, plus shard-count/imbalance gauges and per-shard labels."""
+        if registry is None or getattr(registry, "is_noop", False):
+            self._metrics = None
+            return
+        from ..obs.instruments import ParallelInstruments
+
+        self._metrics = ParallelInstruments(registry, self, per_user=per_user)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """Same positional-component layout as the serial S_* engine, so
+        serial and parallel checkpoints restore into each other."""
+        if self._engines is not None:
+            states = [self._engines[idx].state_dict() for idx in sorted(self._engines)]
+        else:
+            by_idx: dict[int, dict[str, object]] = {}
+            for reply in self._request_all(("state",)).values():
+                for idx, state in reply:
+                    by_idx[idx] = state
+            states = [by_idx[idx] for idx in sorted(by_idx)]
+        return {
+            "engine": self.name,
+            "workers": self.workers,
+            "components": states,
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        from ..errors import CheckpointError
+
+        components: list[dict[str, object]] = state["components"]  # type: ignore[assignment]
+        if len(components) != self.catalog.distinct_count:
+            raise CheckpointError(
+                f"checkpoint has {len(components)} components; this engine "
+                f"has {self.catalog.distinct_count} (graph/subscriptions mismatch)"
+            )
+        if self._engines is not None:
+            for idx, instance_state in enumerate(components):
+                self._engines[idx].load_state(instance_state)
+            return
+        per_shard: dict[int, list[tuple[int, dict[str, object]]]] = defaultdict(list)
+        for idx, instance_state in enumerate(components):
+            per_shard[self._shard_of[idx]].append((idx, instance_state))
+        for shard, items in per_shard.items():
+            self._connections[shard].send(("load", items))
+        for shard in per_shard:
+            self._receive(shard, self._connections[shard])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop worker processes; idempotent. The in-process (1-worker)
+        engine has nothing to release."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer()  # runs _shutdown_workers exactly once
+
+    def __enter__(self) -> "ParallelSharedMultiUser":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,115 @@
+"""Shard worker: one process owning a subset of distinct components.
+
+Each worker builds the single-user engines for *its* components only —
+under the ``fork`` start method nothing is pickled, under ``spawn`` the
+spec (algorithm, thresholds, component node sets, author graph) travels
+once at startup — and then serves a tiny command protocol over its pipe:
+
+========  =======================================  ======================
+command   payload                                  reply payload
+========  =======================================  ======================
+batch     [(seq, post, [component idx, ...]), …]   [(seq, [admitting idx, …]), …]
+stats     —                                        merged RunStats state dict
+stored    —                                        resident post copies
+purge     now                                      None
+state     —                                        [(idx, engine state dict), …]
+load      [(idx, engine state dict), …]            None
+stop      —                                        None (worker exits)
+========  =======================================  ======================
+
+Every reply is ``("ok", payload)`` or ``("error", type_name, message)``;
+the parent converts errors into :class:`~repro.errors.ParallelError`.
+Posts inside a batch are offered to each named component's engine in
+catalog-index order, so per-engine streams — and therefore every verdict
+and counter — are identical to the serial engine's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..authors import AuthorGraph
+from ..core import RunStats, StreamDiversifier, Thresholds, make_diversifier
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to build its engines (picklable)."""
+
+    algorithm: str
+    thresholds: Thresholds
+    graph: AuthorGraph
+    components: tuple[tuple[int, frozenset[int]], ...]
+
+
+def build_shard_engines(spec: ShardSpec) -> dict[int, StreamDiversifier]:
+    """Construct one engine per owned component, keyed by catalog index.
+
+    Mirrors :class:`~repro.multiuser.SharedComponentMultiUser` exactly —
+    same ``graph.subgraph(component)`` call on the same frozenset — so
+    derived structures (e.g. CliqueBin's greedy cover) come out identical
+    to the serial engine's and outputs stay byte-for-byte equal.
+    """
+    return {
+        idx: make_diversifier(spec.algorithm, spec.thresholds, spec.graph.subgraph(component))
+        for idx, component in spec.components
+    }
+
+
+def shard_worker_main(conn, spec: ShardSpec) -> None:
+    """Worker process entry point: build engines, serve commands, exit on
+    ``stop`` or when the parent's end of the pipe closes."""
+    try:
+        engines = build_shard_engines(spec)
+    except BaseException as exc:  # startup failure: report, then die
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", "ready"))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        command = message[0]
+        try:
+            if command == "batch":
+                out = []
+                for seq, post, indices in message[1]:
+                    admitted = [idx for idx in indices if engines[idx].offer(post)]
+                    out.append((seq, admitted))
+                conn.send(("ok", out))
+            elif command == "stats":
+                total = RunStats()
+                for engine in engines.values():
+                    total.merge(engine.stats)
+                conn.send(("ok", total.state_dict()))
+            elif command == "stored":
+                conn.send(
+                    ("ok", sum(engine.stored_copies() for engine in engines.values()))
+                )
+            elif command == "purge":
+                for engine in engines.values():
+                    engine.purge(message[1])
+                conn.send(("ok", None))
+            elif command == "state":
+                conn.send(
+                    ("ok", [(idx, engines[idx].state_dict()) for idx in sorted(engines)])
+                )
+            elif command == "load":
+                for idx, state in message[1]:
+                    engines[idx].load_state(state)
+                conn.send(("ok", None))
+            elif command == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", "ValueError", f"unknown command {command!r}"))
+        except Exception as exc:
+            # Engine errors (StreamOrderError, CheckpointError, …) are
+            # reported, not fatal: the worker keeps serving so the parent
+            # can still checkpoint or shut down cleanly.
+            conn.send(("error", type(exc).__name__, str(exc)))
+    conn.close()

@@ -118,6 +118,12 @@ def snapshot_engine(
             snap["components"] = [
                 _encode_single(s) for s in state["components"]  # type: ignore[union-attr]
             ]
+            # The sharded p_* engines record their worker count so restore
+            # rebuilds the same pool; the serial s_* layout is otherwise
+            # identical (components in catalog order), so the two restore
+            # into each other.
+            if "workers" in state:
+                snap["workers"] = state["workers"]
         return snap
     raise CheckpointError(f"cannot snapshot object of type {type(engine)!r}")
 
@@ -185,7 +191,13 @@ def restore_engine(
                 }
             )
             return multi
-        multi = make_multiuser(name, thresholds, graph, subscriptions)
+        multi = make_multiuser(
+            name,
+            thresholds,
+            graph,
+            subscriptions,
+            workers=int(snapshot.get("workers", 1)),  # type: ignore[arg-type]
+        )
         multi.load_state(
             {
                 "engine": name,

@@ -94,10 +94,16 @@ class SimHashIndex:
         if removed:
             self._size -= 1
 
-    def query(self, fingerprint: int) -> list[tuple[Hashable, int]]:
-        """All (key, distance) pairs within ``radius`` of ``fingerprint``."""
+    def iter_within(self, fingerprint: int) -> Iterator[tuple[Hashable, int]]:
+        """Lazily yield (key, distance) pairs within ``radius``.
+
+        Same candidates, same order and same deduplication as
+        :meth:`query`, but produced one at a time — a consumer that stops
+        at its first acceptable match never pays for the rest of the
+        candidate set (the :class:`~repro.core.IndexedUniBin` hot path).
+        """
         seen: set[Hashable] = set()
-        out: list[tuple[Hashable, int]] = []
+        radius = self.radius
         for table_idx, block in self._block_keys(fingerprint):
             bucket = self._tables[table_idx].get(block)
             if not bucket:
@@ -107,9 +113,26 @@ class SimHashIndex:
                     continue
                 seen.add(key)
                 distance = hamming(fingerprint, candidate)
-                if distance <= self.radius:
-                    out.append((key, distance))
-        return out
+                if distance <= radius:
+                    yield key, distance
+
+    def query(self, fingerprint: int) -> list[tuple[Hashable, int]]:
+        """All (key, distance) pairs within ``radius`` of ``fingerprint``."""
+        return list(self.iter_within(fingerprint))
+
+    def first_match(self, fingerprint: int, accept=None) -> Hashable | None:
+        """Key of the first stored fingerprint within ``radius``, or None.
+
+        ``accept`` optionally filters candidates: a callable receiving each
+        in-radius key (in :meth:`query` order) that returns True to accept
+        it. The scan short-circuits at the first accepted key, so callers
+        verifying extra dimensions per candidate (time, author) stop as
+        soon as one passes instead of materializing every candidate.
+        """
+        for key, _distance in self.iter_within(fingerprint):
+            if accept is None or accept(key):
+                return key
+        return None
 
     def any_within(self, fingerprint: int) -> bool:
         """True iff any stored fingerprint is within ``radius``."""

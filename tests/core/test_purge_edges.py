@@ -72,6 +72,43 @@ class TestWindowBoundary:
         assert engine.stats.evictions == engine.stats.insertions
 
 
+class TestExactEvictionAccounting:
+    """The offer path expires the window exactly once per offer.
+
+    (The coverage check used to expire and then ``_admit`` expired again;
+    the second scan always evicted zero, so these exact counts pin the
+    behaviour the single-expire fast path must preserve.)"""
+
+    def test_admitted_offer_evicts_stale_copies_once(self, engine):
+        engine.offer(_post(1, 0.0))
+        first_copies = engine.stats.insertions
+        engine.offer(_post(2, 50.0, fp=FAR))
+        # t=141: post 1 (and only post 1) has left every window.
+        assert engine.offer(_post(3, 141.0, fp=FAR << 10))
+        assert engine.stats.evictions == first_copies
+        assert engine.stored_copies() == engine.stats.insertions - first_copies
+
+    def test_covered_offer_expires_consulted_bins_exactly_once(self, engine):
+        engine.offer(_post(1, 0.0))
+        engine.offer(_post(2, 50.0, fp=FAR))
+        # Covered by post 2; the rejection path alone must expire post 1
+        # from the bins the coverage check consulted. Post 1 has exactly
+        # one copy there in every engine (UniBin's single bin, NeighborBin's
+        # own-author bin, CliqueBin's one clique holding author 1, the
+        # indexed engine's bin) — evicted once, never recounted.
+        assert not engine.offer(_post(3, 140.0, fp=FAR))
+        assert engine.stats.evictions == 1
+        assert engine.stats.stored_copies == engine.stats.insertions - 1
+
+    def test_stored_copies_invariant_along_a_stream(self, engine):
+        stream = [(0.0, 0), (30.0, FAR), (90.0, 0), (160.0, FAR), (300.0, 0)]
+        for post_id, (timestamp, fp) in enumerate(stream, start=1):
+            engine.offer(_post(post_id, timestamp, fp=fp))
+            stats = engine.stats
+            assert stats.stored_copies == stats.insertions - stats.evictions
+            assert engine.stored_copies() == stats.stored_copies
+
+
 class TestOfferAfterEarlyPurge:
     def test_offer_behind_purge_now_is_legal(self, engine):
         """purge(now) does not advance the order cursor: a post older than

@@ -1,0 +1,135 @@
+"""The batch offer fast path and the parallel engine's lifecycle edges."""
+
+import pytest
+
+from repro.core import Thresholds, make_diversifier
+from repro.errors import ConfigurationError, ParallelError, UnknownAlgorithmError
+from repro.multiuser import (
+    PARALLEL_NAMES,
+    IndependentMultiUser,
+    SharedComponentMultiUser,
+    make_multiuser,
+)
+from repro.parallel import ParallelSharedMultiUser
+
+ALGORITHMS = ("unibin", "neighborbin", "cliquebin", "indexed_unibin")
+
+
+class TestSingleUserBatch:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_batch_equals_loop(self, graph, thresholds, posts, algorithm):
+        looped = make_diversifier(algorithm, thresholds, graph)
+        batched = make_diversifier(algorithm, thresholds, graph)
+        assert batched.offer_batch(posts) == [looped.offer(p) for p in posts]
+        assert batched.stats.snapshot() == looped.stats.snapshot()
+
+    def test_empty_batch(self, graph, thresholds):
+        assert make_diversifier("unibin", thresholds, graph).offer_batch([]) == []
+
+
+class TestMultiUserBatch:
+    @pytest.mark.parametrize(
+        "factory", (IndependentMultiUser, SharedComponentMultiUser)
+    )
+    def test_batch_equals_loop(
+        self, graph, subscriptions, thresholds, posts, factory
+    ):
+        looped = factory("unibin", thresholds, graph, subscriptions)
+        batched = factory("unibin", thresholds, graph, subscriptions)
+        assert batched.offer_batch(posts) == [looped.offer(p) for p in posts]
+        assert (
+            batched.aggregate_stats().snapshot()
+            == looped.aggregate_stats().snapshot()
+        )
+
+
+class TestFactoryRouting:
+    def test_parallel_names_cover_all_algorithms(self):
+        assert PARALLEL_NAMES == tuple(f"p_{a}" for a in ALGORITHMS)
+
+    def test_make_multiuser_builds_parallel_engine(
+        self, graph, subscriptions, thresholds
+    ):
+        engine = make_multiuser(
+            "p_cliquebin", thresholds, graph, subscriptions, workers=2, batch_size=64
+        )
+        try:
+            assert isinstance(engine, ParallelSharedMultiUser)
+            assert engine.name == "p_cliquebin"
+            assert engine.workers == 2
+            assert engine.batch_size == 64
+        finally:
+            engine.close()
+
+    def test_indexed_unibin_only_via_parallel_prefix(
+        self, graph, subscriptions, thresholds
+    ):
+        engine = make_multiuser("p_indexed_unibin", thresholds, graph, subscriptions)
+        try:
+            assert engine.algorithm == "indexed_unibin"
+        finally:
+            engine.close()
+        with pytest.raises(UnknownAlgorithmError):
+            make_multiuser("s_indexed_unibin", thresholds, graph, subscriptions)
+
+    def test_unknown_prefix_still_rejected(self, graph, subscriptions, thresholds):
+        with pytest.raises(UnknownAlgorithmError):
+            make_multiuser("q_unibin", thresholds, graph, subscriptions)
+
+
+class TestLifecycle:
+    def test_workers_clamped_to_distinct_components(
+        self, graph, subscriptions, thresholds
+    ):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=99
+        ) as engine:
+            assert engine.workers == engine.catalog.distinct_count
+            assert engine.shard_count() == engine.workers
+
+    def test_invalid_config_rejected(self, graph, subscriptions, thresholds):
+        with pytest.raises(ConfigurationError):
+            ParallelSharedMultiUser(
+                "unibin", thresholds, graph, subscriptions, workers=0
+            )
+        with pytest.raises(ConfigurationError):
+            ParallelSharedMultiUser(
+                "unibin", thresholds, graph, subscriptions, batch_size=0
+            )
+
+    def test_empty_batch_is_empty(self, graph, subscriptions, thresholds):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            assert engine.offer_batch([]) == []
+
+    def test_close_is_idempotent_and_use_after_close_raises(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        engine = ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        )
+        engine.offer_batch(posts[:5])
+        engine.close()
+        engine.close()  # second close must be a no-op
+        with pytest.raises(ParallelError):
+            engine.offer_batch(posts[5:10])
+        with pytest.raises(ParallelError):
+            engine.aggregate_stats()
+
+    def test_sharing_ratio_matches_serial(self, graph, subscriptions, thresholds):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            assert engine.sharing_ratio() == pytest.approx(serial.sharing_ratio())
+            assert engine.instance_count() == serial.instance_count()
+
+    def test_purge_drops_stored_copies(self, graph, subscriptions, thresholds, posts):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            engine.offer_batch(posts)
+            assert engine.stored_copies() > 0
+            engine.purge(posts[-1].timestamp + 1e6)
+            assert engine.stored_copies() == 0

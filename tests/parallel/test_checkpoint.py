@@ -1,0 +1,141 @@
+"""Checkpoint/restore under sharding.
+
+The positional-components layout is shared with the serial S_* engines, so
+a parallel checkpoint restores into a serial engine (and vice versa), and
+a checkpoint taken under one worker count restores under another — the
+shard layout is an execution detail, never part of the persisted state.
+"""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.multiuser import SharedComponentMultiUser, SubscriptionTable
+from repro.parallel import ParallelSharedMultiUser
+from repro.resilience import (
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+    snapshot_engine,
+)
+
+from .conftest import chunked
+
+
+def run_batches(engine, posts, batch: int = 32):
+    out = []
+    for chunk in chunked(posts, batch):
+        out.extend(engine.offer_batch(chunk))
+    return out
+
+
+class TestMidStreamHandover:
+    @pytest.mark.parametrize("algorithm", ("unibin", "cliquebin", "indexed_unibin"))
+    def test_resume_under_different_worker_count(
+        self, graph, subscriptions, thresholds, posts, algorithm
+    ):
+        """First half under workers=2, restore under workers=3: the second
+        half must match an uninterrupted serial run post-for-post."""
+        serial = SharedComponentMultiUser(algorithm, thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        half = len(posts) // 2
+
+        with ParallelSharedMultiUser(
+            algorithm, thresholds, graph, subscriptions, workers=2
+        ) as first:
+            assert run_batches(first, posts[:half]) == expected[:half]
+            state = first.state_dict()
+
+        with ParallelSharedMultiUser(
+            algorithm, thresholds, graph, subscriptions, workers=3
+        ) as second:
+            second.load_state(state)
+            assert run_batches(second, posts[half:]) == expected[half:]
+            assert (
+                second.aggregate_stats().snapshot()
+                == serial.aggregate_stats().snapshot()
+            )
+
+    def test_parallel_state_restores_into_serial(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        half = len(posts) // 2
+
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as parallel:
+            run_batches(parallel, posts[:half])
+            state = parallel.state_dict()
+
+        resumed = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        resumed.load_state(state)
+        assert [resumed.offer(post) for post in posts[half:]] == expected[half:]
+
+    def test_serial_state_restores_into_parallel(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        half = len(posts) // 2
+
+        warm = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        for post in posts[:half]:
+            warm.offer(post)
+
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=3
+        ) as resumed:
+            resumed.load_state(warm.state_dict())
+            assert run_batches(resumed, posts[half:]) == expected[half:]
+
+    def test_component_count_mismatch_rejected(self, graph, subscriptions, thresholds):
+        other = SubscriptionTable({100: [1, 2, 3, 4]})
+        donor = ParallelSharedMultiUser("unibin", thresholds, graph, other, workers=1)
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            with pytest.raises(CheckpointError):
+                engine.load_state(donor.state_dict())
+
+
+class TestJsonRoundTrip:
+    def test_snapshot_restore_continues_exactly(
+        self, graph, subscriptions, thresholds, posts, tmp_path
+    ):
+        serial = SharedComponentMultiUser("cliquebin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        half = len(posts) // 2
+        path = tmp_path / "parallel.ckpt.json"
+
+        with ParallelSharedMultiUser(
+            "cliquebin", thresholds, graph, subscriptions, workers=2
+        ) as first:
+            run_batches(first, posts[:half])
+            save_checkpoint(snapshot_engine(first), path)
+
+        restored = restore_engine(
+            load_checkpoint(path), graph=graph, subscriptions=subscriptions
+        )
+        try:
+            assert isinstance(restored, ParallelSharedMultiUser)
+            assert restored.name == "p_cliquebin"
+            assert restored.workers == 2  # snapshot carries the pool size
+            assert run_batches(restored, posts[half:]) == expected[half:]
+        finally:
+            restored.close()
+
+    def test_snapshot_records_worker_count(self, graph, subscriptions, thresholds):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=3
+        ) as engine:
+            snap = snapshot_engine(engine)
+        assert snap["kind"] == "multi"
+        assert snap["engine"] == "p_unibin"
+        assert snap["workers"] == 3
+
+    def test_serial_snapshot_has_no_worker_field(
+        self, graph, subscriptions, thresholds
+    ):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        assert "workers" not in snapshot_engine(serial)

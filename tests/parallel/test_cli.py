@@ -1,0 +1,167 @@
+"""The CLI's multi-user mode: --subscriptions / --workers / --batch-size.
+
+Runs ``python -m repro diversify`` in process against the fixture world
+and checks the receiver trace against the serial engine, plus the flag
+validation around the new multi-user mode.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import write_graph_json, write_posts_jsonl, write_subscriptions_json
+from repro.multiuser import SharedComponentMultiUser
+
+from .conftest import make_posts
+
+
+@pytest.fixture()
+def world_files(tmp_path, graph, subscriptions):
+    posts = make_posts(n=120, seed=5)
+    posts_path = tmp_path / "posts.jsonl"
+    graph_path = tmp_path / "graph.json"
+    subs_path = tmp_path / "subscriptions.json"
+    write_posts_jsonl(posts, posts_path)
+    write_graph_json(graph, graph_path)
+    write_subscriptions_json(subscriptions, subs_path)
+    return posts, posts_path, graph_path, subs_path
+
+
+def _receivers_by_post(path):
+    out = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            out[record["post_id"]] = sorted(record["receivers"])
+    return out
+
+
+class TestMultiUserDiversify:
+    def _lambda_args(self, thresholds):
+        return [
+            "--lambda-c", str(thresholds.lambda_c),
+            "--lambda-t", str(thresholds.lambda_t),
+            "--lambda-a", str(thresholds.lambda_a),
+        ]
+
+    def test_parallel_run_matches_serial_engine(
+        self, tmp_path, world_files, graph, subscriptions, thresholds, capsys
+    ):
+        posts, posts_path, graph_path, subs_path = world_files
+        out_path = tmp_path / "receivers.jsonl"
+        rc = main(
+            [
+                "diversify",
+                "--posts", str(posts_path),
+                "--graph", str(graph_path),
+                "--subscriptions", str(subs_path),
+                "--algorithm", "unibin",
+                "--workers", "2",
+                "--batch-size", "32",
+                "--output", str(out_path),
+                *self._lambda_args(thresholds),
+            ]
+        )
+        assert rc == 0
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = {
+            post.post_id: sorted(receivers)
+            for post in posts
+            if (receivers := serial.offer(post))
+        }
+        assert _receivers_by_post(out_path) == expected
+        out = capsys.readouterr().out
+        assert "p_unibin" in out
+        assert "shards: 2" in out
+
+    def test_checkpoint_resume_round_trip(
+        self, tmp_path, world_files, graph, subscriptions, thresholds, capsys
+    ):
+        posts, posts_path, graph_path, subs_path = world_files
+        half = len(posts) // 2
+        first_path = tmp_path / "first.jsonl"
+        rest_path = tmp_path / "rest.jsonl"
+        write_posts_jsonl(posts[:half], first_path)
+        write_posts_jsonl(posts[half:], rest_path)
+        ckpt = tmp_path / "ckpt.json"
+        common = [
+            "--graph", str(graph_path),
+            "--subscriptions", str(subs_path),
+            "--algorithm", "p_cliquebin",
+            "--workers", "2",
+            *self._lambda_args(thresholds),
+        ]
+        assert main(
+            ["diversify", "--posts", str(first_path), *common,
+             "--checkpoint-out", str(ckpt)]
+        ) == 0
+        out_path = tmp_path / "resumed.jsonl"
+        assert main(
+            ["diversify", "--posts", str(rest_path), *common,
+             "--resume-from", str(ckpt), "--output", str(out_path)]
+        ) == 0
+        serial = SharedComponentMultiUser("cliquebin", thresholds, graph, subscriptions)
+        expected = {
+            post.post_id: sorted(receivers)
+            for i, post in enumerate(posts)
+            if (receivers := serial.offer(post)) and i >= half
+        }
+        assert _receivers_by_post(out_path) == expected
+
+    def test_workers_require_subscriptions(self, world_files):
+        _, posts_path, _, _ = world_files
+        rc = main(
+            ["diversify", "--posts", str(posts_path), "--workers", "2"]
+        )
+        assert rc == 2
+
+    def test_multiuser_requires_graph(self, world_files):
+        _, posts_path, _, subs_path = world_files
+        rc = main(
+            [
+                "diversify",
+                "--posts", str(posts_path),
+                "--subscriptions", str(subs_path),
+            ]
+        )
+        assert rc == 2
+
+    def test_serial_name_with_workers_rejected(self, world_files):
+        _, posts_path, graph_path, subs_path = world_files
+        rc = main(
+            [
+                "diversify",
+                "--posts", str(posts_path),
+                "--graph", str(graph_path),
+                "--subscriptions", str(subs_path),
+                "--algorithm", "s_unibin",
+                "--workers", "2",
+            ]
+        )
+        assert rc == 2
+
+    def test_metrics_out_in_multiuser_mode(
+        self, tmp_path, world_files, thresholds, capsys
+    ):
+        _, posts_path, graph_path, subs_path = world_files
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "diversify",
+                "--posts", str(posts_path),
+                "--graph", str(graph_path),
+                "--subscriptions", str(subs_path),
+                "--algorithm", "unibin",
+                "--workers", "2",
+                "--metrics-out", str(metrics_path),
+                *self._lambda_args(thresholds),
+            ]
+        )
+        assert rc == 0
+        snap = json.loads(metrics_path.read_text(encoding="utf-8"))
+        names = {metric["name"] for metric in snap["metrics"]}
+        assert "repro_parallel_shards" in names
+        assert "repro_multiuser_posts_total" in names

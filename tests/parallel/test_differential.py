@@ -1,0 +1,119 @@
+"""Differential suite: the sharded engine must be *exact*, not approximate.
+
+Every test pits :class:`ParallelSharedMultiUser` against a serial oracle —
+the shared-component engine it decomposes, or the per-user independent
+baseline — and asserts per-post receiver-set equality plus full RunStats
+agreement. Shard layout, worker count and chunking must all be invisible.
+"""
+
+import pytest
+
+from repro.core import Post, Thresholds
+from repro.multiuser import IndependentMultiUser, SharedComponentMultiUser
+from repro.parallel import ParallelSharedMultiUser
+
+from .conftest import chunked, make_posts
+
+ALGORITHMS = ("unibin", "neighborbin", "cliquebin", "indexed_unibin")
+
+# The λ grid: strict/baseline/lenient in both content and time.
+LAMBDA_GRID = (
+    Thresholds(lambda_c=3, lambda_t=15.0, lambda_a=0.5),
+    Thresholds(lambda_c=8, lambda_t=40.0, lambda_a=0.5),
+    Thresholds(lambda_c=16, lambda_t=120.0, lambda_a=0.5),
+)
+
+
+def run_parallel(engine, posts, batch: int = 32):
+    received = []
+    for chunk in chunked(posts, batch):
+        received.extend(engine.offer_batch(chunk))
+    return received
+
+
+class TestAgainstSerialShared:
+    @pytest.mark.parametrize("workers", (1, 2, 3))
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_receivers_and_stats_identical(
+        self, graph, subscriptions, thresholds, posts, algorithm, workers
+    ):
+        serial = SharedComponentMultiUser(algorithm, thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        with ParallelSharedMultiUser(
+            algorithm, thresholds, graph, subscriptions, workers=workers
+        ) as engine:
+            assert run_parallel(engine, posts) == expected
+            assert (
+                engine.aggregate_stats().snapshot()
+                == serial.aggregate_stats().snapshot()
+            )
+            assert engine.stored_copies() == serial.stored_copies()
+
+    @pytest.mark.parametrize("lam", LAMBDA_GRID, ids=("strict", "baseline", "lenient"))
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_lambda_grid(self, graph, subscriptions, posts, algorithm, lam):
+        serial = SharedComponentMultiUser(algorithm, lam, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        with ParallelSharedMultiUser(
+            algorithm, lam, graph, subscriptions, workers=2
+        ) as engine:
+            assert run_parallel(engine, posts) == expected
+            assert (
+                engine.aggregate_stats().snapshot()
+                == serial.aggregate_stats().snapshot()
+            )
+
+    @pytest.mark.parametrize("batch", (1, 7, 64, 1000))
+    def test_chunking_invariance(self, graph, subscriptions, thresholds, posts, batch):
+        """The chunk size amortizes IPC; it must never change an answer."""
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            assert run_parallel(engine, posts, batch=batch) == expected
+
+    def test_different_seeds_agree(self, graph, subscriptions, thresholds):
+        for seed in (1, 2, 3):
+            stream = make_posts(n=120, seed=seed)
+            serial = SharedComponentMultiUser(
+                "cliquebin", thresholds, graph, subscriptions
+            )
+            expected = [serial.offer(post) for post in stream]
+            with ParallelSharedMultiUser(
+                "cliquebin", thresholds, graph, subscriptions, workers=3
+            ) as engine:
+                assert run_parallel(engine, stream) == expected
+
+
+class TestAgainstIndependentBaseline:
+    @pytest.mark.parametrize("algorithm", ("unibin", "neighborbin", "cliquebin"))
+    def test_timelines_match_per_user_baseline(
+        self, graph, subscriptions, thresholds, posts, algorithm
+    ):
+        """Transitively exact: parallel == shared == independent (§5)."""
+        baseline = IndependentMultiUser(algorithm, thresholds, graph, subscriptions)
+        expected = baseline.run(posts)
+        with ParallelSharedMultiUser(
+            algorithm, thresholds, graph, subscriptions, workers=2, batch_size=50
+        ) as engine:
+            assert engine.run(posts) == expected
+
+
+class TestRouting:
+    def test_unknown_author_routes_nowhere(self, graph, subscriptions, thresholds):
+        ghost = Post(post_id=1, author=999, text="", timestamp=0.0, fingerprint=0)
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            assert engine.offer_batch([ghost]) == [frozenset()]
+
+    def test_single_post_offer_delegates_to_batch(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            for post in posts[:40]:
+                assert engine.offer(post) == serial.offer(post)

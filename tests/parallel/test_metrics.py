@@ -1,0 +1,116 @@
+"""Observability of the sharded engine.
+
+The aggregate view must be shard-transparent (metric values equal the
+serial engine's ground truth), and the execution layer must expose what
+only it can know: shard count, planned imbalance, per-shard load labels.
+"""
+
+import pytest
+
+from repro.multiuser import SharedComponentMultiUser
+from repro.obs import NULL_REGISTRY, Registry
+from repro.parallel import ParallelSharedMultiUser
+
+from .conftest import chunked
+
+
+@pytest.fixture()
+def bound(graph, subscriptions, thresholds, posts):
+    registry = Registry()
+    with ParallelSharedMultiUser(
+        "unibin", thresholds, graph, subscriptions, workers=2
+    ) as engine:
+        engine.bind_metrics(registry)
+        for chunk in chunked(posts, 32):
+            engine.offer_batch(chunk)
+        yield registry, engine
+
+
+class TestAggregateAgreement:
+    def test_stream_counters(self, bound, posts, graph, subscriptions, thresholds):
+        registry, engine = bound
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        deliveries = 0
+        consulted = 0
+        for post in posts:
+            receivers = serial.offer(post)
+            deliveries += len(receivers)
+            consulted += len(
+                [c for c in engine.catalog.components if post.author in c]
+            )
+        name = engine.name
+        assert registry.value("repro_multiuser_posts_total", engine=name) == len(posts)
+        assert (
+            registry.value("repro_multiuser_deliveries_total", engine=name)
+            == deliveries
+        )
+        assert (
+            registry.value("repro_multiuser_instance_offers_total", engine=name)
+            == consulted
+        )
+
+    def test_cost_counters_equal_serial_ground_truth(
+        self, bound, posts, graph, subscriptions, thresholds
+    ):
+        registry, engine = bound
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        for post in posts:
+            serial.offer(post)
+        truth = serial.aggregate_stats()
+        name = engine.name
+        assert (
+            registry.value("repro_comparisons_total", engine=name)
+            == truth.comparisons
+        )
+        assert (
+            registry.value("repro_insertions_total", engine=name) == truth.insertions
+        )
+        assert registry.value("repro_stored_copies", engine=name) == (
+            serial.stored_copies()
+        )
+
+
+class TestShardView:
+    def test_shard_gauges(self, bound):
+        registry, engine = bound
+        name = engine.name
+        assert registry.value("repro_parallel_shards", engine=name) == (
+            engine.shard_count()
+        )
+        assert registry.value(
+            "repro_parallel_shard_imbalance", engine=name
+        ) == pytest.approx(engine.plan.imbalance())
+
+    def test_per_shard_labels_sum_to_aggregate(self, bound):
+        registry, engine = bound
+        name = engine.name
+        total = engine.aggregate_stats()
+        for metric, expected in (
+            ("repro_shard_posts_total", total.posts_processed),
+            ("repro_shard_comparisons_total", total.comparisons),
+            ("repro_shard_stored_copies", total.stored_copies),
+        ):
+            sliced = [
+                registry.value(metric, engine=name, shard=shard)
+                for shard in range(engine.shard_count())
+            ]
+            assert sum(sliced) == expected
+
+    def test_per_shard_matches_shard_stats(self, bound):
+        registry, engine = bound
+        name = engine.name
+        for shard, stats in enumerate(engine.shard_stats()):
+            assert (
+                registry.value("repro_shard_posts_total", engine=name, shard=shard)
+                == stats.posts_processed
+            )
+
+
+class TestNullRegistry:
+    def test_noop_binding_records_nothing(self, graph, subscriptions, thresholds, posts):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=1
+        ) as engine:
+            engine.bind_metrics(NULL_REGISTRY)
+            assert engine._metrics is None
+            engine.offer_batch(posts[:10])  # must not touch any instrument

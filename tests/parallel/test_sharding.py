@@ -1,0 +1,104 @@
+"""Cost-model sharding: plan determinism, completeness and balance."""
+
+import pytest
+
+from repro.authors import AuthorGraph, ComponentCatalog
+from repro.errors import ConfigurationError
+from repro.parallel import ShardPlan, component_cost, plan_shards
+
+
+class TestPlanShards:
+    def test_every_component_assigned_exactly_once(self):
+        plan = plan_shards([5.0, 3.0, 2.0, 2.0, 1.0], workers=3)
+        assigned = [idx for shard in plan.assignments for idx in shard]
+        assert sorted(assigned) == [0, 1, 2, 3, 4]
+
+    def test_deterministic(self):
+        costs = [7.0, 7.0, 3.0, 3.0, 1.0, 1.0]
+        assert plan_shards(costs, 3) == plan_shards(costs, 3)
+
+    def test_loads_sum_to_total_cost(self):
+        costs = [5.0, 3.0, 2.0, 2.0, 1.0]
+        plan = plan_shards(costs, workers=2)
+        assert sum(plan.loads) == pytest.approx(sum(costs))
+        for shard, indices in enumerate(plan.assignments):
+            assert plan.loads[shard] == pytest.approx(
+                sum(costs[i] for i in indices)
+            )
+
+    def test_lpt_separates_the_two_giants(self):
+        # Largest-first onto least-loaded: the two dominant costs must not
+        # share a shard while an empty one exists.
+        plan = plan_shards([100.0, 90.0, 1.0, 1.0], workers=2)
+        owner = plan.shard_of_component()
+        assert owner[0] != owner[1]
+
+    def test_assignments_sorted_within_shard(self):
+        plan = plan_shards([1.0, 9.0, 1.0, 9.0, 1.0], workers=2)
+        for indices in plan.assignments:
+            assert list(indices) == sorted(indices)
+
+    def test_more_workers_than_components(self):
+        plan = plan_shards([2.0, 1.0], workers=4)
+        assert plan.shard_count == 4
+        assert plan.loads[2] == plan.loads[3] == 0.0
+
+    def test_workers_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_shards([1.0], workers=0)
+
+    def test_single_worker_takes_everything(self):
+        plan = plan_shards([3.0, 2.0, 1.0], workers=1)
+        assert plan.assignments == ((0, 1, 2),)
+
+
+class TestImbalance:
+    def test_perfect_balance_is_zero(self):
+        assert plan_shards([2.0, 2.0, 2.0, 2.0], 2).imbalance() == pytest.approx(0.0)
+
+    def test_giant_component_dominates(self):
+        # One unsplittable giant: imbalance approaches workers - 1.
+        imbalance = plan_shards([1000.0, 1.0, 1.0, 1.0], 4).imbalance()
+        assert imbalance == pytest.approx(3.0, rel=0.05)
+
+    def test_empty_plan_is_zero(self):
+        assert ShardPlan(assignments=(), loads=()).imbalance() == 0.0
+
+
+class TestComponentCost:
+    @pytest.fixture()
+    def graph(self) -> AuthorGraph:
+        return AuthorGraph(
+            nodes=[1, 2, 3, 4, 5, 6, 7],
+            edges=[(1, 2), (1, 3), (2, 3), (3, 4), (5, 6)],
+        )
+
+    @pytest.mark.parametrize(
+        "algorithm", ["unibin", "neighborbin", "cliquebin", "indexed_unibin"]
+    )
+    def test_positive_for_every_algorithm(self, graph, algorithm):
+        for component in ({1, 2, 3, 4}, {5, 6}, {7}):
+            cost = component_cost(algorithm, graph, frozenset(component))
+            assert cost > 0.0
+
+    def test_bigger_component_costs_more(self, graph):
+        small = component_cost("unibin", graph, frozenset({5, 6}))
+        big = component_cost("unibin", graph, frozenset({1, 2, 3, 4}))
+        assert big > small
+
+    def test_singleton_has_nonzero_floor(self, graph):
+        assert component_cost("unibin", graph, frozenset({7})) >= 1.0
+
+    def test_empty_component_is_unit(self, graph):
+        assert component_cost("unibin", graph, frozenset()) == 1.0
+
+    def test_catalog_plan_end_to_end(self, graph):
+        catalog = ComponentCatalog(graph, {1: {1, 2, 3, 4}, 2: {5, 6, 7}})
+        costs = [
+            component_cost("cliquebin", graph, component)
+            for component in catalog.components
+        ]
+        plan = plan_shards(costs, workers=2)
+        assert plan.shard_count == 2
+        owner = plan.shard_of_component()
+        assert sorted(owner) == list(range(catalog.distinct_count))

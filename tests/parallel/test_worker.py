@@ -1,0 +1,183 @@
+"""The shard worker protocol, driven in-process.
+
+``shard_worker_main`` normally runs in a forked child; here it runs on a
+thread over a real multiprocessing pipe so every protocol branch — batch,
+stats, stored, purge, state, load, stop, error forwarding, unknown
+command — executes under the test (and coverage) process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.authors import ComponentCatalog
+from repro.core import Post, RunStats, make_diversifier
+from repro.parallel.worker import ShardSpec, build_shard_engines, shard_worker_main
+
+
+@pytest.fixture()
+def spec(graph, subscriptions, thresholds) -> ShardSpec:
+    catalog = ComponentCatalog(graph, subscriptions.as_dict())
+    return ShardSpec(
+        algorithm="unibin",
+        thresholds=thresholds,
+        graph=graph,
+        components=tuple(enumerate(catalog.components)),
+    )
+
+
+@pytest.fixture()
+def worker(spec):
+    parent, child = multiprocessing.Pipe()
+    thread = threading.Thread(target=shard_worker_main, args=(child, spec))
+    thread.start()
+    assert parent.recv() == ("ok", "ready")
+    try:
+        yield parent
+    finally:
+        if not parent.closed:
+            try:
+                parent.send(("stop",))
+                parent.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            parent.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+
+def _rpc(conn, *message):
+    conn.send(message)
+    return conn.recv()
+
+
+class TestBuildShardEngines:
+    def test_one_engine_per_component_with_exact_subgraph(self, spec):
+        engines = build_shard_engines(spec)
+        assert sorted(engines) == [idx for idx, _ in spec.components]
+        for idx, component in spec.components:
+            twin = make_diversifier(
+                spec.algorithm, spec.thresholds, spec.graph.subgraph(component)
+            )
+            assert engines[idx].name == twin.name
+            assert engines[idx].state_dict() == twin.state_dict()
+
+
+class TestProtocol:
+    def test_batch_reports_admitting_components(self, worker, posts, spec):
+        engines = build_shard_engines(spec)  # serial twin of the worker
+        for chunk_start in (0, 40):
+            chunk = posts[chunk_start : chunk_start + 40]
+            items = []
+            for seq, post in enumerate(chunk):
+                indices = [
+                    idx for idx, component in spec.components if post.author in component
+                ]
+                items.append((seq, post, indices))
+            status, reply = _rpc(worker, "batch", items)
+            assert status == "ok"
+            expected = [
+                (seq, [idx for idx in indices if engines[idx].offer(post)])
+                for seq, post, indices in items
+            ]
+            assert reply == expected
+
+    def test_stats_merge_all_engines(self, worker, posts, spec):
+        items = [
+            (0, posts[0], [idx for idx, c in spec.components if posts[0].author in c])
+        ]
+        _rpc(worker, "batch", items)
+        status, payload = _rpc(worker, "stats")
+        assert status == "ok"
+        stats = RunStats()
+        stats.load_state(payload)
+        assert stats.posts_processed == len(items[0][2])
+
+    def test_stored_purge_cycle(self, worker, posts, spec):
+        items = []
+        for seq, post in enumerate(posts[:30]):
+            indices = [idx for idx, c in spec.components if post.author in c]
+            items.append((seq, post, indices))
+        _rpc(worker, "batch", items)
+        status, stored = _rpc(worker, "stored")
+        assert status == "ok" and stored > 0
+        assert _rpc(worker, "purge", posts[29].timestamp + 1e9) == ("ok", None)
+        assert _rpc(worker, "stored") == ("ok", 0)
+
+    def test_state_load_round_trip(self, worker, spec, posts):
+        items = []
+        for seq, post in enumerate(posts[:20]):
+            indices = [idx for idx, c in spec.components if post.author in c]
+            items.append((seq, post, indices))
+        _rpc(worker, "batch", items)
+        status, states = _rpc(worker, "state")
+        assert status == "ok"
+        assert [idx for idx, _ in states] == sorted(idx for idx, _ in spec.components)
+        # Loading its own state back must be accepted and idempotent.
+        assert _rpc(worker, "load", states) == ("ok", None)
+        assert _rpc(worker, "state") == ("ok", states)
+
+    def test_engine_error_is_reported_not_fatal(self, worker, posts, spec):
+        indices = [idx for idx, c in spec.components if posts[10].author in c]
+        _rpc(worker, "batch", [(0, posts[10], indices)])
+        # Same component, older timestamp: the engine's order check throws;
+        # the worker must forward the error and keep serving.
+        stale = Post(
+            post_id=9999,
+            author=posts[10].author,
+            text="stale",
+            timestamp=posts[10].timestamp - 1000.0,
+            fingerprint=0,
+        )
+        status, type_name, message = _rpc(worker, "batch", [(0, stale, indices)])
+        assert status == "error"
+        assert "order" in (type_name + message).lower()
+        assert _rpc(worker, "stored")[0] == "ok"  # still alive
+
+    def test_unknown_command_rejected(self, worker):
+        status, type_name, message = _rpc(worker, "frobnicate")
+        assert status == "error"
+        assert type_name == "ValueError"
+        assert "frobnicate" in message
+
+    def test_stop_acknowledges_and_exits(self, spec):
+        parent, child = multiprocessing.Pipe()
+        thread = threading.Thread(target=shard_worker_main, args=(child, spec))
+        thread.start()
+        assert parent.recv() == ("ok", "ready")
+        parent.send(("stop",))
+        assert parent.recv() == ("ok", None)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        parent.close()
+
+    def test_parent_hangup_ends_worker(self, spec):
+        parent, child = multiprocessing.Pipe()
+        thread = threading.Thread(target=shard_worker_main, args=(child, spec))
+        thread.start()
+        assert parent.recv() == ("ok", "ready")
+        parent.close()  # EOF on the worker's recv
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+
+
+class TestStartupFailure:
+    def test_bad_algorithm_reported_before_ready(self, spec):
+        broken = ShardSpec(
+            algorithm="turbobin",
+            thresholds=spec.thresholds,
+            graph=spec.graph,
+            components=spec.components,
+        )
+        parent, child = multiprocessing.Pipe()
+        thread = threading.Thread(target=shard_worker_main, args=(child, broken))
+        thread.start()
+        status, type_name, message = parent.recv()
+        assert status == "error"
+        assert "turbobin" in message
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        parent.close()

@@ -134,3 +134,55 @@ class TestIndexCompleteness:
             index.add(random.Random(key).getrandbits(64), key)
         probe = random.Random(999).getrandbits(64)
         assert 0 <= index.candidate_count(probe) <= 100
+
+
+class TestLazyIteration:
+    """`iter_within` and `first_match`: the early-exit path the indexed
+    engine's coverage check rides must agree with the materialized query."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(fingerprints, min_size=0, max_size=60),
+        fingerprints,
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_iter_within_equals_query(self, stored, query, radius):
+        index = SimHashIndex(radius)
+        for key, fp in enumerate(stored):
+            index.add(fp, key)
+        assert list(index.iter_within(query)) == index.query(query)
+
+    def test_first_match_returns_a_key_within_radius(self):
+        index = SimHashIndex(3)
+        index.add(0b111, "near")
+        index.add(1 << 40, "far")
+        key = index.first_match(0b110)
+        assert key == "near"
+
+    def test_first_match_none_when_empty_ball(self):
+        index = SimHashIndex(2)
+        index.add(0, "far")
+        assert index.first_match((1 << 20) - 1) is None
+
+    def test_first_match_respects_accept_predicate(self):
+        index = SimHashIndex(3)
+        index.add(0b01, "rejected")
+        index.add(0b10, "accepted")
+        assert index.first_match(0b11, lambda key: key != "rejected") == "accepted"
+        assert index.first_match(0b11, lambda key: False) is None
+
+    def test_first_match_is_first_of_iter_order(self):
+        # Whatever candidate order iter_within yields, first_match must
+        # return its first acceptable element — nothing later.
+        index = SimHashIndex(4)
+        rng = random.Random(3)
+        for key in range(40):
+            index.add(rng.getrandbits(8), key)
+        probe = rng.getrandbits(8)
+        within = [key for key, _ in index.iter_within(probe)]
+        if within:
+            assert index.first_match(probe) == within[0]
+            even = [key for key in within if key % 2 == 0]
+            assert index.first_match(probe, lambda k: k % 2 == 0) == (
+                even[0] if even else None
+            )
