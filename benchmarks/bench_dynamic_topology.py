@@ -1,0 +1,186 @@
+"""Dynamic topology: incremental migration vs teardown-and-rebuild.
+
+Feeds the same mixed post/follow/unfollow stream (sustained churn woven
+into the dataset's post stream) to :class:`~repro.dynamic.DynamicMultiUser`
+and to :class:`~repro.dynamic.RebuildMultiUser` — the brute-force baseline
+that rebuilds every per-user engine on each effective topology change.
+Asserts the two deliver *identical* receiver sets post-for-post (the
+rebuild-equivalence bar, at benchmark scale), then compares events/sec.
+
+Writes ``BENCH_dynamic.json`` at the repo root; the CI smoke step re-runs
+at small scale and fails if incremental maintenance stops beating the
+full rebuild or its advantage regresses below the committed baseline.
+
+Hardware portability: absolute rates are machine-dependent, so the
+committed numbers are compared on the *relative* speedup of incremental
+over rebuild, measured in the same process on the same machine.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import bench_scale
+
+from repro.dynamic import DynamicMultiUser, RebuildMultiUser
+from repro.social import ChurnConfig, interleave_churn
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dynamic.json"
+
+ALGORITHMS = ("neighborbin", "cliquebin")
+
+#: Sustained churn: mean topology events per post.
+CHURN_RATE = float(os.environ.get("REPRO_DYNAMIC_CHURN", "0.05"))
+
+#: Posts drawn from the dataset stream (the rebuild baseline is O(users)
+#: per effective delta — the cap keeps the slow arm bounded at any scale).
+POST_CAP = int(os.environ.get("REPRO_DYNAMIC_POSTS", "1000"))
+
+#: A committed configuration's speedup may drift this far below the
+#: committed value before the run fails (timer noise).
+REGRESSION_TOLERANCE = float(os.environ.get("REPRO_DYNAMIC_TOLERANCE", "0.3"))
+
+#: Timing repeats for the incremental arm; best-of-N (noise only slows).
+REPEATS = int(os.environ.get("REPRO_DYNAMIC_REPEATS", "2"))
+
+
+def _world(dataset, thresholds):
+    sampled = set(dataset.authors)
+    friends = {
+        author: dataset.network.followees[author] & sampled
+        for author in dataset.authors
+    }
+    posts = dataset.posts[:POST_CAP]
+    events = list(
+        interleave_churn(posts, friends, ChurnConfig(rate=CHURN_RATE))
+    )
+    return friends, dataset.subscriptions(), events
+
+
+def _run_rebuild(algorithm, thresholds, friends, subscriptions, events):
+    engine = RebuildMultiUser(algorithm, thresholds, dict(friends), subscriptions)
+    start = time.perf_counter()
+    receivers = [engine.apply(event) for event in events]
+    elapsed = time.perf_counter() - start
+    return receivers, elapsed, engine.rebuilds
+
+
+def _run_dynamic(algorithm, thresholds, friends, subscriptions, events):
+    best = float("inf")
+    receivers = None
+    migrations = 0
+    for _ in range(REPEATS):
+        engine = DynamicMultiUser(
+            algorithm, thresholds, dict(friends), subscriptions
+        )
+        start = time.perf_counter()
+        receivers = [engine.apply(event) for event in events]
+        best = min(best, time.perf_counter() - start)
+        migrations = engine.migrations
+    return receivers, best, migrations
+
+
+def _sweep(dataset, thresholds):
+    friends, subscriptions, events = _world(dataset, thresholds)
+    churn = sum(1 for e in events if not hasattr(e, "post_id"))
+    rows = []
+    for algorithm in ALGORITHMS:
+        rebuilt, rebuild_time, rebuilds = _run_rebuild(
+            algorithm, thresholds, friends, subscriptions, events
+        )
+        incremental, dynamic_time, migrations = _run_dynamic(
+            algorithm, thresholds, friends, subscriptions, events
+        )
+        assert incremental == rebuilt, (
+            f"{algorithm}: incremental receivers diverged from the "
+            "teardown-and-rebuild baseline — exactness broken"
+        )
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "migrations": migrations,
+                "rebuilds": rebuilds,
+                "dynamic_time_s": dynamic_time,
+                "rebuild_time_s": rebuild_time,
+                "dynamic_events_per_sec": len(events) / dynamic_time,
+                "rebuild_events_per_sec": len(events) / rebuild_time,
+                "speedup_vs_rebuild": rebuild_time / dynamic_time,
+            }
+        )
+    return {
+        "benchmark": "dynamic_topology",
+        "scale": bench_scale(),
+        "churn_rate": CHURN_RATE,
+        "events": len(events),
+        "churn_events": churn,
+        "users": len(subscriptions.users),
+        "rows": rows,
+    }
+
+
+def _check_against_committed(result) -> list[str]:
+    """Relative-regression check vs the committed baseline; returns
+    human-readable failures (empty when clean or no baseline exists)."""
+    if not RESULT_PATH.exists():
+        return []
+    committed = json.loads(RESULT_PATH.read_text())
+    baseline = {
+        (committed.get("scale"), row["algorithm"]): row["speedup_vs_rebuild"]
+        for row in committed.get("rows", ())
+    }
+    failures = []
+    for row in result["rows"]:
+        expected = baseline.get((result["scale"], row["algorithm"]))
+        if expected is None:
+            continue
+        floor = expected * (1.0 - REGRESSION_TOLERANCE)
+        if row["speedup_vs_rebuild"] < floor:
+            failures.append(
+                f"{row['algorithm']}: speedup {row['speedup_vs_rebuild']:.2f} "
+                f"< {floor:.2f} (committed {expected:.2f} - "
+                f"{REGRESSION_TOLERANCE:.0%})"
+            )
+    return failures
+
+
+def test_dynamic_topology(benchmark, dataset, thresholds):
+    result = benchmark.pedantic(
+        lambda: _sweep(dataset, thresholds), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"{result['events']} events ({result['churn_events']} churn, "
+        f"rate {result['churn_rate']}), {result['users']} users"
+    )
+    for row in result["rows"]:
+        print(
+            f"{row['algorithm']:>12}: incremental "
+            f"{row['dynamic_events_per_sec']:>9,.0f} ev/s "
+            f"({row['migrations']} migrations) vs rebuild "
+            f"{row['rebuild_events_per_sec']:>9,.0f} ev/s "
+            f"({row['rebuilds']} rebuilds) — "
+            f"speedup {row['speedup_vs_rebuild']:.2f}x"
+        )
+
+    for row in result["rows"]:
+        assert row["speedup_vs_rebuild"] > 1.0, (
+            f"{row['algorithm']}: incremental maintenance "
+            f"({row['dynamic_events_per_sec']:,.0f} ev/s) failed to beat "
+            f"the full rebuild ({row['rebuild_events_per_sec']:,.0f} ev/s)"
+        )
+
+    failures = _check_against_committed(result)
+    # Only overwrite the baseline when re-measuring the committed scale.
+    if RESULT_PATH.exists():
+        committed = json.loads(RESULT_PATH.read_text())
+        if committed.get("scale") != result["scale"]:
+            print(
+                f"(scale {result['scale']} != committed "
+                f"{committed.get('scale')}; baseline left untouched)"
+            )
+            assert not failures, "; ".join(failures)
+            return
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    assert not failures, "; ".join(failures)

@@ -88,6 +88,19 @@ class AuthorGraph:
         self._adjacency.setdefault(a, set()).add(b)
         self._adjacency.setdefault(b, set()).add(a)
 
+    def remove_edge(self, a: int, b: int) -> None:
+        """Remove the undirected edge (a, b); the nodes stay.
+
+        Removing an absent edge is a no-op so callers can replay edge
+        deltas idempotently, but unknown endpoints are still an error.
+        """
+        if a not in self._adjacency:
+            raise UnknownAuthorError(f"author {a!r} not in graph")
+        if b not in self._adjacency:
+            raise UnknownAuthorError(f"author {b!r} not in graph")
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+
     # -- queries ----------------------------------------------------------
 
     def __contains__(self, node: int) -> bool:

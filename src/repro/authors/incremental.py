@@ -79,11 +79,17 @@ class SimilarityMaintainer:
         """The thresholded similarity edges, as (small, large) pairs."""
         return set(self._edges)
 
+    def friends(self) -> dict[int, set[int]]:
+        """Deep copy of the current followee sets (checkpoint snapshot)."""
+        return {author: set(f) for author, f in self._friends.items()}
+
     # -- mutation -----------------------------------------------------------
 
     def follow(self, author: int, followee: int) -> dict[str, set[tuple[int, int]]]:
         """Record ``author`` following ``followee``; return the edge delta
         as ``{"added": {...}, "removed": {...}}``."""
+        if author == followee:
+            raise GraphError(f"author {author!r} cannot follow themselves")
         friends = self._friends_of(author)
         if followee in friends:
             return {"added": set(), "removed": set()}

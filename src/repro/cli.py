@@ -13,6 +13,12 @@ Three modes:
       python -m repro diversify --posts posts.jsonl --graph graph.json \
           --algorithm cliquebin --lambda-t 1800 --output shown.jsonl
 
+  or over a **mixed event trace** (posts + follow/unfollow churn), with
+  the author graph derived live from the follow relation::
+
+      python -m repro diversify --events events.jsonl --friends friends.json \
+          --algorithm cliquebin --subscriptions subscriptions.json
+
 * **generate** — emit a synthetic trace (posts + graph + subscriptions)
   for trying the tool without your own data::
 
@@ -54,10 +60,22 @@ def _diversify_parser() -> argparse.ArgumentParser:
         prog="firehose diversify",
         description="Diversify a JSONL post trace with an SPSD algorithm",
     )
-    parser.add_argument("--posts", required=True, help="input posts.jsonl")
+    parser.add_argument("--posts", help="input posts.jsonl")
+    parser.add_argument(
+        "--events",
+        help="mixed events.jsonl (post/follow/unfollow records): run in "
+        "dynamic mode, deriving the author graph from --friends and "
+        "migrating live state on every effective topology change",
+    )
     parser.add_argument(
         "--graph",
         help="author graph.json; omit only with --lambda-a 1 (author dim off)",
+    )
+    parser.add_argument(
+        "--friends",
+        help="friends.json (author -> followees): the initial follow "
+        "relation dynamic mode cuts its similarity graph from (required "
+        "with --events)",
     )
     parser.add_argument(
         "--algorithm",
@@ -157,6 +175,13 @@ def _generate_parser() -> argparse.ArgumentParser:
         default=0.7,
         help="author-distance threshold the exported graph is cut at",
     )
+    parser.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.05,
+        help="mean follow/unfollow events per post in the exported mixed "
+        "events.jsonl (0 disables the dynamic-mode files)",
+    )
     return parser
 
 
@@ -171,6 +196,11 @@ def _run_diversify(argv: list[str]) -> int:
     )
 
     args = _diversify_parser().parse_args(argv)
+    if bool(args.posts) == bool(args.events):
+        print("pass exactly one of --posts or --events", file=sys.stderr)
+        return 2
+    if args.events:
+        return _run_diversify_events(args)
     if args.subscriptions:
         return _run_diversify_multiuser(args)
     if args.workers != 1:
@@ -283,6 +313,193 @@ def _run_diversify(argv: list[str]) -> int:
             )
     if args.output:
         print(f"diversified trace written to {args.output}")
+    return 0
+
+
+def _run_diversify_events(args) -> int:
+    """Dynamic mode of ``diversify``: consume a mixed post/follow/unfollow
+    trace, deriving (and live-migrating) the author graph from the follow
+    relation. Single-engine without --subscriptions, multi-user with."""
+    import json
+
+    from .core import ALGORITHMS, Post, Thresholds
+    from .dynamic import DynamicDiversifier, FollowEvent, UnfollowEvent, read_events_jsonl
+    from .io import post_to_dict, read_friends_json, read_subscriptions_json
+    from .multiuser import make_multiuser
+    from .resilience import (
+        Quarantine,
+        load_checkpoint,
+        restore_engine,
+        save_checkpoint,
+        snapshot_engine,
+    )
+
+    if not args.friends:
+        print("--events requires --friends (the initial follow relation)", file=sys.stderr)
+        return 2
+    if args.graph:
+        print(
+            "note: --graph is ignored with --events; the graph is derived "
+            "from --friends and the event stream",
+            file=sys.stderr,
+        )
+    if args.max_skew or args.trace_out:
+        print(
+            "--max-skew and --trace-out are single-user pipeline features; "
+            "dynamic mode streams strictly ordered events",
+            file=sys.stderr,
+        )
+        return 2
+    thresholds = Thresholds(
+        lambda_c=args.lambda_c, lambda_t=args.lambda_t, lambda_a=args.lambda_a
+    )
+    friends = read_friends_json(args.friends)
+    subscriptions = (
+        read_subscriptions_json(args.subscriptions) if args.subscriptions else None
+    )
+    sink = Quarantine()
+
+    if args.resume_from:
+        engine = restore_engine(
+            load_checkpoint(args.resume_from),
+            subscriptions=subscriptions,
+            # --workers > 1 re-shards the restored engine; otherwise the
+            # checkpointed pool size is kept.
+            workers=args.workers if args.workers > 1 else None,
+        )
+        print(
+            f"note: resuming {engine.name!r} from {args.resume_from}; "
+            "--algorithm and the friends file come from the checkpoint",
+            file=sys.stderr,
+        )
+    elif subscriptions is None:
+        if args.algorithm not in ALGORITHMS:
+            print(
+                f"unknown algorithm {args.algorithm!r}; dynamic single-user "
+                f"mode takes one of {tuple(ALGORITHMS)}",
+                file=sys.stderr,
+            )
+            return 2
+        engine = DynamicDiversifier(args.algorithm, thresholds, friends)
+    else:
+        name = args.algorithm
+        if name in ALGORITHMS:
+            name = f"p_{name}"  # bare algorithm → workers decide the layout
+        try:
+            engine = make_multiuser(
+                name,
+                thresholds,
+                None,
+                subscriptions,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                dynamic=True,
+                friends=friends,
+            )
+        except Exception as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    registry = None
+    if args.metrics_out:
+        from . import simhash
+        from .obs import Registry
+
+        registry = Registry()
+        engine.bind_metrics(registry)
+        simhash.enable_metrics(registry)
+
+    multiuser = subscriptions is not None
+    deliveries = 0
+    admitted = 0
+    out_handle = open(args.output, "w", encoding="utf-8") if args.output else None
+    try:
+        chunk: list[Post] = []
+
+        def drain() -> None:
+            nonlocal deliveries, admitted
+            if not chunk:
+                return
+            if multiuser:
+                for post, receivers in zip(chunk, engine.offer_batch(chunk)):
+                    deliveries += len(receivers)
+                    if receivers and out_handle is not None:
+                        record = post_to_dict(post)
+                        record["receivers"] = sorted(receivers)
+                        out_handle.write(json.dumps(record, sort_keys=True))
+                        out_handle.write("\n")
+            else:
+                for post in chunk:
+                    if engine.offer(post):
+                        admitted += 1
+                        if out_handle is not None:
+                            out_handle.write(
+                                json.dumps(post_to_dict(post), sort_keys=True)
+                            )
+                            out_handle.write("\n")
+            chunk.clear()
+
+        for event in read_events_jsonl(
+            args.events, on_error=args.on_error, quarantine=sink
+        ):
+            if isinstance(event, (FollowEvent, UnfollowEvent)):
+                drain()
+                engine.apply(event)
+            else:
+                chunk.append(event)
+                if len(chunk) >= args.batch_size:
+                    drain()
+        drain()
+
+        stats = engine.aggregate_stats() if multiuser else engine.stats
+        counts = engine.event_counts
+        print(
+            f"{engine.name}: {counts['post']} posts, {counts['follow']} follows, "
+            f"{counts['unfollow']} unfollows; graph version "
+            f"{engine.graph_version} ({engine.migrations} migrations)"
+        )
+        if multiuser:
+            print(
+                f"{stats.posts_admitted}/{stats.posts_processed} instance "
+                f"offers admitted; {deliveries:,} deliveries to "
+                f"{len(subscriptions)} users; {stats.comparisons:,} "
+                f"comparisons, {stats.insertions:,} insertions"
+            )
+        else:
+            print(
+                f"{stats.posts_admitted}/{stats.posts_processed} posts kept; "
+                f"{stats.comparisons:,} comparisons, "
+                f"{stats.insertions:,} insertions"
+            )
+        if len(sink):
+            print(
+                f"quarantined {len(sink)} records: "
+                + ", ".join(f"{r}={c}" for r, c in sorted(sink.by_reason.items()))
+            )
+        if args.quarantine_out:
+            written = sink.write_jsonl(args.quarantine_out)
+            print(
+                f"dead-letter file written to {args.quarantine_out} "
+                f"({written} records)"
+            )
+        if args.checkpoint_out:
+            save_checkpoint(snapshot_engine(engine), args.checkpoint_out)
+            print(f"checkpoint written to {args.checkpoint_out}")
+        if registry is not None:
+            from . import simhash
+            from .obs import write_json_snapshot
+
+            simhash.disable_metrics()
+            write_json_snapshot(registry, args.metrics_out)
+            print(f"metrics snapshot written to {args.metrics_out}")
+        if args.output:
+            kind = "receiver trace" if multiuser else "diversified trace"
+            print(f"{kind} written to {args.output}")
+    finally:
+        if out_handle is not None:
+            out_handle.close()
+        if hasattr(engine, "close"):
+            engine.close()
     return 0
 
 
@@ -444,6 +661,7 @@ def _run_diversify_multiuser(args) -> int:
 def _run_generate(argv: list[str]) -> int:
     from .eval import default_dataset
     from .io import (
+        write_friends_json,
         write_graph_json,
         write_posts_jsonl,
         write_subscriptions_json,
@@ -460,6 +678,29 @@ def _run_generate(argv: list[str]) -> int:
         f"wrote {count} posts, the lambda_a={args.lambda_a} author graph and "
         f"the subscription table to {out_dir}/"
     )
+    if args.churn_rate > 0:
+        from .dynamic import write_events_jsonl
+        from .social import ChurnConfig, interleave_churn
+
+        # Dynamic-mode inputs: followees restricted to the sampled author
+        # universe (the relation the similarity graph is derived from).
+        sampled = set(dataset.authors)
+        friends = {
+            author: dataset.network.followees[author] & sampled
+            for author in dataset.authors
+        }
+        write_friends_json(friends, out_dir / "friends.json")
+        events = write_events_jsonl(
+            interleave_churn(
+                dataset.posts, friends, ChurnConfig(rate=args.churn_rate)
+            ),
+            out_dir / "events.jsonl",
+        )
+        print(
+            f"wrote the follow relation and a mixed event trace "
+            f"({events - count} churn events at rate {args.churn_rate}) "
+            f"for dynamic mode"
+        )
     return 0
 
 

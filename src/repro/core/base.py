@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from collections.abc import Iterable
 
 from ..authors import AuthorGraph
 from ..errors import CheckpointError, StreamOrderError
@@ -162,6 +163,58 @@ class StreamDiversifier(ABC):
 
     def _now(self, now: float | None) -> float:
         return self._last_timestamp if now is None else now
+
+    # -- dynamic topology hooks (repro.dynamic) ----------------------------
+    #
+    # These are cold-path operations: they run once per graph version, not
+    # per post, so clarity beats speed. The correctness contract is that
+    # after the engine's graph object has been mutated and the matching
+    # hook has run, future offers decide exactly as a fresh engine built on
+    # the new graph and re-seeded with :meth:`admitted_posts` would.
+
+    def admitted_posts(self) -> list[Post]:
+        """Distinct admitted posts currently stored (the live window
+        contents), in (timestamp, post_id) order. The logical state the
+        migration layer carries across a topology change."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support dynamic migration"
+        )
+
+    def apply_graph_delta(
+        self,
+        added: Iterable[tuple[int, int]] = (),
+        removed: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        """Re-index after this engine's author graph was mutated in place.
+
+        The default is a no-op: UniBin and IndexedUniBin consult the graph
+        live through :class:`CoverageChecker`, so mutating the graph object
+        is already sufficient. Engines whose bins *materialise* adjacency
+        (NeighborBin) override this; CliqueBin instead takes a repaired
+        cover via :meth:`~repro.core.cliquebin.CliqueBin.apply_cover_update`.
+        """
+
+    def seed_admitted(self, posts, *, last_timestamp: float | None = None) -> None:
+        """Re-admit carried posts into a freshly-built engine.
+
+        ``posts`` must be in (timestamp, post_id) order. They bypass the
+        coverage check — they were admitted historically and the
+        state-preserving rebuild semantics keeps them admitted — and are
+        inserted with the run counters parked on a scratch object, so
+        seeding never perturbs the engine's externally-visible stats.
+        ``last_timestamp`` restores the stream-order cursor (the carried
+        window can trail the last processed post).
+        """
+        scratch = RunStats()
+        original = self.stats
+        self.stats = scratch
+        try:
+            for post in posts:
+                self._admit(post)
+        finally:
+            self.stats = original
+        if last_timestamp is not None:
+            self._last_timestamp = max(self._last_timestamp, last_timestamp)
 
     @property
     def last_timestamp(self) -> float:

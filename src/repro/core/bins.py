@@ -11,7 +11,8 @@ touches posts outside the window.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
+from itertools import chain
 
 from .post import Post
 
@@ -81,4 +82,33 @@ class PostBin:
         """Remove everything; return the number of posts dropped."""
         dropped = len(self._posts)
         self._posts.clear()
+        return dropped
+
+    # -- migration helpers (repro.dynamic) ---------------------------------
+    #
+    # Cold-path operations used when the author graph changes under a live
+    # engine. Bins only need *non-decreasing timestamp* order for `expire`
+    # and `scan` to stay correct (admit verdicts are scan-order independent),
+    # so merges normalise to the canonical (timestamp, post_id) order.
+
+    def merge(self, posts: Iterable[Post]) -> int:
+        """Merge ``posts`` into the bin, keeping timestamp order; return
+        how many were inserted. Callers are responsible for not inserting
+        duplicates of posts already present."""
+        incoming = list(posts)
+        if not incoming:
+            return 0
+        merged = sorted(
+            chain(self._posts, incoming),
+            key=lambda p: (p.timestamp, p.post_id),
+        )
+        self._posts = deque(merged)
+        return len(incoming)
+
+    def remove_authored(self, author: int) -> int:
+        """Drop every post authored by ``author``; return how many."""
+        kept = [post for post in self._posts if post.author != author]
+        dropped = len(self._posts) - len(kept)
+        if dropped:
+            self._posts = deque(kept)
         return dropped

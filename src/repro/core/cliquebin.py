@@ -109,6 +109,49 @@ class CliqueBin(StreamDiversifier):
     def bin_count(self) -> int:
         return len(self._bins)
 
+    def admitted_posts(self) -> list[Post]:
+        # Posts replicate across the cliques of their author; dedupe by id.
+        seen: dict[int, Post] = {}
+        for bin_ in self._bins.values():
+            for post in bin_:
+                seen[post.post_id] = post
+        return sorted(seen.values(), key=lambda p: (p.timestamp, p.post_id))
+
+    def apply_cover_update(self, cover: CliqueCover) -> None:
+        """Swap in a repaired clique cover, re-binning the live window.
+
+        Admit verdicts are cover-independent for any *valid* cover of the
+        current graph (clique membership implies author similarity, and
+        every similar pair shares some clique), so the repaired cover only
+        needs to pass ``verify_cover`` — not to equal the greedy-from-
+        scratch cover. Bins of cliques present in both covers keep their
+        deques; new cliques get bins rebuilt from the admitted posts of
+        their members, in (timestamp, post_id) order.
+        """
+        by_author: dict[int, list[Post]] = {}
+        for post in self.admitted_posts():
+            by_author.setdefault(post.author, []).append(post)
+        reusable: dict[frozenset[int], list[PostBin]] = {}
+        for idx, clique in enumerate(self.cover.cliques):
+            reusable.setdefault(clique, []).append(self._bins[idx])
+        self.cover = cover
+        bins: dict[int, PostBin] = {}
+        for idx, clique in enumerate(cover.cliques):
+            stack = reusable.get(clique)
+            if stack:
+                bins[idx] = stack.pop()
+                continue
+            bin_ = PostBin()
+            members = [a for a in clique if a in by_author]
+            if members:
+                for post in sorted(
+                    (p for a in members for p in by_author[a]),
+                    key=lambda p: (p.timestamp, p.post_id),
+                ):
+                    bin_.append(post)
+            bins[idx] = bin_
+        self._bins = bins
+
     def _index_state(self) -> dict[str, object]:
         posts: dict[int, Post] = {}
         bins: dict[int, list[int]] = {}
@@ -117,12 +160,26 @@ class CliqueBin(StreamDiversifier):
                 bins[idx] = [p.post_id for p in bin_]
                 for post in bin_:
                     posts[post.post_id] = post
-        return {"cliques": len(self.cover), "posts": posts, "bins": bins}
+        return {
+            "cliques": len(self.cover),
+            # The cover itself: a dynamically-repaired cover is valid but
+            # need not equal the greedy-from-scratch cover a restoring
+            # engine computes, so restore must adopt the checkpointed one.
+            "cover": [sorted(clique) for clique in self.cover.cliques],
+            "posts": posts,
+            "bins": bins,
+        }
 
     def _load_index_state(self, state: dict[str, object]) -> None:
         from ..errors import CheckpointError
 
-        if state["cliques"] != len(self.cover):
+        cover_state = state.get("cover")
+        if cover_state is not None:
+            self.cover = CliqueCover(
+                [frozenset(members) for members in cover_state]  # type: ignore[union-attr]
+            )
+        elif state["cliques"] != len(self.cover):
+            # Pre-dynamic checkpoints carry only the clique count.
             raise CheckpointError(
                 f"checkpoint was taken with a {state['cliques']}-clique "
                 f"cover; this engine's cover has {len(self.cover)} cliques "

@@ -86,6 +86,9 @@ class IndexedUniBin(StreamDiversifier):
     def stored_copies(self) -> int:
         return len(self._queue)
 
+    def admitted_posts(self) -> list[Post]:
+        return sorted(self._queue, key=lambda p: (p.timestamp, p.post_id))
+
     def _index_state(self) -> dict[str, object]:
         return {"queue": list(self._queue)}
 

@@ -105,6 +105,41 @@ class NeighborBin(StreamDiversifier):
     def bin_count(self) -> int:
         return len(self._bins)
 
+    def admitted_posts(self) -> list[Post]:
+        # Every admitted post has a copy in its author's own bin, so the
+        # author-filtered union over own bins is exactly Z ∩ window.
+        out = [
+            post
+            for author, bin_ in self._bins.items()
+            for post in bin_
+            if post.author == author
+        ]
+        out.sort(key=lambda p: (p.timestamp, p.post_id))
+        return out
+
+    def apply_graph_delta(self, added=(), removed=()) -> None:
+        """Patch bin membership after an in-place edge change of the graph.
+
+        An admitted post by ``a`` belongs in ``a``'s bin and each of ``a``'s
+        neighbours' bins; an edge flip between ``a`` and ``b`` therefore
+        moves exactly the two authors' own posts in or out of each other's
+        bins. Endpoints outside this engine's graph are skipped — deltas
+        are global, engines are per-subgraph.
+        """
+        bins = self._bins
+        for a, b in removed:
+            bin_a, bin_b = bins.get(a), bins.get(b)
+            if bin_a is None or bin_b is None:
+                continue
+            bin_a.remove_authored(b)
+            bin_b.remove_authored(a)
+        for a, b in added:
+            bin_a, bin_b = bins.get(a), bins.get(b)
+            if bin_a is None or bin_b is None:
+                continue
+            bin_a.merge([post for post in bin_b if post.author == b])
+            bin_b.merge([post for post in bin_a if post.author == a])
+
     def _index_state(self) -> dict[str, object]:
         # Bins replicate posts (author + neighbours); serialise each post
         # once and reference it by id from the per-author bin listings.

@@ -74,6 +74,9 @@ class UniBin(StreamDiversifier):
     def stored_copies(self) -> int:
         return len(self._bin)
 
+    def admitted_posts(self) -> list[Post]:
+        return sorted(self._bin, key=lambda p: (p.timestamp, p.post_id))
+
     def _index_state(self) -> dict[str, object]:
         return {"bin": list(self._bin)}
 

@@ -1,0 +1,50 @@
+"""Dynamic topology subsystem: live follow/unfollow on a running engine.
+
+The paper fixes the author similarity graph up front; this package treats
+topology change as part of the stream. A single mixed event stream of
+``post`` / ``follow`` / ``unfollow`` records drives:
+
+* :mod:`.events` — the event-record schema, JSONL codec and decoder;
+* :mod:`.topology` — a versioned :class:`TopologyManager` that feeds
+  :class:`~repro.authors.SimilarityMaintainer` edge deltas into
+  incremental connected-component maintenance and clique-cover repair;
+* :mod:`.migrate` — hot migration of live engine state per graph version
+  (bin patching, cover swaps, instance split/merge with carried windows);
+* :mod:`.engine` — :class:`DynamicDiversifier` (single-user) and
+  :class:`DynamicMultiUser` (shared-component, optionally sharded over
+  worker processes) consuming the mixed stream.
+
+Semantics are **state-preserving rebuild**: a topology change keeps every
+already-admitted in-window post admitted and re-indexes it under the new
+graph, so after any prefix of the event stream the engine answers exactly
+as one torn down and rebuilt from scratch on the current graph with the
+carried window re-seeded — the contract the differential suite enforces.
+"""
+
+from .engine import DynamicDiversifier, DynamicMultiUser
+from .events import (
+    FollowEvent,
+    UnfollowEvent,
+    event_from_dict,
+    event_to_dict,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+from .migrate import RebuildMultiUser, patch_engine
+from .topology import TopologyDelta, TopologyManager, repair_cover
+
+__all__ = [
+    "DynamicDiversifier",
+    "DynamicMultiUser",
+    "FollowEvent",
+    "RebuildMultiUser",
+    "TopologyDelta",
+    "TopologyManager",
+    "UnfollowEvent",
+    "event_from_dict",
+    "event_to_dict",
+    "patch_engine",
+    "read_events_jsonl",
+    "repair_cover",
+    "write_events_jsonl",
+]

@@ -1,0 +1,814 @@
+"""Dynamic engines: diversify a mixed post/follow/unfollow stream.
+
+Two consumers of the :class:`~repro.dynamic.topology.TopologyManager`
+live here:
+
+* :class:`DynamicDiversifier` — single-engine mode: one SPSD algorithm on
+  the whole (mutating) author graph. UniBin/IndexedUniBin read the graph
+  live, NeighborBin re-files the flipped endpoints' posts, CliqueBin swaps
+  in the manager's incrementally repaired cover.
+* :class:`DynamicMultiUser` — the multi-user engine. Work is shared
+  through **instances**: lineage-keyed engine slots, each a maximal
+  connected author set in ``G[subs(u)]`` for every user it serves. A
+  topology change migrates instances in place — splits via scoped
+  component recompute, merges via carried-window re-seeding, internal
+  edge flips via bin/cover patches — so after any event-stream prefix the
+  receiver sets equal a from-scratch rebuild on the current graph.
+
+Instances run on an executor: :class:`_LocalExecutor` keeps engines
+in-process (``workers=1``, zero IPC); :class:`_PipeExecutor` spreads them
+over worker processes speaking the :mod:`~repro.dynamic.worker` protocol,
+placing each newly created instance on the least-loaded worker (migration
+doubles as re-sharding).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+from time import perf_counter
+
+from ..authors import ComponentCatalog
+from ..core import (
+    ALGORITHMS,
+    Post,
+    RunStats,
+    StreamDiversifier,
+    Thresholds,
+    make_diversifier,
+)
+from ..core.cliquebin import CliqueBin
+from ..errors import (
+    CheckpointError,
+    ConfigurationError,
+    GraphError,
+    ParallelError,
+    UnknownAlgorithmError,
+)
+from ..multiuser.base import MultiUserDiversifier
+from ..multiuser.routing import SubscriptionTable
+from ..parallel.engine import _preferred_start_method, _shutdown_workers
+from .events import Event, FollowEvent, UnfollowEvent
+from .migrate import mutate_subgraph, patch_engine, seeded_engine
+from .topology import TopologyDelta, TopologyManager, scoped_components
+from .worker import DynamicShardSpec, dynamic_worker_main
+
+
+class DynamicDiversifier:
+    """Single-engine dynamic mode: one algorithm over the mutating graph.
+
+    Wraps a :class:`~repro.core.StreamDiversifier` built on the
+    :class:`TopologyManager`'s graph object. Because the manager mutates
+    that object in place, an effective edge delta only needs the engine's
+    *index* migrated (:func:`~repro.dynamic.migrate.patch_engine`); for
+    CliqueBin the manager's repaired cover is adopted directly instead of
+    being re-repaired.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        thresholds: Thresholds,
+        friends: Mapping[int, Iterable[int]],
+        *,
+        validate_covers: bool = False,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise UnknownAlgorithmError(f"unknown algorithm {algorithm!r}")
+        self.name = f"dyn_{algorithm}"
+        self.algorithm = algorithm
+        self.thresholds = thresholds
+        maintain_cover = algorithm == "cliquebin"
+        self.topology = TopologyManager(
+            friends,
+            lambda_a=thresholds.lambda_a,
+            maintain_cover=maintain_cover,
+            validate_covers=validate_covers,
+        )
+        kwargs = {"cover": self.topology.cover} if maintain_cover else {}
+        self.engine = make_diversifier(
+            algorithm, thresholds, self.topology.graph, **kwargs
+        )
+        self.migrations = 0
+        self.event_counts = {"post": 0, "follow": 0, "unfollow": 0}
+
+    @property
+    def graph_version(self) -> int:
+        return self.topology.version
+
+    @property
+    def stats(self) -> RunStats:
+        return self.engine.stats
+
+    def offer(self, post: Post) -> bool:
+        self.event_counts["post"] += 1
+        return self.engine.offer(post)
+
+    def follow(self, author: int, followee: int) -> TopologyDelta:
+        return self._churn("follow", self.topology.follow, author, followee)
+
+    def unfollow(self, author: int, followee: int) -> TopologyDelta:
+        return self._churn("unfollow", self.topology.unfollow, author, followee)
+
+    def _churn(self, kind, mutate, author: int, followee: int) -> TopologyDelta:
+        self.event_counts[kind] += 1
+        delta = mutate(author, followee)
+        if delta.empty:
+            return delta
+        self.migrations += 1
+        if isinstance(self.engine, CliqueBin):
+            # The manager repaired the global cover already; adopt it.
+            self.engine.apply_cover_update(self.topology.cover)
+        else:
+            self.engine.apply_graph_delta(delta.added, delta.removed)
+        return delta
+
+    def apply(self, event: Event) -> bool | None:
+        """Consume one mixed-stream record; admit verdict for posts."""
+        if isinstance(event, FollowEvent):
+            self.follow(event.author, event.followee)
+            return None
+        if isinstance(event, UnfollowEvent):
+            self.unfollow(event.author, event.followee)
+            return None
+        return self.offer(event)
+
+    def run(self, events: Iterable[Event]) -> list[Post]:
+        """Consume a mixed stream; return the admitted (diversified) posts."""
+        admitted: list[Post] = []
+        for event in events:
+            if self.apply(event) is True:
+                admitted.append(event)
+        return admitted
+
+    def admitted_posts(self) -> list[Post]:
+        return self.engine.admitted_posts()
+
+    def stored_copies(self) -> int:
+        return self.engine.stored_copies()
+
+    def purge(self, now: float | None = None) -> None:
+        self.engine.purge(now)
+
+    def bind_metrics(self, registry) -> None:
+        self.engine.bind_metrics(registry)
+
+    def state_dict(self) -> dict[str, object]:
+        return {
+            "engine": self.name,
+            "graph_version": self.topology.version,
+            "friends": self.topology.maintainer.friends(),
+            "state": self.engine.state_dict(),
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        if state.get("engine") != self.name:
+            raise CheckpointError(
+                f"checkpoint is for engine {state.get('engine')!r}, "
+                f"this engine is {self.name!r}"
+            )
+        friends: Mapping[int, Iterable[int]] = state["friends"]  # type: ignore[assignment]
+        maintain_cover = self.algorithm == "cliquebin"
+        self.topology = TopologyManager(
+            friends,
+            lambda_a=self.thresholds.lambda_a,
+            maintain_cover=maintain_cover,
+            validate_covers=self.topology.validate_covers,
+        )
+        self.topology.version = int(state["graph_version"])  # type: ignore[arg-type]
+        kwargs = {"cover": self.topology.cover} if maintain_cover else {}
+        self.engine = make_diversifier(
+            self.algorithm, self.thresholds, self.topology.graph, **kwargs
+        )
+        self.engine.load_state(state["state"])  # type: ignore[arg-type]
+        if isinstance(self.engine, CliqueBin):
+            # The checkpointed (possibly repaired) cover wins; keep the
+            # manager's view consistent with the engine's.
+            self.topology.cover = self.engine.cover
+
+
+class _Instance:
+    """Coordinator-side record of one engine instance (the engine itself
+    lives wherever the executor put it)."""
+
+    __slots__ = ("nodes", "users")
+
+    def __init__(self, nodes: frozenset[int], users: set[int]):
+        self.nodes = nodes
+        self.users = users
+
+
+class _LocalExecutor:
+    """In-process instance host: the ``workers=1`` zero-IPC fast path."""
+
+    def __init__(self, algorithm: str, thresholds: Thresholds):
+        self.algorithm = algorithm
+        self.thresholds = thresholds
+        self._engines: dict[int, StreamDiversifier] = {}
+
+    def install(self, iid, subgraph, carried, last_timestamp) -> None:
+        self._engines[iid] = seeded_engine(
+            self.algorithm, self.thresholds, subgraph, carried, last_timestamp
+        )
+
+    def offer_batch(self, items):
+        engines = self._engines
+        return [
+            (seq, [iid for iid in iids if engines[iid].offer(post)])
+            for seq, post, iids in items
+        ]
+
+    def patch(self, iid, added, removed) -> None:
+        engine = self._engines[iid]
+        mutate_subgraph(engine.graph, added, removed)
+        patch_engine(engine, added, removed)
+
+    def peek(self, iid):
+        engine = self._engines[iid]
+        return engine.admitted_posts(), engine.last_timestamp
+
+    def extract(self, iid):
+        engine = self._engines.pop(iid)
+        return engine.admitted_posts(), engine.last_timestamp, engine.stats.state_dict()
+
+    def merged_stats(self) -> RunStats:
+        total = RunStats()
+        for engine in self._engines.values():
+            total.merge(engine.stats)
+        return total
+
+    def stored(self) -> int:
+        return sum(engine.stored_copies() for engine in self._engines.values())
+
+    def purge(self, now: float) -> None:
+        for engine in self._engines.values():
+            engine.purge(now)
+
+    def states(self) -> dict[int, dict[str, object]]:
+        return {iid: engine.state_dict() for iid, engine in self._engines.items()}
+
+    def load(self, iid, state) -> None:
+        self._engines[iid].load_state(state)
+
+    def reset(self) -> None:
+        self._engines.clear()
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+
+class _PipeExecutor:
+    """Instance host spread over worker processes.
+
+    Workers start empty; every instance is installed over the pipe onto
+    the currently least-loaded worker (by resident author count), so
+    split/merge churn re-balances placement as it happens.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        thresholds: Thresholds,
+        workers: int,
+        *,
+        start_method: str | None = None,
+    ):
+        spec = DynamicShardSpec(algorithm=algorithm, thresholds=thresholds)
+        context = multiprocessing.get_context(
+            start_method if start_method is not None else _preferred_start_method()
+        )
+        self._closed = False
+        self._connections = []
+        self._processes = []
+        for _ in range(workers):
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=dynamic_worker_main, args=(child_conn, spec), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, list(self._processes), list(self._connections)
+        )
+        self._worker_of: dict[int, int] = {}
+        self._weight: dict[int, int] = {}
+        self._loads: list[int] = [0] * workers
+        for worker, conn in enumerate(self._connections):
+            self._receive(worker, conn)  # startup handshake ("ready")
+
+    # -- protocol plumbing -------------------------------------------------
+
+    def _receive(self, worker: int, conn):
+        try:
+            reply = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise ParallelError(
+                f"dynamic worker {worker} died (pipe closed): {exc}"
+            ) from exc
+        if reply[0] == "error":
+            raise ParallelError(f"dynamic worker {worker} {reply[1]}: {reply[2]}")
+        return reply[1]
+
+    def _request(self, worker: int, message):
+        if self._closed:
+            raise ParallelError("dynamic engine already closed")
+        conn = self._connections[worker]
+        conn.send(message)
+        return self._receive(worker, conn)
+
+    def _broadcast(self, message):
+        if self._closed:
+            raise ParallelError("dynamic engine already closed")
+        for conn in self._connections:
+            conn.send(message)
+        return [
+            self._receive(worker, conn)
+            for worker, conn in enumerate(self._connections)
+        ]
+
+    # -- executor interface ------------------------------------------------
+
+    def install(self, iid, subgraph, carried, last_timestamp) -> None:
+        worker = min(range(len(self._loads)), key=self._loads.__getitem__)
+        weight = max(1, len(subgraph.nodes))
+        self._worker_of[iid] = worker
+        self._weight[iid] = weight
+        self._loads[worker] += weight
+        self._request(worker, ("install", (iid, subgraph, carried, last_timestamp)))
+
+    def offer_batch(self, items):
+        if self._closed:
+            raise ParallelError("dynamic engine already closed")
+        worker_of = self._worker_of
+        per_worker: dict[int, list] = defaultdict(list)
+        for seq, post, iids in items:
+            by_worker: dict[int, list[int]] = {}
+            for iid in iids:
+                by_worker.setdefault(worker_of[iid], []).append(iid)
+            for worker, sub in by_worker.items():
+                per_worker[worker].append((seq, post, sub))
+        # Sends complete before the first receive so workers overlap.
+        for worker, sub_items in per_worker.items():
+            self._connections[worker].send(("batch", sub_items))
+        out = []
+        for worker in per_worker:
+            out.extend(self._receive(worker, self._connections[worker]))
+        return out
+
+    def patch(self, iid, added, removed) -> None:
+        self._request(self._worker_of[iid], ("patch", (iid, added, removed)))
+
+    def peek(self, iid):
+        return self._request(self._worker_of[iid], ("peek", iid))
+
+    def extract(self, iid):
+        reply = self._request(self._worker_of[iid], ("extract", iid))
+        worker = self._worker_of.pop(iid)
+        self._loads[worker] -= self._weight.pop(iid)
+        return reply
+
+    def merged_stats(self) -> RunStats:
+        total = RunStats()
+        for state in self._broadcast(("stats",)):
+            stats = RunStats()
+            stats.load_state(state)
+            total.merge(stats)
+        return total
+
+    def stored(self) -> int:
+        return sum(self._broadcast(("stored",)))
+
+    def purge(self, now: float) -> None:
+        self._broadcast(("purge", now))
+
+    def states(self) -> dict[int, dict[str, object]]:
+        out: dict[int, dict[str, object]] = {}
+        for reply in self._broadcast(("states",)):
+            out.update(reply)
+        return out
+
+    def load(self, iid, state) -> None:
+        self._request(self._worker_of[iid], ("load", (iid, state)))
+
+    def reset(self) -> None:
+        self._broadcast(("reset",))
+        self._worker_of.clear()
+        self._weight.clear()
+        self._loads = [0] * len(self._connections)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+
+class DynamicMultiUser(MultiUserDiversifier):
+    """M-SPSD over a mutating author graph, one mixed event stream in.
+
+    Args:
+        algorithm: single-user registry name (``unibin`` … ``indexed_unibin``).
+        thresholds: shared diversity thresholds.
+        friends: initial followee sets; the author universe is fixed and
+            must contain every subscribed author.
+        subscriptions: the (static) user ⇄ author table — follow events
+            mutate author *similarity*, not who reads whom.
+        workers: ``1`` hosts every instance in-process; ``>1`` spreads
+            instances over that many worker processes.
+        batch_size: chunk length for :meth:`run` / :meth:`run_events`.
+        validate_covers: verify every per-instance repaired cover (tests).
+        start_method: multiprocessing start method for ``workers > 1``.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        thresholds: Thresholds,
+        friends: Mapping[int, Iterable[int]],
+        subscriptions: SubscriptionTable,
+        *,
+        workers: int = 1,
+        batch_size: int = 512,
+        validate_covers: bool = False,
+        start_method: str | None = None,
+    ):
+        if algorithm not in ALGORITHMS:
+            raise UnknownAlgorithmError(f"unknown algorithm {algorithm!r}")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self.name = f"d_{algorithm}"
+        self.algorithm = algorithm
+        self.thresholds = thresholds
+        self.subscriptions = subscriptions
+        self.workers = workers
+        self.batch_size = batch_size
+        self.validate_covers = validate_covers
+        self.topology = TopologyManager(friends, lambda_a=thresholds.lambda_a)
+        missing = set(subscriptions.authors) - set(self.topology.graph.nodes)
+        if missing:
+            raise ConfigurationError(
+                f"subscribed authors missing from the friends universe: "
+                f"{sorted(missing)[:5]}{'…' if len(missing) > 5 else ''}"
+            )
+        self._closed = False
+        if workers == 1:
+            self._executor = _LocalExecutor(algorithm, thresholds)
+        else:
+            self._executor = _PipeExecutor(
+                algorithm, thresholds, workers, start_method=start_method
+            )
+        self._instances: dict[int, _Instance] = {}
+        self._by_author: dict[int, set[int]] = defaultdict(set)
+        self._user_instances: dict[int, set[int]] = {
+            user: set() for user in subscriptions.users
+        }
+        self._next_iid = 0
+        self._retired = RunStats()
+        self.migrations = 0
+        self.event_counts = {"post": 0, "follow": 0, "unfollow": 0}
+        catalog = ComponentCatalog(self.topology.graph, subscriptions.as_dict())
+        for idx, component in enumerate(catalog.components):
+            self._create_instance(
+                component, set(catalog.users_of[idx]), [], float("-inf")
+            )
+
+    # -- instance bookkeeping ----------------------------------------------
+
+    def _create_instance(self, nodes, users, carried, last_timestamp) -> int:
+        iid = self._next_iid
+        self._next_iid += 1
+        self._instances[iid] = _Instance(frozenset(nodes), users)
+        for node in nodes:
+            self._by_author[node].add(iid)
+        for user in users:
+            self._user_instances[user].add(iid)
+        self._executor.install(
+            iid, self.topology.graph.subgraph(nodes), carried, last_timestamp
+        )
+        return iid
+
+    def _retire_instance(self, iid: int):
+        """Drop an instance; fold its counters into the retired
+        accumulator and hand back its carried window."""
+        instance = self._instances.pop(iid)
+        for node in instance.nodes:
+            self._by_author[node].discard(iid)
+        for user in instance.users:
+            self._user_instances[user].discard(iid)
+        posts, last_timestamp, stats_state = self._executor.extract(iid)
+        stats = RunStats()
+        stats.load_state(stats_state)
+        self._retired.merge(stats)
+        return posts, last_timestamp
+
+    def _instance_of(self, user: int, author: int) -> int:
+        """The unique instance of ``user`` whose node set contains
+        ``author`` (instances partition each user's subscriptions)."""
+        for iid in self._user_instances[user]:
+            if author in self._instances[iid].nodes:
+                return iid
+        raise GraphError(
+            f"internal invariant violated: user {user} has no instance "
+            f"containing author {author}"
+        )
+
+    # -- offers --------------------------------------------------------------
+
+    def offer(self, post: Post) -> frozenset[int]:
+        return self.offer_batch((post,))[0]
+
+    def offer_batch(self, posts) -> list[frozenset[int]]:
+        posts = list(posts)
+        self.event_counts["post"] += len(posts)
+        by_author = self._by_author
+        instances = self._instances
+        consulted: list[int] = []
+        items: list[tuple[int, Post, list[int]]] = []
+        for seq, post in enumerate(posts):
+            iids = sorted(by_author.get(post.author, ()))
+            consulted.append(len(iids))
+            if iids:
+                items.append((seq, post, iids))
+        merged: list[set[int]] = [set() for _ in posts]
+        if items:
+            for seq, admitted in self._executor.offer_batch(items):
+                receivers = merged[seq]
+                for iid in admitted:
+                    receivers.update(instances[iid].users)
+        results = [frozenset(r) for r in merged]
+        if self._metrics is not None:
+            record = self._metrics.record
+            for count, result in zip(consulted, results):
+                record(count, result)
+        return results
+
+    # -- topology events -----------------------------------------------------
+
+    def follow(self, author: int, followee: int) -> TopologyDelta:
+        return self._churn("follow", self.topology.follow, author, followee)
+
+    def unfollow(self, author: int, followee: int) -> TopologyDelta:
+        return self._churn("unfollow", self.topology.unfollow, author, followee)
+
+    def _churn(self, kind, mutate, author: int, followee: int) -> TopologyDelta:
+        self.event_counts[kind] += 1
+        delta = mutate(author, followee)
+        if delta.empty:
+            return delta
+        started = perf_counter()
+        self._migrate(delta)
+        self.migrations += 1
+        if self._metrics is not None:
+            self._metrics.observe_migration(perf_counter() - started)
+        return delta
+
+    def apply(self, event: Event) -> frozenset[int] | None:
+        """Consume one mixed-stream record; receivers for posts, else None."""
+        if isinstance(event, FollowEvent):
+            self.follow(event.author, event.followee)
+            return None
+        if isinstance(event, UnfollowEvent):
+            self.unfollow(event.author, event.followee)
+            return None
+        return self.offer(event)
+
+    def run_events(self, events: Iterable[Event]) -> dict[int, list[Post]]:
+        """Consume a mixed stream, batching post runs between topology
+        events; return each user's diversified timeline."""
+        timelines: dict[int, list[Post]] = {}
+        chunk: list[Post] = []
+
+        def drain() -> None:
+            for post, receivers in zip(chunk, self.offer_batch(chunk)):
+                for user in receivers:
+                    timelines.setdefault(user, []).append(post)
+            chunk.clear()
+
+        for event in events:
+            if isinstance(event, (FollowEvent, UnfollowEvent)):
+                drain()
+                if isinstance(event, FollowEvent):
+                    self.follow(event.author, event.followee)
+                else:
+                    self.unfollow(event.author, event.followee)
+            else:
+                chunk.append(event)
+                if len(chunk) >= self.batch_size:
+                    drain()
+        drain()
+        return timelines
+
+    # -- migration -----------------------------------------------------------
+
+    def _migrate(self, delta: TopologyDelta) -> None:
+        """Bring every live instance to the new graph version.
+
+        The manager mutated the global graph *before* this runs, so child
+        instances can be built directly on induced subgraphs of the final
+        graph. Three mechanisms, cheapest applicable one per instance:
+
+        * **split** (removed edge disconnects an instance): scoped
+          component recompute over the instance's node set; children are
+          fresh seeded engines carrying the parent's window, parent
+          retires.
+        * **merge** (added edge bridges two instances of the same user):
+          the affected users move onto a fresh instance over the union
+          node set, seeded with both parents' carried windows; parents
+          retire when their last user leaves.
+        * **patch** (edge flip internal to a surviving instance): mutate
+          the instance subgraph and re-index in place — no engine rebuild.
+
+        Instances created during this migration ("fresh") already sit on
+        the final graph, so pending patches are only applied to survivors.
+        """
+        fresh: set[int] = set()
+        # iid → [added edges, removed edges] to patch in place at the end.
+        pending: dict[int, list[set]] = {}
+
+        # Removal phase: splits and internal removal patches.
+        affected: dict[int, set] = {}
+        for edge in delta.removed:
+            u, v = edge
+            for iid in self._by_author.get(u, set()) & self._by_author.get(v, set()):
+                affected.setdefault(iid, set()).add(edge)
+        for iid in sorted(affected):
+            instance = self._instances[iid]
+            components = scoped_components(self.topology.graph, instance.nodes)
+            if len(components) == 1:
+                pending.setdefault(iid, [set(), set()])[1].update(affected[iid])
+                continue
+            users = set(instance.users)
+            posts, last_timestamp = self._retire_instance(iid)
+            pending.pop(iid, None)
+            for component in components:
+                child = self._create_instance(
+                    component,
+                    set(users),
+                    [post for post in posts if post.author in component],
+                    last_timestamp,
+                )
+                fresh.add(child)
+
+        # Addition phase: merges and internal addition patches.
+        for edge in sorted(delta.added):
+            u, v = edge
+            movers_of: dict[frozenset[int], list[int]] = {}
+            both = self.subscriptions.subscribers_of(u) & self.subscriptions.subscribers_of(v)
+            for user in sorted(both):
+                iu = self._instance_of(user, u)
+                iv = self._instance_of(user, v)
+                if iu == iv:
+                    if iu not in fresh:
+                        pending.setdefault(iu, [set(), set()])[0].add(edge)
+                else:
+                    movers_of.setdefault(frozenset((iu, iv)), []).append(user)
+            for pair in sorted(movers_of, key=lambda p: tuple(sorted(p))):
+                movers = movers_of[pair]
+                first, second = sorted(pair)
+                parent_a = self._instances[first]
+                parent_b = self._instances[second]
+                posts_a, ts_a = self._executor.peek(first)
+                posts_b, ts_b = self._executor.peek(second)
+                nodes = parent_a.nodes | parent_b.nodes
+                carried = sorted(
+                    posts_a + posts_b, key=lambda p: (p.timestamp, p.post_id)
+                )
+                for user in movers:
+                    self._user_instances[user].discard(first)
+                    self._user_instances[user].discard(second)
+                parent_a.users.difference_update(movers)
+                parent_b.users.difference_update(movers)
+                child = self._create_instance(
+                    nodes, set(movers), carried, max(ts_a, ts_b)
+                )
+                fresh.add(child)
+                for parent_iid in (first, second):
+                    if not self._instances[parent_iid].users:
+                        self._retire_instance(parent_iid)
+                        pending.pop(parent_iid, None)
+                        fresh.discard(parent_iid)
+
+        # Patch phase: surviving pre-existing instances re-index in place.
+        for iid in sorted(pending):
+            if iid not in self._instances:
+                continue
+            added, removed = pending[iid]
+            self._executor.patch(iid, sorted(added), sorted(removed))
+            if self.validate_covers and isinstance(self._executor, _LocalExecutor):
+                engine = self._executor._engines[iid]
+                if isinstance(engine, CliqueBin):
+                    from ..authors import verify_cover
+
+                    verify_cover(engine.graph, engine.cover)
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def graph_version(self) -> int:
+        return self.topology.version
+
+    def aggregate_stats(self) -> RunStats:
+        total = RunStats()
+        total.merge(self._retired)
+        total.merge(self._executor.merged_stats())
+        return total
+
+    def instance_count(self) -> int:
+        return len(self._instances)
+
+    def stored_copies(self) -> int:
+        return self._executor.stored()
+
+    def purge(self, now: float) -> None:
+        self._executor.purge(now)
+
+    def bind_metrics(self, registry, *, per_user: bool = False) -> None:
+        """Attach observability: the multi-user bundle plus graph-version
+        gauge, per-event-type counters and a migration-latency histogram."""
+        if registry is None or getattr(registry, "is_noop", False):
+            self._metrics = None
+            return
+        from ..obs.instruments import DynamicInstruments
+
+        self._metrics = DynamicInstruments(registry, self, per_user=per_user)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        states = self._executor.states()
+        instances = []
+        for iid in sorted(self._instances):
+            instance = self._instances[iid]
+            instances.append(
+                {
+                    "nodes": sorted(instance.nodes),
+                    "users": sorted(instance.users),
+                    "state": states[iid],
+                }
+            )
+        return {
+            "engine": self.name,
+            "workers": self.workers,
+            "graph_version": self.topology.version,
+            "friends": self.topology.maintainer.friends(),
+            "instances": instances,
+            "retired_stats": self._retired.state_dict(),
+            # Migrations are synchronous — a snapshot never straddles one.
+            # Reserved so an asynchronous migrator can checkpoint mid-flight.
+            "pending_deltas": [],
+        }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        if state.get("engine") != self.name:
+            raise CheckpointError(
+                f"checkpoint is for engine {state.get('engine')!r}, "
+                f"this engine is {self.name!r}"
+            )
+        if state.get("pending_deltas"):
+            raise CheckpointError(
+                "checkpoint carries pending topology deltas; this engine "
+                "only restores quiescent snapshots"
+            )
+        friends: Mapping[int, Iterable[int]] = state["friends"]  # type: ignore[assignment]
+        self.topology = TopologyManager(
+            friends, lambda_a=self.thresholds.lambda_a
+        )
+        self.topology.version = int(state["graph_version"])  # type: ignore[arg-type]
+        self._retired = RunStats()
+        self._retired.load_state(state["retired_stats"])  # type: ignore[arg-type]
+        self._executor.reset()
+        self._instances = {}
+        self._by_author = defaultdict(set)
+        self._user_instances = {user: set() for user in self.subscriptions.users}
+        self._next_iid = 0
+        for spec in state["instances"]:  # type: ignore[union-attr]
+            nodes = frozenset(spec["nodes"])
+            users = set(spec["users"])
+            unknown = users - set(self._user_instances)
+            if unknown:
+                raise CheckpointError(
+                    f"checkpoint references unknown users {sorted(unknown)[:5]}"
+                )
+            iid = self._create_instance(nodes, users, [], float("-inf"))
+            self._executor.load(iid, spec["state"])
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop worker processes; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.close()
+
+    def __enter__(self) -> "DynamicMultiUser":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,147 @@
+"""Event records for the mixed dynamic stream.
+
+A dynamic trace is a JSONL file whose lines are tagged by ``"type"``:
+
+* ``{"type": "post", "post_id": 1, "author": 42, "text": "...",
+  "timestamp": 12.5}`` — a post record, identical to ``posts.jsonl``
+  plus the tag (optional ``"fingerprint"`` as there);
+* ``{"type": "follow", "author": 42, "followee": 7, "timestamp": 12.6}``
+  — author 42 starts following author 7;
+* ``{"type": "unfollow", "author": 42, "followee": 7, "timestamp": 99.0}``.
+
+Events must be in non-decreasing timestamp order, interleaved: the engine
+applies each record as it arrives, so a follow event takes effect for every
+later post and no earlier one.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from ..core import Post
+from ..errors import DatasetError
+from ..io import _int_field, _timestamp_field, post_from_dict, post_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..resilience import Quarantine
+
+
+@dataclass(frozen=True, slots=True)
+class FollowEvent:
+    """``author`` starts following ``followee`` at ``timestamp``."""
+
+    author: int
+    followee: int
+    timestamp: float
+
+
+@dataclass(frozen=True, slots=True)
+class UnfollowEvent:
+    """``author`` stops following ``followee`` at ``timestamp``."""
+
+    author: int
+    followee: int
+    timestamp: float
+
+
+#: Anything the dynamic engines consume from the mixed stream.
+Event = Union[Post, FollowEvent, UnfollowEvent]
+
+
+def event_to_dict(event: Event) -> dict[str, object]:
+    """JSON-safe dict form of one mixed-stream record."""
+    if isinstance(event, Post):
+        record: dict[str, object] = {"type": "post"}
+        record.update(post_to_dict(event))
+        return record
+    if isinstance(event, FollowEvent):
+        kind = "follow"
+    elif isinstance(event, UnfollowEvent):
+        kind = "unfollow"
+    else:
+        raise DatasetError(f"cannot encode event of type {type(event)!r}")
+    return {
+        "type": kind,
+        "author": event.author,
+        "followee": event.followee,
+        "timestamp": event.timestamp,
+    }
+
+
+def event_from_dict(record: dict[str, object]) -> Event:
+    """Parse one mixed-stream record; the inverse of :func:`event_to_dict`."""
+    if not isinstance(record, dict):
+        raise DatasetError(f"event record must be a JSON object, got {record!r}")
+    kind = record.get("type")
+    if kind == "post":
+        payload = {key: value for key, value in record.items() if key != "type"}
+        return post_from_dict(payload)
+    if kind in ("follow", "unfollow"):
+        for field in ("author", "followee", "timestamp"):
+            if field not in record:
+                raise DatasetError(
+                    f"{kind} record missing field {field!r}: {record!r}"
+                )
+        author = _int_field(record, "author")
+        followee = _int_field(record, "followee")
+        timestamp = _timestamp_field(record)
+        cls = FollowEvent if kind == "follow" else UnfollowEvent
+        return cls(author=author, followee=followee, timestamp=timestamp)
+    raise DatasetError(
+        f"event record has unknown type {kind!r} "
+        "(expected 'post', 'follow' or 'unfollow')"
+    )
+
+
+def write_events_jsonl(events: Iterable[Event], path: str | Path) -> int:
+    """Write a mixed event trace; returns the number of records written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event_to_dict(event), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_events_jsonl(
+    path: str | Path,
+    *,
+    on_error: str = "strict",
+    quarantine: "Quarantine | None" = None,
+) -> Iterator[Event]:
+    """Stream mixed events from a JSONL trace (lazily).
+
+    Decoding policy mirrors :func:`repro.io.read_posts_jsonl`: ``strict``
+    raises :class:`DatasetError` with the 1-based line number, ``skip``
+    drops bad lines, ``quarantine`` retains them in the dead-letter sink.
+    """
+    from ..resilience.quarantine import check_policy
+
+    check_policy(on_error, quarantine)
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if on_error == "strict":
+                    raise DatasetError(
+                        f"{path}:{line_number}: invalid JSON: {exc}"
+                    ) from exc
+                if quarantine is not None:
+                    quarantine.add(line_number, "invalid_json", str(exc), line)
+                continue
+            try:
+                yield event_from_dict(record)
+            except DatasetError as exc:
+                if on_error == "strict":
+                    raise DatasetError(f"{path}:{line_number}: {exc}") from exc
+                if quarantine is not None:
+                    quarantine.add(line_number, "invalid_record", str(exc), line)

@@ -1,0 +1,154 @@
+"""Hot migration of live engine state across graph versions.
+
+Two layers live here:
+
+* :func:`patch_engine` — migrate **one** single-user engine in place after
+  its own graph object was mutated: NeighborBin re-files the flipped
+  endpoints' posts between bins, CliqueBin swaps in an incrementally
+  repaired cover, UniBin/IndexedUniBin need nothing (their coverage checks
+  read the graph live).
+* :class:`RebuildMultiUser` — the **teardown-and-rebuild reference**: a
+  per-user engine farm that, on every effective topology change, discards
+  all engines and rebuilds them from scratch on the new graph, re-seeding
+  each with its carried window. It defines the state-preserving rebuild
+  semantics operationally; the differential suite pits every incremental
+  engine against it, and the benchmark uses it as the full-rebuild
+  baseline that incremental maintenance must beat.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..core import Post, RunStats, StreamDiversifier, Thresholds, make_diversifier
+from ..core.cliquebin import CliqueBin
+from ..multiuser.routing import SubscriptionTable
+from .events import Event, FollowEvent, UnfollowEvent
+from .topology import Edge, TopologyManager, repair_cover
+
+
+def patch_engine(
+    engine: StreamDiversifier,
+    added: Iterable[Edge] = (),
+    removed: Iterable[Edge] = (),
+) -> None:
+    """Re-index one engine whose graph object already reflects the delta.
+
+    ``added``/``removed`` must be restricted to edges with both endpoints
+    in the engine's graph. CliqueBin gets its cover repaired against the
+    mutated graph; every other engine goes through
+    :meth:`~repro.core.StreamDiversifier.apply_graph_delta`.
+    """
+    if isinstance(engine, CliqueBin):
+        assert engine.graph is not None
+        engine.apply_cover_update(
+            repair_cover(engine.graph, engine.cover, added, removed)
+        )
+    else:
+        engine.apply_graph_delta(added, removed)
+
+
+def mutate_subgraph(graph, added: Iterable[Edge], removed: Iterable[Edge]) -> None:
+    """Apply an internal edge delta to an instance subgraph in place."""
+    for a, b in removed:
+        graph.remove_edge(a, b)
+    for a, b in added:
+        graph.add_edge(a, b)
+
+
+def seeded_engine(
+    algorithm: str,
+    thresholds: Thresholds,
+    graph,
+    carried: Iterable[Post],
+    last_timestamp: float,
+) -> StreamDiversifier:
+    """A fresh engine on ``graph``, re-seeded with a carried window."""
+    engine = make_diversifier(algorithm, thresholds, graph)
+    engine.seed_admitted(list(carried), last_timestamp=last_timestamp)
+    return engine
+
+
+class RebuildMultiUser:
+    """Per-user engines, torn down and rebuilt on every topology change.
+
+    Deliberately the simplest correct implementation of the dynamic
+    semantics: one engine per user on the induced subgraph of their
+    subscriptions (the M_* structure), and on any effective edge delta a
+    full rebuild — new subgraph, new engine (greedy cover recomputed from
+    scratch for CliqueBin), carried window re-seeded. Everything the
+    incremental engines do cleverly, this does by brute force, which is
+    what makes it a trustworthy oracle and a meaningful baseline.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        thresholds: Thresholds,
+        friends: Mapping[int, Iterable[int]],
+        subscriptions: SubscriptionTable,
+    ):
+        self.name = f"rebuild_{algorithm}"
+        self.algorithm = algorithm
+        self.thresholds = thresholds
+        self.subscriptions = subscriptions
+        self.topology = TopologyManager(friends, lambda_a=thresholds.lambda_a)
+        self.rebuilds = 0
+        self._engines: dict[int, StreamDiversifier] = {}
+        graph = self.topology.graph
+        for user in subscriptions.users:
+            sub = graph.subgraph(subscriptions.subscriptions_of(user))
+            self._engines[user] = make_diversifier(algorithm, thresholds, sub)
+
+    @property
+    def graph_version(self) -> int:
+        return self.topology.version
+
+    def offer(self, post: Post) -> frozenset[int]:
+        return frozenset(
+            user
+            for user in self.subscriptions.subscribers_of(post.author)
+            if self._engines[user].offer(post)
+        )
+
+    def follow(self, author: int, followee: int) -> None:
+        if not self.topology.follow(author, followee).empty:
+            self._rebuild_all()
+
+    def unfollow(self, author: int, followee: int) -> None:
+        if not self.topology.unfollow(author, followee).empty:
+            self._rebuild_all()
+
+    def apply(self, event: Event) -> frozenset[int] | None:
+        """Consume one mixed-stream record; receivers for posts, else None."""
+        if isinstance(event, FollowEvent):
+            self.follow(event.author, event.followee)
+            return None
+        if isinstance(event, UnfollowEvent):
+            self.unfollow(event.author, event.followee)
+            return None
+        return self.offer(event)
+
+    def _rebuild_all(self) -> None:
+        self.rebuilds += 1
+        graph = self.topology.graph
+        for user, old in self._engines.items():
+            sub = graph.subgraph(self.subscriptions.subscriptions_of(user))
+            fresh = seeded_engine(
+                self.algorithm,
+                self.thresholds,
+                sub,
+                old.admitted_posts(),
+                old.last_timestamp,
+            )
+            fresh.stats = old.stats  # counters survive the teardown
+            self._engines[user] = fresh
+
+    def aggregate_stats(self) -> RunStats:
+        total = RunStats()
+        for engine in self._engines.values():
+            total.merge(engine.stats)
+        return total
+
+    def stored_copies(self) -> int:
+        return sum(engine.stored_copies() for engine in self._engines.values())

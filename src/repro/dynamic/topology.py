@@ -1,0 +1,294 @@
+"""Versioned topology: edge deltas → graph, components, clique cover.
+
+:class:`TopologyManager` owns the mutable author graph and translates
+:class:`~repro.authors.SimilarityMaintainer` edge deltas into the derived
+structures every engine layer consumes:
+
+* **graph** — the λa-thresholded similarity graph, mutated in place so
+  engines holding a reference (UniBin/IndexedUniBin's live coverage
+  checks) see edge flips immediately;
+* **connected components** — maintained incrementally: edge additions
+  merge components union-find style (relabel the smaller side), edge
+  removals trigger a recompute *scoped to the touched components' member
+  sets* instead of the whole graph;
+* **clique edge cover** — repaired incrementally by :func:`repair_cover`
+  (retire invalidated cliques, greedily re-cover orphaned edges, grow new
+  cliques around added edges) and optionally validated against
+  :func:`~repro.authors.verify_cover` after every change.
+
+Every effective mutation bumps ``version``; no-op deltas (a follow that
+crosses no similarity threshold) do not, so engines can skip migration
+entirely for them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..authors import AuthorGraph, CliqueCover, greedy_clique_cover, verify_cover
+from ..authors.incremental import SimilarityMaintainer
+from ..errors import GraphError
+
+Edge = tuple[int, int]
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyDelta:
+    """One graph version transition: the edges that flipped."""
+
+    version: int
+    added: frozenset[Edge] = field(default_factory=frozenset)
+    removed: frozenset[Edge] = field(default_factory=frozenset)
+
+    @property
+    def empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+def scoped_components(graph: AuthorGraph, nodes: Iterable[int]) -> list[frozenset[int]]:
+    """Connected components of ``graph`` restricted to ``nodes``.
+
+    The scoped-recompute primitive: BFS never leaves the given node set,
+    so recomputing after an edge removal touches only the split candidate,
+    not the whole graph. Deterministic (components ordered and explored
+    smallest-id first).
+    """
+    scope = set(nodes)
+    remaining = set(scope)
+    components: list[frozenset[int]] = []
+    while remaining:
+        start = min(remaining)
+        members = {start}
+        queue = deque((start,))
+        while queue:
+            node = queue.popleft()
+            for neighbor in graph.neighbors(node):
+                if neighbor in scope and neighbor not in members:
+                    members.add(neighbor)
+                    queue.append(neighbor)
+        remaining -= members
+        components.append(frozenset(members))
+    return components
+
+
+def grow_clique(graph: AuthorGraph, a: int, b: int) -> frozenset[int]:
+    """Grow a maximal clique around seed edge (a, b), smallest-id first —
+    the same deterministic growth rule as
+    :func:`~repro.authors.greedy_clique_cover`'s inner loop."""
+    clique = {a, b}
+    candidates = graph.neighbors(a) & graph.neighbors(b)
+    while candidates:
+        node = min(candidates)
+        clique.add(node)
+        candidates = candidates & graph.neighbors(node)
+        candidates.discard(node)
+    return frozenset(clique)
+
+
+def repair_cover(
+    graph: AuthorGraph,
+    cover: CliqueCover,
+    added: Iterable[Edge],
+    removed: Iterable[Edge],
+) -> CliqueCover:
+    """Incrementally repair a clique edge cover after an edge delta.
+
+    ``graph`` must already reflect the delta. Cliques containing a removed
+    edge are retired; their surviving edges, plus the added edges, are
+    re-covered greedily (each uncovered edge seeds a grown clique); nodes
+    left clique-less get singletons. The result is a *valid* cover of the
+    new graph — CliqueBin's verdicts are cover-independent for any valid
+    cover, so repair never has to reproduce the from-scratch greedy one.
+    """
+    removed_set = {(a, b) if a < b else (b, a) for a, b in removed}
+    uncovered: set[Edge] = {(a, b) if a < b else (b, a) for a, b in added}
+
+    cliques: list[frozenset[int]] = []
+    cliques_of: dict[int, list[frozenset[int]]] = {}
+    orphaned_nodes: set[int] = set()
+
+    def keep(clique: frozenset[int]) -> None:
+        cliques.append(clique)
+        for node in clique:
+            cliques_of.setdefault(node, []).append(clique)
+
+    for clique in cover.cliques:
+        members = sorted(clique)
+        broken = any(
+            (u, v) in removed_set
+            for i, u in enumerate(members)
+            for v in members[i + 1 :]
+        )
+        if not broken:
+            keep(clique)
+            continue
+        # Retired: its still-valid edges lose coverage and must be redone;
+        # its nodes may end up in no clique at all.
+        orphaned_nodes |= clique
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if (u, v) not in removed_set and graph.are_similar(u, v):
+                    uncovered.add((u, v))
+
+    def is_covered(u: int, v: int) -> bool:
+        return any(v in clique for clique in cliques_of.get(u, ()))
+
+    for u, v in sorted(uncovered):
+        if is_covered(u, v):
+            continue
+        keep(grow_clique(graph, u, v))
+
+    for node in sorted(orphaned_nodes):
+        if node not in cliques_of:
+            keep(frozenset((node,)))
+
+    return CliqueCover(cliques)
+
+
+class TopologyManager:
+    """The authoritative, versioned view of a churning author topology.
+
+    Args:
+        friends: initial followee sets (author → iterable of followee ids);
+            the author universe is fixed — follow events change edges of
+            the similarity graph, never its node set.
+        lambda_a: the author-distance threshold; edges exist at cosine
+            similarity ≥ ``1 − lambda_a`` (the
+            :class:`~repro.authors.SimilarityMaintainer` cut).
+        maintain_cover: keep a repaired global clique cover (needed by the
+            single-engine CliqueBin mode; multi-user engines repair
+            per-instance covers instead).
+        validate_covers: run :func:`~repro.authors.verify_cover` after
+            every repair — O(edges · clique²), for tests and debugging.
+    """
+
+    def __init__(
+        self,
+        friends: Mapping[int, Iterable[int]],
+        *,
+        lambda_a: float,
+        maintain_cover: bool = False,
+        validate_covers: bool = False,
+    ):
+        if not 0.0 <= lambda_a < 1.0:
+            raise GraphError(
+                f"dynamic topology needs lambda_a in [0, 1), got {lambda_a}"
+            )
+        self.maintainer = SimilarityMaintainer(friends, threshold=1.0 - lambda_a)
+        self.graph = AuthorGraph(self.maintainer.authors, self.maintainer.edges())
+        self.version = 0
+        self.validate_covers = validate_covers
+        self.cover: CliqueCover | None = (
+            greedy_clique_cover(self.graph) if maintain_cover else None
+        )
+        # Incremental connected components: node → component id, id → members.
+        self._component_of: dict[int, int] = {}
+        self._members: dict[int, set[int]] = {}
+        self._next_cid = 0
+        for start in sorted(self.graph.nodes):
+            if start in self._component_of:
+                continue
+            members = self._collect(start, set(self.graph.nodes))
+            cid = self._next_cid
+            self._next_cid += 1
+            self._members[cid] = members
+            for node in members:
+                self._component_of[node] = cid
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def component_count(self) -> int:
+        return len(self._members)
+
+    def component_of(self, node: int) -> frozenset[int]:
+        """The current component containing ``node``."""
+        return frozenset(self._members[self._component_of[node]])
+
+    def components(self) -> list[frozenset[int]]:
+        """All current components, deterministically ordered."""
+        return sorted(
+            (frozenset(members) for members in self._members.values()),
+            key=lambda c: min(c),
+        )
+
+    # -- mutation ----------------------------------------------------------
+
+    def follow(self, author: int, followee: int) -> TopologyDelta:
+        """Apply a follow event; return the (possibly empty) edge delta."""
+        return self._apply(self.maintainer.follow(author, followee))
+
+    def unfollow(self, author: int, followee: int) -> TopologyDelta:
+        """Apply an unfollow event; return the (possibly empty) edge delta."""
+        return self._apply(self.maintainer.unfollow(author, followee))
+
+    def _apply(self, delta: dict[str, set[Edge]]) -> TopologyDelta:
+        added = frozenset(delta["added"])
+        removed = frozenset(delta["removed"])
+        if not added and not removed:
+            return TopologyDelta(self.version)
+        self.version += 1
+        for a, b in removed:
+            self.graph.remove_edge(a, b)
+        for a, b in added:
+            self.graph.add_edge(a, b)
+        self._update_components(added, removed)
+        if self.cover is not None:
+            self.cover = repair_cover(self.graph, self.cover, added, removed)
+            if self.validate_covers:
+                verify_cover(self.graph, self.cover)
+        return TopologyDelta(self.version, added, removed)
+
+    # -- component maintenance ---------------------------------------------
+
+    def _collect(self, start: int, scope: set[int]) -> set[int]:
+        """BFS from ``start`` over the current graph, restricted to
+        ``scope`` (the scoped-recompute primitive)."""
+        members = {start}
+        queue = deque((start,))
+        while queue:
+            node = queue.popleft()
+            for neighbor in self.graph.neighbors(node):
+                if neighbor in scope and neighbor not in members:
+                    members.add(neighbor)
+                    queue.append(neighbor)
+        return members
+
+    def _update_components(
+        self, added: frozenset[Edge], removed: frozenset[Edge]
+    ) -> None:
+        if removed:
+            # Scoped recompute: only the components that lost an edge can
+            # split, and only within their own member sets — additions that
+            # reach outside the scope are handled by the merge pass below.
+            touched = {
+                self._component_of[endpoint]
+                for edge in removed
+                for endpoint in edge
+            }
+            scope: set[int] = set()
+            for cid in touched:
+                scope |= self._members.pop(cid)
+            remaining = set(scope)
+            while remaining:
+                start = min(remaining)
+                members = self._collect(start, scope)
+                remaining -= members
+                cid = self._next_cid
+                self._next_cid += 1
+                self._members[cid] = members
+                for node in members:
+                    self._component_of[node] = cid
+        for a, b in added:
+            ca, cb = self._component_of[a], self._component_of[b]
+            if ca == cb:
+                continue
+            # Union-find flavoured merge: relabel the smaller side.
+            if len(self._members[ca]) < len(self._members[cb]):
+                ca, cb = cb, ca
+            absorbed = self._members.pop(cb)
+            for node in absorbed:
+                self._component_of[node] = ca
+            self._members[ca] |= absorbed

@@ -1,0 +1,127 @@
+"""Dynamic shard worker: a process hosting migratable engine instances.
+
+Unlike the static :mod:`repro.parallel.worker`, a dynamic worker starts
+**empty** — instances are born, split, merged and retired while the stream
+runs, so the coordinator installs and removes them over the pipe instead
+of baking a component list into the startup spec. Re-sharding after a
+topology change is therefore just placement: the coordinator installs each
+new instance on the least-loaded worker.
+
+========  ============================================  ========================
+command   payload                                       reply payload
+========  ============================================  ========================
+install   (iid, subgraph, carried posts, last_ts)       None
+batch     [(seq, post, [iid, ...]), …]                  [(seq, [admitting iid, …]), …]
+patch     (iid, added edges, removed edges)             None
+peek      iid                                           (admitted posts, last_ts)
+extract   iid (removes the instance)                    (admitted posts, last_ts, stats state)
+stats     —                                             merged RunStats state dict
+stored    —                                             resident post copies
+purge     now                                           None
+states    —                                             [(iid, engine state dict), …]
+load      (iid, engine state dict)                      None
+reset     — (drops every instance)                      None
+stop      —                                             None (worker exits)
+========  ============================================  ========================
+
+Every reply is ``("ok", payload)`` or ``("error", type_name, message)``;
+the parent converts errors into :class:`~repro.errors.ParallelError`.
+``patch`` mutates the instance's own subgraph and re-indexes via
+:func:`~repro.dynamic.migrate.patch_engine`, exactly what the coordinator
+does to in-process instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import RunStats, StreamDiversifier, Thresholds
+from .migrate import mutate_subgraph, patch_engine, seeded_engine
+
+
+@dataclass(frozen=True)
+class DynamicShardSpec:
+    """Startup spec (picklable): how to build engines, not which ones."""
+
+    algorithm: str
+    thresholds: Thresholds
+
+
+def dynamic_worker_main(conn, spec: DynamicShardSpec) -> None:
+    """Worker entry point: serve commands until ``stop`` or pipe close."""
+    engines: dict[int, StreamDiversifier] = {}
+    conn.send(("ok", "ready"))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        command = message[0]
+        try:
+            if command == "batch":
+                out = []
+                for seq, post, iids in message[1]:
+                    admitted = [iid for iid in iids if engines[iid].offer(post)]
+                    out.append((seq, admitted))
+                conn.send(("ok", out))
+            elif command == "install":
+                iid, subgraph, carried, last_timestamp = message[1]
+                engines[iid] = seeded_engine(
+                    spec.algorithm, spec.thresholds, subgraph, carried, last_timestamp
+                )
+                conn.send(("ok", None))
+            elif command == "patch":
+                iid, added, removed = message[1]
+                engine = engines[iid]
+                mutate_subgraph(engine.graph, added, removed)
+                patch_engine(engine, added, removed)
+                conn.send(("ok", None))
+            elif command == "peek":
+                engine = engines[message[1]]
+                conn.send(("ok", (engine.admitted_posts(), engine.last_timestamp)))
+            elif command == "extract":
+                engine = engines.pop(message[1])
+                conn.send(
+                    (
+                        "ok",
+                        (
+                            engine.admitted_posts(),
+                            engine.last_timestamp,
+                            engine.stats.state_dict(),
+                        ),
+                    )
+                )
+            elif command == "stats":
+                total = RunStats()
+                for engine in engines.values():
+                    total.merge(engine.stats)
+                conn.send(("ok", total.state_dict()))
+            elif command == "stored":
+                conn.send(
+                    ("ok", sum(engine.stored_copies() for engine in engines.values()))
+                )
+            elif command == "purge":
+                for engine in engines.values():
+                    engine.purge(message[1])
+                conn.send(("ok", None))
+            elif command == "states":
+                conn.send(
+                    ("ok", [(iid, engines[iid].state_dict()) for iid in sorted(engines)])
+                )
+            elif command == "load":
+                iid, state = message[1]
+                engines[iid].load_state(state)
+                conn.send(("ok", None))
+            elif command == "reset":
+                engines.clear()
+                conn.send(("ok", None))
+            elif command == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", "ValueError", f"unknown command {command!r}"))
+        except Exception as exc:
+            # Engine errors are reported, not fatal: the worker keeps
+            # serving so the parent can still checkpoint or shut down.
+            conn.send(("error", type(exc).__name__, str(exc)))
+    conn.close()

@@ -9,6 +9,12 @@ define the interchange formats the CLI's ``diversify`` command consumes:
   it is computed from ``text`` on load).
 * **graph.json** — ``{"nodes": [...], "edges": [[a, b], ...]}``.
 * **subscriptions.json** — ``{"<user_id>": [author, ...], ...}``.
+* **friends.json** — ``{"<author_id>": [followee, ...], ...}``: the
+  initial followee relation the dynamic (``--events``) mode derives its
+  similarity graph from (see :mod:`repro.dynamic`).
+
+Mixed **events.jsonl** traces (tagged post/follow/unfollow records) are
+handled by :mod:`repro.dynamic.events`.
 
 All writers are deterministic (sorted keys) so traces diff cleanly.
 """
@@ -17,7 +23,7 @@ from __future__ import annotations
 
 import json
 import math
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -180,6 +186,31 @@ def read_graph_json(path: str | Path) -> AuthorGraph:
         (int(n) for n in payload["nodes"]),
         ((int(a), int(b)) for a, b in payload.get("edges", [])),
     )
+
+
+def write_friends_json(
+    friends: Mapping[int, Iterable[int]], path: str | Path
+) -> None:
+    """Write a followee relation as ``{"author": [followees...]}`` — the
+    dynamic subsystem's initial-topology input (author universe = keys)."""
+    payload = {
+        str(author): sorted(set(followees)) for author, followees in friends.items()
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+        handle.write("\n")
+
+
+def read_friends_json(path: str | Path) -> dict[int, set[int]]:
+    """Load a followee relation written by :func:`write_friends_json`."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise DatasetError(f"{path}: expected an author -> followees object")
+    return {
+        int(author): {int(f) for f in followees}
+        for author, followees in payload.items()
+    }
 
 
 def write_subscriptions_json(table: SubscriptionTable, path: str | Path) -> None:

@@ -12,11 +12,17 @@ The ``p_*`` names are the sharded :class:`~repro.parallel.
 ParallelSharedMultiUser` engines (S_* semantics spread over worker
 processes); they accept every registry algorithm, including
 ``indexed_unibin``.
+
+With ``dynamic=True`` (and a ``friends`` relation) the ``s_*``/``p_*``
+names instead build the churn-capable
+:class:`~repro.dynamic.DynamicMultiUser` — same shared-component
+semantics, but the author graph is derived from ``friends`` and mutates
+with follow/unfollow events; ``p_*`` maps to ``workers`` processes.
 """
 
 from ..authors import AuthorGraph
 from ..core import ALGORITHM_NAMES, ALGORITHMS, Thresholds
-from ..errors import UnknownAlgorithmError
+from ..errors import ConfigurationError, UnknownAlgorithmError
 from .base import MultiUserDiversifier
 from .independent import IndependentMultiUser
 from .routing import SubscriptionTable
@@ -33,18 +39,45 @@ PARALLEL_NAMES: tuple[str, ...] = tuple(f"p_{algo}" for algo in ALGORITHMS)
 def make_multiuser(
     name: str,
     thresholds: Thresholds,
-    graph: AuthorGraph,
+    graph: AuthorGraph | None,
     subscriptions: SubscriptionTable,
     *,
     workers: int = 1,
     batch_size: int = 512,
+    dynamic: bool = False,
+    friends=None,
 ) -> MultiUserDiversifier:
     """Instantiate an M-SPSD engine by name, e.g. ``"s_cliquebin"``.
 
     ``workers``/``batch_size`` configure the ``p_*`` sharded engines and
-    are ignored by the serial ``m_*``/``s_*`` ones.
+    are ignored by the serial ``m_*``/``s_*`` ones. ``dynamic=True``
+    builds the churn-capable engine for ``s_*``/``p_*`` names from the
+    ``friends`` relation (``graph`` is ignored — the dynamic engine owns
+    its graph); the per-user ``m_*`` engines have no dynamic counterpart.
     """
     prefix, _, algorithm = name.partition("_")
+    if dynamic:
+        if friends is None:
+            raise ConfigurationError(
+                "dynamic engines derive their graph from follow relations; "
+                "pass friends= (author -> followee ids)"
+            )
+        if name in PARALLEL_NAMES or (name in MULTIUSER_NAMES and prefix == "s"):
+            from ..dynamic import DynamicMultiUser
+
+            return DynamicMultiUser(
+                algorithm,
+                thresholds,
+                friends,
+                subscriptions,
+                workers=workers if name in PARALLEL_NAMES else 1,
+                batch_size=batch_size,
+            )
+        raise UnknownAlgorithmError(
+            f"no dynamic variant of {name!r}; dynamic mode supports the "
+            "shared-component engines "
+            f"{tuple(n for n in MULTIUSER_NAMES if n.startswith('s_')) + PARALLEL_NAMES}"
+        )
     if name in PARALLEL_NAMES:
         from ..parallel import ParallelSharedMultiUser
 

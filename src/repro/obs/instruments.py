@@ -24,6 +24,7 @@ from __future__ import annotations
 from .metrics import COUNT_BUCKETS, LATENCY_BUCKETS, Registry
 
 __all__ = [
+    "DynamicInstruments",
     "EngineInstruments",
     "MultiUserInstruments",
     "ParallelInstruments",
@@ -277,6 +278,53 @@ class ParallelInstruments(MultiUserInstruments):
                         engine.shard_stats()[shard], attr
                     )
                 )
+
+
+class DynamicInstruments(MultiUserInstruments):
+    """Bundle for the :class:`~repro.dynamic.DynamicMultiUser` engine.
+
+    Everything the multi-user bundle exports, plus the topology-churn
+    picture: the current graph version and live-instance/migration
+    counters as gauges (callbacks on the engine's own accounting), a
+    per-event-type counter over the mixed stream, and a live
+    migration-latency histogram fed by the engine's churn path — the
+    empirical side of the migration cost model.
+    """
+
+    __slots__ = ("migration_latency",)
+
+    def __init__(self, registry: Registry, engine, *, per_user: bool = False) -> None:
+        super().__init__(registry, engine, per_user=per_user)
+        name = engine.name
+        registry.gauge(
+            "repro_dynamic_graph_version",
+            "Current author-graph version (effective topology deltas applied)",
+            ("engine",),
+        ).labels(engine=name).set_function(lambda: engine.graph_version)
+        registry.gauge(
+            "repro_dynamic_migrations",
+            "Instance migrations executed (one per effective delta)",
+            ("engine",),
+        ).labels(engine=name).set_function(lambda: engine.migrations)
+        events = registry.counter(
+            "repro_dynamic_events_total",
+            "Mixed-stream records consumed, by event type",
+            ("engine", "type"),
+        )
+        for kind in ("post", "follow", "unfollow"):
+            events.labels(engine=name, type=kind).set_function(
+                lambda kind=kind: engine.event_counts[kind]
+            )
+        self.migration_latency = registry.histogram(
+            "repro_dynamic_migration_latency_seconds",
+            "Wall-clock time to migrate live state across one graph version",
+            ("engine",),
+            buckets=LATENCY_BUCKETS,
+        ).labels(engine=name)
+
+    def observe_migration(self, latency_s: float) -> None:
+        """One completed migration from the engine's churn path."""
+        self.migration_latency.observe(latency_s)
 
 
 class PipelineInstruments:

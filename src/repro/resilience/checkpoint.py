@@ -87,7 +87,50 @@ def _decode_single(state: dict[str, object]) -> dict[str, object]:
 def snapshot_engine(
     engine: StreamDiversifier | MultiUserDiversifier,
 ) -> dict[str, object]:
-    """JSON-able snapshot of a single-user or multi-user engine."""
+    """JSON-able snapshot of a single-user, multi-user or dynamic engine."""
+    from ..dynamic import DynamicDiversifier, DynamicMultiUser
+
+    if isinstance(engine, DynamicMultiUser):
+        state = engine.state_dict()
+        return {
+            "version": CHECKPOINT_VERSION,
+            "kind": "dynamic",
+            "engine": engine.name,
+            "thresholds": _thresholds_to_dict(engine.thresholds),
+            "workers": state["workers"],
+            "graph_version": state["graph_version"],
+            # The follow relation travels inside the snapshot: unlike the
+            # static engines, the graph at checkpoint time is run state.
+            "friends": {
+                str(author): sorted(followees)
+                for author, followees in state["friends"].items()  # type: ignore[union-attr]
+            },
+            "instances": [
+                {
+                    "nodes": spec["nodes"],
+                    "users": spec["users"],
+                    "state": _encode_single(spec["state"]),
+                }
+                for spec in state["instances"]  # type: ignore[union-attr]
+            ],
+            "retired_stats": state["retired_stats"],
+            "pending_deltas": state["pending_deltas"],
+        }
+    if isinstance(engine, DynamicDiversifier):
+        state = engine.state_dict()
+        return {
+            "version": CHECKPOINT_VERSION,
+            "kind": "dynamic_single",
+            "engine": engine.name,
+            "algorithm": engine.algorithm,
+            "thresholds": _thresholds_to_dict(engine.thresholds),
+            "graph_version": state["graph_version"],
+            "friends": {
+                str(author): sorted(followees)
+                for author, followees in state["friends"].items()  # type: ignore[union-attr]
+            },
+            "state": _encode_single(state["state"]),  # type: ignore[arg-type]
+        }
     if isinstance(engine, StreamDiversifier):
         return {
             "version": CHECKPOINT_VERSION,
@@ -133,12 +176,17 @@ def restore_engine(
     *,
     graph: AuthorGraph | None = None,
     subscriptions: SubscriptionTable | None = None,
+    workers: int | None = None,
 ) -> StreamDiversifier | MultiUserDiversifier:
     """Rebuild an engine from :func:`snapshot_engine` output.
 
     ``graph`` (and, for multi-user engines, ``subscriptions``) must be the
     same ones the checkpointed engine was built from; the snapshot carries
     only the mutable run state, the static structures are reconstructed.
+    Dynamic snapshots carry their follow relation (the graph is run state
+    there) and need only ``subscriptions``; ``workers`` overrides the
+    recorded pool size, so a serial checkpoint restores into a parallel
+    engine and vice versa.
     """
     version = snapshot.get("version")
     if version != CHECKPOINT_VERSION:
@@ -148,6 +196,61 @@ def restore_engine(
         )
     thresholds = _thresholds_from_dict(snapshot["thresholds"])  # type: ignore[arg-type]
     kind = snapshot.get("kind")
+    if kind == "dynamic":
+        if subscriptions is None:
+            raise CheckpointError(
+                "restoring a dynamic engine requires the subscription table "
+                "(the follow relation travels inside the snapshot)"
+            )
+        from ..dynamic import DynamicMultiUser
+
+        friends = {
+            int(author): {int(f) for f in followees}
+            for author, followees in snapshot["friends"].items()  # type: ignore[union-attr]
+        }
+        name = str(snapshot["engine"])
+        dynamic = DynamicMultiUser(
+            name.partition("_")[2],
+            thresholds,
+            friends,
+            subscriptions,
+            workers=workers if workers is not None else int(snapshot.get("workers", 1)),  # type: ignore[arg-type]
+        )
+        dynamic.load_state(
+            {
+                "engine": name,
+                "graph_version": snapshot["graph_version"],
+                "friends": friends,
+                "instances": [
+                    {
+                        "nodes": [int(n) for n in spec["nodes"]],
+                        "users": [int(u) for u in spec["users"]],
+                        "state": _decode_single(spec["state"]),
+                    }
+                    for spec in snapshot["instances"]  # type: ignore[union-attr]
+                ],
+                "retired_stats": snapshot["retired_stats"],
+                "pending_deltas": snapshot.get("pending_deltas", []),
+            }
+        )
+        return dynamic
+    if kind == "dynamic_single":
+        from ..dynamic import DynamicDiversifier
+
+        friends = {
+            int(author): {int(f) for f in followees}
+            for author, followees in snapshot["friends"].items()  # type: ignore[union-attr]
+        }
+        single = DynamicDiversifier(str(snapshot["algorithm"]), thresholds, friends)
+        single.load_state(
+            {
+                "engine": snapshot["engine"],
+                "graph_version": snapshot["graph_version"],
+                "friends": friends,
+                "state": _decode_single(snapshot["state"]),  # type: ignore[arg-type]
+            }
+        )
+        return single
     if kind == "single":
         engine = make_diversifier(
             str(snapshot["algorithm"]), thresholds, graph

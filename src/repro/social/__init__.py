@@ -9,9 +9,11 @@ Public surface:
 * :func:`bfs_sample` — the §6.1 BFS author sampler.
 * :func:`generate_stream` / :class:`PostStream` — Poisson post streams.
 * :func:`build_dataset` / :class:`Dataset` — the full pipeline.
+* :func:`interleave_churn` — weave follow/unfollow churn into a stream.
 """
 
 from .dataset import Dataset, DatasetConfig, build_dataset, small_dataset
+from .events import ChurnConfig, interleave_churn
 from .duplication import (
     REDUNDANT_DAMAGE_LIMIT,
     DuplicateFactory,
@@ -26,6 +28,7 @@ from .vocabulary import Vocabulary, ZipfSampler, build_word_list
 
 __all__ = [
     "REDUNDANT_DAMAGE_LIMIT",
+    "ChurnConfig",
     "Dataset",
     "DatasetConfig",
     "DuplicateFactory",
@@ -45,6 +48,7 @@ __all__ = [
     "build_word_list",
     "generate_network",
     "generate_stream",
+    "interleave_churn",
     "random_handle",
     "random_short_url",
     "small_dataset",

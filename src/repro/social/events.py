@@ -1,0 +1,125 @@
+"""Seeded churn generator: weave follow/unfollow events into a stream.
+
+The dynamic subsystem consumes a single mixed record stream
+(:mod:`repro.dynamic.events`); this module manufactures one from the
+static substrate: take a timestamp-ordered post stream and an initial
+followee relation, and interleave topology events between posts.
+
+The generator keeps a shadow copy of the relation so every emitted event
+is *valid at its position in the stream* — a follow never duplicates an
+existing edge, an unfollow always removes one that exists — which makes
+the traces maximally effective at exercising migrations (no-op events
+never migrate anything). Event timestamps are placed inside the
+inter-post gaps, so the merged stream stays in non-decreasing timestamp
+order. Fully deterministic given the config seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from ..core import Post
+from ..dynamic.events import Event, FollowEvent, UnfollowEvent
+from ..errors import DatasetError
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Knobs of the churn generator.
+
+    Attributes:
+        rate: mean topology events per post (Poisson-distributed per
+            inter-post gap), the sustained-churn intensity.
+        follow_fraction: probability a churn event is a follow (the rest
+            are unfollows); the generator falls back to the other kind
+            when the preferred one has no valid move left.
+        seed: RNG seed; the trace is fully deterministic given the config.
+    """
+
+    rate: float = 0.05
+    follow_fraction: float = 0.5
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.rate < 0.0:
+            raise DatasetError(f"churn rate must be >= 0, got {self.rate}")
+        if not 0.0 <= self.follow_fraction <= 1.0:
+            raise DatasetError(
+                f"follow_fraction must be in [0, 1], got {self.follow_fraction}"
+            )
+
+
+def _poisson(rng: random.Random, mean: float) -> int:
+    """Knuth's Poisson sampler (means here are small)."""
+    if mean <= 0.0:
+        return 0
+    limit = math.exp(-mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count
+
+
+def interleave_churn(
+    posts: Iterable[Post],
+    friends: Mapping[int, Iterable[int]],
+    config: ChurnConfig | None = None,
+) -> Iterator[Event]:
+    """Yield a mixed event stream: ``posts`` plus seeded follow churn.
+
+    ``friends`` is the followee relation at stream start (it is copied,
+    never mutated); churn events mutate only the shadow copy. The author
+    universe is fixed: churn picks both endpoints from ``friends``' keys.
+    """
+    config = config or ChurnConfig()
+    rng = random.Random(config.seed)
+    shadow: dict[int, set[int]] = {
+        author: {f for f in followees if f != author}
+        for author, followees in friends.items()
+    }
+    universe = sorted(shadow)
+    if len(universe) < 2 and config.rate > 0.0:
+        raise DatasetError("churn needs at least 2 authors in the universe")
+
+    def make_event(timestamp: float) -> Event | None:
+        want_follow = rng.random() < config.follow_fraction
+        for kind in (want_follow, not want_follow):
+            if kind:
+                author = rng.choice(universe)
+                candidates = [
+                    a for a in universe if a != author and a not in shadow[author]
+                ]
+                if not candidates:
+                    continue
+                followee = rng.choice(candidates)
+                shadow[author].add(followee)
+                return FollowEvent(author=author, followee=followee, timestamp=timestamp)
+            candidates = [a for a in universe if shadow[a]]
+            if not candidates:
+                continue
+            author = rng.choice(candidates)
+            followee = rng.choice(sorted(shadow[author]))
+            shadow[author].discard(followee)
+            return UnfollowEvent(author=author, followee=followee, timestamp=timestamp)
+        # Relation both complete and empty can't happen; a slot with no
+        # valid move of either kind is simply skipped.
+        return None
+
+    previous: float | None = None
+    for post in posts:
+        if previous is not None:
+            count = _poisson(rng, config.rate)
+            if count:
+                gap = post.timestamp - previous
+                offsets = sorted(rng.random() * gap for _ in range(count))
+                for offset in offsets:
+                    event = make_event(previous + offset)
+                    if event is not None:
+                        yield event
+        previous = post.timestamp
+        yield post

@@ -40,6 +40,25 @@ class TestConstruction:
 
 
 class TestFollow:
+    def test_self_follow_rejected(self):
+        maintainer = SimilarityMaintainer({1: {10}, 2: {10}}, threshold=0.5)
+        with pytest.raises(GraphError, match="themselves"):
+            maintainer.follow(1, 1)
+        # State untouched by the rejected mutation.
+        assert maintainer.edges() == {(1, 2)}
+
+    def test_similarity_exactly_at_threshold_is_an_edge(self):
+        # |A ∩ B| / sqrt(|A|·|B|) = 1 / sqrt(2·2) = 0.5 exactly; the λa cut
+        # is inclusive (similarity ≥ 1 − λa), so the edge must exist.
+        maintainer = SimilarityMaintainer(
+            {1: {10, 11}, 2: {10, 12}}, threshold=0.5
+        )
+        assert maintainer.similarity(1, 2) == 0.5
+        assert maintainer.edges() == {(1, 2)}
+        # One step below the boundary removes it.
+        delta = maintainer.follow(2, 13)  # sim -> 1/sqrt(6) < 0.5
+        assert delta["removed"] == {(1, 2)}
+
     def test_follow_creates_edge(self):
         maintainer = SimilarityMaintainer({1: {10}, 2: {11}}, threshold=0.5)
         assert maintainer.edges() == set()
@@ -100,6 +119,8 @@ class TestAgainstFullRecomputation:
         for _ in range(120):
             author = rng.choice(authors)
             followee = rng.randrange(30)
+            if followee == author:
+                continue  # self-follows are rejected, not applied
             if rng.random() < 0.5:
                 maintainer.follow(author, followee)
                 shadow[author].add(followee)
@@ -117,6 +138,8 @@ class TestAgainstFullRecomputation:
         for _ in range(60):
             author = rng.randrange(8)
             followee = rng.randrange(15)
+            if followee == author:
+                continue  # self-follows are rejected, not applied
             if rng.random() < 0.5:
                 delta = maintainer.follow(author, followee)
             else:

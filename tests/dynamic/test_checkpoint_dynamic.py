@@ -1,0 +1,166 @@
+"""Dynamic checkpoint round-trips — including across a graph-version
+change and across executor shapes (serial ↔ parallel restore)."""
+
+import pytest
+
+from repro.core import ALGORITHMS
+from repro.dynamic import DynamicDiversifier, DynamicMultiUser
+from repro.errors import CheckpointError
+from repro.resilience import (
+    load_checkpoint,
+    restore_engine,
+    save_checkpoint,
+    snapshot_engine,
+)
+
+from .conftest import make_friends
+
+
+def _split(events):
+    """Cut the stream at a point with topology churn on both sides."""
+    cut = len(events) // 2
+    return events[:cut], events[cut:]
+
+
+def _receivers(engine, tail):
+    out = []
+    for event in tail:
+        result = engine.apply(event)
+        if result is not None:
+            out.append((event.post_id, result))
+    return out
+
+
+@pytest.mark.parametrize("algorithm", tuple(ALGORITHMS))
+def test_multi_round_trip_resumes_identically(
+    algorithm, thresholds, subscriptions, events, tmp_path
+):
+    head, tail = _split(events)
+    reference = DynamicMultiUser(
+        algorithm, thresholds, make_friends(), subscriptions
+    )
+    for event in events:
+        reference.apply(event)
+
+    engine = DynamicMultiUser(algorithm, thresholds, make_friends(), subscriptions)
+    for event in head:
+        engine.apply(event)
+    assert engine.graph_version > 0, "no churn before the checkpoint cut"
+    path = tmp_path / "ckpt.json"
+    save_checkpoint(snapshot_engine(engine), path)
+
+    restored = restore_engine(load_checkpoint(path), subscriptions=subscriptions)
+    assert isinstance(restored, DynamicMultiUser)
+    assert restored.graph_version == engine.graph_version
+    assert _receivers(restored, tail) == _receivers(engine, tail)
+    assert (
+        restored.aggregate_stats().state_dict()
+        == reference.aggregate_stats().state_dict()
+    )
+
+
+def test_serial_checkpoint_restores_into_parallel(
+    thresholds, subscriptions, events, tmp_path
+):
+    """A serial snapshot taken mid-churn restores onto a 3-worker pool and
+    still reproduces the uninterrupted run, receivers and stats alike."""
+    head, tail = _split(events)
+    reference = DynamicMultiUser(
+        "neighborbin", thresholds, make_friends(), subscriptions
+    )
+    for event in head:
+        reference.apply(event)
+    path = tmp_path / "ckpt.json"
+    save_checkpoint(snapshot_engine(reference), path)
+
+    with restore_engine(
+        load_checkpoint(path), subscriptions=subscriptions, workers=3
+    ) as restored:
+        assert restored.workers == 3
+        assert _receivers(restored, tail) == _receivers(reference, tail)
+        assert (
+            restored.aggregate_stats().state_dict()
+            == reference.aggregate_stats().state_dict()
+        )
+
+
+def test_parallel_checkpoint_restores_into_serial(
+    thresholds, subscriptions, events, tmp_path
+):
+    head, tail = _split(events)
+    with DynamicMultiUser(
+        "cliquebin", thresholds, make_friends(), subscriptions, workers=2
+    ) as engine:
+        for event in head:
+            engine.apply(event)
+        snapshot = snapshot_engine(engine)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(snapshot, path)
+        restored = restore_engine(
+            load_checkpoint(path), subscriptions=subscriptions, workers=1
+        )
+        assert restored.workers == 1
+        assert _receivers(restored, tail) == _receivers(engine, tail)
+
+
+@pytest.mark.parametrize("algorithm", ("cliquebin", "indexed_unibin"))
+def test_single_round_trip_across_version_change(
+    algorithm, thresholds, events, tmp_path
+):
+    """dyn_* snapshots carry the follow relation and (for CliqueBin) the
+    repaired cover; the restored engine continues verdict-for-verdict."""
+    head, tail = _split(events)
+    engine = DynamicDiversifier(algorithm, thresholds, make_friends())
+    for event in head:
+        engine.apply(event)
+    assert engine.graph_version > 0
+    path = tmp_path / "ckpt.json"
+    save_checkpoint(snapshot_engine(engine), path)
+
+    restored = restore_engine(load_checkpoint(path))
+    assert isinstance(restored, DynamicDiversifier)
+    assert restored.graph_version == engine.graph_version
+    assert {p.post_id for p in restored.admitted_posts()} == {
+        p.post_id for p in engine.admitted_posts()
+    }
+    for event in tail:
+        assert restored.apply(event) == engine.apply(event)
+
+
+class TestRejections:
+    def test_multi_restore_requires_subscriptions(
+        self, thresholds, subscriptions
+    ):
+        engine = DynamicMultiUser(
+            "unibin", thresholds, make_friends(), subscriptions
+        )
+        snapshot = snapshot_engine(engine)
+        with pytest.raises(CheckpointError, match="subscription"):
+            restore_engine(snapshot)
+
+    def test_engine_name_mismatch(self, thresholds, subscriptions):
+        engine = DynamicMultiUser(
+            "unibin", thresholds, make_friends(), subscriptions
+        )
+        state = engine.state_dict()
+        state["engine"] = "d_cliquebin"
+        with pytest.raises(CheckpointError, match="d_cliquebin"):
+            engine.load_state(state)
+
+    def test_pending_deltas_refused(self, thresholds, subscriptions):
+        engine = DynamicMultiUser(
+            "unibin", thresholds, make_friends(), subscriptions
+        )
+        state = engine.state_dict()
+        state["pending_deltas"] = [{"version": 1}]
+        with pytest.raises(CheckpointError, match="pending"):
+            engine.load_state(state)
+
+    def test_unknown_user_refused(self, thresholds, subscriptions):
+        engine = DynamicMultiUser(
+            "unibin", thresholds, make_friends(), subscriptions
+        )
+        state = engine.state_dict()
+        state["instances"][0]["users"] = [31337]
+        with pytest.raises(CheckpointError, match="unknown users"):
+            engine.load_state(state)

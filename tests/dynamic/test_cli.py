@@ -1,0 +1,150 @@
+"""The CLI's dynamic mode: ``diversify --events`` (and churny generate)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import Post
+from repro.dynamic import DynamicDiversifier, RebuildMultiUser, write_events_jsonl
+from repro.io import write_friends_json, write_subscriptions_json
+
+from .conftest import make_events, make_friends
+
+
+@pytest.fixture()
+def world_files(tmp_path, subscriptions):
+    events = make_events(n_posts=120, seed=13)
+    events_path = tmp_path / "events.jsonl"
+    friends_path = tmp_path / "friends.json"
+    subs_path = tmp_path / "subscriptions.json"
+    write_events_jsonl(events, events_path)
+    write_friends_json(make_friends(), friends_path)
+    write_subscriptions_json(subscriptions, subs_path)
+    return events, events_path, friends_path, subs_path
+
+
+def _lambda_args(thresholds):
+    return [
+        "--lambda-c", str(thresholds.lambda_c),
+        "--lambda-t", str(thresholds.lambda_t),
+        "--lambda-a", str(thresholds.lambda_a),
+    ]
+
+
+class TestEventsMode:
+    def test_multiuser_trace_matches_rebuild_oracle(
+        self, tmp_path, world_files, subscriptions, thresholds, capsys
+    ):
+        events, events_path, friends_path, subs_path = world_files
+        out_path = tmp_path / "receivers.jsonl"
+        rc = main(
+            [
+                "diversify",
+                "--events", str(events_path),
+                "--friends", str(friends_path),
+                "--subscriptions", str(subs_path),
+                "--algorithm", "neighborbin",
+                "--workers", "2",
+                "--batch-size", "16",
+                "--output", str(out_path),
+                *_lambda_args(thresholds),
+            ]
+        )
+        assert rc == 0
+        assert "graph version" in capsys.readouterr().out
+
+        oracle = RebuildMultiUser(
+            "neighborbin", thresholds, make_friends(), subscriptions
+        )
+        expected = {}
+        for event in events:
+            receivers = oracle.apply(event)
+            if receivers:
+                expected[event.post_id] = sorted(receivers)
+        got = {}
+        with open(out_path, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                got[record["post_id"]] = record["receivers"]
+        assert got == expected
+
+    def test_single_mode_checkpoint_and_resume(
+        self, tmp_path, world_files, thresholds, capsys
+    ):
+        events, events_path, friends_path, _ = world_files
+        cut = len(events) // 2
+        head_path = tmp_path / "head.jsonl"
+        tail_path = tmp_path / "tail.jsonl"
+        write_events_jsonl(events[:cut], head_path)
+        write_events_jsonl(events[cut:], tail_path)
+        ckpt = tmp_path / "ckpt.json"
+        base = ["--friends", str(friends_path), "--algorithm", "cliquebin",
+                *_lambda_args(thresholds)]
+
+        assert main(
+            ["diversify", "--events", str(head_path),
+             "--checkpoint-out", str(ckpt), *base]
+        ) == 0
+        out_path = tmp_path / "admitted.jsonl"
+        assert main(
+            ["diversify", "--events", str(tail_path),
+             "--resume-from", str(ckpt), "--output", str(out_path), *base]
+        ) == 0
+
+        # The resumed run must admit exactly what an uninterrupted single
+        # run admits among the tail posts.
+        reference = DynamicDiversifier("cliquebin", thresholds, make_friends())
+        uninterrupted = [p.post_id for p in reference.run(events)]
+        tail_ids = {e.post_id for e in events[cut:] if isinstance(e, Post)}
+        expected = [pid for pid in uninterrupted if pid in tail_ids]
+        with open(out_path, encoding="utf-8") as handle:
+            got = [json.loads(line)["post_id"] for line in handle]
+        assert got == expected
+
+    def test_posts_and_events_are_mutually_exclusive(
+        self, tmp_path, world_files, capsys
+    ):
+        _, events_path, friends_path, _ = world_files
+        rc = main(
+            ["diversify", "--events", str(events_path),
+             "--posts", str(events_path), "--friends", str(friends_path)]
+        )
+        assert rc == 2
+        rc = main(["diversify"])
+        assert rc == 2
+
+    def test_events_require_friends(self, world_files):
+        _, events_path, _, _ = world_files
+        assert main(["diversify", "--events", str(events_path)]) == 2
+
+    def test_pipeline_flags_rejected(self, world_files):
+        _, events_path, friends_path, _ = world_files
+        rc = main(
+            ["diversify", "--events", str(events_path),
+             "--friends", str(friends_path), "--max-skew", "5"]
+        )
+        assert rc == 2
+
+
+class TestGenerateChurn:
+    def test_generate_writes_dynamic_inputs(self, tmp_path, capsys):
+        rc = main(
+            ["generate", "--out-dir", str(tmp_path), "--scale", "small",
+             "--churn-rate", "0.05"]
+        )
+        assert rc == 0
+        assert (tmp_path / "friends.json").exists()
+        events_path = tmp_path / "events.jsonl"
+        assert events_path.exists()
+        kinds = set()
+        timestamps = []
+        with open(events_path, encoding="utf-8") as handle:
+            for line in handle:
+                record = json.loads(line)
+                kinds.add(record["type"])
+                timestamps.append(record["timestamp"])
+        assert "post" in kinds and kinds & {"follow", "unfollow"}
+        assert timestamps == sorted(timestamps)

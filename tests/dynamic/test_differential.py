@@ -1,0 +1,134 @@
+"""The dynamic acceptance bar: rebuild-equivalence at every prefix.
+
+After *any* prefix of the mixed event stream, the incremental engine's
+receiver sets must be identical to tearing everything down and rebuilding
+from scratch on the current graph. :class:`RebuildMultiUser` does the
+teardown literally (per-user engines, full rebuild on every effective
+delta); these tests pit every algorithm and every executor against it,
+post by post.
+"""
+
+import pytest
+
+from repro.core import ALGORITHMS, Post
+from repro.dynamic import DynamicMultiUser, RebuildMultiUser
+from repro.dynamic.events import FollowEvent, UnfollowEvent
+
+from .conftest import make_events, make_friends
+
+ALL_ALGORITHMS = tuple(ALGORITHMS)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_matches_rebuild_at_every_prefix(
+    algorithm, workers, thresholds, subscriptions, events
+):
+    reference = RebuildMultiUser(
+        algorithm, thresholds, make_friends(), subscriptions
+    )
+    with DynamicMultiUser(
+        algorithm,
+        thresholds,
+        make_friends(),
+        subscriptions,
+        workers=workers,
+        validate_covers=(workers == 1),
+    ) as engine:
+        migrated = False
+        for i, event in enumerate(events):
+            got = engine.apply(event)
+            expected = reference.apply(event)
+            assert got == expected, (
+                f"{algorithm} workers={workers}: receivers diverged at "
+                f"event {i} ({type(event).__name__}): {sorted(got or ())} "
+                f"!= {sorted(expected or ())}"
+            )
+            migrated = migrated or engine.migrations > 0
+        assert migrated, "fixture stream caused no effective topology change"
+        assert engine.graph_version == reference.graph_version
+        assert engine.migrations == reference.rebuilds
+
+
+def test_instances_partition_each_users_subscriptions(
+    thresholds, subscriptions, events
+):
+    """The structural invariant migration must preserve: every user's
+    instances partition their subscription set, and every instance node
+    set is connected in the current graph restricted to it."""
+    from repro.dynamic.topology import scoped_components
+
+    with DynamicMultiUser(
+        "neighborbin", thresholds, make_friends(), subscriptions
+    ) as engine:
+        for event in events:
+            engine.apply(event)
+            if isinstance(event, Post):
+                continue  # only topology events can break the invariant
+            for user in subscriptions.users:
+                subs = set(subscriptions.subscriptions_of(user))
+                seen: set[int] = set()
+                for iid in engine._user_instances[user]:
+                    nodes = engine._instances[iid].nodes
+                    assert nodes <= subs
+                    assert not (nodes & seen), "user's instances overlap"
+                    seen |= nodes
+                    parts = scoped_components(engine.topology.graph, nodes)
+                    assert len(parts) == 1, "instance is not connected"
+                assert seen == subs, "user's instances do not cover subs"
+
+
+def test_run_events_equals_per_event_apply(thresholds, subscriptions, events):
+    """The batching fast path must deliver exactly the per-event verdicts."""
+    per_event = RebuildMultiUser(
+        "unibin", thresholds, make_friends(), subscriptions
+    )
+    expected: dict[int, list[int]] = {}
+    for event in events:
+        receivers = per_event.apply(event)
+        if receivers is None:
+            continue
+        for user in receivers:
+            expected.setdefault(user, []).append(event.post_id)
+    with DynamicMultiUser(
+        "unibin",
+        thresholds,
+        make_friends(),
+        subscriptions,
+        workers=2,
+        batch_size=16,
+    ) as engine:
+        timelines = engine.run_events(events)
+    got = {
+        user: [post.post_id for post in posts]
+        for user, posts in timelines.items()
+    }
+    assert got == expected
+
+
+def test_churn_only_stream_converges(thresholds, subscriptions):
+    """A burst of topology events with no posts in between must leave the
+    engine equivalent to a freshly built one on the final graph."""
+    follows = [
+        FollowEvent(author=a, followee=f, timestamp=float(i))
+        for i, (a, f) in enumerate([(1, 104), (2, 104), (3, 104), (4, 104)])
+    ]
+    unfollows = [
+        UnfollowEvent(author=a, followee=f, timestamp=10.0 + i)
+        for i, (a, f) in enumerate([(1, 104), (2, 104)])
+    ]
+    with DynamicMultiUser(
+        "cliquebin",
+        thresholds,
+        make_friends(),
+        subscriptions,
+        validate_covers=True,
+    ) as engine:
+        for event in follows + unfollows:
+            engine.apply(event)
+        final_friends = engine.topology.maintainer.friends()
+        with DynamicMultiUser(
+            "cliquebin", thresholds, final_friends, subscriptions
+        ) as fresh:
+            for post in make_events(n_posts=60, churn_prob=0.0):
+                assert engine.apply(post) == fresh.apply(post)

@@ -1,0 +1,133 @@
+"""Tests for the mixed event codec and the churn generator."""
+
+import pytest
+
+from repro.core import Post
+from repro.dynamic import (
+    FollowEvent,
+    UnfollowEvent,
+    event_from_dict,
+    event_to_dict,
+    read_events_jsonl,
+    write_events_jsonl,
+)
+from repro.errors import DatasetError
+from repro.resilience import Quarantine
+from repro.social import ChurnConfig, interleave_churn
+
+from .conftest import make_events
+
+
+def _mixed():
+    return [
+        Post.create(1, 42, "hello world", 10.0),
+        FollowEvent(author=42, followee=7, timestamp=10.5),
+        Post.create(2, 7, "hello again", 11.0),
+        UnfollowEvent(author=42, followee=7, timestamp=12.0),
+    ]
+
+
+class TestCodec:
+    def test_round_trip(self):
+        events = _mixed()
+        assert [event_from_dict(event_to_dict(e)) for e in events] == events
+
+    def test_post_record_carries_type_tag(self):
+        record = event_to_dict(_mixed()[0])
+        assert record["type"] == "post"
+        assert record["fingerprint"] == _mixed()[0].fingerprint
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(DatasetError, match="unknown type"):
+            event_from_dict({"type": "retweet", "author": 1, "timestamp": 0.0})
+        with pytest.raises(DatasetError):
+            event_from_dict(["not", "an", "object"])
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(DatasetError, match="missing field"):
+            event_from_dict({"type": "follow", "author": 1, "timestamp": 0.0})
+
+    def test_non_finite_timestamp_rejected(self):
+        with pytest.raises(DatasetError, match="finite"):
+            event_from_dict(
+                {"type": "follow", "author": 1, "followee": 2, "timestamp": "nan"}
+            )
+
+
+class TestJsonl:
+    def test_file_round_trip(self, tmp_path):
+        events = _mixed() + make_events(n_posts=40)
+        events.sort(key=lambda e: e.timestamp)
+        path = tmp_path / "events.jsonl"
+        assert write_events_jsonl(events, path) == len(events)
+        assert list(read_events_jsonl(path)) == events
+
+    def test_strict_mode_reports_line_number(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "post"}\n')
+        with pytest.raises(DatasetError, match=r":1:"):
+            list(read_events_jsonl(path))
+
+    def test_skip_and_quarantine_modes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        good = event_to_dict(FollowEvent(author=1, followee=2, timestamp=0.5))
+        import json
+
+        path.write_text(
+            "not json\n" + json.dumps(good) + "\n" + '{"type": "nope"}\n'
+        )
+        assert len(list(read_events_jsonl(path, on_error="skip"))) == 1
+        sink = Quarantine()
+        kept = list(read_events_jsonl(path, on_error="quarantine", quarantine=sink))
+        assert len(kept) == 1
+        assert sink.by_reason["invalid_json"] == 1
+        assert sink.by_reason["invalid_record"] == 1
+
+
+class TestChurnGenerator:
+    def _posts(self, n=60):
+        return [Post.create(i, 1 + i % 3, f"t{i}", float(i)) for i in range(n)]
+
+    def _friends(self):
+        return {1: {10, 11}, 2: {10}, 3: {12}}
+
+    def test_config_validation(self):
+        with pytest.raises(DatasetError):
+            ChurnConfig(rate=-1.0)
+        with pytest.raises(DatasetError):
+            ChurnConfig(follow_fraction=1.5)
+        with pytest.raises(DatasetError):
+            # Lazy generator: validation fires on first consumption.
+            list(interleave_churn(self._posts(), {1: set()}, ChurnConfig(rate=0.5)))
+
+    def test_zero_rate_passes_posts_through(self):
+        posts = self._posts()
+        out = list(interleave_churn(posts, self._friends(), ChurnConfig(rate=0.0)))
+        assert out == posts
+
+    def test_deterministic_and_ordered(self):
+        config = ChurnConfig(rate=0.8, seed=3)
+        first = list(interleave_churn(self._posts(), self._friends(), config))
+        second = list(interleave_churn(self._posts(), self._friends(), config))
+        assert first == second
+        timestamps = [e.timestamp for e in first]
+        assert timestamps == sorted(timestamps)
+        churn = [e for e in first if not isinstance(e, Post)]
+        assert churn, "rate=0.8 over 60 posts produced no churn"
+        assert all(e.author != e.followee for e in churn)
+
+    def test_every_event_is_effective_in_order(self):
+        """Replaying the emitted follow/unfollow events against the initial
+        relation never hits a duplicate follow or an absent unfollow — the
+        generator tracks the evolving relation, not the initial one."""
+        shadow = {a: set(f) for a, f in self._friends().items()}
+        stream = interleave_churn(
+            self._posts(200), self._friends(), ChurnConfig(rate=0.9, seed=11)
+        )
+        for event in stream:
+            if isinstance(event, FollowEvent):
+                assert event.followee not in shadow[event.author]
+                shadow[event.author].add(event.followee)
+            elif isinstance(event, UnfollowEvent):
+                assert event.followee in shadow[event.author]
+                shadow[event.author].discard(event.followee)

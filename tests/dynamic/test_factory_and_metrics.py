@@ -1,0 +1,110 @@
+"""Construction surface: make_multiuser dynamic mode, validation errors,
+and the DynamicInstruments observability bundle."""
+
+import pytest
+
+from repro.dynamic import DynamicMultiUser
+from repro.errors import ConfigurationError, UnknownAlgorithmError
+from repro.multiuser import make_multiuser
+from repro.obs import Registry
+
+from .conftest import make_events, make_friends
+
+
+class TestFactory:
+    def test_parallel_name_builds_dynamic_engine(self, thresholds, subscriptions):
+        with make_multiuser(
+            "p_cliquebin",
+            thresholds,
+            None,
+            subscriptions,
+            workers=2,
+            dynamic=True,
+            friends=make_friends(),
+        ) as engine:
+            assert isinstance(engine, DynamicMultiUser)
+            assert engine.name == "d_cliquebin"
+            assert engine.workers == 2
+
+    def test_serial_name_ignores_workers(self, thresholds, subscriptions):
+        engine = make_multiuser(
+            "s_unibin",
+            thresholds,
+            None,
+            subscriptions,
+            workers=4,
+            dynamic=True,
+            friends=make_friends(),
+        )
+        assert isinstance(engine, DynamicMultiUser)
+        assert engine.workers == 1
+
+    def test_dynamic_requires_friends(self, thresholds, subscriptions):
+        with pytest.raises(ConfigurationError, match="friends"):
+            make_multiuser(
+                "s_unibin", thresholds, None, subscriptions, dynamic=True
+            )
+
+    def test_per_user_engines_have_no_dynamic_variant(
+        self, thresholds, subscriptions
+    ):
+        with pytest.raises(UnknownAlgorithmError):
+            make_multiuser(
+                "m_unibin",
+                thresholds,
+                None,
+                subscriptions,
+                dynamic=True,
+                friends=make_friends(),
+            )
+
+
+class TestValidation:
+    def test_unknown_algorithm(self, thresholds, subscriptions):
+        with pytest.raises(UnknownAlgorithmError):
+            DynamicMultiUser("nope", thresholds, make_friends(), subscriptions)
+
+    def test_bad_workers_and_batch(self, thresholds, subscriptions):
+        with pytest.raises(ConfigurationError):
+            DynamicMultiUser(
+                "unibin", thresholds, make_friends(), subscriptions, workers=0
+            )
+        with pytest.raises(ConfigurationError):
+            DynamicMultiUser(
+                "unibin", thresholds, make_friends(), subscriptions, batch_size=0
+            )
+
+    def test_subscribed_author_missing_from_universe(self, thresholds):
+        from repro.multiuser import SubscriptionTable
+
+        table = SubscriptionTable({100: [1, 999]})
+        with pytest.raises(ConfigurationError, match="999"):
+            DynamicMultiUser("unibin", thresholds, make_friends(), table)
+
+
+class TestInstruments:
+    def test_gauges_and_counters_track_engine(self, thresholds, subscriptions):
+        registry = Registry()
+        with DynamicMultiUser(
+            "neighborbin", thresholds, make_friends(), subscriptions
+        ) as engine:
+            engine.bind_metrics(registry)
+            for event in make_events(n_posts=120, seed=29, churn_prob=0.25):
+                engine.apply(event)
+            assert engine.migrations > 0
+            name = engine.name
+            assert registry.value(
+                "repro_dynamic_graph_version", engine=name
+            ) == engine.graph_version
+            assert registry.value(
+                "repro_dynamic_migrations", engine=name
+            ) == engine.migrations
+            for kind in ("post", "follow", "unfollow"):
+                assert registry.value(
+                    "repro_dynamic_events_total", engine=name, type=kind
+                ) == engine.event_counts[kind]
+            latency = registry.histogram(
+                "repro_dynamic_migration_latency_seconds",
+                labelnames=("engine",),
+            ).labels(engine=name)
+            assert latency.count == engine.migrations

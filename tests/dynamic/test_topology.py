@@ -1,0 +1,158 @@
+"""Tests for repro.dynamic.topology — versioned graph, components, cover."""
+
+import random
+
+import pytest
+
+from repro.authors import AuthorGraph, greedy_clique_cover, verify_cover
+from repro.dynamic import TopologyManager, repair_cover
+from repro.dynamic.topology import grow_clique, scoped_components
+from repro.errors import GraphError
+
+from .conftest import AUTHORS, INTERESTS, make_friends
+
+
+class TestScopedComponents:
+    def test_restricts_bfs_to_scope(self):
+        graph = AuthorGraph(range(1, 7), [(1, 2), (2, 3), (3, 4), (5, 6)])
+        # Excluding the bridge node 3 splits {1,2} from {4}.
+        assert scoped_components(graph, [1, 2, 4, 5, 6]) == [
+            frozenset({1, 2}),
+            frozenset({4}),
+            frozenset({5, 6}),
+        ]
+
+    def test_full_scope_equals_global_components(self):
+        graph = AuthorGraph(range(1, 8), [(1, 2), (3, 4), (4, 5)])
+        assert scoped_components(graph, graph.nodes) == [
+            frozenset({1, 2}),
+            frozenset({3, 4, 5}),
+            frozenset({6}),
+            frozenset({7}),
+        ]
+
+    def test_deterministic_order(self):
+        graph = AuthorGraph([9, 3, 7], [])
+        assert scoped_components(graph, [9, 3, 7]) == [
+            frozenset({3}),
+            frozenset({7}),
+            frozenset({9}),
+        ]
+
+
+class TestRepairCover:
+    def test_grow_clique_is_maximal(self):
+        graph = AuthorGraph(
+            range(1, 6), [(1, 2), (1, 3), (2, 3), (3, 4), (1, 4), (2, 4)]
+        )
+        assert grow_clique(graph, 1, 2) == frozenset({1, 2, 3, 4})
+
+    def test_removal_repair_is_valid(self):
+        graph = AuthorGraph(range(1, 5), [(1, 2), (1, 3), (2, 3), (3, 4)])
+        cover = greedy_clique_cover(graph)
+        graph.remove_edge(1, 2)
+        repaired = repair_cover(graph, cover, added=(), removed=[(1, 2)])
+        verify_cover(graph, repaired)
+
+    def test_addition_repair_is_valid(self):
+        graph = AuthorGraph(range(1, 5), [(1, 2), (3, 4)])
+        cover = greedy_clique_cover(graph)
+        graph.add_edge(2, 3)
+        repaired = repair_cover(graph, cover, added=[(2, 3)], removed=())
+        verify_cover(graph, repaired)
+
+    def test_orphaned_node_gets_singleton(self):
+        graph = AuthorGraph([1, 2], [(1, 2)])
+        cover = greedy_clique_cover(graph)
+        graph.remove_edge(1, 2)
+        repaired = repair_cover(graph, cover, added=(), removed=[(1, 2)])
+        verify_cover(graph, repaired)
+        # Both endpoints stay covered by (at least) singletons.
+        covered = set().union(*repaired.cliques)
+        assert covered == {1, 2}
+
+    def test_random_churn_stays_valid(self):
+        rng = random.Random(3)
+        nodes = list(range(1, 11))
+        graph = AuthorGraph(nodes, [(1, 2), (2, 3), (1, 3), (4, 5)])
+        cover = greedy_clique_cover(graph)
+        present = {(1, 2), (2, 3), (1, 3), (4, 5)}
+        for _ in range(80):
+            a, b = rng.sample(nodes, 2)
+            edge = (a, b) if a < b else (b, a)
+            if edge in present:
+                present.discard(edge)
+                graph.remove_edge(*edge)
+                cover = repair_cover(graph, cover, (), [edge])
+            else:
+                present.add(edge)
+                graph.add_edge(*edge)
+                cover = repair_cover(graph, cover, [edge], ())
+            verify_cover(graph, cover)
+
+
+class TestTopologyManager:
+    def test_lambda_a_validation(self):
+        with pytest.raises(GraphError):
+            TopologyManager(make_friends(), lambda_a=1.0)
+        with pytest.raises(GraphError):
+            TopologyManager(make_friends(), lambda_a=-0.1)
+
+    def test_noop_delta_does_not_bump_version(self):
+        friends = {1: {100}, 2: {101}}
+        manager = TopologyManager(friends, lambda_a=0.5)
+        version = manager.version
+        # Duplicate follow: no followee-set change at all.
+        delta = manager.follow(1, 100)
+        assert delta.empty and manager.version == version
+        # Absent unfollow: same.
+        delta = manager.unfollow(2, 99)
+        assert delta.empty and manager.version == version
+
+    def test_effective_delta_bumps_version_once(self):
+        friends = {1: {100}, 2: {101}}
+        manager = TopologyManager(friends, lambda_a=0.5)
+        delta = manager.follow(2, 100)  # 2 = {100, 101}: sim 1/sqrt(2) ≥ 0.5
+        assert delta.added == {(1, 2)}
+        assert delta.version == manager.version == 1
+        assert manager.graph.are_similar(1, 2)
+
+    def test_components_track_from_scratch(self):
+        rng = random.Random(9)
+        friends = make_friends()
+        manager = TopologyManager(friends, lambda_a=0.5)
+        for _ in range(150):
+            author = rng.choice(AUTHORS)
+            followee = rng.choice(INTERESTS)
+            if rng.random() < 0.5:
+                manager.follow(author, followee)
+            else:
+                manager.unfollow(author, followee)
+            expected = scoped_components(manager.graph, manager.graph.nodes)
+            assert manager.components() == expected
+            assert manager.component_count == len(expected)
+            for component in expected:
+                for node in component:
+                    assert manager.component_of(node) == component
+
+    def test_maintained_cover_survives_churn(self):
+        rng = random.Random(21)
+        manager = TopologyManager(
+            make_friends(),
+            lambda_a=0.5,
+            maintain_cover=True,
+            validate_covers=True,  # verify_cover after every repair
+        )
+        effective = 0
+        for _ in range(150):
+            author = rng.choice(AUTHORS)
+            followee = rng.choice(INTERESTS)
+            if rng.random() < 0.5:
+                delta = manager.follow(author, followee)
+            else:
+                delta = manager.unfollow(author, followee)
+            if not delta.empty:
+                effective += 1
+        assert effective > 10, "fixture produced no real churn"
+        verify_cover(manager.graph, manager.cover)
+        assert manager.version == effective

@@ -1,0 +1,98 @@
+"""Property-based correctness of incremental topology maintenance.
+
+The claims that make the dynamic subsystem trustworthy, stated over
+*arbitrary* follow/unfollow sequences:
+
+1. :class:`SimilarityMaintainer` is path-independent — after any mutation
+   sequence its edge set equals a from-scratch
+   :class:`~repro.authors.FriendVectors` build of the final relation.
+2. :class:`TopologyManager`'s incrementally maintained components equal a
+   from-scratch BFS over its own graph, and its incrementally repaired
+   clique cover passes :func:`~repro.authors.verify_cover` at every step.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.authors import FriendVectors, pairwise_similarities, verify_cover
+from repro.authors.incremental import SimilarityMaintainer
+from repro.dynamic import TopologyManager
+from repro.dynamic.topology import scoped_components
+
+N_AUTHORS = 8
+N_TARGETS = 10
+THRESHOLD = 0.5  # similarity cut == 1 - lambda_a with lambda_a = 0.5
+
+#: One mutation: (is_follow, author index, followee target).
+mutations = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=N_AUTHORS - 1),
+        st.integers(min_value=100, max_value=100 + N_TARGETS - 1),
+    ),
+    max_size=60,
+)
+
+initial_relations = st.fixed_dictionaries(
+    {
+        author: st.sets(
+            st.integers(min_value=100, max_value=100 + N_TARGETS - 1),
+            max_size=4,
+        )
+        for author in range(N_AUTHORS)
+    }
+)
+
+
+def _expected_edges(friends: dict[int, set[int]]) -> set[tuple[int, int]]:
+    vectors = FriendVectors(friends)
+    return {
+        pair
+        for pair, sim in pairwise_similarities(vectors).items()
+        if sim >= THRESHOLD - 1e-12
+    }
+
+
+@given(initial=initial_relations, steps=mutations)
+@settings(max_examples=60, deadline=None)
+def test_maintainer_equals_from_scratch_build(initial, steps):
+    maintainer = SimilarityMaintainer(initial, threshold=THRESHOLD)
+    shadow = {author: set(f) for author, f in initial.items()}
+    for is_follow, author, followee in steps:
+        if is_follow:
+            maintainer.follow(author, followee)
+            shadow[author].add(followee)
+        else:
+            maintainer.unfollow(author, followee)
+            shadow[author].discard(followee)
+        assert maintainer.edges() == _expected_edges(shadow)
+        assert maintainer.friends() == shadow
+
+
+@given(initial=initial_relations, steps=mutations)
+@settings(max_examples=40, deadline=None)
+def test_manager_components_and_cover_stay_correct(initial, steps):
+    manager = TopologyManager(
+        initial,
+        lambda_a=1.0 - THRESHOLD,
+        maintain_cover=True,
+        validate_covers=True,  # verify_cover after every repair
+    )
+    version = 0
+    for is_follow, author, followee in steps:
+        delta = (
+            manager.follow(author, followee)
+            if is_follow
+            else manager.unfollow(author, followee)
+        )
+        if delta.empty:
+            assert manager.version == version
+        else:
+            version += 1
+            assert manager.version == version
+        assert manager.components() == scoped_components(
+            manager.graph, manager.graph.nodes
+        )
+    verify_cover(manager.graph, manager.cover)
