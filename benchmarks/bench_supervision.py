@@ -1,0 +1,246 @@
+"""Supervision: steady-state overhead and chaos-recovery latency.
+
+The self-healing layer (:mod:`repro.supervise`) may not tax the healthy
+path: journalling acknowledged batches and rolling checkpoints must cost
+under ``REPRO_SUPERVISION_MAX_OVERHEAD`` (default 10%) over the same
+pool run unsupervised. And when a worker *is* killed mid-stream, the
+recovery — respawn, checkpoint restore, journal replay, re-issued
+in-flight batch — must leave receiver sets byte-identical to the serial
+run, with the measured recovery latency recorded.
+
+Writes ``BENCH_supervision.json`` at the repo root and regression-gates
+against the committed copy: overhead may not grow more than
+``REPRO_SUPERVISION_TOLERANCE`` (absolute, default 0.08) past it, and
+recovery latency may not exceed the committed value by more than
+``REPRO_SUPERVISION_LATENCY_FACTOR`` (default 3x — process spawn time is
+machine- and load-dependent). Absolute posts/sec are reported but never
+gated; like the other execution-layer benchmarks this may run on a
+single-core container.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import bench_scale
+
+from repro.multiuser import SharedComponentMultiUser
+from repro.parallel import ParallelSharedMultiUser
+from repro.resilience import WorkerFaultPlan
+from repro.supervise import SupervisionConfig
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_supervision.json"
+
+ALGORITHM = "unibin"
+WORKERS = int(os.environ.get("REPRO_SUPERVISION_WORKERS", "2"))
+BATCH = int(os.environ.get("REPRO_SUPERVISION_BATCH", "64"))
+REPEATS = int(os.environ.get("REPRO_SUPERVISION_REPEATS", "3"))
+
+#: Hard ceiling on supervised-over-unsupervised steady-state overhead.
+MAX_OVERHEAD = float(os.environ.get("REPRO_SUPERVISION_MAX_OVERHEAD", "0.10"))
+#: Absolute overhead growth allowed past the committed baseline.
+REGRESSION_TOLERANCE = float(os.environ.get("REPRO_SUPERVISION_TOLERANCE", "0.08"))
+#: Multiplier on the committed recovery latency before the gate fails.
+LATENCY_FACTOR = float(os.environ.get("REPRO_SUPERVISION_LATENCY_FACTOR", "3.0"))
+
+#: Production-shaped supervision for the overhead measurement; the chaos
+#: run shrinks the backoff so the latency number is the recovery itself.
+STEADY_CONFIG = SupervisionConfig()
+CHAOS_CONFIG = SupervisionConfig(backoff_base=0.001, backoff_cap=0.01, jitter=0.0)
+
+
+def _run_stream(engine, posts):
+    received = []
+    start = time.perf_counter()
+    for lo in range(0, len(posts), BATCH):
+        received.extend(engine.offer_batch(posts[lo : lo + BATCH]))
+    return received, time.perf_counter() - start
+
+
+def _measure_parallel(thresholds, graph, subscriptions, posts, **kwargs):
+    best = float("inf")
+    received = None
+    for _ in range(REPEATS):
+        with ParallelSharedMultiUser(
+            ALGORITHM, thresholds, graph, subscriptions, workers=WORKERS, **kwargs
+        ) as engine:
+            received, elapsed = _run_stream(engine, posts)
+            best = min(best, elapsed)
+    return received, best
+
+
+def _measure_chaos(thresholds, graph, subscriptions, posts):
+    """Crash one worker mid-stream; return outputs + recovery accounting."""
+    crash_batch = max(2, (len(posts) // BATCH) // 2)  # mid-stream
+    with ParallelSharedMultiUser(
+        ALGORITHM,
+        thresholds,
+        graph,
+        subscriptions,
+        workers=WORKERS,
+        supervised=True,
+        supervision=CHAOS_CONFIG,
+        fault_plans={0: WorkerFaultPlan(crash_on_batch=crash_batch)},
+    ) as engine:
+        received, elapsed = _run_stream(engine, posts)
+        supervisor = engine.supervisor
+        return received, {
+            "crash_on_batch": crash_batch,
+            "time_s": elapsed,
+            "restarts": supervisor.restarts_total,
+            "recovery_latency_s": max(supervisor.recovery_latencies, default=0.0),
+            "replayed_commands": supervisor.replayed_commands,
+            "checkpoints": supervisor.checkpoints_taken,
+            "degraded_shards": list(supervisor.degraded_shards()),
+        }
+
+
+def _measure_degradation(thresholds, graph, subscriptions, posts):
+    """Poison one shard past its budget; exactness must survive."""
+    with ParallelSharedMultiUser(
+        ALGORITHM,
+        thresholds,
+        graph,
+        subscriptions,
+        workers=WORKERS,
+        supervised=True,
+        supervision=SupervisionConfig(
+            backoff_base=0.001, backoff_cap=0.01, jitter=0.0, max_restarts=1
+        ),
+        fault_plans={0: WorkerFaultPlan(crash_on_batch=2, survive_restarts=True)},
+    ) as engine:
+        received, elapsed = _run_stream(engine, posts)
+        supervisor = engine.supervisor
+        return received, {
+            "time_s": elapsed,
+            "restarts": supervisor.restarts_total,
+            "degradations": supervisor.degradations,
+            "degraded_shards": list(supervisor.degraded_shards()),
+        }
+
+
+def _sweep(dataset, thresholds):
+    graph = dataset.graph(thresholds.lambda_a)
+    subscriptions = dataset.subscriptions()
+    posts = dataset.posts
+
+    serial = SharedComponentMultiUser(ALGORITHM, thresholds, graph, subscriptions)
+    start = time.perf_counter()
+    expected = [serial.offer(post) for post in posts]
+    serial_time = time.perf_counter() - start
+
+    plain, plain_time = _measure_parallel(thresholds, graph, subscriptions, posts)
+    assert plain == expected, "unsupervised sharded output diverged from serial"
+
+    supervised, supervised_time = _measure_parallel(
+        thresholds,
+        graph,
+        subscriptions,
+        posts,
+        supervised=True,
+        supervision=STEADY_CONFIG,
+    )
+    assert supervised == expected, "supervised sharded output diverged from serial"
+    overhead = supervised_time / plain_time - 1.0
+
+    chaos, recovery = _measure_chaos(thresholds, graph, subscriptions, posts)
+    assert chaos == expected, "post-crash receiver sets diverged — recovery inexact"
+    assert recovery["restarts"] == 1, recovery
+    assert recovery["degraded_shards"] == [], recovery
+
+    degraded, degradation = _measure_degradation(
+        thresholds, graph, subscriptions, posts
+    )
+    assert degraded == expected, "degraded receiver sets diverged from serial"
+    assert degradation["degradations"] == 1, degradation
+
+    return {
+        "benchmark": "supervision",
+        "scale": bench_scale(),
+        "algorithm": ALGORITHM,
+        "cpu_count": os.cpu_count(),
+        "posts": len(posts),
+        "users": len(subscriptions.users),
+        "workers": WORKERS,
+        "batch_size": BATCH,
+        "serial": {"time_s": serial_time},
+        "unsupervised": {
+            "time_s": plain_time,
+            "posts_per_sec": len(posts) / plain_time,
+        },
+        "supervised": {
+            "time_s": supervised_time,
+            "posts_per_sec": len(posts) / supervised_time,
+            "overhead_vs_unsupervised": overhead,
+        },
+        "recovery": recovery,
+        "degradation": degradation,
+    }
+
+
+def _check_against_committed(result) -> list[str]:
+    if not RESULT_PATH.exists():
+        return []
+    committed = json.loads(RESULT_PATH.read_text())
+    failures = []
+    measured = result["supervised"]["overhead_vs_unsupervised"]
+    # A negative committed overhead is timer noise (supervision cannot
+    # speed anything up); clamp at zero so the ceiling never tightens
+    # below the tolerance itself.
+    baseline = max(committed["supervised"]["overhead_vs_unsupervised"], 0.0)
+    ceiling = baseline + REGRESSION_TOLERANCE
+    if measured > ceiling:
+        failures.append(
+            f"steady-state overhead {measured:.3f} > {ceiling:.3f} "
+            f"(committed {baseline:.3f} + {REGRESSION_TOLERANCE})"
+        )
+    measured_lat = result["recovery"]["recovery_latency_s"]
+    baseline_lat = committed["recovery"]["recovery_latency_s"]
+    if baseline_lat > 0 and measured_lat > baseline_lat * LATENCY_FACTOR:
+        failures.append(
+            f"recovery latency {measured_lat:.4f}s > "
+            f"{baseline_lat * LATENCY_FACTOR:.4f}s "
+            f"(committed {baseline_lat:.4f}s x {LATENCY_FACTOR})"
+        )
+    return failures
+
+
+def test_supervision(benchmark, dataset, thresholds):
+    result = benchmark.pedantic(
+        lambda: _sweep(dataset, thresholds),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"{ALGORITHM} x{result['workers']} workers, batch {result['batch_size']} "
+        f"({result['posts']} posts, {result['users']} users, "
+        f"cpu_count={result['cpu_count']})"
+    )
+    print(
+        f"unsupervised: {result['unsupervised']['posts_per_sec']:>10,.0f} posts/s  "
+        f"supervised: {result['supervised']['posts_per_sec']:>10,.0f} posts/s  "
+        f"overhead {result['supervised']['overhead_vs_unsupervised']:+.1%}"
+    )
+    recovery = result["recovery"]
+    print(
+        f"crash recovery: {recovery['recovery_latency_s'] * 1000:.1f}ms "
+        f"({recovery['restarts']} restart, "
+        f"{recovery['replayed_commands']} commands replayed, "
+        f"{recovery['checkpoints']} checkpoints) — output exact"
+    )
+    print(
+        f"degradation: shards {result['degradation']['degraded_shards']} "
+        "quarantined — output exact"
+    )
+
+    overhead = result["supervised"]["overhead_vs_unsupervised"]
+    assert overhead < MAX_OVERHEAD, (
+        f"supervision steady-state overhead {overhead:.1%} exceeds the "
+        f"{MAX_OVERHEAD:.0%} budget"
+    )
+    failures = _check_against_committed(result)
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULT_PATH}")
+    assert not failures, "; ".join(failures)

@@ -102,6 +102,34 @@ def _diversify_parser() -> argparse.ArgumentParser:
         help="posts shipped per shard round-trip in multi-user mode "
         "(amortizes IPC; 1 = per-post offers)",
     )
+    parser.add_argument(
+        "--supervise",
+        action="store_true",
+        help="self-healing worker pool: heartbeat liveness, crash recovery "
+        "by checkpoint + journal replay, and quarantine of poison shards "
+        "into in-parent serial execution (multi-user sharded engines)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="supervised mode: seconds a shard may sit idle before a "
+        "liveness ping (default 1.0)",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=3,
+        help="supervised mode: respawn budget per shard before it is "
+        "degraded to in-parent serial execution (default 3)",
+    )
+    parser.add_argument(
+        "--shard-deadline",
+        type=float,
+        default=120.0,
+        help="seconds to wait on a worker reply before declaring the "
+        "shard dead (supervised mode recovers; plain mode raises)",
+    )
     parser.add_argument("--lambda-c", type=int, default=18, help="content bits")
     parser.add_argument("--lambda-t", type=float, default=1800.0, help="seconds")
     parser.add_argument("--lambda-a", type=float, default=0.7, help="author distance")
@@ -162,6 +190,46 @@ def _diversify_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_supervision_summary(engine) -> None:
+    """One stderr line of self-healing accounting, when supervised."""
+    status_of = getattr(engine, "supervision_status", None)
+    status = status_of() if callable(status_of) else None
+    if status is None:
+        return
+    line = (
+        f"supervision: {status['live_shards']}/{status['shards']} shards "
+        f"live, {status['restarts']} restarts, "
+        f"{status['checkpoints']} checkpoints, "
+        f"{status['replayed_commands']} journal commands replayed"
+    )
+    if status["degraded_shards"]:
+        line += (
+            f"; shards {sorted(status['degraded_shards'])} degraded to "
+            "in-parent serial"
+        )
+    print(line, file=sys.stderr)
+
+
+def _supervision_kwargs(args) -> dict:
+    """Engine kwargs for the --supervise / --shard-deadline flags.
+
+    ``make_multiuser`` and ``restore_engine`` take the same three
+    keywords, so both construction paths share this translation."""
+    if not args.supervise:
+        return {"shard_deadline": args.shard_deadline}
+    from .supervise import SupervisionConfig
+
+    return {
+        "supervised": True,
+        "supervision": SupervisionConfig(
+            heartbeat_interval=args.heartbeat_interval,
+            deadline=args.shard_deadline,
+            max_restarts=args.max_restarts,
+        ),
+        "shard_deadline": args.shard_deadline,
+    }
+
+
 def _generate_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="firehose generate",
@@ -203,10 +271,10 @@ def _run_diversify(argv: list[str]) -> int:
         return _run_diversify_events(args)
     if args.subscriptions:
         return _run_diversify_multiuser(args)
-    if args.workers != 1:
+    if args.workers != 1 or args.supervise:
         print(
-            "--workers applies to the multi-user sharded engine; "
-            "pass --subscriptions to enable it",
+            "--workers/--supervise apply to the multi-user sharded engine; "
+            "pass --subscriptions to enable them",
             file=sys.stderr,
         )
         return 2
@@ -350,6 +418,13 @@ def _run_diversify_events(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.supervise and not args.subscriptions:
+        print(
+            "--supervise applies to the multi-user sharded engine; "
+            "pass --subscriptions to enable it",
+            file=sys.stderr,
+        )
+        return 2
     thresholds = Thresholds(
         lambda_c=args.lambda_c, lambda_t=args.lambda_t, lambda_a=args.lambda_a
     )
@@ -366,6 +441,7 @@ def _run_diversify_events(args) -> int:
             # --workers > 1 re-shards the restored engine; otherwise the
             # checkpointed pool size is kept.
             workers=args.workers if args.workers > 1 else None,
+            **_supervision_kwargs(args),
         )
         print(
             f"note: resuming {engine.name!r} from {args.resume_from}; "
@@ -395,6 +471,7 @@ def _run_diversify_events(args) -> int:
                 batch_size=args.batch_size,
                 dynamic=True,
                 friends=friends,
+                **_supervision_kwargs(args),
             )
         except Exception as exc:
             print(str(exc), file=sys.stderr)
@@ -465,6 +542,7 @@ def _run_diversify_events(args) -> int:
                 f"{len(subscriptions)} users; {stats.comparisons:,} "
                 f"comparisons, {stats.insertions:,} insertions"
             )
+            _print_supervision_summary(engine)
         else:
             print(
                 f"{stats.posts_admitted}/{stats.posts_processed} posts kept; "
@@ -547,7 +625,12 @@ def _run_diversify_multiuser(args) -> int:
         snap = load_checkpoint(args.resume_from)
         if snap.get("kind") == "pipeline":
             snap = snap["engine"]
-        engine = restore_engine(snap, graph=graph, subscriptions=subscriptions)
+        engine = restore_engine(
+            snap,
+            graph=graph,
+            subscriptions=subscriptions,
+            **_supervision_kwargs(args),
+        )
         print(
             f"note: resuming {engine.name!r} from {args.resume_from}; "
             "--algorithm/--workers come from the checkpoint",
@@ -579,6 +662,7 @@ def _run_diversify_multiuser(args) -> int:
             subscriptions,
             workers=args.workers,
             batch_size=args.batch_size,
+            **_supervision_kwargs(args),
         )
 
     registry = None
@@ -627,6 +711,7 @@ def _run_diversify_multiuser(args) -> int:
                 f"(imbalance {engine.shard_imbalance():.3f}, "
                 f"sharing ratio {engine.sharing_ratio():.3f})"
             )
+        _print_supervision_summary(engine)
         if len(sink):
             print(
                 f"quarantined {len(sink)} records: "

@@ -49,11 +49,16 @@ from ..errors import (
 )
 from ..multiuser.base import MultiUserDiversifier
 from ..multiuser.routing import SubscriptionTable
-from ..parallel.engine import _preferred_start_method, _shutdown_workers
+from ..parallel.engine import _preferred_start_method
+from ..supervise import ShardSupervisor, SupervisionConfig, shutdown_workers
 from .events import Event, FollowEvent, UnfollowEvent
 from .migrate import mutate_subgraph, patch_engine, seeded_engine
 from .topology import TopologyDelta, TopologyManager, scoped_components
-from .worker import DynamicShardSpec, dynamic_worker_main
+from .worker import (
+    DynamicShardSpec,
+    dynamic_supervision_protocol,
+    dynamic_worker_main,
+)
 
 
 class DynamicDiversifier:
@@ -274,15 +279,23 @@ class _PipeExecutor:
         workers: int,
         *,
         start_method: str | None = None,
+        deadline: float | None = 120.0,
+        fault_plans=None,
     ):
-        spec = DynamicShardSpec(algorithm=algorithm, thresholds=thresholds)
+        plans = dict(fault_plans) if fault_plans else {}
         context = multiprocessing.get_context(
             start_method if start_method is not None else _preferred_start_method()
         )
         self._closed = False
+        self._deadline = deadline
         self._connections = []
         self._processes = []
-        for _ in range(workers):
+        for worker in range(workers):
+            spec = DynamicShardSpec(
+                algorithm=algorithm,
+                thresholds=thresholds,
+                faults=plans.get(worker),
+            )
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=dynamic_worker_main, args=(child_conn, spec), daemon=True
@@ -292,23 +305,40 @@ class _PipeExecutor:
             self._connections.append(parent_conn)
             self._processes.append(process)
         self._finalizer = weakref.finalize(
-            self, _shutdown_workers, list(self._processes), list(self._connections)
+            self, shutdown_workers, list(self._processes), list(self._connections)
         )
         self._worker_of: dict[int, int] = {}
         self._weight: dict[int, int] = {}
         self._loads: list[int] = [0] * workers
         for worker, conn in enumerate(self._connections):
-            self._receive(worker, conn)  # startup handshake ("ready")
+            self._receive(worker, conn, "ready")  # startup handshake
 
     # -- protocol plumbing -------------------------------------------------
 
-    def _receive(self, worker: int, conn):
+    def _receive(self, worker: int, conn, command: str = "?"):
+        deadline = self._deadline
         try:
+            if deadline is not None and not conn.poll(deadline):
+                raise ParallelError(
+                    f"dynamic worker {worker} sent no reply to {command!r} "
+                    f"within {deadline:.1f}s (worker hung; run with "
+                    f"supervised=True to recover automatically)"
+                )
             reply = conn.recv()
         except (EOFError, OSError) as exc:
             raise ParallelError(
-                f"dynamic worker {worker} died (pipe closed): {exc}"
+                f"dynamic worker {worker} died awaiting reply to "
+                f"{command!r} (pipe closed): {exc}"
             ) from exc
+        if (
+            not isinstance(reply, tuple)
+            or len(reply) < 2
+            or reply[0] not in ("ok", "error")
+        ):
+            raise ParallelError(
+                f"dynamic worker {worker} sent a corrupt reply to "
+                f"{command!r}: {str(reply)[:80]!r}"
+            )
         if reply[0] == "error":
             raise ParallelError(f"dynamic worker {worker} {reply[1]}: {reply[2]}")
         return reply[1]
@@ -318,7 +348,7 @@ class _PipeExecutor:
             raise ParallelError("dynamic engine already closed")
         conn = self._connections[worker]
         conn.send(message)
-        return self._receive(worker, conn)
+        return self._receive(worker, conn, message[0])
 
     def _broadcast(self, message):
         if self._closed:
@@ -326,7 +356,7 @@ class _PipeExecutor:
         for conn in self._connections:
             conn.send(message)
         return [
-            self._receive(worker, conn)
+            self._receive(worker, conn, message[0])
             for worker, conn in enumerate(self._connections)
         ]
 
@@ -356,7 +386,7 @@ class _PipeExecutor:
             self._connections[worker].send(("batch", sub_items))
         out = []
         for worker in per_worker:
-            out.extend(self._receive(worker, self._connections[worker]))
+            out.extend(self._receive(worker, self._connections[worker], "batch"))
         return out
 
     def patch(self, iid, added, removed) -> None:
@@ -407,6 +437,129 @@ class _PipeExecutor:
         self._finalizer()
 
 
+class _SupervisedPipeExecutor:
+    """:class:`_PipeExecutor` semantics behind a
+    :class:`~repro.supervise.ShardSupervisor`.
+
+    Same least-loaded placement, same wire protocol — but every request
+    flows through the supervisor, which journals mutating commands, rolls
+    ``snapshot`` checkpoints, heals crashed/hung workers by respawn →
+    restore → replay, and degrades poison workers to in-parent engines.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        thresholds: Thresholds,
+        workers: int,
+        *,
+        start_method: str | None = None,
+        supervision: SupervisionConfig | None = None,
+        fault_plans=None,
+    ):
+        plans = dict(fault_plans) if fault_plans else {}
+        context = multiprocessing.get_context(
+            start_method if start_method is not None else _preferred_start_method()
+        )
+        self._closed = False
+        self.supervisor = ShardSupervisor(
+            [
+                DynamicShardSpec(
+                    algorithm=algorithm,
+                    thresholds=thresholds,
+                    faults=plans.get(worker),
+                )
+                for worker in range(workers)
+            ],
+            context=context,
+            protocol=dynamic_supervision_protocol(),
+            config=supervision,
+            name=f"d_{algorithm}",
+        )
+        self._worker_of: dict[int, int] = {}
+        self._weight: dict[int, int] = {}
+        self._loads: list[int] = [0] * workers
+
+    # -- executor interface ------------------------------------------------
+
+    def install(self, iid, subgraph, carried, last_timestamp) -> None:
+        worker = min(range(len(self._loads)), key=self._loads.__getitem__)
+        weight = max(1, len(subgraph.nodes))
+        self._worker_of[iid] = worker
+        self._weight[iid] = weight
+        self._loads[worker] += weight
+        self.supervisor.request(
+            worker, ("install", (iid, subgraph, carried, last_timestamp))
+        )
+
+    def offer_batch(self, items):
+        if self._closed:
+            raise ParallelError("dynamic engine already closed")
+        self.supervisor.maybe_heartbeat()
+        worker_of = self._worker_of
+        per_worker: dict[int, list] = defaultdict(list)
+        for seq, post, iids in items:
+            by_worker: dict[int, list[int]] = {}
+            for iid in iids:
+                by_worker.setdefault(worker_of[iid], []).append(iid)
+            for worker, sub in by_worker.items():
+                per_worker[worker].append((seq, post, sub))
+        replies = self.supervisor.request_many(
+            {worker: ("batch", sub_items) for worker, sub_items in per_worker.items()}
+        )
+        out = []
+        for worker in per_worker:
+            out.extend(replies[worker])
+        return out
+
+    def patch(self, iid, added, removed) -> None:
+        self.supervisor.request(self._worker_of[iid], ("patch", (iid, added, removed)))
+
+    def peek(self, iid):
+        return self.supervisor.request(self._worker_of[iid], ("peek", iid))
+
+    def extract(self, iid):
+        reply = self.supervisor.request(self._worker_of[iid], ("extract", iid))
+        worker = self._worker_of.pop(iid)
+        self._loads[worker] -= self._weight.pop(iid)
+        return reply
+
+    def merged_stats(self) -> RunStats:
+        total = RunStats()
+        for state in self.supervisor.request_all(("stats",)).values():
+            stats = RunStats()
+            stats.load_state(state)
+            total.merge(stats)
+        return total
+
+    def stored(self) -> int:
+        return sum(self.supervisor.request_all(("stored",)).values())
+
+    def purge(self, now: float) -> None:
+        self.supervisor.request_all(("purge", now))
+
+    def states(self) -> dict[int, dict[str, object]]:
+        out: dict[int, dict[str, object]] = {}
+        for reply in self.supervisor.request_all(("states",)).values():
+            out.update(reply)
+        return out
+
+    def load(self, iid, state) -> None:
+        self.supervisor.request(self._worker_of[iid], ("load", (iid, state)))
+
+    def reset(self) -> None:
+        self.supervisor.request_all(("reset",))
+        self._worker_of.clear()
+        self._weight.clear()
+        self._loads = [0] * len(self._loads)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.supervisor.close()
+
+
 class DynamicMultiUser(MultiUserDiversifier):
     """M-SPSD over a mutating author graph, one mixed event stream in.
 
@@ -422,6 +575,16 @@ class DynamicMultiUser(MultiUserDiversifier):
         batch_size: chunk length for :meth:`run` / :meth:`run_events`.
         validate_covers: verify every per-instance repaired cover (tests).
         start_method: multiprocessing start method for ``workers > 1``.
+        supervised: run the worker pool under a
+            :class:`~repro.supervise.ShardSupervisor` (crash recovery,
+            heartbeats, serial degradation); in-process ``workers=1``
+            has nothing to supervise.
+        supervision: supervisor tuning knobs.
+        shard_deadline: unsupervised per-request reply deadline in
+            seconds (``None`` waits forever); supervised pools use
+            ``supervision.deadline`` instead.
+        fault_plans: worker index → :class:`~repro.resilience.
+            WorkerFaultPlan` for chaos tests.
     """
 
     def __init__(
@@ -435,6 +598,10 @@ class DynamicMultiUser(MultiUserDiversifier):
         batch_size: int = 512,
         validate_covers: bool = False,
         start_method: str | None = None,
+        supervised: bool = False,
+        supervision: SupervisionConfig | None = None,
+        shard_deadline: float | None = 120.0,
+        fault_plans=None,
     ):
         if algorithm not in ALGORITHMS:
             raise UnknownAlgorithmError(f"unknown algorithm {algorithm!r}")
@@ -459,9 +626,23 @@ class DynamicMultiUser(MultiUserDiversifier):
         self._closed = False
         if workers == 1:
             self._executor = _LocalExecutor(algorithm, thresholds)
+        elif supervised:
+            self._executor = _SupervisedPipeExecutor(
+                algorithm,
+                thresholds,
+                workers,
+                start_method=start_method,
+                supervision=supervision,
+                fault_plans=fault_plans,
+            )
         else:
             self._executor = _PipeExecutor(
-                algorithm, thresholds, workers, start_method=start_method
+                algorithm,
+                thresholds,
+                workers,
+                start_method=start_method,
+                deadline=shard_deadline,
+                fault_plans=fault_plans,
             )
         self._instances: dict[int, _Instance] = {}
         self._by_author: dict[int, set[int]] = defaultdict(set)
@@ -712,6 +893,19 @@ class DynamicMultiUser(MultiUserDiversifier):
     @property
     def graph_version(self) -> int:
         return self.topology.version
+
+    @property
+    def supervisor(self) -> ShardSupervisor | None:
+        """The live :class:`~repro.supervise.ShardSupervisor`, if any."""
+        return getattr(self._executor, "supervisor", None)
+
+    def supervision_status(self) -> dict[str, object] | None:
+        """Health summary from the supervisor (``None`` when unsupervised
+        or running in-process) — the substrate of ``/healthz``."""
+        supervisor = self.supervisor
+        if supervisor is None:
+            return None
+        return supervisor.status()
 
     def aggregate_stats(self) -> RunStats:
         total = RunStats()

@@ -46,6 +46,9 @@ def make_multiuser(
     batch_size: int = 512,
     dynamic: bool = False,
     friends=None,
+    supervised: bool = False,
+    supervision=None,
+    shard_deadline: float | None = 120.0,
 ) -> MultiUserDiversifier:
     """Instantiate an M-SPSD engine by name, e.g. ``"s_cliquebin"``.
 
@@ -54,6 +57,11 @@ def make_multiuser(
     builds the churn-capable engine for ``s_*``/``p_*`` names from the
     ``friends`` relation (``graph`` is ignored — the dynamic engine owns
     its graph); the per-user ``m_*`` engines have no dynamic counterpart.
+    ``supervised=True`` wraps any multi-worker pool in a
+    :class:`~repro.supervise.ShardSupervisor` (tuned by ``supervision``, a
+    :class:`~repro.supervise.SupervisionConfig`); ``shard_deadline``
+    bounds unsupervised worker replies. All three are ignored by serial
+    engines.
     """
     prefix, _, algorithm = name.partition("_")
     if dynamic:
@@ -72,6 +80,9 @@ def make_multiuser(
                 subscriptions,
                 workers=workers if name in PARALLEL_NAMES else 1,
                 batch_size=batch_size,
+                supervised=supervised,
+                supervision=supervision,
+                shard_deadline=shard_deadline,
             )
         raise UnknownAlgorithmError(
             f"no dynamic variant of {name!r}; dynamic mode supports the "
@@ -88,6 +99,9 @@ def make_multiuser(
             subscriptions,
             workers=workers,
             batch_size=batch_size,
+            supervised=supervised,
+            supervision=supervision,
+            shard_deadline=shard_deadline,
         )
     if name not in MULTIUSER_NAMES:
         raise UnknownAlgorithmError(

@@ -31,6 +31,7 @@ __all__ = [
     "PipelineInstruments",
     "ServiceInstruments",
     "SimhashInstruments",
+    "SupervisionInstruments",
 ]
 
 
@@ -223,6 +224,82 @@ class MultiUserInstruments:
                 self._per_user.labels(engine=self._engine_name, user=user).inc()
 
 
+class SupervisionInstruments:
+    """Bundle for a :class:`~repro.supervise.ShardSupervisor`.
+
+    Counters and gauges are callback re-exports of the supervisor's own
+    exact accounting (restarts, degradations, checkpoints, heartbeats,
+    replayed commands; per-shard liveness/degraded/restart labels). The
+    two histograms are live: crash-to-recovered wall-clock latency and
+    the write-ahead journal depth at each commit — together the empirical
+    recovery cost model. Binding an engine with ``bind_metrics`` attaches
+    this bundle automatically whenever a supervisor is present.
+    """
+
+    __slots__ = ("recovery_latency", "journal_depth")
+
+    def __init__(self, registry: Registry, name: str, supervisor) -> None:
+        for metric, help_, attr in (
+            ("repro_supervision_restarts_total", "Worker respawns executed by the supervisor", "restarts_total"),
+            ("repro_supervision_degradations_total", "Poison shards degraded to in-parent serial engines", "degradations"),
+            ("repro_supervision_checkpoints_total", "Rolling per-shard checkpoints taken", "checkpoints_taken"),
+            ("repro_supervision_heartbeats_total", "Liveness pings sent to idle shards", "heartbeats_sent"),
+            ("repro_supervision_missed_heartbeats_total", "Heartbeats that found a dead or hung worker", "heartbeats_missed"),
+            ("repro_supervision_replayed_commands_total", "Journalled commands replayed during recoveries", "replayed_commands"),
+        ):
+            registry.counter(metric, help_, ("engine",)).labels(
+                engine=name
+            ).set_function(
+                lambda attr=attr: getattr(supervisor, attr)
+            )
+        liveness = registry.gauge(
+            "repro_shard_live",
+            "1 while the shard's worker process is alive (0: dead or degraded)",
+            ("engine", "shard"),
+        )
+        degraded = registry.gauge(
+            "repro_shard_degraded",
+            "1 once the shard is quarantined and served in-parent",
+            ("engine", "shard"),
+        )
+        restarts = registry.counter(
+            "repro_shard_restarts_total",
+            "Respawns of one shard's worker process",
+            ("engine", "shard"),
+        )
+        for shard in range(supervisor.shard_count):
+            liveness.labels(engine=name, shard=shard).set_function(
+                lambda shard=shard: 1 if supervisor.is_live(shard) else 0
+            )
+            degraded.labels(engine=name, shard=shard).set_function(
+                lambda shard=shard: 1 if supervisor.is_degraded(shard) else 0
+            )
+            restarts.labels(engine=name, shard=shard).set_function(
+                lambda shard=shard: supervisor.restarts_of(shard)
+            )
+        self.recovery_latency = registry.histogram(
+            "repro_supervision_recovery_seconds",
+            "Wall-clock latency from failure detection to healed shard",
+            ("engine",),
+            buckets=LATENCY_BUCKETS,
+        ).labels(engine=name)
+        self.journal_depth = registry.histogram(
+            "repro_supervision_journal_depth",
+            "Write-ahead journal depth at each acknowledged mutating command",
+            ("engine",),
+            buckets=COUNT_BUCKETS,
+        ).labels(engine=name)
+        supervisor.instruments = self
+
+    def observe_recovery(self, latency_s: float) -> None:
+        """One completed recovery from the supervisor's healing path."""
+        self.recovery_latency.observe(latency_s)
+
+    def observe_journal_depth(self, depth: int) -> None:
+        """Journal depth after one acknowledged mutating command."""
+        self.journal_depth.observe(depth)
+
+
 class ParallelInstruments(MultiUserInstruments):
     """Bundle for the sharded :class:`~repro.parallel.ParallelSharedMultiUser`.
 
@@ -278,6 +355,9 @@ class ParallelInstruments(MultiUserInstruments):
                         engine.shard_stats()[shard], attr
                     )
                 )
+        supervisor = getattr(engine, "supervisor", None)
+        if supervisor is not None:
+            SupervisionInstruments(registry, name, supervisor)
 
 
 class DynamicInstruments(MultiUserInstruments):
@@ -321,6 +401,9 @@ class DynamicInstruments(MultiUserInstruments):
             ("engine",),
             buckets=LATENCY_BUCKETS,
         ).labels(engine=name)
+        supervisor = getattr(engine, "supervisor", None)
+        if supervisor is not None:
+            SupervisionInstruments(registry, name, supervisor)
 
     def observe_migration(self, latency_s: float) -> None:
         """One completed migration from the engine's churn path."""

@@ -9,17 +9,23 @@ answer.
 Public surface:
 
 * :class:`ParallelSharedMultiUser` — the drop-in sharded engine
-  (``workers=1`` is the zero-IPC in-process fast path).
+  (``workers=1`` is the zero-IPC in-process fast path; ``supervised=True``
+  wraps the pool in a :class:`~repro.supervise.ShardSupervisor`).
 * :func:`plan_shards` / :func:`component_cost` / :class:`ShardPlan` — the
   cost-model-driven bin-packing behind shard assignment.
+* :class:`ShardSpec` / :class:`ShardServer` — the worker startup spec and
+  its command dispatcher (shared with supervised degraded mode).
 """
 
 from .engine import ParallelSharedMultiUser
 from .sharding import ShardPlan, component_cost, plan_shards
+from .worker import ShardServer, ShardSpec
 
 __all__ = [
     "ParallelSharedMultiUser",
     "ShardPlan",
+    "ShardServer",
+    "ShardSpec",
     "component_cost",
     "plan_shards",
 ]

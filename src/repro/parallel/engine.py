@@ -33,8 +33,14 @@ from ..core import Post, RunStats, Thresholds, make_diversifier
 from ..errors import ConfigurationError, ParallelError
 from ..multiuser.base import MultiUserDiversifier
 from ..multiuser.routing import SubscriptionTable
+from ..supervise import ShardSupervisor, SupervisionConfig, shutdown_workers
 from .sharding import ShardPlan, component_cost, plan_shards
-from .worker import ShardSpec, shard_worker_main
+from .worker import ShardSpec, shard_worker_main, supervision_protocol
+
+# Historical alias: the hardened teardown (terminate → kill escalation,
+# join verification) now lives in repro.supervise and is shared by every
+# worker pool in the library.
+_shutdown_workers = shutdown_workers
 
 
 def _preferred_start_method() -> str:
@@ -42,31 +48,6 @@ def _preferred_start_method() -> str:
     # fork is cheapest by far (no pickling of graph/spec, instant startup);
     # spawn is the portable fallback (Windows, macOS default).
     return "fork" if "fork" in methods else methods[0]
-
-
-def _shutdown_workers(processes, connections) -> None:
-    """Best-effort teardown, safe to run twice (weakref.finalize target)."""
-    for conn in connections:
-        try:
-            conn.send(("stop",))
-        except (OSError, ValueError):
-            pass
-    for conn in connections:
-        try:
-            # Drain the stop acknowledgement so the worker's send never blocks.
-            if conn.poll(1.0):
-                conn.recv()
-        except (OSError, EOFError, ValueError):
-            pass
-        try:
-            conn.close()
-        except OSError:
-            pass
-    for process in processes:
-        process.join(timeout=5.0)
-        if process.is_alive():
-            process.terminate()
-            process.join(timeout=1.0)
 
 
 class ParallelSharedMultiUser(MultiUserDiversifier):
@@ -88,6 +69,20 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             that drive shard bin-packing.
         start_method: multiprocessing start method; default prefers
             ``fork`` and falls back to the platform default.
+        supervised: run the pool under a
+            :class:`~repro.supervise.ShardSupervisor` — heartbeats,
+            journalled crash recovery, and serial degradation of poison
+            shards (see :mod:`repro.supervise`).
+        supervision: supervisor tuning knobs; defaults to
+            :class:`~repro.supervise.SupervisionConfig`'s.
+        shard_deadline: unsupervised per-request reply deadline in
+            seconds (``None`` waits forever, the pre-supervision
+            behaviour); a breach raises :class:`~repro.errors.
+            ParallelError` naming the shard and command. Supervised pools
+            use ``supervision.deadline`` instead.
+        fault_plans: shard index → :class:`~repro.resilience.
+            WorkerFaultPlan`, injected into worker processes for chaos
+            tests and the recovery benchmark.
     """
 
     def __init__(
@@ -102,11 +97,19 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         posts_per_author: float = 1.0,
         retention: float = 0.5,
         start_method: str | None = None,
+        supervised: bool = False,
+        supervision: SupervisionConfig | None = None,
+        shard_deadline: float | None = 120.0,
+        fault_plans=None,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if batch_size < 1:
             raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        if shard_deadline is not None and shard_deadline <= 0:
+            raise ConfigurationError(
+                f"shard_deadline must be > 0 or None, got {shard_deadline}"
+            )
         self.name = f"p_{algorithm}"
         self.algorithm = algorithm
         self.thresholds = thresholds
@@ -137,6 +140,9 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         self._shard_of = self.plan.shard_of_component()
         self._closed = False
         self._finalizer = None
+        self._supervisor: ShardSupervisor | None = None
+        self._deadline = shard_deadline
+        plans = dict(fault_plans) if fault_plans else {}
 
         if self.workers == 1:
             # In-process fast path: the exact serial engines, no IPC.
@@ -152,17 +158,30 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         context = multiprocessing.get_context(
             start_method if start_method is not None else _preferred_start_method()
         )
-        self._connections = []
-        self._processes = []
-        for shard_indices in self.plan.assignments:
-            spec = ShardSpec(
+        specs = [
+            ShardSpec(
                 algorithm=algorithm,
                 thresholds=thresholds,
                 graph=graph,
                 components=tuple(
                     (idx, self.catalog.components[idx]) for idx in shard_indices
                 ),
+                faults=plans.get(shard),
             )
+            for shard, shard_indices in enumerate(self.plan.assignments)
+        ]
+        self._connections = []
+        self._processes = []
+        if supervised:
+            self._supervisor = ShardSupervisor(
+                specs,
+                context=context,
+                protocol=supervision_protocol(),
+                config=supervision,
+                name=self.name,
+            )
+            return
+        for spec in specs:
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=shard_worker_main,
@@ -174,22 +193,41 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             self._connections.append(parent_conn)
             self._processes.append(process)
         self._finalizer = weakref.finalize(
-            self, _shutdown_workers, list(self._processes), list(self._connections)
+            self, shutdown_workers, list(self._processes), list(self._connections)
         )
         for shard, conn in enumerate(self._connections):
-            self._receive(shard, conn)  # startup handshake ("ready")
+            self._receive(shard, conn, "ready")  # startup handshake
 
     # -- worker protocol ---------------------------------------------------
 
-    def _receive(self, shard: int, conn):
+    def _receive(self, shard: int, conn, command: str = "?"):
+        deadline = self._deadline
         try:
+            if deadline is not None and not conn.poll(deadline):
+                raise ParallelError(
+                    f"{self.name} shard {shard} sent no reply to {command!r} "
+                    f"within {deadline:.1f}s (worker hung; run with "
+                    f"supervised=True to recover automatically)"
+                )
             reply = conn.recv()
         except (EOFError, OSError) as exc:
             raise ParallelError(
-                f"shard {shard} worker died (pipe closed): {exc}"
+                f"{self.name} shard {shard} worker died awaiting reply to "
+                f"{command!r} (pipe closed): {exc}"
             ) from exc
+        if (
+            not isinstance(reply, tuple)
+            or len(reply) < 2
+            or reply[0] not in ("ok", "error")
+        ):
+            raise ParallelError(
+                f"{self.name} shard {shard} sent a corrupt reply to "
+                f"{command!r}: {str(reply)[:80]!r}"
+            )
         if reply[0] == "error":
-            raise ParallelError(f"shard {shard} worker {reply[1]}: {reply[2]}")
+            raise ParallelError(
+                f"{self.name} shard {shard} worker {reply[1]}: {reply[2]}"
+            )
         return reply[1]
 
     def _request_all(self, message):
@@ -197,10 +235,15 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         complete before the first receive so shards work concurrently."""
         if self._closed:
             raise ParallelError(f"{self.name} engine already closed")
+        if self._supervisor is not None:
+            return self._supervisor.request_all(message)
         targets = range(len(self._connections))
         for shard in targets:
             self._connections[shard].send(message)
-        return {shard: self._receive(shard, self._connections[shard]) for shard in targets}
+        return {
+            shard: self._receive(shard, self._connections[shard], message[0])
+            for shard in targets
+        }
 
     # -- offers ------------------------------------------------------------
 
@@ -260,10 +303,15 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         """Ship each shard its slice of the chunk; sends before receives."""
         if self._closed:
             raise ParallelError(f"{self.name} engine already closed")
+        if self._supervisor is not None:
+            self._supervisor.maybe_heartbeat()
+            return self._supervisor.request_many(
+                {shard: ("batch", items) for shard, items in per_shard.items()}
+            )
         for shard, items in per_shard.items():
             self._connections[shard].send(("batch", items))
         return {
-            shard: self._receive(shard, self._connections[shard])
+            shard: self._receive(shard, self._connections[shard], "batch")
             for shard in per_shard
         }
 
@@ -300,7 +348,7 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             return [total]
         replies = self._request_all(("stats",))
         out: list[RunStats] = []
-        for shard in range(len(self._connections)):
+        for shard in sorted(replies):
             stats = RunStats()
             stats.load_state(replies[shard])
             out.append(stats)
@@ -383,10 +431,31 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         per_shard: dict[int, list[tuple[int, dict[str, object]]]] = defaultdict(list)
         for idx, instance_state in enumerate(components):
             per_shard[self._shard_of[idx]].append((idx, instance_state))
+        if self._supervisor is not None:
+            # ``load`` mutates worker state, so it flows through the
+            # supervisor and lands in the journal like any other write.
+            self._supervisor.request_many(
+                {shard: ("load", items) for shard, items in per_shard.items()}
+            )
+            return
         for shard, items in per_shard.items():
             self._connections[shard].send(("load", items))
         for shard in per_shard:
-            self._receive(shard, self._connections[shard])
+            self._receive(shard, self._connections[shard], "load")
+
+    # -- supervision -------------------------------------------------------
+
+    @property
+    def supervisor(self) -> ShardSupervisor | None:
+        """The live :class:`~repro.supervise.ShardSupervisor`, if any."""
+        return self._supervisor
+
+    def supervision_status(self) -> dict[str, object] | None:
+        """Health summary from the supervisor (``None`` when unsupervised
+        or running in-process) — the substrate of ``/healthz``."""
+        if self._supervisor is None:
+            return None
+        return self._supervisor.status()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -396,8 +465,10 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         if self._closed:
             return
         self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.close()
         if self._finalizer is not None:
-            self._finalizer()  # runs _shutdown_workers exactly once
+            self._finalizer()  # runs shutdown_workers exactly once
 
     def __enter__(self) -> "ParallelSharedMultiUser":
         return self

@@ -14,6 +14,7 @@ stored    —                                        resident post copies
 purge     now                                      None
 state     —                                        [(idx, engine state dict), …]
 load      [(idx, engine state dict), …]            None
+ping      —                                        "pong" (liveness probe)
 stop      —                                        None (worker exits)
 ========  =======================================  ======================
 
@@ -22,14 +23,24 @@ the parent converts errors into :class:`~repro.errors.ParallelError`.
 Posts inside a batch are offered to each named component's engine in
 catalog-index order, so per-engine streams — and therefore every verdict
 and counter — are identical to the serial engine's.
+
+Command dispatch lives in :class:`ShardServer`, which the worker main
+loop, the supervisor's journal replay, and the degraded in-parent mode
+all share — identical semantics via identical code. A
+:class:`~repro.resilience.WorkerFaultPlan` on the spec is executed *only*
+in :func:`shard_worker_main` (the process boundary), after the engines
+applied a batch but before the reply is sent — the window where a crash
+loses acknowledged work unless the supervisor's journal saves it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..authors import AuthorGraph
 from ..core import RunStats, StreamDiversifier, Thresholds, make_diversifier
+from ..resilience.faults import WorkerFaultPlan, execute_worker_fault
+from ..supervise import WorkerProtocol
 
 
 @dataclass(frozen=True)
@@ -40,6 +51,7 @@ class ShardSpec:
     thresholds: Thresholds
     graph: AuthorGraph
     components: tuple[tuple[int, frozenset[int]], ...]
+    faults: WorkerFaultPlan | None = None
 
 
 def build_shard_engines(spec: ShardSpec) -> dict[int, StreamDiversifier]:
@@ -56,17 +68,65 @@ def build_shard_engines(spec: ShardSpec) -> dict[int, StreamDiversifier]:
     }
 
 
+class ShardServer:
+    """Dispatch one shard's commands against its component engines.
+
+    Fault-free by construction: injection happens only at the process
+    boundary in :func:`shard_worker_main`, so the supervisor can run this
+    same class in-parent (degraded mode, journal replay) without a fault
+    plan ever touching the coordinator process.
+    """
+
+    def __init__(self, spec: ShardSpec):
+        self.engines = build_shard_engines(spec)
+
+    def handle(self, message: tuple):
+        """Execute one command tuple; return the reply payload."""
+        command = message[0]
+        engines = self.engines
+        if command == "batch":
+            out = []
+            for seq, post, indices in message[1]:
+                admitted = [idx for idx in indices if engines[idx].offer(post)]
+                out.append((seq, admitted))
+            return out
+        if command == "stats":
+            total = RunStats()
+            for engine in engines.values():
+                total.merge(engine.stats)
+            return total.state_dict()
+        if command == "stored":
+            return sum(engine.stored_copies() for engine in engines.values())
+        if command == "purge":
+            for engine in engines.values():
+                engine.purge(message[1])
+            return None
+        if command == "state":
+            return [(idx, engines[idx].state_dict()) for idx in sorted(engines)]
+        if command == "load":
+            for idx, state in message[1]:
+                engines[idx].load_state(state)
+            return None
+        if command == "ping":
+            return "pong"
+        if command == "stop":
+            return None
+        raise ValueError(f"unknown command {command!r}")
+
+
 def shard_worker_main(conn, spec: ShardSpec) -> None:
     """Worker process entry point: build engines, serve commands, exit on
     ``stop`` or when the parent's end of the pipe closes."""
     try:
-        engines = build_shard_engines(spec)
+        server = ShardServer(spec)
     except BaseException as exc:  # startup failure: report, then die
         try:
             conn.send(("error", type(exc).__name__, str(exc)))
         finally:
             conn.close()
         return
+    faults = spec.faults
+    batches = 0
     conn.send(("ok", "ready"))
     while True:
         try:
@@ -75,41 +135,46 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
             break
         command = message[0]
         try:
-            if command == "batch":
-                out = []
-                for seq, post, indices in message[1]:
-                    admitted = [idx for idx in indices if engines[idx].offer(post)]
-                    out.append((seq, admitted))
-                conn.send(("ok", out))
-            elif command == "stats":
-                total = RunStats()
-                for engine in engines.values():
-                    total.merge(engine.stats)
-                conn.send(("ok", total.state_dict()))
-            elif command == "stored":
-                conn.send(
-                    ("ok", sum(engine.stored_copies() for engine in engines.values()))
-                )
-            elif command == "purge":
-                for engine in engines.values():
-                    engine.purge(message[1])
-                conn.send(("ok", None))
-            elif command == "state":
-                conn.send(
-                    ("ok", [(idx, engines[idx].state_dict()) for idx in sorted(engines)])
-                )
-            elif command == "load":
-                for idx, state in message[1]:
-                    engines[idx].load_state(state)
-                conn.send(("ok", None))
-            elif command == "stop":
-                conn.send(("ok", None))
-                break
-            else:
-                conn.send(("error", "ValueError", f"unknown command {command!r}"))
+            payload = server.handle(message)
         except Exception as exc:
             # Engine errors (StreamOrderError, CheckpointError, …) are
             # reported, not fatal: the worker keeps serving so the parent
             # can still checkpoint or shut down cleanly.
             conn.send(("error", type(exc).__name__, str(exc)))
+            continue
+        if command == "batch" and faults is not None:
+            batches += 1
+            action = faults.action_for(batches)
+            if action is not None and execute_worker_fault(action, faults, conn):
+                continue  # corrupt reply already sent
+        conn.send(("ok", payload))
+        if command == "stop":
+            break
     conn.close()
+
+
+#: Commands that change worker state and therefore must be journalled.
+MUTATING_COMMANDS = frozenset({"batch", "purge", "load"})
+
+
+def _posts_of(message: tuple) -> int:
+    return len(message[1]) if message[0] == "batch" else 0
+
+
+def supervision_protocol() -> WorkerProtocol:
+    """The static-shard family's adapter for :class:`ShardSupervisor`.
+
+    A shard's checkpoint is its ``state`` reply — the positional
+    ``(idx, engine state dict)`` list — and restoring is one ``load`` of
+    that same payload, so checkpoint/restore reuse the exact wire shapes
+    the engine's own :meth:`state_dict`/:meth:`load_state` speak.
+    """
+    return WorkerProtocol(
+        target=shard_worker_main,
+        mutating=MUTATING_COMMANDS,
+        checkpoint_command=("state",),
+        restore_messages=lambda payload: [("load", payload)],
+        make_server=ShardServer,
+        strip_faults=lambda spec: replace(spec, faults=None),
+        posts_of=_posts_of,
+    )

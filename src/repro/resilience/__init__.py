@@ -34,6 +34,7 @@ from .faults import (
     LatencySpikes,
     LineFaultInjector,
     PostFaultInjector,
+    WorkerFaultPlan,
 )
 from .overload import SHED_POLICIES, OverloadController, OverloadCounters
 from .pipeline import IngestEvent, ResilientIngest, ingest_jsonl
@@ -65,6 +66,7 @@ __all__ = [
     "ReorderCounters",
     "ResilientIngest",
     "SHED_POLICIES",
+    "WorkerFaultPlan",
     "check_policy",
     "ingest_jsonl",
     "load_checkpoint",

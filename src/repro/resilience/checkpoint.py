@@ -177,6 +177,9 @@ def restore_engine(
     graph: AuthorGraph | None = None,
     subscriptions: SubscriptionTable | None = None,
     workers: int | None = None,
+    supervised: bool = False,
+    supervision=None,
+    shard_deadline: float | None = 120.0,
 ) -> StreamDiversifier | MultiUserDiversifier:
     """Rebuild an engine from :func:`snapshot_engine` output.
 
@@ -186,7 +189,11 @@ def restore_engine(
     Dynamic snapshots carry their follow relation (the graph is run state
     there) and need only ``subscriptions``; ``workers`` overrides the
     recorded pool size, so a serial checkpoint restores into a parallel
-    engine and vice versa.
+    engine and vice versa. ``supervised``/``supervision``/
+    ``shard_deadline`` configure the restored pool's self-healing exactly
+    as in :func:`~repro.multiuser.make_multiuser` (crash recovery is
+    orthogonal to checkpoint layout, so any snapshot restores into a
+    supervised engine).
     """
     version = snapshot.get("version")
     if version != CHECKPOINT_VERSION:
@@ -215,6 +222,9 @@ def restore_engine(
             friends,
             subscriptions,
             workers=workers if workers is not None else int(snapshot.get("workers", 1)),  # type: ignore[arg-type]
+            supervised=supervised,
+            supervision=supervision,
+            shard_deadline=shard_deadline,
         )
         dynamic.load_state(
             {
@@ -299,7 +309,10 @@ def restore_engine(
             thresholds,
             graph,
             subscriptions,
-            workers=int(snapshot.get("workers", 1)),  # type: ignore[arg-type]
+            workers=workers if workers is not None else int(snapshot.get("workers", 1)),  # type: ignore[arg-type]
+            supervised=supervised,
+            supervision=supervision,
+            shard_deadline=shard_deadline,
         )
         multi.load_state(
             {

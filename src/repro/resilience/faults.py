@@ -21,6 +21,13 @@ Three layers of damage:
 Plus :class:`LatencySpikes`, an engine wrapper injecting service-time
 spikes (seeded busy-wait) to drive the overload controller in benchmarks.
 
+Process-level damage lives in :class:`WorkerFaultPlan`: a picklable plan
+that rides inside a shard worker's startup spec and makes the worker
+*process* crash, hang, corrupt or slow its reply on an exact batch number
+— the adversary for the supervision layer (:mod:`repro.supervise`). The
+plan is executed only inside worker main loops, never by in-parent
+engines, so a fault can never take down the coordinator.
+
 Everything is driven by an explicit ``random.Random(seed)`` — the same
 seed always produces the same fault schedule.
 """
@@ -28,7 +35,9 @@ seed always produces the same fault schedule.
 from __future__ import annotations
 
 import json
+import os
 import random
+import signal
 import time
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field, replace
@@ -279,6 +288,72 @@ class LatencySpikes(StreamDiversifier):
 
     def stored_copies(self) -> int:
         return self.engine.stored_copies()
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Deterministic process-level faults for one shard worker.
+
+    Batch numbers are 1-based and count the ``batch`` commands the worker
+    has served; every fault fires *after* the worker's engines applied the
+    batch but *before* the reply reaches the parent — the window where a
+    naive coordinator loses acknowledged work. ``crash`` kills the process
+    (``os._exit``), ``hang`` stops it replying forever, ``corrupt`` sends
+    a reply that is not a valid protocol tuple, ``slow`` delays the reply
+    by ``slow_seconds`` on every ``slow_every``-th batch.
+
+    By default the plan dies with the process: a supervisor strips it when
+    respawning, so a crash-once worker recovers clean. Set
+    ``survive_restarts=True`` to keep the plan across respawns — the knob
+    that turns a shard into a *poison shard* for restart-budget tests.
+    """
+
+    crash_on_batch: int | None = None
+    hang_on_batch: int | None = None
+    corrupt_on_batch: int | None = None
+    slow_every: int | None = None
+    slow_seconds: float = 0.0
+    survive_restarts: bool = False
+
+    def action_for(self, batch_number: int) -> str | None:
+        """The fault (if any) to execute after serving this batch."""
+        if self.crash_on_batch is not None and batch_number == self.crash_on_batch:
+            return "crash"
+        if self.hang_on_batch is not None and batch_number == self.hang_on_batch:
+            return "hang"
+        if self.corrupt_on_batch is not None and batch_number == self.corrupt_on_batch:
+            return "corrupt"
+        if self.slow_every and batch_number % self.slow_every == 0:
+            return "slow"
+        return None
+
+
+def execute_worker_fault(action: str, plan: WorkerFaultPlan, conn) -> bool:
+    """Run one :class:`WorkerFaultPlan` action inside a worker process.
+
+    Returns ``True`` when the fault already produced a (corrupt) reply and
+    the worker must *not* send the real one. ``crash`` and ``hang`` never
+    return. Call this only from a worker main loop — ``crash`` uses
+    ``os._exit`` and would take the caller's whole process with it.
+    """
+    if action == "crash":
+        try:
+            conn.close()
+        finally:
+            os._exit(17)
+    if action == "hang":
+        # Ignore SIGTERM so only the parent's kill escalation can reap the
+        # process — the worst-case zombie the hardened shutdown must handle.
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        while True:  # pragma: no cover - killed externally
+            time.sleep(3600.0)
+    if action == "slow":
+        time.sleep(plan.slow_seconds)
+        return False
+    if action == "corrupt":
+        conn.send(["garbage", "corrupt-reply-injected"])
+        return True
+    return False
 
 
 @dataclass(slots=True)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlsplit
 
@@ -96,13 +96,31 @@ class DiversificationService:
     ) -> "MetricsServer":
         """Start a daemon-thread HTTP endpoint exposing this service's
         registry (binding one first if the service has none). ``port=0``
-        picks a free port; read it off the returned server's ``address``."""
+        picks a free port; read it off the returned server's ``address``.
+
+        Supervised engines feed ``/healthz``: the probe degrades (while
+        staying 200 — the service still answers, exactly) once any shard
+        has been quarantined into in-parent serial execution."""
         if self.registry is None:
             self.bind_metrics(Registry())
         assert self.registry is not None
-        server = MetricsServer(self.registry, host=host, port=port)
+        server = MetricsServer(
+            self.registry, host=host, port=port, health=self._health_probe
+        )
         server.start()
         return server
+
+    def _health_probe(self) -> str:
+        """``/healthz`` body: ``ok`` or the supervised degradation notice."""
+        status_of = getattr(self.engine, "supervision_status", None)
+        status = status_of() if callable(status_of) else None
+        if status and status.get("degraded_shards"):
+            shards = sorted(status["degraded_shards"])
+            return (
+                f"degraded: shards {shards} quarantined, "
+                "running serial in-parent\n"
+            )
+        return "ok\n"
 
     def ingest(self, post: Post):
         """Process one post, timing the decision. Returns the engine's
@@ -221,15 +239,25 @@ class MetricsServer:
 
     * ``GET /metrics`` — Prometheus text exposition format 0.0.4;
     * ``GET /metrics.json`` — the JSON snapshot;
-    * ``GET /healthz`` — liveness probe (``ok``).
+    * ``GET /healthz`` — liveness probe (``ok``, or whatever the
+      ``health`` callback reports — a supervised engine answers
+      ``degraded: …`` once a poison shard has been quarantined).
 
     Serves from a daemon thread (:class:`ThreadingHTTPServer`), so a
     replay loop stays scrapable while it runs. Metrics collection reads
     live callback values; scraping mid-run observes the current counters.
     """
 
-    def __init__(self, registry: Registry, *, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: Callable[[], str] | None = None,
+    ):
         self.registry = registry
+        self.health = health
         self._host = host
         self._port = port
         self._httpd: ThreadingHTTPServer | None = None
@@ -252,6 +280,7 @@ class MetricsServer:
         if self._httpd is not None:
             return self.address
         registry = self.registry
+        health = self.health
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (stdlib API)
@@ -265,7 +294,8 @@ class MetricsServer:
                     ).encode("utf-8")
                     ctype = "application/json"
                 elif path == "/healthz":
-                    body = b"ok\n"
+                    text = health() if health is not None else "ok\n"
+                    body = text.encode("utf-8")
                     ctype = "text/plain; charset=utf-8"
                 else:
                     self.send_error(404, "unknown path (try /metrics)")

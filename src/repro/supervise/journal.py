@@ -1,0 +1,63 @@
+"""BatchJournal: the bounded write-ahead journal behind crash recovery.
+
+The supervisor's recovery contract — a recovered shard is byte-identical
+to one that never crashed — rests on a simple ledger: every state-mutating
+command a worker *acknowledged* since its last rolling checkpoint is kept
+here, verbatim, in acknowledgement order. Engines are deterministic, so
+
+    restore(last checkpoint) + replay(journal) == current worker state
+
+and re-feeding the journal to a respawned worker (or to an in-parent
+degraded engine) reproduces the lost state exactly.
+
+The journal is *bounded only through the checkpoint cadence*: when
+``full`` turns true the supervisor takes an early checkpoint and clears
+it. Entries are never dropped — dropping one would silently diverge the
+recovered receiver sets, the exact failure mode this layer exists to
+prevent — so ``limit`` caps recovery *cost*, not correctness.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+
+class BatchJournal:
+    """Acknowledged-but-not-yet-checkpointed commands for one shard."""
+
+    __slots__ = ("limit", "_entries", "_posts")
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ConfigurationError(f"journal limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._entries: list[tuple] = []
+        self._posts = 0
+
+    def append(self, message: tuple, *, posts: int = 0) -> None:
+        """Record one acknowledged mutating command (``posts`` is the
+        number of stream posts it carried, for the checkpoint cadence)."""
+        self._entries.append(message)
+        self._posts += posts
+
+    def replay(self) -> tuple[tuple, ...]:
+        """The journalled commands in acknowledgement order."""
+        return tuple(self._entries)
+
+    def clear(self) -> None:
+        """Empty the journal — call only after a successful checkpoint."""
+        self._entries.clear()
+        self._posts = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def posts(self) -> int:
+        """Stream posts covered by the journalled commands."""
+        return self._posts
+
+    @property
+    def full(self) -> bool:
+        """True once the entry cap is reached: checkpoint now."""
+        return len(self._entries) >= self.limit

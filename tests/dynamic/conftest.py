@@ -40,20 +40,21 @@ def friends() -> dict[int, set[int]]:
     return make_friends()
 
 
+# Overlapping interests so the catalog shares instances between users
+# and a single edge flip can straddle several users' component views.
+SUBSCRIPTIONS_SPEC = {
+    100: [1, 2, 3, 4, 10],
+    200: [1, 2, 3, 4, 5, 6],
+    300: [5, 6, 7, 8, 9],
+    400: [7, 8, 9, 10, 11, 12],
+    500: [2, 5, 8, 11],
+    600: [1, 4, 7, 10, 12],
+}
+
+
 @pytest.fixture(scope="module")
 def subscriptions() -> SubscriptionTable:
-    # Overlapping interests so the catalog shares instances between users
-    # and a single edge flip can straddle several users' component views.
-    return SubscriptionTable(
-        {
-            100: [1, 2, 3, 4, 10],
-            200: [1, 2, 3, 4, 5, 6],
-            300: [5, 6, 7, 8, 9],
-            400: [7, 8, 9, 10, 11, 12],
-            500: [2, 5, 8, 11],
-            600: [1, 4, 7, 10, 12],
-        }
-    )
+    return SubscriptionTable(SUBSCRIPTIONS_SPEC)
 
 
 @pytest.fixture(scope="module")

@@ -35,20 +35,21 @@ def graph() -> AuthorGraph:
     return AuthorGraph(nodes=AUTHORS, edges=EDGES)
 
 
+# Overlapping interests: components {1..4}, {5,6}, {7,8,9}, {10} and
+# {17..20} are each shared by at least two users.
+SUBSCRIPTIONS_SPEC = {
+    100: [1, 2, 3, 4, 10, 13],
+    200: [1, 2, 3, 4, 5, 6],
+    300: [5, 6, 7, 8, 9, 14],
+    400: [7, 8, 9, 17, 18, 19, 20],
+    500: [10, 11, 12, 15, 16],
+    600: [1, 2, 3, 4, 17, 18, 19, 20],
+}
+
+
 @pytest.fixture(scope="module")
 def subscriptions() -> SubscriptionTable:
-    # Overlapping interests: components {1..4}, {5,6}, {7,8,9}, {10} and
-    # {17..20} are each shared by at least two users.
-    return SubscriptionTable(
-        {
-            100: [1, 2, 3, 4, 10, 13],
-            200: [1, 2, 3, 4, 5, 6],
-            300: [5, 6, 7, 8, 9, 14],
-            400: [7, 8, 9, 17, 18, 19, 20],
-            500: [10, 11, 12, 15, 16],
-            600: [1, 2, 3, 4, 17, 18, 19, 20],
-        }
-    )
+    return SubscriptionTable(SUBSCRIPTIONS_SPEC)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,68 @@
+"""Fixtures for the supervision suite.
+
+The same deterministic multi-component world as the parallel suite (ten
+components, six overlapping users, a seeded admit/cover stream), plus a
+``fast_config`` helper that shrinks every supervision timescale — backoff
+in the low milliseconds, tight checkpoint cadence, zero jitter — so chaos
+tests recover in well under a second while exercising the same code paths
+as the production-shaped defaults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import Thresholds
+from repro.multiuser import SubscriptionTable
+from repro.supervise import SupervisionConfig
+
+from ..parallel.conftest import AUTHORS, EDGES, SUBSCRIPTIONS_SPEC, chunked, make_posts
+
+__all__ = ["chunked", "make_posts", "fast_config", "run_batches", "ALGORITHMS"]
+
+ALGORITHMS = ("unibin", "neighborbin", "cliquebin", "indexed_unibin")
+
+
+@pytest.fixture(scope="module")
+def graph() -> AuthorGraph:
+    return AuthorGraph(nodes=AUTHORS, edges=EDGES)
+
+
+@pytest.fixture(scope="module")
+def subscriptions() -> SubscriptionTable:
+    return SubscriptionTable(SUBSCRIPTIONS_SPEC)
+
+
+@pytest.fixture(scope="module")
+def thresholds() -> Thresholds:
+    return Thresholds(lambda_c=8, lambda_t=40.0, lambda_a=0.5)
+
+
+@pytest.fixture(scope="module")
+def posts():
+    return make_posts()
+
+
+def fast_config(**overrides) -> SupervisionConfig:
+    """Test-speed supervision: instant backoff, tight checkpoint cadence."""
+    settings = dict(
+        heartbeat_interval=0.05,
+        deadline=5.0,
+        max_restarts=3,
+        backoff_base=0.001,
+        backoff_cap=0.01,
+        jitter=0.0,
+        checkpoint_every=48,
+        journal_limit=8,
+    )
+    settings.update(overrides)
+    return SupervisionConfig(**settings)
+
+
+def run_batches(engine, posts, batch: int = 32):
+    """Feed the stream in chunks, collecting per-post receiver sets."""
+    received = []
+    for chunk in chunked(posts, batch):
+        received.extend(engine.offer_batch(chunk))
+    return received

@@ -1,0 +1,157 @@
+"""The --supervise family of CLI flags.
+
+A supervised run must produce the same receiver trace as the serial
+engine, print its supervision accounting, and flow through checkpoint
+resume; the flags must be rejected outside multi-user sharded mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.io import write_graph_json, write_posts_jsonl, write_subscriptions_json
+from repro.multiuser import SharedComponentMultiUser
+
+from .conftest import make_posts
+
+
+@pytest.fixture()
+def world_files(tmp_path, graph, subscriptions):
+    posts = make_posts(n=120, seed=5)
+    posts_path = tmp_path / "posts.jsonl"
+    graph_path = tmp_path / "graph.json"
+    subs_path = tmp_path / "subscriptions.json"
+    write_posts_jsonl(posts, posts_path)
+    write_graph_json(graph, graph_path)
+    write_subscriptions_json(subscriptions, subs_path)
+    return posts, posts_path, graph_path, subs_path
+
+
+def _lambda_args(thresholds):
+    return [
+        "--lambda-c", str(thresholds.lambda_c),
+        "--lambda-t", str(thresholds.lambda_t),
+        "--lambda-a", str(thresholds.lambda_a),
+    ]
+
+
+def _receivers_by_post(path):
+    import json
+
+    out = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            out[record["post_id"]] = sorted(record["receivers"])
+    return out
+
+
+class TestSupervisedCli:
+    def test_supervised_run_matches_serial_engine(
+        self, tmp_path, world_files, graph, subscriptions, thresholds, capsys
+    ):
+        posts, posts_path, graph_path, subs_path = world_files
+        out_path = tmp_path / "receivers.jsonl"
+        rc = main(
+            [
+                "diversify",
+                "--posts", str(posts_path),
+                "--graph", str(graph_path),
+                "--subscriptions", str(subs_path),
+                "--workers", "2",
+                "--supervise",
+                "--heartbeat-interval", "0.5",
+                "--max-restarts", "2",
+                "--shard-deadline", "20",
+                "--output", str(out_path),
+                *_lambda_args(thresholds),
+            ]
+        )
+        assert rc == 0
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = {
+            post.post_id: sorted(receivers)
+            for post in posts
+            if (receivers := serial.offer(post))
+        }
+        assert _receivers_by_post(out_path) == expected
+        captured = capsys.readouterr()
+        assert "supervision: 2/2 shards live" in captured.err
+
+    def test_supervised_checkpoint_resume_round_trip(
+        self, tmp_path, world_files, graph, subscriptions, thresholds
+    ):
+        posts, posts_path, graph_path, subs_path = world_files
+        half = len(posts) // 2
+        first_path = tmp_path / "first.jsonl"
+        rest_path = tmp_path / "rest.jsonl"
+        write_posts_jsonl(posts[:half], first_path)
+        write_posts_jsonl(posts[half:], rest_path)
+        ckpt = tmp_path / "ckpt.json"
+        common = [
+            "--graph", str(graph_path),
+            "--subscriptions", str(subs_path),
+            "--workers", "2",
+            "--supervise",
+            *_lambda_args(thresholds),
+        ]
+        assert main(
+            ["diversify", "--posts", str(first_path), *common,
+             "--checkpoint-out", str(ckpt)]
+        ) == 0
+        out_path = tmp_path / "resumed.jsonl"
+        assert main(
+            ["diversify", "--posts", str(rest_path), *common,
+             "--resume-from", str(ckpt), "--output", str(out_path)]
+        ) == 0
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = {
+            post.post_id: sorted(receivers)
+            for i, post in enumerate(posts)
+            if (receivers := serial.offer(post)) and i >= half
+        }
+        assert _receivers_by_post(out_path) == expected
+
+    def test_supervise_requires_subscriptions(self, world_files):
+        _, posts_path, _, _ = world_files
+        assert main(
+            ["diversify", "--posts", str(posts_path), "--supervise"]
+        ) == 2
+
+    def test_supervise_rejected_in_dynamic_single_user_mode(
+        self, tmp_path, world_files
+    ):
+        import json
+
+        _, _, _, _ = world_files
+        events_path = tmp_path / "events.jsonl"
+        events_path.write_text("", encoding="utf-8")
+        friends_path = tmp_path / "friends.json"
+        friends_path.write_text(json.dumps({"1": [2]}), encoding="utf-8")
+        rc = main(
+            [
+                "diversify",
+                "--events", str(events_path),
+                "--friends", str(friends_path),
+                "--supervise",
+            ]
+        )
+        assert rc == 2
+
+    def test_unsupervised_run_prints_no_supervision_line(
+        self, tmp_path, world_files, thresholds, capsys
+    ):
+        _, posts_path, graph_path, subs_path = world_files
+        rc = main(
+            [
+                "diversify",
+                "--posts", str(posts_path),
+                "--graph", str(graph_path),
+                "--subscriptions", str(subs_path),
+                "--workers", "2",
+                *_lambda_args(thresholds),
+            ]
+        )
+        assert rc == 0
+        assert "supervision:" not in capsys.readouterr().err

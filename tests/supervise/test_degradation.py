@@ -1,0 +1,118 @@
+"""Poison shards: exhaust the restart budget, degrade, never be wrong.
+
+A shard whose fault survives respawns (``survive_restarts=True``) crashes
+its replacement workers too; once the budget is spent the supervisor must
+rebuild that shard's engines in-parent and serve them serially — with
+receiver sets, stats and checkpoints still byte-identical to the
+fault-free serial run.
+"""
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.multiuser import SharedComponentMultiUser
+from repro.parallel import ParallelSharedMultiUser
+from repro.resilience import WorkerFaultPlan, snapshot_engine
+
+from .conftest import ALGORITHMS, fast_config, run_batches
+
+POISON = WorkerFaultPlan(crash_on_batch=2, survive_restarts=True)
+
+
+def poisoned_engine(algorithm, thresholds, graph, subscriptions, *, max_restarts=2):
+    return ParallelSharedMultiUser(
+        algorithm,
+        thresholds,
+        graph,
+        subscriptions,
+        workers=3,
+        supervised=True,
+        supervision=fast_config(max_restarts=max_restarts),
+        fault_plans={1: POISON},
+    )
+
+
+class TestDegradation:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_poison_shard_degrades_and_stays_exact(
+        self, graph, subscriptions, thresholds, posts, algorithm
+    ):
+        serial = SharedComponentMultiUser(algorithm, thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        with poisoned_engine(algorithm, thresholds, graph, subscriptions) as engine:
+            received = run_batches(engine, posts)
+            supervisor = engine.supervisor
+            assert supervisor.degraded_shards() == (1,)
+            assert supervisor.is_degraded(1)
+            assert supervisor.restarts_of(1) == 2  # full budget spent
+            assert supervisor.degradations == 1
+            assert not supervisor.is_live(1)
+            assert supervisor.is_live(0) and supervisor.is_live(2)
+            assert received == expected
+            assert (
+                engine.aggregate_stats().snapshot()
+                == serial.aggregate_stats().snapshot()
+            )
+            assert engine.stored_copies() == serial.stored_copies()
+            assert (
+                snapshot_engine(engine)["components"]
+                == snapshot_engine(serial)["components"]
+            )
+
+    def test_zero_budget_degrades_without_respawning(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        with poisoned_engine(
+            "unibin", thresholds, graph, subscriptions, max_restarts=0
+        ) as engine:
+            received = run_batches(engine, posts)
+            assert engine.supervisor.restarts_total == 0
+            assert engine.supervisor.degradations == 1
+            assert received == expected
+
+    def test_degraded_shard_keeps_serving_writes(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        """purge and load flow through the in-parent server like any
+        other command — and journaling is off (there is no worker whose
+        loss could need a replay)."""
+        with poisoned_engine("unibin", thresholds, graph, subscriptions) as engine:
+            run_batches(engine, posts[:96])
+            assert engine.supervisor.is_degraded(1)
+            engine.purge(posts[95].timestamp + 1000.0)
+            assert engine.supervisor.journal_depth(1) == 0
+            state = engine.state_dict()
+            engine.load_state(state)
+            assert engine.state_dict() == state
+
+    def test_status_reports_degradation(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        with poisoned_engine("unibin", thresholds, graph, subscriptions) as engine:
+            run_batches(engine, posts[:96])
+            status = engine.supervision_status()
+            assert status["degraded_shards"] == [1]
+            assert status["live_shards"] == 2
+            assert status["shards"] == 3
+            assert status["degradations"] == 1
+            assert status["restarts"] == 2
+
+    def test_unsupervised_engine_reports_no_status(
+        self, graph, subscriptions, thresholds
+    ):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            assert engine.supervisor is None
+            assert engine.supervision_status() is None
+
+    def test_close_after_degradation_leaves_no_processes(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        engine = poisoned_engine("unibin", thresholds, graph, subscriptions)
+        run_batches(engine, posts[:96])
+        engine.close()
+        with pytest.raises(ParallelError, match="already closed"):
+            engine.offer_batch(posts[:4])

@@ -1,0 +1,119 @@
+"""Supervised dynamic pools: crash recovery under live topology churn.
+
+The dynamic engine journals installs, patches and batches alike, and its
+checkpoints carry each instance's subgraph — so a worker lost *between*
+two follow events must come back with the graph as it stood, then replay
+the churn. The oracle is the same engine run with ``workers=1`` (whose
+exactness the dynamic suite already pins to the rebuild baseline).
+"""
+
+import pytest
+
+from repro.dynamic import DynamicMultiUser
+from repro.multiuser import SubscriptionTable
+from repro.resilience import WorkerFaultPlan
+
+from ..dynamic.conftest import SUBSCRIPTIONS_SPEC, make_events, make_friends
+from .conftest import fast_config
+
+
+@pytest.fixture(scope="module")
+def events():
+    return make_events()
+
+
+@pytest.fixture(scope="module")
+def subscriptions() -> SubscriptionTable:
+    # The dynamic fixture world (authors 1..12 over the interest pool),
+    # not this package's static parallel world.
+    return SubscriptionTable(SUBSCRIPTIONS_SPEC)
+
+
+def run_against_oracle(engine, oracle, events):
+    for i, event in enumerate(events):
+        got = engine.apply(event)
+        expected = oracle.apply(event)
+        assert got == expected, (
+            f"receivers diverged at event {i} ({type(event).__name__}): "
+            f"{sorted(got or ())} != {sorted(expected or ())}"
+        )
+
+
+class TestDynamicRecovery:
+    @pytest.mark.parametrize("algorithm", ("unibin", "cliquebin"))
+    def test_crash_and_corrupt_recovery_under_churn(
+        self, thresholds, subscriptions, events, algorithm
+    ):
+        oracle = DynamicMultiUser(
+            algorithm, thresholds, make_friends(), subscriptions
+        )
+        with DynamicMultiUser(
+            algorithm,
+            thresholds,
+            make_friends(),
+            subscriptions,
+            workers=3,
+            supervised=True,
+            supervision=fast_config(),
+            fault_plans={
+                0: WorkerFaultPlan(crash_on_batch=5),
+                2: WorkerFaultPlan(corrupt_on_batch=9),
+            },
+        ) as engine:
+            run_against_oracle(engine, oracle, events)
+            supervisor = engine.supervisor
+            assert supervisor.restarts_total == 2
+            assert supervisor.degraded_shards() == ()
+            assert (
+                engine.aggregate_stats().snapshot()
+                == oracle.aggregate_stats().snapshot()
+            )
+            assert engine.migrations == oracle.migrations
+            assert engine.graph_version == oracle.graph_version
+
+    def test_poison_worker_degrades_and_churn_stays_exact(
+        self, thresholds, subscriptions, events
+    ):
+        oracle = DynamicMultiUser(
+            "unibin", thresholds, make_friends(), subscriptions
+        )
+        with DynamicMultiUser(
+            "unibin",
+            thresholds,
+            make_friends(),
+            subscriptions,
+            workers=2,
+            supervised=True,
+            supervision=fast_config(max_restarts=1),
+            fault_plans={
+                1: WorkerFaultPlan(crash_on_batch=4, survive_restarts=True)
+            },
+        ) as engine:
+            run_against_oracle(engine, oracle, events)
+            supervisor = engine.supervisor
+            assert supervisor.degraded_shards() == (1,)
+            assert supervisor.restarts_total == 1
+            assert (
+                engine.aggregate_stats().snapshot()
+                == oracle.aggregate_stats().snapshot()
+            )
+
+    def test_checkpoints_roll_during_churn(
+        self, thresholds, subscriptions, events
+    ):
+        with DynamicMultiUser(
+            "unibin",
+            thresholds,
+            make_friends(),
+            subscriptions,
+            workers=2,
+            supervised=True,
+            supervision=fast_config(checkpoint_every=20, journal_limit=16),
+        ) as engine:
+            for event in events:
+                engine.apply(event)
+            supervisor = engine.supervisor
+            assert supervisor.checkpoints_taken > 0
+            # Every journal sits below the forced-checkpoint bound.
+            for index in range(supervisor.shard_count):
+                assert supervisor.journal_depth(index) < 16

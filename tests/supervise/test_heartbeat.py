@@ -1,0 +1,89 @@
+"""Heartbeats: liveness detection that rides on traffic, not threads.
+
+``maybe_heartbeat`` pings shards idle past the interval; a worker that
+died *between* requests (no in-flight command to expose it) must be
+found, respawned and restored before the next batch touches it.
+"""
+
+import time
+
+from repro.multiuser import SharedComponentMultiUser
+from repro.parallel import ParallelSharedMultiUser
+
+from .conftest import fast_config, run_batches
+
+
+def supervised_engine(graph, subscriptions, thresholds, **overrides):
+    return ParallelSharedMultiUser(
+        "unibin",
+        thresholds,
+        graph,
+        subscriptions,
+        workers=3,
+        supervised=True,
+        supervision=fast_config(**overrides),
+    )
+
+
+class TestHeartbeat:
+    def test_forced_heartbeat_pings_every_live_shard(
+        self, graph, subscriptions, thresholds
+    ):
+        with supervised_engine(graph, subscriptions, thresholds) as engine:
+            supervisor = engine.supervisor
+            supervisor.maybe_heartbeat(force=True)
+            assert supervisor.heartbeats_sent == 3
+            assert supervisor.heartbeats_missed == 0
+
+    def test_heartbeat_respects_interval(self, graph, subscriptions, thresholds):
+        with supervised_engine(
+            graph, subscriptions, thresholds, heartbeat_interval=3600.0
+        ) as engine:
+            supervisor = engine.supervisor
+            supervisor.maybe_heartbeat()  # inside the interval: no pings
+            assert supervisor.heartbeats_sent == 0
+
+    def test_silent_worker_death_is_caught_and_healed(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        with supervised_engine(graph, subscriptions, thresholds) as engine:
+            supervisor = engine.supervisor
+            # Kill a worker out-of-band: no request is in flight, so only
+            # the heartbeat can notice.
+            victim = supervisor._shards[2].process
+            victim.kill()
+            victim.join(timeout=5.0)
+            supervisor.maybe_heartbeat(force=True)
+            assert supervisor.heartbeats_missed == 1
+            assert supervisor.restarts_total == 1
+            assert supervisor.is_live(2)
+            assert run_batches(engine, posts) == expected
+            assert (
+                engine.aggregate_stats().snapshot()
+                == serial.aggregate_stats().snapshot()
+            )
+
+    def test_mid_stream_kill_heals_via_journal(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        """Kill after acknowledged work exists: the heartbeat recovery
+        must restore checkpoint + journal, keeping the stream exact."""
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        with supervised_engine(graph, subscriptions, thresholds) as engine:
+            supervisor = engine.supervisor
+            received = run_batches(engine, posts[:96])
+            victim = supervisor._shards[0].process
+            victim.kill()
+            victim.join(timeout=5.0)
+            time.sleep(0.06)  # fall idle past the heartbeat interval
+            supervisor.maybe_heartbeat()
+            assert supervisor.restarts_total == 1
+            received.extend(run_batches(engine, posts[96:]))
+            assert received == expected
+            assert (
+                engine.aggregate_stats().snapshot()
+                == serial.aggregate_stats().snapshot()
+            )

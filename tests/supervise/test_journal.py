@@ -1,0 +1,71 @@
+"""BatchJournal and SupervisionConfig: the bookkeeping under recovery."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.supervise import BatchJournal, SupervisionConfig
+
+
+class TestBatchJournal:
+    def test_replay_preserves_acknowledgement_order(self):
+        journal = BatchJournal(limit=4)
+        messages = [("batch", [i]) for i in range(3)]
+        for message in messages:
+            journal.append(message, posts=1)
+        assert journal.replay() == tuple(messages)
+        assert len(journal) == 3
+        assert journal.posts == 3
+
+    def test_full_at_limit_but_entries_never_dropped(self):
+        journal = BatchJournal(limit=2)
+        assert not journal.full
+        for i in range(5):
+            journal.append(("batch", [i]))
+        # Dropping an entry would diverge recovered state; the limit only
+        # signals "checkpoint now", it never truncates.
+        assert journal.full
+        assert len(journal) == 5
+        assert [m[1][0] for m in journal.replay()] == [0, 1, 2, 3, 4]
+
+    def test_clear_resets_entries_and_post_count(self):
+        journal = BatchJournal(limit=2)
+        journal.append(("batch", [1, 2]), posts=2)
+        journal.clear()
+        assert len(journal) == 0
+        assert journal.posts == 0
+        assert not journal.full
+        assert journal.replay() == ()
+
+    def test_non_post_commands_count_zero_posts(self):
+        journal = BatchJournal(limit=8)
+        journal.append(("purge", 10.0))
+        journal.append(("batch", [1]), posts=1)
+        assert journal.posts == 1
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ConfigurationError):
+            BatchJournal(limit=0)
+
+
+class TestSupervisionConfig:
+    def test_defaults_are_valid(self):
+        config = SupervisionConfig()
+        assert config.max_restarts == 3
+        assert config.deadline > config.heartbeat_interval
+
+    @pytest.mark.parametrize(
+        "overrides",
+        (
+            {"heartbeat_interval": 0.0},
+            {"deadline": 0.0},
+            {"max_restarts": -1},
+            {"backoff_base": -0.1},
+            {"backoff_base": 1.0, "backoff_cap": 0.5},
+            {"jitter": -0.5},
+            {"checkpoint_every": 0},
+            {"journal_limit": 0},
+        ),
+    )
+    def test_rejects_invalid_knobs(self, overrides):
+        with pytest.raises(ConfigurationError):
+            SupervisionConfig(**overrides)

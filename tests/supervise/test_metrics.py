@@ -1,0 +1,152 @@
+"""Supervision observability: metric families and the /healthz probe.
+
+Counters must equal the supervisor's own accounting, per-shard gauges
+must flip when a shard degrades, and a scraped ``/healthz`` must name the
+quarantined shards while the service keeps answering exactly.
+"""
+
+import urllib.request
+
+from repro.obs import Registry, snapshot
+from repro.parallel import ParallelSharedMultiUser
+from repro.resilience import WorkerFaultPlan
+from repro.service import DiversificationService
+
+from .conftest import fast_config, run_batches
+
+
+def supervised_engine(graph, subscriptions, thresholds, *, plans=None, **overrides):
+    return ParallelSharedMultiUser(
+        "unibin",
+        thresholds,
+        graph,
+        subscriptions,
+        workers=2,
+        supervised=True,
+        supervision=fast_config(**overrides),
+        fault_plans=plans,
+    )
+
+
+class TestSupervisionMetrics:
+    def test_counters_track_the_supervisor(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        registry = Registry()
+        with supervised_engine(
+            graph,
+            subscriptions,
+            thresholds,
+            plans={0: WorkerFaultPlan(crash_on_batch=2)},
+        ) as engine:
+            engine.bind_metrics(registry)
+            run_batches(engine, posts)
+            supervisor = engine.supervisor
+            name = engine.name
+            assert registry.value(
+                "repro_supervision_restarts_total", engine=name
+            ) == supervisor.restarts_total == 1
+            assert registry.value(
+                "repro_supervision_checkpoints_total", engine=name
+            ) == supervisor.checkpoints_taken
+            assert registry.value(
+                "repro_supervision_replayed_commands_total", engine=name
+            ) == supervisor.replayed_commands
+            assert registry.value(
+                "repro_supervision_degradations_total", engine=name
+            ) == 0
+            assert registry.value(
+                "repro_shard_restarts_total", engine=name, shard=0
+            ) == 1
+            assert registry.value(
+                "repro_shard_live", engine=name, shard=0
+            ) == 1
+            assert registry.value(
+                "repro_shard_degraded", engine=name, shard=0
+            ) == 0
+
+    def test_degradation_flips_the_shard_gauges(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        registry = Registry()
+        with supervised_engine(
+            graph,
+            subscriptions,
+            thresholds,
+            plans={1: WorkerFaultPlan(crash_on_batch=2, survive_restarts=True)},
+            max_restarts=1,
+        ) as engine:
+            engine.bind_metrics(registry)
+            run_batches(engine, posts)
+            name = engine.name
+            assert engine.supervisor.is_degraded(1)
+            assert registry.value(
+                "repro_supervision_degradations_total", engine=name
+            ) == 1
+            assert registry.value("repro_shard_degraded", engine=name, shard=1) == 1
+            assert registry.value("repro_shard_live", engine=name, shard=1) == 0
+            assert registry.value("repro_shard_live", engine=name, shard=0) == 1
+
+    def test_histogram_families_are_exported(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        registry = Registry()
+        with supervised_engine(
+            graph,
+            subscriptions,
+            thresholds,
+            plans={0: WorkerFaultPlan(crash_on_batch=2)},
+        ) as engine:
+            engine.bind_metrics(registry)
+            run_batches(engine, posts)
+            names = {metric["name"] for metric in snapshot(registry)["metrics"]}
+            assert "repro_supervision_recovery_seconds" in names
+            assert "repro_supervision_journal_depth" in names
+            assert "repro_supervision_heartbeats_total" in names
+            assert "repro_supervision_missed_heartbeats_total" in names
+
+    def test_unsupervised_engine_exports_no_supervision_family(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        registry = Registry()
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            engine.bind_metrics(registry)
+            run_batches(engine, posts[:32])
+            names = {metric["name"] for metric in snapshot(registry)["metrics"]}
+            assert not any(n.startswith("repro_supervision_") for n in names)
+
+
+class TestHealthProbe:
+    def test_healthz_reports_ok_then_degraded(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        with supervised_engine(
+            graph,
+            subscriptions,
+            thresholds,
+            plans={1: WorkerFaultPlan(crash_on_batch=2, survive_restarts=True)},
+            max_restarts=1,
+        ) as engine:
+            service = DiversificationService(engine)
+            server = service.serve_metrics()
+            try:
+                with urllib.request.urlopen(server.url + "/healthz") as reply:
+                    assert reply.read() == b"ok\n"
+                run_batches(engine, posts)
+                assert engine.supervisor.is_degraded(1)
+                with urllib.request.urlopen(server.url + "/healthz") as reply:
+                    body = reply.read().decode("utf-8")
+                assert body == (
+                    "degraded: shards [1] quarantined, running serial in-parent\n"
+                )
+            finally:
+                server.stop()
+
+    def test_unsupervised_service_stays_ok(self, graph, subscriptions, thresholds):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        ) as engine:
+            service = DiversificationService(engine)
+            assert service._health_probe() == "ok\n"

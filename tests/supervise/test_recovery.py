@@ -1,0 +1,195 @@
+"""The recovery acceptance bar: a crash must be *invisible*.
+
+Every test injects a worker fault mid-stream into a supervised pool and
+pits the result against the serial shared-component oracle: per-post
+receiver sets, every RunStats counter, resident copies, and the
+checkpoint snapshot must all be byte-identical to a run where nothing
+ever failed.
+"""
+
+import pytest
+
+from repro.multiuser import SharedComponentMultiUser
+from repro.parallel import ParallelSharedMultiUser
+from repro.resilience import WorkerFaultPlan, snapshot_engine
+
+from .conftest import ALGORITHMS, fast_config, run_batches
+
+
+def serial_oracle(algorithm, thresholds, graph, subscriptions, posts):
+    serial = SharedComponentMultiUser(algorithm, thresholds, graph, subscriptions)
+    expected = [serial.offer(post) for post in posts]
+    return serial, expected
+
+
+def supervised(algorithm, thresholds, graph, subscriptions, *, plans, config=None):
+    return ParallelSharedMultiUser(
+        algorithm,
+        thresholds,
+        graph,
+        subscriptions,
+        workers=3,
+        supervised=True,
+        supervision=config if config is not None else fast_config(),
+        fault_plans=plans,
+    )
+
+
+def assert_equivalent(engine, serial, received, expected):
+    assert received == expected
+    assert engine.aggregate_stats().snapshot() == serial.aggregate_stats().snapshot()
+    assert engine.stored_copies() == serial.stored_copies()
+    assert (
+        snapshot_engine(engine)["components"]
+        == snapshot_engine(serial)["components"]
+    )
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_crash_mid_stream_is_invisible(
+        self, graph, subscriptions, thresholds, posts, algorithm
+    ):
+        serial, expected = serial_oracle(
+            algorithm, thresholds, graph, subscriptions, posts
+        )
+        with supervised(
+            algorithm,
+            thresholds,
+            graph,
+            subscriptions,
+            plans={0: WorkerFaultPlan(crash_on_batch=3)},
+        ) as engine:
+            received = run_batches(engine, posts)
+            assert engine.supervisor.restarts_total == 1
+            assert engine.supervisor.restarts_of(0) == 1
+            assert engine.supervisor.degraded_shards() == ()
+            assert_equivalent(engine, serial, received, expected)
+
+    @pytest.mark.parametrize("workers", (2, 3))
+    def test_worker_count_is_still_invisible_under_crashes(
+        self, graph, subscriptions, thresholds, posts, workers
+    ):
+        serial, expected = serial_oracle(
+            "unibin", thresholds, graph, subscriptions, posts
+        )
+        with ParallelSharedMultiUser(
+            "unibin",
+            thresholds,
+            graph,
+            subscriptions,
+            workers=workers,
+            supervised=True,
+            supervision=fast_config(),
+            fault_plans={i: WorkerFaultPlan(crash_on_batch=2 + i) for i in range(workers)},
+        ) as engine:
+            received = run_batches(engine, posts)
+            assert engine.supervisor.restarts_total == workers
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_journal_replay_rebuilds_unchecked_pointed_state(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        """With the checkpoint cadence pushed out of reach, recovery must
+        come entirely from replaying the journalled batches."""
+        serial, expected = serial_oracle(
+            "cliquebin", thresholds, graph, subscriptions, posts
+        )
+        config = fast_config(checkpoint_every=10_000, journal_limit=500)
+        with supervised(
+            "cliquebin",
+            thresholds,
+            graph,
+            subscriptions,
+            plans={0: WorkerFaultPlan(crash_on_batch=4)},
+            config=config,
+        ) as engine:
+            received = run_batches(engine, posts)
+            # Three acknowledged batches preceded the crash; all three
+            # must have been replayed into the replacement worker.
+            assert engine.supervisor.replayed_commands == 3
+            assert engine.supervisor.checkpoints_taken == 0
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_recovery_latency_is_recorded(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        with supervised(
+            "unibin",
+            thresholds,
+            graph,
+            subscriptions,
+            plans={1: WorkerFaultPlan(crash_on_batch=2)},
+        ) as engine:
+            run_batches(engine, posts)
+            latencies = engine.supervisor.recovery_latencies
+            assert len(latencies) == 1
+            assert latencies[0] > 0
+
+
+class TestHangRecovery:
+    def test_hung_worker_is_killed_and_replaced(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial, expected = serial_oracle(
+            "unibin", thresholds, graph, subscriptions, posts
+        )
+        with supervised(
+            "unibin",
+            thresholds,
+            graph,
+            subscriptions,
+            plans={0: WorkerFaultPlan(hang_on_batch=2)},
+            config=fast_config(deadline=0.4),
+        ) as engine:
+            received = run_batches(engine, posts)
+            assert engine.supervisor.restarts_total == 1
+            assert engine.supervisor.is_live(0)
+            assert_equivalent(engine, serial, received, expected)
+
+
+class TestCorruptReplyRecovery:
+    @pytest.mark.parametrize("algorithm", ("neighborbin", "indexed_unibin"))
+    def test_corrupt_reply_triggers_exact_recovery(
+        self, graph, subscriptions, thresholds, posts, algorithm
+    ):
+        serial, expected = serial_oracle(
+            algorithm, thresholds, graph, subscriptions, posts
+        )
+        with supervised(
+            algorithm,
+            thresholds,
+            graph,
+            subscriptions,
+            plans={2: WorkerFaultPlan(corrupt_on_batch=3)},
+        ) as engine:
+            received = run_batches(engine, posts)
+            assert engine.supervisor.restarts_total == 1
+            assert_equivalent(engine, serial, received, expected)
+
+
+class TestCheckpointInteroperability:
+    def test_recovered_engine_checkpoint_restores_into_serial(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        """A snapshot taken after a crash+recovery must restore into the
+        serial engine and continue identically — recovery leaves no scars
+        in persisted state."""
+        from repro.resilience import restore_engine
+
+        serial, _ = serial_oracle(
+            "unibin", thresholds, graph, subscriptions, posts[:160]
+        )
+        with supervised(
+            "unibin",
+            thresholds,
+            graph,
+            subscriptions,
+            plans={0: WorkerFaultPlan(crash_on_batch=2)},
+        ) as engine:
+            run_batches(engine, posts[:160])
+            snap = snapshot_engine(engine)
+        snap["engine"] = "s_unibin"  # restore the shared serial flavour
+        resumed = restore_engine(snap, graph=graph, subscriptions=subscriptions)
+        for post in posts[160:]:
+            assert resumed.offer(post) == serial.offer(post)

@@ -1,0 +1,115 @@
+"""Unsupervised failure surface: fail fast, name the culprit, leave no
+zombies.
+
+Without a supervisor the sharded engine must not hang forever on a dead
+or wedged worker: every pipe ``recv`` carries the ``shard_deadline``, and
+crash / hang / corrupt-reply all raise :class:`~repro.errors.
+ParallelError` naming the shard and the in-flight command. ``close()``
+must reap every worker afterwards — including one that ignores both
+``stop`` and SIGTERM.
+"""
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.multiuser import SharedComponentMultiUser
+from repro.parallel import ParallelSharedMultiUser
+from repro.resilience import WorkerFaultPlan
+
+from .conftest import run_batches
+
+
+class TestWorkerFaultPlan:
+    def test_action_schedule(self):
+        plan = WorkerFaultPlan(crash_on_batch=2, slow_every=3, slow_seconds=0.01)
+        assert plan.action_for(1) is None
+        assert plan.action_for(2) == "crash"
+        assert plan.action_for(3) == "slow"
+        assert plan.action_for(6) == "slow"
+
+    def test_one_shot_faults_fire_once(self):
+        plan = WorkerFaultPlan(hang_on_batch=1)
+        assert plan.action_for(1) == "hang"
+        assert plan.action_for(2) is None
+
+
+class TestUnsupervisedFailFast:
+    def _engine(self, graph, subscriptions, thresholds, plan, **kwargs):
+        return ParallelSharedMultiUser(
+            "unibin",
+            thresholds,
+            graph,
+            subscriptions,
+            workers=2,
+            fault_plans={0: plan},
+            **kwargs,
+        )
+
+    def test_crashed_worker_raises_naming_shard_and_command(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        with self._engine(
+            graph, subscriptions, thresholds, WorkerFaultPlan(crash_on_batch=1)
+        ) as engine:
+            with pytest.raises(ParallelError, match=r"shard 0 worker died.*'batch'"):
+                run_batches(engine, posts)
+        assert not any(p.is_alive() for p in engine._processes)
+
+    def test_hung_worker_breaches_deadline_instead_of_blocking(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        engine = self._engine(
+            graph,
+            subscriptions,
+            thresholds,
+            WorkerFaultPlan(hang_on_batch=1),
+            shard_deadline=0.4,
+        )
+        try:
+            with pytest.raises(ParallelError, match=r"no reply to 'batch'"):
+                run_batches(engine, posts)
+        finally:
+            engine.close()
+        # The hang injector ignores SIGTERM, so this asserts the
+        # terminate -> kill escalation actually escalated.
+        assert not any(p.is_alive() for p in engine._processes)
+
+    def test_corrupt_reply_is_a_failure_not_a_crash(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        with self._engine(
+            graph, subscriptions, thresholds, WorkerFaultPlan(corrupt_on_batch=1)
+        ) as engine:
+            with pytest.raises(ParallelError, match=r"corrupt reply to 'batch'"):
+                run_batches(engine, posts)
+
+    def test_slow_worker_is_correct_just_late(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts[:96]]
+        with self._engine(
+            graph,
+            subscriptions,
+            thresholds,
+            WorkerFaultPlan(slow_every=1, slow_seconds=0.01),
+        ) as engine:
+            assert run_batches(engine, posts[:96]) == expected
+
+    def test_requests_after_close_are_rejected(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        engine = ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        )
+        engine.close()
+        with pytest.raises(ParallelError, match="already closed"):
+            engine.offer_batch(posts[:4])
+
+    def test_close_is_idempotent(self, graph, subscriptions, thresholds):
+        engine = ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2
+        )
+        engine.close()
+        engine.close()
+        assert not any(p.is_alive() for p in engine._processes)
