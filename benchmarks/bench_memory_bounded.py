@@ -1,0 +1,197 @@
+"""Bounded-memory operation: the spill rung under a real budget.
+
+The PR-6 acceptance bar: a multi-user run under ``--memory-budget`` must
+stay inside its accounted budget by *spilling* — the verdict-neutral
+rung — and deliver receiver sets byte-equal to the unbounded all-in-RAM
+run. This benchmark drives the same synthetic dataset through both
+configurations and asserts:
+
+* the governor never climbs past ``spill`` (so equality is structural,
+  not luck — the probe rung is allowed to change verdicts);
+* receiver sets, aggregate stats and stored copies are byte-identical;
+* the bounded run's peak accounted bytes land well under the unbounded
+  peak (the whole point of the tiered store).
+
+Writes ``BENCH_memory.json`` at the repo root and regression-gates
+against the committed copy: the peak-memory reduction ratio may not
+worsen by more than ``REPRO_MEMORY_TOLERANCE`` (absolute, default 0.15),
+and the tiered run's time overhead over in-memory may not grow more than
+``REPRO_MEMORY_TIME_TOLERANCE`` (absolute, default 2.0 — segment I/O is
+disk- and machine-dependent, and the in-memory denominator is fast).
+Peak RSS is reported but never gated.
+"""
+
+import json
+import os
+import resource
+import time
+from pathlib import Path
+
+from conftest import bench_scale
+
+from repro.multiuser import make_multiuser
+from repro.resilience import GovernorConfig, MemoryGovernor
+from repro.storage import SpillConfig
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_memory.json"
+
+ALGORITHM = "s_unibin"
+BATCH = int(os.environ.get("REPRO_MEMORY_BATCH", "64"))
+
+#: Absolute growth allowed on the committed peak-reduction ratio.
+REDUCTION_TOLERANCE = float(os.environ.get("REPRO_MEMORY_TOLERANCE", "0.15"))
+#: Absolute growth allowed on the committed tiered-time overhead.
+TIME_TOLERANCE = float(os.environ.get("REPRO_MEMORY_TIME_TOLERANCE", "2.0"))
+
+
+def _run_stream(engine, posts, governor=None):
+    """Feed the stream in batches, tracking peak accounted bytes at the
+    same cadence for every configuration."""
+    received = []
+    peak = 0
+    start = time.perf_counter()
+    for lo in range(0, len(posts), BATCH):
+        chunk = posts[lo : lo + BATCH]
+        received.extend(engine.offer_batch(chunk))
+        if governor is not None:
+            governor.observe(len(chunk))
+        peak = max(peak, sum(engine.memory_breakdown().values()))
+    return received, peak, time.perf_counter() - start
+
+
+def _sweep(dataset, thresholds, tmp_path):
+    graph = dataset.graph(thresholds.lambda_a)
+    subscriptions = dataset.subscriptions()
+    posts = dataset.posts
+
+    unbounded = make_multiuser(ALGORITHM, thresholds, graph, subscriptions)
+    expected, unbounded_peak, unbounded_time = _run_stream(unbounded, posts)
+
+    # Calibrate the spill floor: the peak accounted bytes the governor will
+    # observe at tick time when every tick spills (heads accumulated over one
+    # batch plus the 24-byte stubs for everything already on disk). The
+    # budget goes midway between that floor and the unbounded peak, so the
+    # ladder engages but the spill rung alone satisfies it — never `probe`,
+    # which is allowed to change verdicts.
+    calib = make_multiuser(
+        ALGORITHM,
+        thresholds,
+        graph,
+        subscriptions,
+        storage=SpillConfig(str(tmp_path / "calib"), head_limit=64, segment_size=32),
+    )
+    spill_floor = 0
+    for lo in range(0, len(posts), BATCH):
+        calib.offer_batch(posts[lo : lo + BATCH])
+        spill_floor = max(spill_floor, sum(calib.memory_breakdown().values()))
+        calib.spill()
+    assert spill_floor < unbounded_peak, (
+        "dataset too small: spilling cannot reduce the accounted peak"
+    )
+    budget = (spill_floor + unbounded_peak) // 2
+    bounded = make_multiuser(
+        ALGORITHM,
+        thresholds,
+        graph,
+        subscriptions,
+        storage=SpillConfig(str(tmp_path), head_limit=64, segment_size=32),
+    )
+    governor = MemoryGovernor(
+        bounded, GovernorConfig(budget_bytes=budget, check_every=BATCH)
+    )
+    received, bounded_peak, bounded_time = _run_stream(bounded, posts, governor)
+
+    assert received == expected, (
+        "bounded receiver sets diverged from the unbounded run — the spill "
+        "rung must be verdict-neutral"
+    )
+    assert (
+        bounded.aggregate_stats().snapshot() == unbounded.aggregate_stats().snapshot()
+    ), "bounded aggregate stats diverged from the unbounded run"
+    assert bounded.stored_copies() == unbounded.stored_copies()
+    levels = {t.level for t in governor.transitions}
+    assert "probe" not in levels and "shed" not in levels, (
+        f"governor climbed past spill ({sorted(levels)}): the budget is too "
+        "tight for a verdict-neutral comparison"
+    )
+    assert governor.escalations >= 1, "budget never engaged the ladder"
+    assert bounded_peak < unbounded_peak, "spilling did not reduce peak bytes"
+
+    return {
+        "benchmark": "memory_bounded",
+        "scale": bench_scale(),
+        "algorithm": ALGORITHM,
+        "posts": len(posts),
+        "users": len(subscriptions.users),
+        "batch_size": BATCH,
+        "budget_bytes": budget,
+        "unbounded": {
+            "peak_accounted_bytes": unbounded_peak,
+            "time_s": unbounded_time,
+        },
+        "bounded": {
+            "peak_accounted_bytes": bounded_peak,
+            "time_s": bounded_time,
+            "time_overhead_vs_unbounded": bounded_time / unbounded_time - 1.0,
+            "governor": governor.status(),
+        },
+        "peak_reduction_ratio": bounded_peak / unbounded_peak,
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def _check_against_committed(result) -> list[str]:
+    if not RESULT_PATH.exists():
+        return []
+    committed = json.loads(RESULT_PATH.read_text())
+    failures = []
+    measured = result["peak_reduction_ratio"]
+    ceiling = committed["peak_reduction_ratio"] + REDUCTION_TOLERANCE
+    if measured > ceiling:
+        failures.append(
+            f"peak-memory reduction ratio {measured:.3f} > {ceiling:.3f} "
+            f"(committed {committed['peak_reduction_ratio']:.3f} "
+            f"+ {REDUCTION_TOLERANCE})"
+        )
+    measured_overhead = result["bounded"]["time_overhead_vs_unbounded"]
+    baseline = max(committed["bounded"]["time_overhead_vs_unbounded"], 0.0)
+    if measured_overhead > baseline + TIME_TOLERANCE:
+        failures.append(
+            f"tiered time overhead {measured_overhead:.3f} > "
+            f"{baseline + TIME_TOLERANCE:.3f} "
+            f"(committed {baseline:.3f} + {TIME_TOLERANCE})"
+        )
+    return failures
+
+
+def test_memory_bounded(benchmark, dataset, thresholds, tmp_path):
+    result = benchmark.pedantic(
+        lambda: _sweep(dataset, thresholds, tmp_path),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        f"{ALGORITHM}, batch {result['batch_size']} "
+        f"({result['posts']} posts, {result['users']} users, "
+        f"budget {result['budget_bytes']:,} accounted bytes)"
+    )
+    print(
+        f"peak accounted bytes: unbounded {result['unbounded']['peak_accounted_bytes']:,}  "
+        f"bounded {result['bounded']['peak_accounted_bytes']:,}  "
+        f"(ratio {result['peak_reduction_ratio']:.3f})"
+    )
+    governor = result["bounded"]["governor"]
+    print(
+        f"governor: level {governor['level']}, {governor['ticks']} ticks, "
+        f"{governor['escalations']} escalations / {governor['releases']} releases; "
+        f"time overhead {result['bounded']['time_overhead_vs_unbounded']:+.1%}; "
+        f"peak RSS {result['peak_rss_kib'] / 1024:.0f} MiB"
+    )
+
+    failures = _check_against_committed(result)
+    assert not failures, "; ".join(failures)
+
+    if os.environ.get("REPRO_WRITE_BASELINE"):
+        RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"baseline written to {RESULT_PATH}")

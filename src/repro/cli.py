@@ -130,6 +130,19 @@ def _diversify_parser() -> argparse.ArgumentParser:
         help="seconds to wait on a worker reply before declaring the "
         "shard dead (supervised mode recovers; plain mode raises)",
     )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        help="accounted-byte budget: attach the memory governor, which "
+        "degrades one rung at a time past the budget (spill tiered "
+        "windows, then cap probe fan-out) and releases with hysteresis",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        help="directory for tiered window storage: bins keep a bounded "
+        "in-memory head and spill cold segments to disk here (identical "
+        "verdicts; gives the governor's spill rung something to free)",
+    )
     parser.add_argument("--lambda-c", type=int, default=18, help="content bits")
     parser.add_argument("--lambda-t", type=float, default=1800.0, help="seconds")
     parser.add_argument("--lambda-a", type=float, default=0.7, help="author distance")
@@ -210,6 +223,39 @@ def _print_supervision_summary(engine) -> None:
     print(line, file=sys.stderr)
 
 
+def _storage_config(args):
+    """A :class:`repro.storage.SpillConfig` from --spill-dir (or None)."""
+    if not args.spill_dir:
+        return None
+    from .storage import SpillConfig
+
+    return SpillConfig(args.spill_dir)
+
+
+def _attach_governor(args, engine):
+    """A :class:`repro.resilience.MemoryGovernor` from --memory-budget
+    (or None). The CLI has no overload controller, so the ladder tops
+    out at the probe rung."""
+    if args.memory_budget is None:
+        return None
+    from .resilience import GovernorConfig, MemoryGovernor
+
+    return MemoryGovernor(engine, GovernorConfig(budget_bytes=args.memory_budget))
+
+
+def _print_governor_summary(governor) -> None:
+    """One stderr line of memory-governor accounting, when attached."""
+    if governor is None:
+        return
+    status = governor.status()
+    print(
+        f"memory: {status['total_bytes']:,}/{status['budget_bytes']:,} "
+        f"accounted bytes, level {status['level']}, "
+        f"{status['escalations']} escalations / {status['releases']} releases",
+        file=sys.stderr,
+    )
+
+
 def _supervision_kwargs(args) -> dict:
     """Engine kwargs for the --supervise / --shard-deadline flags.
 
@@ -284,6 +330,12 @@ def _run_diversify(argv: list[str]) -> int:
     graph = read_graph_json(args.graph) if args.graph else None
     sink = Quarantine()
     if args.resume_from:
+        if args.spill_dir:
+            print(
+                "note: --spill-dir is ignored with --resume-from; the "
+                "checkpointed engine keeps its windows in memory",
+                file=sys.stderr,
+            )
         pipeline = ResilientIngest.restore(
             load_checkpoint(args.resume_from), graph=graph, quarantine=sink
         )
@@ -295,13 +347,16 @@ def _run_diversify(argv: list[str]) -> int:
                 file=sys.stderr,
             )
     else:
-        diversifier = make_diversifier(args.algorithm, thresholds, graph)
+        diversifier = make_diversifier(
+            args.algorithm, thresholds, graph, storage=_storage_config(args)
+        )
         pipeline = ResilientIngest(
             diversifier,
             max_skew=args.max_skew,
             late_policy=args.order_policy,
             quarantine=sink,
         )
+    governor = _attach_governor(args, pipeline.engine)
 
     registry = None
     tracer = None
@@ -332,6 +387,8 @@ def _run_diversify(argv: list[str]) -> int:
             args.posts, on_error=args.on_error, quarantine=sink
         ):
             emit(pipeline.ingest(post))
+            if governor is not None:
+                governor.observe()
         emit(pipeline.flush())
     finally:
         if out_handle is not None:
@@ -347,6 +404,7 @@ def _run_diversify(argv: list[str]) -> int:
         f"posts kept ({100 * (1 - stats.retention_ratio):.1f}% pruned); "
         f"{stats.comparisons:,} comparisons, {stats.insertions:,} insertions"
     )
+    _print_governor_summary(governor)
     reorder = pipeline.reorder.counters
     if reorder.reordered or reorder.late_dropped or reorder.late_clamped:
         print(
@@ -422,6 +480,14 @@ def _run_diversify_events(args) -> int:
         print(
             "--supervise applies to the multi-user sharded engine; "
             "pass --subscriptions to enable it",
+            file=sys.stderr,
+        )
+        return 2
+    if args.spill_dir or args.memory_budget is not None:
+        print(
+            "--spill-dir/--memory-budget are static-topology features; "
+            "dynamic mode rewrites bins wholesale on churn and keeps its "
+            "windows in memory",
             file=sys.stderr,
         )
         return 2
@@ -622,6 +688,12 @@ def _run_diversify_multiuser(args) -> int:
     sink = Quarantine()
 
     if args.resume_from:
+        if args.spill_dir:
+            print(
+                "note: --spill-dir is ignored with --resume-from; the "
+                "checkpointed engine keeps its windows in memory",
+                file=sys.stderr,
+            )
         snap = load_checkpoint(args.resume_from)
         if snap.get("kind") == "pipeline":
             snap = snap["engine"]
@@ -662,8 +734,10 @@ def _run_diversify_multiuser(args) -> int:
             subscriptions,
             workers=args.workers,
             batch_size=args.batch_size,
+            storage=_storage_config(args),
             **_supervision_kwargs(args),
         )
+    governor = _attach_governor(args, engine)
 
     registry = None
     if args.metrics_out:
@@ -688,6 +762,8 @@ def _run_diversify_multiuser(args) -> int:
                     record["receivers"] = sorted(receivers)
                     out_handle.write(json.dumps(record, sort_keys=True))
                     out_handle.write("\n")
+            if governor is not None and chunk:
+                governor.observe(len(chunk))
             chunk.clear()
 
         for post in read_posts_jsonl(
@@ -712,6 +788,7 @@ def _run_diversify_multiuser(args) -> int:
                 f"sharing ratio {engine.sharing_ratio():.3f})"
             )
         _print_supervision_summary(engine)
+        _print_governor_summary(governor)
         if len(sink):
             print(
                 f"quarantined {len(sink)} records: "

@@ -15,6 +15,7 @@ from collections.abc import Iterable
 
 from ..authors import AuthorGraph
 from ..errors import CheckpointError, StreamOrderError
+from .bins import PostBin
 from .coverage import CoverageChecker
 from .post import Post
 from .stats import RunStats
@@ -38,6 +39,7 @@ class StreamDiversifier(ABC):
         graph: AuthorGraph | None,
         *,
         newest_first: bool = True,
+        storage=None,
     ):
         self.thresholds = thresholds
         self.checker = CoverageChecker(thresholds, graph)
@@ -46,6 +48,13 @@ class StreamDiversifier(ABC):
         self._last_timestamp = float("-inf")
         self._metrics = None
         self._tracer = None
+        #: Optional :class:`repro.storage.SpillConfig`: when set, bins are
+        #: tiered (in-memory head + disk spill segments) instead of plain
+        #: in-memory deques. Verdict-neutral by construction.
+        self._storage = storage
+        #: Governor-imposed cap on candidates checked per bin scan (None =
+        #: exact). See :meth:`set_probe_limit`.
+        self._probe_limit: int | None = None
 
     @property
     def graph(self) -> AuthorGraph | None:
@@ -125,6 +134,54 @@ class StreamDiversifier(ABC):
         """Live bin count of the index structure (gauge source); engines
         with a richer structure override."""
         return 1
+
+    # -- bounded-memory hooks (repro.storage / repro.resilience.governor) --
+
+    def _new_bin(self):
+        """A fresh window bin honouring this engine's ``storage`` config:
+        a plain in-memory :class:`PostBin`, or a tiered spill-to-disk bin
+        when a :class:`repro.storage.SpillConfig` was supplied."""
+        storage = self._storage
+        return PostBin() if storage is None else storage.make_bin()
+
+    @staticmethod
+    def _flush_bin(bin_) -> int:
+        flush = getattr(bin_, "flush", None)
+        return flush() if flush is not None else 0
+
+    def set_probe_limit(self, limit: int | None) -> None:
+        """Cap (or uncap, with ``None``) the candidates checked per bin
+        scan — the governor's "shrink probe fan-out" ladder rung.
+
+        A capped scan may miss an older covering post and therefore *admit*
+        a post an exact run would have filtered: the sacrifice is duplicate
+        leakage, never lost posts. ``None`` restores exact behaviour.
+        """
+        if limit is not None and limit < 1:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(f"probe limit must be >= 1, got {limit}")
+        self._probe_limit = limit
+
+    @property
+    def probe_limit(self) -> int | None:
+        """The active per-scan candidate cap (None = exact scans)."""
+        return self._probe_limit
+
+    def spill(self) -> int:
+        """Force the cold tier: flush every tiered bin's in-memory head to
+        disk, returning how many posts moved (0 without tiered storage).
+        Verdict-neutral — only residency changes."""
+        return 0
+
+    def memory_breakdown(self) -> dict[str, int]:
+        """Accounted bytes by family (``window``, ``index``, ...) for the
+        memory governor's gauges; see :mod:`repro.storage.accounting`."""
+        return {}
+
+    def memory_bytes(self) -> int:
+        """Total accounted in-memory bytes of this engine's index state."""
+        return sum(self.memory_breakdown().values())
 
     def offer_batch(self, posts) -> list[bool]:
         """Offer a timestamp-ordered chunk of posts; one verdict per post.

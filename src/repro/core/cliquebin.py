@@ -36,6 +36,7 @@ class CliqueBin(StreamDiversifier):
         *,
         cover: CliqueCover | None = None,
         newest_first: bool = True,
+        storage=None,
     ):
         if graph is None:
             raise ConfigurationError("CliqueBin requires an author graph")
@@ -44,13 +45,13 @@ class CliqueBin(StreamDiversifier):
                 "CliqueBin cannot run with the author dimension disabled "
                 "(lambda_a >= 1); use UniBin instead"
             )
-        super().__init__(thresholds, graph, newest_first=newest_first)
+        super().__init__(thresholds, graph, newest_first=newest_first, storage=storage)
         # The cover is precomputed offline in the paper's deployment (like
         # the author graph itself); accept an injected one so a single cover
         # can be shared across experiment runs.
         self.cover = cover if cover is not None else greedy_clique_cover(graph)
         self._bins: dict[int, PostBin] = {
-            idx: PostBin() for idx in range(len(self.cover))
+            idx: self._new_bin() for idx in range(len(self.cover))
         }
 
     def _cliques_of(self, author: int) -> list[int]:
@@ -68,6 +69,7 @@ class CliqueBin(StreamDiversifier):
         timestamp = post.timestamp
         bins = self._bins
         newest_first = self.newest_first
+        limit = self._probe_limit
         for clique_idx in self._cliques_of(post.author):
             bin_ = bins[clique_idx]
             stats.record_evictions(bin_.expire(timestamp, lambda_t))
@@ -75,17 +77,32 @@ class CliqueBin(StreamDiversifier):
                 # Post-expiry the deque holds only in-window posts: scan it
                 # directly without per-candidate cutoff checks.
                 checked = 0
-                for candidate in reversed(bin_.data):
-                    checked += 1
-                    if covers(post, candidate):
-                        stats.comparisons += checked
-                        return True
+                if limit is None:
+                    for candidate in reversed(bin_.data):
+                        checked += 1
+                        if covers(post, candidate):
+                            stats.comparisons += checked
+                            return True
+                else:
+                    # Governor-degraded mode: the cap applies per scanned
+                    # clique bin; a truncated scan can only admit extra.
+                    for candidate in reversed(bin_.data):
+                        checked += 1
+                        if covers(post, candidate):
+                            stats.comparisons += checked
+                            return True
+                        if checked >= limit:
+                            break
                 stats.comparisons += checked
             else:
+                checked = 0
                 for candidate in bin_.scan(timestamp, lambda_t, newest_first=False):
+                    checked += 1
                     stats.comparisons += 1
                     if covers(post, candidate):
                         return True
+                    if checked == limit:
+                        break
         return False
 
     def _admit(self, post: Post) -> None:
@@ -141,7 +158,7 @@ class CliqueBin(StreamDiversifier):
             if stack:
                 bins[idx] = stack.pop()
                 continue
-            bin_ = PostBin()
+            bin_ = self._new_bin()
             members = [a for a in clique if a in by_author]
             if members:
                 for post in sorted(
@@ -151,6 +168,16 @@ class CliqueBin(StreamDiversifier):
                     bin_.append(post)
             bins[idx] = bin_
         self._bins = bins
+
+    def spill(self) -> int:
+        return sum(self._flush_bin(bin_) for bin_ in self._bins.values())
+
+    def memory_breakdown(self) -> dict[str, int]:
+        from ..storage.accounting import estimate_bin_bytes
+
+        return {
+            "window": sum(estimate_bin_bytes(b) for b in self._bins.values())
+        }
 
     def _index_state(self) -> dict[str, object]:
         posts: dict[int, Post] = {}
@@ -186,7 +213,7 @@ class CliqueBin(StreamDiversifier):
                 "(graph or cover mismatch)"
             )
         posts: dict[int, Post] = state["posts"]  # type: ignore[assignment]
-        self._bins = {idx: PostBin() for idx in range(len(self.cover))}
+        self._bins = {idx: self._new_bin() for idx in range(len(self.cover))}
         for idx, post_ids in state["bins"].items():  # type: ignore[union-attr]
             bin_ = self._bins[idx]
             for post_id in post_ids:

@@ -25,6 +25,10 @@ from .post import Post
 from .thresholds import Thresholds
 
 
+class _ProbeBudgetExhausted(Exception):
+    """Internal: unwinds an index probe at the governor's candidate cap."""
+
+
 class IndexedUniBin(StreamDiversifier):
     """Single-bin SPSD with index-accelerated content candidate lookup."""
 
@@ -36,8 +40,15 @@ class IndexedUniBin(StreamDiversifier):
         graph: AuthorGraph | None,
         *,
         newest_first: bool = True,
+        storage=None,
     ):
-        super().__init__(thresholds, graph, newest_first=newest_first)
+        # ``storage`` is accepted for registry uniformity but deliberately
+        # unused: expiry removes each post from the SimHash index
+        # individually, so the window cannot be dropped segment-at-a-time —
+        # the queue stays in memory. The governor's probe-limit rung applies
+        # (it caps candidates verified per lookup); the spill rung is a
+        # no-op here.
+        super().__init__(thresholds, graph, newest_first=newest_first, storage=None)
         self._index = SimHashIndex(thresholds.lambda_c)
         # Arrival-ordered admitted posts, for time-window expiry.
         self._queue: deque[Post] = deque()
@@ -49,6 +60,8 @@ class IndexedUniBin(StreamDiversifier):
         stats = self.stats
         by_id = self._by_id
         author = post.author
+        limit = self._probe_limit
+        budget = [limit] if limit is not None else None
 
         def verify(key) -> bool:
             # Content similarity is established by the index radius; only
@@ -61,7 +74,22 @@ class IndexedUniBin(StreamDiversifier):
                 author, candidate.author
             )
 
-        return self._index.first_match(post.fingerprint, verify) is not None
+        if budget is None:
+            return self._index.first_match(post.fingerprint, verify) is not None
+
+        def verify_bounded(key) -> bool:
+            # Governor-degraded mode: stop after ``limit`` verifications by
+            # treating the budget's last candidate as the final word —
+            # a truncated probe can only admit extra, never drop a post.
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise _ProbeBudgetExhausted
+            return verify(key)
+
+        try:
+            return self._index.first_match(post.fingerprint, verify_bounded) is not None
+        except _ProbeBudgetExhausted:
+            return False
 
     def _admit(self, post: Post) -> None:
         self._queue.append(post)
@@ -88,6 +116,14 @@ class IndexedUniBin(StreamDiversifier):
 
     def admitted_posts(self) -> list[Post]:
         return sorted(self._queue, key=lambda p: (p.timestamp, p.post_id))
+
+    def memory_breakdown(self) -> dict[str, int]:
+        from ..storage.accounting import estimate_index_bytes, estimate_posts_bytes
+
+        return {
+            "window": estimate_posts_bytes(self._queue),
+            "index": estimate_index_bytes(self._index),
+        }
 
     def _index_state(self) -> dict[str, object]:
         return {"queue": list(self._queue)}

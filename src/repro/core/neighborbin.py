@@ -34,6 +34,7 @@ class NeighborBin(StreamDiversifier):
         graph: AuthorGraph,
         *,
         newest_first: bool = True,
+        storage=None,
     ):
         if graph is None:
             raise ConfigurationError("NeighborBin requires an author graph")
@@ -43,8 +44,10 @@ class NeighborBin(StreamDiversifier):
                 "(lambda_a >= 1): per-author bins would have to replicate "
                 "every post into every bin; use UniBin instead"
             )
-        super().__init__(thresholds, graph, newest_first=newest_first)
-        self._bins: dict[int, PostBin] = {author: PostBin() for author in graph.nodes}
+        super().__init__(thresholds, graph, newest_first=newest_first, storage=storage)
+        self._bins: dict[int, PostBin] = {
+            author: self._new_bin() for author in graph.nodes
+        }
 
     def _bin_of(self, author: int) -> PostBin:
         try:
@@ -61,23 +64,38 @@ class NeighborBin(StreamDiversifier):
         stats.record_evictions(
             own_bin.expire(post.timestamp, self.thresholds.lambda_t)
         )
+        limit = self._probe_limit
         if self.newest_first:
             # The expiry above left only in-window posts: scan the deque
             # directly, no cutoff check or generator frame per candidate.
             checked = 0
-            for candidate in reversed(own_bin.data):
-                checked += 1
-                if covers(post, candidate):
-                    stats.comparisons += checked
-                    return True
+            if limit is None:
+                for candidate in reversed(own_bin.data):
+                    checked += 1
+                    if covers(post, candidate):
+                        stats.comparisons += checked
+                        return True
+            else:
+                # Governor-degraded mode: bounded fan-out, may admit extra.
+                for candidate in reversed(own_bin.data):
+                    checked += 1
+                    if covers(post, candidate):
+                        stats.comparisons += checked
+                        return True
+                    if checked >= limit:
+                        break
             stats.comparisons += checked
             return False
+        checked = 0
         for candidate in own_bin.scan(
             post.timestamp, self.thresholds.lambda_t, newest_first=False
         ):
+            checked += 1
             stats.comparisons += 1
             if covers(post, candidate):
                 return True
+            if checked == limit:
+                break
         return False
 
     def _admit(self, post: Post) -> None:
@@ -140,6 +158,16 @@ class NeighborBin(StreamDiversifier):
             bin_a.merge([post for post in bin_b if post.author == b])
             bin_b.merge([post for post in bin_a if post.author == a])
 
+    def spill(self) -> int:
+        return sum(self._flush_bin(bin_) for bin_ in self._bins.values())
+
+    def memory_breakdown(self) -> dict[str, int]:
+        from ..storage.accounting import estimate_bin_bytes
+
+        return {
+            "window": sum(estimate_bin_bytes(b) for b in self._bins.values())
+        }
+
     def _index_state(self) -> dict[str, object]:
         # Bins replicate posts (author + neighbours); serialise each post
         # once and reference it by id from the per-author bin listings.
@@ -156,7 +184,7 @@ class NeighborBin(StreamDiversifier):
         from ..errors import CheckpointError
 
         posts: dict[int, Post] = state["posts"]  # type: ignore[assignment]
-        self._bins = {author: PostBin() for author in self._bins}
+        self._bins = {author: self._new_bin() for author in self._bins}
         for author, post_ids in state["bins"].items():  # type: ignore[union-attr]
             bin_ = self._bins.get(author)
             if bin_ is None:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from ..authors import AuthorGraph
 from .base import StreamDiversifier
-from .bins import PostBin
 from .post import Post
 from .thresholds import Thresholds
 
@@ -27,9 +26,10 @@ class UniBin(StreamDiversifier):
         graph: AuthorGraph | None,
         *,
         newest_first: bool = True,
+        storage=None,
     ):
-        super().__init__(thresholds, graph, newest_first=newest_first)
-        self._bin = PostBin()
+        super().__init__(thresholds, graph, newest_first=newest_first, storage=storage)
+        self._bin = self._new_bin()
 
     def _is_covered(self, post: Post) -> bool:
         covers = self.checker.covers
@@ -42,22 +42,38 @@ class UniBin(StreamDiversifier):
         stats.record_evictions(
             self._bin.expire(post.timestamp, self.thresholds.lambda_t)
         )
+        limit = self._probe_limit
         if self.newest_first:
             checked = 0
-            for candidate in reversed(self._bin.data):
-                checked += 1
-                if covers(post, candidate):
-                    stats.comparisons += checked
-                    return True
+            if limit is None:
+                for candidate in reversed(self._bin.data):
+                    checked += 1
+                    if covers(post, candidate):
+                        stats.comparisons += checked
+                        return True
+            else:
+                # Degraded mode (memory governor): bound the fan-out. A
+                # truncated scan can only miss a coverer, i.e. admit extra.
+                for candidate in reversed(self._bin.data):
+                    checked += 1
+                    if covers(post, candidate):
+                        stats.comparisons += checked
+                        return True
+                    if checked >= limit:
+                        break
             stats.comparisons += checked
             return False
         # Oldest-first ablation order keeps the generator path.
+        checked = 0
         for candidate in self._bin.scan(
             post.timestamp, self.thresholds.lambda_t, newest_first=False
         ):
+            checked += 1
             stats.comparisons += 1
             if covers(post, candidate):
                 return True
+            if checked == limit:
+                break
         return False
 
     def _admit(self, post: Post) -> None:
@@ -77,10 +93,18 @@ class UniBin(StreamDiversifier):
     def admitted_posts(self) -> list[Post]:
         return sorted(self._bin, key=lambda p: (p.timestamp, p.post_id))
 
+    def spill(self) -> int:
+        return self._flush_bin(self._bin)
+
+    def memory_breakdown(self) -> dict[str, int]:
+        from ..storage.accounting import estimate_bin_bytes
+
+        return {"window": estimate_bin_bytes(self._bin)}
+
     def _index_state(self) -> dict[str, object]:
         return {"bin": list(self._bin)}
 
     def _load_index_state(self, state: dict[str, object]) -> None:
-        self._bin = PostBin()
+        self._bin = self._new_bin()
         for post in state["bin"]:  # type: ignore[union-attr]
             self._bin.append(post)

@@ -44,3 +44,13 @@ class CheckpointError(ReproError):
 class ParallelError(ReproError):
     """The sharded execution layer failed: a worker process died, reported
     an exception, or the pool was used after :meth:`close`."""
+
+
+class JournalOverflowError(ReproError):
+    """A write-ahead journal was appended past its depth bound — the
+    checkpoint cadence that should have truncated it did not run (a
+    supervisor bug, surfaced loudly rather than growing without bound)."""
+
+
+class MemoryBudgetError(ConfigurationError):
+    """The memory governor was configured with an unusable budget."""

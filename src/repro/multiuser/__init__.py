@@ -49,6 +49,7 @@ def make_multiuser(
     supervised: bool = False,
     supervision=None,
     shard_deadline: float | None = 120.0,
+    storage=None,
 ) -> MultiUserDiversifier:
     """Instantiate an M-SPSD engine by name, e.g. ``"s_cliquebin"``.
 
@@ -61,10 +62,19 @@ def make_multiuser(
     :class:`~repro.supervise.ShardSupervisor` (tuned by ``supervision``, a
     :class:`~repro.supervise.SupervisionConfig`); ``shard_deadline``
     bounds unsupervised worker replies. All three are ignored by serial
-    engines.
+    engines. ``storage`` (a :class:`repro.storage.SpillConfig`) makes the
+    static engines' window bins tiered — in-memory head + disk spill
+    segments — with identical verdicts; the dynamic engines keep their
+    windows in memory (migration rewrites bins wholesale).
     """
     prefix, _, algorithm = name.partition("_")
     if dynamic:
+        if storage is not None:
+            raise ConfigurationError(
+                "dynamic engines do not support tiered window storage: "
+                "topology churn rewrites bins wholesale, defeating "
+                "append-only spill segments; drop storage= or dynamic="
+            )
         if friends is None:
             raise ConfigurationError(
                 "dynamic engines derive their graph from follow relations; "
@@ -102,6 +112,7 @@ def make_multiuser(
             supervised=supervised,
             supervision=supervision,
             shard_deadline=shard_deadline,
+            storage=storage,
         )
     if name not in MULTIUSER_NAMES:
         raise UnknownAlgorithmError(
@@ -109,8 +120,12 @@ def make_multiuser(
             f"{MULTIUSER_NAMES + PARALLEL_NAMES}"
         )
     if prefix == "m":
-        return IndependentMultiUser(algorithm, thresholds, graph, subscriptions)
-    return SharedComponentMultiUser(algorithm, thresholds, graph, subscriptions)
+        return IndependentMultiUser(
+            algorithm, thresholds, graph, subscriptions, storage=storage
+        )
+    return SharedComponentMultiUser(
+        algorithm, thresholds, graph, subscriptions, storage=storage
+    )
 
 
 __all__ = [

@@ -73,6 +73,39 @@ class MultiUserDiversifier(ABC):
     def purge(self, now: float) -> None:
         """Evict expired copies from every instance (periodic GC)."""
 
+    # -- bounded-memory hooks (repro.resilience.governor) ------------------
+    #
+    # Defaults cover engines whose instances live in this process; the
+    # parallel engine overrides them with worker round-trips.
+
+    def _each_instance(self):
+        """Iterate the in-process single-user instances (engines holding
+        them elsewhere override the hooks below instead)."""
+        return iter(())
+
+    def spill(self) -> int:
+        """Flush every instance's tiered bins to disk (governor rung 1);
+        returns posts moved, 0 without tiered storage."""
+        return sum(inst.spill() for inst in self._each_instance())
+
+    def set_probe_limit(self, limit: int | None) -> None:
+        """Cap candidates checked per bin scan in every instance (governor
+        rung 2); ``None`` restores exact scans."""
+        for inst in self._each_instance():
+            inst.set_probe_limit(limit)
+
+    def memory_breakdown(self) -> dict[str, int]:
+        """Accounted bytes by family summed across instances."""
+        totals: dict[str, int] = {}
+        for inst in self._each_instance():
+            for family, used in inst.memory_breakdown().items():
+                totals[family] = totals.get(family, 0) + used
+        return totals
+
+    def memory_bytes(self) -> int:
+        """Total accounted in-memory bytes across instances."""
+        return sum(self.memory_breakdown().values())
+
     @abstractmethod
     def state_dict(self) -> dict[str, object]:
         """Checkpointable state of every internal diversifier instance."""

@@ -39,6 +39,7 @@ class IndependentMultiUser(MultiUserDiversifier):
         subscriptions: SubscriptionTable,
         *,
         per_user_thresholds: Mapping[int, Thresholds] | None = None,
+        storage=None,
     ):
         self.name = f"m_{algorithm}"
         self.algorithm = algorithm
@@ -49,7 +50,7 @@ class IndependentMultiUser(MultiUserDiversifier):
         for user in subscriptions.users:
             gi = graph.subgraph(subscriptions.subscriptions_of(user))
             self._instances[user] = make_diversifier(
-                algorithm, overrides.get(user, thresholds), gi
+                algorithm, overrides.get(user, thresholds), gi, storage=storage
             )
 
     def offer(self, post: Post) -> frozenset[int]:
@@ -76,6 +77,9 @@ class IndependentMultiUser(MultiUserDiversifier):
     def purge(self, now: float) -> None:
         for instance in self._instances.values():
             instance.purge(now)
+
+    def _each_instance(self):
+        return iter(self._instances.values())
 
     def instance_of(self, user: int) -> StreamDiversifier:
         """The per-user instance (exposed for tests and inspection)."""

@@ -35,6 +35,8 @@ class SharedComponentMultiUser(MultiUserDiversifier):
         thresholds: Thresholds,
         graph: AuthorGraph,
         subscriptions: SubscriptionTable,
+        *,
+        storage=None,
     ):
         self.name = f"s_{algorithm}"
         self.algorithm = algorithm
@@ -47,7 +49,9 @@ class SharedComponentMultiUser(MultiUserDiversifier):
         self._components_of_author: dict[int, list[int]] = defaultdict(list)
         for idx, component in enumerate(self.catalog.components):
             sub = graph.subgraph(component)
-            self._instances.append(make_diversifier(algorithm, thresholds, sub))
+            self._instances.append(
+                make_diversifier(algorithm, thresholds, sub, storage=storage)
+            )
             self._users_of.append(frozenset(self.catalog.users_of[idx]))
             for author in component:
                 self._components_of_author[author].append(idx)
@@ -97,6 +101,9 @@ class SharedComponentMultiUser(MultiUserDiversifier):
     def purge(self, now: float) -> None:
         for instance in self._instances:
             instance.purge(now)
+
+    def _each_instance(self):
+        return iter(self._instances)
 
     def sharing_ratio(self) -> float:
         """Fraction of per-user component work removed by deduplication."""

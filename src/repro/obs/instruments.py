@@ -26,6 +26,7 @@ from .metrics import COUNT_BUCKETS, LATENCY_BUCKETS, Registry
 __all__ = [
     "DynamicInstruments",
     "EngineInstruments",
+    "MemoryInstruments",
     "MultiUserInstruments",
     "ParallelInstruments",
     "PipelineInstruments",
@@ -494,3 +495,51 @@ class ServiceInstruments:
                 registry.counter(metric, help_).labels().set_function(
                     lambda attr=attr: getattr(counters, attr)
                 )
+
+
+class MemoryInstruments:
+    """Bundle for a :class:`~repro.resilience.MemoryGovernor`.
+
+    Everything is a callback re-export of the governor's own accounting:
+    per-family accounted bytes (``window``, ``index``, ``journal``, …)
+    from the last tick, the total against the configured budget, the
+    current ladder rung as a numeric level, and the exact
+    escalation/release transition counters.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, registry: Registry, governor) -> None:
+        family_bytes = registry.gauge(
+            "repro_memory_bytes",
+            "Accounted bytes by family at the governor's last tick",
+            ("family",),
+        )
+        for family in ("window", "index", "journal", "mailbox"):
+            family_bytes.labels(family=family).set_function(
+                lambda family=family: governor.last_usage.get(family, 0)
+            )
+        registry.gauge(
+            "repro_memory_total_bytes",
+            "Total accounted bytes at the governor's last tick",
+        ).labels().set_function(lambda: sum(governor.last_usage.values()))
+        registry.gauge(
+            "repro_memory_budget_bytes",
+            "Configured accounted-byte budget",
+        ).labels().set_function(lambda: governor.config.budget_bytes)
+        registry.gauge(
+            "repro_memory_governor_level",
+            "Degradation ladder rung (0 normal, 1 spill, 2 probe, 3 shed)",
+        ).labels().set_function(lambda: governor.level)
+        registry.counter(
+            "repro_memory_escalations_total",
+            "Ladder escalations (one rung each)",
+        ).labels().set_function(lambda: governor.escalations)
+        registry.counter(
+            "repro_memory_releases_total",
+            "Ladder releases (one rung each)",
+        ).labels().set_function(lambda: governor.releases)
+        registry.counter(
+            "repro_memory_governor_ticks_total",
+            "Governor control-loop evaluations",
+        ).labels().set_function(lambda: governor.ticks)

@@ -15,14 +15,21 @@ Public surface:
   cost-model-driven bin-packing behind shard assignment.
 * :class:`ShardSpec` / :class:`ShardServer` — the worker startup spec and
   its command dispatcher (shared with supervised degraded mode).
+* :class:`AutoscalePolicy` / :class:`ShardAutoscaler` — runtime shard
+  split/merge driven by memory accounting and the §4.4 cost model, on
+  the supervisor's journalled migration machinery.
 """
 
+from .autoscale import AutoscaleEvent, AutoscalePolicy, ShardAutoscaler
 from .engine import ParallelSharedMultiUser
 from .sharding import ShardPlan, component_cost, plan_shards
 from .worker import ShardServer, ShardSpec
 
 __all__ = [
+    "AutoscaleEvent",
+    "AutoscalePolicy",
     "ParallelSharedMultiUser",
+    "ShardAutoscaler",
     "ShardPlan",
     "ShardServer",
     "ShardSpec",

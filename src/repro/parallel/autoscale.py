@@ -1,0 +1,205 @@
+"""Supervisor-driven shard autoscaling: split hot shards, merge cold ones.
+
+The static shard plan (:mod:`.sharding`) bin-packs components by the §4.4
+cost *estimates* — priors struck before a single post arrives. Real
+streams drift: one component's authors go viral and its shard's windows
+balloon, another goes quiet and its worker idles at near-zero residency.
+This module closes the loop at runtime using the two signals the paper's
+cost model says matter:
+
+* **Memory accounting** (:mod:`repro.storage.accounting`): per-shard
+  accounted bytes from the ``memory`` worker command — the ground truth
+  of which shard is actually hot.
+* **The §4.4 cost model**: per-component estimated cost, used to pick
+  *which* components leave a hot shard (an LPT two-way split) so the
+  halves come out balanced.
+
+Decisions are made by :class:`AutoscalePolicy` thresholds with hysteresis
+(a shard must stay hot/cold for ``patience`` consecutive evaluations) and
+executed by :class:`ShardAutoscaler` through
+:meth:`~repro.parallel.ParallelSharedMultiUser.split_shard` /
+:meth:`~repro.parallel.ParallelSharedMultiUser.merge_shards`, which run
+entirely on the supervisor's journalled checkpoint/migration machinery —
+a worker crash mid-split or mid-merge recovers byte-identical to a
+fault-free run, which the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """When to split and when to merge.
+
+    ``split_bytes``: a shard whose accounted bytes exceed this is hot.
+    ``merge_bytes``: two shards whose *combined* accounted bytes stay
+    under this are cold enough to merge (defaults to ``split_bytes / 2``,
+    leaving a dead band between the thresholds so a merged shard is never
+    immediately hot again).
+    ``min_shards``/``max_shards`` clamp the live topology;
+    ``check_every`` paces evaluations in posts observed; ``patience`` is
+    the number of *consecutive* hot (cold) evaluations required before a
+    split (merge) fires — the anti-flapping hysteresis.
+    """
+
+    split_bytes: int
+    merge_bytes: int | None = None
+    min_shards: int = 1
+    max_shards: int = 64
+    check_every: int = 4096
+    patience: int = 2
+
+    def __post_init__(self) -> None:
+        if self.split_bytes < 1:
+            raise ConfigurationError(
+                f"split_bytes must be >= 1, got {self.split_bytes}"
+            )
+        merge = self.effective_merge_bytes
+        if merge >= self.split_bytes:
+            raise ConfigurationError(
+                f"merge_bytes ({merge}) must stay below split_bytes "
+                f"({self.split_bytes}) or splits and merges oscillate"
+            )
+        if self.min_shards < 1:
+            raise ConfigurationError(
+                f"min_shards must be >= 1, got {self.min_shards}"
+            )
+        if self.max_shards < self.min_shards:
+            raise ConfigurationError(
+                f"max_shards ({self.max_shards}) < min_shards ({self.min_shards})"
+            )
+        if self.check_every < 1:
+            raise ConfigurationError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+        if self.patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {self.patience}")
+
+    @property
+    def effective_merge_bytes(self) -> int:
+        return (
+            self.split_bytes // 2 if self.merge_bytes is None else self.merge_bytes
+        )
+
+
+@dataclass
+class AutoscaleEvent:
+    """One executed topology change, for logs and tests."""
+
+    action: str  # "split" | "merge"
+    shard: int
+    other: int  # the new shard (split) or the retired source (merge)
+    bytes_before: int
+
+
+class ShardAutoscaler:
+    """Evaluate the policy on a cadence and execute splits/merges.
+
+    Drive it with :meth:`observe` from the engine's batch path (the same
+    piggyback pattern as the supervisor's heartbeats: no background
+    thread), or call :meth:`evaluate` directly from tests.
+    """
+
+    def __init__(self, engine, policy: AutoscalePolicy):
+        self.engine = engine
+        self.policy = policy
+        self.splits = 0
+        self.merges = 0
+        self.events: list[AutoscaleEvent] = []
+        self._since_check = 0
+        self._hot_streak: dict[int, int] = {}
+        self._cold_streak = 0
+
+    def observe(self, posts: int) -> None:
+        """Account ``posts`` processed; evaluate once per ``check_every``."""
+        self._since_check += posts
+        if self._since_check >= self.policy.check_every:
+            self._since_check = 0
+            self.evaluate()
+
+    def evaluate(self) -> AutoscaleEvent | None:
+        """Run one policy evaluation; returns the executed event, if any.
+
+        At most one topology change per evaluation — splits and merges
+        are rare, expensive, and serialising them keeps every
+        intermediate state trivially recoverable.
+        """
+        engine = self.engine
+        supervisor = engine.supervisor
+        if supervisor is None:
+            return None
+        usage = {
+            shard: sum(breakdown.values())
+            for shard, breakdown in engine.memory_by_shard().items()
+            if not supervisor.is_retired(shard)
+        }
+        if not usage:
+            return None
+        event = self._maybe_split(usage)
+        if event is None:
+            event = self._maybe_merge(usage)
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    # -- decisions ----------------------------------------------------------
+
+    def _maybe_split(self, usage: dict[int, int]) -> AutoscaleEvent | None:
+        policy = self.policy
+        engine = self.engine
+        hot = {
+            shard
+            for shard, used in usage.items()
+            if used > policy.split_bytes
+            and len(engine.components_of_shard(shard)) >= 2
+        }
+        # Hysteresis: a shard must be hot for `patience` consecutive
+        # evaluations; any cool-off resets its streak.
+        streaks = self._hot_streak
+        for shard in list(streaks):
+            if shard not in hot:
+                del streaks[shard]
+        for shard in hot:
+            streaks[shard] = streaks.get(shard, 0) + 1
+        if len(usage) >= policy.max_shards:
+            return None
+        ripe = [s for s in hot if streaks[s] >= policy.patience]
+        if not ripe:
+            return None
+        shard = max(ripe, key=lambda s: usage[s])
+        before = usage[shard]
+        new_index = engine.split_shard(shard)
+        del streaks[shard]
+        self.splits += 1
+        return AutoscaleEvent("split", shard, new_index, before)
+
+    def _maybe_merge(self, usage: dict[int, int]) -> AutoscaleEvent | None:
+        policy = self.policy
+        if len(usage) <= policy.min_shards or len(usage) < 2:
+            self._cold_streak = 0
+            return None
+        coldest = sorted(usage, key=lambda s: usage[s])[:2]
+        combined = usage[coldest[0]] + usage[coldest[1]]
+        if combined >= policy.effective_merge_bytes:
+            self._cold_streak = 0
+            return None
+        self._cold_streak += 1
+        if self._cold_streak < policy.patience:
+            return None
+        self._cold_streak = 0
+        target, source = sorted(coldest)
+        self.merges += 1
+        self.engine.merge_shards(target, source)
+        return AutoscaleEvent("merge", target, source, combined)
+
+    def status(self) -> dict[str, object]:
+        """JSON-able summary for /healthz and the supervision report."""
+        return {
+            "splits": self.splits,
+            "merges": self.merges,
+            "shards": self.engine.shard_count(),
+        }

@@ -27,6 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import weakref
 from collections import defaultdict
+from dataclasses import replace
 
 from ..authors import AuthorGraph, ComponentCatalog
 from ..core import Post, RunStats, Thresholds, make_diversifier
@@ -83,6 +84,14 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         fault_plans: shard index → :class:`~repro.resilience.
             WorkerFaultPlan`, injected into worker processes for chaos
             tests and the recovery benchmark.
+        storage: a :class:`repro.storage.SpillConfig` making every
+            shard's window bins tiered (in-memory head + disk spill
+            segments). Verdict-neutral; the governor's rung-1 lever.
+        autoscale: an :class:`~repro.parallel.AutoscalePolicy` enabling
+            runtime shard split/merge on the supervisor's migration
+            machinery. Requires ``supervised=True``; evaluated on the
+            batch path, one topology change at a time. Quietly inert
+            when the component count clamps the pool to one worker.
     """
 
     def __init__(
@@ -101,6 +110,8 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         supervision: SupervisionConfig | None = None,
         shard_deadline: float | None = 120.0,
         fault_plans=None,
+        storage=None,
+        autoscale=None,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -136,18 +147,28 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             )
             for component in self.catalog.components
         ]
+        self._costs = costs
+        self._storage = storage
         self.plan: ShardPlan = plan_shards(costs, self.workers)
         self._shard_of = self.plan.shard_of_component()
         self._closed = False
         self._finalizer = None
         self._supervisor: ShardSupervisor | None = None
         self._deadline = shard_deadline
+        self.autoscaler = None
+        if autoscale is not None and not supervised:
+            raise ConfigurationError(
+                "autoscale needs the supervisor's journalled migration "
+                "machinery; construct the engine with supervised=True"
+            )
         plans = dict(fault_plans) if fault_plans else {}
 
         if self.workers == 1:
             # In-process fast path: the exact serial engines, no IPC.
             self._engines: dict[int, object] | None = {
-                idx: make_diversifier(algorithm, thresholds, graph.subgraph(component))
+                idx: make_diversifier(
+                    algorithm, thresholds, graph.subgraph(component), storage=storage
+                )
                 for idx, component in enumerate(self.catalog.components)
             }
             self._connections: list = []
@@ -167,6 +188,7 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
                     (idx, self.catalog.components[idx]) for idx in shard_indices
                 ),
                 faults=plans.get(shard),
+                storage=storage,
             )
             for shard, shard_indices in enumerate(self.plan.assignments)
         ]
@@ -180,6 +202,10 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
                 config=supervision,
                 name=self.name,
             )
+            if autoscale is not None:
+                from .autoscale import ShardAutoscaler
+
+                self.autoscaler = ShardAutoscaler(self, autoscale)
             return
         for spec in specs:
             parent_conn, child_conn = context.Pipe()
@@ -297,6 +323,8 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             record = self._metrics.record
             for count, result in zip(consulted, results):
                 record(count, result)
+        if self.autoscaler is not None:
+            self.autoscaler.observe(len(posts))
         return results
 
     def _request_batches(self, per_shard):
@@ -340,17 +368,29 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
 
     def shard_stats(self) -> list[RunStats]:
         """Merged RunStats per shard (the substrate of the per-shard
-        metric labels and the live imbalance diagnostics)."""
+        metric labels and the live imbalance diagnostics).
+
+        Positional by shard index: retired shards (merged away by the
+        autoscaler) hold an empty :class:`RunStats` so bound per-shard
+        gauges keep indexing safely across topology changes.
+        """
         if self._engines is not None:
             total = RunStats()
             for engine in self._engines.values():
                 total.merge(engine.stats)
             return [total]
         replies = self._request_all(("stats",))
+        count = (
+            self._supervisor.shard_count
+            if self._supervisor is not None
+            else max(replies, default=-1) + 1
+        )
         out: list[RunStats] = []
-        for shard in sorted(replies):
+        for shard in range(count):
             stats = RunStats()
-            stats.load_state(replies[shard])
+            payload = replies.get(shard)
+            if payload is not None:
+                stats.load_state(payload)
             out.append(stats)
         return out
 
@@ -364,6 +404,12 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         return self.catalog.distinct_count
 
     def shard_count(self) -> int:
+        """Shards currently serving traffic. Equals the planned count
+        until the autoscaler splits or merges shards at runtime."""
+        if self._supervisor is not None:
+            return self._supervisor.active_shard_count
+        if self._engines is not None:
+            return 1
         return self.plan.shard_count
 
     def shard_imbalance(self) -> float:
@@ -385,6 +431,164 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
                 engine.purge(now)
             return
         self._request_all(("purge", now))
+
+    # -- bounded-memory hooks (repro.resilience.governor) -------------------
+
+    def spill(self) -> int:
+        """Flush every shard's tiered bin heads to disk (governor rung 1);
+        returns posts moved. Residency-only: no verdict-relevant state
+        changes, so the command is deliberately not journalled."""
+        if self._engines is not None:
+            return sum(engine.spill() for engine in self._engines.values())
+        return sum(self._request_all(("spill",)).values())
+
+    def set_probe_limit(self, limit: int | None) -> None:
+        """Cap (or uncap) candidates checked per bin scan in every shard
+        (governor rung 2). Journalled under supervision — a capped scan
+        changes verdicts, so recovery must replay it to stay exact."""
+        if self._engines is not None:
+            for engine in self._engines.values():
+                engine.set_probe_limit(limit)
+            return
+        self._request_all(("probe_limit", limit))
+
+    def memory_breakdown(self) -> dict[str, int]:
+        """Accounted bytes by family summed across shards, plus the
+        coordinator-side ``journal`` family under supervision."""
+        totals: dict[str, int] = {}
+        if self._engines is not None:
+            replies: list[dict[str, int]] = [
+                engine.memory_breakdown() for engine in self._engines.values()
+            ]
+        else:
+            replies = list(self._request_all(("memory",)).values())
+        for breakdown in replies:
+            for family, used in breakdown.items():
+                totals[family] = totals.get(family, 0) + used
+        if self._supervisor is not None:
+            totals["journal"] = self._supervisor.journal_bytes()
+        return totals
+
+    def memory_by_shard(self) -> dict[int, dict[str, int]]:
+        """Per-shard accounted byte families (the autoscaler's hot/cold
+        signal); the in-process engine reports one logical shard 0."""
+        if self._engines is not None:
+            totals: dict[str, int] = {}
+            for engine in self._engines.values():
+                for family, used in engine.memory_breakdown().items():
+                    totals[family] = totals.get(family, 0) + used
+            return {0: totals}
+        return self._request_all(("memory",))
+
+    def memory_bytes(self) -> int:
+        return sum(self.memory_breakdown().values())
+
+    # -- live topology (shard autoscaling) ----------------------------------
+
+    def _require_supervisor(self, operation: str) -> ShardSupervisor:
+        if self._supervisor is None:
+            raise ParallelError(
+                f"{operation} needs the checkpoint/journal machinery: "
+                "construct the engine with supervised=True (and >= 2 workers)"
+            )
+        return self._supervisor
+
+    def components_of_shard(self, shard: int) -> tuple[int, ...]:
+        """Catalog indices a shard currently owns (from its live spec)."""
+        sup = self._require_supervisor("components_of_shard")
+        return tuple(idx for idx, _ in sup.spec_of(shard).components)
+
+    def shard_cost(self, shard: int) -> float:
+        """Summed §4.4 component cost of a shard's current ownership."""
+        return sum(self._costs[idx] for idx in self.components_of_shard(shard))
+
+    def split_shard(self, shard: int) -> int:
+        """Split one hot shard in two: move roughly half its estimated
+        §4.4 cost onto a freshly spawned worker. Returns the new index.
+
+        Crash-safe at every step: migrated state is installed through
+        journalled ``load``/``drop`` commands, and the donor's spec is
+        only updated after a rolling checkpoint reflects the post-drop
+        state — so recovery at any instant replays to the byte-identical
+        receiver sets of a fault-free run.
+        """
+        sup = self._require_supervisor("split_shard")
+        if sup.is_retired(shard):
+            raise ParallelError(f"{self.name} shard {shard} is retired")
+        spec = sup.spec_of(shard)
+        owned = list(spec.components)
+        if len(owned) < 2:
+            raise ParallelError(
+                f"{self.name} shard {shard} owns {len(owned)} component(s); "
+                "a component is the unit of independence and cannot split"
+            )
+        keep, move = self._partition_components(owned)
+        states = dict(sup.request(shard, ("state",)))
+        moved_state = [(idx, states[idx]) for idx, _ in move]
+        new_index = sup.add_shard(replace(spec, components=tuple(move), faults=None))
+        sup.request(new_index, ("load", moved_state))
+        sup.request(shard, ("drop", [idx for idx, _ in move]))
+        sup.checkpoint_now(shard)
+        sup.checkpoint_now(new_index)
+        sup.update_spec(shard, replace(spec, components=tuple(keep)))
+        for idx, _ in move:
+            self._shard_of[idx] = new_index
+        return new_index
+
+    def merge_shards(self, target: int, source: int) -> None:
+        """Merge ``source`` into ``target`` and retire ``source``: the
+        autoscaler's scale-down path for cold topologies.
+
+        The carried state travels in one journalled ``adopt`` (component
+        index, node set, engine state) so a crash of the adopting worker
+        replays to the identical merged state; the source is torn down
+        only after the target's spec and checkpoint both cover it.
+        """
+        sup = self._require_supervisor("merge_shards")
+        if target == source:
+            raise ParallelError("cannot merge a shard into itself")
+        for index in (target, source):
+            if sup.is_retired(index):
+                raise ParallelError(f"{self.name} shard {index} is retired")
+        source_spec = sup.spec_of(source)
+        nodes_of = dict(source_spec.components)
+        adopted = [
+            (idx, tuple(nodes_of[idx]), state)
+            for idx, state in sup.request(source, ("state",))
+        ]
+        sup.request(target, ("adopt", adopted))
+        sup.checkpoint_now(target)
+        target_spec = sup.spec_of(target)
+        sup.update_spec(
+            target,
+            replace(
+                target_spec,
+                components=target_spec.components + source_spec.components,
+            ),
+        )
+        sup.retire_shard(source)
+        for idx in nodes_of:
+            self._shard_of[idx] = target
+
+    def _partition_components(self, owned):
+        """Two-way LPT split of ``owned`` ``(idx, nodes)`` pairs by §4.4
+        cost: heaviest-first onto the lighter side, both sides non-empty."""
+        costs = self._costs
+        ordered = sorted(owned, key=lambda pair: costs[pair[0]], reverse=True)
+        keep: list = []
+        move: list = []
+        keep_cost = move_cost = 0.0
+        for pair in ordered:
+            if keep_cost <= move_cost:
+                keep.append(pair)
+                keep_cost += costs[pair[0]]
+            else:
+                move.append(pair)
+                move_cost += costs[pair[0]]
+        if not move:  # degenerate costs (all zero): split by count
+            half = max(1, len(ordered) // 2)
+            keep, move = ordered[:-half], ordered[-half:]
+        return keep, move
 
     def bind_metrics(self, registry, *, per_user: bool = False) -> None:
         """Attach observability: everything the serial multi-user bundle

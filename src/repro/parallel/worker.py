@@ -5,18 +5,23 @@ under the ``fork`` start method nothing is pickled, under ``spawn`` the
 spec (algorithm, thresholds, component node sets, author graph) travels
 once at startup — and then serves a tiny command protocol over its pipe:
 
-========  =======================================  ======================
-command   payload                                  reply payload
-========  =======================================  ======================
-batch     [(seq, post, [component idx, ...]), …]   [(seq, [admitting idx, …]), …]
-stats     —                                        merged RunStats state dict
-stored    —                                        resident post copies
-purge     now                                      None
-state     —                                        [(idx, engine state dict), …]
-load      [(idx, engine state dict), …]            None
-ping      —                                        "pong" (liveness probe)
-stop      —                                        None (worker exits)
-========  =======================================  ======================
+===========  =======================================  ======================
+command      payload                                  reply payload
+===========  =======================================  ======================
+batch        [(seq, post, [component idx, ...]), …]   [(seq, [admitting idx, …]), …]
+stats        —                                        merged RunStats state dict
+stored       —                                        resident post copies
+purge        now                                      None
+state        —                                        [(idx, engine state dict), …]
+load         [(idx, engine state dict), …]            None
+memory       —                                        accounted bytes by family
+spill        —                                        posts force-spilled to disk
+probe_limit  limit or None                            None
+drop         [component idx, …]                       None (shard split: give up)
+adopt        [(idx, nodes, state or None), …]         None (shard merge: take on)
+ping         —                                        "pong" (liveness probe)
+stop         —                                        None (worker exits)
+===========  =======================================  ======================
 
 Every reply is ``("ok", payload)`` or ``("error", type_name, message)``;
 the parent converts errors into :class:`~repro.errors.ParallelError`.
@@ -45,13 +50,19 @@ from ..supervise import WorkerProtocol
 
 @dataclass(frozen=True)
 class ShardSpec:
-    """Everything a worker needs to build its engines (picklable)."""
+    """Everything a worker needs to build its engines (picklable).
+
+    ``storage`` (a :class:`repro.storage.SpillConfig`) makes the shard's
+    window bins tiered; each worker spills into the configured directory
+    with process-unique segment names, so shards never collide.
+    """
 
     algorithm: str
     thresholds: Thresholds
     graph: AuthorGraph
     components: tuple[tuple[int, frozenset[int]], ...]
     faults: WorkerFaultPlan | None = None
+    storage: object | None = None
 
 
 def build_shard_engines(spec: ShardSpec) -> dict[int, StreamDiversifier]:
@@ -63,7 +74,12 @@ def build_shard_engines(spec: ShardSpec) -> dict[int, StreamDiversifier]:
     to the serial engine's and outputs stay byte-for-byte equal.
     """
     return {
-        idx: make_diversifier(spec.algorithm, spec.thresholds, spec.graph.subgraph(component))
+        idx: make_diversifier(
+            spec.algorithm,
+            spec.thresholds,
+            spec.graph.subgraph(component),
+            storage=spec.storage,
+        )
         for idx, component in spec.components
     }
 
@@ -78,7 +94,9 @@ class ShardServer:
     """
 
     def __init__(self, spec: ShardSpec):
+        self.spec = spec
         self.engines = build_shard_engines(spec)
+        self._probe_limit: int | None = None
 
     def handle(self, message: tuple):
         """Execute one command tuple; return the reply payload."""
@@ -104,8 +122,53 @@ class ShardServer:
         if command == "state":
             return [(idx, engines[idx].state_dict()) for idx in sorted(engines)]
         if command == "load":
+            # Unknown indices are skipped, not errors: after a shard split
+            # the respawn spec may own fewer components than an older
+            # checkpoint covers, and the journalled "drop" that follows in
+            # replay would discard them anyway.
             for idx, state in message[1]:
-                engines[idx].load_state(state)
+                engine = engines.get(idx)
+                if engine is not None:
+                    engine.load_state(state)
+            return None
+        if command == "memory":
+            total: dict[str, int] = {}
+            for engine in engines.values():
+                for family, amount in engine.memory_breakdown().items():
+                    total[family] = total.get(family, 0) + amount
+            return total
+        if command == "spill":
+            return sum(engine.spill() for engine in engines.values())
+        if command == "probe_limit":
+            self._probe_limit = message[1]
+            for engine in engines.values():
+                engine.set_probe_limit(message[1])
+            return None
+        if command == "drop":
+            # Shard split: this shard gives up the named components.
+            # Idempotent (missing indices ignored) so journal replay that
+            # races a spec update stays byte-exact.
+            for idx in message[1]:
+                engines.pop(idx, None)
+            return None
+        if command == "adopt":
+            # Shard merge: take ownership of components migrated from a
+            # retiring shard. Rebuilds unconditionally — replaying an
+            # adopt lands on the same carried state either way — and the
+            # adopted engines inherit this shard's active probe limit.
+            spec = self.spec
+            for idx, nodes, state in message[1]:
+                engine = make_diversifier(
+                    spec.algorithm,
+                    spec.thresholds,
+                    spec.graph.subgraph(frozenset(nodes)),
+                    storage=spec.storage,
+                )
+                if state is not None:
+                    engine.load_state(state)
+                if self._probe_limit is not None:
+                    engine.set_probe_limit(self._probe_limit)
+                engines[idx] = engine
             return None
         if command == "ping":
             return "pong"
@@ -154,7 +217,10 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
 
 
 #: Commands that change worker state and therefore must be journalled.
-MUTATING_COMMANDS = frozenset({"batch", "purge", "load"})
+#: ``spill`` is deliberately absent: it moves posts between residency
+#: tiers without changing any verdict-relevant state, so replaying it
+#: after a crash is unnecessary.
+MUTATING_COMMANDS = frozenset({"batch", "purge", "load", "probe_limit", "drop", "adopt"})
 
 
 def _posts_of(message: tuple) -> int:

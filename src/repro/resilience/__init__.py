@@ -13,6 +13,9 @@ case a first-class, *measured* regime instead of a crash:
 * :class:`OverloadController` — queue-backlog budget with hysteresis;
   overload sheds (drop or pass-through) with exact accounting (wired into
   :class:`repro.service.DiversificationService`).
+* :class:`MemoryGovernor` — byte-accounted memory budget driving a
+  hysteresis degradation ladder (spill tiered windows → cap probe
+  fan-out → shed via the overload controller's memory-pressure hook).
 * :func:`snapshot_engine` / :func:`restore_engine` — JSON checkpoints that
   resume mid-stream to a bit-identical retained set.
 * :class:`ResilientIngest` — the composed pipeline around any engine.
@@ -36,6 +39,12 @@ from .faults import (
     PostFaultInjector,
     WorkerFaultPlan,
 )
+from .governor import (
+    GOVERNOR_LEVELS,
+    GovernorConfig,
+    GovernorTransition,
+    MemoryGovernor,
+)
 from .overload import SHED_POLICIES, OverloadController, OverloadCounters
 from .pipeline import IngestEvent, ResilientIngest, ingest_jsonl
 from .quarantine import (
@@ -53,10 +62,14 @@ __all__ = [
     "ERROR_POLICIES",
     "FaultCounts",
     "FaultSchedule",
+    "GOVERNOR_LEVELS",
+    "GovernorConfig",
+    "GovernorTransition",
     "IngestEvent",
     "LATE_POLICIES",
     "LatencySpikes",
     "LineFaultInjector",
+    "MemoryGovernor",
     "OverloadController",
     "OverloadCounters",
     "PostFaultInjector",

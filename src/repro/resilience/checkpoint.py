@@ -18,6 +18,7 @@ which round-trip through :mod:`json`.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from ..core import Post, StreamDiversifier, Thresholds, make_diversifier
@@ -328,19 +329,39 @@ def restore_engine(
 
 
 def save_checkpoint(snapshot: dict[str, object], path: str | Path) -> None:
-    """Write a snapshot dict as one sorted JSON object."""
-    with open(path, "w", encoding="utf-8") as handle:
+    """Write a snapshot dict as one sorted JSON object, atomically.
+
+    The write goes to a same-directory temp file, is flushed and fsynced,
+    then renamed over ``path`` — a crash at any instant leaves either the
+    previous complete checkpoint or the new complete checkpoint, never a
+    torn file. (A partial temp file may survive a crash; it is ignored by
+    :func:`load_checkpoint` and overwritten by the next save.)
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(snapshot, handle, sort_keys=True)
         handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
 
 
 def load_checkpoint(path: str | Path) -> dict[str, object]:
-    """Read a snapshot written by :func:`save_checkpoint`."""
+    """Read a snapshot written by :func:`save_checkpoint`.
+
+    A file that does not parse as a complete JSON object — including one
+    truncated by a crash mid-write under a non-atomic writer — is rejected
+    with :class:`CheckpointError` rather than restored partially.
+    """
     with open(path, encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
-            raise CheckpointError(f"{path}: not a valid checkpoint: {exc}") from exc
+            raise CheckpointError(
+                f"{path}: not a valid checkpoint (truncated or corrupt "
+                f"JSON — possibly a torn write): {exc}"
+            ) from exc
     if not isinstance(payload, dict):
         raise CheckpointError(f"{path}: expected a JSON object")
     return payload

@@ -1,0 +1,217 @@
+"""MemoryGovernor: a byte-accounted budget with a degradation ladder.
+
+The engines' windows, the SimHash index, the supervisor's journals and
+the service's buffers all grow with the stream; on a real deployment they
+share one finite memory budget. This module closes that loop the same way
+:class:`~repro.resilience.OverloadController` closes the latency loop —
+an explicit, *measured* control policy instead of an OOM kill:
+
+1. **Account** — named accountants report bytes per family (``window``,
+   ``index``, ``journal``, ``mailbox``, …) using the deterministic
+   estimators of :mod:`repro.storage.accounting`; every tick's totals
+   feed the ``repro_memory_*`` gauges.
+2. **Degrade, one rung at a time** — while the total exceeds the budget
+   the governor climbs a ladder of progressively lossy levers, one rung
+   per tick so cheap relief gets a chance before expensive sacrifice:
+
+   * ``spill`` — flush tiered window heads to disk
+     (:meth:`~repro.core.base.StreamDiversifier.spill`): zero semantic
+     cost, needs tiered storage to have any effect.
+   * ``probe`` — cap per-scan candidate probes
+     (:meth:`~repro.core.base.StreamDiversifier.set_probe_limit`): scans
+     stop touching cold spilled segments, at the cost of occasional
+     duplicate leakage (fail-open — never a lost post).
+   * ``shed`` — raise memory pressure on the
+     :class:`~repro.resilience.OverloadController`, which sheds arriving
+     posts through its exact-accounting paths.
+
+3. **Recover with hysteresis** — rungs release one per tick only once the
+   total drops below ``resume_fraction × budget``, so the ladder cannot
+   oscillate at the budget boundary.
+
+Every transition is counted and recorded (:attr:`MemoryGovernor.
+transitions`), and the current rung is surfaced by ``/healthz`` as
+``degraded: memory governor at <rung> …``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..errors import MemoryBudgetError
+
+#: Ladder rungs, mildest first; index = escalation level.
+GOVERNOR_LEVELS = ("normal", "spill", "probe", "shed")
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Tuning knobs for one :class:`MemoryGovernor`.
+
+    ``budget_bytes`` is the accounted-byte ceiling; ``resume_fraction``
+    sets the hysteresis release threshold (de-escalate only below
+    ``resume_fraction * budget_bytes``); ``check_every`` paces ticks in
+    posts observed; ``probe_limit`` is the per-scan candidate cap the
+    ``probe`` rung imposes.
+    """
+
+    budget_bytes: int
+    resume_fraction: float = 0.75
+    check_every: int = 256
+    probe_limit: int = 64
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes < 1:
+            raise MemoryBudgetError(
+                f"budget_bytes must be >= 1, got {self.budget_bytes}"
+            )
+        if not 0.0 < self.resume_fraction < 1.0:
+            raise MemoryBudgetError(
+                "resume_fraction must be in (0, 1) — at 1.0 the ladder "
+                f"oscillates at the budget boundary; got {self.resume_fraction}"
+            )
+        if self.check_every < 1:
+            raise MemoryBudgetError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+        if self.probe_limit < 1:
+            raise MemoryBudgetError(
+                f"probe_limit must be >= 1, got {self.probe_limit}"
+            )
+
+
+@dataclass
+class GovernorTransition:
+    """One recorded ladder move (for logs, tests, and the report)."""
+
+    direction: str  # "escalate" | "release"
+    level: str  # rung entered, by name
+    total_bytes: int
+
+
+class MemoryGovernor:
+    """Drive the degradation ladder from accounted memory usage.
+
+    Args:
+        engine: any single- or multi-user engine exposing the
+            bounded-memory hooks (``memory_breakdown`` / ``spill`` /
+            ``set_probe_limit``).
+        config: the budget and pacing knobs.
+        overload: the service's :class:`~repro.resilience.
+            OverloadController`; without one the ladder tops out at
+            ``probe`` (there is nobody to shed for us).
+
+    Extra byte sources (the service mailbox, a reorder buffer, the
+    supervisor's journals when not already reported by the engine) join
+    the accounting via :meth:`add_source`.
+    """
+
+    def __init__(self, engine, config: GovernorConfig, *, overload=None):
+        self.engine = engine
+        self.config = config
+        self.overload = overload
+        self.level = 0
+        self.ticks = 0
+        self.escalations = 0
+        self.releases = 0
+        self.transitions: list[GovernorTransition] = []
+        self.last_usage: dict[str, int] = {}
+        self._since_check = 0
+        self._sources: dict[str, Callable[[], int]] = {}
+
+    # -- accounting ----------------------------------------------------------
+
+    def add_source(self, name: str, fn: Callable[[], int]) -> None:
+        """Register an extra accountant: ``fn()`` returns current bytes
+        for family ``name`` (added to the engine's own families)."""
+        self._sources[name] = fn
+
+    def usage(self) -> dict[str, int]:
+        """Current accounted bytes by family (engine + extra sources)."""
+        totals = dict(self.engine.memory_breakdown())
+        for name, fn in self._sources.items():
+            totals[name] = totals.get(name, 0) + fn()
+        return totals
+
+    def total_bytes(self) -> int:
+        return sum(self.usage().values())
+
+    # -- the control loop ----------------------------------------------------
+
+    def observe(self, posts: int = 1) -> None:
+        """Account ``posts`` processed; run one tick per ``check_every``."""
+        self._since_check += posts
+        if self._since_check >= self.config.check_every:
+            self._since_check = 0
+            self.tick()
+
+    def tick(self) -> None:
+        """One control decision: measure, then move at most one rung."""
+        self.ticks += 1
+        usage = self.usage()
+        self.last_usage = usage
+        total = sum(usage.values())
+        config = self.config
+        if total > config.budget_bytes:
+            self._escalate(total)
+        elif total < config.resume_fraction * config.budget_bytes:
+            self._release(total)
+        # Between the two thresholds: hold the current rung (hysteresis
+        # dead band). While at or above `spill`, keep flushing — new
+        # arrivals keep landing in the in-memory heads.
+        if self.level >= 1:
+            self.engine.spill()
+
+    def _escalate(self, total: int) -> None:
+        top = len(GOVERNOR_LEVELS) - 1 if self.overload is not None else 2
+        if self.level >= top:
+            return
+        self.level += 1
+        self.escalations += 1
+        name = GOVERNOR_LEVELS[self.level]
+        self.transitions.append(GovernorTransition("escalate", name, total))
+        if name == "probe":
+            self.engine.set_probe_limit(self.config.probe_limit)
+        elif name == "shed":
+            self.overload.set_memory_pressure(True)
+
+    def _release(self, total: int) -> None:
+        if self.level == 0:
+            return
+        leaving = GOVERNOR_LEVELS[self.level]
+        self.level -= 1
+        self.releases += 1
+        self.transitions.append(
+            GovernorTransition("release", GOVERNOR_LEVELS[self.level], total)
+        )
+        if leaving == "shed":
+            self.overload.set_memory_pressure(False)
+        elif leaving == "probe":
+            self.engine.set_probe_limit(None)
+        # Leaving `spill` needs no undo: segments migrate back into the
+        # head lazily as scans touch them; forcing them back would just
+        # re-create the pressure the governor released.
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def level_name(self) -> str:
+        return GOVERNOR_LEVELS[self.level]
+
+    @property
+    def degraded(self) -> bool:
+        """True while any rung above ``normal`` is engaged."""
+        return self.level > 0
+
+    def status(self) -> dict[str, object]:
+        """JSON-able summary (the /healthz.json ``memory`` section)."""
+        return {
+            "level": self.level_name,
+            "budget_bytes": self.config.budget_bytes,
+            "total_bytes": sum(self.last_usage.values()),
+            "usage": dict(self.last_usage),
+            "ticks": self.ticks,
+            "escalations": self.escalations,
+            "releases": self.releases,
+        }

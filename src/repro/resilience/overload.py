@@ -86,11 +86,14 @@ class OverloadController:
         self.resume_delay = resume_delay
         self.policy = policy
         self.shedding = False
+        self.memory_pressure = False
         self.counters = OverloadCounters()
 
     def should_shed(self, backlog_delay: float) -> bool:
         """Advance the hysteresis state machine with the current backlog
         delay; returns True iff the arriving post should be shed."""
+        if self.memory_pressure:
+            return True
         if self.shedding:
             if backlog_delay <= self.resume_delay:
                 self.shedding = False
@@ -98,6 +101,21 @@ class OverloadController:
             self.shedding = True
             self.counters.episodes += 1
         return self.shedding
+
+    def set_memory_pressure(self, active: bool) -> None:
+        """The memory governor's shed rung, riding the same machinery.
+
+        While active every arriving post is shed regardless of backlog,
+        through the same exact-accounting paths (``record_shed``,
+        ``shed_episodes``) as backlog shedding. Entering pressure while
+        not already shedding opens one episode; release hands control
+        back to the backlog hysteresis, which drains normally — so the
+        two control loops compose without double-counting or flapping.
+        """
+        if active and not self.memory_pressure and not self.shedding:
+            self.shedding = True
+            self.counters.episodes += 1
+        self.memory_pressure = active
 
     def record_shed(self) -> None:
         if self.policy == "drop":
@@ -114,6 +132,7 @@ class OverloadController:
             "max_delay": self.max_delay,
             "resume_delay": self.resume_delay,
             "shedding": self.shedding,
+            "memory_pressure": self.memory_pressure,
         }
         result.update(self.counters.snapshot())
         return result

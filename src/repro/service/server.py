@@ -58,6 +58,7 @@ class DiversificationService:
         *,
         purge_every: int = 2000,
         overload: OverloadController | None = None,
+        governor=None,
         registry: Registry | None = None,
         tracer=None,
     ):
@@ -66,6 +67,10 @@ class DiversificationService:
         self.engine = engine
         self.latency = LatencyRecorder()
         self.overload = overload
+        #: Optional :class:`repro.resilience.MemoryGovernor`; ticked from
+        #: the ingest path (and while shedding, so memory pressure can
+        #: release once purges drain the windows).
+        self.governor = governor
         self._purge_every = purge_every
         self._since_purge = 0
         self._service_times: list[float] = []
@@ -89,6 +94,10 @@ class DiversificationService:
             self.engine.bind_metrics(registry, tracer=tracer)
         if registry is not None and not registry.is_noop:
             ServiceInstruments(registry, self)
+            if self.governor is not None:
+                from ..obs.instruments import MemoryInstruments
+
+                MemoryInstruments(registry, self.governor)
             self.registry = registry
 
     def serve_metrics(
@@ -105,22 +114,75 @@ class DiversificationService:
             self.bind_metrics(Registry())
         assert self.registry is not None
         server = MetricsServer(
-            self.registry, host=host, port=port, health=self._health_probe
+            self.registry,
+            host=host,
+            port=port,
+            health=self._health_probe,
+            health_json=self.degradation_report,
         )
         server.start()
         return server
 
-    def _health_probe(self) -> str:
-        """``/healthz`` body: ``ok`` or the supervised degradation notice."""
+    def degradation_report(self) -> dict[str, object]:
+        """The single structured health report behind ``/healthz``.
+
+        Composes every degradation the stack can enter — quarantined
+        shards (supervision), the memory governor's ladder rung, and
+        active load shedding — into one JSON-able dict:
+
+        ``status``
+            ``"ok"`` or ``"degraded"``.
+        ``reasons``
+            one human-readable string per active degradation (empty when
+            healthy); ``/healthz`` renders these joined with ``"; "``.
+        ``shards`` / ``memory`` / ``shedding``
+            the underlying structured sections, present whenever the
+            corresponding subsystem is attached (degraded or not).
+        """
+        reasons: list[str] = []
+        report: dict[str, object] = {"status": "ok", "reasons": reasons}
         status_of = getattr(self.engine, "supervision_status", None)
         status = status_of() if callable(status_of) else None
-        if status and status.get("degraded_shards"):
-            shards = sorted(status["degraded_shards"])
-            return (
-                f"degraded: shards {shards} quarantined, "
-                "running serial in-parent\n"
-            )
-        return "ok\n"
+        if status is not None:
+            report["shards"] = status
+            if status.get("degraded_shards"):
+                shards = sorted(status["degraded_shards"])
+                reasons.append(
+                    f"shards {shards} quarantined, running serial in-parent"
+                )
+        if self.governor is not None:
+            memory = self.governor.status()
+            report["memory"] = memory
+            if self.governor.degraded:
+                reasons.append(
+                    "memory governor at {level} "
+                    "({total_bytes} of {budget_bytes} budget bytes)".format(**memory)
+                )
+        if self.overload is not None:
+            shedding = self.overload.snapshot()
+            report["shedding"] = shedding
+            if self.overload.shedding:
+                cause = (
+                    "memory pressure"
+                    if self.overload.memory_pressure
+                    else "backlog over budget"
+                )
+                reasons.append(
+                    f"shedding arrivals ({cause}, policy {self.overload.policy})"
+                )
+        autoscaler = getattr(self.engine, "autoscaler", None)
+        if autoscaler is not None:
+            report["autoscale"] = autoscaler.status()
+        if reasons:
+            report["status"] = "degraded"
+        return report
+
+    def _health_probe(self) -> str:
+        """``/healthz`` body: ``ok`` or ``degraded: <reason>; <reason>``."""
+        report = self.degradation_report()
+        if report["status"] == "ok":
+            return "ok\n"
+        return "degraded: " + "; ".join(report["reasons"]) + "\n"
 
     def ingest(self, post: Post):
         """Process one post, timing the decision. Returns the engine's
@@ -135,6 +197,8 @@ class DiversificationService:
         if self._since_purge >= self._purge_every:
             self.engine.purge(post.timestamp)
             self._since_purge = 0
+        if self.governor is not None:
+            self.governor.observe()
         return verdict
 
     def replay(
@@ -188,6 +252,17 @@ class DiversificationService:
             backlog = max(0.0, server_free - arrival)
             if controller.should_shed(backlog):
                 controller.record_shed()
+                # Shed posts still advance time for the engine: purge on
+                # the usual cadence and tick the governor, so windows
+                # keep expiring and memory pressure can release instead
+                # of deadlocking in permanent shed (nothing processed →
+                # no purges → memory never drops).
+                self._since_purge += 1
+                if self._since_purge >= self._purge_every:
+                    self.engine.purge(post.timestamp)
+                    self._since_purge = 0
+                if self.governor is not None:
+                    self.governor.observe()
                 continue
             start = time.perf_counter()
             self.ingest(post)
@@ -240,8 +315,10 @@ class MetricsServer:
     * ``GET /metrics`` — Prometheus text exposition format 0.0.4;
     * ``GET /metrics.json`` — the JSON snapshot;
     * ``GET /healthz`` — liveness probe (``ok``, or whatever the
-      ``health`` callback reports — a supervised engine answers
-      ``degraded: …`` once a poison shard has been quarantined).
+      ``health`` callback reports — a degraded stack answers
+      ``degraded: <reason>; <reason>``);
+    * ``GET /healthz.json`` — the structured degradation report from the
+      ``health_json`` callback (shards, memory, shedding in one dict).
 
     Serves from a daemon thread (:class:`ThreadingHTTPServer`), so a
     replay loop stays scrapable while it runs. Metrics collection reads
@@ -255,9 +332,11 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         health: Callable[[], str] | None = None,
+        health_json: Callable[[], dict] | None = None,
     ):
         self.registry = registry
         self.health = health
+        self.health_json = health_json
         self._host = host
         self._port = port
         self._httpd: ThreadingHTTPServer | None = None
@@ -281,6 +360,7 @@ class MetricsServer:
             return self.address
         registry = self.registry
         health = self.health
+        health_json = self.health_json
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 (stdlib API)
@@ -297,6 +377,16 @@ class MetricsServer:
                     text = health() if health is not None else "ok\n"
                     body = text.encode("utf-8")
                     ctype = "text/plain; charset=utf-8"
+                elif path == "/healthz.json":
+                    report = (
+                        health_json()
+                        if health_json is not None
+                        else {"status": "ok", "reasons": []}
+                    )
+                    body = json.dumps(report, indent=2, sort_keys=True).encode(
+                        "utf-8"
+                    )
+                    ctype = "application/json"
                 else:
                     self.send_error(404, "unknown path (try /metrics)")
                     return

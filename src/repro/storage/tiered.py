@@ -1,0 +1,364 @@
+"""Tiered window store: in-memory head + append-only spill segments.
+
+The paper's engines keep the whole λt window of every bin in process
+memory, which makes subscriber count a function of RAM. This module bounds
+that: a :class:`TieredPostBin` keeps only the *recent head* of a bin in
+memory (a deque, exactly like :class:`~repro.core.bins.PostBin`) and spills
+the cold prefix to append-only pickle segments on disk.
+
+Why segments make compaction free: posts arrive in non-decreasing timestamp
+order and are always spilled oldest-first, so segment ``i`` ends no later
+than segment ``i+1`` begins, which ends no later than the head begins.
+Expiry therefore only ever removes a *prefix* of the store — whole old
+segments are dropped by unlinking the file, at most one boundary segment is
+trimmed by advancing a start cursor, and nothing is ever rewritten.
+
+The bin is a drop-in replacement for :class:`PostBin`: same methods, same
+*exact* eviction/len accounting, and iteration yields equal posts in the
+same order (segments are pickled, and ``Post`` is a frozen value type), so
+coverage verdicts — and hence receiver sets and checkpoints — are
+byte-identical to the all-in-memory store. What spilling trades away is
+scan locality: a coverage scan that runs past the head faults segments back
+in one file at a time (a one-segment decode cache keeps duplicate-heavy
+streams cheap).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import weakref
+from collections import deque
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from itertools import chain, count
+
+from ..core.post import Post
+from ..errors import ConfigurationError
+from .accounting import (
+    DEQUE_SLOT_BYTES,
+    POST_BASE_BYTES,
+    SPILLED_ENTRY_BYTES,
+)
+
+#: Process-wide segment file counter; combined with the pid it keeps file
+#: names unique even when many bins (or sharded worker processes) share one
+#: spill directory.
+_SEGMENT_IDS = count()
+
+
+@dataclass(frozen=True)
+class SpillConfig:
+    """Where and when a :class:`TieredPostBin` spills.
+
+    Picklable by design: the parallel layer ships it to shard workers inside
+    :class:`~repro.parallel.worker.ShardSpec`, and every process derives
+    unique segment file names from its own pid.
+
+    Attributes:
+        directory: spill directory (created on first use; shared freely
+            between bins and processes).
+        head_limit: max posts kept in a bin's in-memory head before the
+            oldest ``segment_size`` of them are spilled.
+        segment_size: posts per spill segment — the granularity of free
+            compaction (expiry drops whole segments).
+    """
+
+    directory: str
+    head_limit: int = 512
+    segment_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.segment_size < 1:
+            raise ConfigurationError(
+                f"segment_size must be >= 1, got {self.segment_size}"
+            )
+        if self.head_limit < self.segment_size:
+            raise ConfigurationError(
+                f"head_limit ({self.head_limit}) must be >= "
+                f"segment_size ({self.segment_size}) so a spill always "
+                f"fills a whole segment"
+            )
+
+    def make_bin(self) -> "TieredPostBin":
+        """Build a tiered bin spilling under this config."""
+        return TieredPostBin(self)
+
+
+class _Segment:
+    """One on-disk run of posts plus its in-memory timestamp stubs.
+
+    ``start`` is the cursor of the expired prefix: posts before it are
+    logically gone (they were counted as evictions) but stay in the file
+    until the whole segment expires and the file is unlinked.
+    """
+
+    __slots__ = ("path", "timestamps", "start")
+
+    def __init__(self, path: str, timestamps: list[float]):
+        self.path = path
+        self.timestamps = timestamps
+        self.start = 0
+
+    @property
+    def live(self) -> int:
+        return len(self.timestamps) - self.start
+
+
+def _cleanup_paths(paths: set[str]) -> None:
+    for path in paths:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+class _TieredView:
+    """Read-only arrival-ordered view over a tiered bin.
+
+    Duck-types the slice of the deque API the engines' hot loops use on
+    ``PostBin.data``: ``reversed()`` for the newest-first coverage scan,
+    plain iteration for the oldest-first ablation, ``len()`` for gauges.
+    """
+
+    __slots__ = ("_bin",)
+
+    def __init__(self, bin_: "TieredPostBin"):
+        self._bin = bin_
+
+    def __len__(self) -> int:
+        return len(self._bin)
+
+    def __iter__(self) -> Iterator[Post]:
+        return self._bin._iter_oldest_first()
+
+    def __reversed__(self) -> Iterator[Post]:
+        return self._bin._iter_newest_first()
+
+
+class TieredPostBin:
+    """A :class:`~repro.core.bins.PostBin` with a bounded in-memory head.
+
+    Construct via :meth:`SpillConfig.make_bin`. The engines accept either
+    bin flavour through their ``storage=`` keyword; all mutation and
+    accounting semantics (append / scan / expire / clear / merge /
+    remove_authored return values) match ``PostBin`` exactly.
+    """
+
+    __slots__ = (
+        "_config",
+        "_head",
+        "_segments",
+        "_cache_path",
+        "_cache_posts",
+        "_dir_ready",
+        "_paths",
+        "_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(self, config: SpillConfig):
+        self._config = config
+        self._head: deque[Post] = deque()
+        self._segments: list[_Segment] = []
+        self._cache_path: str | None = None
+        self._cache_posts: list[Post] | None = None
+        self._dir_ready = False
+        # Shared with the finalizer so segment files never outlive the bin,
+        # even when it is garbage-collected without an explicit dispose().
+        self._paths: set[str] = set()
+        self._finalizer = weakref.finalize(self, _cleanup_paths, self._paths)
+
+    # -- PostBin API -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._head) + sum(seg.live for seg in self._segments)
+
+    def __iter__(self) -> Iterator[Post]:
+        return self._iter_oldest_first()
+
+    @property
+    def data(self) -> _TieredView:
+        """Arrival-ordered read view (see :attr:`PostBin.data`)."""
+        return _TieredView(self)
+
+    def append(self, post: Post) -> None:
+        """Store ``post`` as the newest entry, spilling the cold prefix of
+        the head once it outgrows ``head_limit``."""
+        self._head.append(post)
+        if len(self._head) > self._config.head_limit:
+            self._spill(self._config.segment_size)
+
+    def scan(self, now: float, lambda_t: float, *, newest_first: bool = True) -> Iterator[Post]:
+        """Yield candidates inside ``[now - lambda_t, now]`` — same
+        semantics and order as :meth:`PostBin.scan`."""
+        cutoff = now - lambda_t
+        if newest_first:
+            for post in self._iter_newest_first():
+                if post.timestamp < cutoff:
+                    return
+                yield post
+        else:
+            for post in self._iter_oldest_first():
+                if post.timestamp >= cutoff:
+                    yield post
+
+    def expire(self, now: float, lambda_t: float) -> int:
+        """Drop posts older than ``now - lambda_t``; return the exact count.
+
+        Whole-segment expiry is the free compaction: the file is unlinked,
+        nothing is copied. Because the store is globally timestamp-ordered,
+        at most the *oldest surviving* segment can be partially expired —
+        it is trimmed by advancing its start cursor.
+        """
+        cutoff = now - lambda_t
+        dropped = 0
+        segments = self._segments
+        while segments and segments[0].timestamps[-1] < cutoff:
+            seg = segments.pop(0)
+            dropped += seg.live
+            self._discard(seg)
+        if segments:
+            seg = segments[0]
+            timestamps = seg.timestamps
+            start = seg.start
+            while timestamps[start] < cutoff:
+                start += 1
+                dropped += 1
+            seg.start = start
+        head = self._head
+        while head and head[0].timestamp < cutoff:
+            head.popleft()
+            dropped += 1
+        return dropped
+
+    def clear(self) -> int:
+        """Remove everything (and its segment files); return the count."""
+        dropped = len(self)
+        for seg in self._segments:
+            self._discard(seg)
+        self._segments.clear()
+        self._head.clear()
+        return dropped
+
+    def merge(self, posts: Iterable[Post]) -> int:
+        """Merge ``posts`` keeping (timestamp, post_id) order; return how
+        many were inserted. Cold path: rewrites the spilled tier."""
+        incoming = list(posts)
+        if not incoming:
+            return 0
+        merged = sorted(
+            chain(self._iter_oldest_first(), incoming),
+            key=lambda p: (p.timestamp, p.post_id),
+        )
+        self._rewrite(merged)
+        return len(incoming)
+
+    def remove_authored(self, author: int) -> int:
+        """Drop every post authored by ``author``; return how many."""
+        posts = list(self._iter_oldest_first())
+        kept = [post for post in posts if post.author != author]
+        dropped = len(posts) - len(kept)
+        if dropped:
+            self._rewrite(kept)
+        return dropped
+
+    # -- tiering -----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Force-spill the entire in-memory head to disk; return how many
+        posts moved. The governor's first ladder rung: turn warm window
+        state cold to free RAM without changing any verdict."""
+        moved = len(self._head)
+        if moved:
+            self._spill(moved)
+        return moved
+
+    @property
+    def head_len(self) -> int:
+        """Posts currently resident in the in-memory head."""
+        return len(self._head)
+
+    @property
+    def spilled_len(self) -> int:
+        """Live posts currently resident in spill segments."""
+        return sum(seg.live for seg in self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def approx_bytes(self) -> int:
+        """Accounted in-memory bytes: full posts for the head, timestamp
+        stubs for spilled entries (their payload lives on disk)."""
+        total = sum(
+            POST_BASE_BYTES + len(p.text) + DEQUE_SLOT_BYTES for p in self._head
+        )
+        for seg in self._segments:
+            total += seg.live * SPILLED_ENTRY_BYTES
+        return total
+
+    def dispose(self) -> None:
+        """Drop all state and unlink segment files now (idempotent)."""
+        self.clear()
+        self._cache_path = None
+        self._cache_posts = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _spill(self, n: int) -> None:
+        head = self._head
+        chunk = [head.popleft() for _ in range(min(n, len(head)))]
+        if not chunk:
+            return
+        if not self._dir_ready:
+            os.makedirs(self._config.directory, exist_ok=True)
+            self._dir_ready = True
+        name = f"seg-{os.getpid()}-{next(_SEGMENT_IDS):010d}.bin"
+        path = os.path.join(self._config.directory, name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(chunk, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self._paths.add(path)
+        self._segments.append(_Segment(path, [p.timestamp for p in chunk]))
+
+    def _discard(self, seg: _Segment) -> None:
+        self._paths.discard(seg.path)
+        if self._cache_path == seg.path:
+            self._cache_path = None
+            self._cache_posts = None
+        try:
+            os.unlink(seg.path)
+        except OSError:
+            pass
+
+    def _read(self, seg: _Segment) -> list[Post]:
+        if self._cache_path != seg.path:
+            with open(seg.path, "rb") as fh:
+                self._cache_posts = pickle.load(fh)
+            self._cache_path = seg.path
+        return self._cache_posts  # type: ignore[return-value]
+
+    def _iter_oldest_first(self) -> Iterator[Post]:
+        for seg in list(self._segments):
+            posts = self._read(seg)
+            yield from posts[seg.start :]
+        yield from self._head
+
+    def _iter_newest_first(self) -> Iterator[Post]:
+        for post in reversed(self._head):
+            yield post
+        for seg in reversed(list(self._segments)):
+            posts = self._read(seg)
+            for i in range(len(posts) - 1, seg.start - 1, -1):
+                yield posts[i]
+
+    def _rewrite(self, posts: list[Post]) -> None:
+        for seg in self._segments:
+            self._discard(seg)
+        self._segments.clear()
+        self._head = deque(posts)
+        config = self._config
+        while len(self._head) > config.head_limit:
+            self._spill(config.segment_size)

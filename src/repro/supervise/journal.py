@@ -10,22 +10,27 @@ here, verbatim, in acknowledgement order. Engines are deterministic, so
 and re-feeding the journal to a respawned worker (or to an in-parent
 degraded engine) reproduces the lost state exactly.
 
-The journal is *bounded only through the checkpoint cadence*: when
-``full`` turns true the supervisor takes an early checkpoint and clears
-it. Entries are never dropped — dropping one would silently diverge the
-recovered receiver sets, the exact failure mode this layer exists to
-prevent — so ``limit`` caps recovery *cost*, not correctness.
+The journal is bounded through the checkpoint cadence: when ``full`` turns
+true the supervisor takes an early checkpoint and clears it, so depth never
+exceeds ``limit``. That bound is *enforced*, not advisory — an append past
+the limit raises :class:`~repro.errors.JournalOverflowError`, because the
+only way to get there is a supervisor that stopped checkpointing, and
+unbounded journal growth is precisely the memory leak this bound exists to
+prevent. Entries are never silently dropped — dropping one would diverge
+the recovered receiver sets, the exact failure mode this layer prevents —
+so ``limit`` caps recovery cost *and* journal memory, never correctness.
 """
 
 from __future__ import annotations
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, JournalOverflowError
+from ..storage.accounting import estimate_message_bytes
 
 
 class BatchJournal:
     """Acknowledged-but-not-yet-checkpointed commands for one shard."""
 
-    __slots__ = ("limit", "_entries", "_posts")
+    __slots__ = ("limit", "_entries", "_posts", "_bytes")
 
     def __init__(self, limit: int):
         if limit < 1:
@@ -33,12 +38,25 @@ class BatchJournal:
         self.limit = limit
         self._entries: list[tuple] = []
         self._posts = 0
+        self._bytes = 0
 
     def append(self, message: tuple, *, posts: int = 0) -> None:
         """Record one acknowledged mutating command (``posts`` is the
-        number of stream posts it carried, for the checkpoint cadence)."""
+        number of stream posts it carried, for the checkpoint cadence).
+
+        Raises :class:`JournalOverflowError` if the journal is already at
+        its depth bound: the supervisor must checkpoint-and-clear when
+        ``full`` turns true, so growth past ``limit`` is a caller bug.
+        """
+        if len(self._entries) >= self.limit:
+            raise JournalOverflowError(
+                f"journal is at its depth bound ({self.limit} entries); a "
+                "rolling checkpoint must truncate it before more commands "
+                "are journalled"
+            )
         self._entries.append(message)
         self._posts += posts
+        self._bytes += estimate_message_bytes(message)
 
     def replay(self) -> tuple[tuple, ...]:
         """The journalled commands in acknowledgement order."""
@@ -48,6 +66,7 @@ class BatchJournal:
         """Empty the journal — call only after a successful checkpoint."""
         self._entries.clear()
         self._posts = 0
+        self._bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -61,3 +80,9 @@ class BatchJournal:
     def full(self) -> bool:
         """True once the entry cap is reached: checkpoint now."""
         return len(self._entries) >= self.limit
+
+    def approx_bytes(self) -> int:
+        """Accounted bytes of the journalled commands (a memory-governor
+        family; see :mod:`repro.storage.accounting`), maintained
+        incrementally at append/clear time."""
+        return self._bytes

@@ -29,13 +29,17 @@ how to build the in-parent fallback server — arrives in a
 
 from __future__ import annotations
 
+import os
+import pickle
 import random
+import struct
 import time
 import weakref
+import zlib
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
-from ..errors import ConfigurationError, ParallelError
+from ..errors import CheckpointError, ConfigurationError, ParallelError
 from .journal import BatchJournal
 
 
@@ -52,6 +56,11 @@ class SupervisionConfig:
     stream posts per shard, and ``journal_limit`` forces an early
     checkpoint once that many mutating commands are journalled (bounding
     replay cost). ``seed`` drives the jitter deterministically.
+    ``checkpoint_dir``, when set, spills each shard's rolling checkpoint
+    to an atomically-written, checksummed file in that directory instead
+    of holding the payload in parent memory — bounding the coordinator's
+    footprint and surviving torn writes (a truncated or corrupted file is
+    rejected with a clear :class:`~repro.errors.CheckpointError`).
     """
 
     heartbeat_interval: float = 1.0
@@ -63,6 +72,7 @@ class SupervisionConfig:
     checkpoint_every: int = 2048
     journal_limit: int = 64
     seed: int = 0
+    checkpoint_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -124,6 +134,62 @@ class _WorkerFailure(Exception):
     """Internal: one observed worker failure (timeout/EOF/corrupt/send)."""
 
 
+#: On-disk shard checkpoint framing: payload length + CRC32, then the
+#: pickled payload. The header is what turns a torn write into a loud
+#: :class:`CheckpointError` instead of silently-wrong recovered state.
+_CHECKPOINT_HEADER = struct.Struct("<QI")
+
+
+class _DiskCheckpoint:
+    """Marker for a shard checkpoint that lives on disk, not in memory."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str):
+        self.path = path
+
+
+def _write_shard_checkpoint(path: str, payload) -> None:
+    """Atomically persist one shard checkpoint: temp file + fsync + rename,
+    framed with length and CRC so partial writes can never load."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(_CHECKPOINT_HEADER.pack(len(blob), zlib.crc32(blob)))
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _read_shard_checkpoint(path: str):
+    """Load a shard checkpoint, rejecting torn or truncated files."""
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read shard checkpoint {path}: {exc}") from exc
+    if len(raw) < _CHECKPOINT_HEADER.size:
+        raise CheckpointError(
+            f"shard checkpoint {path} is truncated: {len(raw)} bytes is "
+            f"shorter than the {_CHECKPOINT_HEADER.size}-byte header "
+            "(crash mid-write?)"
+        )
+    length, crc = _CHECKPOINT_HEADER.unpack_from(raw)
+    blob = raw[_CHECKPOINT_HEADER.size :]
+    if len(blob) != length:
+        raise CheckpointError(
+            f"shard checkpoint {path} is truncated: header promises "
+            f"{length} payload bytes, file holds {len(blob)} (crash mid-write?)"
+        )
+    if zlib.crc32(blob) != crc:
+        raise CheckpointError(
+            f"shard checkpoint {path} is corrupt: payload CRC mismatch "
+            "(torn write or disk corruption); refusing to restore from it"
+        )
+    return pickle.loads(blob)
+
+
 class _Shard:
     """Supervisor-side record of one shard worker."""
 
@@ -136,6 +202,7 @@ class _Shard:
         "checkpoint",
         "restarts",
         "degraded",
+        "retired",
         "server",
         "last_contact",
         "last_command",
@@ -150,6 +217,7 @@ class _Shard:
         self.checkpoint = None
         self.restarts = 0
         self.degraded = False
+        self.retired = False
         self.server = None
         self.last_contact = 0.0
         self.last_command = "spawn"
@@ -363,6 +431,11 @@ class ShardSupervisor:
         if self._closed:
             raise ParallelError(f"{self.name} supervisor already closed")
         shard = self._shards[index]
+        if shard.retired:
+            raise ParallelError(
+                f"{self.name} shard {index} was retired (merged away); "
+                "routing to it is a coordinator bug"
+            )
         shard.last_command = message[0]
         if shard.degraded:
             payload = self._handle_degraded(shard, message)
@@ -411,7 +484,11 @@ class ShardSupervisor:
         return replies
 
     def request_all(self, message: tuple) -> dict[int, object]:
-        return self.request_many({shard.index: message for shard in self._shards})
+        """Broadcast to every *active* shard (retired tombstones are
+        skipped — their components live on in the shard they merged into)."""
+        return self.request_many(
+            {shard.index: message for shard in self._shards if not shard.retired}
+        )
 
     def _handle_degraded(self, shard: _Shard, message: tuple):
         try:
@@ -446,9 +523,41 @@ class ShardSupervisor:
             payload = self._recover(shard, failure, inflight=command)
             if shard.degraded:
                 return  # degraded shards neither journal nor checkpoint
-        shard.checkpoint = payload
+        shard.checkpoint = self._store_checkpoint(shard, payload)
         shard.journal.clear()
         self.checkpoints_taken += 1
+
+    def _checkpoint_path(self, shard: _Shard) -> str:
+        assert self.config.checkpoint_dir is not None
+        return os.path.join(
+            self.config.checkpoint_dir, f"{self.name}-shard{shard.index:04d}.ckpt"
+        )
+
+    def _store_checkpoint(self, shard: _Shard, payload):
+        """Keep the payload in memory, or — with ``checkpoint_dir`` — spill
+        it to an atomic, checksummed file and keep only the reference."""
+        directory = self.config.checkpoint_dir
+        if directory is None:
+            return payload
+        os.makedirs(directory, exist_ok=True)
+        path = self._checkpoint_path(shard)
+        _write_shard_checkpoint(path, payload)
+        return _DiskCheckpoint(path)
+
+    def _checkpoint_payload(self, shard: _Shard):
+        """Resolve a shard's stored checkpoint to its payload; raises
+        :class:`CheckpointError` on a torn or truncated on-disk file."""
+        checkpoint = shard.checkpoint
+        if isinstance(checkpoint, _DiskCheckpoint):
+            return _read_shard_checkpoint(checkpoint.path)
+        return checkpoint
+
+    def _drop_checkpoint_file(self, shard: _Shard) -> None:
+        if isinstance(shard.checkpoint, _DiskCheckpoint):
+            try:
+                os.unlink(shard.checkpoint.path)
+            except OSError:
+                pass
 
     # -- liveness -----------------------------------------------------------
 
@@ -466,7 +575,7 @@ class ShardSupervisor:
             return
         self._last_sweep = now
         for shard in self._shards:
-            if shard.degraded:
+            if shard.degraded or shard.retired:
                 continue
             if not force and now - shard.last_contact < self.config.heartbeat_interval:
                 continue
@@ -525,7 +634,9 @@ class ShardSupervisor:
         """Rebuild a fresh worker's state: checkpoint, then journal replay
         (replies are drained and discarded — the caller already has them)."""
         if shard.checkpoint is not None:
-            for message in self.protocol.restore_messages(shard.checkpoint):
+            for message in self.protocol.restore_messages(
+                self._checkpoint_payload(shard)
+            ):
                 self._send(shard, message)
                 self._recv(shard, message[0])
         for message in shard.journal.replay():
@@ -540,7 +651,9 @@ class ShardSupervisor:
         try:
             server = self.protocol.make_server(spec)
             if shard.checkpoint is not None:
-                for message in self.protocol.restore_messages(shard.checkpoint):
+                for message in self.protocol.restore_messages(
+                    self._checkpoint_payload(shard)
+                ):
                     server.handle(message)
             for message in shard.journal.replay():
                 server.handle(message)
@@ -554,15 +667,97 @@ class ShardSupervisor:
             ) from exc
         shard.server = server
         shard.degraded = True
+        self._drop_checkpoint_file(shard)
         shard.checkpoint = None
         shard.journal.clear()
         self.degradations += 1
+
+    # -- live topology (shard autoscaling) ----------------------------------
+    #
+    # The autoscaler (:mod:`repro.parallel.autoscale`) splits hot shards and
+    # merges cold ones through these hooks. Shard indices are stable for the
+    # supervisor's lifetime: new shards append, merged-away shards become
+    # retired tombstones that no request or heartbeat ever touches again.
+
+    def spec_of(self, index: int):
+        """The startup spec currently on file for ``index`` (what a respawn
+        would build)."""
+        return self._shards[index].spec
+
+    def update_spec(self, index: int, spec) -> None:
+        """Replace a shard's respawn spec after a live topology change —
+        call only once the worker's actual state matches ``spec`` (e.g.
+        after the split's ``drop`` was acknowledged)."""
+        self._shards[index].spec = spec
+
+    def add_shard(self, spec) -> int:
+        """Spawn a new worker for ``spec`` and return its shard index.
+
+        The shard starts with an empty journal and no checkpoint: state is
+        installed through normal journalled commands (``load``/``adopt``),
+        so a crash at any point of a split replays to the identical state.
+        """
+        if self._closed:
+            raise ParallelError(f"{self.name} supervisor already closed")
+        shard = _Shard(len(self._shards), spec, self.config.journal_limit)
+        self._shards.append(shard)
+        try:
+            self._spawn(shard)
+        except _WorkerFailure as failure:
+            # Same healing contract as any other shard: a worker that dies
+            # while being added is respawned under the restart budget.
+            self._recover(shard, failure, inflight=None)
+        return shard.index
+
+    def retire_shard(self, index: int) -> None:
+        """Tear down a shard merged into another one; idempotent.
+
+        The tombstone keeps indices stable; its journal/checkpoint are
+        dropped because its components' state now lives in (and is
+        journalled by) the adopting shard.
+        """
+        shard = self._shards[index]
+        if shard.retired:
+            return
+        shard.retired = True
+        shard.degraded = False
+        shard.server = None
+        self._drop_checkpoint_file(shard)
+        shard.checkpoint = None
+        shard.journal.clear()
+        self._destroy(shard)
+
+    def checkpoint_now(self, index: int) -> bool:
+        """Take an immediate rolling checkpoint of one shard (and clear its
+        journal). Returns False for degraded or retired shards, which have
+        nothing to checkpoint."""
+        shard = self._shards[index]
+        if shard.degraded or shard.retired:
+            return False
+        self._checkpoint(shard)
+        return not shard.degraded
 
     # -- status -------------------------------------------------------------
 
     @property
     def shard_count(self) -> int:
         return len(self._shards)
+
+    @property
+    def active_shard_count(self) -> int:
+        """Shards still serving traffic (excludes retired tombstones)."""
+        return sum(1 for s in self._shards if not s.retired)
+
+    def is_retired(self, index: int) -> bool:
+        return self._shards[index].retired
+
+    def retired_shards(self) -> tuple[int, ...]:
+        return tuple(s.index for s in self._shards if s.retired)
+
+    def journal_bytes(self) -> int:
+        """Accounted bytes of every active shard's journal (a memory-
+        governor family)."""
+        return sum(s.journal.approx_bytes() for s in self._shards if not s.retired)
 
     def restarts_of(self, index: int) -> int:
         return self._shards[index].restarts
@@ -590,6 +785,7 @@ class ShardSupervisor:
                 1 for s in self._shards if self.is_live(s.index)
             ),
             "degraded_shards": list(self.degraded_shards()),
+            "retired_shards": list(self.retired_shards()),
             "restarts": self.restarts_total,
             "degradations": self.degradations,
             "checkpoints": self.checkpoints_taken,

@@ -1,0 +1,191 @@
+"""/healthz end to end: one structured degradation report, every cause.
+
+The service composes every degradation source — quarantined shards, the
+memory governor's ladder rung, overload shedding — into one line on
+``/healthz`` and one JSON document on ``/healthz.json``. These tests
+drive a real service over HTTP through healthy, memory-degraded and
+shedding regimes and pin the exact wire format, including the legacy
+strings older probes already match on.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds, make_diversifier
+from repro.resilience import GovernorConfig, MemoryGovernor, OverloadController
+from repro.service import DiversificationService
+from repro.storage import SpillConfig
+
+
+def _get(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.read()
+
+
+def make_post(i: int) -> Post:
+    # Fibonacci-hashed fingerprints: pairwise Hamming distances far above
+    # any λc, so every post is admitted and the windows genuinely grow.
+    fingerprint = (i * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+    return Post(
+        post_id=i,
+        author=1 + i % 2,
+        text=f"t{i}" * 8,
+        timestamp=float(i),
+        fingerprint=fingerprint,
+    )
+
+
+def governed_service(tmp_path, *, budget: int, overload=None, check_every=16):
+    graph = AuthorGraph(nodes=[1, 2], edges=[(1, 2)])
+    engine = make_diversifier(
+        "unibin",
+        Thresholds(lambda_t=10_000.0),
+        graph,
+        storage=SpillConfig(str(tmp_path), head_limit=8, segment_size=4),
+    )
+    governor = MemoryGovernor(
+        engine,
+        GovernorConfig(budget_bytes=budget, check_every=check_every, probe_limit=4),
+        overload=overload,
+    )
+    return DiversificationService(
+        engine, governor=governor, overload=overload, purge_every=10_000
+    )
+
+
+class TestHealthzText:
+    def test_healthy_service_stays_legacy_ok(self, tmp_path):
+        service = governed_service(tmp_path, budget=10_000_000)
+        with service.serve_metrics() as server:
+            for i in range(40):
+                service.ingest(make_post(i))
+            assert _get(server.url + "/healthz") == b"ok\n"
+
+    def test_memory_degradation_names_rung_and_bytes(self, tmp_path):
+        service = governed_service(tmp_path, budget=2000)
+        with service.serve_metrics() as server:
+            for i in range(80):
+                service.ingest(make_post(i))
+            text = _get(server.url + "/healthz").decode()
+            assert text.startswith("degraded: memory governor at ")
+            assert "of 2000 budget bytes)" in text
+            assert text.endswith("\n")
+
+    def test_shedding_joins_the_report_with_semicolons(self, tmp_path):
+        overload = OverloadController(max_delay=60.0)
+        service = governed_service(tmp_path, budget=1500, overload=overload)
+        with service.serve_metrics() as server:
+            for i in range(200):
+                service.ingest(make_post(i))
+            assert service.governor.level_name == "shed"
+            text = _get(server.url + "/healthz").decode()
+            assert "memory governor at shed" in text
+            assert "; shedding arrivals (memory pressure, policy drop)" in text
+
+
+class TestHealthzJson:
+    def test_healthy_report_shape(self, tmp_path):
+        service = governed_service(tmp_path, budget=10_000_000)
+        with service.serve_metrics() as server:
+            for i in range(40):
+                service.ingest(make_post(i))
+            report = json.loads(_get(server.url + "/healthz.json"))
+            assert report["status"] == "ok"
+            assert report["reasons"] == []
+            assert report["memory"]["level"] == "normal"
+            assert report["memory"]["budget_bytes"] == 10_000_000
+            assert report["memory"]["total_bytes"] > 0
+            assert "window" in report["memory"]["usage"]
+
+    def test_degraded_report_carries_every_section(self, tmp_path):
+        overload = OverloadController(max_delay=60.0)
+        service = governed_service(tmp_path, budget=1500, overload=overload)
+        with service.serve_metrics() as server:
+            for i in range(200):
+                service.ingest(make_post(i))
+            report = json.loads(_get(server.url + "/healthz.json"))
+            assert report["status"] == "degraded"
+            assert len(report["reasons"]) == 2
+            assert report["memory"]["level"] == "shed"
+            assert report["memory"]["escalations"] >= 3
+            assert report["shedding"]["memory_pressure"] is True
+            assert report["shedding"]["shed_total"] >= 0
+            # The text probe is exactly the joined reasons.
+            text = _get(server.url + "/healthz").decode()
+            assert text == "degraded: " + "; ".join(report["reasons"]) + "\n"
+
+    def test_report_matches_service_side_degradation_report(self, tmp_path):
+        service = governed_service(tmp_path, budget=2000)
+        with service.serve_metrics() as server:
+            for i in range(80):
+                service.ingest(make_post(i))
+            assert (
+                json.loads(_get(server.url + "/healthz.json"))
+                == service.degradation_report()
+            )
+
+    def test_json_route_without_report_hook_is_plain_ok(self):
+        from repro.obs import Registry
+        from repro.service import MetricsServer
+
+        server = MetricsServer(Registry())
+        server.start()
+        try:
+            report = json.loads(_get(server.url + "/healthz.json"))
+            assert report == {"status": "ok", "reasons": []}
+        finally:
+            server.stop()
+
+
+class TestRecoveryReleasesTheReport:
+    def test_purge_drains_memory_and_healthz_returns_to_ok(self, tmp_path):
+        """Anti-livelock, end to end: once old windows expire, the ticked
+        governor walks back down the ladder and /healthz recovers."""
+        graph = AuthorGraph(nodes=[1, 2], edges=[(1, 2)])
+        engine = make_diversifier(
+            "unibin",
+            Thresholds(lambda_t=50.0),  # short window: posts age out fast
+            graph,
+            storage=SpillConfig(str(tmp_path), head_limit=8, segment_size=4),
+        )
+        governor = MemoryGovernor(
+            engine, GovernorConfig(budget_bytes=2500, check_every=8)
+        )
+        service = DiversificationService(engine, governor=governor, purge_every=20)
+        with service.serve_metrics() as server:
+            for i in range(120):
+                service.ingest(make_post(i))
+            assert governor.escalations >= 1
+            # A sparse tail: arrivals spread far apart, windows expire.
+            for i in range(40):
+                service.ingest(
+                    Post(
+                        post_id=1000 + i,
+                        author=1,
+                        text="x",
+                        timestamp=10_000.0 + 200.0 * i,
+                        fingerprint=((1000 + i) * 0x9E3779B97F4A7C15)
+                        & ((1 << 64) - 1),
+                    )
+                )
+            assert governor.level_name == "normal"
+            assert governor.releases >= 1
+            assert _get(server.url + "/healthz") == b"ok\n"
+
+
+class TestMemoryMetrics:
+    def test_memory_families_are_scrapable(self, tmp_path):
+        service = governed_service(tmp_path, budget=2000)
+        with service.serve_metrics() as server:
+            for i in range(80):
+                service.ingest(make_post(i))
+            text = _get(server.url + "/metrics").decode()
+            assert 'repro_memory_bytes{family="window"}' in text
+            assert "repro_memory_total_bytes" in text
+            assert "repro_memory_budget_bytes 2000" in text
+            assert "repro_memory_governor_level" in text
+            assert "repro_memory_escalations_total" in text
+            assert "repro_memory_governor_ticks_total" in text

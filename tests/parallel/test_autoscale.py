@@ -1,0 +1,472 @@
+"""Shard autoscaling: policy hysteresis, live splits/merges, crash safety.
+
+Two layers. The policy layer is tested against a scripted fake engine so
+every threshold/patience interaction is pinned without process overhead.
+The execution layer pits live ``split_shard``/``merge_shards`` on a
+supervised pool — including worker crashes before, during and after the
+topology change — against the serial shared-component oracle: per-post
+receiver sets, aggregate stats and the checkpoint state must stay
+byte-identical, exactly as for plain crash recovery.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, ParallelError
+from repro.multiuser import SharedComponentMultiUser
+from repro.parallel import (
+    AutoscaleEvent,
+    AutoscalePolicy,
+    ParallelSharedMultiUser,
+    ShardAutoscaler,
+)
+from repro.resilience import WorkerFaultPlan, snapshot_engine
+
+from ..supervise.conftest import fast_config
+from .conftest import chunked
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        (
+            {"split_bytes": 0},
+            {"split_bytes": 100, "merge_bytes": 100},
+            {"split_bytes": 100, "merge_bytes": 150},
+            {"split_bytes": 100, "min_shards": 0},
+            {"split_bytes": 100, "min_shards": 4, "max_shards": 2},
+            {"split_bytes": 100, "check_every": 0},
+            {"split_bytes": 100, "patience": 0},
+        ),
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AutoscalePolicy(**kwargs)
+
+    def test_merge_threshold_defaults_to_half_split(self):
+        assert AutoscalePolicy(split_bytes=1000).effective_merge_bytes == 500
+        assert (
+            AutoscalePolicy(split_bytes=1000, merge_bytes=200).effective_merge_bytes
+            == 200
+        )
+
+
+class FakeSupervisor:
+    def __init__(self):
+        self.retired = set()
+
+    def is_retired(self, shard):
+        return shard in self.retired
+
+
+class FakeTopology:
+    """Scripted per-shard usage; splits/merges mutate the script."""
+
+    def __init__(self, usage, components=4):
+        self._usage = dict(usage)  # shard -> bytes
+        self._components = {s: components for s in usage}
+        self.supervisor = FakeSupervisor()
+        self.split_calls = []
+        self.merge_calls = []
+
+    def memory_by_shard(self):
+        return {s: {"window": b} for s, b in self._usage.items()}
+
+    def components_of_shard(self, shard):
+        return tuple(range(self._components[shard]))
+
+    def shard_count(self):
+        return len(self._usage)
+
+    def split_shard(self, shard):
+        self.split_calls.append(shard)
+        new = max(self._usage) + 1
+        self._usage[shard] //= 2
+        self._usage[new] = self._usage[shard]
+        moved = self._components[shard] // 2
+        self._components[shard] -= moved
+        self._components[new] = moved
+        return new
+
+    def merge_shards(self, target, source):
+        self.merge_calls.append((target, source))
+        self._usage[target] += self._usage.pop(source)
+        self._components[target] += self._components.pop(source)
+        self.supervisor.retired.add(source)
+
+
+class TestPolicyDecisions:
+    def test_split_waits_for_patience(self):
+        engine = FakeTopology({0: 5000, 1: 100})
+        scaler = ShardAutoscaler(engine, AutoscalePolicy(split_bytes=1000, patience=2))
+        assert scaler.evaluate() is None  # hot streak 1 < patience
+        event = scaler.evaluate()
+        assert event == AutoscaleEvent("split", 0, 2, 5000)
+        assert engine.split_calls == [0]
+        assert scaler.splits == 1
+
+    def test_cooling_off_resets_the_hot_streak(self):
+        engine = FakeTopology({0: 5000, 1: 100})
+        scaler = ShardAutoscaler(engine, AutoscalePolicy(split_bytes=1000, patience=2))
+        scaler.evaluate()
+        engine._usage[0] = 100  # dips below the threshold for one evaluation
+        assert scaler.evaluate() is None
+        engine._usage[0] = 5000
+        assert scaler.evaluate() is None  # streak restarted at 1
+        assert scaler.evaluate() is not None
+
+    def test_single_component_shards_never_split(self):
+        engine = FakeTopology({0: 5000}, components=1)
+        scaler = ShardAutoscaler(engine, AutoscalePolicy(split_bytes=1000, patience=1))
+        assert scaler.evaluate() is None
+        assert engine.split_calls == []
+
+    def test_max_shards_clamps_splits(self):
+        engine = FakeTopology({0: 5000, 1: 5000})
+        scaler = ShardAutoscaler(
+            engine, AutoscalePolicy(split_bytes=1000, patience=1, max_shards=2)
+        )
+        assert scaler.evaluate() is None
+        assert engine.split_calls == []
+
+    def test_hottest_ripe_shard_splits_first(self):
+        engine = FakeTopology({0: 3000, 1: 9000, 2: 100})
+        scaler = ShardAutoscaler(engine, AutoscalePolicy(split_bytes=1000, patience=1))
+        event = scaler.evaluate()
+        assert event.action == "split"
+        assert event.shard == 1
+
+    def test_merge_needs_cold_patience_and_respects_min_shards(self):
+        engine = FakeTopology({0: 100, 1: 100, 2: 5000})
+        scaler = ShardAutoscaler(
+            engine,
+            AutoscalePolicy(split_bytes=100000, merge_bytes=1000, patience=2),
+        )
+        assert scaler.evaluate() is None  # cold streak 1
+        event = scaler.evaluate()
+        assert event == AutoscaleEvent("merge", 0, 1, 200)
+        assert engine.merge_calls == [(0, 1)]
+        assert scaler.merges == 1
+
+    def test_min_shards_blocks_merges(self):
+        engine = FakeTopology({0: 10, 1: 10})
+        scaler = ShardAutoscaler(
+            engine,
+            AutoscalePolicy(split_bytes=100000, merge_bytes=1000, patience=1, min_shards=2),
+        )
+        assert scaler.evaluate() is None
+        assert engine.merge_calls == []
+
+    def test_warm_pair_resets_the_cold_streak(self):
+        engine = FakeTopology({0: 100, 1: 100})
+        scaler = ShardAutoscaler(
+            engine,
+            AutoscalePolicy(split_bytes=100000, merge_bytes=1000, patience=2),
+        )
+        scaler.evaluate()
+        engine._usage[1] = 2000  # pair no longer cold
+        assert scaler.evaluate() is None
+        engine._usage[1] = 100
+        assert scaler.evaluate() is None  # cold streak restarted
+        assert scaler.evaluate() is not None
+
+    def test_at_most_one_change_per_evaluation(self):
+        # Shards 0 and 1 are freezing, shard 2 is boiling: the split wins
+        # the round and the merge must wait for the next evaluation.
+        engine = FakeTopology({0: 10, 1: 10, 2: 50000})
+        scaler = ShardAutoscaler(
+            engine,
+            AutoscalePolicy(split_bytes=1000, merge_bytes=900, patience=1),
+        )
+        event = scaler.evaluate()
+        assert event.action == "split"
+        assert engine.merge_calls == []
+        engine._usage[2] = engine._usage[3] = 950  # halves cooled below split
+        event = scaler.evaluate()
+        assert event.action == "merge"
+
+    def test_retired_shards_drop_out_of_the_usage_signal(self):
+        engine = FakeTopology({0: 100, 1: 100, 2: 100})
+        engine.supervisor.retired.add(2)
+        scaler = ShardAutoscaler(
+            engine,
+            AutoscalePolicy(split_bytes=100000, merge_bytes=1000, patience=1),
+        )
+        event = scaler.evaluate()
+        assert event.action == "merge"
+        assert {event.shard, event.other} <= {0, 1}
+
+    def test_observe_paces_evaluations(self):
+        engine = FakeTopology({0: 5000})
+        scaler = ShardAutoscaler(
+            engine, AutoscalePolicy(split_bytes=1000, patience=1, check_every=100)
+        )
+        scaler.observe(99)
+        assert scaler._since_check == 99
+        scaler.observe(1)  # evaluation ran (single-component: no event)
+        assert scaler._since_check == 0
+
+    def test_status_reports_counts_and_shards(self):
+        engine = FakeTopology({0: 5000, 1: 10})
+        scaler = ShardAutoscaler(engine, AutoscalePolicy(split_bytes=1000, patience=1))
+        scaler.evaluate()
+        assert scaler.status() == {"splits": 1, "merges": 0, "shards": 3}
+
+
+# -- live execution against the serial oracle --------------------------------
+
+
+def serial_oracle(thresholds, graph, subscriptions, posts):
+    serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+    expected = [serial.offer(post) for post in posts]
+    return serial, expected
+
+
+def supervised(thresholds, graph, subscriptions, *, plans=None, autoscale=None):
+    return ParallelSharedMultiUser(
+        "unibin",
+        thresholds,
+        graph,
+        subscriptions,
+        workers=3,
+        supervised=True,
+        supervision=fast_config(),
+        fault_plans=plans,
+        autoscale=autoscale,
+    )
+
+
+def assert_equivalent(engine, serial, received, expected):
+    assert received == expected
+    assert engine.aggregate_stats().snapshot() == serial.aggregate_stats().snapshot()
+    assert engine.stored_copies() == serial.stored_copies()
+    assert (
+        snapshot_engine(engine)["components"] == snapshot_engine(serial)["components"]
+    )
+
+
+def run_with_topology_changes(engine, posts, *, at=None):
+    """Feed the stream in batches, running `at[batch_index]()` callbacks
+    between batches (the live topology changes under test)."""
+    at = at or {}
+    received = []
+    for i, chunk in enumerate(chunked(posts, 32)):
+        if i in at:
+            at[i]()
+        received.extend(engine.offer_batch(chunk))
+    return received
+
+
+class TestLiveSplitAndMerge:
+    def test_split_is_invisible_to_receivers(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial, expected = serial_oracle(thresholds, graph, subscriptions, posts)
+        with supervised(thresholds, graph, subscriptions) as engine:
+            new_index = {}
+
+            def split():
+                new_index["value"] = engine.split_shard(0)
+
+            received = run_with_topology_changes(engine, posts, at={3: split})
+            assert new_index["value"] == 3
+            assert engine.shard_count() == 4
+            assert engine.supervisor.active_shard_count == 4
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_merge_is_invisible_to_receivers(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial, expected = serial_oracle(thresholds, graph, subscriptions, posts)
+        with supervised(thresholds, graph, subscriptions) as engine:
+            received = run_with_topology_changes(
+                engine, posts, at={4: lambda: engine.merge_shards(0, 1)}
+            )
+            assert engine.shard_count() == 2
+            assert engine.supervisor.is_retired(1)
+            assert engine.supervisor.retired_shards() == (1,)
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_split_then_merge_back_round_trips(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial, expected = serial_oracle(thresholds, graph, subscriptions, posts)
+        with supervised(thresholds, graph, subscriptions) as engine:
+            steps = {
+                2: lambda: engine.split_shard(0),
+                5: lambda: engine.merge_shards(0, 3),
+            }
+            received = run_with_topology_changes(engine, posts, at=steps)
+            assert engine.shard_count() == 3
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_shard_stats_pads_retired_indices(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        with supervised(thresholds, graph, subscriptions) as engine:
+            run_with_topology_changes(
+                engine, posts, at={3: lambda: engine.merge_shards(2, 0)}
+            )
+            stats = engine.shard_stats()
+            assert len(stats) == 3  # positional: retired slot 0 still there
+            assert stats[0].posts_processed == 0  # the tombstone is empty
+            assert stats[2].posts_processed > 0
+
+    def test_split_rejects_single_component_and_retired_shards(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        with supervised(thresholds, graph, subscriptions) as engine:
+            run_with_topology_changes(
+                engine, posts[:64], at={1: lambda: engine.merge_shards(1, 2)}
+            )
+            with pytest.raises(ParallelError):
+                engine.split_shard(2)  # retired
+            with pytest.raises(ParallelError):
+                engine.merge_shards(0, 2)  # retired source
+            with pytest.raises(ParallelError):
+                engine.merge_shards(1, 1)  # self-merge
+
+    def test_unsupervised_pool_refuses_topology_changes(
+        self, graph, subscriptions, thresholds
+    ):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=3
+        ) as engine:
+            with pytest.raises(ParallelError):
+                engine.split_shard(0)
+            with pytest.raises(ParallelError):
+                engine.merge_shards(0, 1)
+
+
+class TestCrashSafety:
+    def test_crash_before_split_recovers_byte_identical(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial, expected = serial_oracle(thresholds, graph, subscriptions, posts)
+        with supervised(
+            thresholds,
+            graph,
+            subscriptions,
+            plans={0: WorkerFaultPlan(crash_on_batch=2)},
+        ) as engine:
+            received = run_with_topology_changes(
+                engine, posts, at={4: lambda: engine.split_shard(0)}
+            )
+            assert engine.supervisor.restarts_of(0) == 1
+            assert engine.shard_count() == 4
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_crash_after_split_replays_the_shrunken_spec(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        """The donor's respawn spec is only updated after a rolling
+        checkpoint covers the post-drop state; a crash right after the
+        split must restore exactly the kept components."""
+        serial, expected = serial_oracle(thresholds, graph, subscriptions, posts)
+        with supervised(
+            thresholds,
+            graph,
+            subscriptions,
+            plans={0: WorkerFaultPlan(crash_on_batch=4)},
+        ) as engine:
+            received = run_with_topology_changes(
+                engine, posts, at={3: lambda: engine.split_shard(0)}
+            )
+            assert engine.supervisor.restarts_of(0) == 1
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_new_shard_killed_right_after_split_recovers(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        """Kill the freshly spawned worker the instant the split commits:
+        its respawn rebuilds from the moved-components spec plus the
+        checkpoint the split took, byte-identical to never crashing."""
+        serial, expected = serial_oracle(thresholds, graph, subscriptions, posts)
+        with supervised(thresholds, graph, subscriptions) as engine:
+
+            def split_and_kill():
+                new = engine.split_shard(0)
+                engine.supervisor._shards[new].process.kill()
+
+            received = run_with_topology_changes(engine, posts, at={3: split_and_kill})
+            assert engine.supervisor.restarts_of(3) == 1
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_target_killed_right_after_merge_recovers(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        serial, expected = serial_oracle(thresholds, graph, subscriptions, posts)
+        with supervised(thresholds, graph, subscriptions) as engine:
+
+            def merge_and_kill():
+                engine.merge_shards(0, 2)
+                engine.supervisor._shards[0].process.kill()
+
+            received = run_with_topology_changes(engine, posts, at={4: merge_and_kill})
+            assert engine.supervisor.restarts_of(0) == 1
+            assert engine.supervisor.is_retired(2)
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_probe_limit_survives_crash_via_journal_replay(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        """set_probe_limit changes verdicts, so it is journalled: a crash
+        after the cap was applied must replay it, matching a serial engine
+        capped at the same stream position."""
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = []
+        for i, chunk in enumerate(chunked(posts, 32)):
+            if i == 2:
+                serial.set_probe_limit(2)
+            expected.extend(serial.offer_batch(chunk))
+
+        with supervised(
+            thresholds,
+            graph,
+            subscriptions,
+            # Large cadence: the journal (not a checkpoint) must carry the cap.
+            plans={1: WorkerFaultPlan(crash_on_batch=4)},
+        ) as engine:
+            received = run_with_topology_changes(
+                engine, posts, at={2: lambda: engine.set_probe_limit(2)}
+            )
+            assert engine.supervisor.restarts_of(1) == 1
+            assert received == expected
+            assert (
+                engine.aggregate_stats().snapshot()
+                == serial.aggregate_stats().snapshot()
+            )
+
+
+class TestAutoscaledRun:
+    def test_autoscaler_splits_under_real_load_and_stays_exact(
+        self, graph, subscriptions, thresholds
+    ):
+        from .conftest import make_posts
+
+        posts = make_posts(480, seed=5)
+        serial, expected = serial_oracle(thresholds, graph, subscriptions, posts)
+        policy = AutoscalePolicy(
+            split_bytes=2500, patience=1, check_every=64, max_shards=8
+        )
+        with supervised(
+            thresholds, graph, subscriptions, autoscale=policy
+        ) as engine:
+            received = []
+            for chunk in chunked(posts, 32):
+                received.extend(engine.offer_batch(chunk))
+            assert engine.autoscaler is not None
+            assert engine.autoscaler.splits >= 1
+            assert engine.shard_count() > 3
+            assert engine.autoscaler.status()["shards"] == engine.shard_count()
+            assert_equivalent(engine, serial, received, expected)
+
+    def test_autoscale_requires_supervision(self, graph, subscriptions, thresholds):
+        with pytest.raises(ConfigurationError):
+            ParallelSharedMultiUser(
+                "unibin",
+                thresholds,
+                graph,
+                subscriptions,
+                workers=3,
+                autoscale=AutoscalePolicy(split_bytes=1000),
+            )

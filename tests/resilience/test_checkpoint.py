@@ -6,6 +6,7 @@ actual JSON (save/load), restore into a fresh engine, feed the second half
 to a run that was never interrupted.
 """
 
+import json
 import math
 
 import pytest
@@ -180,3 +181,37 @@ class TestFormat:
         path.write_text("[1, 2]\n")
         with pytest.raises(CheckpointError, match="JSON object"):
             load_checkpoint(path)
+
+
+class TestAtomicWrite:
+    def test_save_leaves_no_temp_file(self, paper_graph, tmp_path):
+        engine = make_diversifier("unibin", Thresholds(), paper_graph)
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(snapshot_engine(engine), path)
+        assert path.exists()
+        assert list(tmp_path.iterdir()) == [path]  # temp renamed away
+
+    def test_overwrite_is_all_or_nothing(self, paper_graph, tmp_path):
+        """A rewrite replaces the old checkpoint in one rename: at no point
+        does the target hold a partially-written file, so a crash leaves
+        either the old or the new complete snapshot."""
+        engine = make_diversifier("unibin", Thresholds(), paper_graph)
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(snapshot_engine(engine), path)
+        first = path.read_text()
+        save_checkpoint(snapshot_engine(engine), path)
+        assert load_checkpoint(path) == json.loads(first)
+
+    def test_simulated_crash_mid_write_keeps_old_checkpoint(
+        self, paper_graph, tmp_path
+    ):
+        """The failure the temp+rename dance exists for: a torn write to
+        the temp path must never clobber the committed checkpoint."""
+        engine = make_diversifier("unibin", Thresholds(), paper_graph)
+        path = tmp_path / "checkpoint.json"
+        save_checkpoint(snapshot_engine(engine), path)
+        committed = path.read_text()
+        # Crash mid-write: the temp file holds garbage and never renames.
+        (tmp_path / "checkpoint.json.tmp").write_text("{torn")
+        assert path.read_text() == committed
+        assert load_checkpoint(path) == json.loads(committed)

@@ -1,0 +1,272 @@
+"""MemoryGovernor: the degradation ladder, its hysteresis, and the
+overload-controller coupling.
+
+Most tests drive the governor with a scripted fake engine whose reported
+usage the test controls exactly — the ladder logic is a pure control
+policy and deserves pure-control tests. The last class closes the loop
+against a real engine with tiered storage.
+"""
+
+import pytest
+
+from repro.core import Thresholds, make_diversifier
+from repro.errors import MemoryBudgetError
+from repro.resilience import (
+    GOVERNOR_LEVELS,
+    GovernorConfig,
+    MemoryGovernor,
+    OverloadController,
+)
+from repro.storage import SpillConfig
+
+from ..parallel.conftest import AUTHORS, EDGES, make_posts
+
+
+class FakeEngine:
+    """An engine whose accounted usage is a test-controlled dial."""
+
+    def __init__(self, window: int = 0):
+        self.window = window
+        self.spills = 0
+        self.probe_limit = None
+
+    def memory_breakdown(self):
+        return {"window": self.window}
+
+    def spill(self):
+        self.spills += 1
+        return 0
+
+    def set_probe_limit(self, limit):
+        self.probe_limit = limit
+
+
+def make_governor(budget=1000, *, overload=None, **overrides):
+    engine = FakeEngine()
+    config = GovernorConfig(budget_bytes=budget, check_every=1, **overrides)
+    return engine, MemoryGovernor(engine, config, overload=overload)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        (
+            {"budget_bytes": 0},
+            {"budget_bytes": 100, "resume_fraction": 0.0},
+            {"budget_bytes": 100, "resume_fraction": 1.0},
+            {"budget_bytes": 100, "check_every": 0},
+            {"budget_bytes": 100, "probe_limit": 0},
+        ),
+    )
+    def test_rejects_bad_knobs(self, overrides):
+        with pytest.raises(MemoryBudgetError):
+            GovernorConfig(**overrides)
+
+    def test_ladder_names(self):
+        assert GOVERNOR_LEVELS == ("normal", "spill", "probe", "shed")
+
+
+class TestEscalation:
+    def test_one_rung_per_tick(self):
+        engine, governor = make_governor(1000)
+        engine.window = 5000
+        governor.tick()
+        assert governor.level_name == "spill"
+        governor.tick()
+        assert governor.level_name == "probe"
+        assert governor.escalations == 2
+        assert [t.level for t in governor.transitions] == ["spill", "probe"]
+        assert all(t.direction == "escalate" for t in governor.transitions)
+
+    def test_tops_out_at_probe_without_overload(self):
+        engine, governor = make_governor(1000)
+        engine.window = 5000
+        for _ in range(5):
+            governor.tick()
+        assert governor.level_name == "probe"
+        assert governor.escalations == 2
+
+    def test_reaches_shed_with_overload(self):
+        overload = OverloadController(max_delay=5.0)
+        engine, governor = make_governor(1000, overload=overload)
+        engine.window = 5000
+        for _ in range(3):
+            governor.tick()
+        assert governor.level_name == "shed"
+        assert overload.should_shed(0.0)
+        assert overload.counters.episodes == 1
+
+    def test_probe_rung_caps_the_engine(self):
+        engine, governor = make_governor(1000, probe_limit=7)
+        engine.window = 5000
+        governor.tick()
+        assert engine.probe_limit is None  # spill rung: no verdict change
+        governor.tick()
+        assert engine.probe_limit == 7
+
+    def test_spill_runs_every_tick_while_degraded(self):
+        engine, governor = make_governor(1000)
+        engine.window = 5000
+        governor.tick()
+        governor.tick()
+        assert engine.spills == 2
+        engine.window = 100  # recovered: release to normal, stop spilling
+        governor.tick()
+        assert engine.spills == 3  # leaving spill still flushed this tick
+        governor.tick()
+        assert engine.spills == 3
+
+    def test_normal_operation_never_touches_the_engine(self):
+        engine, governor = make_governor(1000)
+        engine.window = 500
+        for _ in range(10):
+            governor.tick()
+        assert governor.level_name == "normal"
+        assert engine.spills == 0
+        assert engine.probe_limit is None
+        assert governor.transitions == []
+
+
+class TestHysteresis:
+    def test_dead_band_holds_the_rung(self):
+        # budget 1000, resume 0.75: the band (750, 1000] must hold steady.
+        engine, governor = make_governor(1000)
+        engine.window = 1500
+        governor.tick()
+        assert governor.level_name == "spill"
+        engine.window = 900  # inside the dead band
+        for _ in range(10):
+            governor.tick()
+        assert governor.level_name == "spill"
+        assert governor.releases == 0
+
+    def test_release_one_rung_per_tick_with_undo(self):
+        overload = OverloadController(max_delay=5.0)
+        engine, governor = make_governor(1000, overload=overload, probe_limit=9)
+        engine.window = 5000
+        for _ in range(3):
+            governor.tick()
+        assert governor.level_name == "shed"
+        assert engine.probe_limit == 9
+
+        engine.window = 100
+        governor.tick()  # shed -> probe: memory pressure released
+        assert governor.level_name == "probe"
+        assert not overload.memory_pressure
+        governor.tick()  # probe -> spill: exact scans restored
+        assert governor.level_name == "spill"
+        assert engine.probe_limit is None
+        governor.tick()  # spill -> normal: nothing to undo
+        assert governor.level_name == "normal"
+        assert governor.releases == 3
+        assert [t.direction for t in governor.transitions[-3:]] == ["release"] * 3
+
+    def test_no_oscillation_across_a_noisy_boundary(self):
+        """Usage bouncing around the budget must not flap the ladder: the
+        dips (into the dead band, never below the resume threshold) must
+        produce zero releases, so the rung ratchets monotonically to the
+        ladder top instead of cycling escalate/release forever."""
+        engine, governor = make_governor(1000)
+        for i in range(40):
+            engine.window = 1050 if i % 2 == 0 else 950
+            governor.tick()
+        assert governor.level_name == "probe"  # the top, without overload
+        assert governor.escalations == 2
+        assert governor.releases == 0
+
+
+class TestObserveCadence:
+    def test_ticks_once_per_check_every_posts(self):
+        engine = FakeEngine(window=10)
+        governor = MemoryGovernor(engine, GovernorConfig(100, check_every=8))
+        for _ in range(7):
+            governor.observe()
+        assert governor.ticks == 0
+        governor.observe()
+        assert governor.ticks == 1
+        governor.observe(posts=16)
+        assert governor.ticks == 2  # batched arrivals still pace one tick
+
+
+class TestAccounting:
+    def test_extra_sources_join_the_usage(self):
+        engine, governor = make_governor(1000)
+        engine.window = 300
+        governor.add_source("mailbox", lambda: 250)
+        assert governor.usage() == {"window": 300, "mailbox": 250}
+        assert governor.total_bytes() == 550
+
+    def test_sources_merge_into_existing_families(self):
+        engine, governor = make_governor(1000)
+        engine.window = 300
+        governor.add_source("window", lambda: 100)
+        assert governor.usage() == {"window": 400}
+
+    def test_status_reports_the_last_measurement(self):
+        engine, governor = make_governor(1000)
+        engine.window = 1500
+        governor.tick()
+        status = governor.status()
+        assert status["level"] == "spill"
+        assert status["budget_bytes"] == 1000
+        assert status["total_bytes"] == 1500
+        assert status["usage"] == {"window": 1500}
+        assert status["escalations"] == 1
+        assert governor.degraded
+
+
+class TestOverloadCoupling:
+    def test_memory_pressure_sheds_independently_of_backlog(self):
+        overload = OverloadController(max_delay=5.0)
+        assert not overload.should_shed(0.1)
+        overload.set_memory_pressure(True)
+        assert overload.should_shed(0.1)  # backlog is fine; memory is not
+        assert overload.counters.episodes == 1
+        assert overload.snapshot()["memory_pressure"] is True
+
+    def test_pressure_during_backlog_shedding_does_not_double_count(self):
+        overload = OverloadController(max_delay=1.0)
+        assert overload.should_shed(5.0)  # backlog episode starts
+        assert overload.counters.episodes == 1
+        overload.set_memory_pressure(True)
+        assert overload.counters.episodes == 1  # same episode, second cause
+
+    def test_release_hands_back_to_backlog_hysteresis(self):
+        overload = OverloadController(max_delay=1.0, resume_delay=0.5)
+        overload.set_memory_pressure(True)
+        assert overload.should_shed(0.1)
+        overload.set_memory_pressure(False)
+        # Below the resume threshold: the episode drains cleanly.
+        assert not overload.should_shed(0.1)
+        assert overload.counters.episodes == 1
+
+
+class TestAgainstRealEngine:
+    def test_spill_rung_frees_accounted_bytes_without_verdict_drift(self, tmp_path):
+        from repro.authors import AuthorGraph
+
+        thresholds = Thresholds(lambda_c=8, lambda_t=40.0, lambda_a=0.5)
+        graph = AuthorGraph(nodes=AUTHORS, edges=EDGES)
+        posts = make_posts(400, seed=31)
+
+        exact = make_diversifier("unibin", thresholds, graph)
+        tiered = make_diversifier(
+            "unibin",
+            thresholds,
+            graph,
+            storage=SpillConfig(str(tmp_path), head_limit=256, segment_size=16),
+        )
+        governor = MemoryGovernor(
+            tiered, GovernorConfig(budget_bytes=4000, check_every=32)
+        )
+        for post in posts:
+            assert tiered.offer(post) == exact.offer(post)
+            governor.observe()
+        assert governor.escalations >= 1
+        assert governor.level_name in ("spill", "probe")
+        # Spilling kept the resident window under what exact retains.
+        assert (
+            tiered.memory_breakdown()["window"]
+            < exact.memory_breakdown()["window"]
+        )
+        assert tiered.state_dict() == exact.state_dict()

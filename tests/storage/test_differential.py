@@ -1,0 +1,196 @@
+"""Tiered storage at the engine level: spilling must never change a verdict.
+
+The acceptance bar for the whole storage subsystem: every algorithm, run
+with ``storage=SpillConfig(...)`` aggressive enough to keep almost nothing
+in memory, must produce byte-identical verdicts, stats and checkpoints to
+the all-in-memory run — including under forced mid-stream ``spill()``
+calls (the governor's first ladder rung). The probe-limit rung is the one
+*deliberate* divergence, and its failure mode is pinned here too: capped
+scans may leak duplicates, they never lose posts.
+"""
+
+import os
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds, make_diversifier
+from repro.errors import ConfigurationError
+from repro.multiuser import SubscriptionTable, make_multiuser
+from repro.storage import SpillConfig
+
+from ..parallel.conftest import (
+    AUTHORS,
+    EDGES,
+    SUBSCRIPTIONS_SPEC,
+    make_posts,
+)
+
+ALGORITHMS = ("unibin", "neighborbin", "cliquebin", "indexed_unibin")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return AuthorGraph(nodes=AUTHORS, edges=EDGES)
+
+
+@pytest.fixture(scope="module")
+def thresholds():
+    return Thresholds(lambda_c=8, lambda_t=40.0, lambda_a=0.5)
+
+
+@pytest.fixture(scope="module")
+def posts():
+    return make_posts(300, seed=23)
+
+
+def aggressive(tmp_path) -> SpillConfig:
+    """Spill everything past a 4-post head, in 2-post segments."""
+    return SpillConfig(str(tmp_path), head_limit=4, segment_size=2)
+
+
+class TestVerdictNeutrality:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_single_user_verdicts_stats_and_state_match(
+        self, tmp_path, graph, thresholds, posts, algorithm
+    ):
+        exact = make_diversifier(algorithm, thresholds, graph)
+        tiered = make_diversifier(
+            algorithm, thresholds, graph, storage=aggressive(tmp_path)
+        )
+        for post in posts:
+            assert tiered.offer(post) == exact.offer(post)
+        assert tiered.stats.snapshot() == exact.stats.snapshot()
+        assert tiered.state_dict() == exact.state_dict()
+        assert tiered.stored_copies() == exact.stored_copies()
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_forced_spill_mid_stream_is_invisible(
+        self, tmp_path, graph, thresholds, posts, algorithm
+    ):
+        exact = make_diversifier(algorithm, thresholds, graph)
+        tiered = make_diversifier(
+            algorithm, thresholds, graph, storage=aggressive(tmp_path)
+        )
+        for i, post in enumerate(posts):
+            assert tiered.offer(post) == exact.offer(post)
+            if i % 17 == 0:
+                tiered.spill()  # governor rung 1, at an arbitrary instant
+        assert tiered.state_dict() == exact.state_dict()
+
+    def test_multiuser_receiver_sets_match(self, tmp_path, graph, thresholds, posts):
+        subscriptions = SubscriptionTable(SUBSCRIPTIONS_SPEC)
+        exact = make_multiuser("s_unibin", thresholds, graph, subscriptions)
+        tiered = make_multiuser(
+            "s_unibin",
+            thresholds,
+            graph,
+            subscriptions,
+            storage=aggressive(tmp_path),
+        )
+        for post in posts:
+            assert tiered.offer(post) == exact.offer(post)
+        assert (
+            tiered.aggregate_stats().snapshot() == exact.aggregate_stats().snapshot()
+        )
+
+    def test_purge_with_tiered_storage_matches_exact_copies(
+        self, tmp_path, graph, thresholds, posts
+    ):
+        exact = make_diversifier("unibin", thresholds, graph)
+        tiered = make_diversifier(
+            "unibin", thresholds, graph, storage=aggressive(tmp_path)
+        )
+        for post in posts:
+            exact.offer(post)
+            tiered.offer(post)
+        exact.purge()
+        tiered.purge()
+        assert tiered.stored_copies() == exact.stored_copies()
+
+
+class TestSpillMechanics:
+    def test_engine_spill_reports_posts_moved_and_writes_segments(
+        self, tmp_path, graph, thresholds, posts
+    ):
+        engine = make_diversifier(
+            "unibin",
+            thresholds,
+            graph,
+            storage=SpillConfig(str(tmp_path), head_limit=512, segment_size=4),
+        )
+        for post in posts[:60]:
+            engine.offer(post)
+        assert not os.listdir(tmp_path)  # head_limit high: nothing spilled yet
+        moved = engine.spill()
+        assert moved > 0
+        assert os.listdir(tmp_path)
+        assert engine.spill() == 0  # heads are empty now
+
+    def test_spill_without_storage_is_zero(self, graph, thresholds, posts):
+        engine = make_diversifier("unibin", thresholds, graph)
+        for post in posts[:20]:
+            engine.offer(post)
+        assert engine.spill() == 0
+
+    def test_memory_breakdown_shrinks_after_spill(
+        self, tmp_path, graph, thresholds, posts
+    ):
+        engine = make_diversifier(
+            "unibin",
+            thresholds,
+            graph,
+            storage=SpillConfig(str(tmp_path), head_limit=512, segment_size=4),
+        )
+        for post in posts[:80]:
+            engine.offer(post)
+        before = engine.memory_breakdown()["window"]
+        engine.spill()
+        after = engine.memory_breakdown()["window"]
+        assert after < before
+        assert engine.stored_copies() > 0  # the posts still logically exist
+
+
+class TestProbeLimit:
+    def test_rejects_nonpositive_limit(self, graph, thresholds):
+        engine = make_diversifier("unibin", thresholds, graph)
+        with pytest.raises(ConfigurationError):
+            engine.set_probe_limit(0)
+
+    def test_cap_leaks_duplicates_but_never_loses_posts(self, thresholds):
+        """With the scan capped at 1 candidate, an old covering post is
+        missed and its duplicate is admitted — the rung's documented
+        sacrifice. No post is ever silently dropped: every offer still
+        returns a verdict and admitted posts stay in the window."""
+        graph = AuthorGraph(nodes=[1, 2, 3], edges=[])
+        engine = make_diversifier("unibin", thresholds, graph)
+        base = Post(post_id=0, author=1, text="a", timestamp=0.0, fingerprint=0)
+        fresh = Post(post_id=1, author=1, text="b", timestamp=1.0, fingerprint=(1 << 40) - 1)
+        dupe = Post(post_id=2, author=1, text="c", timestamp=2.0, fingerprint=0)
+        assert engine.offer(base)
+        assert engine.offer(fresh)
+        assert not engine.offer(dupe)  # exact scan reaches back to `base`
+
+        capped = make_diversifier("unibin", thresholds, graph)
+        capped.set_probe_limit(1)
+        assert capped.probe_limit == 1
+        assert capped.offer(base)
+        assert capped.offer(fresh)
+        assert capped.offer(dupe)  # scan stops at `fresh`: duplicate leaks
+        assert capped.stored_copies() == 3
+
+    def test_uncapping_restores_exact_scans(self, thresholds):
+        graph = AuthorGraph(nodes=[1], edges=[])
+        engine = make_diversifier("unibin", thresholds, graph)
+        engine.set_probe_limit(1)
+        engine.set_probe_limit(None)
+        assert engine.probe_limit is None
+        assert engine.offer(
+            Post(post_id=0, author=1, text="a", timestamp=0.0, fingerprint=0)
+        )
+        assert engine.offer(
+            Post(post_id=1, author=1, text="b", timestamp=1.0, fingerprint=(1 << 40) - 1)
+        )
+        assert not engine.offer(
+            Post(post_id=2, author=1, text="c", timestamp=2.0, fingerprint=0)
+        )

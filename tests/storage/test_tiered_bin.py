@@ -1,0 +1,234 @@
+"""TieredPostBin against the in-memory PostBin oracle.
+
+The tiered bin's contract is drop-in equivalence: every mutation and
+accounting return value, and every iteration order, must match a plain
+:class:`PostBin` fed the same calls — the only permitted difference is
+*where* the posts live. The differential driver below exercises random
+interleavings of the full bin API against both flavours and asserts the
+observable state is equal after every step.
+"""
+
+import gc
+import os
+import random
+
+import pytest
+
+from repro.core import Post
+from repro.core.bins import PostBin
+from repro.errors import ConfigurationError
+from repro.storage import SpillConfig, TieredPostBin
+
+
+def make_post(i: int, ts: float, author: int = 1) -> Post:
+    return Post(post_id=i, author=author, text=f"p{i}", timestamp=ts, fingerprint=i)
+
+
+def ordered_posts(n: int, *, step: float = 1.0) -> list[Post]:
+    return [make_post(i, i * step, author=1 + i % 4) for i in range(n)]
+
+
+def tiny_config(directory, head_limit: int = 4, segment_size: int = 2) -> SpillConfig:
+    return SpillConfig(str(directory), head_limit=head_limit, segment_size=segment_size)
+
+
+def segment_files(directory) -> list[str]:
+    if not os.path.isdir(directory):
+        return []
+    return sorted(p for p in os.listdir(directory) if p.endswith(".bin"))
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_segment_size(self):
+        with pytest.raises(ConfigurationError):
+            SpillConfig("/tmp/x", head_limit=4, segment_size=0)
+
+    def test_rejects_head_smaller_than_segment(self):
+        with pytest.raises(ConfigurationError):
+            SpillConfig("/tmp/x", head_limit=2, segment_size=4)
+
+    def test_config_is_picklable(self):
+        import pickle
+
+        config = SpillConfig("/tmp/x", head_limit=8, segment_size=4)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestDropInEquivalence:
+    def test_append_iter_len_match_postbin(self, tmp_path):
+        plain, tiered = PostBin(), tiny_config(tmp_path).make_bin()
+        for post in ordered_posts(11):
+            plain.append(post)
+            tiered.append(post)
+        assert len(tiered) == len(plain)
+        assert list(tiered) == list(plain)
+        assert list(tiered.data) == list(plain.data)
+        assert list(reversed(tiered.data)) == list(reversed(plain.data))
+        # And the tiered bin really did spill (the parity is not vacuous).
+        assert tiered.spilled_len > 0
+        assert tiered.head_len <= 4
+
+    @pytest.mark.parametrize("newest_first", (True, False))
+    def test_scan_matches_postbin(self, tmp_path, newest_first):
+        plain, tiered = PostBin(), tiny_config(tmp_path).make_bin()
+        for post in ordered_posts(17):
+            plain.append(post)
+            tiered.append(post)
+        for now, window in ((16.0, 5.0), (16.0, 100.0), (30.0, 5.0)):
+            assert list(
+                tiered.scan(now, window, newest_first=newest_first)
+            ) == list(plain.scan(now, window, newest_first=newest_first))
+
+    def test_expire_counts_match_postbin(self, tmp_path):
+        plain, tiered = PostBin(), tiny_config(tmp_path).make_bin()
+        for post in ordered_posts(20):
+            plain.append(post)
+            tiered.append(post)
+        for now in (5.0, 9.5, 14.0, 100.0):
+            assert tiered.expire(now, 4.0) == plain.expire(now, 4.0)
+            assert list(tiered) == list(plain)
+
+    def test_merge_and_remove_authored_match_postbin(self, tmp_path):
+        plain, tiered = PostBin(), tiny_config(tmp_path).make_bin()
+        for post in ordered_posts(9):
+            plain.append(post)
+            tiered.append(post)
+        incoming = [make_post(100 + i, 2.5 + i, author=9) for i in range(4)]
+        assert tiered.merge(incoming) == plain.merge(incoming)
+        assert list(tiered) == list(plain)
+        assert tiered.remove_authored(9) == plain.remove_authored(9)
+        assert tiered.remove_authored(42) == plain.remove_authored(42)
+        assert list(tiered) == list(plain)
+
+    def test_clear_matches_postbin(self, tmp_path):
+        plain, tiered = PostBin(), tiny_config(tmp_path).make_bin()
+        for post in ordered_posts(7):
+            plain.append(post)
+            tiered.append(post)
+        assert tiered.clear() == plain.clear()
+        assert len(tiered) == 0
+        assert list(tiered) == []
+
+    def test_randomised_interleaving_matches_postbin(self, tmp_path):
+        rng = random.Random(7)
+        plain, tiered = PostBin(), tiny_config(tmp_path, 6, 3).make_bin()
+        now, next_id = 0.0, 0
+        for _ in range(300):
+            op = rng.random()
+            if op < 0.6:
+                now += rng.random()
+                post = make_post(next_id, now, author=1 + rng.randrange(5))
+                next_id += 1
+                plain.append(post)
+                tiered.append(post)
+            elif op < 0.8:
+                window = rng.choice((3.0, 10.0, 40.0))
+                assert tiered.expire(now, window) == plain.expire(now, window)
+            elif op < 0.9:
+                assert list(
+                    tiered.scan(now, 10.0)
+                ) == list(plain.scan(now, 10.0))
+            elif op < 0.95:
+                tiered.flush()  # plain bins have no tier: residency no-op
+            else:
+                author = 1 + rng.randrange(5)
+                assert tiered.remove_authored(author) == plain.remove_authored(
+                    author
+                )
+            assert len(tiered) == len(plain)
+        assert list(tiered) == list(plain)
+
+
+class TestTiering:
+    def test_append_spills_oldest_past_head_limit(self, tmp_path):
+        bin_ = tiny_config(tmp_path, head_limit=4, segment_size=2).make_bin()
+        for post in ordered_posts(5):
+            bin_.append(post)
+        assert bin_.head_len == 3  # 5 arrivals - one 2-post segment
+        assert bin_.spilled_len == 2
+        assert bin_.segment_count == 1
+        assert len(segment_files(tmp_path)) == 1
+
+    def test_flush_moves_entire_head(self, tmp_path):
+        bin_ = tiny_config(tmp_path).make_bin()
+        posts = ordered_posts(3)
+        for post in posts:
+            bin_.append(post)
+        assert bin_.flush() == 3
+        assert bin_.head_len == 0
+        assert bin_.spilled_len == 3
+        assert list(bin_) == posts  # order survives the forced spill
+        assert bin_.flush() == 0  # idempotent on an empty head
+
+    def test_whole_segment_expiry_unlinks_files(self, tmp_path):
+        bin_ = tiny_config(tmp_path, head_limit=2, segment_size=2).make_bin()
+        for post in ordered_posts(8):
+            bin_.append(post)
+        before = segment_files(tmp_path)
+        assert len(before) == 3
+        # Expire everything before t=4: segments [0,1] and [2,3] die whole.
+        dropped = bin_.expire(8.0, 4.0)
+        assert dropped == 4
+        assert len(segment_files(tmp_path)) == 1
+        assert [p.post_id for p in bin_] == [4, 5, 6, 7]
+
+    def test_boundary_segment_trims_by_cursor_not_rewrite(self, tmp_path):
+        bin_ = tiny_config(tmp_path, head_limit=2, segment_size=2).make_bin()
+        for post in ordered_posts(4):
+            bin_.append(post)
+        (name,) = segment_files(tmp_path)
+        mtime = os.path.getmtime(os.path.join(tmp_path, name))
+        assert bin_.expire(3.5, 3.0) == 1  # kills t=0 inside the segment
+        assert segment_files(tmp_path) == [name]
+        assert os.path.getmtime(os.path.join(tmp_path, name)) == mtime
+        assert [p.post_id for p in bin_] == [1, 2, 3]
+
+    def test_clear_and_dispose_remove_segment_files(self, tmp_path):
+        bin_ = tiny_config(tmp_path, head_limit=2, segment_size=2).make_bin()
+        for post in ordered_posts(6):
+            bin_.append(post)
+        assert segment_files(tmp_path)
+        bin_.clear()
+        assert segment_files(tmp_path) == []
+        bin_.dispose()  # idempotent
+        assert len(bin_) == 0
+
+    def test_garbage_collected_bin_leaves_no_files(self, tmp_path):
+        bin_ = tiny_config(tmp_path, head_limit=2, segment_size=2).make_bin()
+        for post in ordered_posts(6):
+            bin_.append(post)
+        assert segment_files(tmp_path)
+        del bin_
+        gc.collect()
+        assert segment_files(tmp_path) == []
+
+    def test_segment_files_are_unique_across_bins(self, tmp_path):
+        config = tiny_config(tmp_path, head_limit=2, segment_size=2)
+        first, second = config.make_bin(), config.make_bin()
+        for post in ordered_posts(6):
+            first.append(post)
+            second.append(post)
+        assert len(segment_files(tmp_path)) == 4
+        assert list(first) == list(second)
+
+
+class TestAccounting:
+    def test_spilling_shrinks_accounted_bytes(self, tmp_path):
+        plain = tiny_config(tmp_path, head_limit=512, segment_size=2).make_bin()
+        tiered = tiny_config(tmp_path, head_limit=2, segment_size=2).make_bin()
+        for post in ordered_posts(40):
+            plain.append(post)
+            tiered.append(post)
+        assert plain.spilled_len == 0
+        assert tiered.spilled_len == 38
+        # Spilled entries cost a stub, resident posts the full estimate.
+        assert tiered.approx_bytes() < plain.approx_bytes() / 3
+
+    def test_expiry_releases_stub_bytes(self, tmp_path):
+        bin_ = tiny_config(tmp_path, head_limit=2, segment_size=2).make_bin()
+        for post in ordered_posts(10):
+            bin_.append(post)
+        before = bin_.approx_bytes()
+        bin_.expire(9.0, 0.5)
+        assert bin_.approx_bytes() < before
+        assert len(bin_) == 1

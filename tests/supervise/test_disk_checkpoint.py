@@ -1,0 +1,202 @@
+"""Rolling per-shard checkpoints on disk: atomicity, torn-write rejection,
+and the journal depth bound that keeps replay cost finite.
+
+``checkpoint_dir`` moves each shard's rolling checkpoint out of parent
+memory into an atomically-replaced, CRC-framed file. The invariants:
+recovery from a disk checkpoint is byte-identical to in-memory recovery;
+a torn or truncated file is *rejected* (CheckpointError), never silently
+half-loaded; and no crash instant can leave the previous checkpoint
+unreadable, because the write goes through temp + fsync + rename.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import CheckpointError, JournalOverflowError
+from repro.multiuser import SharedComponentMultiUser
+from repro.parallel import ParallelSharedMultiUser
+from repro.resilience import WorkerFaultPlan, snapshot_engine
+from repro.supervise.supervisor import (
+    _read_shard_checkpoint,
+    _write_shard_checkpoint,
+)
+
+from .conftest import fast_config, run_batches
+
+
+def supervised(thresholds, graph, subscriptions, *, plans=None, config=None):
+    return ParallelSharedMultiUser(
+        "unibin",
+        thresholds,
+        graph,
+        subscriptions,
+        workers=3,
+        supervised=True,
+        supervision=config if config is not None else fast_config(),
+        fault_plans=plans,
+    )
+
+
+def checkpoint_files(directory):
+    return sorted(p for p in os.listdir(directory) if p.endswith(".ckpt"))
+
+
+class TestCheckpointFileFormat:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "shard.ckpt")
+        payload = [("batch", [1, 2, 3]), {"state": b"\x00\xff"}]
+        _write_shard_checkpoint(path, payload)
+        assert _read_shard_checkpoint(path) == payload
+        assert not os.path.exists(path + ".tmp")  # temp renamed away
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "shard.ckpt")
+        _write_shard_checkpoint(path, "old")
+        _write_shard_checkpoint(path, "new")
+        assert _read_shard_checkpoint(path) == "new"
+        assert checkpoint_files(tmp_path) == ["shard.ckpt"]
+
+    def test_missing_file_is_a_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            _read_shard_checkpoint(str(tmp_path / "absent.ckpt"))
+
+    def test_truncated_header_is_rejected(self, tmp_path):
+        path = str(tmp_path / "shard.ckpt")
+        with open(path, "wb") as fh:
+            fh.write(b"\x01\x02\x03")  # shorter than the length+CRC header
+        with pytest.raises(CheckpointError, match="truncated"):
+            _read_shard_checkpoint(path)
+
+    def test_truncated_payload_is_rejected(self, tmp_path):
+        path = str(tmp_path / "shard.ckpt")
+        _write_shard_checkpoint(path, list(range(100)))
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(raw[:-7])  # crash mid-write: payload cut short
+        with pytest.raises(CheckpointError, match="truncated"):
+            _read_shard_checkpoint(path)
+
+    def test_corrupt_payload_fails_the_crc(self, tmp_path):
+        path = str(tmp_path / "shard.ckpt")
+        _write_shard_checkpoint(path, list(range(100)))
+        with open(path, "rb") as fh:
+            raw = bytearray(fh.read())
+        header = struct.Struct("<QI").size
+        raw[header + 10] ^= 0xFF  # one flipped byte, length intact
+        with open(path, "wb") as fh:
+            fh.write(bytes(raw))
+        with pytest.raises(CheckpointError, match="CRC"):
+            _read_shard_checkpoint(path)
+
+
+class TestDiskCheckpointRecovery:
+    def test_checkpoints_land_on_disk_not_in_parent_memory(
+        self, tmp_path, graph, subscriptions, thresholds, posts
+    ):
+        config = fast_config(checkpoint_dir=str(tmp_path))
+        with supervised(
+            thresholds, graph, subscriptions, config=config
+        ) as engine:
+            run_batches(engine, posts)
+            assert engine.supervisor.checkpoints_taken > 0
+            files = checkpoint_files(tmp_path)
+            assert len(files) == 3  # one rolling file per shard
+            for shard in engine.supervisor._shards:
+                assert not isinstance(shard.checkpoint, (list, tuple))
+
+    def test_crash_recovery_from_disk_is_byte_identical(
+        self, tmp_path, graph, subscriptions, thresholds, posts
+    ):
+        serial = SharedComponentMultiUser("unibin", thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        config = fast_config(checkpoint_dir=str(tmp_path))
+        with supervised(
+            thresholds,
+            graph,
+            subscriptions,
+            plans={0: WorkerFaultPlan(crash_on_batch=4)},
+            config=config,
+        ) as engine:
+            received = run_batches(engine, posts)
+            assert engine.supervisor.restarts_of(0) == 1
+            assert received == expected
+            assert (
+                engine.aggregate_stats().snapshot()
+                == serial.aggregate_stats().snapshot()
+            )
+            assert (
+                snapshot_engine(engine)["components"]
+                == snapshot_engine(serial)["components"]
+            )
+
+    def test_torn_disk_checkpoint_surfaces_not_silently_loads(
+        self, tmp_path, graph, subscriptions, thresholds, posts
+    ):
+        """If the checkpoint file is torn between the write and a crash
+        recovery (disk fault), recovery must raise CheckpointError rather
+        than restore from garbage."""
+        config = fast_config(checkpoint_dir=str(tmp_path), checkpoint_every=16)
+        with supervised(
+            thresholds, graph, subscriptions, config=config
+        ) as engine:
+            run_batches(engine, posts[:96])
+            assert engine.supervisor.checkpoints_taken > 0
+            (victim,) = [
+                s for s in engine.supervisor._shards if s.index == 0
+            ]
+            path = victim.checkpoint.path
+            with open(path, "rb") as fh:
+                raw = fh.read()
+            with open(path, "wb") as fh:
+                fh.write(raw[: len(raw) // 2])
+            victim.process.kill()
+            with pytest.raises(CheckpointError):
+                run_batches(engine, posts[96:128])
+
+    def test_retiring_a_shard_unlinks_its_checkpoint_file(
+        self, tmp_path, graph, subscriptions, thresholds, posts
+    ):
+        config = fast_config(checkpoint_dir=str(tmp_path), checkpoint_every=16)
+        with supervised(
+            thresholds, graph, subscriptions, config=config
+        ) as engine:
+            run_batches(engine, posts[:96])
+            assert len(checkpoint_files(tmp_path)) == 3
+            engine.merge_shards(0, 1)
+            assert len(checkpoint_files(tmp_path)) == 2
+
+
+class TestJournalDepthBound:
+    def test_journal_never_exceeds_the_bound_in_a_long_run(
+        self, graph, subscriptions, thresholds
+    ):
+        """Regression: the supervisor checkpoints whenever a journal turns
+        full, so observed depth stays strictly under the bound across a
+        long fault-free run (an enforced-at-append invariant since the
+        depth limit became a hard error)."""
+        from .conftest import make_posts
+
+        config = fast_config(checkpoint_every=10_000, journal_limit=4)
+        with supervised(
+            thresholds, graph, subscriptions, config=config
+        ) as engine:
+            sup = engine.supervisor
+            for chunk in [make_posts(600, seed=3)[i : i + 8] for i in range(0, 600, 8)]:
+                engine.offer_batch(chunk)
+                for shard in sup._shards:
+                    assert len(shard.journal) < 4
+            assert sup.checkpoints_taken > 0
+
+    def test_forced_overflow_raises_not_truncates(
+        self, graph, subscriptions, thresholds, posts
+    ):
+        """Bypassing the checkpoint cadence (as a buggy coordinator would)
+        hits the hard depth bound instead of unbounded replay growth."""
+        with supervised(thresholds, graph, subscriptions) as engine:
+            shard = engine.supervisor._shards[0]
+            with pytest.raises(JournalOverflowError):
+                for i in range(100):
+                    shard.journal.append(("batch", [i]), posts=0)

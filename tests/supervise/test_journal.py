@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, JournalOverflowError
 from repro.supervise import BatchJournal, SupervisionConfig
 
 
@@ -16,16 +16,38 @@ class TestBatchJournal:
         assert len(journal) == 3
         assert journal.posts == 3
 
-    def test_full_at_limit_but_entries_never_dropped(self):
+    def test_depth_bound_is_enforced(self):
         journal = BatchJournal(limit=2)
         assert not journal.full
-        for i in range(5):
-            journal.append(("batch", [i]))
-        # Dropping an entry would diverge recovered state; the limit only
-        # signals "checkpoint now", it never truncates.
+        journal.append(("batch", [0]))
+        journal.append(("batch", [1]))
         assert journal.full
-        assert len(journal) == 5
-        assert [m[1][0] for m in journal.replay()] == [0, 1, 2, 3, 4]
+        # Growth past the bound is a supervisor bug (it must checkpoint
+        # and clear once `full` turns true), so append refuses rather
+        # than let replay cost grow without limit. Entries below the
+        # bound are never dropped — truncation would diverge recovery.
+        with pytest.raises(JournalOverflowError):
+            journal.append(("batch", [2]))
+        assert len(journal) == 2
+        assert [m[1][0] for m in journal.replay()] == [0, 1]
+
+    def test_clear_reopens_a_full_journal(self):
+        journal = BatchJournal(limit=1)
+        journal.append(("batch", [0]), posts=1)
+        journal.clear()
+        journal.append(("batch", [1]), posts=1)
+        assert [m[1][0] for m in journal.replay()] == [1]
+
+    def test_approx_bytes_tracks_appends_and_clear(self):
+        journal = BatchJournal(limit=4)
+        assert journal.approx_bytes() == 0
+        journal.append(("batch", ["payload"]), posts=1)
+        grown = journal.approx_bytes()
+        assert grown > 0
+        journal.append(("purge", 10.0))
+        assert journal.approx_bytes() > grown
+        journal.clear()
+        assert journal.approx_bytes() == 0
 
     def test_clear_resets_entries_and_post_count(self):
         journal = BatchJournal(limit=2)
