@@ -23,6 +23,14 @@ Three modes:
   for trying the tool without your own data::
 
       python -m repro generate --out-dir ./trace --scale small
+
+* **experiments** — run a scenario × engine matrix of adversarial
+  workloads with cross-checked receiver sets, and gate the perf
+  trajectory (see ``EXPERIMENTS.md``)::
+
+      python -m repro experiments --matrix smoke --out report.json
+      python -m repro experiments --matrix smoke --check
+      python -m repro experiments --list
 """
 
 from __future__ import annotations
@@ -866,6 +874,189 @@ def _run_generate(argv: list[str]) -> int:
     return 0
 
 
+def _experiments_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="firehose experiments",
+        description=(
+            "Run a scenario-matrix experiment (adversarial workloads x "
+            "engine variants) and maintain the perf trajectory store"
+        ),
+    )
+    parser.add_argument(
+        "--matrix",
+        default="smoke",
+        help="a registered matrix name or a JSON grid file (default: smoke)",
+    )
+    parser.add_argument("--out", help="write the JSON report here")
+    parser.add_argument("--html", help="write a self-contained HTML report here")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        help="override every scenario row's seed (same seed, same digests)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        help="override the per-trial timeout in seconds",
+    )
+    parser.add_argument(
+        "--trajectory",
+        default="BENCH_trajectory.json",
+        help="the trajectory store file (default: BENCH_trajectory.json)",
+    )
+    parser.add_argument(
+        "--label",
+        default="current",
+        help="trajectory entry label for --append/--check (one per PR)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append (or refresh) this run's entry in the trajectory store",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate this run against the last committed trajectory entry; "
+        "a regressed metric is named and exits non-zero",
+    )
+    parser.add_argument(
+        "--legacy-root",
+        help="directory holding the legacy BENCH_*.json baselines to fold "
+        "into the entry (default: the trajectory file's directory)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_registry",
+        help="list registered scenarios and matrices, then exit",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-cell progress lines on stderr",
+    )
+    return parser
+
+
+def _run_experiments(argv: list[str]) -> int:
+    import dataclasses
+
+    from .errors import ExperimentError, TrajectoryRegressionError
+    from .experiments import (
+        MATRICES,
+        append_entry,
+        check_regression,
+        load_trajectory,
+        make_entry,
+        report_dict,
+        resolve_matrix,
+        run_matrix,
+        scenario_help,
+        write_html_report,
+        write_json_report,
+        write_trajectory,
+    )
+
+    args = _experiments_parser().parse_args(argv)
+    if args.list_registry:
+        print("scenarios:")
+        for name, line in scenario_help().items():
+            print(f"  {name:<12} {line}")
+        print("matrices:")
+        for name, spec in MATRICES.items():
+            print(
+                f"  {name:<12} {spec.cells} cells "
+                f"({len(spec.scenarios)} scenarios x {len(spec.engines)} "
+                f"engines) — {spec.description}"
+            )
+        return 0
+
+    try:
+        spec = resolve_matrix(args.matrix)
+    except ExperimentError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    replacements: dict[str, object] = {}
+    if args.seed is not None:
+        replacements["scenarios"] = tuple(
+            dataclasses.replace(s, seed=args.seed) for s in spec.scenarios
+        )
+    if args.timeout is not None:
+        replacements["timeout_s"] = args.timeout
+    if replacements:
+        spec = dataclasses.replace(spec, **replacements)
+
+    progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    result = run_matrix(spec, progress=progress)
+
+    counts = result.counts()
+    print(
+        f"matrix {spec.name}: {'PASS' if result.ok else 'FAIL'} — "
+        + ", ".join(f"{v} {k}" for k, v in counts.items() if v)
+        + f"; {len(result.cross_checks)} cross-check groups, "
+        f"{sum(1 for c in result.cross_checks if not c['ok'])} disagreements "
+        f"({result.duration_s:.2f}s)"
+    )
+    for check in result.cross_checks:
+        if not check["ok"]:
+            print(
+                f"cross-check FAIL: {check['scenario']} / {check['algorithm']} "
+                f"— {len(check['digests'])} distinct digests across "
+                f"{', '.join(check['engines'])}",
+                file=sys.stderr,
+            )
+    for trial in result.trials:
+        if trial.status == "crash":
+            last = (trial.error or "").strip().splitlines()
+            print(
+                f"crash: {trial.scenario} x {trial.engine}: "
+                f"{last[-1] if last else 'unknown'}",
+                file=sys.stderr,
+            )
+    if args.out:
+        write_json_report(result, args.out)
+        print(f"report written to {args.out}")
+    if args.html:
+        write_html_report(result, args.html)
+        print(f"HTML report written to {args.html}")
+
+    exit_code = 0 if result.ok else 1
+    if args.append or args.check:
+        trajectory_path = Path(args.trajectory)
+        legacy_root = Path(args.legacy_root) if args.legacy_root else (
+            trajectory_path.parent if str(trajectory_path.parent) else Path(".")
+        )
+        try:
+            history = load_trajectory(trajectory_path)
+        except ExperimentError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        entry = make_entry(args.label, result=result, root=legacy_root)
+        if args.check:
+            try:
+                compared = check_regression(history, entry)
+            except TrajectoryRegressionError as exc:
+                print(f"trajectory check FAIL: {exc}", file=sys.stderr)
+                exit_code = 1
+            else:
+                print(
+                    f"trajectory check PASS: {len(compared)} metrics within "
+                    "tolerance of the last committed entry"
+                )
+        if args.append:
+            write_trajectory(append_entry(history, entry), trajectory_path)
+            print(
+                f"trajectory entry {args.label!r} written to {trajectory_path} "
+                f"({len(entry['metrics'])} metrics)"
+            )
+    elif args.label != "current":
+        print(
+            "note: --label only matters with --append/--check", file=sys.stderr
+        )
+    return exit_code
+
+
 def _report_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="firehose report",
@@ -909,6 +1100,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_generate(argv[1:])
     if argv and argv[0] == "report":
         return _run_report(argv[1:])
+    if argv and argv[0] == "experiments":
+        return _run_experiments(argv[1:])
 
     args = _experiment_parser().parse_args(argv)
     runners = _all_runners()
@@ -917,7 +1110,10 @@ def main(argv: list[str] | None = None) -> int:
         print("available experiments:")
         for name in runners:
             print(f"  {name}")
-        print("other commands: diversify, generate, report (see --help on each)")
+        print(
+            "other commands: diversify, generate, report, experiments "
+            "(see --help on each)"
+        )
         return 0
 
     if args.experiment == "all":

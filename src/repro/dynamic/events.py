@@ -97,6 +97,23 @@ def event_from_dict(record: dict[str, object]) -> Event:
     )
 
 
+def events_digest(events: Iterable[Event]) -> str:
+    """SHA-256 over the canonical JSONL encoding of an event stream.
+
+    Two streams digest equal iff they encode to byte-identical traces
+    (``json.dumps(..., sort_keys=True)`` per record, ``\\n``-joined) —
+    the determinism contract of the scenario generators and the exact
+    form :func:`write_events_jsonl` persists.
+    """
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for event in events:
+        hasher.update(json.dumps(event_to_dict(event), sort_keys=True).encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
 def write_events_jsonl(events: Iterable[Event], path: str | Path) -> int:
     """Write a mixed event trace; returns the number of records written."""
     count = 0

@@ -54,3 +54,18 @@ class JournalOverflowError(ReproError):
 
 class MemoryBudgetError(ConfigurationError):
     """The memory governor was configured with an unusable budget."""
+
+
+class ExperimentError(ReproError):
+    """The experiment harness was misconfigured or a matrix could not run
+    (unknown matrix name, malformed grid config, unusable trajectory)."""
+
+
+class UnknownScenarioError(ExperimentError):
+    """A workload scenario name not present in the registry was requested."""
+
+
+class TrajectoryRegressionError(ExperimentError):
+    """A trajectory-store regression check failed: a gated metric moved
+    past its tolerance vs the last committed entry. The message names the
+    metric, both values and the tolerance that was exceeded."""

@@ -1,0 +1,79 @@
+"""repro.experiments — scenario-matrix harness and perf trajectory store.
+
+Four pieces (fuzzbench-style: declarative grids over a generic runner):
+
+* :mod:`~repro.experiments.workloads` — a registry of seeded adversarial
+  scenario generators (flash crowds, spam floods, topic drift, author
+  skew, churn storms) emitting byte-reproducible event streams;
+* :mod:`~repro.experiments.grid` — declarative scenario × engine × config
+  matrices, named (``smoke``/``adversarial``/``churn``) or loaded from a
+  JSON grid file;
+* :mod:`~repro.experiments.runner` — the trial runner: per-trial
+  timeouts, crash capture, receiver-set digests, cross-checks between
+  equivalent engine variants, stats via :mod:`repro.obs`;
+* :mod:`~repro.experiments.report` / :mod:`~repro.experiments.trajectory`
+  — comparative JSON/HTML reports, and the append-only per-PR
+  ``BENCH_trajectory.json`` history with tolerance-based regression
+  gates.
+
+CLI: ``repro experiments --matrix smoke --out report.json``. See
+``EXPERIMENTS.md`` for the operating manual.
+"""
+
+from .grid import (
+    MATRICES,
+    EngineSpec,
+    MatrixSpec,
+    ScenarioSpec,
+    matrix_from_dict,
+    resolve_matrix,
+)
+from .report import render_html, report_dict, write_html_report, write_json_report
+from .runner import MatrixResult, TrialResult, run_matrix, run_trial
+from .trajectory import (
+    METRIC_SPECS,
+    append_entry,
+    check_regression,
+    legacy_metrics,
+    load_trajectory,
+    make_entry,
+    matrix_metrics,
+    write_trajectory,
+)
+from .workloads import (
+    SCENARIO_NAMES,
+    ScenarioConfig,
+    Workload,
+    make_workload,
+    scenario_help,
+)
+
+__all__ = [
+    "MATRICES",
+    "METRIC_SPECS",
+    "SCENARIO_NAMES",
+    "EngineSpec",
+    "MatrixResult",
+    "MatrixSpec",
+    "ScenarioConfig",
+    "ScenarioSpec",
+    "TrialResult",
+    "Workload",
+    "append_entry",
+    "check_regression",
+    "legacy_metrics",
+    "load_trajectory",
+    "make_entry",
+    "make_workload",
+    "matrix_from_dict",
+    "matrix_metrics",
+    "render_html",
+    "report_dict",
+    "resolve_matrix",
+    "run_matrix",
+    "run_trial",
+    "scenario_help",
+    "write_html_report",
+    "write_json_report",
+    "write_trajectory",
+]

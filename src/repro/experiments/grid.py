@@ -1,0 +1,313 @@
+"""Declarative experiment grids: scenario × engine × config matrices.
+
+A :class:`MatrixSpec` is plain data — JSON in, JSON out — naming which
+scenarios to generate, which engine variants to run over each, the
+diversity thresholds, and the per-trial timeout. Named matrices live in
+:data:`MATRICES`; ``repro experiments --matrix <name-or-path>`` resolves
+either a registry name or a JSON grid file through
+:func:`matrix_from_dict`.
+
+The fuzzbench-style idea: the *grid* is declarative and versioned; the
+runner is generic. Adding a scenario or an engine variant to a matrix is
+a config edit, not new harness code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core import Thresholds
+from ..errors import ExperimentError
+from .workloads import SCENARIO_NAMES, ScenarioConfig
+
+__all__ = [
+    "MATRICES",
+    "EngineSpec",
+    "MatrixSpec",
+    "ScenarioSpec",
+    "matrix_from_dict",
+    "resolve_matrix",
+]
+
+#: Engine-name prefixes the runner understands (multi-user variants).
+ENGINE_PREFIXES = ("m", "s", "p")
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One engine variant of a cell: a multi-user name plus execution
+    knobs. Variants that differ only in execution strategy (serial vs
+    sharded vs supervised, worker count, batch size) are *equivalent* —
+    the runner cross-checks their receiver sets byte-for-byte."""
+
+    name: str  # m_unibin | s_unibin | p_unibin | ... (registry names)
+    workers: int = 1
+    batch_size: int = 64
+    supervised: bool = False
+    memory_budget: int | None = None
+    spill: bool = False
+
+    def __post_init__(self) -> None:
+        prefix, _, algorithm = self.name.partition("_")
+        if prefix not in ENGINE_PREFIXES or not algorithm:
+            raise ExperimentError(
+                f"engine name must look like m_*/s_*/p_*, got {self.name!r}"
+            )
+        if self.workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ExperimentError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.supervised and self.prefix != "p":
+            raise ExperimentError(
+                f"supervision applies to the sharded p_* engines, got {self.name!r}"
+            )
+
+    @property
+    def prefix(self) -> str:
+        return self.name.partition("_")[0]
+
+    @property
+    def algorithm(self) -> str:
+        """The underlying single-user algorithm (cross-check group key)."""
+        return self.name.partition("_")[2]
+
+    @property
+    def exact(self) -> bool:
+        """True when this variant keeps exact receiver semantics — no
+        memory governor that could cap probes. Only exact variants join
+        a cross-check group."""
+        return self.memory_budget is None
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable cell key, e.g. ``p_unibin@w2+sup``."""
+        parts = [self.name]
+        if self.workers != 1:
+            parts.append(f"@w{self.workers}")
+        if self.supervised:
+            parts.append("+sup")
+        if self.memory_budget is not None:
+            parts.append(f"+mem{self.memory_budget}")
+        if self.spill:
+            parts.append("+spill")
+        return "".join(parts)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "supervised": self.supervised,
+            "memory_budget": self.memory_budget,
+            "spill": self.spill,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A scenario row of the matrix: registry name, seed, overrides."""
+
+    name: str
+    seed: int = 42
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.name not in SCENARIO_NAMES:
+            raise ExperimentError(
+                f"unknown scenario {self.name!r}; choose from {SCENARIO_NAMES}"
+            )
+        # Validate override names/values eagerly so a bad grid fails at
+        # parse time, not mid-run.
+        self.config()
+
+    def config(self) -> ScenarioConfig:
+        return ScenarioConfig(**dict(self.overrides))
+
+    @property
+    def label(self) -> str:
+        """Unique cell key: name, seed, and any overrides — two rows with
+        the same name must not collide or their cross-check groups merge."""
+        base = f"{self.name}#{self.seed}"
+        if self.overrides:
+            base += "[" + ",".join(f"{k}={v}" for k, v in self.overrides) + "]"
+        return base
+
+    def to_dict(self) -> dict[str, object]:
+        record: dict[str, object] = {"name": self.name, "seed": self.seed}
+        if self.overrides:
+            record["overrides"] = dict(self.overrides)
+        return record
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """A whole grid: every scenario × every engine variant is one trial."""
+
+    name: str
+    scenarios: tuple[ScenarioSpec, ...]
+    engines: tuple[EngineSpec, ...]
+    thresholds: Thresholds = field(default_factory=lambda: Thresholds(
+        lambda_c=8, lambda_t=60.0, lambda_a=0.5
+    ))
+    timeout_s: float | None = 60.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ExperimentError(f"matrix {self.name!r} has no scenarios")
+        if not self.engines:
+            raise ExperimentError(f"matrix {self.name!r} has no engines")
+        for kind, labels in (
+            ("engine variants", [e.label for e in self.engines]),
+            ("scenario rows", [s.label for s in self.scenarios]),
+        ):
+            if len(set(labels)) != len(labels):
+                raise ExperimentError(
+                    f"matrix {self.name!r} has duplicate {kind}: {labels}"
+                )
+
+    @property
+    def cells(self) -> int:
+        return len(self.scenarios) * len(self.engines)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "thresholds": {
+                "lambda_c": self.thresholds.lambda_c,
+                "lambda_t": self.thresholds.lambda_t,
+                "lambda_a": self.thresholds.lambda_a,
+            },
+            "timeout_s": self.timeout_s,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "engines": [e.to_dict() for e in self.engines],
+        }
+
+
+def matrix_from_dict(record: dict, *, name: str | None = None) -> MatrixSpec:
+    """Parse a grid config (the :meth:`MatrixSpec.to_dict` JSON shape)."""
+    if not isinstance(record, dict):
+        raise ExperimentError(f"grid config must be a JSON object, got {record!r}")
+    try:
+        scenarios = tuple(
+            ScenarioSpec(
+                name=s["name"],
+                seed=int(s.get("seed", 42)),
+                overrides=tuple(sorted(s.get("overrides", {}).items())),
+            )
+            for s in record["scenarios"]
+        )
+        engines = tuple(
+            EngineSpec(
+                name=e["name"],
+                workers=int(e.get("workers", 1)),
+                batch_size=int(e.get("batch_size", 64)),
+                supervised=bool(e.get("supervised", False)),
+                memory_budget=e.get("memory_budget"),
+                spill=bool(e.get("spill", False)),
+            )
+            for e in record["engines"]
+        )
+    except (KeyError, TypeError) as exc:
+        raise ExperimentError(f"malformed grid config: {exc!r}") from exc
+    thresholds = record.get("thresholds", {})
+    return MatrixSpec(
+        name=name or record.get("name", "custom"),
+        description=record.get("description", ""),
+        scenarios=scenarios,
+        engines=engines,
+        thresholds=Thresholds(
+            lambda_c=int(thresholds.get("lambda_c", 8)),
+            lambda_t=float(thresholds.get("lambda_t", 60.0)),
+            lambda_a=float(thresholds.get("lambda_a", 0.5)),
+        ),
+        timeout_s=record.get("timeout_s", 60.0),
+    )
+
+
+def _smoke() -> MatrixSpec:
+    """The CI mini-matrix: 2 adversarial scenarios × 2 engine variants,
+    sized to finish in well under 30 seconds while still exercising the
+    sharded executor and the serial↔parallel cross-check."""
+    return MatrixSpec(
+        name="smoke",
+        description="CI smoke: flash_crowd + spam_flood on serial and sharded unibin",
+        scenarios=(
+            ScenarioSpec("flash_crowd", seed=42, overrides=(("n_posts", 200),)),
+            ScenarioSpec("spam_flood", seed=42, overrides=(("n_posts", 200),)),
+        ),
+        engines=(
+            EngineSpec("s_unibin"),
+            EngineSpec("p_unibin", workers=2),
+        ),
+        timeout_s=25.0,
+    )
+
+
+def _adversarial() -> MatrixSpec:
+    """Every adversarial scenario × the paper's three algorithms (shared
+    serial engines), plus a sharded and a memory-bounded variant of
+    unibin — the robustness sweep a perf claim should cite."""
+    return MatrixSpec(
+        name="adversarial",
+        description="all adversarial scenarios x core algorithms + bounded-memory variant",
+        scenarios=tuple(
+            ScenarioSpec(name, seed=42) for name in SCENARIO_NAMES
+        ),
+        engines=(
+            EngineSpec("m_unibin"),
+            EngineSpec("s_unibin"),
+            EngineSpec("s_neighborbin"),
+            EngineSpec("s_cliquebin"),
+            EngineSpec("p_unibin", workers=2),
+            EngineSpec("p_unibin", workers=2, supervised=True),
+            EngineSpec("s_unibin", memory_budget=8_000, spill=True),
+        ),
+        timeout_s=120.0,
+    )
+
+
+def _churn() -> MatrixSpec:
+    """Dynamic focus: the churn-storm stream across serial and sharded
+    dynamic executors (supervised included) — migration exactness under
+    coordinated follow/unfollow pressure."""
+    return MatrixSpec(
+        name="churn",
+        description="churn storms on the dynamic engines, serial vs sharded vs supervised",
+        scenarios=(
+            ScenarioSpec("churn_storm", seed=42),
+            ScenarioSpec("churn_storm", seed=1337, overrides=(("storm_rate", 6.0),)),
+        ),
+        engines=(
+            EngineSpec("s_unibin"),
+            EngineSpec("p_unibin", workers=2),
+            EngineSpec("p_unibin", workers=2, supervised=True),
+        ),
+        timeout_s=120.0,
+    )
+
+
+MATRICES: dict[str, MatrixSpec] = {}
+for _builder in (_smoke, _adversarial, _churn):
+    _spec = _builder()
+    MATRICES[_spec.name] = _spec
+
+
+def resolve_matrix(name_or_path: str) -> MatrixSpec:
+    """A named registry matrix, or a JSON grid file by path."""
+    if name_or_path in MATRICES:
+        return MATRICES[name_or_path]
+    path = Path(name_or_path)
+    if path.exists():
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"{path}: invalid JSON grid config: {exc}") from exc
+        return matrix_from_dict(record, name=record.get("name", path.stem))
+    raise ExperimentError(
+        f"unknown matrix {name_or_path!r}: not a registered name "
+        f"({tuple(MATRICES)}) and no such grid file"
+    )

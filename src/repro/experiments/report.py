@@ -1,0 +1,158 @@
+"""Comparative reports: a matrix run as JSON (always) or HTML (optional).
+
+The JSON report is the machine artifact — the trajectory store and CI
+gates read it — so its shape is versioned (``schema``) and everything in
+it comes from :meth:`~repro.experiments.runner.TrialResult.to_dict`. The
+HTML report is a single self-contained file (inline CSS, no external
+assets) for humans skimming a grid run: one row per cell with status,
+throughput, shed/drop counts, scan width and memory, grouped by
+scenario, with cross-check verdicts on top.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+
+from .runner import MatrixResult
+
+__all__ = [
+    "report_dict",
+    "render_html",
+    "write_json_report",
+    "write_html_report",
+]
+
+#: Version of the JSON report shape (bump on breaking changes).
+REPORT_SCHEMA = 1
+
+
+def report_dict(result: MatrixResult) -> dict[str, object]:
+    """The canonical JSON-ready report for a completed matrix run."""
+    return {
+        "schema": REPORT_SCHEMA,
+        "matrix": result.spec.to_dict(),
+        "ok": result.ok,
+        "duration_s": result.duration_s,
+        "counts": result.counts(),
+        "cross_checks": list(result.cross_checks),
+        "trials": [trial.to_dict() for trial in result.trials],
+    }
+
+
+def write_json_report(result: MatrixResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(report_dict(result), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin: 0.6rem 0; font-size: 0.85rem; }
+th, td { border: 1px solid #c8c8d8; padding: 0.25rem 0.55rem; text-align: right; }
+th { background: #eef; } td.name { text-align: left; font-family: monospace; }
+.ok { color: #0a7a2f; } .bad { color: #b00020; font-weight: bold; }
+.muted { color: #888; }
+caption { caption-side: top; text-align: left; font-weight: bold; padding: 0.3rem 0; }
+"""
+
+
+def _fmt(value, digits: int = 1) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:,.{digits}f}"
+    return f"{value:,}"
+
+
+def _status_cell(status: str) -> str:
+    css = "ok" if status == "ok" else ("muted" if status == "skipped" else "bad")
+    return f'<td class="{css}">{html.escape(status)}</td>'
+
+
+def render_html(result: MatrixResult) -> str:
+    """A single self-contained HTML page for the matrix run."""
+    spec = result.spec
+    counts = result.counts()
+    verdict = (
+        '<span class="ok">PASS</span>' if result.ok else '<span class="bad">FAIL</span>'
+    )
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>repro experiments: {html.escape(spec.name)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>Matrix <code>{html.escape(spec.name)}</code> — {verdict}</h1>",
+        "<p>",
+        html.escape(spec.description or ""),
+        f"<br>{spec.cells} cells ({len(spec.scenarios)} scenarios × "
+        f"{len(spec.engines)} engine variants), "
+        f"λc={spec.thresholds.lambda_c} λt={spec.thresholds.lambda_t} "
+        f"λa={spec.thresholds.lambda_a}, ran in {result.duration_s:.2f}s — "
+        + ", ".join(f"{v} {k}" for k, v in counts.items() if v),
+        "</p>",
+    ]
+
+    parts.append("<h2>Cross-checks (exact variants must agree)</h2>")
+    if result.cross_checks:
+        parts.append(
+            "<table><tr><th>scenario</th><th>algorithm</th>"
+            "<th>engines</th><th>digests</th><th>verdict</th></tr>"
+        )
+        for check in result.cross_checks:
+            css = "ok" if check["ok"] else "bad"
+            word = "agree" if check["ok"] else "DISAGREE"
+            parts.append(
+                f'<tr><td class="name">{html.escape(str(check["scenario"]))}</td>'
+                f'<td class="name">{html.escape(str(check["algorithm"]))}</td>'
+                f'<td class="name">{html.escape(", ".join(check["engines"]))}</td>'
+                f"<td>{len(check['digests'])}</td>"
+                f'<td class="{css}">{word}</td></tr>'
+            )
+        parts.append("</table>")
+    else:
+        parts.append("<p class='muted'>no exact-variant groups in this grid</p>")
+
+    scenarios: dict[str, list] = {}
+    for trial in result.trials:
+        scenarios.setdefault(trial.scenario, []).append(trial)
+    for scenario, trials in scenarios.items():
+        parts.append(f"<h2>{html.escape(scenario)}</h2>")
+        parts.append(
+            "<table><tr><th>engine</th><th>status</th><th>posts</th>"
+            "<th>posts/s</th><th>deliveries</th><th>shed</th><th>dropped</th>"
+            "<th>scan width</th><th>memory B</th><th>digest</th></tr>"
+        )
+        for t in trials:
+            digest = (t.digest or "")[:12]
+            parts.append(
+                f'<tr><td class="name">{html.escape(t.engine)}</td>'
+                + _status_cell(t.status)
+                + f"<td>{_fmt(t.posts_offered)}</td>"
+                + f"<td>{_fmt(t.posts_per_sec, 0)}</td>"
+                + f"<td>{_fmt(t.deliveries)}</td>"
+                + f"<td>{_fmt(t.shed)}</td>"
+                + f"<td>{_fmt(t.dropped)}</td>"
+                + f"<td>{_fmt(t.obs.get('scan_width_mean'), 2)}</td>"
+                + f"<td>{_fmt(t.memory.get('accounted_bytes'))}</td>"
+                + f'<td class="name">{html.escape(digest)}</td></tr>'
+            )
+        parts.append("</table>")
+        errors = [t for t in trials if t.error and t.status != "skipped"]
+        for t in errors:
+            parts.append(
+                f"<p class='bad'>{html.escape(t.engine)}: "
+                f"<code>{html.escape(t.error.strip().splitlines()[-1])}</code></p>"
+            )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_html_report(result: MatrixResult, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(render_html(result), encoding="utf-8")
+    return path

@@ -1,0 +1,399 @@
+"""Trial runner: execute a matrix, capture crashes, cross-check variants.
+
+One *trial* is (scenario workload × engine variant × thresholds). The
+runner:
+
+* builds the engine named by the :class:`~repro.experiments.grid.
+  EngineSpec` — serial, sharded, supervised, dynamic (when the workload
+  carries churn), memory-governed, spill-tiered;
+* replays the workload in batches with a cooperative per-trial deadline
+  (a trial that overruns is recorded as ``timeout``, not killed — the
+  deadline is checked between batches so the receiver prefix stays
+  meaningful) and full crash capture (``crash`` status + traceback);
+* digests the receiver sets (SHA-256 over ``post_id:user,user`` lines) so
+  equivalent engine variants can be cross-checked byte-for-byte; and
+* records throughput, shed/drop counts, scan-width and memory stats —
+  the observability numbers come from a per-trial
+  :class:`repro.obs.Registry` snapshot, not hand-rolled counters.
+
+Exactness policy: variants of the same algorithm that differ only in
+execution strategy (m_/s_/p_, worker count, batch size, supervision,
+spill tier) must produce identical receiver sets; the runner fails the
+*matrix* (not just the trial) report when a cross-check group disagrees.
+Variants with a memory budget may legitimately diverge (the probe rung
+trades duplicate leakage for memory) and are excluded from groups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from ..core import Post
+from ..obs import Registry, family_total, snapshot
+from .grid import EngineSpec, MatrixSpec
+from .workloads import Workload, make_workload
+
+__all__ = ["TrialResult", "MatrixResult", "run_trial", "run_matrix"]
+
+#: Trial statuses the report distinguishes.
+STATUSES = ("ok", "timeout", "crash", "skipped")
+
+
+@dataclass
+class TrialResult:
+    """Everything one cell of the matrix reports."""
+
+    scenario: str
+    engine: str  # EngineSpec.label
+    status: str
+    duration_s: float = 0.0
+    posts: int = 0
+    posts_offered: int = 0
+    churn_events: int = 0
+    posts_per_sec: float = 0.0
+    deliveries: int = 0
+    shed: int = 0
+    dropped: int = 0
+    digest: str | None = None
+    stats: dict[str, int] = field(default_factory=dict)
+    memory: dict[str, object] = field(default_factory=dict)
+    obs: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "engine": self.engine,
+            "status": self.status,
+            "duration_s": self.duration_s,
+            "posts": self.posts,
+            "posts_offered": self.posts_offered,
+            "churn_events": self.churn_events,
+            "posts_per_sec": self.posts_per_sec,
+            "deliveries": self.deliveries,
+            "shed": self.shed,
+            "dropped": self.dropped,
+            "digest": self.digest,
+            "stats": self.stats,
+            "memory": self.memory,
+            "obs": self.obs,
+            "error": self.error,
+        }
+
+
+@dataclass
+class MatrixResult:
+    """A completed grid run: per-cell results plus cross-check verdicts."""
+
+    spec: MatrixSpec
+    trials: list[TrialResult]
+    cross_checks: list[dict[str, object]]
+    duration_s: float
+
+    @property
+    def ok(self) -> bool:
+        """No crashed cells and no cross-check disagreement. (Timeouts
+        and skips degrade coverage, not correctness.)"""
+        return all(t.status != "crash" for t in self.trials) and all(
+            check["ok"] for check in self.cross_checks
+        )
+
+    def counts(self) -> dict[str, int]:
+        counts = {status: 0 for status in STATUSES}
+        for trial in self.trials:
+            counts[trial.status] = counts.get(trial.status, 0) + 1
+        return counts
+
+
+def _receiver_digest(received: list[tuple[int, frozenset[int]]]) -> str:
+    hasher = hashlib.sha256()
+    for post_id, receivers in received:
+        line = f"{post_id}:{','.join(map(str, sorted(receivers)))}\n"
+        hasher.update(line.encode())
+    return hasher.hexdigest()
+
+
+def _build_engine(spec: EngineSpec, workload: Workload, thresholds, spill_dir):
+    """Instantiate the engine variant for this workload, or explain why
+    it cannot run (returns ``(engine, skip_reason)``)."""
+    from ..multiuser import make_multiuser
+
+    subscriptions = workload.subscription_table()
+    if workload.has_churn:
+        if spec.prefix == "m":
+            return None, "per-user m_* engines have no dynamic counterpart"
+        if spec.spill or spec.memory_budget is not None:
+            return None, "dynamic engines keep windows in memory (no spill/governor)"
+        engine = make_multiuser(
+            f"{spec.prefix}_{spec.algorithm}",
+            thresholds,
+            None,
+            subscriptions,
+            workers=spec.workers if spec.prefix == "p" else 1,
+            batch_size=spec.batch_size,
+            dynamic=True,
+            friends=workload.friends,
+            supervised=spec.supervised,
+        )
+        return engine, None
+    storage = None
+    if spec.spill:
+        from ..storage import SpillConfig
+
+        storage = SpillConfig(str(spill_dir))
+    engine = make_multiuser(
+        spec.name,
+        thresholds,
+        workload.graph(thresholds.lambda_a),
+        subscriptions,
+        workers=spec.workers,
+        batch_size=spec.batch_size,
+        supervised=spec.supervised,
+        storage=storage,
+    )
+    return engine, None
+
+
+def _attach_governor(spec: EngineSpec, engine):
+    """A (governor, overload controller) pair for budgeted variants.
+
+    The controller exists solely as the governor's shed rung — its
+    backlog threshold is set unreachably high, so shedding happens iff
+    the ladder escalates all the way on accounted bytes. That keeps the
+    shed count a pure function of the (deterministic) workload."""
+    if spec.memory_budget is None:
+        return None, None
+    from ..resilience import GovernorConfig, MemoryGovernor, OverloadController
+
+    controller = OverloadController(max_delay=1e12)
+    governor = MemoryGovernor(
+        engine,
+        GovernorConfig(budget_bytes=spec.memory_budget, check_every=32),
+        overload=controller,
+    )
+    return governor, controller
+
+
+def run_trial(
+    workload: Workload,
+    spec: EngineSpec,
+    thresholds,
+    *,
+    timeout_s: float | None = None,
+    spill_dir=None,
+    scenario_label: str | None = None,
+) -> TrialResult:
+    """Run one cell; never raises — failures land in the result status.
+
+    ``scenario_label`` is the matrix row key (``name#seed[overrides]``) —
+    it distinguishes same-name scenario rows so cross-check groups never
+    merge trials fed different workloads.
+    """
+    result = TrialResult(
+        scenario=scenario_label or workload.scenario,
+        engine=spec.label,
+        status="ok",
+        posts=len(workload.posts),
+        churn_events=workload.churn_events,
+    )
+    engine = None
+    governor = None
+    registry = Registry()
+    received: list[tuple[int, frozenset[int]]] = []
+    peak_bytes = 0
+    start = time.perf_counter()
+    deadline = None if timeout_s is None else start + timeout_s
+    try:
+        engine, skip_reason = _build_engine(spec, workload, thresholds, spill_dir)
+        if engine is None:
+            result.status = "skipped"
+            result.error = skip_reason
+            return result
+        governor, controller = _attach_governor(spec, engine)
+        engine.bind_metrics(registry)
+
+        def flush(batch: list[Post]) -> bool:
+            """Offer one batch; returns False when the deadline passed."""
+            nonlocal peak_bytes
+            if batch:
+                if controller is not None:
+                    kept = []
+                    for post in batch:
+                        if controller.should_shed(0.0):
+                            controller.record_shed()
+                            result.shed += 1
+                        else:
+                            controller.record_processed()
+                            kept.append(post)
+                else:
+                    kept = list(batch)
+                result.posts_offered += len(batch)
+                for post, receivers in zip(kept, engine.offer_batch(kept)):
+                    received.append((post.post_id, receivers))
+                    result.deliveries += len(receivers)
+                if governor is not None:
+                    governor.observe(len(batch))
+                    peak_bytes = max(peak_bytes, governor.total_bytes())
+                batch.clear()
+            return deadline is None or time.perf_counter() < deadline
+
+        batch: list[Post] = []
+        timed_out = False
+        for event in workload.events:
+            if isinstance(event, Post):
+                batch.append(event)
+                if len(batch) >= spec.batch_size and not flush(batch):
+                    timed_out = True
+                    break
+            else:
+                # Topology events fence the stream: drain, then migrate.
+                if not flush(batch):
+                    timed_out = True
+                    break
+                engine.apply(event)
+        if not timed_out:
+            timed_out = not flush(batch)
+        result.duration_s = time.perf_counter() - start
+        if timed_out and result.posts_offered < result.posts:
+            result.status = "timeout"
+            result.dropped = result.posts - result.posts_offered
+            result.error = (
+                f"deadline {timeout_s}s passed after "
+                f"{result.posts_offered}/{result.posts} posts"
+            )
+        else:
+            result.digest = _receiver_digest(received)
+        _collect_stats(result, engine, governor, registry, peak_bytes)
+    except Exception:
+        result.duration_s = time.perf_counter() - start
+        result.status = "crash"
+        result.error = traceback.format_exc()
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            try:
+                close()
+            except Exception:
+                pass
+    return result
+
+
+def _collect_stats(result, engine, governor, registry, peak_bytes) -> None:
+    stats = engine.aggregate_stats()
+    if result.duration_s > 0:
+        result.posts_per_sec = result.posts_offered / result.duration_s
+    result.stats = {
+        "posts_processed": stats.posts_processed,
+        "posts_admitted": stats.posts_admitted,
+        "instance_offers_rejected": stats.posts_rejected,
+        "comparisons": stats.comparisons,
+        "insertions": stats.insertions,
+        "evictions": stats.evictions,
+        "stored_copies": engine.stored_copies(),
+    }
+    # Scan width: coverage comparisons per offered post — the §4.4 cost
+    # the adversarial scenarios are designed to inflate.
+    if result.posts_offered:
+        result.obs["scan_width_mean"] = stats.comparisons / max(
+            1, stats.posts_processed
+        )
+    snap = snapshot(registry)
+    for family, key in (
+        ("repro_multiuser_deliveries_total", "deliveries_total"),
+        ("repro_multiuser_instance_offers_total", "instance_offers_total"),
+        ("repro_multiuser_posts_total", "posts_total"),
+        ("repro_multiuser_instances", "instances"),
+    ):
+        value = family_total(snap, family)
+        if value:
+            result.obs[key] = value
+    result.memory = {
+        "accounted_bytes": engine.memory_bytes(),
+        "breakdown": engine.memory_breakdown(),
+    }
+    if governor is not None:
+        result.memory["governor"] = governor.status()
+        result.memory["peak_accounted_bytes"] = peak_bytes
+    if hasattr(engine, "event_counts"):
+        result.obs["migrations"] = float(getattr(engine, "migrations", 0))
+        result.obs["graph_version"] = float(getattr(engine, "graph_version", 0))
+    supervision = getattr(engine, "supervision_status", None)
+    status = supervision() if callable(supervision) else None
+    if status is not None:
+        result.obs["restarts"] = float(status["restarts"])
+        result.obs["degraded_shards"] = float(len(status["degraded_shards"]))
+
+
+def _cross_checks(spec: MatrixSpec, trials: list[TrialResult]) -> list[dict]:
+    """Group exact variants per (scenario, algorithm); digests must agree."""
+    groups: dict[tuple[str, str], list[TrialResult]] = {}
+    by_label = {engine.label: engine for engine in spec.engines}
+    for trial in trials:
+        engine = by_label[trial.engine]
+        if trial.status != "ok" or not engine.exact:
+            continue
+        groups.setdefault((trial.scenario, engine.algorithm), []).append(trial)
+    checks = []
+    for (scenario, algorithm), members in sorted(groups.items()):
+        digests = {t.digest for t in members}
+        checks.append(
+            {
+                "scenario": scenario,
+                "algorithm": algorithm,
+                "engines": [t.engine for t in members],
+                "digests": sorted(digests),
+                "ok": len(digests) == 1,
+            }
+        )
+    return checks
+
+
+def run_matrix(
+    spec: MatrixSpec,
+    *,
+    spill_dir=None,
+    progress=None,
+) -> MatrixResult:
+    """Execute every cell of the grid; one workload build per scenario.
+
+    ``spill_dir`` hosts tiered-storage segments for ``spill`` engine
+    variants (a temp directory is created when omitted); ``progress`` is
+    an optional ``callable(str)`` fed one line per completed cell.
+    """
+    import tempfile
+
+    start = time.perf_counter()
+    trials: list[TrialResult] = []
+    with tempfile.TemporaryDirectory(prefix="repro-experiments-") as tmp:
+        base = spill_dir or tmp
+        for scenario_spec in spec.scenarios:
+            workload = make_workload(
+                scenario_spec.name,
+                scenario_spec.seed,
+                config=scenario_spec.config(),
+            )
+            for engine_spec in spec.engines:
+                trial = run_trial(
+                    workload,
+                    engine_spec,
+                    spec.thresholds,
+                    timeout_s=spec.timeout_s,
+                    spill_dir=f"{base}/{len(trials)}",
+                    scenario_label=scenario_spec.label,
+                )
+                trials.append(trial)
+                if progress is not None:
+                    progress(
+                        f"{scenario_spec.label} x {engine_spec.label}: "
+                        f"{trial.status} ({trial.posts_offered} posts, "
+                        f"{trial.duration_s:.2f}s)"
+                    )
+    return MatrixResult(
+        spec=spec,
+        trials=trials,
+        cross_checks=_cross_checks(spec, trials),
+        duration_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,292 @@
+"""Longitudinal perf trajectory: one append-only history across PRs.
+
+Before this module, every benchmark gate kept its own committed baseline
+file (``BENCH_parallel.json``, ``BENCH_dynamic.json``,
+``BENCH_supervision.json``, ``BENCH_memory.json``) and its own ad-hoc
+comparison code. The trajectory store folds them — plus the scenario-
+matrix smoke run — into one ``BENCH_trajectory.json``::
+
+    {"schema": 1,
+     "entries": [
+       {"label": "pr7", "source": "matrix:smoke+legacy",
+        "metrics": {"smoke_deliveries_total": 740.0, ...}},
+       ...]}
+
+Each PR appends (or refreshes) **one** entry labeled after itself; the
+regression check compares a freshly measured candidate against the *last
+committed* entry, metric by metric:
+
+* ``exact`` metrics (deterministic counts: deliveries, shed posts,
+  crashes, cross-check failures) must match bit-for-bit — a drift means
+  the algorithm's semantics changed, which a PR must do loudly (refresh
+  the entry and say why), never silently;
+* ``higher``/``lower`` metrics (throughputs, overheads, latencies) get a
+  relative tolerance, machine-portable like the per-file gates they
+  replace (override with ``REPRO_TRAJECTORY_TOLERANCE``).
+
+A failed check raises :class:`~repro.errors.TrajectoryRegressionError`
+naming every offending metric — CI turns that into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..errors import ExperimentError, TrajectoryRegressionError
+from .runner import MatrixResult
+
+__all__ = [
+    "METRIC_SPECS",
+    "append_entry",
+    "check_regression",
+    "legacy_metrics",
+    "load_trajectory",
+    "make_entry",
+    "matrix_metrics",
+    "write_trajectory",
+]
+
+TRAJECTORY_SCHEMA = 1
+
+#: Default relative tolerance for perf (non-exact) metrics. Wide on
+#: purpose: CI machines vary, and the per-file gates this replaces used
+#: the same philosophy (relative checks, generous slack).
+DEFAULT_TOLERANCE = 0.5
+
+#: metric name → (direction, kind). Direction: "higher" is better,
+#: "lower" is better, "exact" must not drift at all. Metrics absent here
+#: are recorded but never gated (informational).
+METRIC_SPECS: dict[str, str] = {
+    # legacy BENCH_parallel.json
+    "parallel_serial_posts_per_sec": "higher",
+    "parallel_best_speedup": "higher",
+    # legacy BENCH_dynamic.json
+    "dynamic_speedup_vs_rebuild_min": "higher",
+    "dynamic_events_per_sec_min": "higher",
+    # legacy BENCH_supervision.json
+    "supervision_overhead": "lower",
+    "supervision_recovery_latency_s": "lower",
+    # legacy BENCH_memory.json
+    "memory_peak_ratio": "lower",
+    "memory_time_overhead": "lower",
+    # per-matrix deterministic counts (prefix = matrix name)
+    "deliveries_total": "exact",
+    "shed_total": "exact",
+    "crashes": "exact",
+    "cross_check_failures": "exact",
+    "timeouts": "lower",
+    # per-matrix perf
+    "posts_per_sec_min": "higher",
+    "scan_width_mean_max": "exact",
+}
+
+
+def _metric_direction(name: str) -> str | None:
+    """Spec lookup; matrix metrics are ``<matrix>_<canonical>`` so fall
+    back to the longest canonical suffix."""
+    if name in METRIC_SPECS:
+        return METRIC_SPECS[name]
+    for canonical, direction in METRIC_SPECS.items():
+        if name.endswith("_" + canonical):
+            return direction
+    return None
+
+
+# -- store --------------------------------------------------------------------
+
+
+def load_trajectory(path: str | Path) -> dict:
+    """The history at ``path`` (an empty one when the file is absent)."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ExperimentError(f"{path}: invalid trajectory JSON: {exc}") from exc
+    if not isinstance(record, dict) or "entries" not in record:
+        raise ExperimentError(f"{path}: not a trajectory file (no 'entries')")
+    if record.get("schema") != TRAJECTORY_SCHEMA:
+        raise ExperimentError(
+            f"{path}: trajectory schema {record.get('schema')!r}, "
+            f"this build reads {TRAJECTORY_SCHEMA}"
+        )
+    for entry in record["entries"]:
+        if not isinstance(entry, dict) or "label" not in entry or "metrics" not in entry:
+            raise ExperimentError(f"{path}: malformed entry {entry!r}")
+    return record
+
+
+def write_trajectory(history: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(history, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def append_entry(history: dict, entry: dict) -> dict:
+    """Append ``entry``; re-running the same label refreshes in place
+    (a PR iterates on its own row, never rewrites its predecessors')."""
+    entries = [e for e in history["entries"] if e["label"] != entry["label"]]
+    entries.append(entry)
+    return {"schema": TRAJECTORY_SCHEMA, "entries": entries}
+
+
+# -- metric extraction --------------------------------------------------------
+
+
+def _load_json(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def legacy_metrics(root: str | Path) -> dict[str, float]:
+    """Fold the four committed per-file gate baselines into canonical
+    trajectory metrics (files that are absent contribute nothing)."""
+    root = Path(root)
+    metrics: dict[str, float] = {}
+    record = _load_json(root / "BENCH_parallel.json")
+    if record:
+        metrics["parallel_serial_posts_per_sec"] = record["serial"]["posts_per_sec"]
+        rows = record.get("parallel", [])
+        if rows:
+            metrics["parallel_best_speedup"] = max(
+                row["speedup_vs_serial"] for row in rows
+            )
+    record = _load_json(root / "BENCH_dynamic.json")
+    if record:
+        rows = record.get("rows", [])
+        if rows:
+            metrics["dynamic_speedup_vs_rebuild_min"] = min(
+                row["speedup_vs_rebuild"] for row in rows
+            )
+            metrics["dynamic_events_per_sec_min"] = min(
+                row["dynamic_events_per_sec"] for row in rows
+            )
+    record = _load_json(root / "BENCH_supervision.json")
+    if record:
+        metrics["supervision_overhead"] = record["supervised"][
+            "overhead_vs_unsupervised"
+        ]
+        metrics["supervision_recovery_latency_s"] = record["recovery"][
+            "recovery_latency_s"
+        ]
+    record = _load_json(root / "BENCH_memory.json")
+    if record:
+        metrics["memory_peak_ratio"] = record["peak_reduction_ratio"]
+        metrics["memory_time_overhead"] = record["bounded"][
+            "time_overhead_vs_unbounded"
+        ]
+    return metrics
+
+
+def matrix_metrics(result: MatrixResult) -> dict[str, float]:
+    """Canonical metrics of one matrix run, prefixed with its name."""
+    prefix = result.spec.name
+    counts = result.counts()
+    ok = [t for t in result.trials if t.status == "ok"]
+    metrics: dict[str, float] = {
+        f"{prefix}_deliveries_total": float(sum(t.deliveries for t in ok)),
+        f"{prefix}_shed_total": float(sum(t.shed for t in ok)),
+        f"{prefix}_crashes": float(counts.get("crash", 0)),
+        f"{prefix}_timeouts": float(counts.get("timeout", 0)),
+        f"{prefix}_cross_check_failures": float(
+            sum(1 for c in result.cross_checks if not c["ok"])
+        ),
+    }
+    throughputs = [t.posts_per_sec for t in ok if t.posts_per_sec > 0]
+    if throughputs:
+        metrics[f"{prefix}_posts_per_sec_min"] = min(throughputs)
+    widths = [t.obs["scan_width_mean"] for t in ok if "scan_width_mean" in t.obs]
+    if widths:
+        metrics[f"{prefix}_scan_width_mean_max"] = max(widths)
+    return metrics
+
+
+def make_entry(
+    label: str,
+    *,
+    result: MatrixResult | None = None,
+    root: str | Path | None = None,
+) -> dict:
+    """One trajectory entry: matrix metrics (when a run is given) folded
+    with the legacy per-file baselines (when ``root`` is given)."""
+    metrics: dict[str, float] = {}
+    sources = []
+    if result is not None:
+        metrics.update(matrix_metrics(result))
+        sources.append(f"matrix:{result.spec.name}")
+    if root is not None:
+        metrics.update(legacy_metrics(root))
+        sources.append("legacy")
+    return {"label": label, "source": "+".join(sources), "metrics": metrics}
+
+
+# -- regression check ---------------------------------------------------------
+
+
+def _tolerance() -> float:
+    raw = os.environ.get("REPRO_TRAJECTORY_TOLERANCE")
+    return float(raw) if raw else DEFAULT_TOLERANCE
+
+
+def check_regression(
+    history: dict,
+    candidate: dict,
+    *,
+    tolerance: float | None = None,
+) -> list[str]:
+    """Compare ``candidate`` against the last committed entry.
+
+    Returns the list of compared metric names on success; raises
+    :class:`TrajectoryRegressionError` naming every regressed metric.
+    Metrics present on only one side are informational (subsystems come
+    and go); an empty history passes trivially (first entry seeds it).
+    """
+    entries = history.get("entries", [])
+    if not entries:
+        return []
+    baseline = entries[-1]
+    if baseline["label"] == candidate["label"] and len(entries) > 1:
+        # A PR re-checking after refreshing its own row compares against
+        # its predecessor, not against itself.
+        baseline = entries[-2]
+    tol = _tolerance() if tolerance is None else tolerance
+    compared: list[str] = []
+    failures: list[str] = []
+    for name in sorted(candidate["metrics"]):
+        if name not in baseline["metrics"]:
+            continue
+        direction = _metric_direction(name)
+        if direction is None:
+            continue
+        old = float(baseline["metrics"][name])
+        new = float(candidate["metrics"][name])
+        compared.append(name)
+        if direction == "exact":
+            if new != old:
+                failures.append(
+                    f"{name}: {new} != committed {old} (exact metric — "
+                    f"semantics drifted; if intentional, refresh the entry)"
+                )
+        elif direction == "higher":
+            if new < old * (1.0 - tol):
+                failures.append(
+                    f"{name}: {new:.4g} < {old:.4g} - {tol:.0%} (higher is better)"
+                )
+        elif direction == "lower":
+            limit = old * (1.0 + tol) if old > 0 else tol
+            if new > limit:
+                failures.append(
+                    f"{name}: {new:.4g} > {old:.4g} + {tol:.0%} (lower is better)"
+                )
+    if failures:
+        raise TrajectoryRegressionError(
+            f"trajectory regression vs entry {baseline['label']!r}: "
+            + "; ".join(failures)
+        )
+    return compared

@@ -1,0 +1,457 @@
+"""Scenario registry: seeded, deterministic adversarial workload generators.
+
+Every subsystem benchmark so far replays the same uniform synthetic
+stream; diversification earns its keep on the *hostile* shapes — flash
+crowds, near-duplicate spam floods, drifting topics, heavy-tail author
+skew, and coordinated follow/unfollow storms. Each scenario here is a
+pure function of ``(seed, config)`` emitting a reproducible workload:
+
+* a timestamp-ordered mixed event stream (posts, plus follow/unfollow
+  churn for the dynamic scenarios) that round-trips through the
+  :mod:`repro.dynamic.events` codec;
+* the initial followee relation its author universe was cut from; and
+* a subscription table, so every M-SPSD engine variant can consume it.
+
+Determinism contract: the same ``(seed, config)`` always produces a
+byte-identical trace — :func:`repro.dynamic.events.events_digest` over
+two same-seed workloads is equal — which is what lets the trial runner
+cross-check receiver sets between engine variants and lets CI rerun a
+matrix cell reproducibly.
+
+Registry::
+
+    >>> from repro.experiments import SCENARIO_NAMES, make_workload
+    >>> w = make_workload("spam_flood", seed=7)
+    >>> w.digest() == make_workload("spam_flood", seed=7).digest()
+    True
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import asdict, dataclass, field, replace
+
+from ..authors import AuthorGraph, SimilarityMaintainer
+from ..core import Post
+from ..dynamic.events import Event, FollowEvent, UnfollowEvent, events_digest
+from ..errors import ExperimentError, UnknownScenarioError
+from ..multiuser import SubscriptionTable
+from ..social import ChurnConfig, interleave_churn
+
+__all__ = [
+    "SCENARIO_NAMES",
+    "ScenarioConfig",
+    "Workload",
+    "make_workload",
+    "scenario_help",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs shared by every generator plus per-scenario shape controls.
+
+    The common block sizes the world (posts, authors, users) and the
+    background traffic (inter-post gap, echo near-duplicate rate); each
+    scenario then reads only its own named sub-block. Everything is
+    plain data so a grid config can carry overrides as JSON.
+    """
+
+    # -- world size ---------------------------------------------------------
+    n_posts: int = 300
+    n_authors: int = 16
+    n_users: int = 6
+    subscriptions_per_user: int = 5
+    follow_degree: int = 3
+
+    # -- background traffic -------------------------------------------------
+    mean_gap: float = 1.0
+    echo_prob: float = 0.35
+    near_flips: int = 3
+
+    # -- flash_crowd: sudden bursts around one story -----------------------
+    burst_count: int = 3
+    burst_len: int = 40
+    burst_gap_factor: float = 0.02
+    burst_story_flips: int = 2
+    burst_authors: int = 3
+
+    # -- spam_flood: near-identical floods from a spammer clique -----------
+    spam_authors: int = 2
+    flood_count: int = 3
+    flood_len: int = 30
+    spam_flips: int = 1
+
+    # -- topic_drift: the content centroid random-walks --------------------
+    drift_every: int = 10
+    drift_flips: int = 2
+    topic_echo_prob: float = 0.8
+
+    # -- author_skew: Zipf-weighted author activity ------------------------
+    zipf_exponent: float = 1.3
+
+    # -- churn_storm: coordinated follow/unfollow windows ------------------
+    churn_base_rate: float = 0.02
+    storm_count: int = 2
+    storm_rate: float = 3.0
+    storm_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.n_posts < 1:
+            raise ExperimentError(f"n_posts must be >= 1, got {self.n_posts}")
+        if self.n_authors < 2:
+            raise ExperimentError(f"n_authors must be >= 2, got {self.n_authors}")
+        if self.n_users < 1:
+            raise ExperimentError(f"n_users must be >= 1, got {self.n_users}")
+        if not 1 <= self.subscriptions_per_user <= self.n_authors:
+            raise ExperimentError(
+                "subscriptions_per_user must be in [1, n_authors], got "
+                f"{self.subscriptions_per_user}"
+            )
+        if self.mean_gap <= 0.0:
+            raise ExperimentError(f"mean_gap must be > 0, got {self.mean_gap}")
+        if not 0.0 <= self.echo_prob <= 1.0:
+            raise ExperimentError(f"echo_prob must be in [0, 1], got {self.echo_prob}")
+        if self.storm_count > 0 and not 0.0 < self.storm_fraction * self.storm_count <= 1.0:
+            raise ExperimentError(
+                "storm windows must fit the stream: need "
+                f"0 < storm_fraction*storm_count <= 1, got "
+                f"{self.storm_fraction} * {self.storm_count}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One generated experiment input: the stream plus its world."""
+
+    scenario: str
+    seed: int
+    config: ScenarioConfig
+    events: tuple[Event, ...]
+    friends: dict[int, frozenset[int]] = field(repr=False)
+    subscriptions: dict[int, tuple[int, ...]] = field(repr=False)
+
+    @property
+    def posts(self) -> list[Post]:
+        """The post projection of the mixed stream (order preserved)."""
+        return [event for event in self.events if isinstance(event, Post)]
+
+    @property
+    def churn_events(self) -> int:
+        return sum(1 for e in self.events if not isinstance(e, Post))
+
+    @property
+    def has_churn(self) -> bool:
+        return self.churn_events > 0
+
+    def graph(self, lambda_a: float) -> AuthorGraph:
+        """The λa similarity graph of the *initial* followee relation —
+        what a static engine sees, and exactly the graph a dynamic engine
+        starts from before any churn event lands."""
+        maintainer = SimilarityMaintainer(self.friends, threshold=1.0 - lambda_a)
+        return AuthorGraph(maintainer.authors, maintainer.edges())
+
+    def subscription_table(self) -> SubscriptionTable:
+        return SubscriptionTable(self.subscriptions)
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSONL encoding of the event stream."""
+        return events_digest(self.events)
+
+
+# -- shared scaffolding -----------------------------------------------------
+
+
+def _universe(rng: random.Random, config: ScenarioConfig):
+    """Authors, a seeded author→author followee relation, subscriptions.
+
+    Followees are drawn from the author universe itself so (a) the λa
+    similarity graph has real edges at moderate thresholds (shared
+    followees ⇒ cosine overlap) and (b) churn events — which pick both
+    endpoints from the universe — flip those same edges.
+    """
+    authors = list(range(1, config.n_authors + 1))
+    friends: dict[int, frozenset[int]] = {}
+    for author in authors:
+        others = [a for a in authors if a != author]
+        degree = min(config.follow_degree, len(others))
+        friends[author] = frozenset(rng.sample(others, degree))
+    subscriptions: dict[int, tuple[int, ...]] = {}
+    for i in range(config.n_users):
+        user = 10_000 + i
+        subscriptions[user] = tuple(
+            sorted(rng.sample(authors, config.subscriptions_per_user))
+        )
+    return authors, friends, subscriptions
+
+
+def _flip(fingerprint: int, flips: int, rng: random.Random) -> int:
+    for bit in rng.sample(range(64), flips):
+        fingerprint ^= 1 << bit
+    return fingerprint
+
+
+class _PostFactory:
+    """Sequential post ids, non-decreasing timestamps, echo memory."""
+
+    def __init__(self, rng: random.Random, config: ScenarioConfig, scenario: str):
+        self.rng = rng
+        self.config = config
+        self.scenario = scenario
+        self.now = 0.0
+        self.next_id = 0
+        self.recent: list[int] = []  # fingerprints of prior posts
+
+    def advance(self, mean_gap: float) -> float:
+        self.now += self.rng.expovariate(1.0 / mean_gap)
+        return self.now
+
+    def background_fingerprint(self) -> int:
+        rng, config = self.rng, self.config
+        if self.recent and rng.random() < config.echo_prob:
+            source = self.recent[-rng.randint(1, min(len(self.recent), 25))]
+            return _flip(source, rng.randint(0, config.near_flips), rng)
+        return rng.getrandbits(64)
+
+    def emit(self, author: int, fingerprint: int) -> Post:
+        post = Post(
+            post_id=self.next_id,
+            author=author,
+            text=f"{self.scenario}-{self.next_id}",
+            timestamp=self.now,
+            fingerprint=fingerprint,
+        )
+        self.next_id += 1
+        self.recent.append(fingerprint)
+        return post
+
+
+# -- scenario generators ----------------------------------------------------
+
+
+def _gen_uniform(rng, config, authors, friends):
+    """The paper-shaped baseline: Poisson arrivals, uniform authors, a
+    steady trickle of near-duplicates. The control cell every adversarial
+    scenario is compared against."""
+    factory = _PostFactory(rng, config, "uniform")
+    events: list[Event] = []
+    for _ in range(config.n_posts):
+        factory.advance(config.mean_gap)
+        events.append(factory.emit(rng.choice(authors), factory.background_fingerprint()))
+    return events
+
+
+def _gen_flash_crowd(rng, config, authors, friends):
+    """Quiet baseline punctuated by bursts: arrival gaps collapse by
+    ``burst_gap_factor`` while a handful of authors hammer one story
+    fingerprint — the regime where the λt window fills with mutual
+    near-duplicates and scan width explodes."""
+    factory = _PostFactory(rng, config, "flash_crowd")
+    events: list[Event] = []
+    burst_at = _burst_positions(rng, config)
+    emitted = 0
+    while emitted < config.n_posts:
+        if emitted in burst_at:
+            story = rng.getrandbits(64)
+            crowd = rng.sample(authors, min(config.burst_authors, len(authors)))
+            length = min(config.burst_len, config.n_posts - emitted)
+            for _ in range(length):
+                factory.advance(config.mean_gap * config.burst_gap_factor)
+                fingerprint = _flip(
+                    story, rng.randint(0, config.burst_story_flips), rng
+                )
+                events.append(factory.emit(rng.choice(crowd), fingerprint))
+                emitted += 1
+        else:
+            factory.advance(config.mean_gap)
+            events.append(
+                factory.emit(rng.choice(authors), factory.background_fingerprint())
+            )
+            emitted += 1
+    return events
+
+
+def _burst_positions(rng: random.Random, config: ScenarioConfig) -> set[int]:
+    """Deterministic burst start offsets, spread over the stream."""
+    if config.burst_count < 1:
+        return set()
+    stride = max(1, config.n_posts // (config.burst_count + 1))
+    return {stride * (i + 1) for i in range(config.burst_count)}
+
+
+def _gen_spam_flood(rng, config, authors, friends):
+    """A small spammer set floods runs of near-identical posts (0 to
+    ``spam_flips`` bit flips off one template) into normal traffic — the
+    shape SimHash coverage exists to shed."""
+    factory = _PostFactory(rng, config, "spam_flood")
+    events: list[Event] = []
+    spammers = rng.sample(authors, min(config.spam_authors, len(authors)))
+    flood_at = {
+        max(1, (i + 1) * config.n_posts // (config.flood_count + 1))
+        for i in range(config.flood_count)
+    }
+    emitted = 0
+    while emitted < config.n_posts:
+        if emitted in flood_at:
+            template = rng.getrandbits(64)
+            length = min(config.flood_len, config.n_posts - emitted)
+            for _ in range(length):
+                factory.advance(config.mean_gap * 0.1)
+                fingerprint = _flip(template, rng.randint(0, config.spam_flips), rng)
+                events.append(factory.emit(rng.choice(spammers), fingerprint))
+                emitted += 1
+        else:
+            factory.advance(config.mean_gap)
+            events.append(
+                factory.emit(rng.choice(authors), factory.background_fingerprint())
+            )
+            emitted += 1
+    return events
+
+
+def _gen_topic_drift(rng, config, authors, friends):
+    """The content centroid random-walks: every ``drift_every`` posts the
+    topic fingerprint flips ``drift_flips`` bits, and most posts echo the
+    *current* centroid. Near-duplicates cluster in time but the cluster
+    itself moves — stale indexes and long windows over-cover, short ones
+    under-cover (Zhu et al.'s topic-focused filtering motivation)."""
+    factory = _PostFactory(rng, config, "topic_drift")
+    events: list[Event] = []
+    centroid = rng.getrandbits(64)
+    for i in range(config.n_posts):
+        if i and i % config.drift_every == 0:
+            centroid = _flip(centroid, config.drift_flips, rng)
+        factory.advance(config.mean_gap)
+        if rng.random() < config.topic_echo_prob:
+            fingerprint = _flip(centroid, rng.randint(0, config.near_flips), rng)
+        else:
+            fingerprint = rng.getrandbits(64)
+        events.append(factory.emit(rng.choice(authors), fingerprint))
+    return events
+
+
+def _gen_author_skew(rng, config, authors, friends):
+    """Zipf-weighted author activity: a head author dominates the stream
+    (heavy-tail skew), concentrating window contents in a few bins — the
+    worst case for per-author bin structures and LPT shard balance."""
+    factory = _PostFactory(rng, config, "author_skew")
+    weights = [1.0 / (rank + 1) ** config.zipf_exponent for rank in range(len(authors))]
+    events: list[Event] = []
+    for _ in range(config.n_posts):
+        factory.advance(config.mean_gap)
+        author = rng.choices(authors, weights=weights, k=1)[0]
+        events.append(factory.emit(author, factory.background_fingerprint()))
+    return events
+
+
+def _gen_churn_storm(rng, config, authors, friends):
+    """Background posts plus coordinated follow/unfollow storms: churn
+    idles at ``churn_base_rate`` events/post, then spikes to
+    ``storm_rate`` inside ``storm_count`` windows covering
+    ``storm_fraction`` of the stream each — the dynamic subsystem's
+    migration machinery under maximum pressure."""
+    factory = _PostFactory(rng, config, "churn_storm")
+    posts: list[Post] = []
+    for _ in range(config.n_posts):
+        factory.advance(config.mean_gap)
+        posts.append(
+            factory.emit(rng.choice(authors), factory.background_fingerprint())
+        )
+    span = posts[-1].timestamp if posts else 0.0
+    windows = _storm_windows(span, config)
+
+    def rate_at(t: float) -> float:
+        for lo, hi in windows:
+            if lo <= t < hi:
+                return config.storm_rate
+        return config.churn_base_rate
+
+    churn_config = ChurnConfig(rate=config.churn_base_rate, seed=rng.randrange(2**31))
+    return list(
+        interleave_churn(posts, friends, churn_config, rate_fn=rate_at)
+    )
+
+
+def _storm_windows(span: float, config: ScenarioConfig) -> list[tuple[float, float]]:
+    """``storm_count`` equal windows of ``storm_fraction * span`` seconds,
+    centered at evenly spaced points of the stream."""
+    if config.storm_count < 1 or span <= 0.0:
+        return []
+    width = config.storm_fraction * span
+    windows = []
+    for i in range(config.storm_count):
+        center = span * (i + 1) / (config.storm_count + 1)
+        windows.append((center - width / 2, center + width / 2))
+    return windows
+
+
+#: name → generator(rng, config, authors, friends) -> list[Event]
+_GENERATORS: dict[str, Callable] = {
+    "uniform": _gen_uniform,
+    "flash_crowd": _gen_flash_crowd,
+    "spam_flood": _gen_spam_flood,
+    "topic_drift": _gen_topic_drift,
+    "author_skew": _gen_author_skew,
+    "churn_storm": _gen_churn_storm,
+}
+
+SCENARIO_NAMES: tuple[str, ...] = tuple(_GENERATORS)
+
+
+def scenario_help() -> dict[str, str]:
+    """name → first docstring line, for ``repro experiments --list``."""
+    return {
+        name: (gen.__doc__ or "").strip().split("\n")[0]
+        for name, gen in _GENERATORS.items()
+    }
+
+
+def make_workload(
+    name: str,
+    seed: int,
+    config: ScenarioConfig | None = None,
+    **overrides,
+) -> Workload:
+    """Build scenario ``name`` deterministically from ``(seed, config)``.
+
+    ``overrides`` are applied on top of ``config`` (or the defaults), so
+    grid configs can say ``{"scenario": "spam_flood", "flood_len": 80}``.
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; choose from {SCENARIO_NAMES}"
+        ) from None
+    base = config or ScenarioConfig()
+    if overrides:
+        base = replace(base, **overrides)
+    # str seeding hashes all bytes deterministically (unlike tuple
+    # seeding, which goes through PYTHONHASHSEED-randomized hash()).
+    rng = random.Random(f"{name}:{seed}")
+    authors, friends, subscriptions = _universe(rng, base)
+    events = generator(rng, base, authors, friends)
+    _check_order(events, name)
+    return Workload(
+        scenario=name,
+        seed=seed,
+        config=base,
+        events=tuple(events),
+        friends=friends,
+        subscriptions=subscriptions,
+    )
+
+
+def _check_order(events: list[Event], name: str) -> None:
+    last = float("-inf")
+    for event in events:
+        if event.timestamp < last:
+            raise ExperimentError(
+                f"scenario {name!r} generated out-of-order timestamps "
+                f"({event.timestamp} after {last}) — generator bug"
+            )
+        last = event.timestamp

@@ -24,6 +24,12 @@ See ``docs/observability.md`` for the metric catalog.
 """
 
 from .exposition import render_prometheus, snapshot, write_json_snapshot
+from .summary import (
+    family_samples,
+    family_total,
+    flatten_snapshot,
+    histogram_summary,
+)
 from .metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS,
@@ -50,6 +56,10 @@ __all__ = [
     "NullRegistry",
     "OfferTracer",
     "Registry",
+    "family_samples",
+    "family_total",
+    "flatten_snapshot",
+    "histogram_summary",
     "Timer",
     "log_buckets",
     "render_prometheus",

@@ -1,0 +1,102 @@
+"""Snapshot digestion: turn a :func:`repro.obs.snapshot` into flat stats.
+
+The experiment harness (:mod:`repro.experiments`) records per-trial
+metrics by binding a :class:`~repro.obs.metrics.Registry` onto the engine
+under test and snapshotting it when the trial ends. A snapshot is a
+faithful but deeply-nested structure; reports want scalars. This module
+is the bridge: flatten samples into ``name{label=value}`` keys, sum a
+family across its label sets, and summarize histograms (count / sum /
+mean / p-ish tail via the highest non-empty bucket).
+
+Kept inside ``repro.obs`` (not the harness) because the mapping depends
+only on the exposition schema, which is owned here.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "flatten_snapshot",
+    "family_samples",
+    "family_total",
+    "histogram_summary",
+]
+
+
+def _label_suffix(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def family_samples(snap: dict, name: str) -> list[dict]:
+    """All samples of family ``name`` (empty list when absent)."""
+    for family in snap.get("metrics", ()):
+        if family.get("name") == name:
+            return list(family.get("samples", ()))
+    return []
+
+
+def flatten_snapshot(snap: dict) -> dict[str, float]:
+    """Every sample as a flat ``name{label=value,...}`` → number mapping.
+
+    Counters and gauges map to their value; histograms contribute
+    ``<name>_count`` and ``<name>_sum`` entries (buckets are dropped —
+    use :func:`histogram_summary` for distribution shape).
+    """
+    flat: dict[str, float] = {}
+    for family in snap.get("metrics", ()):
+        name = family["name"]
+        for sample in family.get("samples", ()):
+            suffix = _label_suffix(sample.get("labels", {}))
+            if "buckets" in sample:
+                flat[f"{name}_count{suffix}"] = sample["count"]
+                flat[f"{name}_sum{suffix}"] = sample["sum"]
+            else:
+                flat[f"{name}{suffix}"] = sample["value"]
+    return flat
+
+
+def family_total(snap: dict, name: str) -> float:
+    """Sum of a counter/gauge family's values across all label sets."""
+    return sum(
+        sample.get("value", 0.0)
+        for sample in family_samples(snap, name)
+        if "value" in sample
+    )
+
+
+def histogram_summary(snap: dict, name: str) -> dict[str, float] | None:
+    """Aggregate a histogram family across label sets.
+
+    Returns ``{"count", "sum", "mean", "max_bucket"}`` — ``max_bucket``
+    is the smallest bucket bound that already holds every observation
+    (an upper bound on the maximum, finite unless only ``+Inf`` does) —
+    or ``None`` when the family is absent or empty.
+    """
+    count = 0
+    total = 0.0
+    merged: dict[float, int] = {}
+    for sample in family_samples(snap, name):
+        if "buckets" not in sample:
+            continue
+        count += sample["count"]
+        total += sample["sum"]
+        for bound_text, cumulative in sample["buckets"].items():
+            bound = math.inf if bound_text == "+Inf" else float(bound_text)
+            merged[bound] = merged.get(bound, 0) + cumulative
+    if count == 0:
+        return None
+    max_bucket = math.inf
+    for bound in sorted(merged):
+        if merged[bound] >= count:
+            max_bucket = bound
+            break
+    return {
+        "count": float(count),
+        "sum": total,
+        "mean": total / count,
+        "max_bucket": max_bucket,
+    }

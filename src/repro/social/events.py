@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 import random
-from collections.abc import Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Iterator, Mapping
 from dataclasses import dataclass
 
 from ..core import Post
@@ -69,12 +69,21 @@ def interleave_churn(
     posts: Iterable[Post],
     friends: Mapping[int, Iterable[int]],
     config: ChurnConfig | None = None,
+    *,
+    rate_fn: Callable[[float], float] | None = None,
 ) -> Iterator[Event]:
     """Yield a mixed event stream: ``posts`` plus seeded follow churn.
 
     ``friends`` is the followee relation at stream start (it is copied,
     never mutated); churn events mutate only the shadow copy. The author
     universe is fixed: churn picks both endpoints from ``friends``' keys.
+
+    ``rate_fn``, when given, makes the churn intensity *time-varying*:
+    it maps the timestamp of the preceding post to the mean events for
+    that inter-post gap, overriding ``config.rate``. Coordinated churn
+    storms (the adversarial scenario family) are built this way — a
+    baseline rate punctuated by windows of orders-of-magnitude more
+    follow/unfollow traffic, still fully deterministic given the seed.
     """
     config = config or ChurnConfig()
     rng = random.Random(config.seed)
@@ -83,7 +92,8 @@ def interleave_churn(
         for author, followees in friends.items()
     }
     universe = sorted(shadow)
-    if len(universe) < 2 and config.rate > 0.0:
+    churning = config.rate > 0.0 or rate_fn is not None
+    if len(universe) < 2 and churning:
         raise DatasetError("churn needs at least 2 authors in the universe")
 
     def make_event(timestamp: float) -> Event | None:
@@ -113,7 +123,10 @@ def interleave_churn(
     previous: float | None = None
     for post in posts:
         if previous is not None:
-            count = _poisson(rng, config.rate)
+            mean = config.rate if rate_fn is None else rate_fn(previous)
+            if mean < 0.0:
+                raise DatasetError(f"rate_fn returned {mean} at t={previous}")
+            count = _poisson(rng, mean)
             if count:
                 gap = post.timestamp - previous
                 offsets = sorted(rng.random() * gap for _ in range(count))

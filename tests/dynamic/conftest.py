@@ -5,51 +5,32 @@ sets draw from a small interest pool (so single follow/unfollow events
 actually flip λa similarity edges), six users with overlapping
 subscriptions (so instances are shared and merges/splits have real
 work), and a seeded mixed event stream — posts with near-duplicate
-fingerprints interleaved with follow/unfollow churn.
+fingerprints interleaved with follow/unfollow churn. The world itself
+lives in ``tests/support.py`` (shared with the supervision suite); this
+conftest only wraps it in fixtures.
 """
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
-from repro.core import Post, Thresholds
-from repro.dynamic import FollowEvent, UnfollowEvent
+from repro.core import Thresholds
 from repro.multiuser import SubscriptionTable
 
-#: The similarity-graph universe (friends keys); fixed across churn.
-AUTHORS = list(range(1, 13))
+from ..support import (
+    DYNAMIC_AUTHORS as AUTHORS,
+    DYNAMIC_SUBSCRIPTIONS_SPEC as SUBSCRIPTIONS_SPEC,
+    INTERESTS,
+    make_events,
+    make_friends,
+)
 
-#: Followee targets. Small on purpose: with sets of size 2–4 drawn from
-#: twelve interests, one edge flip routinely crosses the λa threshold.
-INTERESTS = list(range(100, 112))
-
-
-def make_friends(seed: int = 5) -> dict[int, set[int]]:
-    """Seeded initial followee relation over the fixture authors."""
-    rng = random.Random(seed)
-    return {
-        author: set(rng.sample(INTERESTS, rng.randint(2, 4)))
-        for author in AUTHORS
-    }
+__all__ = ["AUTHORS", "INTERESTS", "SUBSCRIPTIONS_SPEC", "make_events", "make_friends"]
 
 
 @pytest.fixture(scope="module")
 def friends() -> dict[int, set[int]]:
     return make_friends()
-
-
-# Overlapping interests so the catalog shares instances between users
-# and a single edge flip can straddle several users' component views.
-SUBSCRIPTIONS_SPEC = {
-    100: [1, 2, 3, 4, 10],
-    200: [1, 2, 3, 4, 5, 6],
-    300: [5, 6, 7, 8, 9],
-    400: [7, 8, 9, 10, 11, 12],
-    500: [2, 5, 8, 11],
-    600: [1, 4, 7, 10, 12],
-}
 
 
 @pytest.fixture(scope="module")
@@ -60,45 +41,6 @@ def subscriptions() -> SubscriptionTable:
 @pytest.fixture(scope="module")
 def thresholds() -> Thresholds:
     return Thresholds(lambda_c=8, lambda_t=40.0, lambda_a=0.5)
-
-
-def make_events(
-    n_posts: int = 200,
-    seed: int = 17,
-    churn_prob: float = 0.15,
-):
-    """Seeded mixed stream: strictly ordered timestamps, ~half the posts
-    near-duplicates of an earlier fingerprint (inside λc=8), and before
-    each post a ``churn_prob`` chance of one follow/unfollow event over
-    the interest pool (never a self-follow — interests are disjoint from
-    the author ids)."""
-    rng = random.Random(seed)
-    events = []
-    posts: list[Post] = []
-    now = 0.0
-    for i in range(n_posts):
-        now += rng.random() * 2.0
-        if rng.random() < churn_prob:
-            author = rng.choice(AUTHORS)
-            followee = rng.choice(INTERESTS)
-            cls = FollowEvent if rng.random() < 0.5 else UnfollowEvent
-            events.append(cls(author=author, followee=followee, timestamp=now))
-        if posts and rng.random() < 0.5:
-            fingerprint = posts[rng.randrange(len(posts))].fingerprint
-            for _ in range(rng.randrange(4)):
-                fingerprint ^= 1 << rng.randrange(64)
-        else:
-            fingerprint = rng.getrandbits(64)
-        post = Post(
-            post_id=i,
-            author=rng.choice(AUTHORS),
-            text=f"p{i}",
-            timestamp=now,
-            fingerprint=fingerprint,
-        )
-        posts.append(post)
-        events.append(post)
-    return events
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,1 @@
+"""Tests for the scenario-matrix experiment harness (repro.experiments)."""

@@ -1,0 +1,122 @@
+"""End-to-end: ``python -m repro experiments`` (in process via main()).
+
+Includes the acceptance run: the smoke matrix executed twice must emit
+identical per-cell receiver-set digests, and a doctored trajectory file
+must turn ``--check`` into a non-zero exit naming the metric.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SMOKE = ["experiments", "--matrix", "smoke", "--quiet"]
+
+
+def _digests(report_path):
+    record = json.loads(report_path.read_text())
+    return [(t["scenario"], t["engine"], t["digest"]) for t in record["trials"]]
+
+
+def test_list_prints_registry(capsys):
+    assert main(["experiments", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "spam_flood" in out and "churn_storm" in out
+    assert "smoke" in out and "adversarial" in out
+
+
+def test_smoke_matrix_is_deterministic(tmp_path, capsys):
+    """Same seed, two runs, byte-identical digests (acceptance run)."""
+    first, second = tmp_path / "r1.json", tmp_path / "r2.json"
+    assert main(SMOKE + ["--out", str(first)]) == 0
+    assert main(SMOKE + ["--out", str(second)]) == 0
+    assert _digests(first) == _digests(second)
+    record = json.loads(first.read_text())
+    assert record["ok"]
+    for trial in record["trials"]:
+        assert trial["posts_per_sec"] > 0
+        assert trial["memory"]["accounted_bytes"] > 0
+        assert "shed" in trial and "dropped" in trial
+
+
+def test_seed_override_changes_digests(tmp_path):
+    base, reseeded = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(SMOKE + ["--out", str(base)]) == 0
+    assert main(SMOKE + ["--seed", "99", "--out", str(reseeded)]) == 0
+    assert _digests(base) != _digests(reseeded)
+
+
+def test_html_report_written(tmp_path, capsys):
+    path = tmp_path / "report.html"
+    assert main(SMOKE + ["--html", str(path)]) == 0
+    assert path.read_text().startswith("<!DOCTYPE html>")
+
+
+def test_grid_file_path(tmp_path, capsys):
+    grid = {
+        "scenarios": [{"name": "uniform", "seed": 3, "overrides": {"n_posts": 40}}],
+        "engines": [{"name": "s_unibin"}],
+    }
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(grid))
+    out = tmp_path / "report.json"
+    assert main(["experiments", "--matrix", str(path), "--quiet", "--out", str(out)]) == 0
+    record = json.loads(out.read_text())
+    assert record["matrix"]["name"] == "grid"
+    assert len(record["trials"]) == 1
+
+
+def test_unknown_matrix_exits_2(capsys):
+    assert main(["experiments", "--matrix", "nope", "--quiet"]) == 2
+    assert "unknown matrix" in capsys.readouterr().err
+
+
+def test_append_then_check_passes(tmp_path, capsys):
+    trajectory = tmp_path / "traj.json"
+    args = SMOKE + ["--trajectory", str(trajectory), "--label", "pr-a"]
+    assert main(args + ["--append"]) == 0
+    assert trajectory.exists()
+    assert main(SMOKE + [
+        "--trajectory", str(trajectory), "--label", "pr-b", "--check",
+    ]) == 0
+    assert "trajectory check PASS" in capsys.readouterr().out
+
+
+def test_doctored_trajectory_fails_check_with_named_metric(tmp_path, capsys):
+    trajectory = tmp_path / "traj.json"
+    base = SMOKE + ["--trajectory", str(trajectory)]
+    assert main(base + ["--append", "--label", "pr-a"]) == 0
+    history = json.loads(trajectory.read_text())
+    history["entries"][-1]["metrics"]["smoke_deliveries_total"] += 7
+    trajectory.write_text(json.dumps(history))
+    rc = main(base + ["--check", "--label", "pr-b"])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "trajectory check FAIL" in captured.err
+    assert "smoke_deliveries_total" in captured.err
+
+
+def test_corrupt_trajectory_exits_2(tmp_path, capsys):
+    trajectory = tmp_path / "traj.json"
+    trajectory.write_text("{broken")
+    assert main(SMOKE + ["--trajectory", str(trajectory), "--check"]) == 2
+
+
+def test_crashing_cell_fails_the_run(tmp_path, capsys):
+    grid = {
+        "scenarios": [{"name": "uniform", "seed": 3, "overrides": {"n_posts": 40}}],
+        "engines": [{"name": "s_indexed_unibin"}],
+    }
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(grid))
+    assert main(["experiments", "--matrix", str(path), "--quiet"]) == 1
+    assert "crash" in capsys.readouterr().err
+
+
+def test_progress_lines_on_stderr_by_default(capsys):
+    assert main(["experiments", "--matrix", "smoke"]) == 0
+    err = capsys.readouterr().err
+    assert err.count("\n") >= 4  # one line per cell

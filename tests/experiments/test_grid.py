@@ -1,0 +1,124 @@
+"""Grid specs: validation, labels, JSON round-trips, the registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    MATRICES,
+    EngineSpec,
+    MatrixSpec,
+    ScenarioSpec,
+    matrix_from_dict,
+    resolve_matrix,
+)
+
+
+class TestEngineSpec:
+    def test_label_encodes_every_knob(self):
+        spec = EngineSpec(
+            "p_unibin", workers=2, supervised=True, memory_budget=512, spill=True
+        )
+        assert spec.label == "p_unibin@w2+sup+mem512+spill"
+        assert EngineSpec("s_unibin").label == "s_unibin"
+
+    def test_algorithm_and_prefix(self):
+        spec = EngineSpec("s_neighborbin")
+        assert spec.prefix == "s" and spec.algorithm == "neighborbin"
+
+    def test_exact_iff_unbudgeted(self):
+        assert EngineSpec("s_unibin").exact
+        assert not EngineSpec("s_unibin", memory_budget=1024).exact
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "unibin"},
+            {"name": "x_unibin"},
+            {"name": "s_"},
+            {"name": "s_unibin", "workers": 0},
+            {"name": "s_unibin", "batch_size": 0},
+            {"name": "s_unibin", "supervised": True},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ExperimentError):
+            EngineSpec(**kwargs)
+
+
+class TestScenarioSpec:
+    def test_unknown_scenario_fails_at_parse_time(self):
+        with pytest.raises(ExperimentError, match="unknown scenario"):
+            ScenarioSpec("nope")
+
+    def test_bad_override_fails_at_parse_time(self):
+        with pytest.raises(ExperimentError):
+            ScenarioSpec("uniform", overrides=(("n_posts", 0),))
+
+    def test_label_includes_seed_and_overrides(self):
+        assert ScenarioSpec("uniform", seed=7).label == "uniform#7"
+        spec = ScenarioSpec("uniform", seed=7, overrides=(("n_posts", 50),))
+        assert spec.label == "uniform#7[n_posts=50]"
+
+
+class TestMatrixSpec:
+    def test_registry_matrices_are_valid(self):
+        for name, spec in MATRICES.items():
+            assert spec.name == name
+            assert spec.cells == len(spec.scenarios) * len(spec.engines)
+
+    def test_duplicate_engines_rejected(self):
+        with pytest.raises(ExperimentError, match="duplicate engine"):
+            MatrixSpec(
+                name="bad",
+                scenarios=(ScenarioSpec("uniform"),),
+                engines=(EngineSpec("s_unibin"), EngineSpec("s_unibin")),
+            )
+
+    def test_duplicate_scenarios_rejected(self):
+        with pytest.raises(ExperimentError, match="duplicate scenario"):
+            MatrixSpec(
+                name="bad",
+                scenarios=(ScenarioSpec("uniform"), ScenarioSpec("uniform")),
+                engines=(EngineSpec("s_unibin"),),
+            )
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ExperimentError, match="no scenarios"):
+            MatrixSpec(name="bad", scenarios=(), engines=(EngineSpec("s_unibin"),))
+        with pytest.raises(ExperimentError, match="no engines"):
+            MatrixSpec(name="bad", scenarios=(ScenarioSpec("uniform"),), engines=())
+
+    def test_json_round_trip(self):
+        spec = MATRICES["smoke"]
+        rebuilt = matrix_from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_malformed_grid_config(self):
+        with pytest.raises(ExperimentError, match="malformed grid config"):
+            matrix_from_dict({"scenarios": [{"seed": 1}], "engines": []})
+        with pytest.raises(ExperimentError, match="JSON object"):
+            matrix_from_dict(["not", "a", "dict"])
+
+
+class TestResolveMatrix:
+    def test_registry_name(self):
+        assert resolve_matrix("smoke") is MATRICES["smoke"]
+
+    def test_grid_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text(json.dumps(MATRICES["smoke"].to_dict()))
+        assert resolve_matrix(str(path)) == MATRICES["smoke"]
+
+    def test_unknown_name(self):
+        with pytest.raises(ExperimentError, match="unknown matrix"):
+            resolve_matrix("nope")
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "grid.json"
+        path.write_text("{not json")
+        with pytest.raises(ExperimentError, match="invalid JSON"):
+            resolve_matrix(str(path))

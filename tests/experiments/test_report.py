@@ -1,0 +1,83 @@
+"""Report shapes: the versioned JSON artifact and the self-contained HTML."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Thresholds
+from repro.experiments import (
+    EngineSpec,
+    MatrixSpec,
+    ScenarioSpec,
+    render_html,
+    report_dict,
+    run_matrix,
+    write_html_report,
+    write_json_report,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = MatrixSpec(
+        name="report-test",
+        scenarios=(
+            ScenarioSpec("spam_flood", seed=37, overrides=(("n_posts", 80), ("n_users", 4))),
+        ),
+        engines=(
+            EngineSpec("s_unibin"),
+            EngineSpec("p_unibin", workers=2),
+            EngineSpec("s_indexed_unibin"),  # crash row, on purpose
+        ),
+        thresholds=Thresholds(lambda_c=8, lambda_t=60.0, lambda_a=0.5),
+        timeout_s=30.0,
+    )
+    return run_matrix(spec)
+
+
+def test_report_dict_shape(result):
+    record = report_dict(result)
+    assert record["schema"] == 1
+    assert record["matrix"]["name"] == "report-test"
+    assert record["counts"]["ok"] == 2 and record["counts"]["crash"] == 1
+    assert not record["ok"]  # the crash row fails the matrix
+    assert len(record["trials"]) == 3
+    assert record["cross_checks"][0]["ok"]
+
+
+def test_json_report_round_trips(result, tmp_path):
+    path = write_json_report(result, tmp_path / "report.json")
+    record = json.loads(path.read_text())
+    assert record == json.loads(json.dumps(report_dict(result)))
+
+
+def test_html_is_self_contained(result):
+    page = render_html(result)
+    assert page.startswith("<!DOCTYPE html>")
+    assert "report-test" in page
+    assert "spam_flood#37" in page
+    assert "s_unibin" in page
+    # Self-contained: no external stylesheets, scripts, or images.
+    assert "http://" not in page and "https://" not in page
+    assert "<script" not in page
+
+
+def test_html_surfaces_crash_and_verdict(result):
+    page = render_html(result)
+    assert "FAIL" in page  # matrix verdict
+    assert "crash" in page
+    assert "agree" in page  # the surviving cross-check group
+
+
+def test_html_escapes_error_text(result):
+    # Error strings carry tracebacks with <...> repr fragments; the page
+    # must never inject them raw.
+    page = render_html(result)
+    assert "<module" not in page
+
+
+def test_write_html_report(result, tmp_path):
+    path = write_html_report(result, tmp_path / "report.html")
+    assert path.read_text().startswith("<!DOCTYPE html>")

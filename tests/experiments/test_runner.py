@@ -1,0 +1,175 @@
+"""The trial runner: statuses, digests, cross-checks, stats capture."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Thresholds
+from repro.experiments import (
+    EngineSpec,
+    MatrixSpec,
+    ScenarioSpec,
+    make_workload,
+    run_matrix,
+    run_trial,
+)
+
+THRESHOLDS = Thresholds(lambda_c=8, lambda_t=60.0, lambda_a=0.5)
+SMALL = {"n_posts": 120, "n_users": 4}
+
+
+@pytest.fixture(scope="module")
+def static_workload():
+    return make_workload("flash_crowd", 31, **SMALL)
+
+
+@pytest.fixture(scope="module")
+def churn_workload():
+    return make_workload("churn_storm", 31, **SMALL)
+
+
+class TestRunTrial:
+    def test_ok_trial_records_everything(self, static_workload):
+        trial = run_trial(static_workload, EngineSpec("s_unibin"), THRESHOLDS)
+        assert trial.status == "ok"
+        assert trial.posts == trial.posts_offered == SMALL["n_posts"]
+        assert trial.digest and len(trial.digest) == 64
+        assert trial.deliveries > 0
+        assert trial.posts_per_sec > 0
+        assert trial.stats["posts_processed"] > 0
+        assert trial.obs["scan_width_mean"] > 0
+        assert trial.memory["accounted_bytes"] > 0
+        assert trial.error is None
+
+    def test_serial_and_sharded_agree(self, static_workload):
+        serial = run_trial(static_workload, EngineSpec("s_unibin"), THRESHOLDS)
+        sharded = run_trial(
+            static_workload, EngineSpec("p_unibin", workers=2), THRESHOLDS
+        )
+        assert serial.digest == sharded.digest
+        assert serial.deliveries == sharded.deliveries
+
+    def test_timeout_is_captured_not_raised(self, static_workload):
+        trial = run_trial(
+            static_workload, EngineSpec("s_unibin"), THRESHOLDS, timeout_s=0.0
+        )
+        assert trial.status == "timeout"
+        assert trial.dropped > 0
+        assert trial.digest is None  # a prefix digest must not join cross-checks
+        assert "deadline" in trial.error
+
+    def test_crash_is_captured_not_raised(self, static_workload):
+        # indexed_unibin has no shared-component multi-user variant, so
+        # the build fails inside the trial — the harness must record it.
+        trial = run_trial(
+            static_workload, EngineSpec("s_indexed_unibin"), THRESHOLDS
+        )
+        assert trial.status == "crash"
+        assert trial.digest is None
+        assert "Traceback" in trial.error
+
+    def test_churn_skips_m_engines(self, churn_workload):
+        trial = run_trial(churn_workload, EngineSpec("m_unibin"), THRESHOLDS)
+        assert trial.status == "skipped"
+        assert "dynamic" in trial.error
+
+    def test_churn_skips_budgeted_variants(self, churn_workload):
+        trial = run_trial(
+            churn_workload, EngineSpec("s_unibin", memory_budget=1000), THRESHOLDS
+        )
+        assert trial.status == "skipped"
+
+    def test_churn_trial_applies_events(self, churn_workload):
+        trial = run_trial(churn_workload, EngineSpec("s_unibin"), THRESHOLDS)
+        assert trial.status == "ok"
+        assert trial.churn_events == churn_workload.churn_events > 0
+        assert trial.obs["graph_version"] > 0
+
+    def test_governed_trial_sheds_deterministically(self):
+        # A longer stream with small batches gives the governor enough
+        # ticks to walk the whole ladder (spill → probe → shed).
+        workload = make_workload("flash_crowd", 31, n_posts=240, n_users=4)
+        spec = EngineSpec(
+            "s_unibin", memory_budget=2_000, spill=True, batch_size=16
+        )
+        first = run_trial(workload, spec, THRESHOLDS, spill_dir=None)
+        second = run_trial(workload, spec, THRESHOLDS, spill_dir=None)
+        assert first.status == second.status == "ok"
+        assert first.shed == second.shed > 0
+        assert first.digest == second.digest
+        assert first.memory["governor"]["escalations"] > 0
+        assert first.memory["peak_accounted_bytes"] > 0
+
+    def test_to_dict_is_json_shaped(self, static_workload):
+        import json
+
+        trial = run_trial(static_workload, EngineSpec("s_unibin"), THRESHOLDS)
+        record = json.loads(json.dumps(trial.to_dict()))
+        assert record["scenario"] == "flash_crowd"
+        assert record["engine"] == "s_unibin"
+
+
+def _matrix(**overrides):
+    settings = dict(
+        name="t",
+        scenarios=(ScenarioSpec("flash_crowd", seed=31, overrides=(("n_posts", 120), ("n_users", 4))),),
+        engines=(EngineSpec("s_unibin"), EngineSpec("p_unibin", workers=2)),
+        thresholds=THRESHOLDS,
+        timeout_s=30.0,
+    )
+    settings.update(overrides)
+    return MatrixSpec(**settings)
+
+
+class TestRunMatrix:
+    def test_cross_checks_pass_for_equivalent_variants(self):
+        result = run_matrix(_matrix())
+        assert result.ok
+        assert result.counts()["ok"] == 2
+        [check] = result.cross_checks
+        assert check["ok"] and len(check["engines"]) == 2
+
+    def test_cross_check_failure_fails_matrix(self):
+        result = run_matrix(_matrix())
+        result.trials[0].digest = "doctored"
+        checks = __import__(
+            "repro.experiments.runner", fromlist=["_cross_checks"]
+        )._cross_checks(result.spec, result.trials)
+        assert not checks[0]["ok"]
+
+    def test_crash_fails_matrix(self):
+        result = run_matrix(
+            _matrix(engines=(EngineSpec("s_indexed_unibin"),))
+        )
+        assert not result.ok
+        assert result.counts()["crash"] == 1
+
+    def test_budgeted_variant_excluded_from_cross_checks(self):
+        result = run_matrix(
+            _matrix(
+                engines=(
+                    EngineSpec("s_unibin"),
+                    EngineSpec("s_unibin", memory_budget=2_000, spill=True),
+                )
+            )
+        )
+        [check] = result.cross_checks
+        assert check["engines"] == ["s_unibin"]
+        assert result.ok
+
+    def test_progress_lines_one_per_cell(self):
+        lines = []
+        result = run_matrix(_matrix(), progress=lines.append)
+        assert len(lines) == result.spec.cells
+
+    def test_scenario_rows_keep_distinct_labels(self):
+        spec = _matrix(
+            scenarios=(
+                ScenarioSpec("uniform", seed=1, overrides=(("n_posts", 40),)),
+                ScenarioSpec("uniform", seed=2, overrides=(("n_posts", 40),)),
+            ),
+            engines=(EngineSpec("s_unibin"),),
+        )
+        result = run_matrix(spec)
+        labels = {t.scenario for t in result.trials}
+        assert len(labels) == 2  # same name, different seeds: never merged

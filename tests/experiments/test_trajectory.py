@@ -1,0 +1,224 @@
+"""The trajectory store: folding, appending, and the regression gate.
+
+The doctored-history cases are the acceptance criterion: a metric that
+drifts against the committed entry must fail loudly — a raised
+:class:`TrajectoryRegressionError` naming the metric, which the CLI
+turns into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Thresholds
+from repro.errors import ExperimentError, TrajectoryRegressionError
+from repro.experiments import (
+    EngineSpec,
+    MatrixSpec,
+    ScenarioSpec,
+    append_entry,
+    check_regression,
+    legacy_metrics,
+    load_trajectory,
+    make_entry,
+    matrix_metrics,
+    run_matrix,
+    write_trajectory,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    spec = MatrixSpec(
+        name="traj",
+        scenarios=(
+            ScenarioSpec("uniform", seed=41, overrides=(("n_posts", 60), ("n_users", 4))),
+        ),
+        engines=(EngineSpec("s_unibin"),),
+        thresholds=Thresholds(lambda_c=8, lambda_t=60.0, lambda_a=0.5),
+        timeout_s=30.0,
+    )
+    return run_matrix(spec)
+
+
+# -- store mechanics ----------------------------------------------------------
+
+
+def test_load_missing_file_is_empty_history(tmp_path):
+    history = load_trajectory(tmp_path / "absent.json")
+    assert history == {"schema": 1, "entries": []}
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "t.json"
+    path.write_text("{broken")
+    with pytest.raises(ExperimentError, match="invalid trajectory JSON"):
+        load_trajectory(path)
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps({"schema": 99, "entries": []}))
+    with pytest.raises(ExperimentError, match="schema"):
+        load_trajectory(path)
+
+
+def test_load_rejects_malformed_entries(tmp_path):
+    path = tmp_path / "t.json"
+    path.write_text(json.dumps({"schema": 1, "entries": [{"nope": 1}]}))
+    with pytest.raises(ExperimentError, match="malformed entry"):
+        load_trajectory(path)
+
+
+def test_append_preserves_order_and_replaces_same_label():
+    history = {"schema": 1, "entries": []}
+    history = append_entry(history, {"label": "pr1", "metrics": {"a": 1.0}})
+    history = append_entry(history, {"label": "pr2", "metrics": {"a": 2.0}})
+    assert [e["label"] for e in history["entries"]] == ["pr1", "pr2"]
+    history = append_entry(history, {"label": "pr2", "metrics": {"a": 3.0}})
+    assert [e["label"] for e in history["entries"]] == ["pr1", "pr2"]
+    assert history["entries"][-1]["metrics"]["a"] == 3.0
+
+
+def test_write_and_reload_round_trip(tmp_path):
+    history = append_entry(
+        {"schema": 1, "entries": []}, {"label": "pr1", "metrics": {"a": 1.0}}
+    )
+    path = write_trajectory(history, tmp_path / "t.json")
+    assert load_trajectory(path) == history
+
+
+# -- metric extraction --------------------------------------------------------
+
+
+def test_legacy_metrics_fold_committed_baselines():
+    """The repo's own four BENCH_*.json gate files feed the store."""
+    metrics = legacy_metrics(".")
+    assert metrics["parallel_serial_posts_per_sec"] > 0
+    assert metrics["dynamic_speedup_vs_rebuild_min"] > 1
+    assert metrics["supervision_recovery_latency_s"] > 0
+    assert 0 < metrics["memory_peak_ratio"] < 1
+
+
+def test_legacy_metrics_empty_dir_contributes_nothing(tmp_path):
+    assert legacy_metrics(tmp_path) == {}
+
+
+def test_matrix_metrics_are_prefixed_and_deterministic(result):
+    metrics = matrix_metrics(result)
+    assert metrics["traj_deliveries_total"] > 0
+    assert metrics["traj_crashes"] == 0
+    assert metrics["traj_cross_check_failures"] == 0
+    assert metrics["traj_posts_per_sec_min"] > 0
+    assert metrics["traj_scan_width_mean_max"] > 0
+
+
+def test_make_entry_combines_sources(result, tmp_path):
+    entry = make_entry("pr9", result=result, root=".")
+    assert entry["label"] == "pr9"
+    assert entry["source"] == "matrix:traj+legacy"
+    assert "traj_deliveries_total" in entry["metrics"]
+    assert "parallel_serial_posts_per_sec" in entry["metrics"]
+    only_matrix = make_entry("pr9", result=result)
+    assert only_matrix["source"] == "matrix:traj"
+
+
+# -- the regression gate ------------------------------------------------------
+
+
+def _history(metrics):
+    return {"schema": 1, "entries": [{"label": "pr1", "metrics": metrics}]}
+
+
+def test_empty_history_passes_trivially():
+    assert check_regression({"schema": 1, "entries": []}, {"label": "x", "metrics": {"a": 1}}) == []
+
+
+def test_identical_metrics_pass(result):
+    entry = make_entry("pr2", result=result)
+    compared = check_regression(_history(dict(entry["metrics"])), entry)
+    assert "traj_deliveries_total" in compared
+
+
+def test_doctored_exact_metric_fails_loudly(result):
+    entry = make_entry("pr2", result=result)
+    doctored = dict(entry["metrics"])
+    doctored["traj_deliveries_total"] += 1
+    with pytest.raises(TrajectoryRegressionError, match="traj_deliveries_total"):
+        check_regression(_history(doctored), entry)
+
+
+def test_doctored_perf_metric_fails_loudly():
+    candidate = {"label": "pr2", "metrics": {"parallel_serial_posts_per_sec": 100.0}}
+    with pytest.raises(
+        TrajectoryRegressionError, match="parallel_serial_posts_per_sec"
+    ):
+        check_regression(
+            _history({"parallel_serial_posts_per_sec": 1000.0}), candidate
+        )
+
+
+def test_lower_is_better_direction():
+    candidate = {"label": "pr2", "metrics": {"supervision_overhead": 0.9}}
+    with pytest.raises(TrajectoryRegressionError, match="supervision_overhead"):
+        check_regression(_history({"supervision_overhead": 0.1}), candidate)
+    # And improvement (lower) passes with room to spare.
+    check_regression(_history({"supervision_overhead": 0.9}),
+                     {"label": "pr2", "metrics": {"supervision_overhead": 0.1}})
+
+
+def test_zero_baseline_lower_metric_rejects_any_rise():
+    candidate = {"label": "pr2", "metrics": {"smoke_timeouts": 1.0}}
+    with pytest.raises(TrajectoryRegressionError, match="smoke_timeouts"):
+        check_regression(_history({"smoke_timeouts": 0.0}), candidate)
+
+
+def test_within_tolerance_passes():
+    check_regression(
+        _history({"parallel_serial_posts_per_sec": 1000.0}),
+        {"label": "pr2", "metrics": {"parallel_serial_posts_per_sec": 700.0}},
+        tolerance=0.5,
+    )
+
+
+def test_tolerance_parameter_tightens_the_gate():
+    with pytest.raises(TrajectoryRegressionError):
+        check_regression(
+            _history({"parallel_serial_posts_per_sec": 1000.0}),
+            {"label": "pr2", "metrics": {"parallel_serial_posts_per_sec": 700.0}},
+            tolerance=0.1,
+        )
+
+
+def test_env_tolerance_override(monkeypatch):
+    monkeypatch.setenv("REPRO_TRAJECTORY_TOLERANCE", "0.01")
+    with pytest.raises(TrajectoryRegressionError):
+        check_regression(
+            _history({"parallel_serial_posts_per_sec": 1000.0}),
+            {"label": "pr2", "metrics": {"parallel_serial_posts_per_sec": 900.0}},
+        )
+
+
+def test_unknown_metrics_are_informational():
+    compared = check_regression(
+        _history({"some_new_number": 5.0}),
+        {"label": "pr2", "metrics": {"some_new_number": 500.0}},
+    )
+    assert compared == []
+
+
+def test_refreshed_label_compares_to_predecessor(result):
+    entry = make_entry("pr2", result=result)
+    history = {
+        "schema": 1,
+        "entries": [
+            {"label": "pr1", "metrics": dict(entry["metrics"])},
+            {"label": "pr2", "metrics": {"traj_deliveries_total": -1.0}},
+        ],
+    }
+    # The last entry IS pr2 (stale self) — the check must reach past it
+    # to pr1 rather than compare the candidate against itself.
+    compared = check_regression(history, entry)
+    assert "traj_deliveries_total" in compared

@@ -1,0 +1,151 @@
+"""Property-based tests of the scenario registry.
+
+The determinism contract every other harness piece leans on: identical
+``(seed, config)`` must produce a byte-identical event sequence (checked
+via the canonical JSONL digest), timestamps must never decrease, and the
+whole stream must survive the :mod:`repro.dynamic.events` codec — the
+same round-trip the CLI's ``--events`` mode performs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Post
+from repro.dynamic.events import event_from_dict, event_to_dict, events_digest
+from repro.errors import ExperimentError, UnknownScenarioError
+from repro.experiments import SCENARIO_NAMES, ScenarioConfig, make_workload, scenario_help
+
+#: Small worlds keep the hypothesis sweeps fast while still exercising
+#: every scenario's special phase (bursts, floods, drift steps, storms).
+FAST = {"n_posts": 60, "n_users": 4}
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+class TestPerScenarioProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds)
+    def test_same_seed_same_bytes(self, name, seed):
+        first = make_workload(name, seed, **FAST)
+        second = make_workload(name, seed, **FAST)
+        assert first.digest() == second.digest()
+        assert first.events == second.events
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds)
+    def test_timestamps_non_decreasing(self, name, seed):
+        events = make_workload(name, seed, **FAST).events
+        stamps = [event.timestamp for event in events]
+        assert stamps == sorted(stamps)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds)
+    def test_codec_round_trip(self, name, seed):
+        workload = make_workload(name, seed, **FAST)
+        for event in workload.events:
+            record = event_to_dict(event)
+            json.dumps(record, sort_keys=True)  # must be JSON-serializable
+            assert event_from_dict(record) == event
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds)
+    def test_post_ids_sequential_and_counted(self, name, seed):
+        workload = make_workload(name, seed, **FAST)
+        posts = workload.posts
+        assert len(posts) == FAST["n_posts"]
+        assert [p.post_id for p in posts] == list(range(len(posts)))
+
+    def test_different_seeds_differ(self, name):
+        assert (
+            make_workload(name, 1, **FAST).digest()
+            != make_workload(name, 2, **FAST).digest()
+        )
+
+    def test_authors_within_universe(self, name):
+        workload = make_workload(name, 3, **FAST)
+        universe = set(workload.friends)
+        assert all(p.author in universe for p in workload.posts)
+        for subscribed in workload.subscriptions.values():
+            assert set(subscribed) <= universe
+
+
+def test_config_changes_the_stream():
+    base = make_workload("spam_flood", 5, **FAST)
+    wider = make_workload("spam_flood", 5, flood_len=50, **FAST)
+    assert base.digest() != wider.digest()
+
+
+def test_only_churn_storm_carries_churn():
+    for name in SCENARIO_NAMES:
+        workload = make_workload(name, 7, **FAST)
+        if name == "churn_storm":
+            assert workload.has_churn and workload.churn_events > 0
+        else:
+            assert not workload.has_churn
+
+
+def test_churn_storm_posts_preserved_through_interleave():
+    workload = make_workload("churn_storm", 9, **FAST)
+    posts = workload.posts
+    assert len(posts) == FAST["n_posts"]
+    assert all(isinstance(p, Post) for p in posts)
+
+
+def test_graph_and_subscription_table_build():
+    workload = make_workload("uniform", 11, **FAST)
+    graph = workload.graph(0.5)
+    assert set(graph.nodes) == set(workload.friends)
+    table = workload.subscription_table()
+    assert len(table.users) == FAST["n_users"]
+
+
+def test_events_digest_matches_manual_encoding():
+    workload = make_workload("uniform", 13, n_posts=5)
+    import hashlib
+
+    hasher = hashlib.sha256()
+    for event in workload.events:
+        hasher.update(json.dumps(event_to_dict(event), sort_keys=True).encode())
+        hasher.update(b"\n")
+    assert workload.digest() == hasher.hexdigest() == events_digest(workload.events)
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(UnknownScenarioError, match="unknown scenario"):
+        make_workload("nope", 1)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"n_posts": 0},
+        {"n_authors": 1},
+        {"n_users": 0},
+        {"subscriptions_per_user": 0},
+        {"subscriptions_per_user": 99},
+        {"mean_gap": 0.0},
+        {"echo_prob": 1.5},
+        {"storm_count": 3, "storm_fraction": 0.5},
+    ],
+)
+def test_config_validation(bad):
+    with pytest.raises(ExperimentError):
+        ScenarioConfig(**bad)
+
+
+def test_config_round_trips_as_plain_data():
+    config = ScenarioConfig(n_posts=10, flood_len=7)
+    record = config.to_dict()
+    assert ScenarioConfig(**record) == config
+
+
+def test_scenario_help_covers_registry():
+    lines = scenario_help()
+    assert set(lines) == set(SCENARIO_NAMES)
+    assert all(lines[name] for name in lines)

@@ -5,12 +5,12 @@ work to split: ten distinct components (a 4-clique-plus-tail, three
 chains, a pair, and singletons), six users whose subscriptions overlap so
 the catalog actually deduplicates (sharing ratio 1/3), and a seeded
 stream mixing fresh fingerprints with near-duplicates so every algorithm
-exercises both admit and cover paths.
+exercises both admit and cover paths. The world itself lives in
+``tests/support.py`` (shared with the supervision, storage and
+resilience suites); this conftest only wraps it in fixtures.
 """
 
 from __future__ import annotations
-
-import random
 
 import pytest
 
@@ -18,33 +18,14 @@ from repro.authors import AuthorGraph
 from repro.core import Post, Thresholds
 from repro.multiuser import SubscriptionTable
 
-AUTHORS = list(range(1, 21))
+from ..support import AUTHORS, EDGES, SUBSCRIPTIONS_SPEC, chunked, make_posts
 
-EDGES = [
-    (1, 2), (1, 3), (2, 3), (3, 4),       # triangle + tail
-    (5, 6),                               # pair
-    (7, 8), (8, 9),                       # chain
-    (11, 12),                             # pair
-    (17, 18), (18, 19), (19, 20),         # chain
-]
-# 10 and 13..16 stay singletons.
+__all__ = ["AUTHORS", "EDGES", "SUBSCRIPTIONS_SPEC", "chunked", "make_posts"]
 
 
 @pytest.fixture(scope="module")
 def graph() -> AuthorGraph:
     return AuthorGraph(nodes=AUTHORS, edges=EDGES)
-
-
-# Overlapping interests: components {1..4}, {5,6}, {7,8,9}, {10} and
-# {17..20} are each shared by at least two users.
-SUBSCRIPTIONS_SPEC = {
-    100: [1, 2, 3, 4, 10, 13],
-    200: [1, 2, 3, 4, 5, 6],
-    300: [5, 6, 7, 8, 9, 14],
-    400: [7, 8, 9, 17, 18, 19, 20],
-    500: [10, 11, 12, 15, 16],
-    600: [1, 2, 3, 4, 17, 18, 19, 20],
-}
 
 
 @pytest.fixture(scope="module")
@@ -57,38 +38,6 @@ def thresholds() -> Thresholds:
     return Thresholds(lambda_c=8, lambda_t=40.0, lambda_a=0.5)
 
 
-def make_posts(n: int = 240, seed: int = 11) -> list[Post]:
-    """Seeded stream over the fixture authors: strictly ordered timestamps,
-    ~half the posts perturbations of an earlier fingerprint (0–3 bit flips,
-    inside λc=8) so coverage actually fires, the rest fresh 64-bit values."""
-    rng = random.Random(seed)
-    posts: list[Post] = []
-    now = 0.0
-    for i in range(n):
-        now += rng.random() * 2.0
-        if posts and rng.random() < 0.5:
-            fingerprint = posts[rng.randrange(len(posts))].fingerprint
-            for _ in range(rng.randrange(4)):
-                fingerprint ^= 1 << rng.randrange(64)
-        else:
-            fingerprint = rng.getrandbits(64)
-        posts.append(
-            Post(
-                post_id=i,
-                author=rng.choice(AUTHORS),
-                text=f"p{i}",
-                timestamp=now,
-                fingerprint=fingerprint,
-            )
-        )
-    return posts
-
-
 @pytest.fixture(scope="module")
 def posts() -> list[Post]:
     return make_posts()
-
-
-def chunked(seq, size: int):
-    for start in range(0, len(seq), size):
-        yield seq[start : start + size]

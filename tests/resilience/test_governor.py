@@ -19,7 +19,7 @@ from repro.resilience import (
 )
 from repro.storage import SpillConfig
 
-from ..parallel.conftest import AUTHORS, EDGES, make_posts
+from ..support import AUTHORS, EDGES, make_posts
 
 
 class FakeEngine:

@@ -1,0 +1,174 @@
+"""End-to-end CLI coverage of the bounded-memory flags.
+
+The bounded-memory PR shipped ``--memory-budget`` and ``--spill-dir``
+without CLI tests; these close the gap by running ``python -m repro
+diversify`` in process and asserting on the stderr ``memory:`` summary —
+the only user-visible accounting line — plus the composition cases: the
+governor with spill storage attached, and ``--supervise`` together with
+``--memory-budget`` on the sharded engine.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.cli import main
+from repro.core import Thresholds
+from repro.io import write_graph_json, write_posts_jsonl, write_subscriptions_json
+from repro.multiuser import SubscriptionTable
+
+from ..support import AUTHORS, EDGES, SUBSCRIPTIONS_SPEC, make_posts
+
+MEMORY_LINE = re.compile(
+    r"memory: (?P<total>[\d,]+)/(?P<budget>[\d,]+) accounted bytes, "
+    r"level (?P<level>normal|spill|probe|shed), "
+    r"(?P<escalations>\d+) escalations / (?P<releases>\d+) releases"
+)
+
+THRESHOLDS = Thresholds(lambda_c=8, lambda_t=40.0, lambda_a=0.5)
+
+
+@pytest.fixture()
+def world_files(tmp_path):
+    # Long enough that the governor (check_every=256 posts) gets several
+    # ticks, so tight budgets visibly escalate through the summary line.
+    posts = make_posts(n=600, seed=7)
+    posts_path = tmp_path / "posts.jsonl"
+    graph_path = tmp_path / "graph.json"
+    subs_path = tmp_path / "subscriptions.json"
+    write_posts_jsonl(posts, posts_path)
+    write_graph_json(AuthorGraph(nodes=AUTHORS, edges=EDGES), graph_path)
+    write_subscriptions_json(SubscriptionTable(SUBSCRIPTIONS_SPEC), subs_path)
+    return posts_path, graph_path, subs_path
+
+
+def _lambda_args():
+    return [
+        "--lambda-c", str(THRESHOLDS.lambda_c),
+        "--lambda-t", str(THRESHOLDS.lambda_t),
+        "--lambda-a", str(THRESHOLDS.lambda_a),
+    ]
+
+
+def _parse_memory_line(err: str):
+    match = MEMORY_LINE.search(err)
+    assert match, f"no memory: summary on stderr, got: {err!r}"
+    return match
+
+
+class TestSingleUserMemoryBudget:
+    def test_memory_summary_on_stderr(self, tmp_path, world_files, capsys):
+        posts_path, graph_path, _ = world_files
+        rc = main(
+            ["diversify", "--posts", str(posts_path), "--graph", str(graph_path),
+             "--algorithm", "unibin", "--memory-budget", "500000"]
+            + _lambda_args()
+        )
+        assert rc == 0
+        match = _parse_memory_line(capsys.readouterr().err)
+        assert int(match["budget"].replace(",", "")) == 500_000
+        assert match["level"] == "normal"  # a huge budget never escalates
+
+    def test_no_summary_without_budget(self, tmp_path, world_files, capsys):
+        posts_path, graph_path, _ = world_files
+        rc = main(
+            ["diversify", "--posts", str(posts_path), "--graph", str(graph_path),
+             "--algorithm", "unibin"] + _lambda_args()
+        )
+        assert rc == 0
+        assert "memory:" not in capsys.readouterr().err
+
+    def test_tight_budget_escalates(self, tmp_path, world_files, capsys):
+        posts_path, graph_path, _ = world_files
+        rc = main(
+            ["diversify", "--posts", str(posts_path), "--graph", str(graph_path),
+             "--algorithm", "unibin", "--memory-budget", "100",
+             "--spill-dir", str(tmp_path / "spill")] + _lambda_args()
+        )
+        assert rc == 0
+        match = _parse_memory_line(capsys.readouterr().err)
+        assert match["level"] != "normal"
+        assert int(match["escalations"]) > 0
+
+
+class TestMultiUserMemoryBudget:
+    def test_spill_dir_preserves_receiver_trace(
+        self, tmp_path, world_files, capsys
+    ):
+        """--spill-dir must not change a single delivery (the storage
+        subsystem's exactness bar, checked end-to-end through the CLI)."""
+        posts_path, graph_path, subs_path = world_files
+        plain, spilled = tmp_path / "plain.jsonl", tmp_path / "spilled.jsonl"
+        base = [
+            "diversify", "--posts", str(posts_path), "--graph", str(graph_path),
+            "--subscriptions", str(subs_path), "--algorithm", "s_unibin",
+        ] + _lambda_args()
+        assert main(base + ["--output", str(plain)]) == 0
+        assert main(base + [
+            "--output", str(spilled), "--spill-dir", str(tmp_path / "seg"),
+        ]) == 0
+        assert plain.read_text() == spilled.read_text()
+
+    def test_memory_summary_in_multiuser_mode(self, tmp_path, world_files, capsys):
+        posts_path, graph_path, subs_path = world_files
+        rc = main(
+            ["diversify", "--posts", str(posts_path), "--graph", str(graph_path),
+             "--subscriptions", str(subs_path), "--algorithm", "s_unibin",
+             "--memory-budget", "2000", "--spill-dir", str(tmp_path / "seg"),
+             "--batch-size", "16"] + _lambda_args()
+        )
+        assert rc == 0
+        match = _parse_memory_line(capsys.readouterr().err)
+        assert int(match["escalations"]) > 0
+        assert match["level"] in ("spill", "probe", "shed")
+
+    def test_supervise_composes_with_memory_budget(
+        self, tmp_path, world_files, capsys
+    ):
+        """Regression: the supervised sharded pool and the memory
+        governor attach to the same engine without stepping on each
+        other — both summaries appear, and the run exits cleanly."""
+        posts_path, graph_path, subs_path = world_files
+        out = tmp_path / "receivers.jsonl"
+        rc = main(
+            ["diversify", "--posts", str(posts_path), "--graph", str(graph_path),
+             "--subscriptions", str(subs_path), "--algorithm", "p_unibin",
+             "--workers", "2", "--supervise", "--memory-budget", "500000",
+             "--output", str(out)] + _lambda_args()
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "supervision:" in captured.err
+        _parse_memory_line(captured.err)
+        # The receiver trace matches the unsupervised, unbudgeted run.
+        plain = tmp_path / "plain.jsonl"
+        assert main(
+            ["diversify", "--posts", str(posts_path), "--graph", str(graph_path),
+             "--subscriptions", str(subs_path), "--algorithm", "s_unibin",
+             "--output", str(plain)] + _lambda_args()
+        ) == 0
+        assert sorted(out.read_text().splitlines()) == sorted(
+            plain.read_text().splitlines()
+        )
+
+    def test_metrics_snapshot_composes_with_budget(
+        self, tmp_path, world_files, capsys
+    ):
+        posts_path, graph_path, subs_path = world_files
+        metrics = tmp_path / "metrics.json"
+        rc = main(
+            ["diversify", "--posts", str(posts_path), "--graph", str(graph_path),
+             "--subscriptions", str(subs_path), "--algorithm", "s_unibin",
+             "--memory-budget", "500000", "--metrics-out", str(metrics)]
+            + _lambda_args()
+        )
+        assert rc == 0
+        snapshot = json.loads(metrics.read_text())
+        assert any(
+            family["name"] == "repro_multiuser_posts_total"
+            for family in snapshot["metrics"]
+        )

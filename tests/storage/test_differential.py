@@ -19,7 +19,7 @@ from repro.errors import ConfigurationError
 from repro.multiuser import SubscriptionTable, make_multiuser
 from repro.storage import SpillConfig
 
-from ..parallel.conftest import (
+from ..support import (
     AUTHORS,
     EDGES,
     SUBSCRIPTIONS_SPEC,

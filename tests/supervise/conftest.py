@@ -17,7 +17,14 @@ from repro.core import Thresholds
 from repro.multiuser import SubscriptionTable
 from repro.supervise import SupervisionConfig
 
-from ..parallel.conftest import AUTHORS, EDGES, SUBSCRIPTIONS_SPEC, chunked, make_posts
+from ..support import (
+    AUTHORS,
+    EDGES,
+    SUBSCRIPTIONS_SPEC,
+    chunked,
+    make_posts,
+    run_batches,
+)
 
 __all__ = ["chunked", "make_posts", "fast_config", "run_batches", "ALGORITHMS"]
 
@@ -58,11 +65,3 @@ def fast_config(**overrides) -> SupervisionConfig:
     )
     settings.update(overrides)
     return SupervisionConfig(**settings)
-
-
-def run_batches(engine, posts, batch: int = 32):
-    """Feed the stream in chunks, collecting per-post receiver sets."""
-    received = []
-    for chunk in chunked(posts, batch):
-        received.extend(engine.offer_batch(chunk))
-    return received

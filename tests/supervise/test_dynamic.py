@@ -13,7 +13,11 @@ from repro.dynamic import DynamicMultiUser
 from repro.multiuser import SubscriptionTable
 from repro.resilience import WorkerFaultPlan
 
-from ..dynamic.conftest import SUBSCRIPTIONS_SPEC, make_events, make_friends
+from ..support import (
+    DYNAMIC_SUBSCRIPTIONS_SPEC as SUBSCRIPTIONS_SPEC,
+    make_events,
+    make_friends,
+)
 from .conftest import fast_config
 
 

@@ -1,0 +1,157 @@
+"""Shared seeded-world helpers for the test and benchmark suites.
+
+Historically each suite's ``conftest.py`` grew its own copy of the
+deterministic worlds (and sibling suites imported them through fragile
+``..parallel.conftest`` paths). This module is now the single home:
+
+* the **multi-component world** — twenty authors in ten similarity
+  components, six users with overlapping subscriptions, and a seeded
+  admit/cover post stream (``make_posts``) — used by the parallel,
+  supervision, storage and resilience suites; and
+* the **churn world** — twelve maintained authors whose followee sets
+  draw from a small interest pool, plus a seeded mixed post/churn event
+  stream (``make_events``) — used by the dynamic and supervision suites.
+
+Conftests keep their pytest fixtures (scoping is a per-suite decision)
+but build them from these helpers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import Post
+from repro.dynamic import FollowEvent, UnfollowEvent
+
+# -- multi-component world (parallel / supervise / storage / resilience) ------
+
+AUTHORS = list(range(1, 21))
+
+EDGES = [
+    (1, 2), (1, 3), (2, 3), (3, 4),       # triangle + tail
+    (5, 6),                               # pair
+    (7, 8), (8, 9),                       # chain
+    (11, 12),                             # pair
+    (17, 18), (18, 19), (19, 20),         # chain
+]
+# 10 and 13..16 stay singletons.
+
+# Overlapping interests: components {1..4}, {5,6}, {7,8,9}, {10} and
+# {17..20} are each shared by at least two users.
+SUBSCRIPTIONS_SPEC = {
+    100: [1, 2, 3, 4, 10, 13],
+    200: [1, 2, 3, 4, 5, 6],
+    300: [5, 6, 7, 8, 9, 14],
+    400: [7, 8, 9, 17, 18, 19, 20],
+    500: [10, 11, 12, 15, 16],
+    600: [1, 2, 3, 4, 17, 18, 19, 20],
+}
+
+
+def make_posts(n: int = 240, seed: int = 11) -> list[Post]:
+    """Seeded stream over the fixture authors: strictly ordered timestamps,
+    ~half the posts perturbations of an earlier fingerprint (0–3 bit flips,
+    inside λc=8) so coverage actually fires, the rest fresh 64-bit values."""
+    rng = random.Random(seed)
+    posts: list[Post] = []
+    now = 0.0
+    for i in range(n):
+        now += rng.random() * 2.0
+        if posts and rng.random() < 0.5:
+            fingerprint = posts[rng.randrange(len(posts))].fingerprint
+            for _ in range(rng.randrange(4)):
+                fingerprint ^= 1 << rng.randrange(64)
+        else:
+            fingerprint = rng.getrandbits(64)
+        posts.append(
+            Post(
+                post_id=i,
+                author=rng.choice(AUTHORS),
+                text=f"p{i}",
+                timestamp=now,
+                fingerprint=fingerprint,
+            )
+        )
+    return posts
+
+
+def chunked(seq, size: int):
+    for start in range(0, len(seq), size):
+        yield seq[start : start + size]
+
+
+def run_batches(engine, posts, batch: int = 32):
+    """Feed the stream in chunks, collecting per-post receiver sets."""
+    received = []
+    for chunk in chunked(posts, batch):
+        received.extend(engine.offer_batch(chunk))
+    return received
+
+
+# -- churn world (dynamic / supervise) ----------------------------------------
+
+#: The similarity-graph universe (friends keys); fixed across churn.
+DYNAMIC_AUTHORS = list(range(1, 13))
+
+#: Followee targets. Small on purpose: with sets of size 2–4 drawn from
+#: twelve interests, one edge flip routinely crosses the λa threshold.
+INTERESTS = list(range(100, 112))
+
+# Overlapping interests so the catalog shares instances between users
+# and a single edge flip can straddle several users' component views.
+DYNAMIC_SUBSCRIPTIONS_SPEC = {
+    100: [1, 2, 3, 4, 10],
+    200: [1, 2, 3, 4, 5, 6],
+    300: [5, 6, 7, 8, 9],
+    400: [7, 8, 9, 10, 11, 12],
+    500: [2, 5, 8, 11],
+    600: [1, 4, 7, 10, 12],
+}
+
+
+def make_friends(seed: int = 5) -> dict[int, set[int]]:
+    """Seeded initial followee relation over the churn-world authors."""
+    rng = random.Random(seed)
+    return {
+        author: set(rng.sample(INTERESTS, rng.randint(2, 4)))
+        for author in DYNAMIC_AUTHORS
+    }
+
+
+def make_events(
+    n_posts: int = 200,
+    seed: int = 17,
+    churn_prob: float = 0.15,
+):
+    """Seeded mixed stream: strictly ordered timestamps, ~half the posts
+    near-duplicates of an earlier fingerprint (inside λc=8), and before
+    each post a ``churn_prob`` chance of one follow/unfollow event over
+    the interest pool (never a self-follow — interests are disjoint from
+    the author ids)."""
+    rng = random.Random(seed)
+    events = []
+    posts: list[Post] = []
+    now = 0.0
+    for i in range(n_posts):
+        now += rng.random() * 2.0
+        if rng.random() < churn_prob:
+            author = rng.choice(DYNAMIC_AUTHORS)
+            followee = rng.choice(INTERESTS)
+            cls = FollowEvent if rng.random() < 0.5 else UnfollowEvent
+            events.append(cls(author=author, followee=followee, timestamp=now))
+        if posts and rng.random() < 0.5:
+            fingerprint = posts[rng.randrange(len(posts))].fingerprint
+            for _ in range(rng.randrange(4)):
+                fingerprint ^= 1 << rng.randrange(64)
+        else:
+            fingerprint = rng.getrandbits(64)
+        post = Post(
+            post_id=i,
+            author=rng.choice(DYNAMIC_AUTHORS),
+            text=f"p{i}",
+            timestamp=now,
+            fingerprint=fingerprint,
+        )
+        posts.append(post)
+        events.append(post)
+    return events
