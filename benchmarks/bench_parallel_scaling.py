@@ -38,6 +38,14 @@ REGRESSION_TOLERANCE = float(os.environ.get("REPRO_PARALLEL_TOLERANCE", "0.2"))
 #: so best-of-N converges on the clean measurement.
 REPEATS = int(os.environ.get("REPRO_PARALLEL_REPEATS", "3"))
 
+#: Shard transport under test: "auto" (shm when available), "shm", "pipe".
+TRANSPORT = os.environ.get("REPRO_PARALLEL_TRANSPORT", "auto")
+
+#: Absolute speedup floors the sharded engine must clear on a machine
+#: with at least that many cores (workers -> floor). On smaller machines
+#: the floor is skipped loudly — a 1-core box cannot speed anything up.
+SPEEDUP_FLOORS = {2: 1.0, 4: 1.6}
+
 
 def worker_counts() -> tuple[int, ...]:
     env = os.environ.get("REPRO_PARALLEL_WORKERS")
@@ -69,7 +77,12 @@ def _measure_parallel(thresholds, graph, subscriptions, posts, workers, batch):
     received = None
     for _ in range(REPEATS):
         with ParallelSharedMultiUser(
-            ALGORITHM, thresholds, graph, subscriptions, workers=workers
+            ALGORITHM,
+            thresholds,
+            graph,
+            subscriptions,
+            workers=workers,
+            transport=TRANSPORT,
         ) as engine:
             received = []
             start = time.perf_counter()
@@ -77,7 +90,8 @@ def _measure_parallel(thresholds, graph, subscriptions, posts, workers, batch):
                 received.extend(engine.offer_batch(posts[lo : lo + batch]))
             best = min(best, time.perf_counter() - start)
             effective, imbalance = engine.workers, engine.shard_imbalance()
-    return received, best, effective, imbalance
+            transport = engine.transport
+    return received, best, effective, imbalance, transport
 
 
 def _sweep(dataset, thresholds):
@@ -92,7 +106,7 @@ def _sweep(dataset, thresholds):
     rows = []
     for workers in worker_counts():
         for batch in batch_sizes():
-            received, elapsed, effective, imbalance = _measure_parallel(
+            received, elapsed, effective, imbalance, transport = _measure_parallel(
                 thresholds, graph, subscriptions, posts, workers, batch
             )
             assert received == serial_receivers, (
@@ -104,6 +118,7 @@ def _sweep(dataset, thresholds):
                     "workers": workers,
                     "effective_workers": effective,
                     "batch_size": batch,
+                    "transport": transport,
                     "time_s": elapsed,
                     "posts_per_sec": len(posts) / elapsed,
                     "speedup_vs_serial": serial_time / elapsed,
@@ -124,10 +139,20 @@ def _sweep(dataset, thresholds):
 
 def _check_against_committed(result) -> list[str]:
     """Relative-regression check vs the committed baseline; returns
-    human-readable failures (empty when clean or no baseline exists)."""
+    human-readable failures (empty when clean or no baseline exists).
+    Speedups only transfer between same-shaped machines: a baseline
+    recorded with a different core count is skipped loudly."""
     if not RESULT_PATH.exists():
         return []
     committed = json.loads(RESULT_PATH.read_text())
+    committed_cpus = committed.get("cpu_count")
+    if committed_cpus != result["cpu_count"]:
+        print(
+            f"SKIPPING committed-baseline speedup check: baseline recorded "
+            f"with cpu_count={committed_cpus}, this machine has "
+            f"cpu_count={result['cpu_count']} — speedups do not transfer"
+        )
+        return []
     baseline = {
         (row["workers"], row["batch_size"]): row["speedup_vs_serial"]
         for row in committed.get("parallel", ())
@@ -148,6 +173,34 @@ def _check_against_committed(result) -> list[str]:
     return failures
 
 
+def _check_speedup_floors(result) -> list[str]:
+    """Absolute speedup floors (the PR gate): parallel must actually beat
+    serial on machines with the cores to do it. Skips loudly on machines
+    too small for a configuration (extra workers cannot pay for their IPC
+    without cores to run on)."""
+    cpus = result["cpu_count"] or 1
+    best: dict[int, float] = {}
+    for row in result["parallel"]:
+        w = row["workers"]
+        best[w] = max(best.get(w, 0.0), row["speedup_vs_serial"])
+    failures = []
+    for workers, floor in sorted(SPEEDUP_FLOORS.items()):
+        if workers not in best:
+            continue
+        if cpus < workers:
+            print(
+                f"SKIPPING speedup floor {floor:.1f}x at workers={workers}: "
+                f"machine has only cpu_count={cpus}"
+            )
+            continue
+        if best[workers] < floor:
+            failures.append(
+                f"workers={workers}: best speedup {best[workers]:.3f} < "
+                f"required floor {floor:.1f} (cpu_count={cpus})"
+            )
+    return failures
+
+
 def test_parallel_scaling(benchmark, dataset, thresholds):
     result = benchmark.pedantic(
         lambda: _sweep(dataset, thresholds),
@@ -163,12 +216,14 @@ def test_parallel_scaling(benchmark, dataset, thresholds):
     for row in result["parallel"]:
         print(
             f"workers={row['workers']:>2} (effective {row['effective_workers']}) "
-            f"batch={row['batch_size']:>5}: {row['posts_per_sec']:>10,.0f} posts/s "
+            f"batch={row['batch_size']:>5} [{row.get('transport', '?')}]: "
+            f"{row['posts_per_sec']:>10,.0f} posts/s "
             f"speedup {row['speedup_vs_serial']:.2f}x "
             f"imbalance {row['shard_imbalance']:.3f}"
         )
 
     failures = _check_against_committed(result)
+    failures += _check_speedup_floors(result)
     # A narrowed sweep (CI smoke) must not truncate the committed
     # baseline: carry over rows for configurations not re-measured.
     if RESULT_PATH.exists():

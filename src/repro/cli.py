@@ -111,6 +111,14 @@ def _diversify_parser() -> argparse.ArgumentParser:
         "(amortizes IPC; 1 = per-post offers)",
     )
     parser.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pipe"),
+        default="auto",
+        help="shard batch transport for the parallel engines: shm packs "
+        "posts into per-shard shared-memory rings, pipe pickles them; "
+        "auto (default) picks shm when the platform supports it",
+    )
+    parser.add_argument(
         "--supervise",
         action="store_true",
         help="self-healing worker pool: heartbeat liveness, crash recovery "
@@ -743,6 +751,7 @@ def _run_diversify_multiuser(args) -> int:
             workers=args.workers,
             batch_size=args.batch_size,
             storage=_storage_config(args),
+            transport=args.transport,
             **_supervision_kwargs(args),
         )
     governor = _attach_governor(args, engine)

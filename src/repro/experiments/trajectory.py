@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 from pathlib import Path
 
 from ..errors import ExperimentError, TrajectoryRegressionError
@@ -62,6 +63,7 @@ METRIC_SPECS: dict[str, str] = {
     # legacy BENCH_parallel.json
     "parallel_serial_posts_per_sec": "higher",
     "parallel_best_speedup": "higher",
+    "parallel_posts_per_sec_best": "higher",
     # legacy BENCH_dynamic.json
     "dynamic_speedup_vs_rebuild_min": "higher",
     "dynamic_events_per_sec_min": "higher",
@@ -157,6 +159,9 @@ def legacy_metrics(root: str | Path) -> dict[str, float]:
             metrics["parallel_best_speedup"] = max(
                 row["speedup_vs_serial"] for row in rows
             )
+            metrics["parallel_posts_per_sec_best"] = max(
+                row["posts_per_sec"] for row in rows
+            )
     record = _load_json(root / "BENCH_dynamic.json")
     if record:
         rows = record.get("rows", [])
@@ -223,7 +228,12 @@ def make_entry(
     if root is not None:
         metrics.update(legacy_metrics(root))
         sources.append("legacy")
-    return {"label": label, "source": "+".join(sources), "metrics": metrics}
+    return {
+        "label": label,
+        "source": "+".join(sources),
+        "cpu_count": os.cpu_count(),
+        "metrics": metrics,
+    }
 
 
 # -- regression check ---------------------------------------------------------
@@ -256,6 +266,19 @@ def check_regression(
         # its predecessor, not against itself.
         baseline = entries[-2]
     tol = _tolerance() if tolerance is None else tolerance
+    # Perf (higher/lower) tolerances only transfer between same-shaped
+    # machines: a speedup recorded on a 1-core box says nothing about a
+    # 4-core runner. When both entries recorded a cpu_count and they
+    # differ, skip the tolerance checks — loudly — and keep the exact
+    # (count) checks, which are machine-independent.
+    baseline_cpus = baseline.get("cpu_count")
+    candidate_cpus = candidate.get("cpu_count")
+    skip_perf = (
+        baseline_cpus is not None
+        and candidate_cpus is not None
+        and baseline_cpus != candidate_cpus
+    )
+    skipped: list[str] = []
     compared: list[str] = []
     failures: list[str] = []
     for name in sorted(candidate["metrics"]):
@@ -263,6 +286,9 @@ def check_regression(
             continue
         direction = _metric_direction(name)
         if direction is None:
+            continue
+        if skip_perf and direction in ("higher", "lower"):
+            skipped.append(name)
             continue
         old = float(baseline["metrics"][name])
         new = float(candidate["metrics"][name])
@@ -284,6 +310,15 @@ def check_regression(
                 failures.append(
                     f"{name}: {new:.4g} > {old:.4g} + {tol:.0%} (lower is better)"
                 )
+    if skipped:
+        print(
+            f"trajectory: SKIPPING {len(skipped)} perf tolerance check(s) "
+            f"({', '.join(skipped)}): baseline {baseline['label']!r} was "
+            f"recorded on a cpu_count={baseline_cpus} machine, this one has "
+            f"cpu_count={candidate_cpus} — speedups do not transfer; exact "
+            f"metrics still enforced",
+            file=sys.stderr,
+        )
     if failures:
         raise TrajectoryRegressionError(
             f"trajectory regression vs entry {baseline['label']!r}: "

@@ -50,6 +50,7 @@ def make_multiuser(
     supervision=None,
     shard_deadline: float | None = 120.0,
     storage=None,
+    transport: str = "auto",
 ) -> MultiUserDiversifier:
     """Instantiate an M-SPSD engine by name, e.g. ``"s_cliquebin"``.
 
@@ -65,7 +66,10 @@ def make_multiuser(
     engines. ``storage`` (a :class:`repro.storage.SpillConfig`) makes the
     static engines' window bins tiered — in-memory head + disk spill
     segments — with identical verdicts; the dynamic engines keep their
-    windows in memory (migration rewrites bins wholesale).
+    windows in memory (migration rewrites bins wholesale). ``transport``
+    selects the ``p_*`` engines' shard transport (``"auto"``/``"shm"``/
+    ``"pipe"``, see :class:`~repro.parallel.ParallelSharedMultiUser`);
+    serial and dynamic engines ignore it.
     """
     prefix, _, algorithm = name.partition("_")
     if dynamic:
@@ -113,6 +117,7 @@ def make_multiuser(
             supervision=supervision,
             shard_deadline=shard_deadline,
             storage=storage,
+            transport=transport,
         )
     if name not in MULTIUSER_NAMES:
         raise UnknownAlgorithmError(

@@ -18,21 +18,29 @@ Public surface:
 * :class:`AutoscalePolicy` / :class:`ShardAutoscaler` — runtime shard
   split/merge driven by memory accounting and the §4.4 cost model, on
   the supervisor's journalled migration machinery.
+* :class:`ShmRing` / :data:`ROW_DTYPE` — the binary post codec and
+  per-shard shared-memory rings behind ``transport="shm"`` (:mod:`.shm`).
 """
 
 from .autoscale import AutoscaleEvent, AutoscalePolicy, ShardAutoscaler
-from .engine import ParallelSharedMultiUser
+from .engine import DEFAULT_RING_CAPACITY, ParallelSharedMultiUser
 from .sharding import ShardPlan, component_cost, plan_shards
+from .shm import RING_PREFIX, ROW_DTYPE, ShmRing, shared_memory_available
 from .worker import ShardServer, ShardSpec
 
 __all__ = [
     "AutoscaleEvent",
     "AutoscalePolicy",
+    "DEFAULT_RING_CAPACITY",
     "ParallelSharedMultiUser",
+    "RING_PREFIX",
+    "ROW_DTYPE",
     "ShardAutoscaler",
     "ShardPlan",
     "ShardServer",
     "ShardSpec",
+    "ShmRing",
     "component_cost",
     "plan_shards",
+    "shared_memory_available",
 ]

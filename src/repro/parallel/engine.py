@@ -36,6 +36,7 @@ from ..multiuser.base import MultiUserDiversifier
 from ..multiuser.routing import SubscriptionTable
 from ..supervise import ShardSupervisor, SupervisionConfig, shutdown_workers
 from .sharding import ShardPlan, component_cost, plan_shards
+from .shm import ShmRing, encode_batch, shared_memory_available
 from .worker import ShardSpec, shard_worker_main, supervision_protocol
 
 # Historical alias: the hardened teardown (terminate → kill escalation,
@@ -49,6 +50,21 @@ def _preferred_start_method() -> str:
     # fork is cheapest by far (no pickling of graph/spec, instant startup);
     # spawn is the portable fallback (Windows, macOS default).
     return "fork" if "fork" in methods else methods[0]
+
+
+#: Default per-shard shared-memory ring size. A packed post row is 40
+#: bytes plus 8 per component index, so 1 MiB holds far more than any
+#: sane ``batch_size``; batches that still do not fit take the pipe.
+DEFAULT_RING_CAPACITY = 1 << 20
+
+
+def _unlink_rings(rings: list) -> None:
+    """Finalizer target: destroy every ring the engine still owns. Holds
+    the live list object, so split/merge churn stays covered."""
+    for ring in rings:
+        ring.close()
+        ring.unlink()
+    rings.clear()
 
 
 class ParallelSharedMultiUser(MultiUserDiversifier):
@@ -92,6 +108,14 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             machinery. Requires ``supervised=True``; evaluated on the
             batch path, one topology change at a time. Quietly inert
             when the component count clamps the pool to one worker.
+        transport: how post batches reach the shard workers. ``"shm"``
+            packs each shard's slice into a per-shard shared-memory
+            ring (:mod:`.shm`) and pipes only a tiny descriptor;
+            ``"pipe"`` is the legacy fully-pickled path; ``"auto"``
+            (default) picks ``shm`` whenever the platform supports it.
+            Per-batch fallback to the pipe (unencodable fields,
+            oversized batch) keeps outputs byte-identical either way.
+        ring_capacity: bytes per shard ring under the shm transport.
     """
 
     def __init__(
@@ -112,6 +136,8 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         fault_plans=None,
         storage=None,
         autoscale=None,
+        transport: str = "auto",
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
     ):
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -120,6 +146,19 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         if shard_deadline is not None and shard_deadline <= 0:
             raise ConfigurationError(
                 f"shard_deadline must be > 0 or None, got {shard_deadline}"
+            )
+        if transport not in ("auto", "shm", "pipe"):
+            raise ConfigurationError(
+                f"transport must be 'auto', 'shm' or 'pipe', got {transport!r}"
+            )
+        if ring_capacity < 1:
+            raise ConfigurationError(
+                f"ring_capacity must be >= 1, got {ring_capacity}"
+            )
+        if transport == "shm" and not shared_memory_available():
+            raise ConfigurationError(
+                "transport='shm' but multiprocessing.shared_memory is "
+                "unavailable on this platform; use 'auto' or 'pipe'"
             )
         self.name = f"p_{algorithm}"
         self.algorithm = algorithm
@@ -156,6 +195,12 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         self._supervisor: ShardSupervisor | None = None
         self._deadline = shard_deadline
         self.autoscaler = None
+        self._ring_capacity = ring_capacity
+        self._rings: dict[int, ShmRing] = {}
+        #: The live list the ring finalizer holds; split/merge keep it
+        #: current so GC-time cleanup always reaps what exists *now*.
+        self._owned_rings: list[ShmRing] = []
+        self._ring_finalizer = None
         if autoscale is not None and not supervised:
             raise ConfigurationError(
                 "autoscale needs the supervisor's journalled migration "
@@ -164,7 +209,9 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         plans = dict(fault_plans) if fault_plans else {}
 
         if self.workers == 1:
-            # In-process fast path: the exact serial engines, no IPC.
+            # In-process fast path: the exact serial engines, no IPC —
+            # and therefore no transport at all.
+            self.transport = "inline"
             self._engines: dict[int, object] | None = {
                 idx: make_diversifier(
                     algorithm, thresholds, graph.subgraph(component), storage=storage
@@ -175,6 +222,23 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             self._processes: list = []
             return
 
+        self.transport = (
+            "shm"
+            if transport == "shm"
+            or (transport == "auto" and shared_memory_available())
+            else "pipe"
+        )
+        if self.transport == "shm":
+            # Rings exist before the workers fork, so fork-started
+            # children inherit the mappings outright; spawn-started (or
+            # respawned) workers attach lazily by name instead.
+            for shard in range(self.plan.shard_count):
+                ring = ShmRing.create(ring_capacity)
+                self._rings[shard] = ring
+                self._owned_rings.append(ring)
+            self._ring_finalizer = weakref.finalize(
+                self, _unlink_rings, self._owned_rings
+            )
         self._engines = None
         context = multiprocessing.get_context(
             start_method if start_method is not None else _preferred_start_method()
@@ -327,19 +391,38 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             self.autoscaler.observe(len(posts))
         return results
 
+    def _encode_shard_batch(self, shard: int, items) -> tuple:
+        """One shard's batch message: a shared-memory descriptor on the
+        hot path, the legacy pickled form whenever the ring cannot carry
+        this batch (no ring, unencodable post fields, oversized batch).
+        Either framing decodes to identical items in the worker."""
+        ring = self._rings.get(shard)
+        if ring is None:
+            return ("batch", items)
+        encoded = encode_batch(items)
+        if encoded is None:
+            return ("batch", items)
+        rows, idx_offsets, idx_values, texts = encoded
+        offset = ring.write(rows, idx_offsets, idx_values)
+        if offset is None:
+            return ("batch", items)
+        return ("shm_batch", ring.name, offset, len(rows), len(idx_values), texts)
+
     def _request_batches(self, per_shard):
         """Ship each shard its slice of the chunk; sends before receives."""
         if self._closed:
             raise ParallelError(f"{self.name} engine already closed")
+        messages = {
+            shard: self._encode_shard_batch(shard, items)
+            for shard, items in per_shard.items()
+        }
         if self._supervisor is not None:
             self._supervisor.maybe_heartbeat()
-            return self._supervisor.request_many(
-                {shard: ("batch", items) for shard, items in per_shard.items()}
-            )
-        for shard, items in per_shard.items():
-            self._connections[shard].send(("batch", items))
+            return self._supervisor.request_many(messages)
+        for shard, message in messages.items():
+            self._connections[shard].send(message)
         return {
-            shard: self._receive(shard, self._connections[shard], "batch")
+            shard: self._receive(shard, self._connections[shard], messages[shard][0])
             for shard in per_shard
         }
 
@@ -483,6 +566,13 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
     def memory_bytes(self) -> int:
         return sum(self.memory_breakdown().values())
 
+    def transport_bytes(self) -> int:
+        """Fixed shared-memory footprint of the shm transport (ring
+        capacity × live shards); 0 under ``pipe`` or in-process."""
+        from ..storage.accounting import estimate_ring_bytes
+
+        return estimate_ring_bytes(self._owned_rings)
+
     # -- live topology (shard autoscaling) ----------------------------------
 
     def _require_supervisor(self, operation: str) -> ShardSupervisor:
@@ -525,7 +615,16 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
         keep, move = self._partition_components(owned)
         states = dict(sup.request(shard, ("state",)))
         moved_state = [(idx, states[idx]) for idx, _ in move]
+        if self.transport == "shm":
+            # A fresh ring per shard: rings are single-writer/single-
+            # reader under the one-batch-in-flight protocol, so the new
+            # shard must never share the donor's. Created before the
+            # worker spawns so a fork-started child inherits the mapping.
+            new_ring = ShmRing.create(self._ring_capacity)
         new_index = sup.add_shard(replace(spec, components=tuple(move), faults=None))
+        if self.transport == "shm":
+            self._rings[new_index] = new_ring
+            self._owned_rings.append(new_ring)
         sup.request(new_index, ("load", moved_state))
         sup.request(shard, ("drop", [idx for idx, _ in move]))
         sup.checkpoint_now(shard)
@@ -567,6 +666,14 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             ),
         )
         sup.retire_shard(source)
+        source_ring = self._rings.pop(source, None)
+        if source_ring is not None:
+            # The retired shard's worker is gone; no descriptor into this
+            # ring can be in flight or journalled (journals hold detached
+            # payloads), so it can be destroyed immediately.
+            self._owned_rings.remove(source_ring)
+            source_ring.close()
+            source_ring.unlink()
         for idx in nodes_of:
             self._shard_of[idx] = target
 
@@ -664,8 +771,9 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Stop worker processes; idempotent. The in-process (1-worker)
-        engine has nothing to release."""
+        """Stop worker processes and destroy the shared-memory rings;
+        idempotent. The in-process (1-worker) engine has nothing to
+        release."""
         if self._closed:
             return
         self._closed = True
@@ -673,6 +781,9 @@ class ParallelSharedMultiUser(MultiUserDiversifier):
             self._supervisor.close()
         if self._finalizer is not None:
             self._finalizer()  # runs shutdown_workers exactly once
+        if self._ring_finalizer is not None:
+            self._ring_finalizer()  # unlinks every owned ring, once
+        self._rings.clear()
 
     def __enter__(self) -> "ParallelSharedMultiUser":
         return self

@@ -1,0 +1,309 @@
+"""Binary post codec + shared-memory rings: the fast shard transport.
+
+The original shard transport pickles ``[(seq, Post, [component idx …]),
+…]`` tuples through a ``multiprocessing.Pipe`` — one reduce call per
+Post object, per shard, per chunk. That interpreter work is what kept
+the sharded pool slower than serial (``BENCH_parallel.json``'s 0.35×).
+Posts are fixed-shape, so this module packs each shard's slice of a
+chunk into one numpy structured array (:data:`ROW_DTYPE`: seq, post id,
+author id, timestamp, 64-bit simhash) plus a flattened component-index
+array, writes the bytes into a per-shard shared-memory ring, and sends
+only a tiny descriptor over the pipe::
+
+    ("shm_batch", ring_name, offset, nrows, nidx, texts)
+
+Variable-length fields stay on the slow path: post *texts* ride along in
+the descriptor (a list of str pickles far cheaper than the Post objects
+they came from), and batches whose fields do not fit the fixed-width
+columns — a fingerprint outside ``uint64``, an id outside ``int64``, a
+timestamp that is not exactly a ``float`` — fall back to the legacy
+pickled ``batch`` command wholesale, so decoded posts always round-trip
+**identically** (same types, same checkpoint JSON) to what the serial
+engine saw.
+
+Ring safety: the shard protocol is strict request→reply alternation, so
+at most one batch per ring is ever in flight; a write advances the ring
+offset (8-byte aligned, wrapping to 0 when the tail is short) and can
+never clobber an unread region. Oversized batches return ``None`` from
+:meth:`ShmRing.write` and take the pipe.
+
+Journal hazard: a ``shm_batch`` descriptor is only valid while its ring
+region is; the supervisor's journal must therefore store the *detached*
+form (:func:`detach_shm_batch` → ``("shm_batch_payload", blob, nrows,
+nidx, texts)``), captured at commit time while the region is still live.
+Replay and in-parent degraded dispatch decode the payload through the
+exact same :func:`unpack_batch` code as the worker's hot path.
+
+Lifecycle: rings are created (and eventually unlinked) by the
+coordinator; workers and the in-parent fallback attach lazily by name
+through the process-local :data:`_RINGS` registry. Attach-side handles
+are unregistered from the ``resource_tracker`` so a worker exit never
+unlinks a segment the parent still owns; worker processes close their
+attachments on every exit path, and the parent unlinks on ``close()`` or
+garbage collection — ``tests/supervise/test_shm_leaks.py`` asserts
+``/dev/shm`` holds no ``repro_ring_*`` entry after any recovery
+scenario.
+"""
+
+from __future__ import annotations
+
+import uuid
+
+import numpy as np
+
+from ..core import Post
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - exotic builds without _posixshmem
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+__all__ = [
+    "RING_PREFIX",
+    "ROW_DTYPE",
+    "ShmRing",
+    "attach_ring",
+    "batch_nbytes",
+    "close_attached_rings",
+    "detach_shm_batch",
+    "encode_batch",
+    "shared_memory_available",
+    "unpack_batch",
+]
+
+#: Shared-memory segment name prefix — what the /dev/shm leak check greps.
+RING_PREFIX = "repro_ring_"
+
+#: One post of a shard batch, fixed-width and little-endian: the chunk
+#: sequence number, the three integer ids, the float timestamp and the
+#: uint64 simhash fingerprint. 40 bytes/row.
+ROW_DTYPE = np.dtype(
+    [
+        ("seq", "<i8"),
+        ("post_id", "<i8"),
+        ("author", "<i8"),
+        ("timestamp", "<f8"),
+        ("fingerprint", "<u8"),
+    ]
+)
+
+_OFFSETS_DTYPE = np.dtype("<i8")
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+_U64_MAX = 2**64 - 1
+
+#: Process-local ring registry: name → ShmRing. Holds rings this process
+#: created (coordinator) and rings it attached to (workers, or a forked
+#: child inheriting the parent's mapping outright).
+_RINGS: dict[str, "ShmRing"] = {}
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is usable here."""
+    return shared_memory is not None
+
+
+def _row_encodable(post: Post) -> bool:
+    # ``type(...) is`` on purpose: bool is an int subclass and an int
+    # timestamp would decode as float — either would silently change the
+    # checkpoint JSON a restored engine emits. Such posts (and anything
+    # out of fixed-width range) keep the pickled slow path.
+    return (
+        type(post.post_id) is int
+        and _I64_MIN <= post.post_id <= _I64_MAX
+        and type(post.author) is int
+        and _I64_MIN <= post.author <= _I64_MAX
+        and type(post.timestamp) is float
+        and type(post.fingerprint) is int
+        and 0 <= post.fingerprint <= _U64_MAX
+        and type(post.text) is str
+    )
+
+
+def encode_batch(items):
+    """Pack ``[(seq, post, [idx …]), …]`` into columnar arrays.
+
+    Returns ``(rows, idx_offsets, idx_values, texts)`` or ``None`` when
+    any post's fields cannot round-trip through the fixed-width columns
+    (the caller then sends the legacy pickled form).
+    """
+    n = len(items)
+    rows = np.empty(n, dtype=ROW_DTYPE)
+    idx_offsets = np.empty(n + 1, dtype=_OFFSETS_DTYPE)
+    idx_offsets[0] = 0
+    texts: list[str] = []
+    flat: list[int] = []
+    for i, (seq, post, indices) in enumerate(items):
+        if not _row_encodable(post):
+            return None
+        rows[i] = (seq, post.post_id, post.author, post.timestamp, post.fingerprint)
+        texts.append(post.text)
+        flat.extend(indices)
+        idx_offsets[i + 1] = len(flat)
+    idx_values = np.asarray(flat, dtype=_OFFSETS_DTYPE)
+    return rows, idx_offsets, idx_values, texts
+
+
+def batch_nbytes(nrows: int, nidx: int) -> int:
+    """Ring bytes of a packed batch: rows, then offsets, then indices."""
+    return (
+        nrows * ROW_DTYPE.itemsize
+        + (nrows + 1) * _OFFSETS_DTYPE.itemsize
+        + nidx * _OFFSETS_DTYPE.itemsize
+    )
+
+
+def unpack_batch(buffer, nrows: int, nidx: int, texts) -> list:
+    """Decode a packed region back into ``[(seq, post, [idx …]), …]``.
+
+    ``buffer`` is any buffer of at least :func:`batch_nbytes` bytes — a
+    zero-copy view into a ring (worker hot path) or a detached journal
+    blob (replay, degraded mode). Both decode through this one function,
+    so every consumer sees identical posts.
+    """
+    rows = np.frombuffer(buffer, dtype=ROW_DTYPE, count=nrows)
+    cursor = nrows * ROW_DTYPE.itemsize
+    idx_offsets = np.frombuffer(
+        buffer, dtype=_OFFSETS_DTYPE, count=nrows + 1, offset=cursor
+    )
+    cursor += (nrows + 1) * _OFFSETS_DTYPE.itemsize
+    idx_values = np.frombuffer(buffer, dtype=_OFFSETS_DTYPE, count=nidx, offset=cursor)
+    bounds = idx_offsets.tolist()
+    flat = idx_values.tolist()
+    items = []
+    # ``.tolist()`` materialises native Python scalars (int/float), so the
+    # reconstructed Post fields are type-identical to the originals.
+    for i, (seq, post_id, author, timestamp, fingerprint) in enumerate(rows.tolist()):
+        post = Post(
+            post_id=post_id,
+            author=author,
+            text=texts[i],
+            timestamp=timestamp,
+            fingerprint=fingerprint,
+        )
+        items.append((seq, post, flat[bounds[i] : bounds[i + 1]]))
+    return items
+
+
+class ShmRing:
+    """One shard's shared-memory ring of packed batches.
+
+    Created (owned) by the coordinator, attached (borrowed) by workers.
+    The strict one-batch-in-flight protocol makes the write side trivial:
+    advance an 8-byte-aligned offset, wrap to 0 when the tail cannot hold
+    the batch, refuse (→ pipe fallback) when the whole ring cannot.
+    """
+
+    __slots__ = ("_shm", "name", "capacity", "_offset", "_owner")
+
+    def __init__(self, shm, *, owner: bool):
+        self._shm = shm
+        self.name = shm.name
+        self.capacity = shm.size
+        self._offset = 0
+        self._owner = owner
+
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        """Allocate a fresh ring and register it process-locally."""
+        if shared_memory is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        segment = shared_memory.SharedMemory(
+            create=True,
+            size=capacity,
+            name=f"{RING_PREFIX}{uuid.uuid4().hex[:16]}",
+        )
+        ring = cls(segment, owner=True)
+        _RINGS[ring.name] = ring
+        return ring
+
+    def write(self, *arrays) -> int | None:
+        """Copy ``arrays`` contiguously into the ring; return the start
+        offset, or ``None`` when the batch exceeds the ring capacity."""
+        nbytes = sum(int(a.nbytes) for a in arrays)
+        if nbytes > self.capacity:
+            return None
+        offset = self._offset
+        if offset + nbytes > self.capacity:
+            offset = 0
+        buf = self._shm.buf
+        cursor = offset
+        for array in arrays:
+            raw = array.tobytes()
+            buf[cursor : cursor + len(raw)] = raw
+            cursor += len(raw)
+        # Keep every batch 8-byte aligned so np.frombuffer views on the
+        # reader side are aligned too (row and index dtypes are 8-byte
+        # multiples; only the cursor needs rounding).
+        self._offset = (cursor + 7) & ~7
+        return offset
+
+    def read(self, offset: int, nbytes: int) -> memoryview:
+        """Zero-copy view of ``nbytes`` starting at ``offset``."""
+        return self._shm.buf[offset : offset + nbytes]
+
+    def close(self) -> None:
+        """Release this process's mapping (workers: every exit path)."""
+        _RINGS.pop(self.name, None)
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only); idempotent."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+
+def attach_ring(name: str) -> ShmRing:
+    """The process-local handle for ring ``name``, attaching on first use.
+
+    Freshly-attached segments are unregistered from the resource tracker:
+    the coordinator owns the segment's lifetime, and letting a worker's
+    tracker unlink it on worker exit would tear the transport out from
+    under the survivors (Python 3.11's ``SharedMemory`` has no ``track=``
+    parameter yet, hence the explicit unregister).
+    """
+    ring = _RINGS.get(name)
+    if ring is None:
+        if shared_memory is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        segment = shared_memory.SharedMemory(name=name)
+        if resource_tracker is not None:
+            try:
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        ring = ShmRing(segment, owner=False)
+        _RINGS[name] = ring
+    return ring
+
+
+def close_attached_rings() -> None:
+    """Close every *borrowed* ring mapping in this process (worker
+    teardown); owned rings are left for their coordinator to unlink."""
+    for ring in [r for r in _RINGS.values() if not r._owner]:
+        ring.close()
+
+
+def detach_shm_batch(message: tuple) -> tuple:
+    """Journal form of a batch command: self-contained bytes.
+
+    A ``shm_batch`` descriptor dangles once its ring region is reused, so
+    the supervisor journals ``("shm_batch_payload", blob, nrows, nidx,
+    texts)`` instead — copied here at commit time, while the one-in-flight
+    invariant still guarantees the region is intact. Other messages pass
+    through unchanged.
+    """
+    if message[0] != "shm_batch":
+        return message
+    _, name, offset, nrows, nidx, texts = message
+    ring = attach_ring(name)
+    blob = bytes(ring.read(offset, batch_nbytes(nrows, nidx)))
+    return ("shm_batch_payload", blob, nrows, nidx, texts)

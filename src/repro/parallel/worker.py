@@ -9,6 +9,8 @@ once at startup — and then serves a tiny command protocol over its pipe:
 command      payload                                  reply payload
 ===========  =======================================  ======================
 batch        [(seq, post, [component idx, ...]), …]   [(seq, [admitting idx, …]), …]
+shm_batch    ring name, offset, nrows, nidx, texts    [(seq, [admitting idx, …]), …]
+shm_batch_payload  packed bytes, nrows, nidx, texts   [(seq, [admitting idx, …]), …]
 stats        —                                        merged RunStats state dict
 stored       —                                        resident post copies
 purge        now                                      None
@@ -27,7 +29,13 @@ Every reply is ``("ok", payload)`` or ``("error", type_name, message)``;
 the parent converts errors into :class:`~repro.errors.ParallelError`.
 Posts inside a batch are offered to each named component's engine in
 catalog-index order, so per-engine streams — and therefore every verdict
-and counter — are identical to the serial engine's.
+and counter — are identical to the serial engine's. The three batch
+commands are one logical command with three framings: ``batch`` carries
+pickled tuples (the slow path), ``shm_batch`` a descriptor into the
+shard's shared-memory ring (:mod:`.shm`, the hot path), and
+``shm_batch_payload`` the same packed bytes inline (the journal's
+self-contained replay form). All three decode to identical items and run
+the identical offer loop.
 
 Command dispatch lives in :class:`ShardServer`, which the worker main
 loop, the supervisor's journal replay, and the degraded in-parent mode
@@ -46,6 +54,13 @@ from ..authors import AuthorGraph
 from ..core import RunStats, StreamDiversifier, Thresholds, make_diversifier
 from ..resilience.faults import WorkerFaultPlan, execute_worker_fault
 from ..supervise import WorkerProtocol
+from .shm import (
+    attach_ring,
+    batch_nbytes,
+    close_attached_rings,
+    detach_shm_batch,
+    unpack_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -98,16 +113,30 @@ class ShardServer:
         self.engines = build_shard_engines(spec)
         self._probe_limit: int | None = None
 
+    def _offer_items(self, items) -> list:
+        """The one offer loop behind all three batch framings."""
+        engines = self.engines
+        out = []
+        for seq, post, indices in items:
+            admitted = [idx for idx in indices if engines[idx].offer(post)]
+            out.append((seq, admitted))
+        return out
+
     def handle(self, message: tuple):
         """Execute one command tuple; return the reply payload."""
         command = message[0]
         engines = self.engines
         if command == "batch":
-            out = []
-            for seq, post, indices in message[1]:
-                admitted = [idx for idx in indices if engines[idx].offer(post)]
-                out.append((seq, admitted))
-            return out
+            return self._offer_items(message[1])
+        if command == "shm_batch":
+            _, name, offset, nrows, nidx, texts = message
+            ring = attach_ring(name)
+            region = ring.read(offset, batch_nbytes(nrows, nidx))
+            return self._offer_items(unpack_batch(region, nrows, nidx, texts))
+        if command == "shm_batch_payload":
+            # The journal's detached form: same bytes, shipped inline.
+            _, blob, nrows, nidx, texts = message
+            return self._offer_items(unpack_batch(blob, nrows, nidx, texts))
         if command == "stats":
             total = RunStats()
             for engine in engines.values():
@@ -177,9 +206,17 @@ class ShardServer:
         raise ValueError(f"unknown command {command!r}")
 
 
+#: The three framings of the batch command: fault-plan ordinals count any
+#: of them, so a chaos schedule keyed on "the Nth batch" fires at the
+#: same stream position whichever transport carried it.
+BATCH_COMMANDS = frozenset({"batch", "shm_batch", "shm_batch_payload"})
+
+
 def shard_worker_main(conn, spec: ShardSpec) -> None:
     """Worker process entry point: build engines, serve commands, exit on
-    ``stop`` or when the parent's end of the pipe closes."""
+    ``stop`` or when the parent's end of the pipe closes. Borrowed
+    shared-memory mappings are closed on every return path (the
+    coordinator owns — and eventually unlinks — the segments)."""
     try:
         server = ShardServer(spec)
     except BaseException as exc:  # startup failure: report, then die
@@ -191,40 +228,51 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
     faults = spec.faults
     batches = 0
     conn.send(("ok", "ready"))
-    while True:
-        try:
-            message = conn.recv()
-        except EOFError:
-            break
-        command = message[0]
-        try:
-            payload = server.handle(message)
-        except Exception as exc:
-            # Engine errors (StreamOrderError, CheckpointError, …) are
-            # reported, not fatal: the worker keeps serving so the parent
-            # can still checkpoint or shut down cleanly.
-            conn.send(("error", type(exc).__name__, str(exc)))
-            continue
-        if command == "batch" and faults is not None:
-            batches += 1
-            action = faults.action_for(batches)
-            if action is not None and execute_worker_fault(action, faults, conn):
-                continue  # corrupt reply already sent
-        conn.send(("ok", payload))
-        if command == "stop":
-            break
-    conn.close()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            command = message[0]
+            try:
+                payload = server.handle(message)
+            except Exception as exc:
+                # Engine errors (StreamOrderError, CheckpointError, …) are
+                # reported, not fatal: the worker keeps serving so the parent
+                # can still checkpoint or shut down cleanly.
+                conn.send(("error", type(exc).__name__, str(exc)))
+                continue
+            if command in BATCH_COMMANDS and faults is not None:
+                batches += 1
+                action = faults.action_for(batches)
+                if action is not None and execute_worker_fault(action, faults, conn):
+                    continue  # corrupt reply already sent
+            conn.send(("ok", payload))
+            if command == "stop":
+                break
+        conn.close()
+    finally:
+        close_attached_rings()
 
 
 #: Commands that change worker state and therefore must be journalled.
 #: ``spill`` is deliberately absent: it moves posts between residency
 #: tiers without changing any verdict-relevant state, so replaying it
-#: after a crash is unnecessary.
-MUTATING_COMMANDS = frozenset({"batch", "purge", "load", "probe_limit", "drop", "adopt"})
+#: after a crash is unnecessary. ``shm_batch`` is journalled in its
+#: detached ``shm_batch_payload`` form (see ``supervision_protocol``).
+MUTATING_COMMANDS = frozenset(
+    {"batch", "shm_batch", "shm_batch_payload", "purge", "load", "probe_limit", "drop", "adopt"}
+)
 
 
 def _posts_of(message: tuple) -> int:
-    return len(message[1]) if message[0] == "batch" else 0
+    command = message[0]
+    if command == "batch":
+        return len(message[1])
+    if command in ("shm_batch", "shm_batch_payload"):
+        return message[3] if command == "shm_batch" else message[2]
+    return 0
 
 
 def supervision_protocol() -> WorkerProtocol:
@@ -234,6 +282,11 @@ def supervision_protocol() -> WorkerProtocol:
     ``(idx, engine state dict)`` list — and restoring is one ``load`` of
     that same payload, so checkpoint/restore reuse the exact wire shapes
     the engine's own :meth:`state_dict`/:meth:`load_state` speak.
+
+    ``journal_form`` detaches ``shm_batch`` descriptors into
+    self-contained payload bytes at commit time: a journalled ring
+    reference would dangle once the ring region is overwritten, so the
+    journal must never hold one.
     """
     return WorkerProtocol(
         target=shard_worker_main,
@@ -243,4 +296,5 @@ def supervision_protocol() -> WorkerProtocol:
         make_server=ShardServer,
         strip_faults=lambda spec: replace(spec, faults=None),
         posts_of=_posts_of,
+        journal_form=detach_shm_batch,
     )

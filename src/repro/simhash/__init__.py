@@ -7,10 +7,16 @@ Public surface:
 * :func:`normalize` — the paper's §3 text normalisation.
 * :class:`TfVector`, :func:`cosine_similarity` — the cosine baseline.
 * :class:`SimHashIndex` — pigeonhole near-neighbour index (ablation).
+* :class:`CoverageKernel` — vectorized newest-first window probe.
 """
 
 from .batch import clear_row_cache, simhash_batch, simhash_one
 from .cosine import TfVector, cosine_distance, cosine_similarity
+from .coverage import (
+    CoverageKernel,
+    kernel_enabled,
+    set_kernel_enabled,
+)
 from .fingerprint import (
     EMPTY_FINGERPRINT,
     FINGERPRINT_BITS,
@@ -19,7 +25,7 @@ from .fingerprint import (
     simhash,
     simhash_from_features,
 )
-from .hamming import hamming, hamming_bulk, within
+from .hamming import hamming, hamming_bulk, popcount64, within
 from .hashing import clear_token_cache, hash_token, token_cache_size
 from .index import SimHashIndex, block_bounds
 from .normalize import expand_short_urls, normalize, strip_short_urls
@@ -35,6 +41,7 @@ from .tokenize import feature_counts, shingles, words
 
 __all__ = [
     "ABBREVIATIONS",
+    "CoverageKernel",
     "EMPTY_FINGERPRINT",
     "FINGERPRINT_BITS",
     "PreprocessOptions",
@@ -56,7 +63,10 @@ __all__ = [
     "hamming",
     "hamming_bulk",
     "hash_token",
+    "kernel_enabled",
     "normalize",
+    "popcount64",
+    "set_kernel_enabled",
     "shingles",
     "simhash",
     "simhash_batch",

@@ -98,4 +98,18 @@ def estimate_message_bytes(message: tuple) -> int:
             stack.extend(obj.values())
         elif isinstance(obj, str):
             total += len(obj)
+        elif isinstance(obj, (bytes, bytearray, memoryview)):
+            # Detached shared-memory batches journal their packed rows as
+            # one bytes blob; charge it at face value.
+            total += len(obj)
     return total
+
+
+def estimate_ring_bytes(rings: Iterable) -> int:
+    """Accounted bytes of the parallel engine's shared-memory rings —
+    fixed at creation (``capacity`` per ring), deliberately reported via
+    :meth:`~repro.parallel.ParallelSharedMultiUser.transport_bytes`
+    rather than a governor family: ring capacity is constant for the
+    pool's lifetime, so it belongs in capacity planning, not in the
+    governor's reclaim ladder."""
+    return sum(ring.capacity for ring in rings)

@@ -118,7 +118,12 @@ class WorkerProtocol:
     ``handle(message)`` sharing the worker's dispatch code);
     ``strip_faults`` returns a spec with injected faults removed (respawn
     hygiene); ``posts_of`` counts the stream posts a message carries, for
-    the checkpoint cadence.
+    the checkpoint cadence. ``journal_form``, when set, converts an
+    acknowledged mutating message into the form the journal should hold —
+    families whose wire messages reference external buffers (the parallel
+    family's shared-memory batches) detach them into self-contained
+    payloads here, at commit time, while the referenced region is still
+    valid; replay then works no matter what the buffer holds later.
     """
 
     target: Callable
@@ -128,6 +133,7 @@ class WorkerProtocol:
     make_server: Callable[[object], object]
     strip_faults: Callable[[object], object]
     posts_of: Callable[[tuple], int]
+    journal_form: Callable[[tuple], tuple] | None = None
 
 
 class _WorkerFailure(Exception):
@@ -508,6 +514,8 @@ class ShardSupervisor:
         roll a checkpoint when the cadence (or journal bound) says so."""
         if shard.degraded or message[0] not in self.protocol.mutating:
             return
+        if self.protocol.journal_form is not None:
+            message = self.protocol.journal_form(message)
         shard.journal.append(message, posts=self.protocol.posts_of(message))
         if self.instruments is not None:
             self.instruments.observe_journal_depth(len(shard.journal))

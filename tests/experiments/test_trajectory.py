@@ -125,6 +125,13 @@ def test_make_entry_combines_sources(result, tmp_path):
     assert only_matrix["source"] == "matrix:traj"
 
 
+def test_make_entry_records_cpu_count(result):
+    import os
+
+    entry = make_entry("pr9", result=result)
+    assert entry["cpu_count"] == os.cpu_count()
+
+
 # -- the regression gate ------------------------------------------------------
 
 
@@ -207,6 +214,62 @@ def test_unknown_metrics_are_informational():
         {"label": "pr2", "metrics": {"some_new_number": 500.0}},
     )
     assert compared == []
+
+
+def test_cpu_count_mismatch_skips_perf_checks_loudly(capsys):
+    """A speedup baseline recorded on a different-sized machine must not
+    gate this one — the tolerance check is skipped with a loud stderr
+    line, while exact metrics stay enforced."""
+    history = {
+        "schema": 1,
+        "entries": [
+            {
+                "label": "pr1",
+                "cpu_count": 1,
+                "metrics": {
+                    "parallel_serial_posts_per_sec": 1000.0,
+                    "smoke_deliveries_total": 7.0,
+                },
+            }
+        ],
+    }
+    candidate = {
+        "label": "pr2",
+        "cpu_count": 4,
+        "metrics": {
+            "parallel_serial_posts_per_sec": 100.0,
+            "smoke_deliveries_total": 7.0,
+        },
+    }
+    compared = check_regression(history, candidate)
+    assert "parallel_serial_posts_per_sec" not in compared
+    assert "smoke_deliveries_total" in compared
+    err = capsys.readouterr().err
+    assert "SKIPPING" in err and "cpu_count" in err
+    # Exact metrics are still gated across machine shapes.
+    candidate["metrics"]["smoke_deliveries_total"] = 8.0
+    with pytest.raises(TrajectoryRegressionError, match="smoke_deliveries_total"):
+        check_regression(history, candidate)
+
+
+def test_matching_cpu_count_keeps_perf_checks():
+    history = {
+        "schema": 1,
+        "entries": [
+            {
+                "label": "pr1",
+                "cpu_count": 4,
+                "metrics": {"parallel_serial_posts_per_sec": 1000.0},
+            }
+        ],
+    }
+    candidate = {
+        "label": "pr2",
+        "cpu_count": 4,
+        "metrics": {"parallel_serial_posts_per_sec": 100.0},
+    }
+    with pytest.raises(TrajectoryRegressionError, match="parallel_serial_posts_per_sec"):
+        check_regression(history, candidate)
 
 
 def test_refreshed_label_compares_to_predecessor(result):

@@ -1,0 +1,249 @@
+"""The binary post codec and shared-memory rings behind ``transport="shm"``.
+
+Round-trip fidelity is the whole contract: a post decoded from the ring
+must be *indistinguishable* — same values, same Python types — from the
+post the serial engine saw, or checkpoints and verdicts drift. Hypothesis
+drives the codec across the full fixed-width ranges (int64 boundaries,
+uint64 fingerprints, unicode texts); anything outside them must refuse to
+encode (→ pickled fallback) rather than quietly truncate.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Post, Thresholds
+from repro.multiuser import SharedComponentMultiUser
+from repro.parallel import ParallelSharedMultiUser
+from repro.parallel.shm import (
+    ShmRing,
+    attach_ring,
+    batch_nbytes,
+    detach_shm_batch,
+    encode_batch,
+    shared_memory_available,
+    unpack_batch,
+)
+
+from .conftest import chunked
+
+I64_MIN, I64_MAX = -(2**63), 2**63 - 1
+U64_MAX = 2**64 - 1
+
+i64 = st.integers(min_value=I64_MIN, max_value=I64_MAX)
+u64 = st.integers(min_value=0, max_value=U64_MAX)
+timestamps = st.floats(allow_nan=False, width=64)
+texts = st.text(max_size=40)
+
+posts = st.builds(
+    Post,
+    post_id=i64,
+    author=i64,
+    text=texts,
+    timestamp=timestamps,
+    fingerprint=u64,
+)
+
+items_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=10_000),
+        posts,
+        st.lists(st.integers(min_value=0, max_value=500), max_size=6),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _pack(encoded):
+    rows, idx_offsets, idx_values, texts_out = encoded
+    blob = rows.tobytes() + idx_offsets.tobytes() + idx_values.tobytes()
+    return blob, len(rows), len(idx_values), texts_out
+
+
+class TestCodecRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(items_strategy)
+    def test_round_trip_is_identity(self, items):
+        encoded = encode_batch(items)
+        assert encoded is not None
+        blob, nrows, nidx, texts_out = _pack(encoded)
+        assert len(blob) == batch_nbytes(nrows, nidx)
+        decoded = unpack_batch(blob, nrows, nidx, texts_out)
+        assert decoded == items
+        # Type identity, not just equality: an int timestamp or a numpy
+        # scalar would serialise differently in checkpoint JSON.
+        for (_, post, indices), (_, original, _orig_idx) in zip(decoded, items):
+            assert type(post.post_id) is int
+            assert type(post.author) is int
+            assert type(post.timestamp) is float
+            assert type(post.fingerprint) is int
+            assert type(post.text) is str
+            assert all(type(i) is int for i in indices)
+
+    def test_boundary_values_round_trip(self):
+        post = Post(
+            post_id=I64_MAX, author=I64_MIN, text="", timestamp=-0.0,
+            fingerprint=U64_MAX,
+        )
+        items = [(0, post, [0])]
+        blob, nrows, nidx, texts_out = _pack(encode_batch(items))
+        (seq, decoded, indices), = unpack_batch(blob, nrows, nidx, texts_out)
+        assert decoded == post
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("post_id", True),  # bool is an int subclass — must not encode
+            ("post_id", I64_MAX + 1),
+            ("author", I64_MIN - 1),
+            ("timestamp", 5),  # int timestamp would decode as float
+            ("fingerprint", U64_MAX + 1),
+            ("fingerprint", -1),
+            ("fingerprint", 1.0),
+        ],
+    )
+    def test_unencodable_fields_refuse_wholesale(self, field, value):
+        kwargs = dict(post_id=1, author=2, text="t", timestamp=3.0, fingerprint=4)
+        kwargs[field] = value
+        items = [
+            (0, Post(post_id=0, author=0, text="", timestamp=0.0, fingerprint=0), []),
+            (1, Post(**kwargs), [1]),
+        ]
+        assert encode_batch(items) is None
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory")
+class TestShmRing:
+    def _items(self, n, base=0):
+        return [
+            (
+                base + i,
+                Post(
+                    post_id=base + i, author=i % 3, text=f"t{i}",
+                    timestamp=float(i), fingerprint=i * 7,
+                ),
+                [i % 2],
+            )
+            for i in range(n)
+        ]
+
+    def test_write_read_round_trip(self):
+        ring = ShmRing.create(4096)
+        try:
+            encoded = encode_batch(self._items(5))
+            rows, idx_offsets, idx_values, texts_out = encoded
+            offset = ring.write(rows, idx_offsets, idx_values)
+            assert offset == 0
+            view = ring.read(offset, batch_nbytes(len(rows), len(idx_values)))
+            decoded = unpack_batch(view, len(rows), len(idx_values), texts_out)
+            del view  # release the memoryview before close()
+            assert decoded == self._items(5)
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_offsets_stay_aligned_and_wrap(self):
+        encoded = encode_batch(self._items(3))
+        rows, idx_offsets, idx_values, _ = encoded
+        nbytes = batch_nbytes(len(rows), len(idx_values))
+        ring = ShmRing.create(nbytes + nbytes // 2)
+        try:
+            first = ring.write(rows, idx_offsets, idx_values)
+            assert first == 0
+            # The tail cannot hold a second batch: it must wrap to 0, not
+            # spill past capacity.
+            second = ring.write(rows, idx_offsets, idx_values)
+            assert second == 0
+            assert second % 8 == 0
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_oversized_batch_refuses(self):
+        encoded = encode_batch(self._items(10))
+        rows, idx_offsets, idx_values, _ = encoded
+        ring = ShmRing.create(16)
+        try:
+            assert ring.write(rows, idx_offsets, idx_values) is None
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_detached_payload_decodes_identically(self):
+        """The journal form survives ring reuse: decode the detached blob
+        after the region has been overwritten."""
+        items = self._items(4)
+        encoded = encode_batch(items)
+        rows, idx_offsets, idx_values, texts_out = encoded
+        ring = ShmRing.create(4096)
+        try:
+            offset = ring.write(rows, idx_offsets, idx_values)
+            descriptor = (
+                "shm_batch", ring.name, offset, len(rows), len(idx_values), texts_out,
+            )
+            payload = detach_shm_batch(descriptor)
+            assert payload[0] == "shm_batch_payload"
+            # Clobber the ring region, then decode the detached copy.
+            other = encode_batch(self._items(4, base=100))
+            ring._offset = 0
+            ring.write(other[0], other[1], other[2])
+            _, blob, nrows, nidx, texts_back = payload
+            assert unpack_batch(blob, nrows, nidx, texts_back) == items
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_detach_passes_other_messages_through(self):
+        message = ("purge", 123.0)
+        assert detach_shm_batch(message) is message
+
+    def test_attach_returns_cached_owner_handle(self):
+        ring = ShmRing.create(1024)
+        try:
+            assert attach_ring(ring.name) is ring
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared memory")
+class TestTransportEquivalence:
+    """shm and pipe transports must be indistinguishable from serial."""
+
+    @pytest.mark.parametrize("algorithm", ["unibin", "indexed_unibin"])
+    def test_shm_pipe_serial_identical(
+        self, algorithm, thresholds, graph, subscriptions, posts
+    ):
+        serial = SharedComponentMultiUser(algorithm, thresholds, graph, subscriptions)
+        expected = [serial.offer(post) for post in posts]
+        outputs = {}
+        states = {}
+        for transport in ("shm", "pipe"):
+            with ParallelSharedMultiUser(
+                algorithm, thresholds, graph, subscriptions,
+                workers=2, transport=transport,
+            ) as engine:
+                assert engine.transport == transport
+                received = []
+                for chunk in chunked(posts, 16):
+                    received.extend(engine.offer_batch(chunk))
+                outputs[transport] = received
+                states[transport] = engine.state_dict()
+        assert outputs["shm"] == expected
+        assert outputs["pipe"] == expected
+        assert states["shm"] == states["pipe"]
+
+    def test_shm_transport_reports_ring_bytes(
+        self, thresholds, graph, subscriptions, posts
+    ):
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2, transport="shm"
+        ) as engine:
+            assert engine.transport_bytes() > 0
+        with ParallelSharedMultiUser(
+            "unibin", thresholds, graph, subscriptions, workers=2, transport="pipe"
+        ) as engine:
+            assert engine.transport_bytes() == 0

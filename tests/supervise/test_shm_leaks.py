@@ -1,0 +1,111 @@
+"""Shared-memory hygiene: no ring segment survives its pool.
+
+Every ``transport="shm"`` pool allocates ``/dev/shm/repro_ring_*``
+segments; a leak is invisible in-process (handles close fine) but eats
+the host's shm budget run after run. These tests drive each lifecycle
+path — clean close, worker crash + recovery, poison-shard degradation,
+unsupervised teardown, shard split/merge — and assert the filesystem
+itself is clean afterwards.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.parallel import ParallelSharedMultiUser, RING_PREFIX, shared_memory_available
+from repro.resilience import WorkerFaultPlan
+
+from .conftest import fast_config, run_batches
+
+SHM_DIR = Path("/dev/shm")
+
+pytestmark = [
+    pytest.mark.skipif(not shared_memory_available(), reason="no shared memory"),
+    pytest.mark.skipif(not SHM_DIR.is_dir(), reason="no /dev/shm to inspect"),
+]
+
+
+def ring_segments() -> list[str]:
+    return sorted(p.name for p in SHM_DIR.glob(f"{RING_PREFIX}*"))
+
+
+@pytest.fixture(autouse=True)
+def no_preexisting_rings():
+    before = ring_segments()
+    assert before == [], f"leaked rings from an earlier test: {before}"
+    yield
+
+
+def make_engine(thresholds, graph, subscriptions, **kwargs):
+    return ParallelSharedMultiUser(
+        "unibin", thresholds, graph, subscriptions,
+        workers=3, transport="shm", **kwargs,
+    )
+
+
+class TestRingLifecycle:
+    def test_clean_close_unlinks_all_rings(
+        self, thresholds, graph, subscriptions, posts
+    ):
+        with make_engine(thresholds, graph, subscriptions) as engine:
+            run_batches(engine, posts)
+            assert ring_segments() != []  # rings exist while the pool lives
+        assert ring_segments() == []
+
+    def test_crash_recovery_leaves_no_rings(
+        self, thresholds, graph, subscriptions, posts
+    ):
+        with make_engine(
+            thresholds, graph, subscriptions,
+            supervised=True,
+            supervision=fast_config(),
+            fault_plans={0: WorkerFaultPlan(crash_on_batch=3)},
+        ) as engine:
+            run_batches(engine, posts)
+            assert engine.supervisor.restarts_total == 1
+        assert ring_segments() == []
+
+    def test_degradation_leaves_no_rings(
+        self, thresholds, graph, subscriptions, posts
+    ):
+        with make_engine(
+            thresholds, graph, subscriptions,
+            supervised=True,
+            supervision=fast_config(max_restarts=1),
+            fault_plans={
+                1: WorkerFaultPlan(crash_on_batch=2, survive_restarts=True)
+            },
+        ) as engine:
+            run_batches(engine, posts)
+            assert engine.supervisor.degraded_shards() == (1,)
+        assert ring_segments() == []
+
+    def test_unsupervised_teardown_leaves_no_rings(
+        self, thresholds, graph, subscriptions, posts
+    ):
+        engine = make_engine(thresholds, graph, subscriptions)
+        run_batches(engine, posts)
+        engine.close()
+        assert ring_segments() == []
+
+    def test_split_and_merge_track_ring_count(
+        self, thresholds, graph, subscriptions, posts
+    ):
+        """split mints a ring for the new shard; merge unlinks the
+        retired source's immediately (its journal holds detached blobs,
+        never ring references)."""
+        with make_engine(
+            thresholds, graph, subscriptions,
+            supervised=True, supervision=fast_config(),
+        ) as engine:
+            half = len(posts) // 2
+            run_batches(engine, posts[:half])
+            before = len(ring_segments())
+            engine.split_shard(0)
+            assert len(ring_segments()) == before + 1
+            engine.merge_shards(0, 1)
+            assert len(ring_segments()) == before
+            run_batches(engine, posts[half:])
+        assert ring_segments() == []

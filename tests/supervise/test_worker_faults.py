@@ -51,7 +51,7 @@ class TestUnsupervisedFailFast:
         with self._engine(
             graph, subscriptions, thresholds, WorkerFaultPlan(crash_on_batch=1)
         ) as engine:
-            with pytest.raises(ParallelError, match=r"shard 0 worker died.*'batch'"):
+            with pytest.raises(ParallelError, match=r"shard 0 worker died.*'(shm_)?batch'"):
                 run_batches(engine, posts)
         assert not any(p.is_alive() for p in engine._processes)
 
@@ -66,7 +66,7 @@ class TestUnsupervisedFailFast:
             shard_deadline=0.4,
         )
         try:
-            with pytest.raises(ParallelError, match=r"no reply to 'batch'"):
+            with pytest.raises(ParallelError, match=r"no reply to '(shm_)?batch'"):
                 run_batches(engine, posts)
         finally:
             engine.close()
@@ -80,7 +80,7 @@ class TestUnsupervisedFailFast:
         with self._engine(
             graph, subscriptions, thresholds, WorkerFaultPlan(corrupt_on_batch=1)
         ) as engine:
-            with pytest.raises(ParallelError, match=r"corrupt reply to 'batch'"):
+            with pytest.raises(ParallelError, match=r"corrupt reply to '(shm_)?batch'"):
                 run_batches(engine, posts)
 
     def test_slow_worker_is_correct_just_late(
