@@ -1,0 +1,249 @@
+"""Feed-service capacity: fanout-on-write throughput and read latency.
+
+The PR-9 acceptance bar: the end-to-end feed path must absorb a post
+stream at 10⁵+ simulated subscribers — every accepted post fanned out
+into bounded per-user mailboxes — while staying inside a memory-governor
+budget, and serve concurrent cursor reads with bounded tail latency.
+This benchmark builds a synthetic subscription universe (``REPRO_FEED_
+SUBSCRIBERS`` overrides the scale default), drives the write path, then
+hammers the read path from worker threads and reports:
+
+* ``fanout_posts_per_sec`` — write-path throughput (engine decision +
+  mailbox fanout, measured over the whole stream);
+* ``read_p99_us`` / ``read_p50_us`` — per-page read latency quantiles
+  under 8 concurrent readers paging random users.
+
+Writes ``BENCH_feed.json`` at the repo root and regression-gates against
+the committed copy: throughput may not drop below ``1 - REPRO_FEED_
+TOLERANCE`` (relative, default 0.5) of the committed value, and read p99
+may not grow past ``1 + tolerance``× committed. The gate is skipped when
+the committed file was measured on a different cpu_count or subscriber
+count (the numbers are not comparable). Set ``REPRO_WRITE_BASELINE=1``
+to refresh the committed file.
+"""
+
+import json
+import math
+import os
+import random
+import threading
+import time
+from pathlib import Path
+
+from conftest import bench_scale
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds
+from repro.feed import FeedService, MailboxConfig
+from repro.multiuser import SubscriptionTable, make_multiuser
+from repro.resilience import GovernorConfig, MemoryGovernor
+from repro.service import DiversificationService
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_feed.json"
+
+ALGORITHM = "s_unibin"
+AUTHORS = 500
+SUBS_PER_USER = 2
+POSTS = int(os.environ.get("REPRO_FEED_POSTS", "2000"))
+READERS = 8
+READS_PER_THREAD = 200
+PAGE_LIMIT = 20
+SEED = 23
+
+#: Relative slack on the committed throughput/latency baselines.
+TOLERANCE = float(os.environ.get("REPRO_FEED_TOLERANCE", "0.5"))
+
+SCALE_SUBSCRIBERS = {"small": 10_000, "medium": 100_000, "large": 250_000}
+
+
+def subscriber_count() -> int:
+    env = os.environ.get("REPRO_FEED_SUBSCRIBERS")
+    if env:
+        return int(env)
+    return SCALE_SUBSCRIBERS.get(bench_scale(), 100_000)
+
+
+def build_world(users: int):
+    """A seeded universe: ``users`` subscribers over ``AUTHORS`` authors,
+    each following ``SUBS_PER_USER`` of them (skewed, like real follow
+    graphs), and a post stream round-robining the author space."""
+    rng = random.Random(SEED)
+    authors = list(range(1, AUTHORS + 1))
+    graph = AuthorGraph(nodes=authors, edges=[])
+    spec = {
+        user: rng.sample(authors, SUBS_PER_USER)
+        for user in range(100_000_000, 100_000_000 + users)
+    }
+    subscriptions = SubscriptionTable(spec)
+    posts = []
+    now = 0.0
+    for i in range(POSTS):
+        now += rng.random()
+        posts.append(
+            Post(
+                post_id=i,
+                author=authors[i % AUTHORS],
+                text=f"post {i}",
+                timestamp=now,
+                fingerprint=rng.getrandbits(64),
+            )
+        )
+    return graph, subscriptions, posts
+
+
+def _percentile(sorted_values, q: float) -> float:
+    index = min(len(sorted_values) - 1, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[max(index, 0)]
+
+
+def _run(users: int):
+    graph, subscriptions, posts = build_world(users)
+    thresholds = Thresholds(lambda_c=8, lambda_t=120.0, lambda_a=1.0)
+    engine = make_multiuser(ALGORITHM, thresholds, graph, subscriptions)
+    # Budget: entry/box estimates plus engine windows, with ~40% headroom —
+    # tight enough that the governor is a real bound, loose enough that the
+    # run must stay at the normal rung to pass.
+    from repro.storage.accounting import estimate_mailbox_bytes
+
+    expected_entries = POSTS * SUBS_PER_USER * users // AUTHORS
+    budget = int(estimate_mailbox_bytes(users, expected_entries, 0) * 1.4) + (
+        64 << 20
+    )
+    governor = MemoryGovernor(
+        engine, GovernorConfig(budget_bytes=budget, check_every=256)
+    )
+    service = DiversificationService(engine, governor=governor)
+    feed = FeedService(
+        service,
+        mailboxes=MailboxConfig(capacity=64, window=thresholds.lambda_t),
+    )
+    feed.bind_metrics()
+
+    start = time.perf_counter()
+    summary = feed.replay(posts)
+    fanout_time = time.perf_counter() - start
+    assert summary["shed"] == 0, "no overload controller: nothing may shed"
+    assert summary["accepted"] == POSTS
+
+    governor.observe(256)  # final tick so status reflects the full stream
+    status = governor.status()
+    assert status["level"] == "normal", (
+        f"governor escalated to {status['level']}: mailbox bytes "
+        f"({feed.store.approx_bytes():,}) blew the budget ({budget:,})"
+    )
+
+    # Read path: worker threads page random subscribed users.
+    user_ids = sorted(feed.store.users)
+    latencies: list[list[float]] = [[] for _ in range(READERS)]
+    errors: list[str] = []
+
+    def reader(slot: int) -> None:
+        rng = random.Random(SEED + slot)
+        bucket = latencies[slot]
+        try:
+            for _ in range(READS_PER_THREAD):
+                user = user_ids[rng.randrange(len(user_ids))]
+                t0 = time.perf_counter()
+                page = feed.read(user, None, PAGE_LIMIT)
+                bucket.append(time.perf_counter() - t0)
+                if page.next_cursor is not None:
+                    t0 = time.perf_counter()
+                    feed.read(user, page.next_cursor, PAGE_LIMIT)
+                    bucket.append(time.perf_counter() - t0)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(repr(exc))
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(READERS)]
+    read_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    read_time = time.perf_counter() - read_start
+    assert not errors, errors
+
+    samples = sorted(s for bucket in latencies for s in bucket)
+    feed.close()
+    return {
+        "benchmark": "feed_capacity",
+        "scale": bench_scale(),
+        "algorithm": ALGORITHM,
+        "cpu_count": os.cpu_count(),
+        "subscribers": users,
+        "authors": AUTHORS,
+        "posts": POSTS,
+        "mailbox_capacity": 64,
+        "budget_bytes": budget,
+        "deliveries": feed.store.deliveries,
+        "fanout_amplification": feed.store.deliveries / POSTS,
+        "fanout_posts_per_sec": POSTS / fanout_time,
+        "mailboxes_materialized": feed.store.mailbox_count,
+        "mailbox_bytes": feed.store.approx_bytes(),
+        "governor": status,
+        "reads": len(samples),
+        "readers": READERS,
+        "reads_per_sec": len(samples) / read_time,
+        "read_p50_us": _percentile(samples, 0.50) * 1e6,
+        "read_p99_us": _percentile(samples, 0.99) * 1e6,
+    }
+
+
+def _check_against_committed(result) -> list[str]:
+    if not RESULT_PATH.exists():
+        return []
+    committed = json.loads(RESULT_PATH.read_text())
+    if (
+        committed.get("cpu_count") != result["cpu_count"]
+        or committed.get("subscribers") != result["subscribers"]
+    ):
+        print(
+            "note: committed baseline measured at "
+            f"cpu_count={committed.get('cpu_count')}, "
+            f"subscribers={committed.get('subscribers')}; gate skipped"
+        )
+        return []
+    failures = []
+    floor = committed["fanout_posts_per_sec"] * (1.0 - TOLERANCE)
+    if result["fanout_posts_per_sec"] < floor:
+        failures.append(
+            f"fanout throughput {result['fanout_posts_per_sec']:.0f}/s < "
+            f"{floor:.0f}/s (committed "
+            f"{committed['fanout_posts_per_sec']:.0f}/s - {TOLERANCE:.0%})"
+        )
+    ceiling = committed["read_p99_us"] * (1.0 + TOLERANCE)
+    if result["read_p99_us"] > ceiling:
+        failures.append(
+            f"read p99 {result['read_p99_us']:.0f}us > {ceiling:.0f}us "
+            f"(committed {committed['read_p99_us']:.0f}us + {TOLERANCE:.0%})"
+        )
+    return failures
+
+
+def test_feed_capacity(benchmark):
+    users = subscriber_count()
+    result = benchmark.pedantic(lambda: _run(users), rounds=1, iterations=1)
+    print()
+    print(
+        f"{ALGORITHM}: {result['subscribers']:,} subscribers x "
+        f"{result['posts']} posts -> {result['deliveries']:,} deliveries "
+        f"(amplification {result['fanout_amplification']:.1f})"
+    )
+    print(
+        f"write path: {result['fanout_posts_per_sec']:,.0f} posts/s; "
+        f"{result['mailboxes_materialized']:,} mailboxes, "
+        f"{result['mailbox_bytes'] / 1e6:.1f} MB accounted "
+        f"(budget {result['budget_bytes'] / 1e6:.1f} MB, governor "
+        f"{result['governor']['level']})"
+    )
+    print(
+        f"read path: {result['readers']} readers, "
+        f"{result['reads_per_sec']:,.0f} pages/s, "
+        f"p50 {result['read_p50_us']:.0f}us, p99 {result['read_p99_us']:.0f}us"
+    )
+
+    failures = _check_against_committed(result)
+    assert not failures, "; ".join(failures)
+
+    if os.environ.get("REPRO_WRITE_BASELINE"):
+        RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"baseline written to {RESULT_PATH}")

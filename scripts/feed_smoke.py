@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""End-to-end feed smoke: boot ``repro serve`` as a real subprocess,
+ingest a seeded post stream over HTTP, page every user's feed to
+exhaustion, and check the paginated unions against an in-process
+reference engine replay. Exercises the whole deployment surface — CLI
+parsing, engine construction, fanout, cursor pagination, metrics
+exposure and SIGTERM shutdown — in a few seconds.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python scripts/feed_smoke.py
+
+Exits non-zero with a diagnostic on the first divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds
+from repro.io import post_to_dict, write_graph_json, write_subscriptions_json
+from repro.multiuser import SubscriptionTable, make_multiuser
+
+AUTHORS = list(range(1, 13))
+EDGES = [(1, 2), (2, 3), (4, 5), (7, 8), (8, 9), (10, 11)]
+SUBSCRIPTIONS = {
+    100: [1, 2, 3, 6],
+    200: [1, 2, 3, 4, 5],
+    300: [4, 5, 7, 8, 9],
+    400: [7, 8, 9, 10, 11, 12],
+    500: [6, 10, 11, 12],
+}
+THRESHOLDS = Thresholds(lambda_c=8, lambda_t=60.0, lambda_a=0.5)
+N_POSTS = 150
+SEED = 7
+
+
+def make_posts() -> list[Post]:
+    rng = random.Random(SEED)
+    posts: list[Post] = []
+    now = 0.0
+    for i in range(N_POSTS):
+        now += rng.random() * 2.0
+        if posts and rng.random() < 0.5:
+            fingerprint = posts[rng.randrange(len(posts))].fingerprint
+            for _ in range(rng.randrange(4)):
+                fingerprint ^= 1 << rng.randrange(64)
+        else:
+            fingerprint = rng.getrandbits(64)
+        posts.append(
+            Post(
+                post_id=i,
+                author=rng.choice(AUTHORS),
+                text=f"post {i}",
+                timestamp=now,
+                fingerprint=fingerprint,
+            )
+        )
+    return posts
+
+
+def reference_feeds(posts: list[Post]) -> dict[int, list[int]]:
+    """Newest-first accepted post ids per user, from a direct engine run."""
+    graph = AuthorGraph(nodes=AUTHORS, edges=EDGES)
+    engine = make_multiuser(
+        "s_unibin", THRESHOLDS, graph, SubscriptionTable(SUBSCRIPTIONS)
+    )
+    feeds: dict[int, list[int]] = {user: [] for user in SUBSCRIPTIONS}
+    try:
+        for post, receivers in zip(posts, engine.offer_batch(posts)):
+            for user in receivers:
+                feeds[user].append(post.post_id)
+    finally:
+        getattr(engine, "close", lambda: None)()
+    return {user: list(reversed(ids)) for user, ids in feeds.items()}
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=15) as response:
+        return json.load(response)
+
+
+def paginate(url: str, user: int, limit: int = 9) -> list[int]:
+    collected: list[int] = []
+    cursor = None
+    while True:
+        query = f"user={user}&limit={limit}"
+        if cursor is not None:
+            query += f"&cursor={cursor}"
+        page = get_json(f"{url}/feed?{query}")
+        collected.extend(entry["post_id"] for entry in page["entries"])
+        if page["next_cursor"] is None:
+            return collected
+        cursor = page["next_cursor"]
+
+
+def main() -> int:
+    posts = make_posts()
+    expected = reference_feeds(posts)
+
+    with tempfile.TemporaryDirectory(prefix="feed-smoke-") as tmp:
+        root = Path(tmp)
+        write_graph_json(AuthorGraph(nodes=AUTHORS, edges=EDGES), root / "graph.json")
+        write_subscriptions_json(
+            SubscriptionTable(SUBSCRIPTIONS), root / "subscriptions.json"
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--graph", str(root / "graph.json"),
+                "--subscriptions", str(root / "subscriptions.json"),
+                "--algorithm", "s_unibin",
+                "--port", "0",
+                "--lambda-c", "8", "--lambda-t", "60", "--lambda-a", "0.5",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            if "serving feeds on http://" not in banner:
+                print(f"FAIL: bad startup banner: {banner!r}", file=sys.stderr)
+                return 1
+            url = "http://" + banner.split("http://")[1].split()[0]
+            print(f"serve: up at {url}")
+
+            request = urllib.request.Request(
+                url + "/posts",
+                data=json.dumps([post_to_dict(p) for p in posts]).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                summary = json.load(response)
+            print(
+                f"ingest: {summary['accepted']} accepted, "
+                f"{summary['shed']} shed, {summary['deliveries']} deliveries"
+            )
+            if summary["shed"] != 0:
+                print("FAIL: smoke stream must not shed", file=sys.stderr)
+                return 1
+
+            failures = 0
+            for user, want in sorted(expected.items()):
+                got = paginate(url, user)
+                status = "ok" if got == want else "MISMATCH"
+                print(f"feed user={user}: {len(got)} entries {status}")
+                if got != want:
+                    print(f"  want {want}\n  got  {got}", file=sys.stderr)
+                    failures += 1
+            if failures:
+                print(f"FAIL: {failures} user feeds diverged", file=sys.stderr)
+                return 1
+
+            metrics = urllib.request.urlopen(url + "/metrics", timeout=15).read()
+            if b"repro_feed_deliveries_total" not in metrics:
+                print("FAIL: feed metrics missing from /metrics", file=sys.stderr)
+                return 1
+            health = urllib.request.urlopen(url + "/healthz", timeout=15).read()
+            if health != b"ok\n":
+                print(f"FAIL: unhealthy: {health!r}", file=sys.stderr)
+                return 1
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+
+        if proc.returncode != 0:
+            print(f"FAIL: server exited {proc.returncode}\n{err}", file=sys.stderr)
+            return 1
+        if f"feed: {N_POSTS} posts received" not in out:
+            print(f"FAIL: shutdown summary wrong:\n{out}", file=sys.stderr)
+            return 1
+        print("shutdown: clean (SIGTERM -> 0, faithful summary)")
+        print("feed smoke PASS")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

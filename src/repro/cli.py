@@ -31,6 +31,13 @@ Three modes:
       python -m repro experiments --matrix smoke --out report.json
       python -m repro experiments --matrix smoke --check
       python -m repro experiments --list
+
+* **serve** — run the end-to-end feed service: fanout-on-write per-user
+  mailboxes over any multi-user engine, with a paginated HTTP read path
+  (plus ``/metrics`` and ``/healthz`` on the same port)::
+
+      python -m repro serve --graph graph.json \
+          --subscriptions subscriptions.json --algorithm s_unibin --port 8080
 """
 
 from __future__ import annotations
@@ -290,6 +297,180 @@ def _supervision_kwargs(args) -> dict:
         ),
         "shard_deadline": args.shard_deadline,
     }
+
+
+def _serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="firehose serve",
+        description=(
+            "Serve diversified feeds over HTTP: POST /posts fans accepted "
+            "posts out into bounded per-user mailboxes, GET /feed pages "
+            "them with cursor pagination and an impression filter"
+        ),
+    )
+    parser.add_argument("--graph", required=True, help="author graph.json")
+    parser.add_argument(
+        "--subscriptions", required=True, help="subscriptions.json"
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="s_unibin",
+        help="a multi-user engine name (m_*, s_*, p_*) or a bare algorithm "
+        "(sharded p_* is picked); default s_unibin",
+    )
+    parser.add_argument(
+        "--posts",
+        help="preload this posts.jsonl through the write path before "
+        "accepting traffic (mailboxes start warm)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="0 picks a free port"
+    )
+    parser.add_argument(
+        "--mailbox-capacity",
+        type=int,
+        default=1024,
+        help="max entries per user mailbox (oldest evicted past it)",
+    )
+    parser.add_argument(
+        "--mailbox-window",
+        type=float,
+        help="stream-time seconds an entry stays servable (default: the "
+        "engine window lambda-t)",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument(
+        "--transport", choices=("auto", "shm", "pipe"), default="auto"
+    )
+    parser.add_argument("--supervise", action="store_true")
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0)
+    parser.add_argument("--max-restarts", type=int, default=3)
+    parser.add_argument("--shard-deadline", type=float, default=120.0)
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        help="accounted-byte budget for the memory governor (mailbox bytes "
+        "join the engine windows in the same budget)",
+    )
+    parser.add_argument("--spill-dir", help="tiered window spill directory")
+    parser.add_argument(
+        "--max-delay",
+        type=float,
+        help="ingest backlog (seconds) past which POST /posts sheds with "
+        "429 + Retry-After; omit to never shed",
+    )
+    parser.add_argument(
+        "--shed-policy", choices=("drop", "passthrough"), default="drop"
+    )
+    parser.add_argument("--lambda-c", type=int, default=18, help="content bits")
+    parser.add_argument("--lambda-t", type=float, default=1800.0, help="seconds")
+    parser.add_argument("--lambda-a", type=float, default=0.7, help="author distance")
+    return parser
+
+
+def _run_serve(argv: list[str]) -> int:
+    import signal
+    import threading
+
+    from .core import ALGORITHMS, Thresholds
+    from .feed import FeedService, MailboxConfig
+    from .io import read_graph_json, read_posts_jsonl, read_subscriptions_json
+    from .multiuser import MULTIUSER_NAMES, PARALLEL_NAMES, make_multiuser
+    from .obs import Registry
+    from .service import DiversificationService
+
+    args = _serve_parser().parse_args(argv)
+    name = args.algorithm
+    if name in ALGORITHMS:
+        name = f"p_{name}"
+    if name not in MULTIUSER_NAMES + PARALLEL_NAMES:
+        print(
+            f"unknown multi-user algorithm {args.algorithm!r}; choose a bare "
+            f"algorithm ({', '.join(ALGORITHMS)}) or one of "
+            f"{MULTIUSER_NAMES + PARALLEL_NAMES}",
+            file=sys.stderr,
+        )
+        return 2
+    thresholds = Thresholds(
+        lambda_c=args.lambda_c, lambda_t=args.lambda_t, lambda_a=args.lambda_a
+    )
+    graph = read_graph_json(args.graph)
+    subscriptions = read_subscriptions_json(args.subscriptions)
+    engine = make_multiuser(
+        name,
+        thresholds,
+        graph,
+        subscriptions,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        storage=_storage_config(args),
+        transport=args.transport,
+        **_supervision_kwargs(args),
+    )
+    overload = None
+    if args.max_delay is not None:
+        from .resilience import OverloadController
+
+        overload = OverloadController(
+            max_delay=args.max_delay, policy=args.shed_policy
+        )
+    service = DiversificationService(engine, overload=overload)
+    governor = _attach_governor(args, engine)
+    service.governor = governor
+    if governor is not None and overload is not None:
+        governor.overload = overload
+    window = (
+        args.mailbox_window if args.mailbox_window is not None else args.lambda_t
+    )
+    feed = FeedService(
+        service,
+        mailboxes=MailboxConfig(capacity=args.mailbox_capacity, window=window),
+    )
+    service.bind_metrics(Registry())
+    feed.bind_metrics()
+
+    if args.posts:
+        summary = feed.replay(read_posts_jsonl(args.posts))
+        print(
+            f"preloaded {summary['accepted']} posts "
+            f"({summary['shed']} shed, {summary['deliveries']} deliveries)",
+            file=sys.stderr,
+        )
+
+    server = feed.serve(host=args.host, port=args.port)
+    host, port = server.address
+    print(
+        f"{engine.name}: serving feeds on http://{host}:{port} "
+        f"({len(feed.store.users)} users)",
+        flush=True,
+    )
+
+    stopping = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stopping.set())
+    stopping.wait()
+    server.stop()
+    feed.close()
+    stats = feed.stats()
+    print(
+        "feed: {received} posts received ({processed} processed, {shed} "
+        "shed), {deliveries} deliveries to {boxes} mailboxes; {reads} "
+        "reads served {served} entries ({filtered} impression-filtered)".format(
+            received=stats["posts"]["received"],
+            processed=stats["posts"]["processed"],
+            shed=stats["posts"]["shed"],
+            deliveries=stats["deliveries"],
+            boxes=stats["mailboxes"]["materialized"],
+            reads=stats["reads"]["count"],
+            served=stats["reads"]["entries_served"],
+            filtered=stats["reads"]["entries_filtered"],
+        )
+    )
+    _print_supervision_summary(engine)
+    _print_governor_summary(governor)
+    return 0
 
 
 def _generate_parser() -> argparse.ArgumentParser:
@@ -1111,6 +1292,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_report(argv[1:])
     if argv and argv[0] == "experiments":
         return _run_experiments(argv[1:])
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:])
 
     args = _experiment_parser().parse_args(argv)
     runners = _all_runners()
@@ -1120,8 +1303,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in runners:
             print(f"  {name}")
         print(
-            "other commands: diversify, generate, report, experiments "
-            "(see --help on each)"
+            "other commands: diversify, generate, report, experiments, "
+            "serve (see --help on each)"
         )
         return 0
 

@@ -69,3 +69,23 @@ class TrajectoryRegressionError(ExperimentError):
     """A trajectory-store regression check failed: a gated metric moved
     past its tolerance vs the last committed entry. The message names the
     metric, both values and the tolerance that was exceeded."""
+
+
+class FeedError(ReproError):
+    """The feed service refused a request (base for read/write failures)."""
+
+
+class UnknownUserError(FeedError):
+    """A feed read or impression referenced a user with no subscription
+    entry — there is no mailbox to serve, so the request is a 404, not an
+    empty page."""
+
+
+class FeedOverloadError(FeedError):
+    """Ingestion was shed by the overload controller. Carries the backlog
+    the controller saw so the HTTP front end can answer 429 with an
+    honest ``Retry-After``."""
+
+    def __init__(self, message: str, *, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after

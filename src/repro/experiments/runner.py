@@ -27,6 +27,8 @@ trades duplicate leakage for memory) and are excluded from groups.
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -143,7 +145,14 @@ def _build_engine(spec: EngineSpec, workload: Workload, thresholds, spill_dir):
     if spec.spill:
         from ..storage import SpillConfig
 
-        storage = SpillConfig(str(spill_dir))
+        # Never stringify an unset directory: str(None) == "None" used to
+        # leak a literal ``None/`` directory into the caller's cwd.
+        # ``run_trial`` substitutes a per-trial temp dir before we get
+        # here; a None reaching this point is a programming error that
+        # SpillConfig now rejects loudly.
+        storage = SpillConfig(
+            spill_dir if isinstance(spill_dir, str) else os.fspath(spill_dir)
+        )
     engine = make_multiuser(
         spec.name,
         thresholds,
@@ -190,8 +199,14 @@ def run_trial(
 
     ``scenario_label`` is the matrix row key (``name#seed[overrides]``) —
     it distinguishes same-name scenario rows so cross-check groups never
-    merge trials fed different workloads.
+    merge trials fed different workloads. A ``spill`` variant run without
+    an explicit ``spill_dir`` gets a private temp directory for the
+    trial's lifetime (it must never fall back to stringifying ``None``).
     """
+    spill_tmp: tempfile.TemporaryDirectory | None = None
+    if spec.spill and spill_dir is None:
+        spill_tmp = tempfile.TemporaryDirectory(prefix="repro-trial-spill-")
+        spill_dir = spill_tmp.name
     result = TrialResult(
         scenario=scenario_label or workload.scenario,
         engine=spec.label,
@@ -278,6 +293,8 @@ def run_trial(
                 close()
             except Exception:
                 pass
+        if spill_tmp is not None:
+            spill_tmp.cleanup()
     return result
 
 

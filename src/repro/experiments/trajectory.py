@@ -73,6 +73,9 @@ METRIC_SPECS: dict[str, str] = {
     # legacy BENCH_memory.json
     "memory_peak_ratio": "lower",
     "memory_time_overhead": "lower",
+    # legacy BENCH_feed.json
+    "feed_fanout_posts_per_sec": "higher",
+    "feed_read_p99_us": "lower",
     # per-matrix deterministic counts (prefix = matrix name)
     "deliveries_total": "exact",
     "shed_total": "exact",
@@ -147,7 +150,7 @@ def _load_json(path: Path) -> dict | None:
 
 
 def legacy_metrics(root: str | Path) -> dict[str, float]:
-    """Fold the four committed per-file gate baselines into canonical
+    """Fold the committed per-file gate baselines into canonical
     trajectory metrics (files that are absent contribute nothing)."""
     root = Path(root)
     metrics: dict[str, float] = {}
@@ -186,6 +189,10 @@ def legacy_metrics(root: str | Path) -> dict[str, float]:
         metrics["memory_time_overhead"] = record["bounded"][
             "time_overhead_vs_unbounded"
         ]
+    record = _load_json(root / "BENCH_feed.json")
+    if record:
+        metrics["feed_fanout_posts_per_sec"] = record["fanout_posts_per_sec"]
+        metrics["feed_read_p99_us"] = record["read_p99_us"]
     return metrics
 
 

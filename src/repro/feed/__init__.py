@@ -1,0 +1,32 @@
+"""End-to-end feed serving: fanout-on-write mailboxes + paginated reads.
+
+The paper's engines decide *who receives which post*; this package turns
+that decision into a servable product surface. The write path runs every
+arriving post through a multi-user diversification engine and fans the
+receiver set out into bounded per-user :class:`Mailbox` rings; the read
+path serves stable cursor pages from those mailboxes, filtered by
+per-user impression state. :class:`FeedServer` exposes both over the same
+threaded HTTP endpoint that already serves metrics and health.
+
+Typical wiring (the ``repro serve`` CLI does exactly this)::
+
+    engine = make_multiuser("s_unibin", thresholds, graph, subs)
+    service = DiversificationService(engine, overload=..., governor=...)
+    feed = FeedService(service, mailboxes=MailboxConfig(capacity=512))
+    with feed.serve(port=8080) as server:
+        ...
+"""
+
+from .mailbox import FeedEntry, FeedPage, Mailbox, MailboxConfig, MailboxStore
+from .service import FeedService
+from .http import FeedServer
+
+__all__ = [
+    "FeedEntry",
+    "FeedPage",
+    "FeedServer",
+    "FeedService",
+    "Mailbox",
+    "MailboxConfig",
+    "MailboxStore",
+]

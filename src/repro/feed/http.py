@@ -1,0 +1,178 @@
+"""HTTP front end for the feed service.
+
+:class:`FeedServer` extends the metrics endpoint's route table
+(:class:`~repro.service.MetricsServer`) with the feed API, so one port
+serves ingestion, reads, impressions, Prometheus scrapes and health:
+
+* ``POST /posts`` — ingest. A JSON object is one post (strict: a shed
+  answers ``429`` with ``Retry-After``); a JSON array is a bulk replay
+  (sheds are counted in the summary, not errored — a recorded stream has
+  no client to back off).
+* ``GET /feed?user=&cursor=&limit=`` — one impression-filtered page,
+  newest first; ``next_cursor`` continues, ``null`` means exhausted.
+* ``POST /impressions`` — ``{"user": u, "seqs": [...]}`` marks rendered
+  entries seen.
+* ``GET /feed/stats`` — the service's structured summary.
+* plus everything the metrics server already routes (``/metrics``,
+  ``/metrics.json``, ``/healthz``, ``/healthz.json``) — ``/healthz``
+  reports the wrapped engine's degradations (quarantined shards, memory
+  ladder, shedding).
+
+Errors are uniform JSON ``{"error": ...}``: 400 malformed input, 404
+unknown user/route, 429 shed ingestion.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import (
+    ConfigurationError,
+    DatasetError,
+    FeedOverloadError,
+    UnknownUserError,
+)
+from ..io import post_from_dict
+from ..service.server import MetricsServer, RouteError
+from .service import FeedService
+
+#: Page-size ceiling for one ``GET /feed`` request.
+MAX_PAGE_LIMIT = 500
+
+
+def _json_body(body: bytes | None):
+    if not body:
+        raise RouteError(400, "request body must be JSON")
+    try:
+        return json.loads(body)
+    except json.JSONDecodeError as error:
+        raise RouteError(400, f"malformed JSON body: {error}") from error
+
+
+def _int_param(query: dict, name: str, default=None):
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        return int(values[-1])
+    except ValueError:
+        raise RouteError(400, f"query parameter {name!r} must be an integer")
+
+
+class FeedServer(MetricsServer):
+    """The feed API plus the metrics endpoint on one threaded server."""
+
+    thread_name = "repro-feed-server"
+
+    def __init__(
+        self,
+        feed: FeedService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        feed.bind_metrics()
+        assert feed.registry is not None
+        super().__init__(
+            feed.registry,
+            host=host,
+            port=port,
+            health=feed.service._health_probe,
+            health_json=feed.service.degradation_report,
+        )
+        self.feed = feed
+
+    def routes(self):
+        table = super().routes()
+        table[("POST", "/posts")] = self._route_posts
+        table[("GET", "/feed")] = self._route_feed
+        table[("POST", "/impressions")] = self._route_impressions
+        table[("GET", "/feed/stats")] = self._route_stats
+        return table
+
+    # -- write path --------------------------------------------------------
+
+    def _route_posts(self, query: dict, body: bytes | None) -> tuple:
+        payload = _json_body(body)
+        if isinstance(payload, list):
+            return self._ingest_bulk(payload)
+        return self._ingest_one(payload)
+
+    def _ingest_one(self, record) -> tuple:
+        try:
+            post = post_from_dict(record)
+        except DatasetError as error:
+            raise RouteError(400, str(error)) from error
+        try:
+            receivers = self.feed.ingest(post)
+        except FeedOverloadError as error:
+            raise RouteError(
+                429,
+                str(error),
+                headers=(("Retry-After", f"{max(error.retry_after, 0.001):.3f}"),),
+            ) from error
+        body = json.dumps(
+            {
+                "accepted": 1,
+                "post_id": post.post_id,
+                "receivers": sorted(receivers),
+                "deliveries": len(receivers),
+            }
+        ).encode("utf-8")
+        return 200, "application/json", body
+
+    def _ingest_bulk(self, records: list) -> tuple:
+        try:
+            posts = [post_from_dict(record) for record in records]
+        except DatasetError as error:
+            raise RouteError(400, str(error)) from error
+        summary = self.feed.replay(posts)
+        return 200, "application/json", json.dumps(summary).encode("utf-8")
+
+    # -- read path ---------------------------------------------------------
+
+    def _route_feed(self, query: dict, body: bytes | None) -> tuple:
+        user = _int_param(query, "user")
+        if user is None:
+            raise RouteError(400, "query parameter 'user' is required")
+        cursor = _int_param(query, "cursor")
+        limit = _int_param(query, "limit", 20)
+        if not 1 <= limit <= MAX_PAGE_LIMIT:
+            raise RouteError(
+                400, f"limit must be in [1, {MAX_PAGE_LIMIT}], got {limit}"
+            )
+        try:
+            page = self.feed.read(user, cursor, limit)
+        except UnknownUserError as error:
+            raise RouteError(404, str(error)) from error
+        except ConfigurationError as error:
+            raise RouteError(400, str(error)) from error
+        record = {"user": user, **page.to_dict()}
+        return 200, "application/json", json.dumps(record).encode("utf-8")
+
+    def _route_impressions(self, query: dict, body: bytes | None) -> tuple:
+        payload = _json_body(body)
+        if not isinstance(payload, dict):
+            raise RouteError(400, "impression body must be a JSON object")
+        try:
+            user = int(payload["user"])
+            seqs = [int(seq) for seq in payload["seqs"]]
+        except (KeyError, TypeError, ValueError) as error:
+            raise RouteError(
+                400, 'impression body needs {"user": int, "seqs": [int, ...]}'
+            ) from error
+        try:
+            recorded, ignored = self.feed.record_impressions(user, seqs)
+        except UnknownUserError as error:
+            raise RouteError(404, str(error)) from error
+        body_bytes = json.dumps(
+            {"user": user, "recorded": recorded, "ignored": ignored}
+        ).encode("utf-8")
+        return 200, "application/json", body_bytes
+
+    def _route_stats(self, query: dict, body: bytes | None) -> tuple:
+        return (
+            200,
+            "application/json",
+            json.dumps(self.feed.stats(), sort_keys=True).encode("utf-8"),
+        )

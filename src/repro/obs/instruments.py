@@ -26,6 +26,7 @@ from .metrics import COUNT_BUCKETS, LATENCY_BUCKETS, Registry
 __all__ = [
     "DynamicInstruments",
     "EngineInstruments",
+    "FeedInstruments",
     "MemoryInstruments",
     "MultiUserInstruments",
     "ParallelInstruments",
@@ -543,3 +544,87 @@ class MemoryInstruments:
             "repro_memory_governor_ticks_total",
             "Governor control-loop evaluations",
         ).labels().set_function(lambda: governor.ticks)
+
+
+class FeedInstruments:
+    """Bundle for a :class:`~repro.feed.FeedService`.
+
+    Counters are callback re-exports of the service's and mailbox store's
+    exact accounting (``posts received == processed + shed`` holds on the
+    scrape, not just in tests); the fanout histograms are fed live from
+    the write path.
+    """
+
+    __slots__ = ("fanout_latency", "fanout_receivers")
+
+    def __init__(self, registry: Registry, feed) -> None:
+        store = feed.store
+        posts = registry.counter(
+            "repro_feed_posts_total",
+            "Posts offered to the feed write path, by outcome",
+            ("status",),
+        )
+        posts.labels(status="accepted").set_function(lambda: feed.posts_processed)
+        posts.labels(status="shed").set_function(lambda: feed.posts_shed)
+        registry.counter(
+            "repro_feed_deliveries_total",
+            "Mailbox deliveries (fanout amplification numerator)",
+        ).labels().set_function(lambda: store.deliveries)
+        evictions = registry.counter(
+            "repro_feed_mailbox_evictions_total",
+            "Mailbox entries evicted, by reason",
+            ("reason",),
+        )
+        evictions.labels(reason="capacity").set_function(
+            lambda: store.evicted_capacity
+        )
+        evictions.labels(reason="expired").set_function(
+            lambda: store.evicted_expired
+        )
+        registry.counter(
+            "repro_feed_impressions_total",
+            "Impression records accepted into seen sets",
+        ).labels().set_function(lambda: store.impressions)
+        registry.counter(
+            "repro_feed_reads_total",
+            "Feed pages served",
+        ).labels().set_function(lambda: feed.reads)
+        registry.counter(
+            "repro_feed_entries_served_total",
+            "Entries returned across all feed pages",
+        ).labels().set_function(lambda: feed.entries_served)
+        registry.counter(
+            "repro_feed_entries_filtered_total",
+            "Entries suppressed by the impression filter",
+        ).labels().set_function(lambda: feed.entries_filtered)
+        registry.gauge(
+            "repro_feed_mailbox_depth",
+            "Live entries across all mailboxes",
+        ).labels().set_function(lambda: store.total_entries)
+        registry.gauge(
+            "repro_feed_mailboxes",
+            "Materialized per-user mailboxes",
+        ).labels().set_function(lambda: store.mailbox_count)
+        registry.gauge(
+            "repro_feed_mailbox_bytes",
+            "Accounted bytes of the mailbox store (governor family)",
+        ).labels().set_function(store.approx_bytes)
+        registry.gauge(
+            "repro_feed_backlog_seconds",
+            "Virtual ingest backlog behind wall-clock arrivals",
+        ).labels().set_function(feed.backlog_delay)
+        self.fanout_latency = registry.histogram(
+            "repro_feed_fanout_latency_seconds",
+            "Engine decision + mailbox fanout time per accepted post",
+            buckets=LATENCY_BUCKETS,
+        ).labels()
+        self.fanout_receivers = registry.histogram(
+            "repro_feed_fanout_receivers",
+            "Receivers per accepted post (fanout amplification)",
+            buckets=COUNT_BUCKETS,
+        ).labels()
+
+    def observe_fanout(self, latency_s: float, receivers: int) -> None:
+        """One accepted post from the write path."""
+        self.fanout_latency.observe(latency_s)
+        self.fanout_receivers.observe(receivers)

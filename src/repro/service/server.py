@@ -27,7 +27,7 @@ import threading
 import time
 from collections.abc import Callable, Iterable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from ..core import Post, StreamDiversifier
 from ..errors import ConfigurationError
@@ -307,6 +307,33 @@ class DiversificationService:
         return 1.0 / self.latency.mean
 
 
+class RouteError(Exception):
+    """An HTTP route refused the request.
+
+    Handlers raise this to turn invalid input into a clean status line
+    with a JSON ``{"error": ...}`` body — 400 for malformed parameters,
+    404 for unknown resources, 429 (with ``Retry-After``) for shed
+    ingestion — instead of a traceback in the serving thread.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: tuple[tuple[str, str], ...] = (),
+    ):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers
+
+
+#: One route handler: ``(query, body) -> (status, content-type, body bytes)``
+#: or a 4-tuple adding extra ``((name, value), ...)`` response headers.
+RouteHandler = Callable[[dict, bytes | None], tuple]
+
+
 class MetricsServer:
     """Minimal scrape endpoint over a :class:`repro.obs.Registry`.
 
@@ -323,7 +350,17 @@ class MetricsServer:
     Serves from a daemon thread (:class:`ThreadingHTTPServer`), so a
     replay loop stays scrapable while it runs. Metrics collection reads
     live callback values; scraping mid-run observes the current counters.
+
+    Routing is table-driven: :meth:`routes` maps ``(method, path)`` to a
+    handler receiving the parsed query string and (for POST) the request
+    body; subclasses — the feed front end
+    (:class:`repro.feed.FeedServer`) — extend the table rather than
+    re-implementing dispatch, so ``/metrics`` and ``/healthz`` stay
+    uniform across every endpoint the stack serves.
     """
+
+    #: Thread name for the serving daemon; subclasses override.
+    thread_name = "repro-metrics-server"
 
     def __init__(
         self,
@@ -346,7 +383,7 @@ class MetricsServer:
     def address(self) -> tuple[str, int]:
         """Bound ``(host, port)``; raises before :meth:`start`."""
         if self._httpd is None:
-            raise RuntimeError("MetricsServer is not running")
+            raise RuntimeError(f"{type(self).__name__} is not running")
         return self._httpd.server_address[0], self._httpd.server_address[1]
 
     @property
@@ -354,47 +391,91 @@ class MetricsServer:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    # -- the route table -----------------------------------------------------
+
+    def routes(self) -> dict[tuple[str, str], RouteHandler]:
+        """``(method, path) -> handler``; subclasses extend the dict."""
+        return {
+            ("GET", "/metrics"): self._route_metrics,
+            ("GET", "/metrics.json"): self._route_metrics_json,
+            ("GET", "/healthz"): self._route_healthz,
+            ("GET", "/healthz.json"): self._route_healthz_json,
+        }
+
+    def _route_metrics(self, query: dict, body: bytes | None) -> tuple:
+        payload = render_prometheus(self.registry).encode("utf-8")
+        return 200, "text/plain; version=0.0.4; charset=utf-8", payload
+
+    def _route_metrics_json(self, query: dict, body: bytes | None) -> tuple:
+        payload = json.dumps(
+            snapshot(self.registry), indent=2, sort_keys=True
+        ).encode("utf-8")
+        return 200, "application/json", payload
+
+    def _route_healthz(self, query: dict, body: bytes | None) -> tuple:
+        text = self.health() if self.health is not None else "ok\n"
+        return 200, "text/plain; charset=utf-8", text.encode("utf-8")
+
+    def _route_healthz_json(self, query: dict, body: bytes | None) -> tuple:
+        report = (
+            self.health_json()
+            if self.health_json is not None
+            else {"status": "ok", "reasons": []}
+        )
+        payload = json.dumps(report, indent=2, sort_keys=True).encode("utf-8")
+        return 200, "application/json", payload
+
+    # -- lifecycle -----------------------------------------------------------
+
     def start(self) -> tuple[str, int]:
         """Bind and serve from a daemon thread; returns the address."""
         if self._httpd is not None:
             return self.address
-        registry = self.registry
-        health = self.health
-        health_json = self.health_json
+        routes = self.routes()
 
         class Handler(BaseHTTPRequestHandler):
-            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
-                path = urlsplit(self.path).path
-                if path == "/metrics":
-                    body = render_prometheus(registry).encode("utf-8")
-                    ctype = "text/plain; version=0.0.4; charset=utf-8"
-                elif path == "/metrics.json":
-                    body = json.dumps(
-                        snapshot(registry), indent=2, sort_keys=True
-                    ).encode("utf-8")
-                    ctype = "application/json"
-                elif path == "/healthz":
-                    text = health() if health is not None else "ok\n"
-                    body = text.encode("utf-8")
-                    ctype = "text/plain; charset=utf-8"
-                elif path == "/healthz.json":
-                    report = (
-                        health_json()
-                        if health_json is not None
-                        else {"status": "ok", "reasons": []}
-                    )
-                    body = json.dumps(report, indent=2, sort_keys=True).encode(
-                        "utf-8"
-                    )
-                    ctype = "application/json"
-                else:
+            def _dispatch(self, method: str) -> None:
+                url = urlsplit(self.path)
+                handler = routes.get((method, url.path))
+                if handler is None:
                     self.send_error(404, "unknown path (try /metrics)")
                     return
-                self.send_response(200)
+                body: bytes | None = None
+                if method == "POST":
+                    length = int(self.headers.get("Content-Length") or 0)
+                    body = self.rfile.read(length)
+                try:
+                    response = handler(parse_qs(url.query), body)
+                except RouteError as error:
+                    payload = json.dumps({"error": error.message}).encode("utf-8")
+                    self._reply(
+                        error.status, "application/json", payload, error.headers
+                    )
+                    return
+                status, ctype, payload = response[:3]
+                headers = response[3] if len(response) > 3 else ()
+                self._reply(status, ctype, payload, headers)
+
+            def _reply(
+                self,
+                status: int,
+                ctype: str,
+                payload: bytes,
+                headers=(),
+            ) -> None:
+                self.send_response(status)
                 self.send_header("Content-Type", ctype)
-                self.send_header("Content-Length", str(len(body)))
+                self.send_header("Content-Length", str(len(payload)))
+                for name, value in headers:
+                    self.send_header(name, value)
                 self.end_headers()
-                self.wfile.write(body)
+                self.wfile.write(payload)
+
+            def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+                self._dispatch("GET")
+
+            def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+                self._dispatch("POST")
 
             def log_message(self, format: str, *args: object) -> None:
                 pass  # scrapes are high-frequency; stay silent
@@ -402,7 +483,7 @@ class MetricsServer:
         self._httpd = ThreadingHTTPServer((self._host, self._port), Handler)
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
-            name="repro-metrics-server",
+            name=self.thread_name,
             daemon=True,
         )
         self._thread.start()

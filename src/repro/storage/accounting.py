@@ -48,6 +48,31 @@ JOURNAL_ENTRY_BASE_BYTES = 96
 #: One float sample in a service reservoir (boxed float + list slot).
 SAMPLE_BYTES = 32
 
+#: Fixed overhead of one materialized per-user mailbox: the object, its
+#: entry deque (one empty block) and its seen-set header.
+MAILBOX_BASE_BYTES = 480
+
+#: One slotted ``FeedEntry`` in a mailbox: object header, four slot
+#: pointers, the boxed float timestamp, plus its deque slot.
+MAILBOX_ENTRY_BYTES = 112
+
+#: One sequence number in a mailbox's impression (seen) set: the set slot
+#: plus the (usually small) int.
+SEEN_ENTRY_BYTES = 32
+
+
+def estimate_mailbox_bytes(mailboxes: int, entries: int, seen: int) -> int:
+    """Accounted bytes of a fanout mailbox store: ``mailboxes``
+    materialized boxes holding ``entries`` feed entries and ``seen``
+    recorded impressions. The store tracks all three counts
+    incrementally, so the governor's ``mailbox`` family costs O(1) per
+    tick regardless of subscriber count."""
+    return (
+        mailboxes * MAILBOX_BASE_BYTES
+        + entries * MAILBOX_ENTRY_BYTES
+        + seen * SEEN_ENTRY_BYTES
+    )
+
 
 def estimate_post_bytes(post: Post) -> int:
     """Estimated resident bytes of one in-memory :class:`Post`."""

@@ -69,6 +69,20 @@ class SpillConfig:
     segment_size: int = 256
 
     def __post_init__(self) -> None:
+        # Fail fast on unset paths: an optional directory passed through
+        # ``str(...)`` unchecked turns into the literal "None", which
+        # ``os.makedirs`` then happily creates at the caller's cwd.
+        if not isinstance(self.directory, str) or not self.directory:
+            raise ConfigurationError(
+                "SpillConfig.directory must be a non-empty path string, "
+                f"got {self.directory!r}"
+            )
+        if self.directory == "None":
+            raise ConfigurationError(
+                "SpillConfig.directory is the literal string 'None' — an "
+                "unset optional directory was stringified; pass a real "
+                "path (or no SpillConfig at all)"
+            )
         if self.segment_size < 1:
             raise ConfigurationError(
                 f"segment_size must be >= 1, got {self.segment_size}"

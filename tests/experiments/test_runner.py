@@ -100,6 +100,28 @@ class TestRunTrial:
         assert first.memory["governor"]["escalations"] > 0
         assert first.memory["peak_accounted_bytes"] > 0
 
+    def test_spill_without_dir_never_creates_a_none_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: a spill variant run with spill_dir=None used to pass
+        # str(None) into SpillConfig, leaving an untracked ``None/``
+        # directory at the process cwd. The trial must now succeed in a
+        # private temp dir and leave the cwd pristine.
+        monkeypatch.chdir(tmp_path)
+        workload = make_workload("flash_crowd", 31, **SMALL)
+        spec = EngineSpec("s_unibin", spill=True)
+        trial = run_trial(workload, spec, THRESHOLDS, spill_dir=None)
+        assert trial.status == "ok"
+        assert not (tmp_path / "None").exists()
+
+    def test_spill_trial_matches_unspilled_digest(self, static_workload):
+        plain = run_trial(static_workload, EngineSpec("s_unibin"), THRESHOLDS)
+        spilled = run_trial(
+            static_workload, EngineSpec("s_unibin", spill=True), THRESHOLDS
+        )
+        assert spilled.status == "ok"
+        assert spilled.digest == plain.digest
+
     def test_to_dict_is_json_shaped(self, static_workload):
         import json
 

@@ -1,0 +1,38 @@
+"""Fixtures for the feed suite: the shared multi-component world plus
+engine/service factories every test builds on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.core import Thresholds
+from repro.multiuser import SubscriptionTable, make_multiuser
+from repro.service import DiversificationService
+
+from ..support import AUTHORS, EDGES, SUBSCRIPTIONS_SPEC, make_posts
+
+__all__ = ["AUTHORS", "EDGES", "SUBSCRIPTIONS_SPEC", "make_posts"]
+
+THRESHOLDS = Thresholds(lambda_c=8, lambda_t=60.0, lambda_a=0.5)
+
+
+@pytest.fixture(scope="session")
+def graph() -> AuthorGraph:
+    return AuthorGraph(nodes=AUTHORS, edges=EDGES)
+
+
+@pytest.fixture(scope="session")
+def subscriptions() -> SubscriptionTable:
+    return SubscriptionTable(SUBSCRIPTIONS_SPEC)
+
+
+@pytest.fixture(scope="session")
+def posts():
+    return make_posts(120)
+
+
+@pytest.fixture()
+def service(graph, subscriptions) -> DiversificationService:
+    engine = make_multiuser("s_unibin", THRESHOLDS, graph, subscriptions)
+    return DiversificationService(engine)

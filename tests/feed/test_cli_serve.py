@@ -1,0 +1,87 @@
+"""``repro serve`` in a real subprocess: startup banner, live ingest and
+reads over HTTP, clean SIGTERM shutdown with a faithful summary."""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import urllib.request
+
+import pytest
+
+from repro.authors import AuthorGraph
+from repro.io import write_graph_json, write_posts_jsonl, write_subscriptions_json
+from repro.multiuser import SubscriptionTable
+
+from .conftest import AUTHORS, EDGES, SUBSCRIPTIONS_SPEC, make_posts
+
+
+@pytest.fixture(scope="module")
+def trace(tmp_path_factory):
+    root = tmp_path_factory.mktemp("serve-trace")
+    write_graph_json(AuthorGraph(nodes=AUTHORS, edges=EDGES), root / "graph.json")
+    write_subscriptions_json(
+        SubscriptionTable(SUBSCRIPTIONS_SPEC), root / "subscriptions.json"
+    )
+    write_posts_jsonl(make_posts(60), root / "posts.jsonl")
+    return root
+
+
+def start_server(trace, *extra: str) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", str(trace / "graph.json"),
+            "--subscriptions", str(trace / "subscriptions.json"),
+            "--algorithm", "s_unibin",
+            "--port", "0",
+            "--lambda-c", "8", "--lambda-t", "60", "--lambda-a", "0.5",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    banner = proc.stdout.readline()
+    assert "serving feeds on http://" in banner, banner
+    return proc, "http://" + banner.split("http://")[1].split()[0]
+
+
+def test_serve_roundtrip_and_clean_shutdown(trace):
+    proc, url = start_server(trace, "--posts", str(trace / "posts.jsonl"))
+    try:
+        users = sorted(json.loads((trace / "subscriptions.json").read_text()), key=int)
+        served = 0
+        for user in users:
+            page = json.load(
+                urllib.request.urlopen(f"{url}/feed?user={user}&limit=50", timeout=10)
+            )
+            served += len(page["entries"])
+        assert served > 0
+        health = urllib.request.urlopen(url + "/healthz", timeout=10).read()
+        assert health == b"ok\n"
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 0
+    assert "preloaded 60 posts" in err
+    assert "feed: 60 posts received (60 processed, 0 shed)" in out
+    assert f"{served} entries" in out
+
+
+def test_serve_rejects_unknown_algorithm(trace):
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", str(trace / "graph.json"),
+            "--subscriptions", str(trace / "subscriptions.json"),
+            "--algorithm", "bogus",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2
+    assert "unknown multi-user algorithm" in result.stderr

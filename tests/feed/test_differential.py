@@ -1,0 +1,102 @@
+"""Fanout correctness differential.
+
+For every algorithm the registry exposes, the feed path must be a pure
+materialization of the engine: the mailbox contents after ingesting a
+stream equal the receiver sets a second, feed-less engine produces from
+the same seed/dataset — per user, in order. Mailboxes are sized so
+nothing evicts; any divergence is a fanout bug, not bounding.
+
+``p_*`` names cover all four algorithms (``s_indexed_unibin`` does not
+exist — the shared-component layer has no indexed variant), and the
+supervised case injects a mid-stream worker crash: recovery replays the
+journal, so the mailboxes must still match the crash-free reference.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.feed import FeedService, MailboxConfig
+from repro.multiuser import make_multiuser
+from repro.parallel import ParallelSharedMultiUser
+from repro.resilience import WorkerFaultPlan
+from repro.service import DiversificationService
+
+from .conftest import THRESHOLDS
+
+ALGORITHMS = ("p_unibin", "p_neighborbin", "p_cliquebin", "p_indexed_unibin")
+
+UNBOUNDED = MailboxConfig(capacity=100_000, window=math.inf)
+
+
+def reference_deliveries(engine, posts) -> dict[int, list[int]]:
+    """Per-user post_id sequences from a plain engine replay."""
+    delivered: dict[int, list[int]] = {}
+    try:
+        for post, receivers in zip(posts, engine.offer_batch(posts)):
+            for user in receivers:
+                delivered.setdefault(user, []).append(post.post_id)
+    finally:
+        engine.close()
+    return delivered
+
+
+def feed_deliveries(feed: FeedService, posts) -> dict[int, list[int]]:
+    """Per-user post_id sequences read back out of the mailboxes."""
+    feed.replay(posts)
+    delivered: dict[int, list[int]] = {}
+    for user in feed.store.users:
+        entries = feed.store.read_all(user)  # newest-first
+        if entries:
+            delivered[user] = [e.post_id for e in reversed(entries)]
+    feed.close()
+    return delivered
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_mailboxes_equal_engine_receiver_sets(name, graph, subscriptions, posts):
+    reference = reference_deliveries(
+        make_multiuser(name, THRESHOLDS, graph, subscriptions, workers=2),
+        posts,
+    )
+    feed = FeedService(
+        DiversificationService(
+            make_multiuser(name, THRESHOLDS, graph, subscriptions, workers=2)
+        ),
+        mailboxes=UNBOUNDED,
+    )
+    assert feed_deliveries(feed, posts) == reference
+    assert reference  # the differential is not vacuous
+
+
+def test_supervised_crash_recovery_preserves_fanout(graph, subscriptions, posts):
+    algorithm = "unibin"
+    reference = reference_deliveries(
+        make_multiuser("p_unibin", THRESHOLDS, graph, subscriptions, workers=2),
+        posts,
+    )
+    engine = ParallelSharedMultiUser(
+        algorithm,
+        THRESHOLDS,
+        graph,
+        subscriptions,
+        workers=2,
+        batch_size=16,
+        supervised=True,
+        fault_plans={0: WorkerFaultPlan(crash_on_batch=3)},
+    )
+    feed = FeedService(DiversificationService(engine), mailboxes=UNBOUNDED)
+    try:
+        feed.replay(posts)
+        delivered = {
+            user: [e.post_id for e in reversed(feed.store.read_all(user))]
+            for user in feed.store.users
+            if feed.store.read_all(user)
+        }
+        status = engine.supervision_status()
+    finally:
+        feed.close()
+    assert delivered == reference
+    assert status["restarts"] >= 1  # the fault actually fired

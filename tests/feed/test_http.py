@@ -1,0 +1,246 @@
+"""FeedServer over real HTTP: routing edge cases, pagination exactness,
+backpressure semantics and health degradation."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.feed import FeedService, MailboxConfig
+from repro.io import post_to_dict
+from repro.multiuser import make_multiuser
+from repro.resilience import OverloadController
+from repro.service import DiversificationService
+
+from .conftest import THRESHOLDS
+
+
+def get_json(url: str):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.load(response)
+
+
+def post_json(url: str, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.load(response)
+
+
+def http_error(fn) -> urllib.error.HTTPError:
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        fn()
+    return excinfo.value
+
+
+@pytest.fixture()
+def feed(graph, subscriptions):
+    controller = OverloadController(max_delay=10.0)
+    engine = make_multiuser("s_unibin", THRESHOLDS, graph, subscriptions)
+    service = DiversificationService(engine, overload=controller)
+    feed = FeedService(service, mailboxes=MailboxConfig(capacity=512))
+    feed.controller = controller
+    return feed
+
+
+@pytest.fixture()
+def server(feed):
+    with feed.serve() as server:
+        yield server
+
+
+class TestRoutingEdgeCases:
+    def test_unknown_route_is_404(self, server):
+        assert http_error(lambda: get_json(server.url + "/nope")).code == 404
+
+    def test_wrong_method_is_404(self, server):
+        # GET on a POST-only route falls off the route table.
+        assert http_error(lambda: get_json(server.url + "/posts")).code == 404
+
+    def test_missing_user_param_is_400(self, server):
+        error = http_error(lambda: get_json(server.url + "/feed"))
+        assert error.code == 400
+        assert "user" in json.load(error)["error"]
+
+    def test_malformed_query_params_are_400(self, server):
+        for query in ("user=abc", "user=100&cursor=x", "user=100&limit=0",
+                      "user=100&limit=9999", "user=100&cursor=0"):
+            error = http_error(lambda q=query: get_json(f"{server.url}/feed?{q}"))
+            assert error.code == 400, query
+
+    def test_unknown_user_is_404(self, server):
+        assert http_error(lambda: get_json(server.url + "/feed?user=777")).code == 404
+
+    def test_malformed_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/posts", data=b"{not json", method="POST"
+        )
+        error = http_error(lambda: urllib.request.urlopen(request, timeout=10))
+        assert error.code == 400
+        assert "JSON" in json.load(error)["error"]
+
+    def test_incomplete_post_record_is_400(self, server):
+        error = http_error(
+            lambda: post_json(server.url + "/posts", {"author": 1})
+        )
+        assert error.code == 400
+
+    def test_malformed_impressions_are_400(self, server):
+        for payload in ([1, 2], {"user": 100}, {"user": "x", "seqs": [1]},
+                        {"user": 100, "seqs": "nope"}):
+            error = http_error(
+                lambda p=payload: post_json(server.url + "/impressions", p)
+            )
+            assert error.code == 400, payload
+
+
+class TestEndToEnd:
+    def test_pagination_union_equals_receiver_sets(self, feed, server, posts):
+        summary = post_json(server.url + "/posts", [post_to_dict(p) for p in posts])
+        assert summary["accepted"] == len(posts)
+        # Reference receiver sets from the service's own fanout counters.
+        for user in sorted(feed.store.users):
+            expected = [e.post_id for e in feed.store.read_all(user)]
+            collected: list[int] = []
+            cursor = None
+            while True:
+                query = f"user={user}&limit=7"
+                if cursor is not None:
+                    query += f"&cursor={cursor}"
+                page = get_json(f"{server.url}/feed?{query}")
+                collected.extend(e["post_id"] for e in page["entries"])
+                if page["next_cursor"] is None:
+                    break
+                cursor = page["next_cursor"]
+            assert collected == expected
+
+    def test_single_post_reports_exact_receivers(self, feed, server, posts):
+        record = post_json(server.url + "/posts", post_to_dict(posts[0]))
+        assert record["accepted"] == 1
+        expected = sorted(
+            user for user in feed.store.users if feed.store.depth_of(user)
+        )
+        assert record["receivers"] == expected
+
+    def test_impressions_suppress_reserving(self, feed, server, posts):
+        post_json(server.url + "/posts", [post_to_dict(p) for p in posts])
+        user = next(u for u in sorted(feed.store.users) if feed.store.depth_of(u) > 3)
+        first = get_json(f"{server.url}/feed?user={user}&limit=3")
+        seqs = [e["seq"] for e in first["entries"]]
+        marked = post_json(
+            server.url + "/impressions", {"user": user, "seqs": seqs}
+        )
+        assert marked["recorded"] == len(seqs)
+        refresh = get_json(f"{server.url}/feed?user={user}&limit=3")
+        assert not set(seqs) & {e["seq"] for e in refresh["entries"]}
+        assert refresh["filtered"] >= len(seqs)
+
+    def test_cursors_stay_stable_under_concurrent_ingestion(
+        self, feed, server, posts
+    ):
+        head, tail = posts[:80], posts[80:]
+        post_json(server.url + "/posts", [post_to_dict(p) for p in head])
+        user = max(feed.store.users, key=feed.store.depth_of)
+        first = get_json(f"{server.url}/feed?user={user}&limit=2")
+        before = [e["post_id"] for e in first["entries"]]
+        # New posts land between two pages of the same read.
+        post_json(server.url + "/posts", [post_to_dict(p) for p in tail])
+        rest: list[int] = []
+        cursor = first["next_cursor"]
+        while cursor is not None:
+            page = get_json(f"{server.url}/feed?user={user}&cursor={cursor}&limit=5")
+            rest.extend(e["post_id"] for e in page["entries"])
+            cursor = page["next_cursor"]
+        # The paginated union is exactly the head-stream deliveries: no
+        # duplicates, no holes, nothing from the concurrent tail.
+        head_ids = {p.post_id for p in head}
+        assert set(before + rest) <= head_ids
+        assert sorted(before + rest, reverse=True) == before + rest
+
+    def test_concurrent_readers_see_consistent_pages(self, feed, server, posts):
+        post_json(server.url + "/posts", [post_to_dict(p) for p in posts])
+        users = [u for u in sorted(feed.store.users) if feed.store.depth_of(u)]
+        failures: list[str] = []
+
+        def read_loop(user: int) -> None:
+            try:
+                expected = [e.post_id for e in feed.store.read_all(user)]
+                for _ in range(5):
+                    collected, cursor = [], None
+                    while True:
+                        query = f"user={user}&limit=3" + (
+                            f"&cursor={cursor}" if cursor is not None else ""
+                        )
+                        page = get_json(f"{server.url}/feed?{query}")
+                        collected.extend(e["post_id"] for e in page["entries"])
+                        if page["next_cursor"] is None:
+                            break
+                        cursor = page["next_cursor"]
+                    if collected != expected:
+                        failures.append(f"user {user}: {collected} != {expected}")
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(f"user {user}: {exc!r}")
+
+        threads = [threading.Thread(target=read_loop, args=(u,)) for u in users]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert failures == []
+
+    def test_stats_route_balances(self, feed, server, posts):
+        post_json(server.url + "/posts", [post_to_dict(p) for p in posts])
+        stats = get_json(server.url + "/feed/stats")
+        assert stats["posts"]["received"] == (
+            stats["posts"]["processed"] + stats["posts"]["shed"]
+        )
+        assert stats["deliveries"] == feed.store.deliveries
+
+    def test_metrics_and_feed_share_the_port(self, server, posts):
+        post_json(server.url + "/posts", post_to_dict(posts[0]))
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10) as response:
+            text = response.read().decode()
+        assert 'repro_feed_posts_total{status="accepted"} 1' in text
+
+
+class TestBackpressure:
+    def test_shed_ingestion_is_429_with_retry_after(self, feed, server, posts):
+        feed.controller.set_memory_pressure(True)
+        error = http_error(
+            lambda: post_json(server.url + "/posts", post_to_dict(posts[0]))
+        )
+        assert error.code == 429
+        assert float(error.headers["Retry-After"]) > 0
+        assert "shedding" in json.load(error)["error"]
+        # Exactly balanced: the shed request is accounted, nothing leaked.
+        stats = get_json(server.url + "/feed/stats")
+        assert stats["posts"] == {"received": 1, "processed": 0, "shed": 1}
+
+    def test_healthz_degrades_while_shedding(self, feed, server, posts):
+        assert get_json(server.url + "/healthz.json")["status"] == "ok"
+        feed.controller.set_memory_pressure(True)
+        http_error(lambda: post_json(server.url + "/posts", post_to_dict(posts[0])))
+        with urllib.request.urlopen(server.url + "/healthz", timeout=10) as response:
+            body = response.read().decode()
+        assert body.startswith("degraded:")
+        assert "shedding arrivals" in body
+        report = get_json(server.url + "/healthz.json")
+        assert report["status"] == "degraded"
+        assert report["shedding"]["memory_pressure"] is True
+
+    def test_bulk_replay_counts_sheds_instead_of_erroring(
+        self, feed, server, posts
+    ):
+        feed.controller.set_memory_pressure(True)
+        summary = post_json(
+            server.url + "/posts", [post_to_dict(p) for p in posts[:10]]
+        )
+        assert summary == {"accepted": 0, "shed": 10, "deliveries": 0}

@@ -1,0 +1,197 @@
+"""Mailbox semantics: bounding, cursor pagination, the impression filter,
+and the store's incremental accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Post
+from repro.errors import ConfigurationError, UnknownUserError
+from repro.feed import FeedEntry, Mailbox, MailboxConfig, MailboxStore
+from repro.storage.accounting import estimate_mailbox_bytes
+
+
+def make_post(i: int, ts: float | None = None, author: int = 1) -> Post:
+    return Post(
+        post_id=i, author=author, text=f"p{i}", timestamp=float(i if ts is None else ts), fingerprint=i
+    )
+
+
+def entry(seq: int, ts: float | None = None) -> FeedEntry:
+    return FeedEntry(seq, post_id=seq, author=1, timestamp=float(seq if ts is None else ts))
+
+
+def filled(n: int, capacity: int = 100) -> Mailbox:
+    box = Mailbox()
+    for seq in range(1, n + 1):
+        box.append(entry(seq), capacity)
+    return box
+
+
+class TestConfig:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MailboxConfig(capacity=0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            MailboxConfig(window=0.0)
+        with pytest.raises(ConfigurationError):
+            MailboxConfig(window=float("nan"))
+
+    def test_defaults_are_unbounded_in_time(self):
+        config = MailboxConfig()
+        assert config.capacity == 1024
+        assert math.isinf(config.window)
+
+
+class TestBounding:
+    def test_capacity_evicts_oldest(self):
+        box = filled(7, capacity=5)
+        assert [e.seq for e in box.entries] == [3, 4, 5, 6, 7]
+        assert box.evicted_capacity == 2
+
+    def test_capacity_eviction_prunes_seen(self):
+        box = filled(5, capacity=5)
+        box.record_impressions([1, 2])
+        box.append(entry(6), 5)
+        box.append(entry(7), 5)
+        assert box.seen == set()  # 1 and 2 fell off the left
+
+    def test_window_expiry_drops_stale_prefix(self):
+        box = filled(10)
+        evicted, _ = box.expire(now=10.0, window=4.0)
+        assert evicted == 5  # timestamps 1..5 < 10 - 4
+        assert [e.seq for e in box.entries] == [6, 7, 8, 9, 10]
+        assert box.evicted_expired == 5
+
+
+class TestPagination:
+    def test_first_page_is_newest_first(self):
+        page = filled(10).page(cursor=None, limit=3)
+        assert [e.seq for e in page.entries] == [10, 9, 8]
+        assert page.next_cursor == 8
+
+    def test_cursor_continues_without_overlap_or_gap(self):
+        box = filled(10)
+        seen: list[int] = []
+        cursor = None
+        while True:
+            page = box.page(cursor, 3)
+            seen.extend(e.seq for e in page.entries)
+            if page.next_cursor is None:
+                break
+            cursor = page.next_cursor
+        assert seen == list(range(10, 0, -1))
+
+    def test_exhausted_page_has_no_cursor(self):
+        page = filled(2).page(cursor=None, limit=10)
+        assert page.next_cursor is None
+
+    def test_cursor_is_stable_under_concurrent_appends(self):
+        # New deliveries only prepend (higher seqs): a reader mid-paginate
+        # sees exactly the snapshot below their cursor.
+        box = filled(6)
+        first = box.page(None, 3)
+        for seq in range(7, 12):
+            box.append(entry(seq), 100)
+        rest = box.page(first.next_cursor, 100)
+        assert [e.seq for e in first.entries] == [6, 5, 4]
+        assert [e.seq for e in rest.entries] == [3, 2, 1]
+
+    def test_filtered_entries_still_advance_the_cursor(self):
+        box = filled(6)
+        box.record_impressions([5, 4])
+        page = box.page(None, 2)
+        assert [e.seq for e in page.entries] == [6, 3]
+        assert page.filtered == 2
+        assert page.next_cursor == 3
+
+
+class TestImpressions:
+    def test_recorded_entries_never_reserve(self):
+        box = filled(5)
+        first = box.page(None, 5)
+        box.record_impressions([e.seq for e in first.entries])
+        refresh = box.page(None, 5)
+        assert refresh.entries == ()
+        assert refresh.filtered == 5
+
+    def test_unknown_and_evicted_seqs_are_ignored(self):
+        box = filled(4, capacity=3)  # seq 1 evicted
+        recorded, ignored = box.record_impressions([1, 3, 99])
+        assert (recorded, ignored) == (1, 2)
+
+    def test_duplicate_impressions_count_once(self):
+        box = filled(3)
+        assert box.record_impressions([2, 2, 2]) == (1, 0)
+
+
+class TestStore:
+    def make_store(self, **kwargs) -> MailboxStore:
+        return MailboxStore([100, 200, 300], MailboxConfig(**kwargs))
+
+    def test_fanout_delivers_one_seq_to_all_receivers(self):
+        store = self.make_store()
+        seq, delivered = store.fanout(make_post(1), [100, 300])
+        assert delivered == 2
+        assert [e.seq for e in store.read_all(100)] == [seq]
+        assert [e.seq for e in store.read_all(300)] == [seq]
+        assert store.read_all(200) == []
+
+    def test_mailboxes_materialize_lazily(self):
+        store = self.make_store()
+        assert store.mailbox_count == 0
+        store.fanout(make_post(1), [100])
+        assert store.mailbox_count == 1
+
+    def test_unknown_user_raises(self):
+        store = self.make_store()
+        with pytest.raises(UnknownUserError):
+            store.read(999, None, 10)
+        with pytest.raises(UnknownUserError):
+            store.record_impressions(999, [1])
+        with pytest.raises(UnknownUserError):
+            store.fanout(make_post(1), [999])
+
+    def test_read_validates_cursor_and_limit(self):
+        store = self.make_store()
+        with pytest.raises(ConfigurationError):
+            store.read(100, None, 0)
+        with pytest.raises(ConfigurationError):
+            store.read(100, 0, 10)
+
+    def test_empty_user_set_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MailboxStore([])
+
+    def test_expire_runs_on_stream_time(self):
+        store = self.make_store(window=4.0)
+        for i in range(1, 11):
+            store.fanout(make_post(i), [100, 200])
+        dropped = store.expire(now=10.0)
+        assert dropped == 10  # 5 stale entries in each of two mailboxes
+        assert store.evicted_expired == 10
+
+    def test_incremental_accounting_matches_recount(self):
+        store = self.make_store(capacity=6, window=5.0)
+        for i in range(1, 21):
+            store.fanout(make_post(i), [100, 200] if i % 2 else [100, 300])
+        store.record_impressions(100, [e.seq for e in store.read(100, None, 3).entries])
+        store.expire(now=17.0)
+        boxes = store._boxes.values()
+        assert store.total_entries == sum(len(b.entries) for b in boxes)
+        assert store.total_seen == sum(len(b.seen) for b in boxes)
+        assert store.approx_bytes() == estimate_mailbox_bytes(
+            store.mailbox_count, store.total_entries, store.total_seen
+        )
+
+    def test_approx_bytes_shrinks_after_expiry(self):
+        store = self.make_store(window=3.0)
+        for i in range(1, 11):
+            store.fanout(make_post(i), [100])
+        before = store.approx_bytes()
+        store.expire(now=10.0)
+        assert store.approx_bytes() < before

@@ -85,3 +85,64 @@ def test_explicit_registry_is_served():
     registry.counter("custom_total", "Custom").labels().inc(7)
     with MetricsServer(registry) as server:
         assert "custom_total 7" in _get(server.url + "/metrics").decode()
+
+
+def test_unknown_method_on_known_path_is_404():
+    # /metrics only routes GET; a POST to it falls off the route table.
+    with MetricsServer(Registry()) as server:
+        request = urllib.request.Request(
+            server.url + "/metrics", data=b"{}", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 404
+
+
+def test_query_strings_do_not_break_routing():
+    with MetricsServer(Registry()) as server:
+        assert b"ok" in _get(server.url + "/healthz?verbose=1&x=y")
+
+
+def test_concurrent_scrapes_all_succeed():
+    import threading
+
+    service = _service()
+    with service.serve_metrics() as server:
+        _ingest(service, 10)
+        failures: list[str] = []
+
+        def scrape() -> None:
+            try:
+                for _ in range(10):
+                    body = _get(server.url + "/metrics").decode()
+                    assert "repro_service_decisions_total 10" in body
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=scrape) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert failures == []
+
+
+def test_degraded_health_body_while_shedding():
+    from repro.resilience import OverloadController
+
+    graph = AuthorGraph(nodes=[1, 2], edges=[(1, 2)])
+    engine = make_diversifier("unibin", Thresholds(lambda_t=10.0), graph)
+    controller = OverloadController(max_delay=1.0)
+    service = DiversificationService(engine, overload=controller)
+    with service.serve_metrics() as server:
+        assert _get(server.url + "/healthz") == b"ok\n"
+        controller.set_memory_pressure(True)
+        body = _get(server.url + "/healthz").decode()
+        assert body.startswith("degraded:")
+        assert "shedding arrivals (memory pressure" in body
+        report = json.loads(_get(server.url + "/healthz.json"))
+        assert report["status"] == "degraded"
+        assert report["shedding"]["shedding"] is True
+        controller.set_memory_pressure(False)
+        controller.should_shed(0.0)  # hysteresis releases below resume
+        assert _get(server.url + "/healthz") == b"ok\n"

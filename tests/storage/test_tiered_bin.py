@@ -47,6 +47,20 @@ class TestConfigValidation:
         with pytest.raises(ConfigurationError):
             SpillConfig("/tmp/x", head_limit=2, segment_size=4)
 
+    def test_rejects_none_directory(self):
+        # Regression: an unset optional dir stringified via str(None) used
+        # to create a literal ``None/`` directory at the caller's cwd.
+        with pytest.raises(ConfigurationError, match="non-empty path"):
+            SpillConfig(None)  # type: ignore[arg-type]
+
+    def test_rejects_stringified_none_directory(self):
+        with pytest.raises(ConfigurationError, match="literal string 'None'"):
+            SpillConfig("None")
+
+    def test_rejects_empty_directory(self):
+        with pytest.raises(ConfigurationError, match="non-empty path"):
+            SpillConfig("")
+
     def test_config_is_picklable(self):
         import pickle
 

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.service",
     "repro.resilience",
+    "repro.feed",
 ]
 
 
