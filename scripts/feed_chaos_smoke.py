@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Chaos-restart feed smoke: SIGKILL the serving process mid-stream,
+restart with ``--recover``, and prove the served feeds are byte-identical
+to an uninterrupted reference.
+
+The serving subprocess runs with a write-ahead log and a fault plan
+(``REPRO_FEED_FAULT_PLAN``) that hard-kills the process (``os._exit``)
+from inside a WAL append partway through the ingest stream — the worst
+spot: the record is on disk but the client never got its ack. The
+"client" here then does what a real client does: retries the in-flight
+post with the same idempotency key (which must answer from the dedup
+window, not fan out twice) and re-drives the rest of the stream. Every
+user's paginated feed must then match an in-process engine replay that
+never crashed.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python scripts/feed_chaos_smoke.py
+
+Exits non-zero with a diagnostic on the first divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.authors import AuthorGraph
+from repro.core import Post, Thresholds
+from repro.io import post_to_dict, write_graph_json, write_subscriptions_json
+from repro.multiuser import SubscriptionTable, make_multiuser
+
+AUTHORS = list(range(1, 13))
+EDGES = [(1, 2), (2, 3), (4, 5), (7, 8), (8, 9), (10, 11)]
+SUBSCRIPTIONS = {
+    100: [1, 2, 3, 6],
+    200: [1, 2, 3, 4, 5],
+    300: [4, 5, 7, 8, 9],
+    400: [7, 8, 9, 10, 11, 12],
+    500: [6, 10, 11, 12],
+}
+THRESHOLDS = Thresholds(lambda_c=8, lambda_t=60.0, lambda_a=0.5)
+N_POSTS = 120
+KILL_ON_APPEND = 61  # WAL append that pulls the trigger: mid-stream
+SEED = 11
+
+
+def make_posts() -> list[Post]:
+    rng = random.Random(SEED)
+    posts: list[Post] = []
+    now = 0.0
+    for i in range(N_POSTS):
+        now += rng.random() * 2.0
+        if posts and rng.random() < 0.5:
+            fingerprint = posts[rng.randrange(len(posts))].fingerprint
+            for _ in range(rng.randrange(4)):
+                fingerprint ^= 1 << rng.randrange(64)
+        else:
+            fingerprint = rng.getrandbits(64)
+        posts.append(
+            Post(
+                post_id=i,
+                author=rng.choice(AUTHORS),
+                text=f"post {i}",
+                timestamp=now,
+                fingerprint=fingerprint,
+            )
+        )
+    return posts
+
+
+def reference_feeds(posts: list[Post]) -> dict[int, list[int]]:
+    """Newest-first accepted post ids per user, from a direct engine run."""
+    graph = AuthorGraph(nodes=AUTHORS, edges=EDGES)
+    engine = make_multiuser(
+        "s_unibin", THRESHOLDS, graph, SubscriptionTable(SUBSCRIPTIONS)
+    )
+    feeds: dict[int, list[int]] = {user: [] for user in SUBSCRIPTIONS}
+    try:
+        for post, receivers in zip(posts, engine.offer_batch(posts)):
+            for user in receivers:
+                feeds[user].append(post.post_id)
+    finally:
+        getattr(engine, "close", lambda: None)()
+    return {user: list(reversed(ids)) for user, ids in feeds.items()}
+
+
+def start_serve(root: Path, *extra: str, env=None) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", str(root / "graph.json"),
+            "--subscriptions", str(root / "subscriptions.json"),
+            "--algorithm", "s_unibin",
+            "--port", "0",
+            "--lambda-c", "8", "--lambda-t", "60", "--lambda-a", "0.5",
+            "--wal-dir", str(root / "wal"),
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    if "serving feeds on http://" not in banner:
+        proc.kill()
+        _, err = proc.communicate(timeout=30)
+        raise RuntimeError(f"bad startup banner: {banner!r}\n{err}")
+    return proc, "http://" + banner.split("http://")[1].split()[0]
+
+
+def post_one(url: str, post: Post, key: str) -> dict:
+    body = post_to_dict(post)
+    body["idempotency_key"] = key
+    request = urllib.request.Request(
+        url + "/posts",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=15) as response:
+        return json.load(response)
+
+
+def paginate(url: str, user: int, limit: int = 9) -> list[int]:
+    collected: list[int] = []
+    cursor = None
+    while True:
+        query = f"user={user}&limit={limit}"
+        if cursor is not None:
+            query += f"&cursor={cursor}"
+        with urllib.request.urlopen(f"{url}/feed?{query}", timeout=15) as resp:
+            page = json.load(resp)
+        collected.extend(entry["post_id"] for entry in page["entries"])
+        if page["next_cursor"] is None:
+            return collected
+        cursor = page["next_cursor"]
+
+
+def main() -> int:
+    posts = make_posts()
+    expected = reference_feeds(posts)
+
+    with tempfile.TemporaryDirectory(prefix="feed-chaos-") as tmp:
+        root = Path(tmp)
+        write_graph_json(AuthorGraph(nodes=AUTHORS, edges=EDGES), root / "graph.json")
+        write_subscriptions_json(
+            SubscriptionTable(SUBSCRIPTIONS), root / "subscriptions.json"
+        )
+
+        # -- phase 1: serve with a murderous fault plan ------------------
+        env = dict(os.environ)
+        env["REPRO_FEED_FAULT_PLAN"] = json.dumps(
+            {"kill_on_append": KILL_ON_APPEND}
+        )
+        proc, url = start_serve(root, env=env)
+        acked = 0
+        killed = False
+        try:
+            for i, post in enumerate(posts):
+                try:
+                    post_one(url, post, f"chaos-{i}")
+                    acked = i + 1
+                except (urllib.error.URLError, ConnectionError, OSError):
+                    killed = True
+                    break
+        finally:
+            proc.wait(timeout=60)
+        if not killed:
+            print(
+                f"FAIL: fault plan never fired ({acked} posts acked)",
+                file=sys.stderr,
+            )
+            return 1
+        if proc.returncode == 0:
+            print("FAIL: killed server exited 0", file=sys.stderr)
+            return 1
+        print(
+            f"chaos: SIGKILL from WAL append #{KILL_ON_APPEND} "
+            f"after {acked} acked posts (exit {proc.returncode})"
+        )
+
+        # -- phase 2: restart with --recover, re-drive as a client would -
+        proc, url = start_serve(root, "--recover")
+        try:
+            # The in-flight post timed out client-side; retry it and every
+            # later one. Retrying already-committed work must dedup, never
+            # double-fan-out — start one BEFORE the ack horizon on purpose.
+            resume = max(0, acked - 1)
+            deduped = 0
+            for i in range(resume, len(posts)):
+                reply = post_one(url, posts[i], f"chaos-{i}")
+                deduped += bool(reply["deduplicated"])
+            print(
+                f"recover: re-drove posts {resume}..{len(posts) - 1}, "
+                f"{deduped} answered idempotently"
+            )
+            if deduped < 1:
+                print(
+                    "FAIL: retried acked post was not deduplicated",
+                    file=sys.stderr,
+                )
+                return 1
+
+            failures = 0
+            for user, want in sorted(expected.items()):
+                got = paginate(url, user)
+                status = "ok" if got == want else "MISMATCH"
+                print(f"feed user={user}: {len(got)} entries {status}")
+                if got != want:
+                    print(f"  want {want}\n  got  {got}", file=sys.stderr)
+                    failures += 1
+            if failures:
+                print(
+                    f"FAIL: {failures} user feeds diverged from the "
+                    "uninterrupted reference",
+                    file=sys.stderr,
+                )
+                return 1
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+
+        if proc.returncode != 0:
+            print(f"FAIL: recovered server exited {proc.returncode}\n{err}",
+                  file=sys.stderr)
+            return 1
+        if "recovered from" not in err:
+            print(f"FAIL: no recovery banner on stderr:\n{err}", file=sys.stderr)
+            return 1
+        if "durability: flushed clean" not in out:
+            print(f"FAIL: shutdown summary not durable:\n{out}", file=sys.stderr)
+            return 1
+        print("shutdown: clean (SIGTERM -> 0, durability flushed)")
+        print("feed chaos smoke PASS")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

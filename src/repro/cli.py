@@ -364,6 +364,67 @@ def _serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--shed-policy", choices=("drop", "passthrough"), default="drop"
     )
+    parser.add_argument(
+        "--wal-dir",
+        help="turn on crash-safe durability: write-ahead log + rolling "
+        "snapshots in this directory (see docs/operations.md)",
+    )
+    parser.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=1024,
+        help="logged records between rolling snapshots (bounds WAL replay)",
+    )
+    parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="replay snapshot + WAL tail from --wal-dir before serving "
+        "(required when the directory already holds state)",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="WAL fsync policy: always = every append survives power "
+        "loss; interval = group commit (default); never = test only",
+    )
+    parser.add_argument(
+        "--fsync-interval",
+        type=int,
+        default=64,
+        help="appends per group commit under --fsync interval",
+    )
+    parser.add_argument(
+        "--keep-snapshots",
+        type=int,
+        default=2,
+        help=">= 2 lets recovery fall back past a corrupt newest snapshot",
+    )
+    parser.add_argument(
+        "--dedup-window",
+        type=int,
+        default=1024,
+        help="most-recent idempotency keys remembered for exactly-once "
+        "POST /posts retries",
+    )
+    parser.add_argument(
+        "--retry-jitter",
+        type=float,
+        default=0.0,
+        help="spread 429 Retry-After by up to this fraction (0.25 = +25%%) "
+        "so shed clients do not retry in lockstep",
+    )
+    parser.add_argument(
+        "--jitter-seed",
+        type=int,
+        help="seed the Retry-After jitter RNG (reproducible backoff)",
+    )
+    parser.add_argument(
+        "--request-deadline",
+        type=float,
+        help="per-request time budget in seconds; an overrunning handler "
+        "answers 504 (retry with the same idempotency key)",
+    )
     parser.add_argument("--lambda-c", type=int, default=18, help="content bits")
     parser.add_argument("--lambda-t", type=float, default=1800.0, help="seconds")
     parser.add_argument("--lambda-a", type=float, default=0.7, help="author distance")
@@ -424,12 +485,65 @@ def _run_serve(argv: list[str]) -> int:
     window = (
         args.mailbox_window if args.mailbox_window is not None else args.lambda_t
     )
+    durability = None
+    if args.wal_dir:
+        import json as _json
+        import os as _os
+        from pathlib import Path as _Path
+
+        from .feed import DurabilityConfig
+        from .resilience import FeedFaultPlan
+
+        wal_dir = _Path(args.wal_dir)
+        has_state = wal_dir.is_dir() and any(wal_dir.iterdir())
+        if has_state and not args.recover:
+            print(
+                f"{wal_dir} already holds WAL/snapshot state; pass --recover "
+                "to replay it (or point --wal-dir at an empty directory)",
+                file=sys.stderr,
+            )
+            return 2
+        fault_plan = None
+        plan_json = _os.environ.get("REPRO_FEED_FAULT_PLAN")
+        if plan_json:
+            fault_plan = FeedFaultPlan.from_dict(_json.loads(plan_json))
+        durability = DurabilityConfig(
+            wal_dir=wal_dir,
+            snapshot_every=args.snapshot_interval,
+            fsync=args.fsync,
+            fsync_interval=args.fsync_interval,
+            keep_snapshots=args.keep_snapshots,
+            dedup_window=args.dedup_window,
+            fault_plan=fault_plan,
+        )
+    elif args.recover:
+        print("--recover needs --wal-dir", file=sys.stderr)
+        return 2
     feed = FeedService(
         service,
         mailboxes=MailboxConfig(capacity=args.mailbox_capacity, window=window),
+        durability=durability,
+        retry_jitter=args.retry_jitter,
+        jitter_seed=args.jitter_seed,
     )
     service.bind_metrics(Registry())
     feed.bind_metrics()
+
+    if args.recover:
+        report = feed.recover()
+        print(
+            "recovered from {snap}: replayed {records} WAL records over "
+            "{segments} segment(s), {torn} torn bytes truncated, "
+            "{skipped} snapshot(s) skipped, {secs:.3f}s".format(
+                snap=report.used_snapshot or "empty state",
+                records=report.records_total,
+                segments=report.segments_replayed,
+                torn=report.torn_bytes,
+                skipped=len(report.snapshots_skipped),
+                secs=report.duration_seconds,
+            ),
+            file=sys.stderr,
+        )
 
     if args.posts:
         summary = feed.replay(read_posts_jsonl(args.posts))
@@ -439,28 +553,43 @@ def _run_serve(argv: list[str]) -> int:
             file=sys.stderr,
         )
 
-    server = feed.serve(host=args.host, port=args.port)
+    # Handlers go in before the banner: the banner is the "ready" signal
+    # supervisors key on, so a SIGTERM raced right after it must already
+    # land on the graceful path, not the default (no-flush) death.
+    stopping = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stopping.set())
+
+    server = feed.serve(
+        host=args.host, port=args.port, request_deadline=args.request_deadline
+    )
     host, port = server.address
     print(
         f"{engine.name}: serving feeds on http://{host}:{port} "
         f"({len(feed.store.users)} users)",
         flush=True,
     )
-
-    stopping = threading.Event()
-    for signum in (signal.SIGINT, signal.SIGTERM):
-        signal.signal(signum, lambda *_: stopping.set())
     stopping.wait()
     server.stop()
-    feed.close()
+    # The shutdown flush is load-bearing: SIGTERM must leave a complete
+    # final snapshot + fsync'd WAL, and a failed flush must be *loud* —
+    # exiting zero here would report durable state that does not exist.
+    flush_error: Exception | None = None
+    try:
+        feed.close()
+    except Exception as error:  # noqa: BLE001 - any flush failure is fatal
+        flush_error = error
+        print(f"durability flush FAILED on shutdown: {error}", file=sys.stderr)
     stats = feed.stats()
     print(
         "feed: {received} posts received ({processed} processed, {shed} "
-        "shed), {deliveries} deliveries to {boxes} mailboxes; {reads} "
-        "reads served {served} entries ({filtered} impression-filtered)".format(
+        "shed, {deduped} deduplicated), {deliveries} deliveries to {boxes} "
+        "mailboxes; {reads} reads served {served} entries "
+        "({filtered} impression-filtered)".format(
             received=stats["posts"]["received"],
             processed=stats["posts"]["processed"],
             shed=stats["posts"]["shed"],
+            deduped=stats["posts"]["deduped"],
             deliveries=stats["deliveries"],
             boxes=stats["mailboxes"]["materialized"],
             reads=stats["reads"]["count"],
@@ -468,9 +597,26 @@ def _run_serve(argv: list[str]) -> int:
             filtered=stats["reads"]["entries_filtered"],
         )
     )
+    durable = stats.get("durability")
+    if durable is not None:
+        state = "FLUSH FAILED" if flush_error is not None else "flushed clean"
+        print(
+            "durability: {state}; {records} WAL records "
+            "({fsyncs} fsyncs, segment {segment}), {snaps} snapshot(s) "
+            "written ({fails} failed), {hits} idempotent retries "
+            "answered".format(
+                state=state,
+                records=durable["wal"]["records_total"],
+                fsyncs=durable["wal"]["fsyncs_total"],
+                segment=durable["wal"]["segment"],
+                snaps=durable["snapshots"]["taken"],
+                fails=durable["snapshots"]["failures"],
+                hits=durable["dedup"]["hits"],
+            )
+        )
     _print_supervision_summary(engine)
     _print_governor_summary(governor)
-    return 0
+    return 1 if flush_error is not None else 0
 
 
 def _generate_parser() -> argparse.ArgumentParser:

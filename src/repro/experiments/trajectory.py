@@ -76,6 +76,9 @@ METRIC_SPECS: dict[str, str] = {
     # legacy BENCH_feed.json
     "feed_fanout_posts_per_sec": "higher",
     "feed_read_p99_us": "lower",
+    # legacy BENCH_durability.json
+    "feed_wal_overhead": "lower",
+    "feed_recovery_replay_speedup": "higher",
     # per-matrix deterministic counts (prefix = matrix name)
     "deliveries_total": "exact",
     "shed_total": "exact",
@@ -193,6 +196,10 @@ def legacy_metrics(root: str | Path) -> dict[str, float]:
     if record:
         metrics["feed_fanout_posts_per_sec"] = record["fanout_posts_per_sec"]
         metrics["feed_read_p99_us"] = record["read_p99_us"]
+    record = _load_json(root / "BENCH_durability.json")
+    if record:
+        metrics["feed_wal_overhead"] = record["wal_overhead"]
+        metrics["feed_recovery_replay_speedup"] = record["recovery_replay_speedup"]
     return metrics
 
 

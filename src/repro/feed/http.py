@@ -7,9 +7,14 @@ serves ingestion, reads, impressions, Prometheus scrapes and health:
 * ``POST /posts`` — ingest. A JSON object is one post (strict: a shed
   answers ``429`` with ``Retry-After``); a JSON array is a bulk replay
   (sheds are counted in the summary, not errored — a recorded stream has
-  no client to back off).
+  no client to back off). An ``idempotency_key`` field makes the request
+  retryable exactly-once: a durable feed answers a retried key with the
+  original verdict (``"deduplicated": true``) instead of fanning out
+  twice.
 * ``GET /feed?user=&cursor=&limit=`` — one impression-filtered page,
   newest first; ``next_cursor`` continues, ``null`` means exhausted.
+  While crash recovery replays the WAL the page carries
+  ``"stale": true`` — served from the restored-so-far state.
 * ``POST /impressions`` — ``{"user": u, "seqs": [...]}`` marks rendered
   entries seen.
 * ``GET /feed/stats`` — the service's structured summary.
@@ -70,6 +75,7 @@ class FeedServer(MetricsServer):
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        request_deadline: float | None = None,
     ):
         feed.bind_metrics()
         assert feed.registry is not None
@@ -77,10 +83,14 @@ class FeedServer(MetricsServer):
             feed.registry,
             host=host,
             port=port,
-            health=feed.service._health_probe,
-            health_json=feed.service.degradation_report,
+            health=feed._health_probe,
+            health_json=feed.degradation_report,
+            request_deadline=request_deadline,
         )
         self.feed = feed
+
+    def _deadline_exceeded(self, method: str, path: str, elapsed: float) -> None:
+        self.feed.deadlines_exceeded += 1
 
     def routes(self):
         table = super().routes()
@@ -99,12 +109,20 @@ class FeedServer(MetricsServer):
         return self._ingest_one(payload)
 
     def _ingest_one(self, record) -> tuple:
+        idempotency_key = None
+        if isinstance(record, dict) and "idempotency_key" in record:
+            record = dict(record)
+            idempotency_key = record.pop("idempotency_key")
+            if idempotency_key is not None and not isinstance(idempotency_key, str):
+                raise RouteError(400, "idempotency_key must be a string")
         try:
             post = post_from_dict(record)
         except DatasetError as error:
             raise RouteError(400, str(error)) from error
         try:
-            receivers = self.feed.ingest(post)
+            receivers, deduped = self.feed.ingest_detailed(
+                post, idempotency_key=idempotency_key
+            )
         except FeedOverloadError as error:
             raise RouteError(
                 429,
@@ -117,6 +135,7 @@ class FeedServer(MetricsServer):
                 "post_id": post.post_id,
                 "receivers": sorted(receivers),
                 "deliveries": len(receivers),
+                "deduplicated": deduped,
             }
         ).encode("utf-8")
         return 200, "application/json", body
@@ -147,7 +166,7 @@ class FeedServer(MetricsServer):
             raise RouteError(404, str(error)) from error
         except ConfigurationError as error:
             raise RouteError(400, str(error)) from error
-        record = {"user": user, **page.to_dict()}
+        record = {"user": user, **page.to_dict(), "stale": self.feed.stale}
         return 200, "application/json", json.dumps(record).encode("utf-8")
 
     def _route_impressions(self, query: dict, body: bytes | None) -> tuple:

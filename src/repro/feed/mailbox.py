@@ -181,6 +181,29 @@ class Mailbox:
                 ignored += 1
         return recorded, ignored
 
+    def state_dict(self) -> dict[str, object]:
+        """JSON-able snapshot of this mailbox (entries in seq order)."""
+        return {
+            "entries": [
+                [e.seq, e.post_id, e.author, e.timestamp] for e in self.entries
+            ],
+            "seen": sorted(self.seen),
+            "evicted_capacity": self.evicted_capacity,
+            "evicted_expired": self.evicted_expired,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "Mailbox":
+        box = cls()
+        for seq, post_id, author, timestamp in state["entries"]:
+            box.entries.append(
+                FeedEntry(int(seq), int(post_id), int(author), float(timestamp))
+            )
+        box.seen = {int(s) for s in state["seen"]}
+        box.evicted_capacity = int(state.get("evicted_capacity", 0))
+        box.evicted_expired = int(state.get("evicted_expired", 0))
+        return box
+
 
 class MailboxStore:
     """All mailboxes of a feed deployment, behind one lock.
@@ -223,6 +246,14 @@ class MailboxStore:
         if box is None:
             box = self._boxes[user] = Mailbox()
         return box
+
+    def peek_next_seq(self) -> int:
+        """The sequence number the next :meth:`fanout` will assign (the
+        WAL records it *before* the fanout applies)."""
+        with self._lock:
+            nxt = next(self._seq)
+            self._seq = count(nxt)  # peeking consumed one; re-arm
+            return nxt
 
     def fanout(self, post: Post, receivers: Iterable[int]) -> tuple[int, int]:
         """Deliver ``post`` to every receiver mailbox under one sequence
@@ -309,3 +340,52 @@ class MailboxStore:
         with self._lock:
             box = self._boxes.get(user)
             return len(box) if box is not None else 0
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """JSON-able snapshot of the whole store, including the next
+        sequence number — :meth:`load_state` restores it byte-identically
+        (the durability differential harness compares exactly this)."""
+        with self._lock:
+            next_seq = next(self._seq)
+            self._seq = count(next_seq)  # peeking consumed one; re-arm
+            return {
+                "next_seq": next_seq,
+                "boxes": {
+                    str(user): box.state_dict()
+                    for user, box in sorted(self._boxes.items())
+                },
+                "deliveries": self.deliveries,
+                "evicted_capacity": self.evicted_capacity,
+                "evicted_expired": self.evicted_expired,
+                "impressions": self.impressions,
+            }
+
+    def load_state(self, state: dict[str, object]) -> None:
+        """Replace all mailbox contents with ``state`` (from
+        :meth:`state_dict`). The user set and config are *not* part of the
+        state — they come from the deployment, and a snapshot naming a
+        user outside it is rejected."""
+        with self._lock:
+            boxes: dict[int, Mailbox] = {}
+            entries = seen = 0
+            for user_key, box_state in state["boxes"].items():
+                user = int(user_key)
+                if user not in self._users:
+                    raise UnknownUserError(
+                        f"snapshot names user {user}, who is not subscribed "
+                        "in this deployment"
+                    )
+                box = Mailbox.from_state(box_state)
+                boxes[user] = box
+                entries += len(box.entries)
+                seen += len(box.seen)
+            self._boxes = boxes
+            self._entries = entries
+            self._seen = seen
+            self._seq = count(int(state["next_seq"]))
+            self.deliveries = int(state.get("deliveries", 0))
+            self.evicted_capacity = int(state.get("evicted_capacity", 0))
+            self.evicted_expired = int(state.get("evicted_expired", 0))
+            self.impressions = int(state.get("impressions", 0))

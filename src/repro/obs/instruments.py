@@ -566,6 +566,13 @@ class FeedInstruments:
         )
         posts.labels(status="accepted").set_function(lambda: feed.posts_processed)
         posts.labels(status="shed").set_function(lambda: feed.posts_shed)
+        posts.labels(status="deduplicated").set_function(
+            lambda: feed.posts_deduped
+        )
+        registry.counter(
+            "repro_feed_deadline_exceeded_total",
+            "Requests answered 504 for overrunning the per-request deadline",
+        ).labels().set_function(lambda: feed.deadlines_exceeded)
         registry.counter(
             "repro_feed_deliveries_total",
             "Mailbox deliveries (fanout amplification numerator)",
@@ -628,3 +635,93 @@ class FeedInstruments:
         """One accepted post from the write path."""
         self.fanout_latency.observe(latency_s)
         self.fanout_receivers.observe(receivers)
+
+
+class DurabilityInstruments:
+    """Bundle for a :class:`~repro.feed.durable.DurableFeedLog`.
+
+    Two families: ``repro_feed_wal_*`` tracks the write-ahead log's exact
+    append/fsync/segment accounting (persisted inside snapshots, so the
+    counters survive restarts), ``repro_feed_recovery_*`` describes the
+    most recent crash recovery — what snapshot it used, how much WAL it
+    replayed, how long it took.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, registry: Registry, durable) -> None:
+        wal = durable.wal
+        records = registry.counter(
+            "repro_feed_wal_records_total",
+            "WAL records appended, by record type",
+            ("type",),
+        )
+        for kind in ("post", "impressions", "expire"):
+            records.labels(type=kind).set_function(
+                lambda kind=kind: wal.records_by_type.get(kind, 0)
+            )
+        registry.counter(
+            "repro_feed_wal_bytes_total",
+            "Framed bytes appended to the WAL",
+        ).labels().set_function(lambda: wal.bytes_total)
+        registry.counter(
+            "repro_feed_wal_fsyncs_total",
+            "fsync(2) calls issued by the WAL (group commit batches)",
+        ).labels().set_function(lambda: wal.fsyncs_total)
+        registry.counter(
+            "repro_feed_wal_rotations_total",
+            "Segment rotations (one per snapshot, plus recovery's)",
+        ).labels().set_function(lambda: wal.rotations_total)
+        registry.gauge(
+            "repro_feed_wal_segment",
+            "Index of the WAL segment currently appended to",
+        ).labels().set_function(lambda: wal.segment)
+        registry.gauge(
+            "repro_feed_wal_segments_on_disk",
+            "WAL segment files currently retained",
+        ).labels().set_function(wal.segments_on_disk)
+        snapshots = registry.counter(
+            "repro_feed_wal_snapshots_total",
+            "Rolling feed snapshots, by outcome",
+            ("status",),
+        )
+        snapshots.labels(status="written").set_function(
+            lambda: durable.snapshots_taken
+        )
+        snapshots.labels(status="failed").set_function(
+            lambda: durable.snapshot_failures
+        )
+        dedup = registry.counter(
+            "repro_feed_wal_dedup_total",
+            "Idempotency-window activity (hits answer retries; evictions "
+            "age keys past the window)",
+            ("event",),
+        )
+        dedup.labels(event="hit").set_function(lambda: durable.dedup_hits)
+        dedup.labels(event="evicted").set_function(lambda: durable.dedup_evicted)
+
+        def recovery(field, default=0):
+            report = durable.last_recovery
+            return getattr(report, field) if report is not None else default
+
+        registry.gauge(
+            "repro_feed_recovery_records_replayed",
+            "WAL records replayed by the most recent recovery",
+        ).labels().set_function(lambda: recovery("records_total"))
+        registry.gauge(
+            "repro_feed_recovery_segments_replayed",
+            "WAL segments read by the most recent recovery",
+        ).labels().set_function(lambda: recovery("segments_replayed"))
+        registry.gauge(
+            "repro_feed_recovery_torn_bytes",
+            "Torn tail bytes truncated by the most recent recovery",
+        ).labels().set_function(lambda: recovery("torn_bytes"))
+        registry.gauge(
+            "repro_feed_recovery_duration_seconds",
+            "Wall-clock time of the most recent recovery",
+        ).labels().set_function(lambda: recovery("duration_seconds", 0.0))
+        registry.gauge(
+            "repro_feed_recovery_snapshots_skipped",
+            "Corrupt/torn snapshots skipped before one validated "
+            "(nonzero means the fallback path ran)",
+        ).labels().set_function(lambda: len(recovery("snapshots_skipped", ())))

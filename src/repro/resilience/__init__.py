@@ -26,6 +26,7 @@ case a first-class, *measured* regime instead of a crash:
 from .checkpoint import (
     CHECKPOINT_VERSION,
     load_checkpoint,
+    load_engine_state,
     restore_engine,
     save_checkpoint,
     snapshot_engine,
@@ -34,6 +35,7 @@ from .faults import (
     ArrivalShuffler,
     FaultCounts,
     FaultSchedule,
+    FeedFaultPlan,
     LatencySpikes,
     LineFaultInjector,
     PostFaultInjector,
@@ -62,6 +64,7 @@ __all__ = [
     "ERROR_POLICIES",
     "FaultCounts",
     "FaultSchedule",
+    "FeedFaultPlan",
     "GOVERNOR_LEVELS",
     "GovernorConfig",
     "GovernorTransition",
@@ -83,6 +86,7 @@ __all__ = [
     "check_policy",
     "ingest_jsonl",
     "load_checkpoint",
+    "load_engine_state",
     "restore_engine",
     "save_checkpoint",
     "snapshot_engine",

@@ -328,6 +328,94 @@ def restore_engine(
     raise CheckpointError(f"unknown checkpoint kind {kind!r}")
 
 
+def load_engine_state(
+    engine: StreamDiversifier | MultiUserDiversifier,
+    snapshot: dict[str, object],
+) -> None:
+    """Restore :func:`snapshot_engine` output *into an existing engine*.
+
+    :func:`restore_engine` builds a fresh engine; this variant keeps the
+    one the caller already wired into a service (worker pool, governor
+    hooks, mailbox fanout) and swaps only the mutable run state — the
+    feed-recovery path. The snapshot must describe the same algorithm
+    family the engine runs; a mismatch is a deployment error and raises
+    :class:`CheckpointError` before any state is touched.
+    """
+    version = snapshot.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    kind = snapshot.get("kind")
+    recorded = str(snapshot.get("engine", snapshot.get("algorithm", "")))
+    current = str(getattr(engine, "name", ""))
+    if recorded.partition("_")[2] != current.partition("_")[2]:
+        raise CheckpointError(
+            f"snapshot was taken from engine {recorded!r}, cannot load it "
+            f"into {current!r} (different algorithm)"
+        )
+    if kind == "single":
+        engine.load_state(_decode_single(snapshot["state"]))  # type: ignore[arg-type]
+        return
+    if kind == "multi":
+        if "users" in snapshot:
+            engine.load_state(
+                {
+                    "engine": recorded,
+                    "users": {
+                        int(user): _decode_single(state)  # type: ignore[arg-type]
+                        for user, state in snapshot["users"].items()  # type: ignore[union-attr]
+                    },
+                }
+            )
+        else:
+            engine.load_state(
+                {
+                    "engine": recorded,
+                    "components": [
+                        _decode_single(state)  # type: ignore[arg-type]
+                        for state in snapshot["components"]  # type: ignore[union-attr]
+                    ],
+                }
+            )
+        return
+    if kind in ("dynamic", "dynamic_single"):
+        friends = {
+            int(author): {int(f) for f in followees}
+            for author, followees in snapshot["friends"].items()  # type: ignore[union-attr]
+        }
+        if kind == "dynamic":
+            engine.load_state(
+                {
+                    "engine": recorded,
+                    "graph_version": snapshot["graph_version"],
+                    "friends": friends,
+                    "instances": [
+                        {
+                            "nodes": [int(n) for n in spec["nodes"]],
+                            "users": [int(u) for u in spec["users"]],
+                            "state": _decode_single(spec["state"]),
+                        }
+                        for spec in snapshot["instances"]  # type: ignore[union-attr]
+                    ],
+                    "retired_stats": snapshot["retired_stats"],
+                    "pending_deltas": snapshot.get("pending_deltas", []),
+                }
+            )
+        else:
+            engine.load_state(
+                {
+                    "engine": snapshot["engine"],
+                    "graph_version": snapshot["graph_version"],
+                    "friends": friends,
+                    "state": _decode_single(snapshot["state"]),  # type: ignore[arg-type]
+                }
+            )
+        return
+    raise CheckpointError(f"unknown checkpoint kind {kind!r}")
+
+
 def save_checkpoint(snapshot: dict[str, object], path: str | Path) -> None:
     """Write a snapshot dict as one sorted JSON object, atomically.
 

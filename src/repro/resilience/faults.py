@@ -43,6 +43,7 @@ from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field, replace
 
 from ..core import Post, StreamDiversifier
+from ..errors import ConfigurationError
 
 
 @dataclass(slots=True)
@@ -354,6 +355,95 @@ def execute_worker_fault(action: str, plan: WorkerFaultPlan, conn) -> bool:
         conn.send(["garbage", "corrupt-reply-injected"])
         return True
     return False
+
+
+#: Test seam for :class:`FeedFaultPlan`'s process kills; tests that only
+#: want the side effects (partial frames on disk) monkeypatch this.
+_exit = os._exit
+
+
+@dataclass(slots=True)
+class FeedFaultPlan:
+    """Deterministic serving-layer faults for the durable feed.
+
+    The adversary for :mod:`repro.feed.durable`: counters tick inside the
+    write-ahead log and snapshot store, and each fault fires at an exact,
+    reproducible instant of the durability pipeline:
+
+    * ``kill_on_append`` — the process dies (``os._exit``) immediately
+      after the N-th WAL record reaches the file, *before* the mailbox
+      fanout applies — the crash-mid-fanout window where an unlogged
+      coordinator loses acknowledged feeds.
+    * ``torn_tail_on_append`` — the N-th WAL append writes only
+      ``torn_tail_bytes`` of its frame and then dies: the torn-tail case
+      recovery must truncate, not trust.
+    * ``fail_snapshots`` — the next N snapshot saves raise ``OSError``
+      (full disk); the service must keep serving on the WAL alone and
+      surface the failure in metrics/health, not crash.
+    * ``slow_fsync_seconds`` — every WAL fsync sleeps first, the adversary
+      for per-request deadlines on the HTTP front end.
+
+    Counters are mutable run state, so instances are per-run, not shared.
+    """
+
+    kill_on_append: int | None = None
+    torn_tail_on_append: int | None = None
+    torn_tail_bytes: int = 7
+    fail_snapshots: int = 0
+    slow_fsync_seconds: float = 0.0
+    _appends: int = 0
+    _snapshot_failures_left: int | None = None
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "FeedFaultPlan":
+        """Build a plan from a JSON dict (the ``REPRO_FEED_FAULT_PLAN``
+        environment hook the chaos smoke drives ``repro serve`` with)."""
+        allowed = {
+            "kill_on_append",
+            "torn_tail_on_append",
+            "torn_tail_bytes",
+            "fail_snapshots",
+            "slow_fsync_seconds",
+        }
+        unknown = set(spec) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FeedFaultPlan fields {sorted(unknown)}"
+            )
+        return cls(**spec)
+
+    def on_append(self, frame: bytes, fh) -> bool:
+        """Called by the WAL with the encoded frame *instead of* writing
+        it; returns True when the plan wrote (all or part of) the frame
+        itself. ``kill``/``torn`` never return."""
+        self._appends += 1
+        if self.torn_tail_on_append is not None and (
+            self._appends == self.torn_tail_on_append
+        ):
+            fh.write(frame[: self.torn_tail_bytes])
+            fh.flush()
+            os.fsync(fh.fileno())
+            _exit(23)
+        if self.kill_on_append is not None and self._appends == self.kill_on_append:
+            fh.write(frame)
+            fh.flush()
+            os.fsync(fh.fileno())
+            _exit(23)
+        return False
+
+    def on_fsync(self) -> None:
+        """Called before every WAL fsync."""
+        if self.slow_fsync_seconds > 0:
+            time.sleep(self.slow_fsync_seconds)
+
+    def on_snapshot(self) -> None:
+        """Called before a snapshot write; raises ``OSError`` while the
+        injected full-disk budget lasts."""
+        if self._snapshot_failures_left is None:
+            self._snapshot_failures_left = self.fail_snapshots
+        if self._snapshot_failures_left > 0:
+            self._snapshot_failures_left -= 1
+            raise OSError(28, "No space left on device (injected)")
 
 
 @dataclass(slots=True)

@@ -370,14 +370,28 @@ class MetricsServer:
         port: int = 0,
         health: Callable[[], str] | None = None,
         health_json: Callable[[], dict] | None = None,
+        request_deadline: float | None = None,
     ):
+        if request_deadline is not None and not request_deadline > 0:
+            raise ConfigurationError(
+                f"request_deadline must be > 0 seconds, got {request_deadline}"
+            )
         self.registry = registry
         self.health = health
         self.health_json = health_json
+        #: Per-request time budget (seconds); a handler that overruns it
+        #: answers 504 instead of its normal response. The work may have
+        #: committed by then — which is exactly why ingestion is
+        #: idempotent: the client's retry is absorbed by the dedup window.
+        self.request_deadline = request_deadline
         self._host = host
         self._port = port
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+
+    def _deadline_exceeded(self, method: str, path: str, elapsed: float) -> None:
+        """Hook: one request overran ``request_deadline`` (subclasses
+        count it; the base server just answers 504)."""
 
     @property
     def address(self) -> tuple[str, int]:
@@ -432,6 +446,8 @@ class MetricsServer:
         if self._httpd is not None:
             return self.address
         routes = self.routes()
+        deadline = self.request_deadline
+        on_deadline = self._deadline_exceeded
 
         class Handler(BaseHTTPRequestHandler):
             def _dispatch(self, method: str) -> None:
@@ -444,6 +460,7 @@ class MetricsServer:
                 if method == "POST":
                     length = int(self.headers.get("Content-Length") or 0)
                     body = self.rfile.read(length)
+                started = time.monotonic()
                 try:
                     response = handler(parse_qs(url.query), body)
                 except RouteError as error:
@@ -451,6 +468,23 @@ class MetricsServer:
                     self._reply(
                         error.status, "application/json", payload, error.headers
                     )
+                    return
+                elapsed = time.monotonic() - started
+                if deadline is not None and elapsed > deadline:
+                    on_deadline(method, url.path, elapsed)
+                    payload = json.dumps(
+                        {
+                            "error": (
+                                f"deadline exceeded: {method} {url.path} took "
+                                f"{elapsed:.3f}s against a {deadline:.3f}s budget"
+                            ),
+                            # The handler DID run to completion — a write
+                            # may be committed. Retry with the same
+                            # idempotency key to learn the outcome safely.
+                            "committed": "unknown",
+                        }
+                    ).encode("utf-8")
+                    self._reply(504, "application/json", payload)
                     return
                 status, ctype, payload = response[:3]
                 headers = response[3] if len(response) > 3 else ()

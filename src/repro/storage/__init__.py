@@ -12,6 +12,7 @@ store; only scan locality is traded (see :mod:`repro.storage.tiered`).
 the :class:`~repro.resilience.MemoryGovernor` budgets against.
 """
 
+from .framing import FRAME_HEADER, read_framed, write_framed
 from .accounting import (
     INDEX_ENTRY_BYTES,
     POST_BASE_BYTES,
@@ -26,6 +27,7 @@ from .accounting import (
 from .tiered import SpillConfig, TieredPostBin
 
 __all__ = [
+    "FRAME_HEADER",
     "INDEX_ENTRY_BYTES",
     "POST_BASE_BYTES",
     "SAMPLE_BYTES",
@@ -37,4 +39,6 @@ __all__ = [
     "estimate_message_bytes",
     "estimate_post_bytes",
     "estimate_posts_bytes",
+    "read_framed",
+    "write_framed",
 ]

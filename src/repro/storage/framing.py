@@ -1,0 +1,78 @@
+"""CRC-framed atomic file persistence shared across the durability layers.
+
+Every on-disk artifact whose partial write must *never* load — supervisor
+shard checkpoints (:mod:`repro.supervise`), feed mailbox snapshots
+(:mod:`repro.feed.durable`) — uses the same two primitives:
+
+* :func:`write_framed` — pickle the payload, prefix it with a
+  ``<length, crc32>`` header, write to a same-directory temp file, flush,
+  fsync, then rename over the target. A crash at any instant leaves
+  either the previous complete file or the new complete file, never a
+  torn one.
+* :func:`read_framed` — reject truncation (file shorter than the header
+  promises) and corruption (CRC mismatch) with a loud
+  :class:`~repro.errors.CheckpointError` instead of silently-wrong
+  restored state.
+
+The header is also the framing unit of the feed write-ahead log
+(:mod:`repro.feed.wal`), where many frames are appended to one file; the
+single-payload helpers here are for whole-file artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+
+from ..errors import CheckpointError
+
+__all__ = ["FRAME_HEADER", "read_framed", "write_framed"]
+
+#: On-disk framing: payload length + CRC32, then the pickled payload.
+FRAME_HEADER = struct.Struct("<QI")
+
+
+def write_framed(path: str | Path, payload: object) -> int:
+    """Atomically persist ``payload`` at ``path`` (temp + fsync + rename),
+    framed with length and CRC so partial writes can never load. Returns
+    the number of bytes written (header + payload)."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    path = str(path)
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(FRAME_HEADER.pack(len(blob), zlib.crc32(blob)))
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return FRAME_HEADER.size + len(blob)
+
+
+def read_framed(path: str | Path):
+    """Load a framed payload, rejecting torn or truncated files."""
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read {path}: {exc}") from exc
+    if len(raw) < FRAME_HEADER.size:
+        raise CheckpointError(
+            f"{path} is truncated: {len(raw)} bytes is shorter than the "
+            f"{FRAME_HEADER.size}-byte header (crash mid-write?)"
+        )
+    length, crc = FRAME_HEADER.unpack_from(raw)
+    blob = raw[FRAME_HEADER.size :]
+    if len(blob) != length:
+        raise CheckpointError(
+            f"{path} is truncated: header promises {length} payload bytes, "
+            f"file holds {len(blob)} (crash mid-write?)"
+        )
+    if zlib.crc32(blob) != crc:
+        raise CheckpointError(
+            f"{path} is corrupt: payload CRC mismatch (torn write or disk "
+            "corruption); refusing to restore from it"
+        )
+    return pickle.loads(blob)

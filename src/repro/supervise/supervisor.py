@@ -30,16 +30,14 @@ how to build the in-parent fallback server — arrives in a
 from __future__ import annotations
 
 import os
-import pickle
 import random
-import struct
 import time
 import weakref
-import zlib
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 
 from ..errors import CheckpointError, ConfigurationError, ParallelError
+from ..storage.framing import read_framed, write_framed
 from .journal import BatchJournal
 
 
@@ -140,12 +138,6 @@ class _WorkerFailure(Exception):
     """Internal: one observed worker failure (timeout/EOF/corrupt/send)."""
 
 
-#: On-disk shard checkpoint framing: payload length + CRC32, then the
-#: pickled payload. The header is what turns a torn write into a loud
-#: :class:`CheckpointError` instead of silently-wrong recovered state.
-_CHECKPOINT_HEADER = struct.Struct("<QI")
-
-
 class _DiskCheckpoint:
     """Marker for a shard checkpoint that lives on disk, not in memory."""
 
@@ -155,45 +147,12 @@ class _DiskCheckpoint:
         self.path = path
 
 
-def _write_shard_checkpoint(path: str, payload) -> None:
-    """Atomically persist one shard checkpoint: temp file + fsync + rename,
-    framed with length and CRC so partial writes can never load."""
-    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    tmp = f"{path}.tmp"
-    with open(tmp, "wb") as fh:
-        fh.write(_CHECKPOINT_HEADER.pack(len(blob), zlib.crc32(blob)))
-        fh.write(blob)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
-
-
-def _read_shard_checkpoint(path: str):
-    """Load a shard checkpoint, rejecting torn or truncated files."""
-    try:
-        with open(path, "rb") as fh:
-            raw = fh.read()
-    except OSError as exc:
-        raise CheckpointError(f"cannot read shard checkpoint {path}: {exc}") from exc
-    if len(raw) < _CHECKPOINT_HEADER.size:
-        raise CheckpointError(
-            f"shard checkpoint {path} is truncated: {len(raw)} bytes is "
-            f"shorter than the {_CHECKPOINT_HEADER.size}-byte header "
-            "(crash mid-write?)"
-        )
-    length, crc = _CHECKPOINT_HEADER.unpack_from(raw)
-    blob = raw[_CHECKPOINT_HEADER.size :]
-    if len(blob) != length:
-        raise CheckpointError(
-            f"shard checkpoint {path} is truncated: header promises "
-            f"{length} payload bytes, file holds {len(blob)} (crash mid-write?)"
-        )
-    if zlib.crc32(blob) != crc:
-        raise CheckpointError(
-            f"shard checkpoint {path} is corrupt: payload CRC mismatch "
-            "(torn write or disk corruption); refusing to restore from it"
-        )
-    return pickle.loads(blob)
+# Shard checkpoints share the CRC-framed atomic persistence used by every
+# durability layer (feed mailbox snapshots included); the framing header is
+# what turns a torn write into a loud CheckpointError instead of
+# silently-wrong recovered state.
+_write_shard_checkpoint = write_framed
+_read_shard_checkpoint = read_framed
 
 
 class _Shard:

@@ -67,7 +67,7 @@ def test_serve_roundtrip_and_clean_shutdown(trace):
         out, err = proc.communicate(timeout=60)
     assert proc.returncode == 0
     assert "preloaded 60 posts" in err
-    assert "feed: 60 posts received (60 processed, 0 shed)" in out
+    assert "feed: 60 posts received (60 processed, 0 shed, 0 deduplicated)" in out
     assert f"{served} entries" in out
 
 
@@ -85,3 +85,134 @@ def test_serve_rejects_unknown_algorithm(trace):
     )
     assert result.returncode == 2
     assert "unknown multi-user algorithm" in result.stderr
+
+
+def post_json(url: str, payload) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    return json.load(urllib.request.urlopen(request, timeout=10))
+
+
+def test_serve_durable_roundtrip_and_flush_summary(trace, tmp_path):
+    wal_dir = tmp_path / "wal"
+    proc, url = start_server(
+        trace, "--wal-dir", str(wal_dir), "--fsync", "interval"
+    )
+    try:
+        posts = [
+            json.loads(line)
+            for line in (trace / "posts.jsonl").read_text().splitlines()
+        ][:20]
+        for i, post in enumerate(posts):
+            post["idempotency_key"] = f"cli-{i}"
+            reply = post_json(url + "/posts", post)
+            assert reply["deduplicated"] is False
+        # A retried key answers from the dedup window, no double fanout.
+        retry = dict(posts[3], idempotency_key="cli-3")
+        reply = post_json(url + "/posts", retry)
+        assert reply["deduplicated"] is True
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 0, err
+    assert "durability: flushed clean" in out
+    assert "1 idempotent retries answered" in out
+    assert list(wal_dir.glob("snapshot-*.ckpt")), "shutdown flush wrote no snapshot"
+
+
+def test_serve_refuses_nonempty_wal_dir_without_recover(trace, tmp_path):
+    wal_dir = tmp_path / "wal"
+    wal_dir.mkdir()
+    (wal_dir / "wal-000001.log").write_bytes(b"")
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", str(trace / "graph.json"),
+            "--subscriptions", str(trace / "subscriptions.json"),
+            "--wal-dir", str(wal_dir),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2
+    assert "pass --recover" in result.stderr
+
+
+def test_serve_recover_flag_needs_wal_dir(trace):
+    result = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", str(trace / "graph.json"),
+            "--subscriptions", str(trace / "subscriptions.json"),
+            "--recover",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2
+    assert "--recover needs --wal-dir" in result.stderr
+
+
+def test_serve_recovers_preloaded_state_across_restart(trace, tmp_path):
+    wal_dir = tmp_path / "wal"
+    proc, url = start_server(
+        trace,
+        "--wal-dir", str(wal_dir),
+        "--posts", str(trace / "posts.jsonl"),
+    )
+    try:
+        baseline = json.load(
+            urllib.request.urlopen(url + "/feed?user=100&limit=50", timeout=10)
+        )
+    finally:
+        proc.kill()  # SIGKILL: no flush, recovery rebuilds from WAL alone
+        proc.communicate(timeout=60)
+
+    proc, url = start_server(trace, "--wal-dir", str(wal_dir), "--recover")
+    try:
+        recovered = json.load(
+            urllib.request.urlopen(url + "/feed?user=100&limit=50", timeout=10)
+        )
+        assert recovered["entries"] == baseline["entries"]
+        assert recovered["stale"] is False
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 0, err
+    assert "recovered from" in err
+
+
+def test_serve_exits_nonzero_when_shutdown_flush_fails(trace, tmp_path):
+    import os
+
+    wal_dir = tmp_path / "wal"
+    env = dict(os.environ)
+    env["REPRO_FEED_FAULT_PLAN"] = json.dumps({"fail_snapshots": 100})
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--graph", str(trace / "graph.json"),
+            "--subscriptions", str(trace / "subscriptions.json"),
+            "--algorithm", "s_unibin",
+            "--port", "0",
+            "--wal-dir", str(wal_dir),
+            "--lambda-c", "8", "--lambda-t", "60", "--lambda-a", "0.5",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    banner = proc.stdout.readline()
+    assert "serving feeds on http://" in banner, banner
+    proc.send_signal(signal.SIGTERM)
+    out, err = proc.communicate(timeout=60)
+    assert proc.returncode == 1
+    assert "durability flush FAILED" in err
+    assert "durability: FLUSH FAILED" in out

@@ -222,7 +222,12 @@ class TestBackpressure:
         assert "shedding" in json.load(error)["error"]
         # Exactly balanced: the shed request is accounted, nothing leaked.
         stats = get_json(server.url + "/feed/stats")
-        assert stats["posts"] == {"received": 1, "processed": 0, "shed": 1}
+        assert stats["posts"] == {
+            "received": 1,
+            "processed": 0,
+            "shed": 1,
+            "deduped": 0,
+        }
 
     def test_healthz_degrades_while_shedding(self, feed, server, posts):
         assert get_json(server.url + "/healthz.json")["status"] == "ok"

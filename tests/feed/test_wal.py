@@ -1,0 +1,209 @@
+"""The write-ahead log: framing, torn tails, fsync policies, segments —
+and the chaos injectors (:class:`FeedFaultPlan`) that tear it on purpose."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, ConfigurationError
+from repro.feed.wal import (
+    WriteAheadLog,
+    decode_frames,
+    encode_record,
+    list_segments,
+    segment_path,
+)
+from repro.resilience import FeedFaultPlan
+
+
+class TestFraming:
+    def test_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        records = [
+            {"t": "post", "seq": 1, "post": {"post_id": 7}, "receivers": [1, 2]},
+            {"t": "impressions", "user": 100, "seqs": [1]},
+            {"t": "expire", "now": 42.5},
+        ]
+        for record in records:
+            wal.append(record)
+        wal.close()
+        read, torn = wal.read_segment(1)
+        assert read == records
+        assert torn == 0
+
+    def test_torn_tail_detected_and_reported(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.append({"t": "expire", "now": 1.0})
+        wal.append({"t": "expire", "now": 2.0})
+        wal.close()
+        path = segment_path(tmp_path, 1)
+        raw = path.read_bytes()
+        # Cut mid-way through the second frame: a torn append.
+        path.write_bytes(raw[: len(raw) - 5])
+        records, torn = decode_frames(path.read_bytes(), source=str(path))
+        assert [r["now"] for r in records] == [1.0]
+        assert torn > 0
+
+    def test_every_truncation_point_is_either_clean_or_torn(self, tmp_path):
+        """No truncation offset can ever decode garbage: each prefix yields
+        exactly the records whose frames fit, and counts the rest torn."""
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        for i in range(5):
+            wal.append({"t": "expire", "now": float(i)})
+        wal.close()
+        raw = segment_path(tmp_path, 1).read_bytes()
+        boundaries = []
+        offset = 0
+        records, _ = decode_frames(raw)
+        for record in records:
+            offset += len(encode_record(record))
+            boundaries.append(offset)
+        assert boundaries[-1] == len(raw)
+        for cut in range(len(raw) + 1):
+            got, torn = decode_frames(raw[:cut])
+            complete = sum(1 for b in boundaries if b <= cut)
+            assert len(got) == complete
+            assert torn == cut - (boundaries[complete - 1] if complete else 0)
+
+    def test_corruption_at_rest_raises_not_replays(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.append({"t": "expire", "now": 1.0})
+        wal.close()
+        path = segment_path(tmp_path, 1)
+        raw = bytearray(path.read_bytes())
+        # A CRC-valid frame whose payload is not a WAL record: forge one.
+        import json
+        import struct
+        import zlib
+
+        payload = json.dumps(["not", "a", "record"]).encode()
+        raw = struct.pack("<QI", len(payload), zlib.crc32(payload)) + payload
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="damaged at rest"):
+            wal.read_segment(1)
+
+    def test_truncate_torn_on_reopen(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.append({"t": "expire", "now": 1.0})
+        wal.close()
+        path = segment_path(tmp_path, 1)
+        path.write_bytes(path.read_bytes() + b"\x13\x37partial")
+        reopened = WriteAheadLog(tmp_path, fsync="never")
+        torn = reopened.open_segment(1, truncate_torn=True)
+        assert torn == 9
+        reopened.append({"t": "expire", "now": 2.0})
+        reopened.close()
+        records, torn_after = reopened.read_segment(1)
+        assert [r["now"] for r in records] == [1.0, 2.0]
+        assert torn_after == 0
+
+
+class TestPoliciesAndSegments:
+    def test_bad_policy_and_interval_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="fsync policy"):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+        with pytest.raises(ConfigurationError, match="fsync_interval"):
+            WriteAheadLog(tmp_path, fsync_interval=0)
+
+    def test_interval_policy_group_commits(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="interval", fsync_interval=4)
+        for i in range(10):
+            wal.append({"t": "expire", "now": float(i)})
+        assert wal.fsyncs_total == 2  # at appends 4 and 8
+        wal.close()  # close forces the final fsync
+        assert wal.fsyncs_total == 3
+
+    def test_always_policy_fsyncs_every_append(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="always")
+        for i in range(3):
+            wal.append({"t": "expire", "now": float(i)})
+        assert wal.fsyncs_total == 3
+        wal.close()
+
+    def test_rotation_and_pruning(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.append({"t": "expire", "now": 1.0})
+        assert wal.rotate() == 2
+        wal.append({"t": "expire", "now": 2.0})
+        assert wal.rotate() == 3
+        assert wal.segments_on_disk() == 3
+        removed = wal.prune_segments(3)
+        assert [p.name for p in removed] == ["wal-000001.log", "wal-000002.log"]
+        assert [p.name for p in list_segments(tmp_path)] == ["wal-000003.log"]
+        wal.close()
+
+    def test_counters_track_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.append({"t": "post", "seq": 1, "post": {}, "receivers": []})
+        wal.append({"t": "expire", "now": 1.0})
+        wal.append({"t": "expire", "now": 2.0})
+        assert wal.records_total == 3
+        assert wal.records_by_type == {"post": 1, "expire": 2}
+        assert wal.bytes_total == os.path.getsize(segment_path(tmp_path, 1))
+        restored = WriteAheadLog(tmp_path, fsync="never")
+        restored.load_counters(wal.snapshot_counters())
+        assert restored.snapshot_counters() == wal.snapshot_counters()
+        wal.close()
+
+
+def _exit_raises(monkeypatch):
+    """Stand in for ``os._exit``: raise instead of dying (the real seam
+    never returns, so the raise models the post-kill control flow)."""
+    from repro.resilience import faults
+
+    def fake_exit(code):
+        raise SystemExit(code)
+
+    monkeypatch.setattr(faults, "_exit", fake_exit)
+
+
+class TestFaultPlan:
+    def test_kill_on_append_writes_full_frame_then_exits(self, tmp_path, monkeypatch):
+        _exit_raises(monkeypatch)
+        plan = FeedFaultPlan(kill_on_append=2)
+        wal = WriteAheadLog(tmp_path, fsync="never", fault_plan=plan)
+        wal.append({"t": "expire", "now": 1.0})
+        with pytest.raises(SystemExit) as info:
+            wal.append({"t": "expire", "now": 2.0})
+        assert info.value.code == 23
+        # The killed append is durable: both records decode cleanly.
+        records, torn = decode_frames(segment_path(tmp_path, 1).read_bytes())
+        assert [r["now"] for r in records] == [1.0, 2.0]
+        assert torn == 0
+
+    def test_torn_tail_on_append_leaves_partial_frame(self, tmp_path, monkeypatch):
+        _exit_raises(monkeypatch)
+        plan = FeedFaultPlan(torn_tail_on_append=2, torn_tail_bytes=7)
+        wal = WriteAheadLog(tmp_path, fsync="never", fault_plan=plan)
+        wal.append({"t": "expire", "now": 1.0})
+        with pytest.raises(SystemExit):
+            wal.append({"t": "expire", "now": 2.0})
+        records, torn = decode_frames(segment_path(tmp_path, 1).read_bytes())
+        assert [r["now"] for r in records] == [1.0]
+        assert torn == 7
+
+    def test_slow_fsync_delays_sync(self, tmp_path, monkeypatch):
+        import time
+
+        plan = FeedFaultPlan(slow_fsync_seconds=0.05)
+        wal = WriteAheadLog(tmp_path, fsync="always", fault_plan=plan)
+        start = time.perf_counter()
+        wal.append({"t": "expire", "now": 1.0})
+        assert time.perf_counter() - start >= 0.05
+        wal.close()
+
+    def test_fail_snapshots_injects_enospc(self):
+        plan = FeedFaultPlan(fail_snapshots=2)
+        with pytest.raises(OSError, match="No space left"):
+            plan.on_snapshot()
+        with pytest.raises(OSError):
+            plan.on_snapshot()
+        plan.on_snapshot()  # budget exhausted: disk "recovers"
+
+    def test_from_dict_validates_keys(self):
+        plan = FeedFaultPlan.from_dict({"kill_on_append": 5, "fail_snapshots": 1})
+        assert plan.kill_on_append == 5
+        with pytest.raises(ConfigurationError):
+            FeedFaultPlan.from_dict({"explode": True})
